@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Asynchronous (analog) Race Logic under device variation -- the
+ * paper's Fig. 3d / discussion-section direction ("the most optimal
+ * implementation of Race Logic is asynchronous and in the analog
+ * domain", e.g. with memristive edge delays).
+ *
+ * The clockless energy win is already quantified in Fig. 5/9
+ * benches; the open question is precision.  This bench Monte-Carlos
+ * the analog race on edit graphs and random DAGs while sweeping the
+ * per-edge delay variation sigma, reporting how often (a) the analog
+ * winner is a true shortest path and (b) a time-to-digital readout
+ * still reports the exact score.
+ */
+
+#include <iostream>
+
+#include "rl/bio/edit_graph.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/core/async_race.h"
+#include "rl/graph/generate.h"
+#include "rl/util/random.h"
+#include "rl/util/strings.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+namespace {
+
+void
+sweep(const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
+      graph::NodeId sink, const char *title, util::Rng &rng)
+{
+    util::printBanner(std::cout, title);
+    util::TextTable table({"sigma", "decision correct", "readout exact",
+                           "mean rel err", "max rel err"});
+    const size_t trials = 200;
+    for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3}) {
+        core::AnalogDelayModel model{1.0, sigma};
+        auto report = core::analyzeVariationRobustness(
+            dag, sources, sink, model, trials, rng);
+        table.row(sigma,
+                  util::format("%.1f%%", 100.0 * report.decisionRate()),
+                  util::format("%.1f%%", 100.0 * report.readoutRate()),
+                  report.meanRelativeError, report.maxRelativeError);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    util::Rng rng(3031);
+
+    // Edit graph of a realistic comparison: many near-optimal paths,
+    // the adversarial case for analog precision.
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 16);
+    Sequence b = mutate(rng, a, bio::MutationModel{0.15, 0.05, 0.05});
+    bio::EditGraph eg =
+        bio::makeEditGraph(a, b, ScoreMatrix::dnaShortestPath());
+    sweep(eg.dag, {eg.source}, eg.sink,
+          "Edit graph (N = 16, mutated pair): analog race vs device "
+          "variation",
+          rng);
+
+    // A random DAG with a wider weight spread (more margin between
+    // paths -> more robust decisions).
+    graph::Dag random_dag = graph::randomDag(rng, 40, 0.15, {1, 8});
+    auto [source, sink] = graph::addSuperEndpoints(random_dag, 1);
+    sweep(random_dag, {source}, sink,
+          "Random DAG (40 nodes, weights 1..8): analog race vs device "
+          "variation",
+          rng);
+
+    std::cout
+        << "\nReading: small sigma leaves decisions intact (the race\n"
+           "picks a true shortest path) long before exact readouts\n"
+           "survive -- the analog variant suits threshold screening\n"
+           "(Section 6) better than exact scoring, while removing the\n"
+           "clock network that dominates synchronous energy (Eq. 4).\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Figure 1: the two example alignments of P = ACTGAGA and
+ * Q = GATTCGA, their alignment matrices, and the edit-graph view
+ * (node/edge counts and the number of alignments the race explores
+ * in parallel).
+ */
+
+#include <iostream>
+
+#include "rl/bio/align_dp.h"
+#include "rl/bio/edit_graph.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/graph/paths.h"
+#include "rl/util/strings.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+namespace {
+
+/** Fig. 1b/1d: running symbol counts per aligned column. */
+void
+printAlignmentMatrix(const std::string &row_a, const std::string &row_b)
+{
+    auto counts = [](const std::string &row) {
+        std::string out;
+        int count = 0;
+        for (char ch : row) {
+            if (ch != '-')
+                ++count;
+            out += util::format("%3d", count);
+        }
+        return out;
+    };
+    std::cout << "P " << counts(row_a) << "\nQ " << counts(row_b)
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    Sequence p(Alphabet::dna(), "ACTGAGA");
+    Sequence q(Alphabet::dna(), "GATTCGA");
+
+    util::printBanner(std::cout,
+                      "Fig. 1a/1b: optimal alignment of P and Q "
+                      "(Fig. 2b costs) and its alignment matrix");
+    auto best = bio::globalAlign(p, q, ScoreMatrix::dnaShortestPath());
+    std::cout << "P " << best.alignedA << "\nQ " << best.alignedB
+              << "\n\n";
+    printAlignmentMatrix(best.alignedA, best.alignedB);
+    util::TextTable stats({"matches", "mismatches", "indels", "cost"});
+    stats.row(best.matches, best.mismatches, best.indels, best.score);
+    stats.print(std::cout);
+
+    util::printBanner(std::cout,
+                      "Fig. 1c/1d: the worst allowed alignment "
+                      "(delete P entirely, insert Q)");
+    std::string worst_a = p.str() + std::string(q.size(), '-');
+    std::string worst_b = std::string(p.size(), '-') + q.str();
+    std::cout << "P " << worst_a << "\nQ " << worst_b << "\n\n";
+    printAlignmentMatrix(worst_a, worst_b);
+    std::cout << "columns = N + M = " << p.size() + q.size()
+              << " (the maximum; 'can never exceed it')\n";
+
+    util::printBanner(std::cout, "Fig. 1e: the edit graph");
+    bio::EditGraph eg =
+        bio::makeEditGraph(p, q, ScoreMatrix::dnaShortestPath());
+    util::TextTable graph_stats(
+        {"nodes", "edges", "alignments (paths)", "optimal cost"});
+    uint64_t paths = graph::countPaths(eg.dag, eg.source, eg.sink);
+    auto dp = graph::solveDag(eg.dag, {eg.source},
+                              graph::Objective::Shortest);
+    graph_stats.row(eg.dag.nodeCount(), eg.dag.edgeCount(), paths,
+                    dp.distance[eg.sink]);
+    graph_stats.print(std::cout);
+    std::cout << "(every one of those " << paths
+              << " alignments races simultaneously in hardware)\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 2: the longest-path (a) and shortest-path (b)
+ * DNA score matrices, the BLOSUM62 protein matrix (c), plus the
+ * Section 5 race-ready conversions of the protein matrices.
+ */
+
+#include <iostream>
+
+#include "rl/bio/score_convert.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/util/bitops.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+using bio::ScoreMatrix;
+
+int
+main()
+{
+    util::printBanner(std::cout,
+                      "Fig. 2a: DNA longest-path (similarity) matrix");
+    std::cout << ScoreMatrix::dnaLongestPath().toString();
+
+    util::printBanner(std::cout,
+                      "Fig. 2b: DNA shortest-path (cost) matrix");
+    std::cout << ScoreMatrix::dnaShortestPath().toString();
+
+    util::printBanner(std::cout,
+                      "Synthesized variant: mismatch raised to "
+                      "infinity (missing diagonal edge)");
+    std::cout << ScoreMatrix::dnaShortestPathInfMismatch().toString();
+
+    util::printBanner(std::cout, "Fig. 2c: BLOSUM62 (similarity)");
+    std::cout << ScoreMatrix::blosum62().toString();
+
+    for (const char *name : {"BLOSUM62", "PAM250"}) {
+        ScoreMatrix sim = std::string(name) == "BLOSUM62"
+                              ? ScoreMatrix::blosum62()
+                              : ScoreMatrix::pam250();
+        auto form = bio::toShortestPathForm(sim);
+        util::printBanner(std::cout,
+                          std::string("Section 5 conversion of ") +
+                              name + " to race-ready costs");
+        util::TextTable info({"bias b", "lambda", "min weight",
+                              "dynamic range N_DR",
+                              "counter bits"});
+        info.row(form.bias, form.lambda, form.costs.minFinite(),
+                 form.costs.dynamicRange(),
+                 (int64_t)util::bitsForValue(
+                     (uint64_t)form.costs.dynamicRange()));
+        info.print(std::cout);
+        std::cout << form.costs.toString();
+    }
+    return 0;
+}

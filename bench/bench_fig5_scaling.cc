@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Reproduces Figure 5: area (a, d), latency (b, e), and energy per
+ * comparison (c, f) as a function of string length N, for Race Logic
+ * and the Lipton-Lopresti systolic array under both standard-cell
+ * libraries.
+ *
+ * Panels a/b/c use the AMIS parameters, d/e/f the OSU parameters.
+ * The energy panel prints the analytic Eq. 3/4 model, the paper's
+ * fitted Eq. 5 polynomials, the gated (Eq. 6) and clockless
+ * estimates, and -- for the sizes where gate-level simulation is
+ * practical -- measured activity-priced energies.  It finishes by
+ * re-fitting a*N^3 + b*N^2 to the measured points, regenerating the
+ * Eq. 5 coefficients.
+ */
+
+#include <iostream>
+
+#include "rl/bio/sequence.h"
+#include "rl/core/race_grid.h"
+#include "rl/core/race_grid_circuit.h"
+#include "rl/sim/stats.h"
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/tech/area_model.h"
+#include "rl/tech/energy_model.h"
+#include "rl/tech/metrics.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using tech::CellLibrary;
+using tech::ClockMode;
+using tech::RaceCase;
+
+namespace {
+
+const std::vector<size_t> kSweep{4, 8, 12, 16, 20, 30, 40, 50, 60,
+                                 70, 80, 90, 100};
+
+void
+areaPanel(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 5 area panel (" + lib.name + "): um^2 vs N");
+    util::TextTable table({"N", "RaceLogic um2", "Systolic um2",
+                           "race/sys"});
+    for (size_t n : kSweep) {
+        double race = tech::raceGridArea(lib, n, n, 2).totalUm2;
+        double sys =
+            tech::systolicArea(lib, Alphabet::dna(), n, n).totalUm2;
+        table.row(n, race, sys, race / sys);
+    }
+    table.print(std::cout);
+    std::cout << "(quadratic vs linear: Race Logic starts smaller and "
+                 "crosses over at small N)\n";
+}
+
+void
+latencyPanel(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 5 latency panel (" + lib.name +
+                          "): ns vs N (measured cycles x period)");
+    util::Rng rng(2024);
+    core::RaceGridAligner racer(ScoreMatrix::dnaShortestPathInfMismatch());
+    systolic::LiptonLoprestiArray sys_array(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    util::TextTable table({"N", "race best ns", "race worst ns",
+                           "systolic ns", "sys/raceWorst"});
+    for (size_t n : kSweep) {
+        Sequence same = Sequence::random(rng, Alphabet::dna(), n);
+        auto [wa, wb] = bio::worstCasePair(rng, Alphabet::dna(), n);
+        uint64_t best_cycles = racer.align(same, same).latencyCycles;
+        uint64_t worst_cycles = racer.align(wa, wb).latencyCycles;
+        uint64_t sys_cycles = sys_array.align(wa, wb).cycles;
+        double best = double(best_cycles) * lib.racePeriodNs;
+        double worst = double(worst_cycles) * lib.racePeriodNs;
+        double sys = double(sys_cycles) * lib.systolicPeriodNs;
+        table.row(n, best, worst, sys, sys / worst);
+    }
+    table.print(std::cout);
+}
+
+void
+energyPanel(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 5 energy panel (" + lib.name +
+                          "): pJ per comparison vs N");
+    util::Rng rng(7);
+    systolic::LiptonLoprestiArray sys_array(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    util::TextTable table({"N", "race best", "race worst",
+                           "fit5 best", "fit5 worst", "gated worst",
+                           "clockless", "systolic"});
+    for (size_t n : kSweep) {
+        auto best = tech::raceAnalyticEnergy(lib, n, RaceCase::Best);
+        auto worst = tech::raceAnalyticEnergy(lib, n, RaceCase::Worst);
+        auto gated = tech::raceAnalyticEnergy(lib, n, RaceCase::Worst,
+                                              ClockMode::Gated);
+        auto clockless = tech::raceAnalyticEnergy(
+            lib, n, RaceCase::Worst, ClockMode::Clockless);
+        auto [wa, wb] = bio::worstCasePair(rng, Alphabet::dna(), n);
+        auto sys = tech::systolicEnergyFromResult(
+            lib, sys_array.align(wa, wb), Alphabet::dna());
+        table.row(n, best.totalJ() * 1e12, worst.totalJ() * 1e12,
+                  tech::paperFitEnergyPj(lib, RaceCase::Best, double(n)),
+                  tech::paperFitEnergyPj(lib, RaceCase::Worst,
+                                         double(n)),
+                  gated.totalJ() * 1e12, clockless.totalJ() * 1e12,
+                  sys.totalJ() * 1e12);
+    }
+    table.print(std::cout);
+
+    // Long-range scaling rows (the paper plots to N = 1e6).
+    util::TextTable scaling({"N", "race worst pJ", "gated pJ",
+                             "clockless pJ", "systolic pJ"});
+    for (size_t n : {100u, 1000u, 10000u, 100000u, 1000000u}) {
+        auto worst = tech::raceAnalyticEnergy(lib, n, RaceCase::Worst);
+        auto gated = tech::raceAnalyticEnergy(lib, n, RaceCase::Worst,
+                                              ClockMode::Gated);
+        auto clockless = tech::raceAnalyticEnergy(
+            lib, n, RaceCase::Worst, ClockMode::Clockless);
+        auto sys =
+            tech::systolicAnalyticEnergy(lib, Alphabet::dna(), n, n);
+        scaling.row(n, worst.totalJ() * 1e12, gated.totalJ() * 1e12,
+                    clockless.totalJ() * 1e12, sys.totalJ() * 1e12);
+    }
+    std::cout << "\nLog-range scaling (analytic, as in the paper's "
+                 "log-log panel):\n";
+    scaling.print(std::cout);
+}
+
+void
+refitEquation5(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Eq. 5 regeneration (" + lib.name +
+                          "): fit a*N^3 + b*N^2 to gate-level "
+                          "measured energy");
+    util::Rng rng(99);
+    std::vector<double> xs, ys_worst, ys_best;
+    for (size_t n = 4; n <= 28; n += 4) {
+        core::RaceGridCircuit fabric(Alphabet::dna(), n, n);
+        auto [wa, wb] = bio::worstCasePair(rng, Alphabet::dna(), n);
+        fabric.sim().clearActivity();
+        fabric.align(wa, wb);
+        double worst =
+            tech::energyFromActivityJ(lib, fabric.sim().activity());
+        Sequence same = Sequence::random(rng, Alphabet::dna(), n);
+        fabric.sim().clearActivity();
+        fabric.align(same, same);
+        double best =
+            tech::energyFromActivityJ(lib, fabric.sim().activity());
+        xs.push_back(double(n));
+        ys_worst.push_back(worst * 1e12);
+        ys_best.push_back(best * 1e12);
+    }
+    auto cw = sim::monomialFit(xs, ys_worst, {3, 2});
+    auto cb = sim::monomialFit(xs, ys_best, {3, 2});
+    util::TextTable table({"coefficient", "measured fit", "paper Eq.5"});
+    bool amis = lib.name == "AMIS";
+    table.row("worst N^3", cw[3], amis ? 2.65 : 5.30);
+    table.row("worst N^2", cw[2], amis ? 6.41 : 3.76);
+    table.row("best  N^3", cb[3], amis ? 1.05 : 2.10);
+    table.row("best  N^2", cb[2], amis ? 5.91 : 4.86);
+    table.print(std::cout);
+    std::cout << "(N^3 coefficients are the calibration anchor; N^2 "
+                 "terms depend on data-activity detail)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const CellLibrary *lib : CellLibrary::all()) {
+        areaPanel(*lib);
+        latencyPanel(*lib);
+        energyPanel(*lib);
+        refitEquation5(*lib);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Figure 9 (AMIS library): (a) throughput per cm^2 vs N,
+ * (b) power density vs N against the ITRS 200 W/cm^2 ceiling, and
+ * (c) the energy-delay scatter at N = 30.
+ */
+
+#include <iostream>
+
+#include "rl/tech/metrics.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+using tech::CellLibrary;
+using tech::ClockMode;
+using tech::DesignPoint;
+using tech::RaceCase;
+
+namespace {
+
+const std::vector<size_t> kSweep{4, 8, 12, 16, 20, 30, 40, 50, 60,
+                                 70, 80, 90, 100};
+
+void
+throughputPanel(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 9a: throughput (patterns/sec/cm^2) vs N, " +
+                          lib.name);
+    util::TextTable table({"N", "race best", "race worst", "systolic",
+                           "best/sys"});
+    size_t crossover = 0;
+    for (size_t n : kSweep) {
+        auto best = tech::raceDesignPoint(lib, n, RaceCase::Best);
+        auto worst = tech::raceDesignPoint(lib, n, RaceCase::Worst);
+        auto sys = tech::systolicDesignPoint(lib, n);
+        double ratio = best.throughputPerSecPerCm2() /
+                       sys.throughputPerSecPerCm2();
+        table.row(n, best.throughputPerSecPerCm2(),
+                  worst.throughputPerSecPerCm2(),
+                  sys.throughputPerSecPerCm2(), ratio);
+        if (crossover == 0 && ratio < 1.0)
+            crossover = n;
+    }
+    table.print(std::cout);
+    std::cout << "Race-best advantage holds for N < ~" << crossover
+              << " (paper: N < 70)\n";
+}
+
+void
+powerDensityPanel(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 9b: power density (W/cm^2) vs N, " +
+                          lib.name + "  [ITRS ceiling 200]");
+    util::TextTable table({"N", "race best", "race worst",
+                           "race gated", "race clockless", "systolic"});
+    for (size_t n : kSweep) {
+        auto best = tech::raceDesignPoint(lib, n, RaceCase::Best);
+        auto worst = tech::raceDesignPoint(lib, n, RaceCase::Worst);
+        auto gated = tech::raceDesignPoint(lib, n, RaceCase::Worst,
+                                           ClockMode::Gated);
+        auto clockless = tech::raceDesignPoint(
+            lib, n, RaceCase::Worst, ClockMode::Clockless);
+        auto sys = tech::systolicDesignPoint(lib, n);
+        table.row(n, best.powerDensityWPerCm2(),
+                  worst.powerDensityWPerCm2(),
+                  gated.powerDensityWPerCm2(),
+                  clockless.powerDensityWPerCm2(),
+                  sys.powerDensityWPerCm2());
+    }
+    table.print(std::cout);
+}
+
+void
+energyDelayScatter(const CellLibrary &lib)
+{
+    util::printBanner(std::cout,
+                      "Fig. 9c: energy-delay scatter at N = 30, " +
+                          lib.name);
+    const size_t n = 30;
+    std::vector<DesignPoint> points{
+        tech::raceDesignPoint(lib, n, RaceCase::Best),
+        tech::raceDesignPoint(lib, n, RaceCase::Worst),
+        tech::raceDesignPoint(lib, n, RaceCase::Best,
+                              ClockMode::Gated),
+        tech::raceDesignPoint(lib, n, RaceCase::Worst,
+                              ClockMode::Gated),
+        tech::raceDesignPoint(lib, n, RaceCase::Worst,
+                              ClockMode::Clockless),
+        tech::systolicDesignPoint(lib, n),
+    };
+    util::TextTable table({"design point", "energy mJ", "latency ns",
+                           "EDP fJ*s"});
+    for (const auto &p : points)
+        table.row(p.label, p.energyJ * 1e3, p.latencyNs,
+                  p.energyDelayProduct() * 1e18);
+    table.print(std::cout);
+    std::cout << "(iso-EDP curves in the paper: 0.5, 1, 5, 10 fJ*s)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const CellLibrary &amis = CellLibrary::amis();
+    throughputPanel(amis);
+    powerDensityPanel(amis);
+    energyDelayScatter(amis);
+    return 0;
+}

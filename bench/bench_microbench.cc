@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernels: the
+ * event-driven race solver, the gate-level synchronous simulator,
+ * the systolic engine, and the reference DP -- the knobs that set
+ * how large a sweep the figure benches can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/generalized.h"
+#include "rl/core/race_grid.h"
+#include "rl/core/race_grid_circuit.h"
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/util/random.h"
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+namespace {
+
+std::pair<Sequence, Sequence>
+randomPair(uint64_t seed, size_t n)
+{
+    util::Rng rng(seed);
+    return {Sequence::random(rng, Alphabet::dna(), n),
+            Sequence::random(rng, Alphabet::dna(), n)};
+}
+
+void
+BM_ReferenceDp(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(1, n);
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bio::globalScore(a, b, m));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_ReferenceDp)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_EventDrivenRace(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(2, n);
+    core::RaceGridAligner racer(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(racer.align(a, b).score);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_EventDrivenRace)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_GateLevelRaceGrid(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(3, n);
+    core::RaceGridCircuit fabric(Alphabet::dna(), n, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fabric.align(a, b).score);
+    // Gate evaluations per comparison ~ gates x cycles.
+    state.SetItemsProcessed(
+        int64_t(state.iterations()) *
+        int64_t(fabric.netlist().gateCount()) * int64_t(2 * n));
+}
+BENCHMARK(BM_GateLevelRaceGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_SystolicArray(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(4, n);
+    systolic::LiptonLoprestiArray array(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.align(a, b).score);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(3 * n) * int64_t(2 * n + 1));
+}
+BENCHMARK(BM_SystolicArray)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_GeneralizedBehavioral(benchmark::State &state)
+{
+    size_t n = size_t(state.range(0));
+    util::Rng rng(5);
+    Sequence a = Sequence::random(rng, Alphabet::protein(), n);
+    Sequence b = Sequence::random(rng, Alphabet::protein(), n);
+    core::GeneralizedAligner aligner(ScoreMatrix::blosum62());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aligner.align(a, b).similarityScore);
+}
+BENCHMARK(BM_GeneralizedBehavioral)->Arg(16)->Arg(64);
+
+void
+BM_GateLevelGeneralizedBuild(benchmark::State &state)
+{
+    // Fabric construction cost (netlist synthesis), BLOSUM62 cells.
+    core::GeneralizedAligner model(ScoreMatrix::blosum62());
+    for (auto _ : state) {
+        core::GeneralizedGridCircuit fabric(model.form().costs, 2, 2);
+        benchmark::DoNotOptimize(fabric.netlist().gateCount());
+    }
+}
+BENCHMARK(BM_GateLevelGeneralizedBuild);
+
+} // namespace

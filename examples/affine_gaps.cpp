@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Affine-gap alignment on Race Logic -- three-layer lattices racing.
+ *
+ *   $ ./affine_gaps [seqA] [seqB] [open] [extend]
+ *
+ * The paper's case study charges every indel equally; this example
+ * races the Gotoh three-state lattice instead, where opening a gap
+ * costs more than extending one.  It compares alignments under
+ * several gap regimes, showing long coherent gaps winning as the
+ * opening premium grows -- with every number read off the race
+ * clock and cross-checked against the reference DP.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rl/core/affine_race.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+
+int
+main(int argc, char **argv)
+{
+    std::string text_a = argc > 1 ? argv[1] : "ACGTACGTACGT";
+    std::string text_b = argc > 2 ? argv[2] : "ACGTACGT";
+    bio::Score open = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 0;
+    bio::Score extend = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 0;
+
+    const bio::Alphabet &dna = bio::Alphabet::dna();
+    for (const std::string &text : {text_a, text_b}) {
+        for (char ch : text) {
+            if (!dna.contains(ch)) {
+                std::cerr << "not a DNA string: " << text << '\n';
+                return 1;
+            }
+        }
+    }
+    bio::Sequence a(dna, text_a);
+    bio::Sequence b(dna, text_b);
+
+    // Pair costs: match 1, mismatch 3 (race-ready).
+    bio::ScoreMatrix costs(dna, bio::ScoreKind::Cost);
+    for (bio::Symbol s = 0; s < 4; ++s)
+        for (bio::Symbol t = 0; t < 4; ++t)
+            costs.setPair(s, t, s == t ? 1 : 3);
+
+    util::printBanner(std::cout,
+                      "Affine-gap races: " + text_a + " vs " + text_b);
+    util::TextTable table({"open", "extend", "raced cost", "Gotoh DP",
+                           "lattice nodes", "race cycles"});
+    std::vector<bio::AffineGapCosts> regimes;
+    if (open >= 1 && extend >= 1 && open >= extend) {
+        regimes.push_back({open, extend});
+    } else {
+        regimes = {{1, 1}, {2, 1}, {4, 1}, {8, 1}, {8, 2}};
+    }
+    for (const auto &gaps : regimes) {
+        auto raced = core::raceAffine(a, b, costs, gaps);
+        table.row(gaps.open, gaps.extend, raced.score,
+                  bio::affineGlobalScore(a, b, costs, gaps),
+                  raced.nodes, raced.latencyCycles);
+    }
+    table.print(std::cout);
+    std::cout << "(same race hardware concept, different DAG: three "
+                 "lattice layers instead of one -- the 'not limited "
+                 "to' claim of the paper's Section 7, working)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FASTA-driven alignment: race every record of a FASTA file against
+ * the first one.
+ *
+ *   $ ./fasta_align [file.fasta] [--protein]
+ *
+ * With no file argument a small demo FASTA is written to a
+ * temporary path and used.  DNA records race on the Fig. 2b-family
+ * matrix; with --protein, records race BLOSUM62 on the generalized
+ * architecture and similarity scores are recovered from the winning
+ * delays (Section 5).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "rl/bio/fasta.h"
+#include "rl/core/race_aligner.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+
+namespace {
+
+std::string
+writeDemoFasta()
+{
+    std::string path = "/tmp/racelogic_demo.fasta";
+    std::ofstream out(path);
+    out << "; demo database for fasta_align\n"
+           ">query (the paper's P)\nACTGAGA\n"
+           ">paper-Q\nGATTCGA\n"
+           ">identical\nACTGAGA\n"
+           ">one-substitution\nACTGTGA\n"
+           ">unrelated\nTTTTTTT\n";
+    return path;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool protein = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--protein")
+            protein = true;
+        else
+            path = arg;
+    }
+    if (path.empty())
+        path = writeDemoFasta();
+
+    const bio::Alphabet &alphabet =
+        protein ? bio::Alphabet::protein() : bio::Alphabet::dna();
+    auto records = bio::readFastaFile(path, alphabet);
+    if (records.size() < 2) {
+        std::cerr << "need at least two records in " << path << '\n';
+        return 1;
+    }
+
+    core::RaceAligner aligner(
+        protein ? bio::ScoreMatrix::blosum62()
+                : bio::ScoreMatrix::dnaShortestPathInfMismatch());
+
+    const bio::Sequence &query = records[0].sequence;
+    util::printBanner(std::cout,
+                      "racing '" + records[0].description +
+                          "' against " +
+                          std::to_string(records.size() - 1) +
+                          " records from " + path);
+    util::TextTable table({"record", "length",
+                           protein ? "BLOSUM62 score" : "edit cost",
+                           "latency cycles"});
+    for (size_t r = 1; r < records.size(); ++r) {
+        if (records[r].sequence.empty()) {
+            table.row(records[r].description, 0, "-", "-");
+            continue;
+        }
+        auto outcome = aligner.align(query, records[r].sequence);
+        table.row(records[r].description, records[r].sequence.size(),
+                  outcome.score, outcome.latencyCycles);
+    }
+    table.print(std::cout);
+    std::cout << "(lower cost / higher similarity arrives earlier -- "
+                 "the race IS the comparison)\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Protein comparison on the generalized architecture (Section 5).
+ *
+ *   $ ./protein_blosum [seqA] [seqB]
+ *
+ * Takes two amino-acid strings (BLOSUM alphabet ARNDCQEGHILKMFPSTWYV),
+ * converts BLOSUM62 into race-ready costs (sign inversion + rank
+ * bias), races the edit graph with Fig. 8-style generalized cells,
+ * and maps the winning delay back to the BLOSUM62 similarity score.
+ * The DP oracle and the alignment rendering confirm exactness.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/generalized.h"
+#include "rl/util/strings.h"
+#include "rl/util/table.h"
+
+using namespace racelogic;
+
+int
+main(int argc, char **argv)
+{
+    std::string text_a = argc > 1 ? argv[1] : "HEAGAWGHEE";
+    std::string text_b = argc > 2 ? argv[2] : "PAWHEAE";
+
+    const bio::Alphabet &aa = bio::Alphabet::protein();
+    for (const std::string &text : {text_a, text_b}) {
+        for (char ch : text) {
+            if (!aa.contains(ch)) {
+                std::cerr << "not an amino-acid string (alphabet "
+                          << aa.letters() << "): " << text << '\n';
+                return 1;
+            }
+        }
+    }
+    bio::Sequence a(aa, text_a);
+    bio::Sequence b(aa, text_b);
+
+    core::GeneralizedAligner aligner(bio::ScoreMatrix::blosum62());
+    auto result = aligner.align(a, b);
+
+    util::printBanner(std::cout,
+                      "Section 5 conversion (BLOSUM62 -> race costs)");
+    util::TextTable conv({"bias b", "lambda", "dynamic range N_DR",
+                          "counter bits per edge"});
+    conv.row(aligner.form().bias, aligner.form().lambda,
+             aligner.spec().dynamicRange, aligner.spec().counterBits);
+    conv.print(std::cout);
+
+    util::printBanner(std::cout, "Race outcome");
+    util::TextTable out({"metric", "value"});
+    out.row("sequence A", text_a);
+    out.row("sequence B", text_b);
+    out.row("raced cost (cycles)", result.racedCost);
+    out.row("recovered BLOSUM62 score", result.similarityScore);
+    out.row("recovery identity",
+            util::format(
+                "b*(n+m) - cost = %lld*(%zu+%zu) - %lld = %lld",
+                static_cast<long long>(aligner.form().bias),
+                a.size(), b.size(),
+                static_cast<long long>(result.racedCost),
+                static_cast<long long>(result.similarityScore)));
+    out.print(std::cout);
+
+    bio::Alignment dp =
+        bio::globalAlign(a, b, bio::ScoreMatrix::blosum62());
+    std::cout << "\nDP cross-check: score = " << dp.score
+              << (dp.score == result.similarityScore ? " (agrees)\n"
+                                                     : " (DISAGREES)\n")
+              << "one optimal alignment:\n  A " << dp.alignedA
+              << "\n  B " << dp.alignedB << "\n  matches "
+              << dp.matches << ", mismatches " << dp.mismatches
+              << ", indels " << dp.indels << '\n';
+    return dp.score == result.similarityScore ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+#include "rl/bio/affine.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::bio {
+
+namespace {
+
+void
+checkAffineInputs(const Sequence &a, const Sequence &b,
+                  const ScoreMatrix &costs, const AffineGapCosts &gaps)
+{
+    rl_assert(a.alphabet() == costs.alphabet() &&
+                  b.alphabet() == costs.alphabet(),
+              "sequences and matrix use different alphabets");
+    rl_assert(costs.isCost(), "affine alignment minimizes costs");
+    rl_assert(gaps.open >= 1 && gaps.extend >= 1,
+              "race-ready affine gaps need open/extend >= 1");
+    rl_assert(gaps.open >= gaps.extend,
+              "gap opening should cost at least as much as extension");
+}
+
+inline Score
+addSat(Score x, Score delta)
+{
+    return x >= kScoreInfinity ? kScoreInfinity : x + delta;
+}
+
+} // namespace
+
+Score
+affineGlobalScore(const Sequence &a, const Sequence &b,
+                  const ScoreMatrix &costs, const AffineGapCosts &gaps)
+{
+    checkAffineInputs(a, b, costs, gaps);
+    const size_t n = a.size();
+    const size_t m = b.size();
+
+    // Full 3-state automaton (M / Ix = gap in b / Iy = gap in a),
+    // with state switches between the two gap states charged a fresh
+    // opening -- required for forbidden-pair matrices where opposite
+    // gaps must be adjacent.
+    std::vector<Score> pm(m + 1, kScoreInfinity);
+    std::vector<Score> px(m + 1, kScoreInfinity);
+    std::vector<Score> py(m + 1, kScoreInfinity);
+    pm[0] = 0;
+    for (size_t j = 1; j <= m; ++j)
+        py[j] = gaps.open + Score(j - 1) * gaps.extend;
+
+    std::vector<Score> cm(m + 1), cx(m + 1), cy(m + 1);
+    for (size_t i = 1; i <= n; ++i) {
+        cm[0] = kScoreInfinity;
+        cy[0] = kScoreInfinity;
+        cx[0] = gaps.open + Score(i - 1) * gaps.extend;
+        for (size_t j = 1; j <= m; ++j) {
+            Score w = costs.pair(a[i - 1], b[j - 1]);
+            Score diag_best =
+                std::min({pm[j - 1], px[j - 1], py[j - 1]});
+            cm[j] = w == kScoreInfinity ? kScoreInfinity
+                                        : addSat(diag_best, w);
+            cx[j] = std::min({addSat(pm[j], gaps.open),
+                              addSat(px[j], gaps.extend),
+                              addSat(py[j], gaps.open)});
+            cy[j] = std::min({addSat(cm[j - 1], gaps.open),
+                              addSat(cy[j - 1], gaps.extend),
+                              addSat(cx[j - 1], gaps.open)});
+        }
+        std::swap(pm, cm);
+        std::swap(px, cx);
+        std::swap(py, cy);
+    }
+    Score best = std::min({pm[m], px[m], py[m]});
+    rl_assert(best < kScoreInfinity,
+              "affine alignment infeasible (should not happen with "
+              "finite gaps)");
+    return best;
+}
+
+AffineEditGraph
+makeAffineEditGraph(const Sequence &a, const Sequence &b,
+                    const ScoreMatrix &costs, const AffineGapCosts &gaps)
+{
+    checkAffineInputs(a, b, costs, gaps);
+    for (Symbol s = 0; s < costs.alphabet().size(); ++s)
+        for (Symbol t = 0; t < costs.alphabet().size(); ++t)
+            rl_assert(costs.pair(s, t) == kScoreInfinity ||
+                          costs.pair(s, t) >= 1,
+                      "race-ready pair weights must be >= 1");
+
+    AffineEditGraph g;
+    g.rows = a.size();
+    g.cols = b.size();
+    const size_t layer_nodes = (g.rows + 1) * (g.cols + 1);
+    g.dag.addNodes(3 * layer_nodes);
+    g.source = g.node(AffineEditGraph::M, 0, 0);
+
+    using L = AffineEditGraph::Layer;
+    for (size_t i = 0; i <= g.rows; ++i) {
+        for (size_t j = 0; j <= g.cols; ++j) {
+            // M(i, j): aligned pair entering from any layer.
+            if (i >= 1 && j >= 1) {
+                Score w = costs.pair(a[i - 1], b[j - 1]);
+                if (w != kScoreInfinity) {
+                    for (L from : {L::M, L::Ix, L::Iy})
+                        g.dag.addEdge(g.node(from, i - 1, j - 1),
+                                      g.node(L::M, i, j), w);
+                }
+            }
+            // Ix(i, j): consume a[i-1] (gap in b).
+            if (i >= 1) {
+                g.dag.addEdge(g.node(L::M, i - 1, j),
+                              g.node(L::Ix, i, j), gaps.open);
+                g.dag.addEdge(g.node(L::Ix, i - 1, j),
+                              g.node(L::Ix, i, j), gaps.extend);
+                g.dag.addEdge(g.node(L::Iy, i - 1, j),
+                              g.node(L::Ix, i, j), gaps.open);
+            }
+            // Iy(i, j): consume b[j-1] (gap in a).
+            if (j >= 1) {
+                g.dag.addEdge(g.node(L::M, i, j - 1),
+                              g.node(L::Iy, i, j), gaps.open);
+                g.dag.addEdge(g.node(L::Iy, i, j - 1),
+                              g.node(L::Iy, i, j), gaps.extend);
+                g.dag.addEdge(g.node(L::Ix, i, j - 1),
+                              g.node(L::Iy, i, j), gaps.open);
+            }
+        }
+    }
+
+    // Zero-weight collector wires into the single output node.
+    g.sink = g.dag.addNode("affineSink");
+    for (L layer : {L::M, L::Ix, L::Iy})
+        g.dag.addEdge(g.node(layer, g.rows, g.cols), g.sink, 0);
+    return g;
+}
+
+} // namespace racelogic::bio

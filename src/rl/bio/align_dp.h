@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reference dynamic-programming aligners.
+ *
+ * These are the software implementations of the recurrences the
+ * hardware accelerates (paper Eq. 1a/1b): Needleman-Wunsch global
+ * alignment under either score semantics, Smith-Waterman local
+ * alignment, Levenshtein distance, and LCS.  They serve three roles:
+ *
+ *  1. correctness oracles for every hardware model in the library
+ *     (race grid, generalized array, systolic array);
+ *  2. the source of the full DP tables the paper prints (Fig. 4c) and
+ *     the wavefront analysis (Fig. 6);
+ *  3. a software baseline for the examples.
+ */
+
+#ifndef RACELOGIC_BIO_ALIGN_DP_H
+#define RACELOGIC_BIO_ALIGN_DP_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/util/grid.h"
+
+namespace racelogic::bio {
+
+/** A global alignment and its statistics. */
+struct Alignment {
+    /** Optimal score (cost or similarity, per the matrix kind). */
+    Score score = 0;
+
+    /**
+     * Edit-graph node path (i, j) from (0,0) to (|a|, |b|); i indexes
+     * sequence `a` (rows), j indexes sequence `b` (columns).
+     */
+    std::vector<std::pair<uint32_t, uint32_t>> path;
+
+    /** Aligned letter rows with '-' in gap positions (Fig. 1a/1c). */
+    std::string alignedA;
+    std::string alignedB;
+
+    size_t matches = 0;
+    size_t mismatches = 0;
+    size_t indels = 0;
+};
+
+/**
+ * Full (|a|+1) x (|b|+1) DP score table under `matrix`.
+ *
+ * Cost matrices minimize, similarity matrices maximize.  Forbidden
+ * transitions (kScoreInfinity cost) are skipped; unreachable cells
+ * hold kScoreInfinity.
+ */
+util::Grid<Score> dpTable(const Sequence &a, const Sequence &b,
+                          const ScoreMatrix &matrix);
+
+/** Optimal global alignment score only (O(min(n,m)) memory). */
+Score globalScore(const Sequence &a, const Sequence &b,
+                  const ScoreMatrix &matrix);
+
+/** Optimal global alignment with deterministic traceback. */
+Alignment globalAlign(const Sequence &a, const Sequence &b,
+                      const ScoreMatrix &matrix);
+
+/**
+ * Hirschberg divide-and-conquer global alignment: the same optimal
+ * score as globalAlign() in O(min(n,m)) memory instead of O(n*m),
+ * for aligning sequences too long for a full table.  The returned
+ * alignment is optimal but may differ from globalAlign()'s
+ * tie-breaking.
+ */
+Alignment hirschbergAlign(const Sequence &a, const Sequence &b,
+                          const ScoreMatrix &matrix);
+
+/** A local alignment (Smith-Waterman) result. */
+struct LocalAlignment {
+    /** Best local similarity (>= 0; 0 means "align nothing"). */
+    Score score = 0;
+    /** Inclusive-exclusive coordinates of the aligned region in a/b. */
+    size_t beginA = 0, endA = 0;
+    size_t beginB = 0, endB = 0;
+    /** The aligned region rendered like Alignment. */
+    std::string alignedA;
+    std::string alignedB;
+};
+
+/**
+ * Smith-Waterman local alignment; requires a Similarity matrix
+ * (negative entries are what make locality meaningful).
+ */
+LocalAlignment localAlign(const Sequence &a, const Sequence &b,
+                          const ScoreMatrix &similarity);
+
+/**
+ * Banded global alignment score: only cells with |i - j| <= band are
+ * evaluated.  Exact whenever some optimal path stays inside the band
+ * (always true for band >= max(|a|,|b|)); a common screening
+ * shortcut when strings are known to be nearly aligned.  Returns
+ * kScoreInfinity (cost) / -kScoreInfinity (similarity) if the band
+ * cannot connect the corners (band < ||a| - |b||).
+ */
+Score bandedGlobalScore(const Sequence &a, const Sequence &b,
+                        const ScoreMatrix &matrix, size_t band);
+
+/** Unit-cost Levenshtein distance (two-row DP). */
+Score levenshtein(const Sequence &a, const Sequence &b);
+
+/** Length of the longest common subsequence. */
+size_t lcsLength(const Sequence &a, const Sequence &b);
+
+/**
+ * Verify that an Alignment is internally consistent with the inputs
+ * and matrix: the path is a monotone edit-graph walk whose edge
+ * weights sum to `score`.  Used by tests and by examples as a sanity
+ * gate; returns a diagnostic string, empty when valid.
+ */
+std::string checkAlignment(const Sequence &a, const Sequence &b,
+                           const ScoreMatrix &matrix,
+                           const Alignment &alignment);
+
+} // namespace racelogic::bio
+
+#endif // RACELOGIC_BIO_ALIGN_DP_H

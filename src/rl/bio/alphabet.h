@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Symbol alphabets for sequence comparison.
+ *
+ * The paper evaluates two alphabet sizes: 4 (DNA nucleobases A, G, C,
+ * T) and 20 (amino acids for protein comparison with BLOSUM-family
+ * matrices).  The alphabet determines both the symbol encoding width
+ * (log2(Nss) bits, Fig. 8) and the XNOR-match circuitry of the unit
+ * cell (Eq. 2).
+ */
+
+#ifndef RACELOGIC_BIO_ALPHABET_H
+#define RACELOGIC_BIO_ALPHABET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace racelogic::bio {
+
+/** Encoded symbol: dense index into an Alphabet. */
+using Symbol = uint8_t;
+
+/**
+ * An ordered set of symbol letters with dense encoding.
+ *
+ * Value type; cheap to copy (a small table).  Two alphabets compare
+ * equal iff they contain the same letters in the same order.
+ */
+class Alphabet
+{
+  public:
+    /** Construct from the ordered letters, e.g. "ACGT". */
+    explicit Alphabet(std::string letters, std::string name = "");
+
+    /** DNA nucleobases: A, C, G, T (Nss = 4). */
+    static const Alphabet &dna();
+
+    /** 20 amino acids in BLOSUM/PAM order: ARNDCQEGHILKMFPSTWYV. */
+    static const Alphabet &protein();
+
+    /** Binary alphabet {0, 1}; useful for adversarial tests. */
+    static const Alphabet &binary();
+
+    /** Number of symbols Nss. */
+    size_t size() const { return letters_.size(); }
+
+    /** Bits needed to encode one symbol: ceil(log2(Nss)). */
+    unsigned bitsPerSymbol() const;
+
+    /** Letter for an encoded symbol. */
+    char letter(Symbol symbol) const;
+
+    /** Encode a letter; fatal() if the letter is not in the alphabet. */
+    Symbol encode(char letter) const;
+
+    /** True iff the letter belongs to the alphabet. */
+    bool contains(char letter) const;
+
+    /** Encode a whole string. */
+    std::vector<Symbol> encodeString(const std::string &text) const;
+
+    /** Decode a symbol vector back to text. */
+    std::string decodeString(const std::vector<Symbol> &symbols) const;
+
+    const std::string &name() const { return name_; }
+    const std::string &letters() const { return letters_; }
+
+    bool
+    operator==(const Alphabet &other) const
+    {
+        return letters_ == other.letters_;
+    }
+
+  private:
+    std::string letters_;
+    std::string name_;
+    // Dense ASCII lookup; -1 marks letters outside the alphabet.
+    std::vector<int16_t> lookup;
+};
+
+} // namespace racelogic::bio
+
+#endif // RACELOGIC_BIO_ALPHABET_H

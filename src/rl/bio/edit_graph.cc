@@ -1,0 +1,41 @@
+#include "rl/bio/edit_graph.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::bio {
+
+EditGraph
+makeEditGraph(const Sequence &a, const Sequence &b,
+              const ScoreMatrix &matrix)
+{
+    rl_assert(a.alphabet() == matrix.alphabet() &&
+              b.alphabet() == matrix.alphabet(),
+              "sequences and matrix use different alphabets");
+
+    EditGraph eg;
+    eg.rows = a.size();
+    eg.cols = b.size();
+    eg.dag.addNodes((eg.rows + 1) * (eg.cols + 1));
+    eg.source = eg.node(0, 0);
+    eg.sink = eg.node(eg.rows, eg.cols);
+
+    for (size_t i = 0; i <= eg.rows; ++i) {
+        for (size_t j = 0; j <= eg.cols; ++j) {
+            if (i < eg.rows) // vertical: delete a[i]
+                eg.dag.addEdge(eg.node(i, j), eg.node(i + 1, j),
+                               matrix.gap(a[i]));
+            if (j < eg.cols) // horizontal: insert b[j]
+                eg.dag.addEdge(eg.node(i, j), eg.node(i, j + 1),
+                               matrix.gap(b[j]));
+            if (i < eg.rows && j < eg.cols) {
+                Score w = matrix.pair(a[i], b[j]);
+                if (w != kScoreInfinity) // forbidden pair = missing edge
+                    eg.dag.addEdge(eg.node(i, j), eg.node(i + 1, j + 1),
+                                   w);
+            }
+        }
+    }
+    return eg;
+}
+
+} // namespace racelogic::bio

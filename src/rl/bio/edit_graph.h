@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Edit-graph construction (paper Fig. 1e).
+ *
+ * The edit graph of sequences a (rows) and b (columns) is the
+ * (|a|+1) x (|b|+1) grid DAG whose paths from the root (0,0) to the
+ * end node (|a|,|b|) enumerate *all* global alignments: vertical
+ * edges delete a symbol of `a`, horizontal edges insert a symbol of
+ * `b`, diagonal edges align a pair.  Edge weights come from a
+ * ScoreMatrix; forbidden pairs (infinite cost) become missing edges,
+ * exactly as the race hardware realizes them.
+ */
+
+#ifndef RACELOGIC_BIO_EDIT_GRAPH_H
+#define RACELOGIC_BIO_EDIT_GRAPH_H
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/graph/dag.h"
+
+namespace racelogic::bio {
+
+/** An edit graph plus its grid coordinate system. */
+struct EditGraph {
+    graph::Dag dag;
+    size_t rows = 0; ///< |a|
+    size_t cols = 0; ///< |b|
+    graph::NodeId source = graph::kNoNode; ///< node (0, 0)
+    graph::NodeId sink = graph::kNoNode;   ///< node (rows, cols)
+
+    /** Node id of grid coordinate (i, j), 0 <= i <= rows. */
+    graph::NodeId
+    node(size_t i, size_t j) const
+    {
+        return static_cast<graph::NodeId>(i * (cols + 1) + j);
+    }
+
+    /** Inverse of node(): grid coordinate of a node id. */
+    std::pair<size_t, size_t>
+    coordinate(graph::NodeId id) const
+    {
+        return {id / (cols + 1), id % (cols + 1)};
+    }
+};
+
+/**
+ * Build the edit graph of (a, b) weighted by `matrix`.
+ *
+ * Works for both matrix kinds; the caller chooses the matching
+ * objective (Cost -> shortest path, Similarity -> longest path).
+ */
+EditGraph makeEditGraph(const Sequence &a, const Sequence &b,
+                        const ScoreMatrix &matrix);
+
+} // namespace racelogic::bio
+
+#endif // RACELOGIC_BIO_EDIT_GRAPH_H

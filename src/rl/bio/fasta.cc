@@ -1,0 +1,84 @@
+#include "rl/bio/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "rl/util/logging.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::bio {
+
+std::vector<FastaRecord>
+readFasta(std::istream &in, const Alphabet &alphabet)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    bool in_record = false;
+    std::string description;
+    std::vector<Symbol> symbols;
+
+    auto flush = [&] {
+        if (in_record) {
+            records.push_back(FastaRecord{
+                description, Sequence(alphabet, symbols)});
+            symbols.clear();
+        }
+    };
+
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed[0] == ';')
+            continue;
+        if (trimmed[0] == '>') {
+            flush();
+            in_record = true;
+            description = util::trim(trimmed.substr(1));
+            continue;
+        }
+        if (!in_record)
+            rl_fatal("FASTA line ", line_no,
+                     ": sequence data before any '>' header");
+        for (char ch : trimmed) {
+            if (std::isspace(static_cast<unsigned char>(ch)))
+                continue;
+            char upper = static_cast<char>(
+                std::toupper(static_cast<unsigned char>(ch)));
+            if (!alphabet.contains(upper))
+                rl_fatal("FASTA line ", line_no, ": letter '", ch,
+                         "' not in alphabet ", alphabet.letters());
+            symbols.push_back(alphabet.encode(upper));
+        }
+    }
+    flush();
+    return records;
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path, const Alphabet &alphabet)
+{
+    std::ifstream in(path);
+    if (!in)
+        rl_fatal("cannot open FASTA file: ", path);
+    return readFasta(in, alphabet);
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+           size_t width)
+{
+    rl_assert(width >= 1, "line width must be >= 1");
+    for (const FastaRecord &record : records) {
+        out << '>' << record.description << '\n';
+        std::string text = record.sequence.str();
+        for (size_t pos = 0; pos < text.size(); pos += width)
+            out << text.substr(pos, width) << '\n';
+        if (text.empty())
+            out << '\n';
+    }
+}
+
+} // namespace racelogic::bio

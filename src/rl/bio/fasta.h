@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal FASTA input/output.
+ *
+ * Screening workloads in the wild arrive as FASTA files; this module
+ * reads and writes the subset of the format the examples need:
+ * '>' description lines followed by sequence lines, ';' comments
+ * ignored, whitespace tolerated, case folded to upper.
+ */
+
+#ifndef RACELOGIC_BIO_FASTA_H
+#define RACELOGIC_BIO_FASTA_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rl/bio/sequence.h"
+
+namespace racelogic::bio {
+
+/** One FASTA record. */
+struct FastaRecord {
+    std::string description; ///< text after '>'
+    Sequence sequence;
+};
+
+/**
+ * Parse FASTA records from a stream over the given alphabet.
+ *
+ * fatal() on letters outside the alphabet or on malformed input
+ * (sequence data before any '>' header).
+ */
+std::vector<FastaRecord> readFasta(std::istream &in,
+                                   const Alphabet &alphabet);
+
+/** Parse a FASTA file by path (fatal if unreadable). */
+std::vector<FastaRecord> readFastaFile(const std::string &path,
+                                       const Alphabet &alphabet);
+
+/** Write records, wrapping sequence lines at `width` letters. */
+void writeFasta(std::ostream &out,
+                const std::vector<FastaRecord> &records,
+                size_t width = 60);
+
+} // namespace racelogic::bio
+
+#endif // RACELOGIC_BIO_FASTA_H

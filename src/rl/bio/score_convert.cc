@@ -1,0 +1,95 @@
+#include "rl/bio/score_convert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::bio {
+
+Score
+ShortestPathForm::recoverScore(Score converted_cost, size_t n,
+                               size_t m) const
+{
+    Score numerator = bias * static_cast<Score>(n + m) - converted_cost;
+    rl_assert(numerator % lambda == 0,
+              "converted cost is not on the affine lattice; "
+              "was it produced by this conversion?");
+    return numerator / lambda;
+}
+
+Score
+ShortestPathForm::convertScore(Score original_score, size_t n,
+                               size_t m) const
+{
+    return bias * static_cast<Score>(n + m) - lambda * original_score;
+}
+
+ShortestPathForm
+toShortestPathForm(const ScoreMatrix &similarity, Score lambda)
+{
+    rl_assert(similarity.kind() == ScoreKind::Similarity,
+              "toShortestPathForm expects a similarity matrix");
+    rl_assert(lambda >= 1, "lambda must be a positive integer scale");
+
+    const Alphabet &alphabet = similarity.alphabet();
+
+    // Scaled scores: S' = lambda * S.
+    Score max_pair = INT64_MIN;
+    Score max_gap = INT64_MIN;
+    for (Symbol a = 0; a < alphabet.size(); ++a) {
+        max_gap = std::max(max_gap, lambda * similarity.gap(a));
+        for (Symbol b = 0; b < alphabet.size(); ++b)
+            max_pair = std::max(max_pair,
+                                lambda * similarity.pair(a, b));
+    }
+
+    // Smallest bias making every weight >= 1:
+    //   pair:  2b - S'(a,b) >= 1  =>  b >= (1 + max S') / 2
+    //   indel: b  - g'(s)   >= 1  =>  b >= 1 + max g'
+    Score bias = std::max<Score>(
+        {(max_pair + 2) / 2, // ceil((1 + max_pair) / 2)
+         1 + max_gap, 1});
+
+    ScoreMatrix costs(alphabet, ScoreKind::Cost);
+    for (Symbol a = 0; a < alphabet.size(); ++a) {
+        costs.setGap(a, bias - lambda * similarity.gap(a));
+        for (Symbol b = 0; b < alphabet.size(); ++b)
+            costs.setPair(a, b, 2 * bias - lambda * similarity.pair(a, b));
+    }
+
+    ShortestPathForm form(std::move(costs), bias, lambda);
+    rl_assert(form.costs.minFinite() >= 1,
+              "conversion failed to produce positive weights");
+    return form;
+}
+
+ScoreMatrix
+fromLogOdds(const Alphabet &alphabet, const util::Grid<double> &joint,
+            const std::vector<double> &background, double lambda,
+            Score gap_score)
+{
+    rl_assert(joint.rows() == alphabet.size() &&
+              joint.cols() == alphabet.size(),
+              "joint probability table must be Nss x Nss");
+    rl_assert(background.size() == alphabet.size(),
+              "need one background frequency per symbol");
+    rl_assert(lambda > 0, "lambda must be positive");
+
+    ScoreMatrix m(alphabet, ScoreKind::Similarity);
+    for (Symbol a = 0; a < alphabet.size(); ++a) {
+        rl_assert(background[a] > 0, "background frequency must be > 0");
+        for (Symbol b = 0; b < alphabet.size(); ++b) {
+            rl_assert(joint.at(a, b) > 0,
+                      "joint probability must be > 0");
+            double odds = joint.at(a, b) /
+                          (background[a] * background[b]);
+            double score = std::log(odds) / lambda;
+            m.setPair(a, b, static_cast<Score>(std::llround(score)));
+        }
+    }
+    m.setAllGaps(gap_score);
+    return m;
+}
+
+} // namespace racelogic::bio

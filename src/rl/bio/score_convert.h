@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Score-matrix conversions for the generalized Race Logic
+ * architecture (paper Section 5).
+ *
+ * OR-type Race Logic needs a *cost* matrix with all weights in
+ * {1..N_DR}: highest similarity must map to smallest delay, and zero
+ * or negative delays are unimplementable.  Modern matrices
+ * (BLOSUM62, PAM250) are similarity matrices with positive and
+ * negative entries, so the paper prescribes a two-step conversion:
+ *
+ *  1. invert the sign convention (longest path -> shortest path);
+ *  2. add a fixed bias b to indel weights and 2b to pair weights
+ *     ("the latter are one rank ahead in the edit graph": a diagonal
+ *     edge advances i+j by 2, an indel edge by 1).
+ *
+ * Because every full alignment path satisfies 2*diagonals + indels =
+ * N + M, the conversion is affine on path scores: converted_cost =
+ * b*(N+M) - lambda*original_score.  The optimal alignment is
+ * therefore preserved exactly and the original score is recoverable
+ * from the race latency -- both properties are unit-tested.
+ */
+
+#ifndef RACELOGIC_BIO_SCORE_CONVERT_H
+#define RACELOGIC_BIO_SCORE_CONVERT_H
+
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/util/grid.h"
+
+namespace racelogic::bio {
+
+/** A similarity matrix rewritten as race-ready costs. */
+struct ShortestPathForm {
+    /** Cost-kind matrix, every entry finite and >= 1. */
+    ScoreMatrix costs;
+
+    /** Bias b added once per edit-graph rank. */
+    Score bias = 0;
+
+    /** Scale factor applied to the original scores (Eq. 8's lambda). */
+    Score lambda = 1;
+
+    /**
+     * Recover the original optimal similarity score from the race
+     * outcome for a full global alignment of lengths n and m:
+     * original = (bias*(n+m) - converted_cost) / lambda.
+     */
+    Score recoverScore(Score converted_cost, size_t n, size_t m) const;
+
+    /** Forward map: converted cost a path with this original score has. */
+    Score convertScore(Score original_score, size_t n, size_t m) const;
+
+    ShortestPathForm(ScoreMatrix cost_matrix, Score bias_value,
+                     Score lambda_value)
+        : costs(std::move(cost_matrix)), bias(bias_value),
+          lambda(lambda_value)
+    {}
+};
+
+/**
+ * Convert a Similarity matrix into ShortestPathForm.
+ *
+ * @param similarity  Input matrix (ScoreKind::Similarity).
+ * @param lambda      Optional positive integer scale applied to all
+ *                    scores before negation (use > 1 to stretch the
+ *                    dynamic range; the paper's "changing the scaling
+ *                    factor").
+ *
+ * The bias is chosen minimally so every resulting weight is >= 1.
+ */
+ShortestPathForm toShortestPathForm(const ScoreMatrix &similarity,
+                                    Score lambda = 1);
+
+/**
+ * Build a similarity matrix from log-odds statistics (paper Eq. 8):
+ * S(a,b) = round((1/lambda) * ln(P_ab / (f_a * f_b))).
+ *
+ * @param alphabet   Symbol set.
+ * @param joint      Joint alignment probabilities P_ab (symmetric,
+ *                   positive, need not be normalized).
+ * @param background Background frequencies f_a (positive).
+ * @param lambda     Positive scale that makes scores integer-sized.
+ * @param gap_score  Similarity score assigned to indels.
+ */
+ScoreMatrix fromLogOdds(const Alphabet &alphabet,
+                        const util::Grid<double> &joint,
+                        const std::vector<double> &background,
+                        double lambda, Score gap_score);
+
+} // namespace racelogic::bio
+
+#endif // RACELOGIC_BIO_SCORE_CONVERT_H

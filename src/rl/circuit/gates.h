@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Primitive gate types of the circuit substrate.
+ *
+ * The set mirrors what the paper's standard-cell designs instantiate:
+ * basic combinational gates (the OR/AND cores of Race Logic and the
+ * XNOR match comparators of Eq. 2), multiplexers (weight selection in
+ * the generalized cell, Fig. 8), and D flip-flops with an optional
+ * enable (delay elements; the enable models gated clocks, Section
+ * 4.3).
+ */
+
+#ifndef RACELOGIC_CIRCUIT_GATES_H
+#define RACELOGIC_CIRCUIT_GATES_H
+
+#include <cstdint>
+
+namespace racelogic::circuit {
+
+/** Primitive cell types. */
+enum class GateType : uint8_t {
+    Const0, ///< constant 0 (tie-low)
+    Const1, ///< constant 1 (tie-high)
+    Input,  ///< primary input pin
+    Buf,    ///< buffer
+    Not,    ///< inverter
+    And,    ///< N-input AND
+    Or,     ///< N-input OR
+    Nand,   ///< N-input NAND
+    Nor,    ///< N-input NOR
+    Xor,    ///< 2-input XOR
+    Xnor,   ///< 2-input XNOR (the match comparator of Eq. 2)
+    Mux,    ///< inputs {sel, in0, in1}: sel ? in1 : in0
+    Dff,    ///< inputs {d} or {d, enable}; output is registered
+};
+
+/** Number of distinct GateType values (for dense per-type tables). */
+constexpr size_t kGateTypeCount = static_cast<size_t>(GateType::Dff) + 1;
+
+/** Short mnemonic for reports. */
+constexpr const char *
+gateTypeName(GateType type)
+{
+    switch (type) {
+      case GateType::Const0: return "const0";
+      case GateType::Const1: return "const1";
+      case GateType::Input:  return "input";
+      case GateType::Buf:    return "buf";
+      case GateType::Not:    return "not";
+      case GateType::And:    return "and";
+      case GateType::Or:     return "or";
+      case GateType::Nand:   return "nand";
+      case GateType::Nor:    return "nor";
+      case GateType::Xor:    return "xor";
+      case GateType::Xnor:   return "xnor";
+      case GateType::Mux:    return "mux";
+      case GateType::Dff:    return "dff";
+    }
+    return "?";
+}
+
+/** True for the sequential element. */
+constexpr bool
+isSequential(GateType type)
+{
+    return type == GateType::Dff;
+}
+
+/** True for gates with no inputs. */
+constexpr bool
+isSourceGate(GateType type)
+{
+    return type == GateType::Const0 || type == GateType::Const1 ||
+           type == GateType::Input;
+}
+
+} // namespace racelogic::circuit
+
+#endif // RACELOGIC_CIRCUIT_GATES_H

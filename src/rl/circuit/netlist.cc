@@ -1,0 +1,276 @@
+#include "rl/circuit/netlist.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::circuit {
+
+NetId
+Netlist::add(GateType type, std::vector<NetId> inputs, bool init)
+{
+    for (NetId in : inputs)
+        if (in != kNoNet)
+            checkNet(in);
+    NetId id = static_cast<NetId>(gates_.size());
+    gates_.push_back(Gate{type, std::move(inputs), init});
+    orderValid = false;
+    return id;
+}
+
+NetId
+Netlist::constant(bool value)
+{
+    return add(value ? GateType::Const1 : GateType::Const0, {});
+}
+
+NetId
+Netlist::input(const std::string &name)
+{
+    NetId id = add(GateType::Input, {});
+    inputIds.push_back(id);
+    inputNames.push_back(name);
+    return id;
+}
+
+NetId
+Netlist::bufGate(NetId a)
+{
+    return add(GateType::Buf, {a});
+}
+
+NetId
+Netlist::notGate(NetId a)
+{
+    return add(GateType::Not, {a});
+}
+
+NetId
+Netlist::andGate(std::vector<NetId> inputs)
+{
+    rl_assert(inputs.size() >= 2, "AND needs >= 2 inputs");
+    return add(GateType::And, std::move(inputs));
+}
+
+NetId
+Netlist::orGate(std::vector<NetId> inputs)
+{
+    rl_assert(inputs.size() >= 2, "OR needs >= 2 inputs");
+    return add(GateType::Or, std::move(inputs));
+}
+
+NetId
+Netlist::nandGate(std::vector<NetId> inputs)
+{
+    rl_assert(inputs.size() >= 2, "NAND needs >= 2 inputs");
+    return add(GateType::Nand, std::move(inputs));
+}
+
+NetId
+Netlist::norGate(std::vector<NetId> inputs)
+{
+    rl_assert(inputs.size() >= 2, "NOR needs >= 2 inputs");
+    return add(GateType::Nor, std::move(inputs));
+}
+
+NetId
+Netlist::xorGate(NetId a, NetId b)
+{
+    return add(GateType::Xor, {a, b});
+}
+
+NetId
+Netlist::xnorGate(NetId a, NetId b)
+{
+    return add(GateType::Xnor, {a, b});
+}
+
+NetId
+Netlist::mux(NetId sel, NetId in0, NetId in1)
+{
+    return add(GateType::Mux, {sel, in0, in1});
+}
+
+NetId
+Netlist::dff(NetId d, bool init, NetId enable)
+{
+    std::vector<NetId> ins{d};
+    if (enable != kNoNet)
+        ins.push_back(enable);
+    return add(GateType::Dff, std::move(ins), init);
+}
+
+NetId
+Netlist::dffDeferred(bool init, NetId enable)
+{
+    NetId id = static_cast<NetId>(gates_.size());
+    std::vector<NetId> ins{kNoNet};
+    if (enable != kNoNet) {
+        checkNet(enable);
+        ins.push_back(enable);
+    }
+    gates_.push_back(Gate{GateType::Dff, std::move(ins), init});
+    orderValid = false;
+    return id;
+}
+
+void
+Netlist::bindDff(NetId dff_id, NetId d)
+{
+    checkNet(dff_id);
+    checkNet(d);
+    Gate &g = gates_[dff_id];
+    rl_assert(g.type == GateType::Dff, "bindDff on non-DFF net ", dff_id);
+    rl_assert(g.inputs[0] == kNoNet, "DFF ", dff_id, " already bound");
+    g.inputs[0] = d;
+}
+
+void
+Netlist::bindDffEnable(NetId dff_id, NetId enable)
+{
+    checkNet(dff_id);
+    checkNet(enable);
+    Gate &g = gates_[dff_id];
+    rl_assert(g.type == GateType::Dff,
+              "bindDffEnable on non-DFF net ", dff_id);
+    rl_assert(g.inputs.size() == 1,
+              "DFF ", dff_id, " already has an enable");
+    g.inputs.push_back(enable);
+    orderValid = false;
+}
+
+const Gate &
+Netlist::gate(NetId id) const
+{
+    checkNet(id);
+    return gates_[id];
+}
+
+const std::string &
+Netlist::inputName(NetId id) const
+{
+    for (size_t i = 0; i < inputIds.size(); ++i)
+        if (inputIds[i] == id)
+            return inputNames[i];
+    rl_fatal("net ", id, " is not a primary input");
+}
+
+NetId
+Netlist::findInput(const std::string &name) const
+{
+    for (size_t i = 0; i < inputIds.size(); ++i)
+        if (inputNames[i] == name)
+            return inputIds[i];
+    rl_fatal("no primary input named '", name, "'");
+}
+
+std::array<size_t, kGateTypeCount>
+Netlist::typeCounts() const
+{
+    std::array<size_t, kGateTypeCount> counts{};
+    for (const Gate &g : gates_)
+        ++counts[static_cast<size_t>(g.type)];
+    return counts;
+}
+
+size_t
+Netlist::dffCount() const
+{
+    return typeCounts()[static_cast<size_t>(GateType::Dff)];
+}
+
+const std::vector<NetId> &
+Netlist::combOrder() const
+{
+    if (orderValid)
+        return cachedOrder;
+
+    // Kahn's algorithm over combinational dependencies only: DFF
+    // outputs behave as sources (their value is last cycle's state).
+    const size_t n = gates_.size();
+    std::vector<uint32_t> remaining(n, 0);
+    std::vector<std::vector<NetId>> consumers(n);
+    for (NetId id = 0; id < n; ++id) {
+        const Gate &g = gates_[id];
+        if (isSequential(g.type) || isSourceGate(g.type))
+            continue;
+        for (NetId in : g.inputs) {
+            consumers[in].push_back(id);
+            ++remaining[id];
+        }
+    }
+
+    std::vector<NetId> order;
+    order.reserve(n);
+    std::vector<NetId> ready;
+    for (NetId id = 0; id < n; ++id)
+        if (remaining[id] == 0)
+            ready.push_back(id);
+    // `ready` starts sorted; processing back-to-front is deterministic.
+    size_t head = 0;
+    std::vector<NetId> queue = std::move(ready);
+    while (head < queue.size()) {
+        NetId id = queue[head++];
+        order.push_back(id);
+        for (NetId next : consumers[id])
+            if (--remaining[next] == 0)
+                queue.push_back(next);
+    }
+    if (order.size() != n)
+        rl_fatal("netlist contains a combinational cycle (",
+                 n - order.size(), " gates unresolved)");
+    cachedOrder = std::move(order);
+    orderValid = true;
+    return cachedOrder;
+}
+
+void
+Netlist::validate() const
+{
+    for (NetId id = 0; id < gates_.size(); ++id) {
+        const Gate &g = gates_[id];
+        size_t arity = g.inputs.size();
+        switch (g.type) {
+          case GateType::Const0:
+          case GateType::Const1:
+          case GateType::Input:
+            rl_assert(arity == 0, "source gate ", id, " has inputs");
+            break;
+          case GateType::Buf:
+          case GateType::Not:
+            rl_assert(arity == 1, "gate ", id, " needs 1 input");
+            break;
+          case GateType::Xor:
+          case GateType::Xnor:
+            rl_assert(arity == 2, "gate ", id, " needs 2 inputs");
+            break;
+          case GateType::Mux:
+            rl_assert(arity == 3, "mux ", id, " needs 3 inputs");
+            break;
+          case GateType::And:
+          case GateType::Or:
+          case GateType::Nand:
+          case GateType::Nor:
+            rl_assert(arity >= 2, "gate ", id, " needs >= 2 inputs");
+            break;
+          case GateType::Dff:
+            rl_assert(arity == 1 || arity == 2,
+                      "dff ", id, " needs d [, enable]");
+            rl_assert(g.inputs[0] != kNoNet,
+                      "dff ", id, " has an unbound D input");
+            break;
+        }
+        for (NetId in : g.inputs)
+            checkNet(in);
+    }
+    combOrder(); // fatal on combinational cycles
+}
+
+void
+Netlist::checkNet(NetId id) const
+{
+    rl_assert(id < gates_.size(), "net ", id, " out of range (",
+              gates_.size(), " gates)");
+}
+
+} // namespace racelogic::circuit

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Gate-level netlist.
+ *
+ * Every gate drives exactly one net, so gate ids double as net ids.
+ * The netlist is the common representation consumed by the
+ * synchronous simulator (rl/circuit/sim_sync.h) and by the
+ * technology models (rl/tech), which derive area and capacitance
+ * from the per-type gate inventory -- the same role synthesis
+ * reports played in the paper's methodology.
+ */
+
+#ifndef RACELOGIC_CIRCUIT_NETLIST_H
+#define RACELOGIC_CIRCUIT_NETLIST_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rl/circuit/gates.h"
+
+namespace racelogic::circuit {
+
+/** Id of a gate and of the net it drives. */
+using NetId = uint32_t;
+
+/** Sentinel for "no net". */
+constexpr NetId kNoNet = ~NetId(0);
+
+/** One gate instance. */
+struct Gate {
+    GateType type;
+    /** Driver nets, ordered; semantics depend on type (see gates.h). */
+    std::vector<NetId> inputs;
+    /** Initial/reset output value (meaningful for Dff; 0 otherwise). */
+    bool init = false;
+};
+
+/**
+ * A flat, single-clock-domain netlist.
+ *
+ * Build with the typed helpers; validate() checks structural
+ * well-formedness (arities, no combinational cycles).
+ */
+class Netlist
+{
+  public:
+    Netlist() = default;
+
+    /** @name Construction helpers
+     * @{ */
+    NetId constant(bool value);
+    NetId input(const std::string &name);
+    NetId bufGate(NetId a);
+    NetId notGate(NetId a);
+    NetId andGate(std::vector<NetId> inputs);
+    NetId orGate(std::vector<NetId> inputs);
+    NetId nandGate(std::vector<NetId> inputs);
+    NetId norGate(std::vector<NetId> inputs);
+    NetId xorGate(NetId a, NetId b);
+    NetId xnorGate(NetId a, NetId b);
+    /** sel ? in1 : in0. */
+    NetId mux(NetId sel, NetId in0, NetId in1);
+    /** D flip-flop; optional active-high clock-enable net. */
+    NetId dff(NetId d, bool init = false, NetId enable = kNoNet);
+
+    /**
+     * D flip-flop whose D input is bound later with bindDff().
+     *
+     * Sequential feedback (counters, set-on-arrival latches) needs
+     * the register to exist before the logic cone that feeds it;
+     * deferred binding closes the loop without allowing
+     * combinational cycles (the D pin is read only at clock edges).
+     */
+    NetId dffDeferred(bool init = false, NetId enable = kNoNet);
+
+    /** Bind the D input of a dffDeferred() register. */
+    void bindDff(NetId dff_id, NetId d);
+
+    /**
+     * Attach a clock-enable to an existing enable-less DFF.
+     *
+     * Like the D pin, the enable is sampled only at clock edges, so
+     * late binding cannot create combinational cycles; it exists so
+     * clock-gating networks (whose enables depend on downstream
+     * logic) can be wired after the datapath is built.
+     */
+    void bindDffEnable(NetId dff_id, NetId enable);
+    /** @} */
+
+    size_t gateCount() const { return gates_.size(); }
+    const Gate &gate(NetId id) const;
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Primary inputs in creation order. */
+    const std::vector<NetId> &inputs() const { return inputIds; }
+
+    /** Name of a primary input. */
+    const std::string &inputName(NetId id) const;
+
+    /** Look up a primary input by name (fatal if absent). */
+    NetId findInput(const std::string &name) const;
+
+    /** Number of gates of each type (area/energy model input). */
+    std::array<size_t, kGateTypeCount> typeCounts() const;
+
+    /** Count of sequential elements. */
+    size_t dffCount() const;
+
+    /**
+     * Topological order of combinational evaluation: source gates and
+     * DFF outputs are level 0.  fatal() on a combinational cycle.
+     * Cached; invalidated by structural edits.
+     */
+    const std::vector<NetId> &combOrder() const;
+
+    /** Check arities and acyclicity; fatal() on violations. */
+    void validate() const;
+
+  private:
+    NetId add(GateType type, std::vector<NetId> inputs, bool init = false);
+    void checkNet(NetId id) const;
+
+    std::vector<Gate> gates_;
+    std::vector<NetId> inputIds;
+    std::vector<std::string> inputNames;
+    mutable std::vector<NetId> cachedOrder;
+    mutable bool orderValid = false;
+};
+
+} // namespace racelogic::circuit
+
+#endif // RACELOGIC_CIRCUIT_NETLIST_H

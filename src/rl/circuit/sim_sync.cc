@@ -1,0 +1,213 @@
+#include "rl/circuit/sim_sync.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::circuit {
+
+SyncSim::SyncSim(const Netlist &netlist_in) : netlist(netlist_in)
+{
+    netlist.validate();
+    const size_t n = netlist.gateCount();
+    values.assign(n, 0);
+    state.assign(n, 0);
+    stats.perNet.assign(n, 0);
+    for (NetId id = 0; id < n; ++id) {
+        const Gate &g = netlist.gate(id);
+        if (g.type == GateType::Dff) {
+            dffs.push_back(id);
+            state[id] = g.init;
+        } else if (g.type == GateType::Const1) {
+            values[id] = 1;
+        }
+    }
+    // The initial settle establishes baseline values; transitions are
+    // counted from here on.
+    counting = false;
+    settle();
+    counting = true;
+}
+
+void
+SyncSim::setInput(NetId input, bool value_in)
+{
+    rl_assert(netlist.gate(input).type == GateType::Input,
+              "net ", input, " is not a primary input");
+    if (values[input] != static_cast<uint8_t>(value_in)) {
+        if (counting) {
+            // Input pin transitions count as net activity.
+            ++stats.netToggles;
+            ++stats.togglesByType[static_cast<size_t>(GateType::Input)];
+            ++stats.perNet[input];
+        }
+        values[input] = value_in;
+        dirty = true;
+    }
+}
+
+void
+SyncSim::setInput(const std::string &name, bool value_in)
+{
+    setInput(netlist.findInput(name), value_in);
+}
+
+bool
+SyncSim::value(NetId net)
+{
+    rl_assert(net < values.size(), "net out of range");
+    if (dirty)
+        settle();
+    return values[net];
+}
+
+void
+SyncSim::settle()
+{
+    for (NetId id : netlist.combOrder()) {
+        const Gate &g = netlist.gate(id);
+        uint8_t out;
+        switch (g.type) {
+          case GateType::Const0:
+            out = 0;
+            break;
+          case GateType::Const1:
+            out = 1;
+            break;
+          case GateType::Input:
+            out = values[id]; // driven externally
+            break;
+          case GateType::Dff:
+            out = state[id]; // not in combOrder, defensive
+            break;
+          case GateType::Buf:
+            out = values[g.inputs[0]];
+            break;
+          case GateType::Not:
+            out = !values[g.inputs[0]];
+            break;
+          case GateType::And: {
+            out = 1;
+            for (NetId in : g.inputs)
+                out &= values[in];
+            break;
+          }
+          case GateType::Or: {
+            out = 0;
+            for (NetId in : g.inputs)
+                out |= values[in];
+            break;
+          }
+          case GateType::Nand: {
+            uint8_t acc = 1;
+            for (NetId in : g.inputs)
+                acc &= values[in];
+            out = !acc;
+            break;
+          }
+          case GateType::Nor: {
+            uint8_t acc = 0;
+            for (NetId in : g.inputs)
+                acc |= values[in];
+            out = !acc;
+            break;
+          }
+          case GateType::Xor:
+            out = values[g.inputs[0]] ^ values[g.inputs[1]];
+            break;
+          case GateType::Xnor:
+            out = !(values[g.inputs[0]] ^ values[g.inputs[1]]);
+            break;
+          case GateType::Mux:
+            out = values[g.inputs[0]] ? values[g.inputs[2]]
+                                      : values[g.inputs[1]];
+            break;
+          default:
+            rl_panic("unhandled gate type");
+        }
+        if (values[id] != out) {
+            if (counting) {
+                ++stats.netToggles;
+                ++stats.togglesByType[static_cast<size_t>(g.type)];
+                ++stats.perNet[id];
+            }
+            values[id] = out;
+        }
+    }
+    // DFF outputs: reflect registered state into the value view.
+    for (NetId id : dffs) {
+        if (values[id] != state[id]) {
+            if (counting) {
+                ++stats.netToggles;
+                ++stats.togglesByType[static_cast<size_t>(GateType::Dff)];
+                ++stats.perNet[id];
+            }
+            values[id] = state[id];
+        }
+    }
+    dirty = false;
+}
+
+void
+SyncSim::tick()
+{
+    if (dirty)
+        settle();
+    // Clock edge: capture D inputs.
+    for (NetId id : dffs) {
+        const Gate &g = netlist.gate(id);
+        bool enabled = g.inputs.size() < 2 || values[g.inputs[1]];
+        if (enabled) {
+            ++stats.clockedDffCycles;
+            state[id] = values[g.inputs[0]];
+        }
+    }
+    ++currentCycle;
+    ++stats.cycles;
+    dirty = true;
+    settle();
+}
+
+void
+SyncSim::tickMany(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+std::optional<uint64_t>
+SyncSim::runUntil(NetId net, bool expected, uint64_t max_cycles)
+{
+    if (value(net) == expected)
+        return currentCycle;
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        tick();
+        if (value(net) == expected)
+            return currentCycle;
+    }
+    return std::nullopt;
+}
+
+void
+SyncSim::reset()
+{
+    for (NetId id : dffs)
+        state[id] = netlist.gate(id).init;
+    for (NetId in : netlist.inputs())
+        values[in] = 0;
+    // Do not count reset transitions as switching activity: the paper
+    // charges energy per comparison, with reset amortized outside the
+    // measured loop.  Rebuild values silently.
+    counting = false;
+    dirty = true;
+    settle();
+    counting = true;
+    currentCycle = 0;
+}
+
+void
+SyncSim::clearActivity()
+{
+    stats = Activity{};
+    stats.perNet.assign(values.size(), 0);
+}
+
+} // namespace racelogic::circuit

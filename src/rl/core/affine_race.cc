@@ -1,0 +1,28 @@
+#include "rl/core/affine_race.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::core {
+
+AffineRaceResult
+raceAffine(const bio::Sequence &a, const bio::Sequence &b,
+           const bio::ScoreMatrix &costs, const bio::AffineGapCosts &gaps)
+{
+    bio::AffineEditGraph lattice =
+        bio::makeAffineEditGraph(a, b, costs, gaps);
+    RaceOutcome outcome =
+        raceDag(lattice.dag, {lattice.source}, RaceType::Or);
+    TemporalValue sink = outcome.at(lattice.sink);
+    rl_assert(sink.fired(),
+              "affine race never finished; finite gaps should always "
+              "connect the corners");
+
+    AffineRaceResult result;
+    result.score = static_cast<bio::Score>(sink.time());
+    result.latencyCycles = sink.time();
+    result.events = outcome.events;
+    result.nodes = lattice.dag.nodeCount();
+    return result;
+}
+
+} // namespace racelogic::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Asynchronous (analog-delay) Race Logic (paper Fig. 3d and the
+ * Section 6 discussion).
+ *
+ * "The most optimal implementation of Race Logic is asynchronous and
+ * in the analog domain" -- edges become physical delays (e.g.
+ * memristive RC, Fig. 3d) instead of DFF chains, removing the clock
+ * network entirely (the clockless energy curves of Figs. 5/9).  The
+ * cost is precision: fabricated delays vary from device to device,
+ * and a race decided by analog delays can pick a path whose *true*
+ * weight is not minimal.
+ *
+ * This module simulates the analog variant: per-edge delays are
+ * weight * unit_delay * (1 + variation), with lognormal-ish
+ * multiplicative variation drawn per edge, and the race is evaluated
+ * in continuous time.  analyzeVariationRobustness() Monte-Carlos the
+ * decision quality -- how often the analog winner is a true shortest
+ * path and how far off the readout is -- quantifying the
+ * precision/energy trade the paper alludes to.
+ */
+
+#ifndef RACELOGIC_CORE_ASYNC_RACE_H
+#define RACELOGIC_CORE_ASYNC_RACE_H
+
+#include <vector>
+
+#include "rl/core/race_network.h"
+#include "rl/graph/dag.h"
+#include "rl/util/random.h"
+
+namespace racelogic::core {
+
+/** Analog edge-delay model. */
+struct AnalogDelayModel {
+    /** Nominal delay per unit of edge weight (ns). */
+    double unitDelayNs = 1.0;
+
+    /**
+     * Relative device variation: each edge's delay is multiplied by
+     * exp(sigma * gaussian) (median-preserving, always positive).
+     */
+    double sigma = 0.0;
+};
+
+/** One analog race's outcome. */
+struct AsyncOutcome {
+    /** Continuous arrival time per node (infinity = never). */
+    std::vector<double> arrivalNs;
+
+    /** Edge delays actually instantiated (per dag edge index). */
+    std::vector<double> edgeDelaysNs;
+
+    bool
+    fired(graph::NodeId node) const
+    {
+        return arrivalNs[node] < kNeverNs;
+    }
+
+    static constexpr double kNeverNs = 1e300;
+};
+
+/**
+ * Race `dag` with analog delays.
+ *
+ * @param dag     Weighted DAG (weights >= 0).
+ * @param sources Nodes injected at t = 0.
+ * @param type    Or (min) or And (max) node behaviour.
+ * @param model   Delay model; sigma = 0 gives the ideal analog race
+ *                whose arrival times equal weight * unitDelayNs.
+ * @param rng     Variation source (one draw per edge).
+ */
+AsyncOutcome raceDagAnalog(const graph::Dag &dag,
+                           const std::vector<graph::NodeId> &sources,
+                           RaceType type, const AnalogDelayModel &model,
+                           util::Rng &rng);
+
+/** Monte-Carlo decision quality of the analog OR race. */
+struct RobustnessReport {
+    size_t trials = 0;
+
+    /** Trials whose analog winner path is a true shortest path. */
+    size_t decisionCorrect = 0;
+
+    /** Trials whose rounded readout equals the true score. */
+    size_t readoutExact = 0;
+
+    /** Mean |analog arrival - ideal arrival| / ideal at the sink. */
+    double meanRelativeError = 0.0;
+
+    /** Largest relative error observed. */
+    double maxRelativeError = 0.0;
+
+    double
+    decisionRate() const
+    {
+        return trials ? double(decisionCorrect) / double(trials) : 1.0;
+    }
+
+    double
+    readoutRate() const
+    {
+        return trials ? double(readoutExact) / double(trials) : 1.0;
+    }
+};
+
+/**
+ * Repeatedly instantiate analog delays and race, comparing against
+ * the exact digital result.
+ *
+ * The "analog winner" is recovered by tight-edge traceback on the
+ * continuous arrival times; its true (integer) weight is compared to
+ * the DP optimum.  The readout is the sink arrival divided by
+ * unitDelayNs, rounded -- what a time-to-digital converter at the
+ * output would report.
+ */
+RobustnessReport analyzeVariationRobustness(
+    const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
+    graph::NodeId sink, const AnalogDelayModel &model, size_t trials,
+    util::Rng &rng);
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_ASYNC_RACE_H

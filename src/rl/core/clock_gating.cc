@@ -1,0 +1,80 @@
+#include "rl/core/clock_gating.h"
+
+#include <algorithm>
+
+#include "rl/util/bitops.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::core {
+
+GatingAnalysis
+analyzeClockGating(const RaceGridResult &result, size_t region_side,
+                   size_t dffs_per_cell)
+{
+    rl_assert(region_side >= 1, "region side must be >= 1");
+    // Unit cells are the interior nodes (i >= 1, j >= 1) of the
+    // arrival grid; boundary chains belong to the frame and are
+    // clocked with their adjacent edge region in hardware.  We gate
+    // the cell grid.
+    rl_assert(result.arrival.rows() >= 2 && result.arrival.cols() >= 2,
+              "need at least one unit cell");
+    const size_t cell_rows = result.arrival.rows() - 1;
+    const size_t cell_cols = result.arrival.cols() - 1;
+    const size_t regions_r = util::ceilDiv(cell_rows, region_side);
+    const size_t regions_c = util::ceilDiv(cell_cols, region_side);
+
+    GatingAnalysis analysis;
+    analysis.regionSide = region_side;
+    analysis.regions = regions_r * regions_c;
+    analysis.totalCycles = result.latencyCycles;
+    analysis.windows = util::Grid<RegionWindow>(regions_r, regions_c);
+
+    const uint64_t total_dffs =
+        static_cast<uint64_t>(cell_rows) * cell_cols * dffs_per_cell;
+    analysis.ungatedDffCycles = total_dffs * analysis.totalCycles;
+    analysis.gateOverheadCycles =
+        static_cast<uint64_t>(analysis.regions) * analysis.totalCycles;
+
+    for (size_t i = 1; i <= cell_rows; ++i) {
+        for (size_t j = 1; j <= cell_cols; ++j) {
+            sim::Tick fired = result.arrival.at(i, j);
+            // A cell's delay elements start capturing when any of
+            // its inputs fire; the earliest possible input is the
+            // cell's own firing time minus the largest incoming
+            // weight, but the window below is what the H-tree leaf
+            // can actually observe: the wake signal is the arrival
+            // of a 1 at the region's black (leading) cells, and the
+            // sleep signal is all grey (trailing) cells latched.
+            if (fired == sim::kTickInfinity)
+                continue;
+            RegionWindow &w = analysis.windows.at((i - 1) / region_side,
+                                                  (j - 1) / region_side);
+            sim::Tick wake = fired == 0 ? 0 : fired - 1;
+            w.start = std::min(w.start, wake);
+            w.end = std::max(w.end, fired + 1);
+        }
+    }
+
+    for (size_t r = 0; r < regions_r; ++r) {
+        for (size_t c = 0; c < regions_c; ++c) {
+            const RegionWindow &w = analysis.windows.at(r, c);
+            if (w.start == sim::kTickInfinity)
+                continue;
+            // Cells in this region (edge regions may be partial).
+            size_t rows_here =
+                std::min(region_side, cell_rows - r * region_side);
+            size_t cols_here =
+                std::min(region_side, cell_cols - c * region_side);
+            uint64_t dffs = static_cast<uint64_t>(rows_here) *
+                            cols_here * dffs_per_cell;
+            // Clamp the window to the race duration.
+            sim::Tick end = std::min<sim::Tick>(w.end,
+                                                analysis.totalCycles);
+            sim::Tick active = end >= w.start ? end - w.start + 1 : 0;
+            analysis.gatedDffCycles += dffs * active;
+        }
+    }
+    return analysis;
+}
+
+} // namespace racelogic::core

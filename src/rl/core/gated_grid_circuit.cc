@@ -1,0 +1,134 @@
+#include "rl/core/gated_grid_circuit.h"
+
+#include <algorithm>
+#include <array>
+
+#include "rl/util/bitops.h"
+#include "rl/util/logging.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::core {
+
+GatedRaceGridCircuit::GatedRaceGridCircuit(const bio::Alphabet &alpha,
+                                           size_t rows, size_t cols,
+                                           size_t region_side)
+    : numRows(rows), numCols(cols), regionSideLen(region_side),
+      regionRows(util::ceilDiv(rows, region_side)),
+      regionCols(util::ceilDiv(cols, region_side)), alphabet(alpha),
+      nodeNets(rows + 1, cols + 1, circuit::kNoNet)
+{
+    rl_assert(rows >= 1 && cols >= 1, "grid needs at least one cell");
+    rl_assert(region_side >= 1, "region side must be >= 1");
+    const unsigned bits = std::max(1u, alphabet.bitsPerSymbol());
+
+    go = net.input("go");
+    for (size_t i = 0; i < rows; ++i)
+        rowSymbols.push_back(circuit::buildInputBus(
+            net, util::format("a%zu_", i), bits));
+    for (size_t j = 0; j < cols; ++j)
+        colSymbols.push_back(circuit::buildInputBus(
+            net, util::format("b%zu_", j), bits));
+
+    // Boundary frame: left un-gated (it is O(N) of the O(N^2)
+    // fabric; the paper gates the cell array).
+    nodeNets.at(0, 0) = go;
+    for (size_t j = 1; j <= cols; ++j)
+        nodeNets.at(0, j) = net.dff(nodeNets.at(0, j - 1));
+    for (size_t i = 1; i <= rows; ++i)
+        nodeNets.at(i, 0) = net.dff(nodeNets.at(i - 1, 0));
+
+    // Pass 1: the datapath, with per-cell DFFs created enable-less.
+    util::Grid<std::array<circuit::NetId, 3>> cell_dffs(
+        rows + 1, cols + 1,
+        {circuit::kNoNet, circuit::kNoNet, circuit::kNoNet});
+    for (size_t i = 1; i <= rows; ++i) {
+        for (size_t j = 1; j <= cols; ++j) {
+            circuit::NetId match = circuit::buildMatchComparator(
+                net, rowSymbols[i - 1], colSymbols[j - 1]);
+            circuit::NetId top = net.dff(nodeNets.at(i - 1, j));
+            circuit::NetId left = net.dff(nodeNets.at(i, j - 1));
+            circuit::NetId diag_delayed =
+                net.dff(nodeNets.at(i - 1, j - 1));
+            circuit::NetId diag = net.andGate({match, diag_delayed});
+            nodeNets.at(i, j) = net.orGate({top, left, diag});
+            cell_dffs.at(i, j) = {top, left, diag_delayed};
+        }
+    }
+
+    // Pass 2: one gating leaf per m x m region (Fig. 7b): the region
+    // wakes when a 1 reaches any net entering it and sleeps once all
+    // of its cell outputs have latched.
+    size_t gates_before = net.gateCount();
+    for (size_t rr = 0; rr < regionRows; ++rr) {
+        for (size_t rc = 0; rc < regionCols; ++rc) {
+            size_t r0 = rr * region_side + 1;
+            size_t c0 = rc * region_side + 1;
+            size_t r1 = std::min(rows, r0 + region_side - 1);
+            size_t c1 = std::min(cols, c0 + region_side - 1);
+
+            // Halo: nodes feeding the region's top/left cells.
+            std::vector<circuit::NetId> entering;
+            for (size_t j = c0 - 1; j <= c1; ++j)
+                entering.push_back(nodeNets.at(r0 - 1, j));
+            for (size_t i = r0; i <= r1; ++i)
+                entering.push_back(nodeNets.at(i, c0 - 1));
+            circuit::NetId wake =
+                entering.size() == 1 ? entering[0]
+                                     : net.orGate(std::move(entering));
+
+            std::vector<circuit::NetId> outputs;
+            for (size_t i = r0; i <= r1; ++i)
+                for (size_t j = c0; j <= c1; ++j)
+                    outputs.push_back(nodeNets.at(i, j));
+            circuit::NetId all_done =
+                outputs.size() == 1 ? outputs[0]
+                                    : net.andGate(std::move(outputs));
+
+            circuit::NetId enable =
+                net.andGate({wake, net.notGate(all_done)});
+            for (size_t i = r0; i <= r1; ++i)
+                for (size_t j = c0; j <= c1; ++j)
+                    for (circuit::NetId dff : cell_dffs.at(i, j))
+                        net.bindDffEnable(dff, enable);
+        }
+    }
+    gatingGates = net.gateCount() - gates_before;
+
+    net.validate();
+    simulator = std::make_unique<circuit::SyncSim>(net);
+}
+
+CircuitRunResult
+GatedRaceGridCircuit::align(const bio::Sequence &a,
+                            const bio::Sequence &b, uint64_t max_cycles)
+{
+    rl_assert(a.alphabet() == alphabet && b.alphabet() == alphabet,
+              "sequence alphabet does not match the fabric");
+    rl_assert(a.size() == numRows && b.size() == numCols,
+              "this fabric aligns exactly ", numRows, " x ", numCols,
+              " symbols (got ", a.size(), " x ", b.size(), ")");
+    if (max_cycles == 0)
+        max_cycles = numRows + numCols + 2;
+
+    simulator->reset();
+    const unsigned bits = std::max(1u, alphabet.bitsPerSymbol());
+    for (size_t i = 0; i < numRows; ++i)
+        for (unsigned bit = 0; bit < bits; ++bit)
+            simulator->setInput(rowSymbols[i][bit], (a[i] >> bit) & 1);
+    for (size_t j = 0; j < numCols; ++j)
+        for (unsigned bit = 0; bit < bits; ++bit)
+            simulator->setInput(colSymbols[j][bit], (b[j] >> bit) & 1);
+    simulator->setInput(go, true);
+
+    CircuitRunResult result;
+    auto fired = simulator->runUntil(nodeNets.at(numRows, numCols),
+                                     true, max_cycles);
+    result.cyclesRun = simulator->cycle();
+    if (fired) {
+        result.completed = true;
+        result.score = static_cast<bio::Score>(*fired);
+    }
+    return result;
+}
+
+} // namespace racelogic::core

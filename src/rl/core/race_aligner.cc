@@ -1,0 +1,59 @@
+#include "rl/core/race_aligner.h"
+
+#include "rl/core/generalized.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::core {
+
+namespace {
+
+bio::ScoreMatrix
+raceReady(const bio::ScoreMatrix &matrix,
+          std::optional<bio::ShortestPathForm> &converted)
+{
+    if (matrix.isCost())
+        return matrix;
+    converted = bio::toShortestPathForm(matrix);
+    return converted->costs;
+}
+
+} // namespace
+
+RaceAligner::RaceAligner(const bio::ScoreMatrix &matrix, Backend backend)
+    : converted(), racer(raceReady(matrix, converted)), mode(backend)
+{}
+
+AlignOutcome
+RaceAligner::align(const bio::Sequence &a, const bio::Sequence &b) const
+{
+    AlignOutcome outcome;
+    outcome.detail = racer.align(a, b);
+    outcome.racedCost = outcome.detail.score;
+    outcome.latencyCycles = outcome.detail.latencyCycles;
+
+    if (mode == Backend::GateLevel) {
+        // Build the synthesizable fabric for this size and cross-check
+        // the behavioral result against real gates.
+        GeneralizedGridCircuit fabric(racer.matrix(), a.size(), b.size());
+        CircuitRunResult run = fabric.align(a, b);
+        rl_assert(run.completed,
+                  "gate-level race did not complete within budget");
+        rl_assert(run.score == outcome.racedCost,
+                  "gate-level race disagrees with behavioral model: ",
+                  run.score, " vs ", outcome.racedCost);
+    }
+
+    outcome.score = converted
+                        ? converted->recoverScore(outcome.racedCost,
+                                                  a.size(), b.size())
+                        : outcome.racedCost;
+    return outcome;
+}
+
+const bio::ScoreMatrix &
+RaceAligner::racedMatrix() const
+{
+    return racer.matrix();
+}
+
+} // namespace racelogic::core

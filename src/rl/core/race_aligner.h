@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RaceAligner: the library's front door.
+ *
+ * Wraps the whole pipeline -- Section 5 matrix conversion, edit-graph
+ * racing, and score recovery -- behind one call, accepting either
+ * score semantics:
+ *
+ *   RaceAligner aligner(bio::ScoreMatrix::blosum62());
+ *   auto r = aligner.align(seq_p, seq_q);
+ *   // r.score is in BLOSUM62 similarity units; r.latencyCycles is
+ *   // what the hardware would take.
+ *
+ * Backend::GateLevel additionally runs the race on a real netlist
+ * (built per string-length pair) and cross-checks it against the
+ * behavioral result -- slower, but it exercises the synthesizable
+ * artifact end to end.
+ */
+
+#ifndef RACELOGIC_CORE_RACE_ALIGNER_H
+#define RACELOGIC_CORE_RACE_ALIGNER_H
+
+#include <optional>
+
+#include "rl/bio/score_convert.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/race_grid.h"
+
+namespace racelogic::core {
+
+/** Execution strategy for RaceAligner. */
+enum class Backend {
+    Behavioral, ///< event-driven temporal simulation (fast, default)
+    GateLevel,  ///< synthesize a netlist per size and simulate it
+};
+
+/** A completed alignment in the caller's score semantics. */
+struct AlignOutcome {
+    /** Score in the semantics of the matrix passed to RaceAligner. */
+    bio::Score score = 0;
+
+    /** The raw race outcome (converted cost = sink arrival cycle). */
+    bio::Score racedCost = 0;
+
+    /** Clock cycles the race took. */
+    sim::Tick latencyCycles = 0;
+
+    /** Full behavioral detail (arrival map / wavefront). */
+    RaceGridResult detail;
+};
+
+/**
+ * High-level aligner over any ScoreMatrix.
+ *
+ * Cost matrices must already be race-ready (finite weights >= 1,
+ * forbidden pairs allowed); similarity matrices are converted
+ * automatically and scores are mapped back.
+ */
+class RaceAligner
+{
+  public:
+    explicit RaceAligner(const bio::ScoreMatrix &matrix,
+                         Backend backend = Backend::Behavioral);
+
+    /** Align two sequences over the matrix's alphabet. */
+    AlignOutcome align(const bio::Sequence &a,
+                       const bio::Sequence &b) const;
+
+    /** The cost matrix actually raced. */
+    const bio::ScoreMatrix &racedMatrix() const;
+
+    /** Conversion metadata when a similarity matrix was supplied. */
+    const std::optional<bio::ShortestPathForm> &conversion() const
+    {
+        return converted;
+    }
+
+    Backend backend() const { return mode; }
+
+  private:
+    std::optional<bio::ShortestPathForm> converted;
+    RaceGridAligner racer;
+    Backend mode;
+};
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_RACE_ALIGNER_H

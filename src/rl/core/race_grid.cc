@@ -1,0 +1,109 @@
+#include "rl/core/race_grid.h"
+
+#include <sstream>
+
+#include "rl/bio/edit_graph.h"
+#include "rl/core/race_network.h"
+#include "rl/util/logging.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::core {
+
+size_t
+RaceGridResult::wavefrontSize(sim::Tick cycle) const
+{
+    size_t count = 0;
+    for (sim::Tick t : arrival.flat())
+        if (t == cycle)
+            ++count;
+    return count;
+}
+
+std::string
+RaceGridResult::arrivalTable() const
+{
+    // Column width fits the largest finite arrival.
+    sim::Tick largest = 0;
+    for (sim::Tick t : arrival.flat())
+        if (t != sim::kTickInfinity)
+            largest = std::max(largest, t);
+    int width = 1;
+    for (sim::Tick v = largest; v >= 10; v /= 10)
+        ++width;
+
+    std::ostringstream os;
+    for (size_t r = 0; r < arrival.rows(); ++r) {
+        for (size_t c = 0; c < arrival.cols(); ++c) {
+            sim::Tick t = arrival.at(r, c);
+            if (c)
+                os << ' ';
+            if (t == sim::kTickInfinity)
+                os << util::format("%*s", width, ".");
+            else
+                os << util::format("%*llu", width,
+                                   static_cast<unsigned long long>(t));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+RaceGridResult::wavefrontPicture(sim::Tick cycle) const
+{
+    std::ostringstream os;
+    for (size_t r = 0; r < arrival.rows(); ++r) {
+        for (size_t c = 0; c < arrival.cols(); ++c) {
+            sim::Tick t = arrival.at(r, c);
+            if (t == cycle)
+                os << 'o';
+            else if (t < cycle)
+                os << '#';
+            else
+                os << '.';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+RaceGridAligner::RaceGridAligner(bio::ScoreMatrix matrix)
+    : costMatrix(std::move(matrix))
+{
+    rl_assert(costMatrix.isCost(),
+              "OR-type race grids minimize; pass a Cost matrix "
+              "(convert similarity matrices via toShortestPathForm)");
+    rl_assert(costMatrix.minFinite() >= 1,
+              "race-grid weights must be >= 1 clock cycle");
+}
+
+RaceGridResult
+RaceGridAligner::align(const bio::Sequence &a,
+                       const bio::Sequence &b) const
+{
+    bio::EditGraph eg = bio::makeEditGraph(a, b, costMatrix);
+    RaceOutcome outcome = raceDag(eg.dag, {eg.source}, RaceType::Or);
+
+    RaceGridResult result;
+    result.arrival =
+        util::Grid<sim::Tick>(eg.rows + 1, eg.cols + 1,
+                              sim::kTickInfinity);
+    for (size_t i = 0; i <= eg.rows; ++i) {
+        for (size_t j = 0; j <= eg.cols; ++j) {
+            TemporalValue v = outcome.at(eg.node(i, j));
+            if (v.fired()) {
+                result.arrival.at(i, j) = v.time();
+                ++result.cellsFired;
+            }
+        }
+    }
+    TemporalValue sink = outcome.at(eg.sink);
+    rl_assert(sink.fired(),
+              "sink never fired; gap weights should guarantee a path");
+    result.score = static_cast<bio::Score>(sink.time());
+    result.latencyCycles = sink.time();
+    result.events = outcome.events;
+    return result;
+}
+
+} // namespace racelogic::core

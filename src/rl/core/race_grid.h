@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The N x M unit-cell Race Logic sequence aligner (paper Fig. 4).
+ *
+ * Behavioral model: the edit graph of the two strings is raced
+ * (OR-type) with an event-driven temporal simulation; each grid
+ * node's firing cycle is recorded.  The firing-time table *is* the
+ * paper's Fig. 4c ("the number inside each cell represents ... [the]
+ * clock cycle at which signal '1' reached the output of an OR gate
+ * of a particular unit cell"), and thresholding it by cycle yields
+ * the Fig. 6 wavefront shades.
+ *
+ * The companion gate-level artifact lives in
+ * rl/core/race_grid_circuit.h and is checked against this model.
+ */
+
+#ifndef RACELOGIC_CORE_RACE_GRID_H
+#define RACELOGIC_CORE_RACE_GRID_H
+
+#include <string>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/sim/event_queue.h"
+#include "rl/util/grid.h"
+
+namespace racelogic::core {
+
+/** Result of one race-grid alignment. */
+struct RaceGridResult {
+    /** Alignment score = arrival cycle of the sink node. */
+    bio::Score score = 0;
+
+    /** Race duration in clock cycles (equals score for OR type). */
+    sim::Tick latencyCycles = 0;
+
+    /**
+     * Firing cycle of every edit-graph node (rows+1 x cols+1);
+     * kTickInfinity where the signal never arrives.
+     */
+    util::Grid<sim::Tick> arrival;
+
+    /** Number of grid nodes that fired during the race. */
+    size_t cellsFired = 0;
+
+    /** Events processed by the temporal simulation. */
+    uint64_t events = 0;
+
+    /** Cells whose arrival time equals `cycle` (wavefront members). */
+    size_t wavefrontSize(sim::Tick cycle) const;
+
+    /**
+     * Render the arrival table like Fig. 4c (one row per line,
+     * right-aligned numbers, '.' for never-fired cells).
+     */
+    std::string arrivalTable() const;
+
+    /**
+     * Render the wavefront at `cycle` like Fig. 6: '#' for cells
+     * already fired, 'o' for cells firing exactly at `cycle`, '.'
+     * for cells still dark.
+     */
+    std::string wavefrontPicture(sim::Tick cycle) const;
+};
+
+/**
+ * Behavioral OR-type race-grid aligner for a cost matrix.
+ *
+ * The matrix must be Cost kind with all finite weights >= 1
+ * (forbidden pairs allowed -- they become missing diagonal edges,
+ * the paper's mismatch-to-infinity trick).
+ */
+class RaceGridAligner
+{
+  public:
+    explicit RaceGridAligner(bio::ScoreMatrix matrix);
+
+    /** Race the two sequences; fatal() on alphabet mismatch. */
+    RaceGridResult align(const bio::Sequence &a,
+                         const bio::Sequence &b) const;
+
+    const bio::ScoreMatrix &matrix() const { return costMatrix; }
+
+  private:
+    bio::ScoreMatrix costMatrix;
+};
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_RACE_GRID_H

@@ -1,0 +1,59 @@
+#include "rl/core/threshold.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::core {
+
+ThresholdScreener::ThresholdScreener(bio::ScoreMatrix costs,
+                                     bio::Score threshold)
+    : racer(std::move(costs)), maxCost(threshold)
+{
+    rl_assert(maxCost >= 0, "negative threshold");
+}
+
+ScreenOutcome
+ThresholdScreener::screen(const bio::Sequence &query,
+                          const bio::Sequence &candidate) const
+{
+    // Behavioral model of the abort counter: the race would fire the
+    // sink at cycle == score; if that exceeds the threshold the
+    // engine stops at the threshold cycle with the verdict already
+    // decided (monotonicity of arrival times).
+    RaceGridResult raced = racer.align(query, candidate);
+    ScreenOutcome outcome;
+    if (raced.score <= maxCost) {
+        outcome.similar = true;
+        outcome.score = raced.score;
+        outcome.cyclesUsed = static_cast<sim::Tick>(raced.score);
+    } else {
+        outcome.similar = false;
+        outcome.score = bio::kScoreInfinity;
+        outcome.cyclesUsed = static_cast<sim::Tick>(maxCost);
+    }
+    return outcome;
+}
+
+ScreeningStats
+ThresholdScreener::screenDatabase(
+    const bio::Sequence &query,
+    const std::vector<bio::Sequence> &database) const
+{
+    ScreeningStats stats;
+    stats.candidates = database.size();
+    stats.accepted.reserve(database.size());
+    for (const bio::Sequence &candidate : database) {
+        RaceGridResult raced = racer.align(query, candidate);
+        bool similar = raced.score <= maxCost;
+        stats.accepted.push_back(similar);
+        stats.acceptedCount += similar;
+        stats.cyclesWithThreshold += similar
+                                         ? static_cast<uint64_t>(raced.score)
+                                         : static_cast<uint64_t>(maxCost);
+        stats.cyclesFullRace += static_cast<uint64_t>(raced.score);
+    }
+    return stats;
+}
+
+} // namespace racelogic::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Threshold-based early termination (paper Section 6).
+ *
+ * A unique property of the OR-type race: "the maximum possible score
+ * is known at each instant in time, and not only at the end of the
+ * computation".  If the sink has not fired by cycle T, the score is
+ * already known to exceed T, so a screening engine can abort and
+ * move to the next candidate -- the systolic baseline must always
+ * run to completion.  In database screening, where genuinely related
+ * sequences are rare, this makes the *best* case the representative
+ * one.
+ */
+
+#ifndef RACELOGIC_CORE_THRESHOLD_H
+#define RACELOGIC_CORE_THRESHOLD_H
+
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/race_grid.h"
+
+namespace racelogic::core {
+
+/** Verdict for one screened candidate. */
+struct ScreenOutcome {
+    /** True iff the race cost was <= the threshold. */
+    bool similar = false;
+
+    /** Exact score when similar; kScoreInfinity when aborted. */
+    bio::Score score = bio::kScoreInfinity;
+
+    /** Cycles the fabric was busy: min(score, threshold). */
+    sim::Tick cyclesUsed = 0;
+};
+
+/** Aggregate statistics over a screened database. */
+struct ScreeningStats {
+    size_t candidates = 0;
+    size_t acceptedCount = 0;
+    uint64_t cyclesWithThreshold = 0; ///< total, early termination on
+    uint64_t cyclesFullRace = 0;      ///< total, racing to completion
+    std::vector<bool> accepted;       ///< verdict per candidate
+
+    /** Throughput gain from early termination. */
+    double
+    speedup() const
+    {
+        return cyclesWithThreshold == 0
+                   ? 1.0
+                   : static_cast<double>(cyclesFullRace) /
+                         static_cast<double>(cyclesWithThreshold);
+    }
+};
+
+/**
+ * Behavioral screening engine over a race-ready cost matrix.
+ *
+ * The verdict is exact (tests check it against a full DP filter):
+ * aborting at the threshold can never misclassify, because the race
+ * cost is monotone in time.
+ */
+class ThresholdScreener
+{
+  public:
+    /**
+     * @param costs      Race-ready cost matrix (finite weights >= 1;
+     *                   forbidden pairs allowed).
+     * @param threshold  Maximum cost still considered "similar".
+     */
+    ThresholdScreener(bio::ScoreMatrix costs, bio::Score threshold);
+
+    /** Screen one candidate against `query`. */
+    ScreenOutcome screen(const bio::Sequence &query,
+                         const bio::Sequence &candidate) const;
+
+    /** Screen a whole database and aggregate fabric-busy cycles. */
+    ScreeningStats screenDatabase(
+        const bio::Sequence &query,
+        const std::vector<bio::Sequence> &database) const;
+
+    bio::Score threshold() const { return maxCost; }
+
+  private:
+    RaceGridAligner racer;
+    bio::Score maxCost;
+};
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_THRESHOLD_H

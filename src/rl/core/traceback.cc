@@ -1,0 +1,84 @@
+#include "rl/core/traceback.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::core {
+
+bio::Alignment
+tracebackFromRace(const RaceGridResult &result, const bio::Sequence &a,
+                  const bio::Sequence &b, const bio::ScoreMatrix &costs)
+{
+    const size_t n = a.size();
+    const size_t m = b.size();
+    rl_assert(result.arrival.rows() == n + 1 &&
+                  result.arrival.cols() == m + 1,
+              "arrival map does not match the sequences");
+    const bio::Alphabet &alphabet = costs.alphabet();
+
+    auto at = [&](size_t i, size_t j) -> sim::Tick {
+        return result.arrival.at(i, j);
+    };
+
+    bio::Alignment out;
+    out.score = result.score;
+
+    size_t i = n, j = m;
+    std::string ra, rb;
+    std::vector<std::pair<uint32_t, uint32_t>> rpath;
+    rpath.emplace_back(i, j);
+    while (i > 0 || j > 0) {
+        sim::Tick here = at(i, j);
+        rl_assert(here != sim::kTickInfinity, "traceback into a cell "
+                  "that never fired");
+        bool stepped = false;
+        if (i > 0 && j > 0) {
+            bio::Score w = costs.pair(a[i - 1], b[j - 1]);
+            if (w != bio::kScoreInfinity &&
+                at(i - 1, j - 1) != sim::kTickInfinity &&
+                at(i - 1, j - 1) + static_cast<sim::Tick>(w) == here) {
+                ra.push_back(alphabet.letter(a[i - 1]));
+                rb.push_back(alphabet.letter(b[j - 1]));
+                if (a[i - 1] == b[j - 1])
+                    ++out.matches;
+                else
+                    ++out.mismatches;
+                --i;
+                --j;
+                stepped = true;
+            }
+        }
+        if (!stepped && i > 0 &&
+            at(i - 1, j) + static_cast<sim::Tick>(costs.gap(a[i - 1])) ==
+                here) {
+            ra.push_back(alphabet.letter(a[i - 1]));
+            rb.push_back('-');
+            ++out.indels;
+            --i;
+            stepped = true;
+        }
+        if (!stepped && j > 0 &&
+            at(i, j - 1) + static_cast<sim::Tick>(costs.gap(b[j - 1])) ==
+                here) {
+            ra.push_back('-');
+            rb.push_back(alphabet.letter(b[j - 1]));
+            ++out.indels;
+            --j;
+            stepped = true;
+        }
+        rl_assert(stepped,
+                  "no tight predecessor at (", i, ",", j,
+                  "): arrival map inconsistent with the matrix");
+        rpath.emplace_back(i, j);
+    }
+    std::reverse(ra.begin(), ra.end());
+    std::reverse(rb.begin(), rb.end());
+    std::reverse(rpath.begin(), rpath.end());
+    out.alignedA = std::move(ra);
+    out.alignedB = std::move(rb);
+    out.path = std::move(rpath);
+    return out;
+}
+
+} // namespace racelogic::core

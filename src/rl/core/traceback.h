@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Alignment traceback from race arrival times.
+ *
+ * The paper's related-work section notes that systolic follow-ups
+ * "added markers in processing elements to trace back optimal
+ * similarity paths".  Race Logic gets traceback almost for free: the
+ * per-cell firing times recorded during the race form a valid DP
+ * table, so walking backwards along tight edges (predecessor firing
+ * time + edge weight == own firing time) recovers an optimal
+ * alignment without re-running any DP.
+ */
+
+#ifndef RACELOGIC_CORE_TRACEBACK_H
+#define RACELOGIC_CORE_TRACEBACK_H
+
+#include "rl/bio/align_dp.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/race_grid.h"
+
+namespace racelogic::core {
+
+/**
+ * Recover an optimal alignment from a completed race.
+ *
+ * @param result  The race outcome (arrival map) for align(a, b).
+ * @param a       Row sequence used in the race.
+ * @param b       Column sequence used in the race.
+ * @param costs   The cost matrix that was raced.
+ *
+ * Tie-breaking prefers diagonal, then vertical, then horizontal
+ * edges -- the same policy as bio::globalAlign, so the two produce
+ * identical alignments, which tests exploit.
+ */
+bio::Alignment tracebackFromRace(const RaceGridResult &result,
+                                 const bio::Sequence &a,
+                                 const bio::Sequence &b,
+                                 const bio::ScoreMatrix &costs);
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_TRACEBACK_H

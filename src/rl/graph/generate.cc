@@ -1,0 +1,119 @@
+#include "rl/graph/generate.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::graph {
+
+namespace {
+
+Weight
+drawWeight(util::Rng &rng, const WeightRange &range)
+{
+    rl_assert(range.min <= range.max, "bad weight range");
+    return rng.uniformInt(range.min, range.max);
+}
+
+} // namespace
+
+Dag
+layeredDag(util::Rng &rng, size_t layers, size_t width, double edge_prob,
+           WeightRange weights)
+{
+    rl_assert(layers >= 2 && width >= 1, "layeredDag needs >=2 layers");
+    Dag dag(layers * width);
+    auto id = [width](size_t layer, size_t slot) {
+        return static_cast<NodeId>(layer * width + slot);
+    };
+    for (size_t layer = 0; layer + 1 < layers; ++layer) {
+        // Track coverage so we can patch up isolated nodes afterward.
+        std::vector<bool> has_out(width, false);
+        std::vector<bool> has_in(width, false);
+        for (size_t a = 0; a < width; ++a) {
+            for (size_t b = 0; b < width; ++b) {
+                if (rng.bernoulli(edge_prob)) {
+                    dag.addEdge(id(layer, a), id(layer + 1, b),
+                                drawWeight(rng, weights));
+                    has_out[a] = true;
+                    has_in[b] = true;
+                }
+            }
+        }
+        for (size_t a = 0; a < width; ++a) {
+            if (!has_out[a]) {
+                size_t b = rng.index(width);
+                dag.addEdge(id(layer, a), id(layer + 1, b),
+                            drawWeight(rng, weights));
+                has_in[b] = true;
+            }
+        }
+        for (size_t b = 0; b < width; ++b) {
+            if (!has_in[b]) {
+                size_t a = rng.index(width);
+                dag.addEdge(id(layer, a), id(layer + 1, b),
+                            drawWeight(rng, weights));
+            }
+        }
+    }
+    return dag;
+}
+
+Dag
+gridDag(util::Rng &rng, size_t rows, size_t cols, WeightRange weights,
+        bool with_diagonals)
+{
+    Dag dag((rows + 1) * (cols + 1));
+    auto id = [cols](size_t r, size_t c) {
+        return static_cast<NodeId>(r * (cols + 1) + c);
+    };
+    for (size_t r = 0; r <= rows; ++r) {
+        for (size_t c = 0; c <= cols; ++c) {
+            if (c < cols) // horizontal (deletion-like)
+                dag.addEdge(id(r, c), id(r, c + 1),
+                            drawWeight(rng, weights));
+            if (r < rows) // vertical (insertion-like)
+                dag.addEdge(id(r, c), id(r + 1, c),
+                            drawWeight(rng, weights));
+            if (with_diagonals && r < rows && c < cols)
+                dag.addEdge(id(r, c), id(r + 1, c + 1),
+                            drawWeight(rng, weights));
+        }
+    }
+    return dag;
+}
+
+Dag
+randomDag(util::Rng &rng, size_t nodes, double edge_prob,
+          WeightRange weights)
+{
+    rl_assert(nodes >= 2, "randomDag needs >=2 nodes");
+    Dag dag(nodes);
+    // Random permutation = hidden topological order; edges only from
+    // earlier to later in the permutation, so acyclicity is inherent.
+    std::vector<NodeId> order(nodes);
+    for (size_t i = 0; i < nodes; ++i)
+        order[i] = static_cast<NodeId>(i);
+    rng.shuffle(order);
+    for (size_t i = 0; i < nodes; ++i) {
+        for (size_t j = i + 1; j < nodes; ++j) {
+            if (rng.bernoulli(edge_prob))
+                dag.addEdge(order[i], order[j], drawWeight(rng, weights));
+        }
+    }
+    return dag;
+}
+
+std::pair<NodeId, NodeId>
+addSuperEndpoints(Dag &dag, Weight w)
+{
+    std::vector<NodeId> old_sources = dag.sources();
+    std::vector<NodeId> old_sinks = dag.sinks();
+    NodeId source = dag.addNode("superSource");
+    NodeId sink = dag.addNode("superSink");
+    for (NodeId s : old_sources)
+        dag.addEdge(source, s, w);
+    for (NodeId t : old_sinks)
+        dag.addEdge(t, sink, w);
+    return {source, sink};
+}
+
+} // namespace racelogic::graph

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Random DAG workload generators.
+ *
+ * Property tests exercise the race solvers against DP oracles on many
+ * graph shapes; these generators provide layered, grid, and arbitrary
+ * random DAGs with controllable weight ranges.  Generated weights are
+ * kept >= 1 by default because Race Logic realizes weights as delays
+ * ("negative or zero weights cannot be implemented in a
+ * straightforward way", paper Section 5).
+ */
+
+#ifndef RACELOGIC_GRAPH_GENERATE_H
+#define RACELOGIC_GRAPH_GENERATE_H
+
+#include "rl/graph/dag.h"
+#include "rl/util/random.h"
+
+namespace racelogic::graph {
+
+/** Parameters shared by the random generators. */
+struct WeightRange {
+    Weight min = 1;
+    Weight max = 4;
+};
+
+/**
+ * Layered DAG: `layers` ranks of `width` nodes; edges only between
+ * consecutive ranks, each present with probability `edge_prob`, and
+ * every node is guaranteed at least one in-edge (except rank 0) and
+ * one out-edge (except the last rank), so the graph stays connected.
+ */
+Dag layeredDag(util::Rng &rng, size_t layers, size_t width,
+               double edge_prob, WeightRange weights);
+
+/**
+ * Grid DAG with the edit-graph topology: (rows+1) x (cols+1) nodes,
+ * horizontal/vertical/diagonal edges with independently random
+ * weights.  Node id = r * (cols + 1) + c.
+ */
+Dag gridDag(util::Rng &rng, size_t rows, size_t cols,
+            WeightRange weights, bool with_diagonals = true);
+
+/**
+ * Arbitrary random DAG: `nodes` nodes in a random topological order,
+ * each forward pair connected with probability `edge_prob`.
+ */
+Dag randomDag(util::Rng &rng, size_t nodes, double edge_prob,
+              WeightRange weights);
+
+/**
+ * Add a super-source wired (weight `w`) to every current source and a
+ * super-sink wired from every current sink; returns {source, sink}.
+ * Lets multi-source/multi-sink graphs be raced through one input and
+ * one output node, as a hardware deployment would.
+ */
+std::pair<NodeId, NodeId> addSuperEndpoints(Dag &dag, Weight w = 1);
+
+} // namespace racelogic::graph
+
+#endif // RACELOGIC_GRAPH_GENERATE_H

@@ -1,0 +1,112 @@
+#include "rl/graph/paths.h"
+
+#include <algorithm>
+
+#include "rl/graph/topo.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::graph {
+
+PathResult
+solveDag(const Dag &dag, const std::vector<NodeId> &sources,
+         Objective objective)
+{
+    rl_assert(!sources.empty(), "solveDag needs at least one source");
+    PathResult result;
+    result.objective = objective;
+    result.distance.assign(dag.nodeCount(), kUnreachable);
+    result.predecessor.assign(dag.nodeCount(), kNoNode);
+
+    for (NodeId s : sources) {
+        rl_assert(s < dag.nodeCount(), "bad source node ", s);
+        result.distance[s] = 0;
+    }
+
+    const bool shortest = objective == Objective::Shortest;
+    for (NodeId node : topologicalOrder(dag)) {
+        if (result.distance[node] == kUnreachable)
+            continue;
+        Weight base = result.distance[node];
+        for (uint32_t idx : dag.outEdges(node)) {
+            const Edge &e = dag.edges()[idx];
+            Weight candidate = base + e.weight;
+            Weight &slot = result.distance[e.to];
+            bool better;
+            if (slot == kUnreachable) {
+                better = true;
+            } else if (shortest) {
+                better = candidate < slot;
+            } else {
+                better = candidate > slot;
+            }
+            if (better) {
+                slot = candidate;
+                result.predecessor[e.to] = node;
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<NodeId>
+extractPath(const PathResult &result, NodeId sink)
+{
+    rl_assert(sink < result.distance.size(), "bad sink node ", sink);
+    if (!result.reached(sink))
+        return {};
+    std::vector<NodeId> path;
+    for (NodeId node = sink; node != kNoNode;
+         node = result.predecessor[node]) {
+        path.push_back(node);
+        rl_assert(path.size() <= result.distance.size(),
+                  "predecessor chain loops");
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+Weight
+pathWeight(const Dag &dag, const std::vector<NodeId> &path)
+{
+    rl_assert(path.size() >= 1, "empty path");
+    Weight total = 0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+        bool found = false;
+        Weight best = 0;
+        for (uint32_t idx : dag.outEdges(path[i])) {
+            const Edge &e = dag.edges()[idx];
+            if (e.to == path[i + 1]) {
+                // Parallel edges: take the best (matches DP behaviour
+                // for either objective only if unique; callers that
+                // care use simple graphs).
+                best = found ? std::min(best, e.weight) : e.weight;
+                found = true;
+            }
+        }
+        if (!found)
+            rl_fatal("pathWeight: no edge ", path[i], " -> ", path[i + 1]);
+        total += best;
+    }
+    return total;
+}
+
+uint64_t
+countPaths(const Dag &dag, NodeId source, NodeId sink, uint64_t cap)
+{
+    rl_assert(source < dag.nodeCount() && sink < dag.nodeCount(),
+              "bad endpoints");
+    std::vector<uint64_t> ways(dag.nodeCount(), 0);
+    ways[source] = 1;
+    for (NodeId node : topologicalOrder(dag)) {
+        if (ways[node] == 0)
+            continue;
+        for (uint32_t idx : dag.outEdges(node)) {
+            NodeId to = dag.edges()[idx].to;
+            uint64_t sum = ways[to] + ways[node];
+            ways[to] = (sum < ways[to] || sum > cap) ? cap : sum;
+        }
+    }
+    return ways[sink];
+}
+
+} // namespace racelogic::graph

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reference dynamic-programming path solvers on DAGs.
+ *
+ * These are the software oracles the paper's hardware is checked
+ * against: an OR-type race network must report exactly the shortest
+ * path and an AND-type network exactly the longest path computed here.
+ *
+ * The solvers run in O(V + E) over a topological order and track
+ * predecessors so optimal paths (= optimal alignments, for edit
+ * graphs) can be extracted.
+ */
+
+#ifndef RACELOGIC_GRAPH_PATHS_H
+#define RACELOGIC_GRAPH_PATHS_H
+
+#include <limits>
+#include <vector>
+
+#include "rl/graph/dag.h"
+
+namespace racelogic::graph {
+
+/** Which extremum the DP computes (paper's Eq. 1a vs 1b). */
+enum class Objective {
+    Shortest, ///< min-plus; hardware realization is the OR-type race
+    Longest,  ///< max-plus; hardware realization is the AND-type race
+};
+
+/** Distance sentinel: node not reachable from any source. */
+constexpr Weight kUnreachable = std::numeric_limits<Weight>::max();
+
+/** Result of a single-objective DAG DP sweep. */
+struct PathResult {
+    Objective objective = Objective::Shortest;
+    /** Per-node optimal score; kUnreachable where undefined. */
+    std::vector<Weight> distance;
+    /** Per-node best predecessor (kNoNode for sources/unreachable). */
+    std::vector<NodeId> predecessor;
+
+    /** True iff `node` was reached from some source. */
+    bool
+    reached(NodeId node) const
+    {
+        return distance[node] != kUnreachable;
+    }
+};
+
+/**
+ * Solve the DAG DP from a set of source nodes (all at distance 0).
+ *
+ * Ties between equal-score predecessors resolve to the smallest edge
+ * index, making path extraction deterministic.
+ *
+ * @param dag        The graph; fatal() if it contains a cycle.
+ * @param sources    Nodes whose score is fixed to 0; must be nonempty.
+ * @param objective  Shortest (min) or Longest (max).
+ */
+PathResult solveDag(const Dag &dag, const std::vector<NodeId> &sources,
+                    Objective objective);
+
+/**
+ * Walk predecessors back from `sink` to a source.
+ *
+ * @return Node sequence source..sink; empty if `sink` unreachable.
+ */
+std::vector<NodeId> extractPath(const PathResult &result, NodeId sink);
+
+/** Sum of edge weights along a node path (fatal on a broken path). */
+Weight pathWeight(const Dag &dag, const std::vector<NodeId> &path);
+
+/**
+ * Count distinct source-to-sink paths (saturating at the given cap).
+ *
+ * The edit graph of two length-N strings contains a combinatorial
+ * number of alignments; this utility quantifies the search space a
+ * race evaluates in parallel.
+ */
+uint64_t countPaths(const Dag &dag, NodeId source, NodeId sink,
+                    uint64_t cap = ~uint64_t(0));
+
+} // namespace racelogic::graph
+
+#endif // RACELOGIC_GRAPH_PATHS_H

@@ -1,0 +1,59 @@
+#include "rl/sim/event_queue.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::sim {
+
+void
+EventQueue::schedule(Tick when, Callback callback, int priority)
+{
+    rl_assert(when >= currentTick,
+              "scheduling into the past: ", when, " < ", currentTick);
+    heap.push(Entry{when, priority, nextSequence++, std::move(callback)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // Move out of the queue before firing: the callback may schedule.
+    Entry entry = heap.top();
+    heap.pop();
+    currentTick = entry.when;
+    ++firedCount;
+    entry.callback();
+    return true;
+}
+
+size_t
+EventQueue::run(size_t limit)
+{
+    size_t n = 0;
+    while (n < limit && step())
+        ++n;
+    return n;
+}
+
+size_t
+EventQueue::runUntil(Tick horizon)
+{
+    size_t n = 0;
+    while (!heap.empty() && heap.top().when <= horizon) {
+        step();
+        ++n;
+    }
+    if (currentTick < horizon)
+        currentTick = horizon;
+    return n;
+}
+
+void
+EventQueue::reset()
+{
+    heap = {};
+    currentTick = 0;
+    firedCount = 0;
+}
+
+} // namespace racelogic::sim

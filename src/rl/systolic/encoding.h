@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Modular score arithmetic for the systolic baseline.
+ *
+ * Lipton & Lopresti's key trick: because adjacent edit-distance
+ * cells differ by a bounded amount, scores can be stored and
+ * compared *mod 4* inside the array ("maximum score dependent
+ * modular arithmetic [that] limits the number of bits of data"),
+ * with the true score recomputed by extra circuitry outside the
+ * systolic structure.  For the Fig. 2b cost family the candidate
+ * scores lie within {v+1, v+2, v+3} of the diagonal value v, so
+ * two-bit residues are unambiguous.
+ */
+
+#ifndef RACELOGIC_SYSTOLIC_ENCODING_H
+#define RACELOGIC_SYSTOLIC_ENCODING_H
+
+#include <cstdint>
+
+#include "rl/bio/score_matrix.h"
+
+namespace racelogic::systolic {
+
+/** Two-bit score residue stored inside a PE. */
+using Mod4 = uint8_t;
+
+/** Wrap a full score to its residue. */
+constexpr Mod4
+toMod4(bio::Score value)
+{
+    return static_cast<Mod4>(static_cast<uint64_t>(value) & 3);
+}
+
+/** Residue addition. */
+constexpr Mod4
+mod4Add(Mod4 a, bio::Score delta)
+{
+    return static_cast<Mod4>(
+        (a + static_cast<uint64_t>(delta)) & 3);
+}
+
+/**
+ * Offset of a candidate residue relative to a base residue,
+ * interpreted in [0, 3].  Valid whenever the true difference is
+ * known to lie in that window -- the bounded-difference property the
+ * cost matrix must satisfy (checked by LiptonLoprestiArray).
+ */
+constexpr unsigned
+mod4Offset(Mod4 candidate, Mod4 base)
+{
+    return (candidate + 4u - base) & 3u;
+}
+
+} // namespace racelogic::systolic
+
+#endif // RACELOGIC_SYSTOLIC_ENCODING_H

@@ -1,0 +1,124 @@
+#include "rl/tech/area_model.h"
+
+#include <algorithm>
+
+#include "rl/util/bitops.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::tech {
+
+namespace {
+
+using circuit::GateType;
+
+size_t &
+slot(std::array<size_t, circuit::kGateTypeCount> &inv, GateType t)
+{
+    return inv[static_cast<size_t>(t)];
+}
+
+} // namespace
+
+AreaEstimate
+raceGridArea(const CellLibrary &lib, size_t n, size_t m,
+             unsigned symbol_bits)
+{
+    rl_assert(n >= 1 && m >= 1, "grid needs at least one cell");
+    std::array<size_t, circuit::kGateTypeCount> cell{};
+    slot(cell, GateType::Dff) = 3;
+    slot(cell, GateType::Or) = 1;
+    slot(cell, GateType::And) = symbol_bits > 1 ? 2 : 1;
+    slot(cell, GateType::Xnor) = symbol_bits;
+
+    AreaEstimate est;
+    est.unitAreaUm2 = lib.areaOfInventory(cell);
+    est.units = n * m;
+
+    // Support: boundary delay frame (n + m DFFs), the result counter
+    // (log2 of the worst score), and symbol distribution buffers.
+    std::array<size_t, circuit::kGateTypeCount> support{};
+    unsigned counter_bits = util::bitsForValue(n + m);
+    slot(support, GateType::Dff) = n + m + counter_bits;
+    slot(support, GateType::And) = counter_bits; // counter carry chain
+    slot(support, GateType::Xor) = counter_bits;
+    slot(support, GateType::Buf) = (n + m) * symbol_bits;
+    est.supportAreaUm2 = lib.areaOfInventory(support);
+
+    est.totalUm2 =
+        est.unitAreaUm2 * static_cast<double>(est.units) +
+        est.supportAreaUm2;
+    return est;
+}
+
+AreaEstimate
+generalizedGridArea(
+    const CellLibrary &lib, const bio::ScoreMatrix &costs, size_t n,
+    size_t m,
+    const std::array<size_t, circuit::kGateTypeCount> &cell_inventory)
+{
+    rl_assert(n >= 1 && m >= 1, "grid needs at least one cell");
+    AreaEstimate est;
+    est.unitAreaUm2 = lib.areaOfInventory(cell_inventory);
+    est.units = n * m;
+
+    // Boundary applicators: one gap-weight applicator per frame step.
+    // Approximate each as one third of a full cell (a cell holds
+    // three applicators plus the OR).
+    est.supportAreaUm2 =
+        est.unitAreaUm2 / 3.0 * static_cast<double>(n + m) +
+        lib.gateAreaUm2[static_cast<size_t>(GateType::Dff)] *
+            static_cast<double>(
+                util::bitsForValue((n + m) *
+                                   static_cast<uint64_t>(
+                                       costs.dynamicRange())));
+    est.totalUm2 =
+        est.unitAreaUm2 * static_cast<double>(est.units) +
+        est.supportAreaUm2;
+    return est;
+}
+
+std::array<size_t, circuit::kGateTypeCount>
+systolicPeInventory(const bio::Alphabet &alphabet)
+{
+    unsigned sym_bits = std::max(1u, alphabet.bitsPerSymbol());
+    std::array<size_t, circuit::kGateTypeCount> pe{};
+    // Registers: two character streams (sym + valid each), the mod-4
+    // score residue, and two control/phase bits.
+    slot(pe, GateType::Dff) = 2 * (sym_bits + 1) + 2 + 2;
+    // Match comparator (Eq. 2 on the PE's two char registers).
+    slot(pe, GateType::Xnor) = sym_bits;
+    // Mod-4 offset datapath: two subtract/compare units, the +1/+2
+    // increment, and the 3-way minimum.
+    slot(pe, GateType::Xor) = 4;
+    slot(pe, GateType::And) = 10;
+    slot(pe, GateType::Or) = 4;
+    slot(pe, GateType::Not) = 4;
+    slot(pe, GateType::Mux) = 6;
+    return pe;
+}
+
+AreaEstimate
+systolicArea(const CellLibrary &lib, const bio::Alphabet &alphabet,
+             size_t n, size_t m)
+{
+    AreaEstimate est;
+    est.unitAreaUm2 = lib.areaOfInventory(systolicPeInventory(alphabet));
+    est.units = n + m + 1;
+
+    // Support: the score-reconstruction accumulator outside the
+    // array (paper: "extra circuitry outside of the systolic
+    // structure to recalculate the original score").
+    std::array<size_t, circuit::kGateTypeCount> support{};
+    unsigned acc_bits = util::bitsForValue(2 * (n + m));
+    slot(support, GateType::Dff) = acc_bits;
+    slot(support, GateType::Xor) = acc_bits;
+    slot(support, GateType::And) = acc_bits;
+    est.supportAreaUm2 = lib.areaOfInventory(support);
+
+    est.totalUm2 =
+        est.unitAreaUm2 * static_cast<double>(est.units) +
+        est.supportAreaUm2;
+    return est;
+}
+
+} // namespace racelogic::tech

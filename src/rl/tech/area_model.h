@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Area models (paper Fig. 5a/5d).
+ *
+ * Race Logic occupies N x M unit cells plus the boundary delay
+ * frame and an output cycle counter: quadratic in N with a small
+ * constant.  The systolic array is N + M + 1 processing elements:
+ * linear in N with a much larger constant ("the constants associated
+ * with Race Logic are smaller ... due to the simplicity of the
+ * fundamental cells").  Both models price explicit gate inventories
+ * with the library's cell areas -- the synthesis-report substitute.
+ */
+
+#ifndef RACELOGIC_TECH_AREA_MODEL_H
+#define RACELOGIC_TECH_AREA_MODEL_H
+
+#include "rl/bio/alphabet.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/tech/cell_library.h"
+
+namespace racelogic::tech {
+
+/** An area estimate decomposed into its parts. */
+struct AreaEstimate {
+    double unitAreaUm2 = 0.0;   ///< one cell / PE
+    size_t units = 0;           ///< cells or PEs instantiated
+    double supportAreaUm2 = 0.0;///< boundary frame, counters, glue
+    double totalUm2 = 0.0;
+
+    double
+    totalCm2() const
+    {
+        return totalUm2 * 1e-8;
+    }
+};
+
+/**
+ * Basic race grid (Fig. 4 fabric) area for an n x m comparison over
+ * `symbol_bits`-wide symbols.
+ */
+AreaEstimate raceGridArea(const CellLibrary &lib, size_t n, size_t m,
+                          unsigned symbol_bits);
+
+/**
+ * Generalized race grid (Fig. 8 cells) area; the per-cell inventory
+ * is measured from an actually-constructed cell netlist.
+ */
+AreaEstimate generalizedGridArea(
+    const CellLibrary &lib, const bio::ScoreMatrix &costs, size_t n,
+    size_t m,
+    const std::array<size_t, circuit::kGateTypeCount> &cell_inventory);
+
+/** Lipton-Lopresti array (n + m + 1 PEs) area. */
+AreaEstimate systolicArea(const CellLibrary &lib,
+                          const bio::Alphabet &alphabet, size_t n,
+                          size_t m);
+
+/** The PE gate inventory used by systolicArea (per PE). */
+std::array<size_t, circuit::kGateTypeCount>
+systolicPeInventory(const bio::Alphabet &alphabet);
+
+} // namespace racelogic::tech
+
+#endif // RACELOGIC_TECH_AREA_MODEL_H

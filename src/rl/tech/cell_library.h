@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Standard-cell technology models (AMIS 0.5 um and OSU 0.5 um).
+ *
+ * The paper's methodology maps both designs onto 0.5 um standard
+ * cells with Synopsys synthesis (area) and ModelSim+PrimeTime
+ * toggle-based power.  We stand in for those tools with two
+ * parameter sets: per-gate areas, per-event capacitances, and clock
+ * periods.  The constants are calibrated so that
+ *
+ *  - the race fabric's fitted energy polynomials reproduce the
+ *    paper's Eq. 5 coefficients (the N^3 clock term exactly, the
+ *    N^2 data term closely), and
+ *  - the headline ratios (4x latency, ~3x throughput/area, ~5x
+ *    power density at N = 20) emerge from the models rather than
+ *    being hard-coded,
+ *
+ * while every individual constant stays physically plausible for a
+ * 0.5 um, 5 V process.  See DESIGN.md §6 (substitutions) and
+ * EXPERIMENTS.md for the calibration notes.
+ */
+
+#ifndef RACELOGIC_TECH_CELL_LIBRARY_H
+#define RACELOGIC_TECH_CELL_LIBRARY_H
+
+#include <array>
+#include <string>
+
+#include "rl/circuit/gates.h"
+
+namespace racelogic::tech {
+
+/** ITRS power-density ceiling cited by the paper (W/cm^2). */
+constexpr double kItrsPowerDensityLimit = 200.0;
+
+/** One 0.5 um standard-cell library's model parameters. */
+struct CellLibrary {
+    std::string name;
+
+    /** Supply voltage (V). */
+    double vdd = 5.0;
+
+    /** Cell area by gate type (um^2); Input/Const are free. */
+    std::array<double, circuit::kGateTypeCount> gateAreaUm2{};
+
+    /** Clock-pin capacitance charged per delivered DFF clock (F). */
+    double dffClockCapF = 0.0;
+
+    /** Average switched capacitance per net toggle, wiring included
+     *  (F) -- the C_non-clk constituent of Eq. 3. */
+    double netCapF = 0.0;
+
+    /** Clock-gating cell capacitance per multi-cell region (F):
+     *  the C_gate of Eq. 6. */
+    double gatingCellCapF = 0.0;
+
+    /** Race Logic clock period (ns): a unit cell's OR->DFF path. */
+    double racePeriodNs = 0.0;
+
+    /** Systolic clock period (ns): the PE's compare/add/min path. */
+    double systolicPeriodNs = 0.0;
+
+    /** Long-wire capacitance charged per systolic stream shift (F):
+     *  the interleaved character/score broadcast wiring. */
+    double streamCapF = 0.0;
+
+    /** Average comb-net toggles per PE cell-computation (used by the
+     *  analytic systolic energy model; the cycle-accurate simulator
+     *  counts register toggles directly). */
+    double peComputeToggles = 20.0;
+
+    /** Net toggles per race unit cell per comparison (the analytic
+     *  stand-in for simulated data activity; every cell's nets
+     *  charge once per comparison -- paper §4.2). */
+    double raceCellTogglesPerComparison = 6.5;
+
+    /** The AMIS 0.5 um parameter set. */
+    static const CellLibrary &amis();
+
+    /** The OSU 0.5 um parameter set. */
+    static const CellLibrary &osu();
+
+    /** Both libraries, for sweep benches. */
+    static const std::array<const CellLibrary *, 2> &all();
+
+    /** Total area of a gate inventory (um^2). */
+    double areaOfInventory(
+        const std::array<size_t, circuit::kGateTypeCount> &counts) const;
+
+    /** Energy of one switched capacitance: C * Vdd^2 (J). */
+    double
+    switchEnergyJ(double capacitance_f) const
+    {
+        return capacitance_f * vdd * vdd;
+    }
+};
+
+} // namespace racelogic::tech
+
+#endif // RACELOGIC_TECH_CELL_LIBRARY_H

@@ -1,0 +1,197 @@
+#include "rl/tech/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::tech {
+
+namespace {
+
+constexpr double kDffsPerRaceCell = 3.0;
+
+/** DFF clock capacitance of the whole race fabric (F). */
+double
+raceClockCapF(const CellLibrary &lib, size_t n)
+{
+    return kDffsPerRaceCell * static_cast<double>(n) *
+           static_cast<double>(n) * lib.dffClockCapF;
+}
+
+} // namespace
+
+uint64_t
+raceLatencyCycles(size_t n, RaceCase which)
+{
+    // Identical strings ride the diagonal (weight-1 matches): n
+    // cycles.  Complete mismatches must take 2n indel steps.  (The
+    // paper prints N-1 / 2N-2 with N counting grid nodes per side,
+    // i.e. strings of length N-1; see EXPERIMENTS.md.)
+    return which == RaceCase::Best ? n : 2 * n;
+}
+
+double
+paperFitEnergyPj(const CellLibrary &lib, RaceCase which, double n)
+{
+    // Eq. 5a-5d, units pJ.
+    const bool amis = lib.name == "AMIS";
+    double a3, a2;
+    if (amis) {
+        if (which == RaceCase::Worst) {
+            a3 = 2.65;
+            a2 = 6.41;
+        } else {
+            a3 = 1.05;
+            a2 = 5.91;
+        }
+    } else {
+        if (which == RaceCase::Worst) {
+            a3 = 5.30;
+            a2 = 3.76;
+        } else {
+            a3 = 2.10;
+            a2 = 4.86;
+        }
+    }
+    return a3 * n * n * n + a2 * n * n;
+}
+
+EnergyBreakdown
+raceAnalyticEnergy(const CellLibrary &lib, size_t n, RaceCase which,
+                   ClockMode mode, size_t m)
+{
+    rl_assert(n >= 1, "empty comparison");
+    EnergyBreakdown e;
+    const double cells = static_cast<double>(n) * static_cast<double>(n);
+    const double cycles =
+        static_cast<double>(raceLatencyCycles(n, which));
+
+    // Data term (paper §4.2): for both corners, every non-clocked
+    // capacitance in the fabric charges once per comparison.
+    e.dataJ = lib.raceCellTogglesPerComparison * cells *
+              lib.switchEnergyJ(lib.netCapF);
+
+    switch (mode) {
+      case ClockMode::Ungated:
+        e.clockJ = raceClockCapF(lib, n) * lib.vdd * lib.vdd * cycles;
+        break;
+      case ClockMode::Clockless:
+        break; // the asynchronous estimate drops the clock network
+      case ClockMode::Gated: {
+        if (m == 0) {
+            m = static_cast<size_t>(
+                std::llround(optimalGatingGranularity(lib, n)));
+            m = std::clamp<size_t>(m, 1, n);
+        }
+        // Eq. 6 first term: each region is clocked only while the
+        // wavefront crosses it -- 2m-2 cycles in the worst case, m
+        // in the best (diagonal crossing) -- plus one wake and one
+        // latch cycle at the window edges.
+        double window = which == RaceCase::Worst
+                            ? 2.0 * static_cast<double>(m)
+                            : static_cast<double>(m) + 1.0;
+        e.clockJ =
+            raceClockCapF(lib, n) * lib.vdd * lib.vdd * window;
+        // Eq. 6 second term: the H-tree leaves' gating cells stay
+        // clocked for the entire computation.
+        double regions = std::ceil(static_cast<double>(n) /
+                                   static_cast<double>(m));
+        regions *= regions;
+        e.gatingJ = regions * cycles *
+                    lib.switchEnergyJ(lib.gatingCellCapF);
+        break;
+      }
+    }
+    return e;
+}
+
+double
+optimalGatingGranularity(const CellLibrary &lib, size_t n)
+{
+    rl_assert(n >= 2, "gating granularity needs n >= 2");
+    // Minimize Eq. 6 over m:
+    //   E(m) = C_clk V^2 (2m - 2) + C_gate V^2 (N/m)^2 (2N - 2)
+    // with C_clk = 3 N^2 c_dff.  dE/dm = 0 gives
+    //   m* = cbrt(C_gate (2N - 2) / (3 c_dff)).
+    double numerator =
+        lib.gatingCellCapF * (2.0 * static_cast<double>(n) - 2.0);
+    double denominator = kDffsPerRaceCell * lib.dffClockCapF;
+    return std::cbrt(numerator / denominator);
+}
+
+size_t
+numericOptimalGranularity(const CellLibrary &lib, size_t n,
+                          RaceCase which)
+{
+    size_t best_m = 1;
+    double best_e = raceAnalyticEnergy(lib, n, which, ClockMode::Gated, 1)
+                        .totalJ();
+    for (size_t m = 2; m <= n; ++m) {
+        double e =
+            raceAnalyticEnergy(lib, n, which, ClockMode::Gated, m)
+                .totalJ();
+        if (e < best_e) {
+            best_e = e;
+            best_m = m;
+        }
+    }
+    return best_m;
+}
+
+double
+energyFromActivityJ(const CellLibrary &lib,
+                    const circuit::Activity &activity)
+{
+    double clock = static_cast<double>(activity.clockedDffCycles) *
+                   lib.switchEnergyJ(lib.dffClockCapF);
+    double data = static_cast<double>(activity.netToggles) *
+                  lib.switchEnergyJ(lib.netCapF);
+    return clock + data;
+}
+
+EnergyBreakdown
+systolicEnergyFromResult(const CellLibrary &lib,
+                         const systolic::SystolicResult &result,
+                         const bio::Alphabet &alphabet)
+{
+    EnergyBreakdown e;
+    double bits_per_pe = static_cast<double>(
+        systolic::LiptonLoprestiArray::registerBitsPerPe(alphabet));
+    // The linear array is clocked every cycle (no gating story).
+    e.clockJ = static_cast<double>(result.peClockCycles) * bits_per_pe *
+               lib.switchEnergyJ(lib.dffClockCapF);
+    e.dataJ =
+        static_cast<double>(result.registerBitToggles) *
+            lib.switchEnergyJ(lib.netCapF) +
+        static_cast<double>(result.activePeCycles) *
+            lib.peComputeToggles * lib.switchEnergyJ(lib.netCapF);
+    e.streamJ = static_cast<double>(result.streamShiftEvents) *
+                lib.switchEnergyJ(lib.streamCapF);
+    return e;
+}
+
+EnergyBreakdown
+systolicAnalyticEnergy(const CellLibrary &lib,
+                       const bio::Alphabet &alphabet, size_t n, size_t m)
+{
+    using systolic::LiptonLoprestiArray;
+    EnergyBreakdown e;
+    double cycles =
+        static_cast<double>(LiptonLoprestiArray::latencyCycles(n, m));
+    double pes = static_cast<double>(n + m + 1);
+    double bits_per_pe = static_cast<double>(
+        LiptonLoprestiArray::registerBitsPerPe(alphabet));
+    e.clockJ = cycles * pes * bits_per_pe *
+               lib.switchEnergyJ(lib.dffClockCapF);
+    // Measured-typical activity (see the systolic tests): chars are
+    // spaced every other slot, so occupied char registers toggle
+    // their valid bit nearly every cycle.
+    e.dataJ = cycles * pes *
+              (3.0 + lib.peComputeToggles / 4.0) *
+              lib.switchEnergyJ(lib.netCapF);
+    e.streamJ = cycles * pes * 1.0 * lib.switchEnergyJ(lib.streamCapF);
+    return e;
+}
+
+} // namespace racelogic::tech

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Energy models (paper Eq. 3-6, Fig. 5c/5f).
+ *
+ * Three tiers, cross-validated by tests and benches:
+ *
+ *  1. paperFitEnergyPj(): the literal fitted polynomials the paper
+ *     publishes as Eq. 5 (pJ as a function of string length N).
+ *  2. raceAnalyticEnergy(): Eq. 3/4 evaluated with the library's
+ *     capacitances -- clock term C_clk * V^2 * cycles (cubic in N,
+ *     since the clocked area is quadratic) plus the data term
+ *     (every non-clocked net charges once per comparison).
+ *     Gating (Eq. 6) and the clockless estimate modify the clock
+ *     term.
+ *  3. energyFromActivity(): toggle counts from the cycle-accurate
+ *     gate-level simulator priced per event -- the ModelSim ->
+ *     PrimeTime substitute.
+ */
+
+#ifndef RACELOGIC_TECH_ENERGY_MODEL_H
+#define RACELOGIC_TECH_ENERGY_MODEL_H
+
+#include <cstdint>
+
+#include "rl/bio/alphabet.h"
+#include "rl/circuit/sim_sync.h"
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/tech/cell_library.h"
+
+namespace racelogic::tech {
+
+/** Which alignment corner is being modeled (paper Fig. 5/6). */
+enum class RaceCase {
+    Best,  ///< identical strings: N cycles, diagonal wavefront
+    Worst, ///< complete mismatch: 2N cycles, full-square wavefront
+};
+
+/** Clock-network configuration of the race fabric. */
+enum class ClockMode {
+    Ungated,   ///< every DFF clocked every cycle
+    Gated,     ///< §4.3 multi-cell-region gating at granularity m
+    Clockless, ///< asynchronous estimate: no clock term at all
+};
+
+/** Energy decomposed by source (J). */
+struct EnergyBreakdown {
+    double clockJ = 0.0;   ///< DFF clock-pin charging
+    double dataJ = 0.0;    ///< data-dependent net toggles
+    double gatingJ = 0.0;  ///< clock-gating cell overhead (Eq. 6)
+    double streamJ = 0.0;  ///< systolic stream wiring (baseline only)
+
+    double
+    totalJ() const
+    {
+        return clockJ + dataJ + gatingJ + streamJ;
+    }
+};
+
+/** Race latency in cycles for an N x N comparison (paper §4.2). */
+uint64_t raceLatencyCycles(size_t n, RaceCase which);
+
+/** The paper's Eq. 5 fitted energy (pJ) for an N x N comparison. */
+double paperFitEnergyPj(const CellLibrary &lib, RaceCase which,
+                        double n);
+
+/**
+ * Eq. 3/4 analytic race energy for an N x N comparison.
+ *
+ * @param lib   Technology parameters.
+ * @param n     String length.
+ * @param which Best or worst case (sets cycles and gated windows).
+ * @param mode  Clock network configuration.
+ * @param m     Gating granularity (ClockMode::Gated only); 0 picks
+ *              the Eq. 7 optimum.
+ */
+EnergyBreakdown raceAnalyticEnergy(const CellLibrary &lib, size_t n,
+                                   RaceCase which,
+                                   ClockMode mode = ClockMode::Ungated,
+                                   size_t m = 0);
+
+/**
+ * Eq. 7: the energy-optimal gating granularity
+ * m* = cbrt(C_gate * (2N - 2) / C_clk-per-cell), clamped to [1, N].
+ */
+double optimalGatingGranularity(const CellLibrary &lib, size_t n);
+
+/** Integer argmin of Eq. 6 by direct search (test oracle for Eq. 7). */
+size_t numericOptimalGranularity(const CellLibrary &lib, size_t n,
+                                 RaceCase which = RaceCase::Worst);
+
+/** Price simulated gate-level activity (race fabric). */
+double energyFromActivityJ(const CellLibrary &lib,
+                           const circuit::Activity &activity);
+
+/** Price a cycle-accurate systolic run. */
+EnergyBreakdown systolicEnergyFromResult(
+    const CellLibrary &lib, const systolic::SystolicResult &result,
+    const bio::Alphabet &alphabet);
+
+/**
+ * Analytic systolic energy when no simulation is at hand: every PE
+ * clocked every cycle, streams toggling at the measured-typical
+ * rate.  Benches prefer systolicEnergyFromResult.
+ */
+EnergyBreakdown systolicAnalyticEnergy(const CellLibrary &lib,
+                                       const bio::Alphabet &alphabet,
+                                       size_t n, size_t m);
+
+} // namespace racelogic::tech
+
+#endif // RACELOGIC_TECH_ENERGY_MODEL_H

@@ -1,0 +1,49 @@
+#include "rl/tech/metrics.h"
+
+#include "rl/bio/alphabet.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::tech {
+
+DesignPoint
+raceDesignPoint(const CellLibrary &lib, size_t n, RaceCase which,
+                ClockMode mode)
+{
+    DesignPoint point;
+    const char *corner = which == RaceCase::Best ? "best" : "worst";
+    const char *clock = mode == ClockMode::Ungated
+                            ? ""
+                            : (mode == ClockMode::Gated ? " gated"
+                                                        : " clockless");
+    point.label = util::format("RaceLogic %s%s %s", corner, clock,
+                               lib.name.c_str());
+    point.latencyNs =
+        static_cast<double>(raceLatencyCycles(n, which)) *
+        lib.racePeriodNs;
+    point.energyJ = raceAnalyticEnergy(lib, n, which, mode).totalJ();
+    point.areaUm2 =
+        raceGridArea(lib, n, n,
+                     bio::Alphabet::dna().bitsPerSymbol()).totalUm2;
+    return point;
+}
+
+DesignPoint
+systolicDesignPoint(const CellLibrary &lib, size_t n,
+                    const std::optional<systolic::SystolicResult> &measured)
+{
+    const bio::Alphabet &dna = bio::Alphabet::dna();
+    DesignPoint point;
+    point.label = util::format("Systolic %s", lib.name.c_str());
+    point.latencyNs =
+        static_cast<double>(
+            systolic::LiptonLoprestiArray::latencyCycles(n, n)) *
+        lib.systolicPeriodNs;
+    point.energyJ =
+        (measured ? systolicEnergyFromResult(lib, *measured, dna)
+                  : systolicAnalyticEnergy(lib, dna, n, n))
+            .totalJ();
+    point.areaUm2 = systolicArea(lib, dna, n, n).totalUm2;
+    return point;
+}
+
+} // namespace racelogic::tech

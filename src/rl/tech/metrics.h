@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Derived figure-of-merit metrics (paper Fig. 9).
+ *
+ * Combines the latency, energy, and area models into the quantities
+ * the paper plots: throughput per unit area (patterns/sec/cm^2),
+ * power density (W/cm^2, against the ITRS 200 W/cm^2 ceiling), and
+ * the energy-delay scatter of Fig. 9c.
+ */
+
+#ifndef RACELOGIC_TECH_METRICS_H
+#define RACELOGIC_TECH_METRICS_H
+
+#include <optional>
+#include <string>
+
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/tech/area_model.h"
+#include "rl/tech/cell_library.h"
+#include "rl/tech/energy_model.h"
+
+namespace racelogic::tech {
+
+/** A (latency, energy, area) operating point of one design. */
+struct DesignPoint {
+    std::string label;
+    double latencyNs = 0.0;
+    double energyJ = 0.0;
+    double areaUm2 = 0.0;
+
+    double
+    areaCm2() const
+    {
+        return areaUm2 * 1e-8;
+    }
+
+    /** Comparisons per second (one in flight at a time). */
+    double
+    throughputPerSec() const
+    {
+        return 1e9 / latencyNs;
+    }
+
+    /** Fig. 9a: patterns/sec/cm^2. */
+    double
+    throughputPerSecPerCm2() const
+    {
+        return throughputPerSec() / areaCm2();
+    }
+
+    /** Fig. 9b: W/cm^2. */
+    double
+    powerDensityWPerCm2() const
+    {
+        return energyJ / (latencyNs * 1e-9) / areaCm2();
+    }
+
+    /** Fig. 9c iso-lines: J * s. */
+    double
+    energyDelayProduct() const
+    {
+        return energyJ * latencyNs * 1e-9;
+    }
+};
+
+/**
+ * The Race Logic operating point for an N x N DNA comparison.
+ *
+ * @param lib    Technology.
+ * @param n      String length.
+ * @param which  Best or worst corner.
+ * @param mode   Clock configuration (ungated / gated / clockless).
+ */
+DesignPoint raceDesignPoint(const CellLibrary &lib, size_t n,
+                            RaceCase which,
+                            ClockMode mode = ClockMode::Ungated);
+
+/**
+ * The systolic-baseline operating point for an N x N DNA comparison.
+ *
+ * @param measured  Pass a cycle-accurate result to price actual
+ *                  activity; otherwise the analytic model is used.
+ */
+DesignPoint systolicDesignPoint(
+    const CellLibrary &lib, size_t n,
+    const std::optional<systolic::SystolicResult> &measured =
+        std::nullopt);
+
+} // namespace racelogic::tech
+
+#endif // RACELOGIC_TECH_METRICS_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used when sizing hardware structures
+ * (counter widths, one-hot vs binary encodings, H-tree levels).
+ */
+
+#ifndef RACELOGIC_UTIL_BITOPS_H
+#define RACELOGIC_UTIL_BITOPS_H
+
+#include <cstdint>
+
+namespace racelogic::util {
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    unsigned result = 0;
+    while (x >>= 1)
+        ++result;
+    return result;
+}
+
+/** ceil(log2(x)) for x >= 1; log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/**
+ * Number of flip-flop bits needed by a register that must represent
+ * values 0..max_value inclusive.
+ */
+constexpr unsigned
+bitsForValue(uint64_t max_value)
+{
+    return max_value == 0 ? 1 : log2Floor(max_value) + 1;
+}
+
+/** Smallest power of two >= x (x >= 1). */
+constexpr uint64_t
+nextPowerOfTwo(uint64_t x)
+{
+    return uint64_t(1) << log2Ceil(x);
+}
+
+/** Integer ceiling division for non-negative operands. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace racelogic::util
+
+#endif // RACELOGIC_UTIL_BITOPS_H

@@ -1,0 +1,58 @@
+#include "rl/util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace racelogic::util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warnings;
+
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel old = globalLevel;
+    globalLevel = level;
+    return old;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "panic: " << message << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "fatal: " << message << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Warnings)
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Info)
+        std::cerr << "info: " << message << std::endl;
+}
+
+} // namespace racelogic::util

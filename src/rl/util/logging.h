@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * Two error levels are distinguished deliberately:
+ *
+ *  - panic():  an internal invariant of the library itself was violated
+ *              (a bug in this code).  Aborts so a debugger or core dump
+ *              can capture the state.
+ *  - fatal():  the caller asked for something impossible (bad
+ *              configuration, invalid argument).  Exits cleanly with a
+ *              nonzero status.
+ *
+ * warn() / inform() print advisory messages and never stop execution.
+ */
+
+#ifndef RACELOGIC_UTIL_LOGGING_H
+#define RACELOGIC_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace racelogic::util {
+
+/** Verbosity gate for inform(); warnings and errors always print. */
+enum class LogLevel { Silent, Warnings, Info };
+
+/** Set the global verbosity; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** @{ Internal sinks used by the macros below. Not for direct use. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+/** @} */
+
+namespace detail {
+
+/** Fold an arbitrary argument pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace racelogic::util
+
+/** Abort on a broken internal invariant (library bug). */
+#define rl_panic(...)                                                       \
+    ::racelogic::util::panicImpl(                                           \
+        __FILE__, __LINE__, ::racelogic::util::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define rl_fatal(...)                                                       \
+    ::racelogic::util::fatalImpl(                                           \
+        __FILE__, __LINE__, ::racelogic::util::detail::concat(__VA_ARGS__))
+
+/** Print a warning (suspect but survivable condition). */
+#define rl_warn(...)                                                        \
+    ::racelogic::util::warnImpl(::racelogic::util::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message (gated by LogLevel::Info). */
+#define rl_inform(...)                                                      \
+    ::racelogic::util::informImpl(                                          \
+        ::racelogic::util::detail::concat(__VA_ARGS__))
+
+/** panic() unless the stated library invariant holds. */
+#define rl_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            rl_panic("assertion '" #cond "' failed. ",                     \
+                     ::racelogic::util::detail::concat(__VA_ARGS__));       \
+        }                                                                   \
+    } while (0)
+
+#endif // RACELOGIC_UTIL_LOGGING_H

@@ -1,0 +1,86 @@
+#include "rl/util/random.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::util {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 mixer(seed);
+    for (auto &word : s)
+        word = mixer.next();
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    rl_assert(lo <= hi, "uniformInt bounds reversed: ", lo, " > ", hi);
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = max() - max() % span;
+    uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<int64_t>(draw % span);
+}
+
+size_t
+Rng::index(size_t n)
+{
+    rl_assert(n > 0, "index() requires a non-empty range");
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace racelogic::util

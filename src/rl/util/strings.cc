@@ -1,0 +1,84 @@
+#include "rl/util/strings.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace racelogic::util {
+
+std::vector<std::string>
+split(const std::string &text, char delimiter)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(delimiter, start);
+        if (pos == std::string::npos) {
+            fields.push_back(text.substr(start));
+            return fields;
+        }
+        fields.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(const std::string &text)
+{
+    const char *ws = " \t\r\n";
+    size_t begin = text.find_first_not_of(ws);
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(ws);
+    return text.substr(begin, end - begin + 1);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+siFormat(double value, const std::string &unit, int significant)
+{
+    static const struct { double scale; const char *prefix; } bands[] = {
+        { 1e12, "T" }, { 1e9, "G" }, { 1e6, "M" }, { 1e3, "k" },
+        { 1.0,  ""  }, { 1e-3, "m" }, { 1e-6, "u" }, { 1e-9, "n" },
+        { 1e-12, "p" }, { 1e-15, "f" }, { 1e-18, "a" },
+    };
+    if (value == 0.0)
+        return "0" + unit;
+    double magnitude = std::fabs(value);
+    for (const auto &band : bands) {
+        if (magnitude >= band.scale) {
+            double scaled = value / band.scale;
+            return compactDouble(scaled, significant) + band.prefix + unit;
+        }
+    }
+    return compactDouble(value, significant) + unit;
+}
+
+std::string
+compactDouble(double value, int max_decimals)
+{
+    std::string out = format("%.*f", max_decimals, value);
+    if (out.find('.') == std::string::npos)
+        return out;
+    size_t last = out.find_last_not_of('0');
+    if (out[last] == '.')
+        --last;
+    return out.substr(0, last + 1);
+}
+
+} // namespace racelogic::util

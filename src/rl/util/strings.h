@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal string helpers shared by the table writer, benches, and
+ * examples.  Kept deliberately tiny; anything heavier should use the
+ * standard library directly.
+ */
+
+#ifndef RACELOGIC_UTIL_STRINGS_H
+#define RACELOGIC_UTIL_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace racelogic::util {
+
+/** Split on a single character delimiter; keeps empty fields. */
+std::vector<std::string> split(const std::string &text, char delimiter);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Engineering notation with an SI suffix, e.g. 2.65e-9 -> "2.65n".
+ * Used for human-readable bench output (areas, energies, times).
+ */
+std::string siFormat(double value, const std::string &unit,
+                     int significant = 3);
+
+/** Fixed-precision decimal without trailing zeros, e.g. 3.1400 -> 3.14. */
+std::string compactDouble(double value, int max_decimals = 4);
+
+} // namespace racelogic::util
+
+#endif // RACELOGIC_UTIL_STRINGS_H

@@ -1,0 +1,86 @@
+#include "rl/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "rl/util/logging.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    rl_assert(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rl_assert(cells.size() == header.size(),
+              "row has ", cells.size(), " cells, expected ", header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toCell(double value)
+{
+    // Pick a representation that keeps tables readable across the huge
+    // dynamic ranges in the paper's log-scale figures.
+    double magnitude = value < 0 ? -value : value;
+    if (value == 0.0)
+        return "0";
+    if (magnitude >= 1e6 || magnitude < 1e-3)
+        return format("%.3e", value);
+    return compactDouble(value, 4);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ")
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << (c == 0 ? "" : ",") << cells[c];
+        os << '\n';
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << std::string(72, '=') << '\n'
+       << "  " << title << '\n'
+       << std::string(72, '=') << '\n';
+}
+
+} // namespace racelogic::util

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Aligned text tables and CSV emission for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's figures as a table
+ * of rows/series.  TextTable renders those tables with aligned columns
+ * for terminals and can additionally emit CSV so the data can be
+ * re-plotted.
+ */
+
+#ifndef RACELOGIC_UTIL_TABLE_H
+#define RACELOGIC_UTIL_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace racelogic::util {
+
+/** A column-aligned table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: build a row from heterogeneous printable values. */
+    template <typename... Cells>
+    void
+    row(Cells &&...cells)
+    {
+        addRow({toCell(std::forward<Cells>(cells))...});
+    }
+
+    /** Number of data rows. */
+    size_t rows() const { return body.size(); }
+
+    /** Render with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    static std::string toCell(const std::string &value) { return value; }
+    static std::string toCell(const char *value) { return value; }
+    static std::string toCell(double value);
+    static std::string toCell(float value) { return toCell(double(value)); }
+
+    template <typename T>
+    static std::string
+    toCell(T value)
+        requires std::is_integral_v<T>
+    {
+        return std::to_string(value);
+    }
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Print a section banner used between bench sub-experiments. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace racelogic::util
+
+#endif // RACELOGIC_UTIL_TABLE_H

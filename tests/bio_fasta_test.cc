@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the FASTA reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rl/bio/fasta.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::FastaRecord;
+using bio::Sequence;
+
+TEST(Fasta, ParsesMultipleRecords)
+{
+    std::istringstream in(
+        ">query one\nACGT\nACGT\n"
+        "; a comment line\n"
+        ">query two\n\nGG\nTT\n");
+    auto records = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].description, "query one");
+    EXPECT_EQ(records[0].sequence.str(), "ACGTACGT");
+    EXPECT_EQ(records[1].description, "query two");
+    EXPECT_EQ(records[1].sequence.str(), "GGTT");
+}
+
+TEST(Fasta, FoldsLowercase)
+{
+    std::istringstream in(">x\nacgt\n");
+    auto records = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence.str(), "ACGT");
+}
+
+TEST(Fasta, ToleratesWhitespaceInsideSequenceLines)
+{
+    std::istringstream in(">x\nAC GT\t\n");
+    auto records = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence.str(), "ACGT");
+}
+
+TEST(Fasta, EmptyStreamYieldsNoRecords)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(bio::readFasta(in, Alphabet::dna()).empty());
+}
+
+TEST(Fasta, EmptySequenceRecordAllowed)
+{
+    std::istringstream in(">empty\n>full\nAC\n");
+    auto records = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_TRUE(records[0].sequence.empty());
+    EXPECT_EQ(records[1].sequence.str(), "AC");
+}
+
+TEST(FastaDeath, RejectsDataBeforeHeader)
+{
+    std::istringstream in("ACGT\n");
+    EXPECT_EXIT(bio::readFasta(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "before any");
+}
+
+TEST(FastaDeath, RejectsForeignLetters)
+{
+    std::istringstream in(">x\nACGU\n");
+    EXPECT_EXIT(bio::readFasta(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "not in alphabet");
+}
+
+TEST(Fasta, RoundTripThroughWriter)
+{
+    std::vector<FastaRecord> records{
+        {"alpha", Sequence(Alphabet::dna(), "ACGTACGTACGT")},
+        {"beta", Sequence(Alphabet::dna(), "GG")},
+    };
+    std::ostringstream out;
+    bio::writeFasta(out, records, /*width=*/5);
+    std::istringstream in(out.str());
+    auto parsed = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].description, "alpha");
+    EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+    EXPECT_EQ(parsed[1].sequence, records[1].sequence);
+}
+
+TEST(Fasta, WriterWrapsLines)
+{
+    std::vector<FastaRecord> records{
+        {"x", Sequence(Alphabet::dna(), "ACGTACGT")}};
+    std::ostringstream out;
+    bio::writeFasta(out, records, 4);
+    EXPECT_EQ(out.str(), ">x\nACGT\nACGT\n");
+}
+
+TEST(Fasta, ProteinAlphabet)
+{
+    std::istringstream in(">p\nHEAGAWGHEE\n");
+    auto records = bio::readFasta(in, Alphabet::protein());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sequence.size(), 10u);
+}
+
+} // namespace

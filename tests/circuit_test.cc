@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the gate-level substrate: netlist structure, simulator
+ * timing semantics, activity counting, and the structural builders
+ * (delay chains, saturating counters, set-on-arrival, mux trees).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/circuit/builders.h"
+#include "rl/circuit/netlist.h"
+#include "rl/circuit/sim_sync.h"
+
+namespace {
+
+using namespace racelogic;
+using circuit::Bus;
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NetId;
+using circuit::SyncSim;
+
+// ------------------------------------------------------------ netlist
+
+TEST(Netlist, TypeCounts)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId b = n.input("b");
+    n.andGate({a, b});
+    n.orGate({a, b});
+    n.dff(a);
+    auto counts = n.typeCounts();
+    EXPECT_EQ(counts[size_t(GateType::Input)], 2u);
+    EXPECT_EQ(counts[size_t(GateType::And)], 1u);
+    EXPECT_EQ(counts[size_t(GateType::Or)], 1u);
+    EXPECT_EQ(n.dffCount(), 1u);
+}
+
+TEST(Netlist, FindInputByName)
+{
+    Netlist n;
+    NetId a = n.input("go");
+    EXPECT_EQ(n.findInput("go"), a);
+    EXPECT_EQ(n.inputName(a), "go");
+}
+
+TEST(Netlist, CombOrderRespectsDependencies)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId x = n.notGate(a);
+    NetId y = n.andGate({a, x});
+    auto order = n.combOrder();
+    std::vector<size_t> pos(n.gateCount());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    EXPECT_LT(pos[a], pos[x]);
+    EXPECT_LT(pos[x], pos[y]);
+}
+
+TEST(Netlist, DffBreaksCycles)
+{
+    // q = DFF(not q) is a legal divide-by-two; no combinational cycle.
+    Netlist n;
+    NetId q = n.dffDeferred();
+    NetId d = n.notGate(q);
+    n.bindDff(q, d);
+    n.validate();
+    SyncSim sim(n);
+    EXPECT_FALSE(sim.value(q));
+    sim.tick();
+    EXPECT_TRUE(sim.value(q));
+    sim.tick();
+    EXPECT_FALSE(sim.value(q));
+}
+
+TEST(NetlistDeath, CombinationalCycleDetected)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    // Build a cycle through an AND by abusing deferred DFF... not
+    // possible; instead feed a gate its own output via a second
+    // netlist path: create two ANDs referencing each other is
+    // impossible append-only, so validate() can only see cycles via
+    // bindDff misuse -- which is prevented.  What we CAN check: an
+    // unbound deferred DFF is rejected.
+    n.dffDeferred();
+    (void)a;
+    EXPECT_DEATH(n.validate(), "unbound");
+}
+
+TEST(NetlistDeath, DoubleBindRejected)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = n.dffDeferred();
+    n.bindDff(q, a);
+    EXPECT_DEATH(n.bindDff(q, a), "already bound");
+}
+
+// ---------------------------------------------------- gate semantics
+
+TEST(SyncSim, CombinationalGateTruthTables)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId b = n.input("b");
+    NetId g_and = n.andGate({a, b});
+    NetId g_or = n.orGate({a, b});
+    NetId g_nand = n.nandGate({a, b});
+    NetId g_nor = n.norGate({a, b});
+    NetId g_xor = n.xorGate(a, b);
+    NetId g_xnor = n.xnorGate(a, b);
+    NetId g_not = n.notGate(a);
+    NetId g_buf = n.bufGate(a);
+    SyncSim sim(n);
+    for (int av = 0; av <= 1; ++av) {
+        for (int bv = 0; bv <= 1; ++bv) {
+            sim.setInput(a, av);
+            sim.setInput(b, bv);
+            EXPECT_EQ(sim.value(g_and), av && bv);
+            EXPECT_EQ(sim.value(g_or), av || bv);
+            EXPECT_EQ(sim.value(g_nand), !(av && bv));
+            EXPECT_EQ(sim.value(g_nor), !(av || bv));
+            EXPECT_EQ(sim.value(g_xor), av != bv);
+            EXPECT_EQ(sim.value(g_xnor), av == bv);
+            EXPECT_EQ(sim.value(g_not), !av);
+            EXPECT_EQ(sim.value(g_buf), !!av);
+        }
+    }
+}
+
+TEST(SyncSim, MuxSelects)
+{
+    Netlist n;
+    NetId s = n.input("s");
+    NetId d0 = n.input("d0");
+    NetId d1 = n.input("d1");
+    NetId m = n.mux(s, d0, d1);
+    SyncSim sim(n);
+    sim.setInput(d0, false);
+    sim.setInput(d1, true);
+    sim.setInput(s, false);
+    EXPECT_FALSE(sim.value(m));
+    sim.setInput(s, true);
+    EXPECT_TRUE(sim.value(m));
+}
+
+TEST(SyncSim, DffDelaysExactlyOneCycle)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = n.dff(a);
+    SyncSim sim(n);
+    sim.setInput(a, true);
+    EXPECT_FALSE(sim.value(q)) << "visible only after the edge";
+    sim.tick();
+    EXPECT_TRUE(sim.value(q));
+}
+
+TEST(SyncSim, DffEnableGatesCapture)
+{
+    Netlist n;
+    NetId d = n.input("d");
+    NetId en = n.input("en");
+    NetId q = n.dff(d, false, en);
+    SyncSim sim(n);
+    sim.setInput(d, true);
+    sim.setInput(en, false);
+    sim.tick();
+    EXPECT_FALSE(sim.value(q)) << "disabled DFF holds";
+    sim.setInput(en, true);
+    sim.tick();
+    EXPECT_TRUE(sim.value(q));
+    // Gated cycles are not charged to the clock activity.
+    EXPECT_EQ(sim.activity().clockedDffCycles, 1u);
+}
+
+TEST(SyncSim, DffInitValue)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = n.dff(a, /*init=*/true);
+    SyncSim sim(n);
+    EXPECT_TRUE(sim.value(q));
+    sim.tick(); // captures a = 0
+    EXPECT_FALSE(sim.value(q));
+}
+
+TEST(SyncSim, RunUntilFindsArrivalCycle)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = circuit::buildDelayChain(n, a, 5);
+    SyncSim sim(n);
+    sim.setInput(a, true);
+    auto cycle = sim.runUntil(q, true, 100);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(*cycle, 5u);
+}
+
+TEST(SyncSim, RunUntilGivesUp)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = circuit::buildDelayChain(n, a, 10);
+    SyncSim sim(n);
+    sim.setInput(a, true);
+    EXPECT_FALSE(sim.runUntil(q, true, 3).has_value());
+}
+
+TEST(SyncSim, ResetRestoresInitAndClearsInputs)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    NetId q = n.dff(a);
+    SyncSim sim(n);
+    sim.setInput(a, true);
+    sim.tick();
+    EXPECT_TRUE(sim.value(q));
+    sim.reset();
+    EXPECT_EQ(sim.cycle(), 0u);
+    EXPECT_FALSE(sim.value(q));
+    EXPECT_FALSE(sim.value(a));
+}
+
+TEST(SyncSim, ActivityCountsClockAndToggles)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    n.dff(a);
+    n.dff(a);
+    SyncSim sim(n);
+    sim.clearActivity();
+    sim.tickMany(10);
+    EXPECT_EQ(sim.activity().cycles, 10u);
+    EXPECT_EQ(sim.activity().clockedDffCycles, 20u);
+    // Constant-zero input: no net toggles at all.
+    EXPECT_EQ(sim.activity().netToggles, 0u);
+    sim.setInput(a, true);
+    sim.tick();
+    EXPECT_GT(sim.activity().netToggles, 0u);
+}
+
+TEST(SyncSim, MonotoneRaceSignalTogglesOncePerNet)
+{
+    // A delay chain driven by a step input: every net rises exactly
+    // once -- the "charged once per comparison" premise of the
+    // paper's energy analysis.
+    Netlist n;
+    NetId a = n.input("a");
+    circuit::buildDelayChain(n, a, 8);
+    SyncSim sim(n);
+    sim.clearActivity();
+    sim.setInput(a, true);
+    sim.tickMany(12);
+    EXPECT_EQ(sim.activity().netToggles, 1u + 8u); // input + 8 stages
+}
+
+// ----------------------------------------------------------- builders
+
+TEST(Builders, TappedDelayChainHoldsLevels)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    Bus taps = circuit::buildTappedDelayChain(n, a, 4);
+    ASSERT_EQ(taps.size(), 5u);
+    SyncSim sim(n);
+    sim.setInput(a, true);
+    for (uint64_t c = 0; c <= 4; ++c) {
+        for (uint64_t k = 0; k <= 4; ++k)
+            EXPECT_EQ(sim.value(taps[k]), k <= c)
+                << "tap " << k << " cycle " << c;
+        sim.tick();
+    }
+}
+
+TEST(Builders, EqualsConstMatchesExactly)
+{
+    Netlist n;
+    Bus bus = circuit::buildInputBus(n, "v", 3);
+    NetId eq5 = circuit::buildEqualsConst(n, bus, 5);
+    SyncSim sim(n);
+    for (uint64_t v = 0; v < 8; ++v) {
+        for (unsigned b = 0; b < 3; ++b)
+            sim.setInput(bus[b], (v >> b) & 1);
+        EXPECT_EQ(sim.value(eq5), v == 5) << "value " << v;
+    }
+}
+
+TEST(Builders, SaturatingCounterCountsAndSaturates)
+{
+    Netlist n;
+    NetId en = n.input("en");
+    Bus count = circuit::buildSaturatingCounter(n, en, 3);
+    SyncSim sim(n);
+    auto read = [&] {
+        uint64_t v = 0;
+        for (size_t b = 0; b < count.size(); ++b)
+            v |= uint64_t(sim.value(count[b])) << b;
+        return v;
+    };
+    EXPECT_EQ(read(), 0u);
+    sim.tickMany(3);
+    EXPECT_EQ(read(), 0u) << "disabled counter holds";
+    sim.setInput(en, true);
+    for (uint64_t expect = 1; expect <= 7; ++expect) {
+        sim.tick();
+        EXPECT_EQ(read(), expect);
+    }
+    sim.tickMany(5);
+    EXPECT_EQ(read(), 7u) << "saturates at all-ones, no wraparound";
+}
+
+TEST(Builders, SaturatingCounterPausesWithEnable)
+{
+    Netlist n;
+    NetId en = n.input("en");
+    Bus count = circuit::buildSaturatingCounter(n, en, 4);
+    SyncSim sim(n);
+    sim.setInput(en, true);
+    sim.tickMany(5);
+    sim.setInput(en, false);
+    sim.tickMany(3);
+    uint64_t v = 0;
+    for (size_t b = 0; b < count.size(); ++b)
+        v |= uint64_t(sim.value(count[b])) << b;
+    EXPECT_EQ(v, 5u);
+}
+
+TEST(Builders, SetOnArrivalFiresSameCycleAndLatches)
+{
+    Netlist n;
+    NetId pulse = n.input("pulse");
+    NetId out = circuit::buildSetOnArrival(n, pulse);
+    SyncSim sim(n);
+    EXPECT_FALSE(sim.value(out));
+    sim.setInput(pulse, true);
+    EXPECT_TRUE(sim.value(out)) << "fires combinationally";
+    sim.tick();
+    sim.setInput(pulse, false);
+    EXPECT_TRUE(sim.value(out)) << "latched after the pulse ends";
+    sim.tickMany(3);
+    EXPECT_TRUE(sim.value(out));
+}
+
+TEST(Builders, MuxTreeSelectsAllSlots)
+{
+    Netlist n;
+    Bus sel = circuit::buildInputBus(n, "s", 2);
+    std::vector<NetId> data;
+    for (int i = 0; i < 4; ++i)
+        data.push_back(n.input("d" + std::to_string(i)));
+    NetId out = circuit::buildMuxTree(n, sel, data);
+    SyncSim sim(n);
+    for (unsigned chosen = 0; chosen < 4; ++chosen) {
+        for (unsigned i = 0; i < 4; ++i)
+            sim.setInput(data[i], i == chosen);
+        for (unsigned pick = 0; pick < 4; ++pick) {
+            sim.setInput(sel[0], pick & 1);
+            sim.setInput(sel[1], (pick >> 1) & 1);
+            EXPECT_EQ(sim.value(out), pick == chosen);
+        }
+    }
+}
+
+TEST(Builders, MuxTreePadsMissingSlotsWithZero)
+{
+    Netlist n;
+    Bus sel = circuit::buildInputBus(n, "s", 2);
+    NetId d0 = n.constant(true);
+    NetId out = circuit::buildMuxTree(n, sel, {d0});
+    SyncSim sim(n);
+    sim.setInput(sel[0], true); // select slot 1 (absent)
+    EXPECT_FALSE(sim.value(out));
+    sim.setInput(sel[0], false);
+    EXPECT_TRUE(sim.value(out));
+}
+
+TEST(Builders, MatchComparator)
+{
+    Netlist n;
+    Bus a = circuit::buildInputBus(n, "a", 2);
+    Bus b = circuit::buildInputBus(n, "b", 2);
+    NetId match = circuit::buildMatchComparator(n, a, b);
+    SyncSim sim(n);
+    for (unsigned av = 0; av < 4; ++av) {
+        for (unsigned bv = 0; bv < 4; ++bv) {
+            sim.setInput(a[0], av & 1);
+            sim.setInput(a[1], (av >> 1) & 1);
+            sim.setInput(b[0], bv & 1);
+            sim.setInput(b[1], (bv >> 1) & 1);
+            EXPECT_EQ(sim.value(match), av == bv);
+        }
+    }
+}
+
+TEST(Builders, DelayChainZeroIsWire)
+{
+    Netlist n;
+    NetId a = n.input("a");
+    EXPECT_EQ(circuit::buildDelayChain(n, a, 0), a);
+}
+
+} // namespace

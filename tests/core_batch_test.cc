@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the batch screening engine: scheduling invariants,
+ * verdict agreement with the single-fabric screener, and scaling
+ * behaviour of the fabric pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/core/batch.h"
+#include "rl/core/threshold.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using core::BatchConfig;
+using core::BatchReport;
+using core::BatchScreeningEngine;
+
+struct Workload {
+    Sequence query;
+    std::vector<Sequence> database;
+};
+
+Workload
+makeWorkload(uint64_t seed, size_t n, size_t entries)
+{
+    util::Rng rng(seed);
+    auto wl = bio::makeScreeningWorkload(
+        rng, Alphabet::dna(), n, entries, 0.25,
+        bio::MutationModel::uniform(0.1));
+    return {wl.query, wl.database};
+}
+
+TEST(Batch, SingleFabricMakespanEqualsBusyTime)
+{
+    Workload wl = makeWorkload(1, 16, 40);
+    BatchConfig cfg;
+    cfg.fabricCount = 1;
+    cfg.threshold = 20;
+    BatchScreeningEngine engine(
+        ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+    BatchReport report = engine.run(wl.query, wl.database);
+    EXPECT_EQ(report.makespanCycles, report.busyCycles);
+    EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+}
+
+TEST(Batch, MakespanBoundedByListSchedulingInvariants)
+{
+    Workload wl = makeWorkload(2, 16, 60);
+    for (size_t fabrics : {2u, 4u, 8u}) {
+        BatchConfig cfg;
+        cfg.fabricCount = fabrics;
+        cfg.threshold = 24;
+        BatchScreeningEngine engine(
+            ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+        BatchReport report = engine.run(wl.query, wl.database);
+        // Lower bound: perfect division of work.
+        EXPECT_GE(report.makespanCycles * fabrics, report.busyCycles);
+        // Utilization is a proper fraction.
+        EXPECT_GT(report.utilization, 0.0);
+        EXPECT_LE(report.utilization, 1.0);
+    }
+}
+
+TEST(Batch, MoreFabricsNeverSlowTheBatch)
+{
+    Workload wl = makeWorkload(3, 20, 80);
+    uint64_t previous = ~0ull;
+    for (size_t fabrics : {1u, 2u, 4u, 8u, 16u}) {
+        BatchConfig cfg;
+        cfg.fabricCount = fabrics;
+        cfg.threshold = 26;
+        BatchScreeningEngine engine(
+            ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+        uint64_t makespan =
+            engine.run(wl.query, wl.database).makespanCycles;
+        EXPECT_LE(makespan, previous) << fabrics << " fabrics";
+        previous = makespan;
+    }
+}
+
+TEST(Batch, VerdictsMatchSingleScreener)
+{
+    Workload wl = makeWorkload(4, 16, 50);
+    bio::Score threshold = 22;
+    BatchConfig cfg;
+    cfg.fabricCount = 4;
+    cfg.threshold = threshold;
+    BatchScreeningEngine engine(
+        ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+    core::ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), threshold);
+    BatchReport report = engine.run(wl.query, wl.database);
+    auto stats = screener.screenDatabase(wl.query, wl.database);
+    ASSERT_EQ(report.accepted.size(), stats.accepted.size());
+    for (size_t i = 0; i < report.accepted.size(); ++i)
+        EXPECT_EQ(report.accepted[i], stats.accepted[i]) << i;
+    EXPECT_EQ(report.acceptedCount, stats.acceptedCount);
+}
+
+TEST(Batch, ThresholdShortensBusyTime)
+{
+    Workload wl = makeWorkload(5, 24, 40);
+    BatchConfig no_threshold;
+    no_threshold.fabricCount = 2;
+    BatchConfig tight = no_threshold;
+    tight.threshold = 28;
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    uint64_t full =
+        BatchScreeningEngine(m, no_threshold)
+            .run(wl.query, wl.database)
+            .busyCycles;
+    uint64_t capped = BatchScreeningEngine(m, tight)
+                          .run(wl.query, wl.database)
+                          .busyCycles;
+    EXPECT_LT(capped, full);
+}
+
+TEST(Batch, ThroughputPricing)
+{
+    Workload wl = makeWorkload(6, 16, 30);
+    BatchConfig cfg;
+    cfg.fabricCount = 4;
+    cfg.threshold = 20;
+    BatchScreeningEngine engine(
+        ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+    BatchReport report = engine.run(wl.query, wl.database);
+    const auto &lib = tech::CellLibrary::amis();
+    EXPECT_GT(report.wallTimeNs(lib), 0.0);
+    EXPECT_GT(report.comparisonsPerSecond(lib), 0.0);
+    // 30 comparisons in makespan cycles at 3 ns each.
+    EXPECT_NEAR(report.comparisonsPerSecond(lib),
+                30.0 * 1e9 /
+                    (double(report.makespanCycles) * lib.racePeriodNs),
+                1.0);
+}
+
+TEST(Batch, EmptyDatabase)
+{
+    BatchConfig cfg;
+    BatchScreeningEngine engine(
+        ScoreMatrix::dnaShortestPathInfMismatch(), cfg);
+    Sequence q(Alphabet::dna(), "ACGT");
+    BatchReport report = engine.run(q, {});
+    EXPECT_EQ(report.comparisons, 0u);
+    EXPECT_EQ(report.makespanCycles, 0u);
+    EXPECT_EQ(report.utilization, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for §4.3 wavefront clock gating: per-region windows, the
+ * 2m-cycle worst-case crossing bound, activity savings, and the
+ * interaction with early termination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/core/clock_gating.h"
+#include "rl/core/race_grid.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using core::GatingAnalysis;
+using core::RaceGridAligner;
+using core::RaceGridResult;
+
+RaceGridResult
+worstCaseRace(util::Rng &rng, size_t n)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto [s, w] = bio::worstCasePair(rng, Alphabet::dna(), n);
+    return aligner.align(s, w);
+}
+
+RaceGridResult
+bestCaseRace(util::Rng &rng, size_t n)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence s = Sequence::random(rng, Alphabet::dna(), n);
+    return aligner.align(s, s);
+}
+
+TEST(ClockGating, RegionCountsAndTotals)
+{
+    util::Rng rng(1);
+    RaceGridResult race = worstCaseRace(rng, 16);
+    GatingAnalysis g = core::analyzeClockGating(race, 4);
+    EXPECT_EQ(g.regions, 16u);
+    EXPECT_EQ(g.totalCycles, 32u);
+    EXPECT_EQ(g.ungatedDffCycles, 16ull * 16 * 3 * 32);
+    EXPECT_EQ(g.gateOverheadCycles, 16ull * 32);
+}
+
+class GatingWindows
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{};
+
+TEST_P(GatingWindows, WorstCaseRegionWindowIsAboutTwoM)
+{
+    auto [n, m] = GetParam();
+    if (m > n)
+        GTEST_SKIP();
+    util::Rng rng(100 + n * 7 + m);
+    RaceGridResult race = worstCaseRace(rng, n);
+    GatingAnalysis g = core::analyzeClockGating(race, m);
+    // Eq. 6's premise: a full m x m region is active for the
+    // wavefront crossing, 2m - 2 cycles, plus the wake/latch edges.
+    for (size_t r = 0; r < g.windows.rows(); ++r) {
+        for (size_t c = 0; c < g.windows.cols(); ++c) {
+            auto active = g.windows.at(r, c).activeCycles();
+            EXPECT_GE(active, 1u);
+            EXPECT_LE(active, 2 * m + 1)
+                << "region (" << r << "," << c << ") of side " << m;
+        }
+    }
+}
+
+TEST_P(GatingWindows, GatedActivityNeverExceedsUngated)
+{
+    auto [n, m] = GetParam();
+    if (m > n)
+        GTEST_SKIP();
+    util::Rng rng(200 + n * 7 + m);
+    RaceGridResult race = worstCaseRace(rng, n);
+    GatingAnalysis g = core::analyzeClockGating(race, m);
+    EXPECT_LE(g.gatedDffCycles, g.ungatedDffCycles);
+    EXPECT_GT(g.gatedDffCycles, 0u);
+    EXPECT_LE(g.clockActivityRatio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndGranularities, GatingWindows,
+    ::testing::Combine(::testing::Values<size_t>(8, 12, 16, 24, 32),
+                       ::testing::Values<size_t>(1, 2, 4, 8)));
+
+TEST(ClockGating, SavingsGrowWithProblemSize)
+{
+    // The wavefront covers an O(1/N) fraction of the fabric each
+    // cycle, so gating saves proportionally more at larger N.
+    util::Rng rng(3);
+    GatingAnalysis small = core::analyzeClockGating(
+        worstCaseRace(rng, 8), 2);
+    GatingAnalysis large = core::analyzeClockGating(
+        worstCaseRace(rng, 64), 2);
+    EXPECT_LT(large.clockActivityRatio(),
+              small.clockActivityRatio());
+    EXPECT_LT(large.clockActivityRatio(), 0.2)
+        << "at N=64 with m=2 the clock should be mostly idle";
+}
+
+TEST(ClockGating, BestCaseWindowsAreShorterThanWorst)
+{
+    util::Rng rng(4);
+    GatingAnalysis best = core::analyzeClockGating(
+        bestCaseRace(rng, 32), 4);
+    GatingAnalysis worst = core::analyzeClockGating(
+        worstCaseRace(rng, 32), 4);
+    EXPECT_LT(best.gatedDffCycles, worst.gatedDffCycles);
+}
+
+TEST(ClockGating, GranularityExtremes)
+{
+    util::Rng rng(5);
+    RaceGridResult race = worstCaseRace(rng, 16);
+    // m = 1: every cell its own region; overhead = N^2 gating cells.
+    GatingAnalysis fine = core::analyzeClockGating(race, 1);
+    EXPECT_EQ(fine.regions, 256u);
+    // m = N: one region clocked the whole race: no clock savings.
+    GatingAnalysis coarse = core::analyzeClockGating(race, 16);
+    EXPECT_EQ(coarse.regions, 1u);
+    EXPECT_NEAR(coarse.clockActivityRatio(), 1.0, 0.1);
+    EXPECT_LT(fine.clockActivityRatio(), 0.3);
+}
+
+TEST(ClockGating, PartialEdgeRegionsHandled)
+{
+    // n not divisible by m: edge regions are partial but every cell
+    // still belongs to exactly one region.
+    util::Rng rng(6);
+    RaceGridResult race = worstCaseRace(rng, 10);
+    GatingAnalysis g = core::analyzeClockGating(race, 4);
+    EXPECT_EQ(g.windows.rows(), 3u);
+    EXPECT_EQ(g.windows.cols(), 3u);
+    EXPECT_LE(g.gatedDffCycles, g.ungatedDffCycles);
+}
+
+TEST(ClockGating, ScoreUnaffectedByAnalysis)
+{
+    // Gating is an observer: the race result it is fed is untouched.
+    util::Rng rng(7);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 12);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), 12);
+    RaceGridResult race = aligner.align(a, b);
+    bio::Score before = race.score;
+    core::analyzeClockGating(race, 4);
+    EXPECT_EQ(race.score, before);
+}
+
+} // namespace

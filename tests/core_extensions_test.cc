@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the extension modules: race-native traceback, the
+ * asynchronous/analog race (Fig. 3d), and the gate-level clock-gated
+ * fabric (§4.3 realized in real enable logic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/async_race.h"
+#include "rl/core/clock_gating.h"
+#include "rl/core/gated_grid_circuit.h"
+#include "rl/core/race_grid.h"
+#include "rl/core/race_grid_circuit.h"
+#include "rl/core/traceback.h"
+#include "rl/graph/generate.h"
+#include "rl/graph/paths.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+// ---------------------------------------------------------- traceback
+
+class RaceTraceback : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaceTraceback, RecoversAValidOptimalAlignment)
+{
+    util::Rng rng(14000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    core::RaceGridAligner racer(m);
+    size_t n = 1 + rng.index(20);
+    size_t k = 1 + rng.index(20);
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+    core::RaceGridResult raced = racer.align(a, b);
+    bio::Alignment alignment =
+        core::tracebackFromRace(raced, a, b, m);
+    EXPECT_EQ(alignment.score, raced.score);
+    EXPECT_EQ(bio::checkAlignment(a, b, m, alignment), "");
+}
+
+TEST_P(RaceTraceback, AgreesWithDpTracebackExactly)
+{
+    // Same tie-breaking policy => byte-identical alignments.
+    util::Rng rng(15000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    core::RaceGridAligner racer(m);
+    Sequence a = Sequence::random(rng, Alphabet::dna(),
+                                  1 + rng.index(15));
+    Sequence b = Sequence::random(rng, Alphabet::dna(),
+                                  1 + rng.index(15));
+    bio::Alignment from_race =
+        core::tracebackFromRace(racer.align(a, b), a, b, m);
+    bio::Alignment from_dp = bio::globalAlign(a, b, m);
+    EXPECT_EQ(from_race.alignedA, from_dp.alignedA);
+    EXPECT_EQ(from_race.alignedB, from_dp.alignedB);
+    EXPECT_EQ(from_race.path, from_dp.path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceTraceback, ::testing::Range(0, 12));
+
+TEST(RaceTraceback, PaperExampleAlignment)
+{
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    core::RaceGridAligner racer(m);
+    Sequence q(Alphabet::dna(), "GATTCGA");
+    Sequence p(Alphabet::dna(), "ACTGAGA");
+    auto raced = racer.align(q, p);
+    auto alignment = core::tracebackFromRace(raced, q, p, m);
+    EXPECT_EQ(alignment.score, 10);
+    EXPECT_EQ(alignment.matches, 4u); // N + M - score = 14 - 10
+    EXPECT_EQ(alignment.mismatches, 0u);
+    EXPECT_EQ(alignment.indels, 6u);
+}
+
+// -------------------------------------------------------- analog race
+
+TEST(AsyncRace, ZeroSigmaEqualsDigitalRace)
+{
+    util::Rng rng(21);
+    graph::Dag d = graph::randomDag(rng, 40, 0.15, {1, 6});
+    auto [source, sink] = graph::addSuperEndpoints(d, 1);
+    core::AnalogDelayModel ideal{2.5, 0.0};
+    auto analog = core::raceDagAnalog(d, {source}, core::RaceType::Or,
+                                      ideal, rng);
+    auto dp = graph::solveDag(d, {source}, graph::Objective::Shortest);
+    for (graph::NodeId node = 0; node < d.nodeCount(); ++node) {
+        if (!dp.reached(node))
+            continue;
+        EXPECT_NEAR(analog.arrivalNs[node],
+                    double(dp.distance[node]) * 2.5, 1e-9)
+            << "node " << node;
+    }
+    (void)sink;
+}
+
+TEST(AsyncRace, AndTypeZeroSigmaEqualsLongestPath)
+{
+    util::Rng rng(22);
+    graph::Dag d = graph::layeredDag(rng, 5, 4, 0.6, {1, 5});
+    std::vector<graph::NodeId> sources{0, 1, 2, 3};
+    core::AnalogDelayModel ideal{1.0, 0.0};
+    auto analog = core::raceDagAnalog(d, sources, core::RaceType::And,
+                                      ideal, rng);
+    auto dp = graph::solveDag(d, sources, graph::Objective::Longest);
+    for (graph::NodeId node = 0; node < d.nodeCount(); ++node) {
+        if (!dp.reached(node))
+            continue;
+        EXPECT_NEAR(analog.arrivalNs[node], double(dp.distance[node]),
+                    1e-9);
+    }
+}
+
+TEST(AsyncRace, VariationPerturbsButStaysPositive)
+{
+    util::Rng rng(23);
+    graph::Dag d = graph::randomDag(rng, 30, 0.2, {1, 4});
+    auto [source, sink] = graph::addSuperEndpoints(d, 1);
+    core::AnalogDelayModel noisy{1.0, 0.2};
+    auto analog = core::raceDagAnalog(d, {source}, core::RaceType::Or,
+                                      noisy, rng);
+    for (double delay : analog.edgeDelaysNs)
+        EXPECT_GT(delay, 0.0);
+    EXPECT_TRUE(analog.fired(sink));
+}
+
+TEST(AsyncRace, RobustnessPerfectAtZeroSigma)
+{
+    util::Rng rng(24);
+    graph::Dag d = graph::randomDag(rng, 25, 0.25, {1, 5});
+    auto [source, sink] = graph::addSuperEndpoints(d, 1);
+    core::AnalogDelayModel ideal{1.0, 0.0};
+    auto report = core::analyzeVariationRobustness(d, {source}, sink,
+                                                   ideal, 20, rng);
+    EXPECT_EQ(report.decisionCorrect, 20u);
+    EXPECT_EQ(report.readoutExact, 20u);
+    EXPECT_NEAR(report.maxRelativeError, 0.0, 1e-12);
+}
+
+TEST(AsyncRace, RobustnessDegradesMonotonicallyWithSigma)
+{
+    util::Rng rng(25);
+    graph::Dag d = graph::randomDag(rng, 30, 0.2, {1, 6});
+    auto [source, sink] = graph::addSuperEndpoints(d, 1);
+    core::AnalogDelayModel small_sigma{1.0, 0.02};
+    core::AnalogDelayModel large_sigma{1.0, 0.5};
+    auto small_report = core::analyzeVariationRobustness(
+        d, {source}, sink, small_sigma, 60, rng);
+    auto large_report = core::analyzeVariationRobustness(
+        d, {source}, sink, large_sigma, 60, rng);
+    EXPECT_GE(small_report.readoutRate(), large_report.readoutRate());
+    EXPECT_LT(small_report.meanRelativeError,
+              large_report.meanRelativeError);
+    EXPECT_GT(small_report.readoutRate(), 0.9)
+        << "2% device variation should rarely flip a readout";
+}
+
+// ------------------------------------------------- gated fabric (HW)
+
+class GatedFabric
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{};
+
+TEST_P(GatedFabric, ScoresIdenticalToUngatedFabric)
+{
+    auto [n, m_side] = GetParam();
+    if (m_side > n)
+        GTEST_SKIP();
+    util::Rng rng(16000 + n * 13 + m_side);
+    core::RaceGridCircuit plain(Alphabet::dna(), n, n);
+    core::GatedRaceGridCircuit gated(Alphabet::dna(), n, n, m_side);
+    for (int trial = 0; trial < 3; ++trial) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), n);
+        auto r_plain = plain.align(a, b);
+        auto r_gated = gated.align(a, b);
+        ASSERT_TRUE(r_plain.completed && r_gated.completed);
+        EXPECT_EQ(r_gated.score, r_plain.score)
+            << a.str() << " vs " << b.str();
+    }
+}
+
+TEST_P(GatedFabric, ClockActivityReducedVsUngated)
+{
+    auto [n, m_side] = GetParam();
+    if (m_side >= n)
+        GTEST_SKIP();
+    util::Rng rng(17000 + n * 13 + m_side);
+    core::RaceGridCircuit plain(Alphabet::dna(), n, n);
+    core::GatedRaceGridCircuit gated(Alphabet::dna(), n, n, m_side);
+    auto [a, b] = bio::worstCasePair(rng, Alphabet::dna(), n);
+    plain.sim().clearActivity();
+    plain.align(a, b);
+    gated.sim().clearActivity();
+    gated.align(a, b);
+    EXPECT_LT(gated.sim().activity().clockedDffCycles,
+              plain.sim().activity().clockedDffCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndGranularities, GatedFabric,
+    ::testing::Combine(::testing::Values<size_t>(4, 6, 8, 12),
+                       ::testing::Values<size_t>(1, 2, 4)));
+
+TEST(GatedFabric, MatchesBehavioralGatingAnalysisClosely)
+{
+    // The gate-level enable network and the behavioral window
+    // analysis model the same §4.3 scheme; their cell-DFF clock
+    // activities should agree within the wake/latch edge slack.
+    const size_t n = 8, m_side = 2;
+    util::Rng rng(31);
+    auto [a, b] = bio::worstCasePair(rng, Alphabet::dna(), n);
+
+    core::GatedRaceGridCircuit gated(Alphabet::dna(), n, n, m_side);
+    gated.sim().clearActivity();
+    auto run = gated.align(a, b);
+    ASSERT_TRUE(run.completed);
+    // Subtract the un-gated boundary DFFs (2n of them, clocked every
+    // cycle of the run).
+    uint64_t boundary = 2ull * n * gated.sim().activity().cycles;
+    uint64_t gate_level =
+        gated.sim().activity().clockedDffCycles - boundary;
+
+    core::RaceGridAligner model(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    core::GatingAnalysis analysis =
+        core::analyzeClockGating(model.align(a, b), m_side);
+
+    double ratio = double(gate_level) /
+                   double(analysis.gatedDffCycles);
+    EXPECT_GT(ratio, 0.5) << gate_level << " vs "
+                          << analysis.gatedDffCycles;
+    EXPECT_LT(ratio, 2.0) << gate_level << " vs "
+                          << analysis.gatedDffCycles;
+}
+
+TEST(GatedFabric, GatingOverheadIsCounted)
+{
+    core::GatedRaceGridCircuit gated(Alphabet::dna(), 8, 8, 4);
+    EXPECT_EQ(gated.regions(), 4u);
+    EXPECT_GT(gated.gatingGateCount(), 0u);
+    // A few gates per region (wake OR, done AND, NOT, enable AND).
+    EXPECT_LE(gated.gatingGateCount(), gated.regions() * 6);
+}
+
+// ----------------------------------------------------- banded scores
+
+class BandedDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedDp, WideBandMatchesExactScore)
+{
+    util::Rng rng(18000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    Sequence a = Sequence::random(rng, Alphabet::dna(),
+                                  1 + rng.index(24));
+    Sequence b = Sequence::random(rng, Alphabet::dna(),
+                                  1 + rng.index(24));
+    size_t band = std::max(a.size(), b.size());
+    EXPECT_EQ(bio::bandedGlobalScore(a, b, m, band),
+              bio::globalScore(a, b, m));
+}
+
+TEST_P(BandedDp, NarrowBandNeverBeatsExact)
+{
+    util::Rng rng(19000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    size_t n = 4 + rng.index(20);
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), n);
+    bio::Score exact = bio::globalScore(a, b, m);
+    for (size_t band = 0; band <= n; ++band) {
+        bio::Score banded = bio::bandedGlobalScore(a, b, m, band);
+        if (banded != bio::kScoreInfinity) {
+            EXPECT_GE(banded, exact) << "band " << band;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedDp, ::testing::Range(0, 10));
+
+TEST(BandedDp, BandNarrowerThanLengthGapIsInfeasible)
+{
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    Sequence a(Alphabet::dna(), "ACGTACGT");
+    Sequence b(Alphabet::dna(), "AC");
+    EXPECT_EQ(bio::bandedGlobalScore(a, b, m, 2), bio::kScoreInfinity);
+    EXPECT_EQ(bio::bandedGlobalScore(a, b, m, 6),
+              bio::globalScore(a, b, m));
+}
+
+TEST(BandedDp, NearlyIdenticalStringsNeedOnlyTinyBand)
+{
+    util::Rng rng(33);
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 40);
+    Sequence b = mutate(rng, a, bio::MutationModel{0.05, 0.0, 0.0});
+    EXPECT_EQ(bio::bandedGlobalScore(a, b, m, 2),
+              bio::globalScore(a, b, m));
+}
+
+} // namespace

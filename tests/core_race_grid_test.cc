@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the behavioral race-grid aligner (Fig. 4): equivalence
+ * with the DP oracle, the paper's exact propagation table, latency
+ * corner formulas, and the wavefront records behind Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/race_grid.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using core::RaceGridAligner;
+using core::RaceGridResult;
+
+Sequence
+dna(const std::string &text)
+{
+    return Sequence(Alphabet::dna(), text);
+}
+
+// ------------------------------------------------- paper propagation
+
+TEST(RaceGrid, Fig4cPropagationTableReproducedExactly)
+{
+    // Fig. 4c: "The number inside each cell represents timing, i.e.
+    // clock cycle at which signal '1' reached the output of an OR
+    // gate of a particular unit cell."  Rows = GATTCGA, cols =
+    // ACTGAGA, mismatch = infinity.
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    RaceGridResult r = aligner.align(dna("GATTCGA"), dna("ACTGAGA"));
+    const sim::Tick expect[8][8] = {
+        {0, 1, 2, 3, 4, 5, 6, 7},
+        {1, 2, 3, 4, 4, 5, 6, 7},
+        {2, 2, 3, 4, 5, 5, 6, 7},
+        {3, 3, 4, 4, 5, 6, 7, 8},
+        {4, 4, 5, 5, 6, 7, 8, 9},
+        {5, 5, 5, 6, 7, 8, 9, 10},
+        {6, 6, 6, 7, 7, 8, 9, 10},
+        {7, 7, 7, 8, 8, 8, 9, 10},
+    };
+    ASSERT_EQ(r.arrival.rows(), 8u);
+    ASSERT_EQ(r.arrival.cols(), 8u);
+    for (size_t i = 0; i < 8; ++i)
+        for (size_t j = 0; j < 8; ++j)
+            EXPECT_EQ(r.arrival.at(i, j), expect[i][j])
+                << "cell (" << i << "," << j << ")";
+    EXPECT_EQ(r.score, 10);
+    EXPECT_EQ(r.latencyCycles, 10u);
+}
+
+TEST(RaceGrid, ArrivalTableRendering)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    RaceGridResult r = aligner.align(dna("AC"), dna("AC"));
+    std::string table = r.arrivalTable();
+    EXPECT_EQ(table, "0 1 2\n1 1 2\n2 2 2\n");
+}
+
+// ------------------------------------------------------- equivalence
+
+class GridVsDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridVsDp, ArrivalTimesEqualDpTableEverywhere)
+{
+    util::Rng rng(100 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceGridAligner aligner(m);
+    size_t n = 1 + rng.index(30);
+    size_t k = 1 + rng.index(30);
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+    RaceGridResult r = aligner.align(a, b);
+    auto dp = bio::dpTable(a, b, m);
+    for (size_t i = 0; i <= n; ++i)
+        for (size_t j = 0; j <= k; ++j)
+            EXPECT_EQ(r.arrival.at(i, j),
+                      static_cast<sim::Tick>(dp(i, j)))
+                << "(" << i << "," << j << ")";
+    EXPECT_EQ(r.score, dp(n, k));
+}
+
+TEST_P(GridVsDp, Fig2bMatrixAlsoMatches)
+{
+    // The finite mismatch=2 matrix exercises weight-2 diagonal edges.
+    util::Rng rng(200 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    RaceGridAligner aligner(m);
+    size_t n = 1 + rng.index(20);
+    size_t k = 1 + rng.index(20);
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+    EXPECT_EQ(aligner.align(a, b).score, bio::globalScore(a, b, m));
+}
+
+TEST_P(GridVsDp, BinaryAlphabet)
+{
+    util::Rng rng(300 + GetParam());
+    ScoreMatrix m(Alphabet::binary(), bio::ScoreKind::Cost);
+    m.setPair(0, 0, 1);
+    m.setPair(1, 1, 1);
+    m.setPair(0, 1, bio::kScoreInfinity);
+    m.setPair(1, 0, bio::kScoreInfinity);
+    m.setAllGaps(1);
+    RaceGridAligner aligner(m);
+    Sequence a = Sequence::random(rng, Alphabet::binary(),
+                                  1 + rng.index(25));
+    Sequence b = Sequence::random(rng, Alphabet::binary(),
+                                  1 + rng.index(25));
+    EXPECT_EQ(aligner.align(a, b).score, bio::globalScore(a, b, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridVsDp, ::testing::Range(0, 20));
+
+// --------------------------------------------------- latency corners
+
+class LatencyCorners : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LatencyCorners, BestCaseIsNCycles)
+{
+    size_t n = GetParam();
+    util::Rng rng(17 + n);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence s = Sequence::random(rng, Alphabet::dna(), n);
+    RaceGridResult r = aligner.align(s, s);
+    EXPECT_EQ(r.latencyCycles, n)
+        << "identical strings ride the weight-1 diagonal";
+}
+
+TEST_P(LatencyCorners, WorstCaseIsTwoNCycles)
+{
+    size_t n = GetParam();
+    util::Rng rng(31 + n);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto [s, w] = bio::worstCasePair(rng, Alphabet::dna(), n);
+    RaceGridResult r = aligner.align(s, w);
+    EXPECT_EQ(r.latencyCycles, 2 * n)
+        << "complete mismatch is all indels";
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LatencyCorners,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55));
+
+// ----------------------------------------------------- wavefront maps
+
+TEST(Wavefront, WorstCaseWavefrontIsAntiDiagonal)
+{
+    // Fig. 6a: under complete mismatch the wavefront at cycle t is
+    // exactly the anti-diagonal i + j = t.
+    util::Rng rng(77);
+    size_t n = 12;
+    auto [s, w] = bio::worstCasePair(rng, Alphabet::dna(), n);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    RaceGridResult r = aligner.align(s, w);
+    for (size_t i = 0; i <= n; ++i)
+        for (size_t j = 0; j <= n; ++j)
+            EXPECT_EQ(r.arrival.at(i, j), i + j);
+    EXPECT_EQ(r.wavefrontSize(0), 1u);
+    EXPECT_EQ(r.wavefrontSize(n), n + 1);
+    EXPECT_EQ(r.wavefrontSize(2 * n), 1u);
+}
+
+TEST(Wavefront, BestCaseDiagonalLeadsTheFront)
+{
+    // Fig. 6b: for identical strings the diagonal cell (t, t) fires
+    // at cycle t -- the wavefront's leading point.
+    util::Rng rng(78);
+    size_t n = 12;
+    Sequence s = Sequence::random(rng, Alphabet::dna(), n);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    RaceGridResult r = aligner.align(s, s);
+    for (size_t t = 0; t <= n; ++t)
+        EXPECT_EQ(r.arrival.at(t, t), t);
+    // Off-diagonal cells fire strictly later than the diagonal cell
+    // of their own row/column minimum.
+    for (size_t i = 0; i <= n; ++i)
+        for (size_t j = 0; j <= n; ++j)
+            EXPECT_GE(r.arrival.at(i, j), std::max(i, j));
+}
+
+TEST(Wavefront, PictureShadesMatchArrivals)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    RaceGridResult r = aligner.align(dna("AA"), dna("AA"));
+    // At cycle 1: (0,0) fired (#), (0,1)/(1,0)/(1,1) firing (o),
+    // everything at arrival 2 still dark (.).
+    std::string pic = r.wavefrontPicture(1);
+    EXPECT_EQ(pic, "#o.\noo.\n...\n");
+}
+
+TEST(Wavefront, CellsFiredNeverExceedsGrid)
+{
+    util::Rng rng(79);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 9);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), 14);
+    RaceGridResult r = aligner.align(a, b);
+    EXPECT_LE(r.cellsFired, 10u * 15u);
+    EXPECT_GT(r.cellsFired, 0u);
+    EXPECT_GT(r.events, 0u);
+}
+
+// --------------------------------------------------------- monotone
+
+TEST(RaceGrid, ArrivalsAreMonotoneAlongEdges)
+{
+    // Temporal causality: no cell fires before any of the
+    // predecessors that could have triggered it.
+    util::Rng rng(80);
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPath());
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 15);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), 11);
+    RaceGridResult r = aligner.align(a, b);
+    for (size_t i = 0; i <= 15; ++i) {
+        for (size_t j = 0; j <= 11; ++j) {
+            if (i > 0) {
+                EXPECT_LE(r.arrival.at(i, j),
+                          r.arrival.at(i - 1, j) + 1);
+            }
+            if (j > 0) {
+                EXPECT_LE(r.arrival.at(i, j),
+                          r.arrival.at(i, j - 1) + 1);
+            }
+            if (i > 0 && j > 0) {
+                EXPECT_GE(r.arrival.at(i, j),
+                          r.arrival.at(i - 1, j - 1) + 1);
+            }
+        }
+    }
+}
+
+TEST(RaceGridDeath, SimilarityMatrixRejected)
+{
+    EXPECT_DEATH(RaceGridAligner(ScoreMatrix::blosum62()),
+                 "Cost matrix");
+}
+
+TEST(RaceGridDeath, ZeroWeightsRejected)
+{
+    EXPECT_DEATH(RaceGridAligner(
+                     ScoreMatrix::unitEdit(Alphabet::dna())),
+                 ">= 1");
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Property tests for the temporal-value algebra: the min-plus and
+ * max-plus semiring laws that make Race Logic compute DP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/core/temporal.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using core::TemporalValue;
+using core::firstArrival;
+using core::lastArrival;
+
+TemporalValue
+randomValue(util::Rng &rng)
+{
+    if (rng.bernoulli(0.15))
+        return TemporalValue::never();
+    return TemporalValue::at(rng.uniformInt(0, 1000));
+}
+
+TEST(Temporal, BasicConstruction)
+{
+    EXPECT_FALSE(TemporalValue::never().fired());
+    EXPECT_TRUE(TemporalValue::at(3).fired());
+    EXPECT_EQ(TemporalValue::at(3).time(), 3u);
+    EXPECT_FALSE(TemporalValue().fired());
+}
+
+TEST(Temporal, DelayAddsAndNeverStaysNever)
+{
+    EXPECT_EQ(TemporalValue::at(4).delayed(3).time(), 7u);
+    EXPECT_FALSE(TemporalValue::never().delayed(3).fired());
+    EXPECT_EQ(TemporalValue::at(4).delayed(0).time(), 4u);
+}
+
+TEST(Temporal, OrGateIsMin)
+{
+    auto a = TemporalValue::at(3);
+    auto b = TemporalValue::at(9);
+    EXPECT_EQ(firstArrival(a, b).time(), 3u);
+    EXPECT_EQ(firstArrival(b, a).time(), 3u);
+    EXPECT_EQ(firstArrival(a, TemporalValue::never()).time(), 3u);
+}
+
+TEST(Temporal, AndGateIsMax)
+{
+    auto a = TemporalValue::at(3);
+    auto b = TemporalValue::at(9);
+    EXPECT_EQ(lastArrival(a, b).time(), 9u);
+    EXPECT_FALSE(lastArrival(a, TemporalValue::never()).fired())
+        << "an AND gate with a dead input never fires";
+}
+
+TEST(Temporal, NaryOperators)
+{
+    EXPECT_EQ(firstArrival({TemporalValue::at(5), TemporalValue::at(2),
+                            TemporalValue::at(8)})
+                  .time(),
+              2u);
+    EXPECT_EQ(lastArrival({TemporalValue::at(5), TemporalValue::at(2),
+                           TemporalValue::at(8)})
+                  .time(),
+              8u);
+}
+
+TEST(Temporal, DeathOnReadingNever)
+{
+    EXPECT_DEATH(TemporalValue::never().time(), "never-arriving");
+}
+
+class TemporalLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemporalLaws, SemiringProperties)
+{
+    util::Rng rng(3000 + GetParam());
+    for (int i = 0; i < 200; ++i) {
+        TemporalValue a = randomValue(rng);
+        TemporalValue b = randomValue(rng);
+        TemporalValue c = randomValue(rng);
+        sim::Tick d = rng.uniformInt(0, 50);
+
+        // Commutativity and associativity of both "additions".
+        EXPECT_EQ(firstArrival(a, b), firstArrival(b, a));
+        EXPECT_EQ(lastArrival(a, b), lastArrival(b, a));
+        EXPECT_EQ(firstArrival(firstArrival(a, b), c),
+                  firstArrival(a, firstArrival(b, c)));
+        EXPECT_EQ(lastArrival(lastArrival(a, b), c),
+                  lastArrival(a, lastArrival(b, c)));
+
+        // Identities: never is the identity of min; t=0 of max.
+        EXPECT_EQ(firstArrival(a, TemporalValue::never()), a);
+        EXPECT_EQ(lastArrival(a, TemporalValue::at(0)), a);
+
+        // Delay distributes over both (the semiring "multiply"):
+        // (a min b) + d = (a + d) min (b + d), same for max.
+        EXPECT_EQ(firstArrival(a, b).delayed(d),
+                  firstArrival(a.delayed(d), b.delayed(d)));
+        EXPECT_EQ(lastArrival(a, b).delayed(d),
+                  lastArrival(a.delayed(d), b.delayed(d)));
+
+        // Idempotence.
+        EXPECT_EQ(firstArrival(a, a), a);
+        EXPECT_EQ(lastArrival(a, a), a);
+
+        // Absorption of never in max.
+        EXPECT_EQ(lastArrival(a, TemporalValue::never()),
+                  TemporalValue::never());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalLaws, ::testing::Range(0, 8));
+
+} // namespace

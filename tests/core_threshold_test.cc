@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for Section 6 threshold screening: exactness of the verdict,
+ * cycle accounting, and the throughput gain on realistic workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/threshold.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using core::ThresholdScreener;
+
+TEST(Threshold, SimilarPairReportsExactScoreAndCycles)
+{
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), 8);
+    Sequence a(Alphabet::dna(), "ACGTAC");
+    auto outcome = screener.screen(a, a);
+    EXPECT_TRUE(outcome.similar);
+    EXPECT_EQ(outcome.score, 6);
+    EXPECT_EQ(outcome.cyclesUsed, 6u);
+}
+
+TEST(Threshold, DissimilarPairAbortsAtThreshold)
+{
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), 5);
+    Sequence a(Alphabet::dna(), "AAAAAA");
+    Sequence b(Alphabet::dna(), "CCCCCC");
+    auto outcome = screener.screen(a, b); // true cost 12
+    EXPECT_FALSE(outcome.similar);
+    EXPECT_EQ(outcome.score, bio::kScoreInfinity);
+    EXPECT_EQ(outcome.cyclesUsed, 5u)
+        << "the engine learns the verdict at the threshold cycle";
+}
+
+TEST(Threshold, BoundaryScoreEqualToThresholdIsSimilar)
+{
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), 6);
+    Sequence a(Alphabet::dna(), "ACGTAC");
+    auto outcome = screener.screen(a, a); // score 6 == threshold
+    EXPECT_TRUE(outcome.similar);
+    EXPECT_EQ(outcome.cyclesUsed, 6u);
+}
+
+class ThresholdExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdExactness, VerdictMatchesDpFilterExactly)
+{
+    // Aborting early can never misclassify: arrival times are
+    // monotone, so "not fired by T" == "score > T".
+    util::Rng rng(7000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    bio::Score threshold = 4 + rng.uniformInt(0, 12);
+    ThresholdScreener screener(m, threshold);
+    Sequence query = Sequence::random(rng, Alphabet::dna(), 12);
+    for (int candidate = 0; candidate < 12; ++candidate) {
+        Sequence c =
+            rng.bernoulli(0.5)
+                ? mutate(rng, query, bio::MutationModel::uniform(0.15))
+                : Sequence::random(rng, Alphabet::dna(), 12);
+        if (c.empty())
+            continue;
+        auto outcome = screener.screen(query, c);
+        bio::Score truth = bio::globalScore(query, c, m);
+        EXPECT_EQ(outcome.similar, truth <= threshold);
+        if (outcome.similar) {
+            EXPECT_EQ(outcome.score, truth);
+        }
+        EXPECT_LE(outcome.cyclesUsed,
+                  static_cast<sim::Tick>(threshold));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdExactness,
+                         ::testing::Range(0, 15));
+
+TEST(Threshold, DatabaseScreeningAggregates)
+{
+    util::Rng rng(91);
+    auto wl = bio::makeScreeningWorkload(
+        rng, Alphabet::dna(), 24, 60, 0.2,
+        bio::MutationModel::uniform(0.08));
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), 32);
+    auto stats = screener.screenDatabase(wl.query, wl.database);
+    EXPECT_EQ(stats.candidates, 60u);
+    EXPECT_EQ(stats.accepted.size(), 60u);
+    EXPECT_LE(stats.cyclesWithThreshold, stats.cyclesFullRace);
+    EXPECT_GE(stats.speedup(), 1.0);
+}
+
+TEST(Threshold, UnrelatedDatabaseGivesLargeSpeedup)
+{
+    // With rare matches, aborted races dominate: busy cycles drop
+    // from ~2N (complete-mismatch full race) to the threshold.
+    util::Rng rng(92);
+    size_t n = 40;
+    Sequence query = Sequence::random(rng, Alphabet::dna(), n);
+    std::vector<Sequence> database;
+    for (int i = 0; i < 50; ++i)
+        database.push_back(Sequence::random(rng, Alphabet::dna(), n));
+    bio::Score threshold = 44; // just above best-case n cycles
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), threshold);
+    auto stats = screener.screenDatabase(query, database);
+    EXPECT_GT(stats.speedup(), 1.2);
+}
+
+TEST(Threshold, RelatedEntriesAreAccepted)
+{
+    util::Rng rng(93);
+    Sequence query = Sequence::random(rng, Alphabet::dna(), 30);
+    Sequence relative = mutate(rng, query,
+                              bio::MutationModel{0.05, 0.0, 0.0});
+    ThresholdScreener screener(
+        ScoreMatrix::dnaShortestPathInfMismatch(), 40);
+    EXPECT_TRUE(screener.screen(query, relative).similar);
+}
+
+} // namespace

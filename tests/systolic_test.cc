@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the Lipton-Lopresti systolic baseline: mod-4 encoding
+ * soundness, exact score reconstruction against the DP oracle,
+ * latency formulas, and the always-clocked activity profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/bio/align_dp.h"
+#include "rl/systolic/encoding.h"
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using systolic::LiptonLoprestiArray;
+
+Sequence
+dna(const std::string &text)
+{
+    return Sequence(Alphabet::dna(), text);
+}
+
+// ----------------------------------------------------- mod-4 helpers
+
+TEST(Mod4, WrapAndAdd)
+{
+    EXPECT_EQ(systolic::toMod4(0), 0);
+    EXPECT_EQ(systolic::toMod4(7), 3);
+    EXPECT_EQ(systolic::mod4Add(3, 1), 0);
+    EXPECT_EQ(systolic::mod4Add(2, 2), 0);
+    EXPECT_EQ(systolic::mod4Add(1, 1), 2);
+}
+
+TEST(Mod4, OffsetWindow)
+{
+    // offset(candidate, base) reads the true difference as long as
+    // it lies in [0, 3].
+    for (unsigned base = 0; base < 4; ++base)
+        for (unsigned diff = 0; diff < 4; ++diff)
+            EXPECT_EQ(systolic::mod4Offset(
+                          systolic::mod4Add(base, diff), base),
+                      diff);
+}
+
+// ------------------------------------------------------ known scores
+
+TEST(Systolic, PaperExampleScoresTen)
+{
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto r = array.align(dna("GATTCGA"), dna("ACTGAGA"));
+    EXPECT_EQ(r.score, 10);
+    EXPECT_EQ(r.peCount, 15u); // N + M + 1 = 2N + 1 for N = M = 7
+}
+
+TEST(Systolic, IdenticalStrings)
+{
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto r = array.align(dna("ACGTACGT"), dna("ACGTACGT"));
+    EXPECT_EQ(r.score, 8);
+}
+
+TEST(Systolic, CompleteMismatch)
+{
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto r = array.align(dna("AAAA"), dna("CCCC"));
+    EXPECT_EQ(r.score, 8); // all indels
+}
+
+TEST(Systolic, SingleCharacters)
+{
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    EXPECT_EQ(array.align(dna("A"), dna("A")).score, 1);
+    EXPECT_EQ(array.align(dna("A"), dna("C")).score, 2);
+}
+
+// -------------------------------------------------------- DP oracle
+
+class SystolicVsDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystolicVsDp, InfinityMismatchMatrix)
+{
+    util::Rng rng(8000 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    LiptonLoprestiArray array(m);
+    for (int trial = 0; trial < 6; ++trial) {
+        size_t n = 1 + rng.index(25);
+        size_t k = 1 + rng.index(25);
+        Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+        auto r = array.align(a, b);
+        EXPECT_EQ(r.score, bio::globalScore(a, b, m))
+            << a.str() << " vs " << b.str();
+    }
+}
+
+TEST_P(SystolicVsDp, FiniteMismatchMatrix)
+{
+    util::Rng rng(8800 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPath();
+    LiptonLoprestiArray array(m);
+    for (int trial = 0; trial < 6; ++trial) {
+        size_t n = 1 + rng.index(20);
+        size_t k = 1 + rng.index(20);
+        Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+        auto r = array.align(a, b);
+        EXPECT_EQ(r.score, bio::globalScore(a, b, m))
+            << a.str() << " vs " << b.str();
+    }
+}
+
+TEST_P(SystolicVsDp, UnequalLengthsIncludingExtremes)
+{
+    util::Rng rng(9600 + GetParam());
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    LiptonLoprestiArray array(m);
+    size_t n = 1 + rng.index(6);
+    size_t k = n + 10 + rng.index(15); // strongly asymmetric
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), k);
+    EXPECT_EQ(array.align(a, b).score, bio::globalScore(a, b, m));
+    EXPECT_EQ(array.align(b, a).score, bio::globalScore(b, a, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystolicVsDp, ::testing::Range(0, 15));
+
+// ----------------------------------------------------------- timing
+
+class SystolicLatency : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SystolicLatency, MeasuredCyclesMatchClosedForm)
+{
+    size_t n = GetParam();
+    util::Rng rng(42 + n);
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), n);
+    auto r = array.align(a, b);
+    EXPECT_EQ(r.cycles, LiptonLoprestiArray::latencyCycles(n, n));
+    EXPECT_EQ(r.cycles, 3 * n + 1);
+    EXPECT_EQ(r.peClockCycles, r.cycles * (2 * n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SystolicLatency,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(SystolicLatency, LatencyIsDataIndependent)
+{
+    // Unlike Race Logic, the systolic array always runs to
+    // completion: best and worst case take identical cycles.
+    util::Rng rng(77);
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    auto [s, w] = bio::worstCasePair(rng, Alphabet::dna(), 16);
+    auto best = array.align(s, s);
+    auto worst = array.align(s, w);
+    EXPECT_EQ(best.cycles, worst.cycles);
+}
+
+TEST(SystolicLatency, InitiationInterval)
+{
+    EXPECT_EQ(LiptonLoprestiArray::initiationInterval(20, 20), 42u);
+    EXPECT_EQ(LiptonLoprestiArray::initiationInterval(5, 9), 20u);
+}
+
+// ---------------------------------------------------------- activity
+
+TEST(SystolicActivity, EveryPeClockedEveryCycle)
+{
+    util::Rng rng(78);
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence a = Sequence::random(rng, Alphabet::dna(), 12);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), 12);
+    auto r = array.align(a, b);
+    EXPECT_EQ(r.peClockCycles, r.cycles * r.peCount);
+    EXPECT_GT(r.registerBitToggles, 0u);
+    EXPECT_GT(r.streamShiftEvents, 0u);
+    EXPECT_GT(r.activePeCycles, 0u);
+    // Every interior + boundary cell is computed exactly once.
+    EXPECT_EQ(r.activePeCycles, 13ull * 13ull);
+}
+
+TEST(SystolicActivity, StreamTogglesScaleWithWork)
+{
+    util::Rng rng(79);
+    LiptonLoprestiArray array(ScoreMatrix::dnaShortestPathInfMismatch());
+    Sequence a8 = Sequence::random(rng, Alphabet::dna(), 8);
+    Sequence b8 = Sequence::random(rng, Alphabet::dna(), 8);
+    Sequence a32 = Sequence::random(rng, Alphabet::dna(), 32);
+    Sequence b32 = Sequence::random(rng, Alphabet::dna(), 32);
+    auto small = array.align(a8, b8);
+    auto large = array.align(a32, b32);
+    EXPECT_GT(large.streamShiftEvents, small.streamShiftEvents * 4);
+}
+
+TEST(SystolicActivity, RegisterBitsPerPe)
+{
+    // DNA: 2 streams x (2 sym bits + valid) + 2-bit residue = 8.
+    EXPECT_EQ(LiptonLoprestiArray::registerBitsPerPe(Alphabet::dna()),
+              8u);
+    // Protein: 2 x (5 + 1) + 2 = 14.
+    EXPECT_EQ(
+        LiptonLoprestiArray::registerBitsPerPe(Alphabet::protein()),
+        14u);
+}
+
+// ----------------------------------------------------- matrix guard
+
+TEST(SystolicDeath, RejectsNonUnitIndels)
+{
+    ScoreMatrix bad = ScoreMatrix::dnaShortestPath();
+    bad.setAllGaps(2);
+    EXPECT_DEATH(LiptonLoprestiArray{bad}, "unit indel");
+}
+
+TEST(SystolicDeath, RejectsWideMismatchWeights)
+{
+    ScoreMatrix bad = ScoreMatrix::dnaShortestPath();
+    bad.setPairSymmetric(0, 1, 7);
+    EXPECT_DEATH(LiptonLoprestiArray{bad}, "mod-4");
+}
+
+TEST(SystolicDeath, RejectsSimilarityMatrices)
+{
+    EXPECT_DEATH(LiptonLoprestiArray{ScoreMatrix::blosum62()},
+                 "minimizes");
+}
+
+} // namespace
