@@ -1,18 +1,17 @@
 /**
  * @file
- * Section 6 threshold screening: on database workloads where genuine
- * relatives are rare, the OR-race's "score known at every instant"
- * property lets the engine abort hopeless comparisons at the
- * threshold cycle.  Sweeps the related fraction and the threshold,
- * and compares fabric-busy time against the systolic baseline, which
- * must always run to completion.
+ * Section 6 threshold screening through the unified api::RaceEngine:
+ * on database workloads where genuine relatives are rare, the
+ * OR-race's "score known at every instant" property lets the engine
+ * abort hopeless comparisons at the threshold cycle.  Sweeps the
+ * related fraction and the threshold, and compares fabric-busy time
+ * against the systolic baseline, which must always run to completion.
  */
 
 #include <iostream>
 
+#include "rl/api/api.h"
 #include "rl/bio/sequence.h"
-#include "rl/core/batch.h"
-#include "rl/core/threshold.h"
 #include "rl/systolic/lipton_lopresti.h"
 #include "rl/tech/cell_library.h"
 #include "rl/util/random.h"
@@ -22,7 +21,6 @@
 using namespace racelogic;
 using bio::Alphabet;
 using bio::ScoreMatrix;
-using core::ThresholdScreener;
 
 int
 main()
@@ -31,9 +29,10 @@ main()
     const size_t database_size = 400;
     const tech::CellLibrary &lib = tech::CellLibrary::amis();
     ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
-    systolic::LiptonLoprestiArray sys_array(m);
     uint64_t sys_cycles_per_comparison =
         systolic::LiptonLoprestiArray::latencyCycles(n, n);
+
+    api::RaceEngine engine;
 
     util::printBanner(
         std::cout,
@@ -47,12 +46,11 @@ main()
         auto wl = bio::makeScreeningWorkload(
             rng, Alphabet::dna(), n, database_size, frac,
             bio::MutationModel{0.04, 0.02, 0.02});
-        ThresholdScreener screener(m, 44);
-        auto stats = screener.screenDatabase(wl.query, wl.database);
+        auto batch = engine.screen(m, 44, wl.query, wl.database);
         uint64_t sys_total = sys_cycles_per_comparison * database_size;
-        sweep.row(frac, stats.acceptedCount, stats.cyclesWithThreshold,
-                  stats.cyclesFullRace, stats.speedup(), sys_total,
-                  double(stats.cyclesWithThreshold) * lib.racePeriodNs,
+        sweep.row(frac, batch.acceptedCount(), batch.busyCycles(),
+                  batch.fullRaceCycles(), batch.speedup(), sys_total,
+                  double(batch.busyCycles()) * lib.racePeriodNs,
                   double(sys_total) * lib.systolicPeriodNs);
     }
     sweep.print(std::cout);
@@ -69,28 +67,30 @@ main()
         rng, Alphabet::dna(), n, database_size, 0.1,
         bio::MutationModel{0.04, 0.02, 0.02});
     for (bio::Score threshold : {34, 38, 44, 52, 64}) {
-        ThresholdScreener screener(m, threshold);
-        auto stats = screener.screenDatabase(wl.query, wl.database);
-        tsweep.row(threshold, stats.acceptedCount,
-                   stats.cyclesWithThreshold, stats.speedup());
+        auto batch = engine.screen(m, threshold, wl.query, wl.database);
+        tsweep.row(threshold, batch.acceptedCount(), batch.busyCycles(),
+                   batch.speedup());
     }
     tsweep.print(std::cout);
     std::cout << "(with increasing dynamic range 'the best case\n"
                  " scenario becomes more representative of a typical\n"
                  " situation' -- aborted races cost only the\n"
-                 " threshold, not the worst case 2N)\n";
+                 " threshold, not the worst case 2N)\n"
+              << "plan cache: " << engine.stats().plansBuilt
+              << " plans built for " << engine.stats().solves
+              << " races (one fabric shape serves the whole sweep)\n";
 
     util::printBanner(std::cout,
-                      "Fabric pool scaling (batch engine, threshold "
+                      "Fabric pool scaling (batch dispatch, threshold "
                       "44, related fraction 0.1)");
     util::TextTable pool({"fabrics", "makespan cycles", "utilization",
                           "comparisons/s @333MHz"});
     for (size_t fabrics : {1u, 2u, 4u, 8u, 16u}) {
-        core::BatchConfig cfg;
-        cfg.fabricCount = fabrics;
-        cfg.threshold = 44;
-        core::BatchScreeningEngine engine(m, cfg);
-        auto report = engine.run(wl.query, wl.database);
+        api::EngineConfig config;
+        config.fabricCount = fabrics;
+        api::RaceEngine pooled(config);
+        auto batch = pooled.screen(m, 44, wl.query, wl.database);
+        const auto &report = *batch.schedule;
         pool.row(fabrics, report.makespanCycles,
                  util::format("%.2f", report.utilization),
                  report.comparisonsPerSecond(lib));

@@ -1,57 +1,61 @@
 /**
  * @file
  * Reproduces Figure 3: the example weighted DAG mapped to OR-type
- * (shortest path) and AND-type (longest path) synchronous Race Logic,
- * run both event-driven and as compiled gate-level circuits.
+ * (shortest path) and AND-type (longest path) Race Logic, solved
+ * through the unified api::RaceEngine on both the behavioral and
+ * gate-level backends (the latter compiles the DAG to an OR/AND +
+ * DFF netlist and cross-checks the sink arrival on real gates).
  */
 
 #include <iostream>
 
-#include "rl/circuit/sim_sync.h"
-#include "rl/core/race_network.h"
+#include "rl/api/api.h"
 #include "rl/graph/paths.h"
 #include "rl/util/table.h"
 
 using namespace racelogic;
-using core::RaceType;
 using graph::Dag;
 using graph::NodeId;
 
 namespace {
 
 void
-runType(const Dag &dag, const std::vector<NodeId> &sources,
-        RaceType type, const char *title)
+runObjective(const Dag &dag, const std::vector<NodeId> &sources,
+             graph::Objective objective, const char *title)
 {
     util::printBanner(std::cout, title);
-    core::RaceOutcome outcome = core::raceDag(dag, sources, type);
-    auto dp = graph::solveDag(dag, sources,
-                              type == RaceType::Or
-                                  ? graph::Objective::Shortest
-                                  : graph::Objective::Longest);
+    NodeId sink = dag.sinks().front();
+
+    api::RaceEngine engine;
+    api::RaceProblem problem =
+        api::RaceProblem::dagPath(dag, sources, sink, objective);
+    api::RaceResult raced = engine.solve(problem);
+
+    auto dp = graph::solveDag(dag, sources, objective);
     util::TextTable table({"node", "label", "fires at cycle",
                            "DP distance"});
     for (NodeId n = 0; n < dag.nodeCount(); ++n) {
         table.row(n, dag.label(n),
-                  outcome.at(n).fired()
-                      ? std::to_string(outcome.at(n).time())
+                  raced.nodeArrival[n].fired()
+                      ? std::to_string(raced.nodeArrival[n].time())
                       : std::string("never"),
                   dp.reached(n) ? std::to_string(dp.distance[n])
                                 : std::string("unreachable"));
     }
     table.print(std::cout);
 
-    core::RaceCircuit rc = core::compileRaceCircuit(dag, sources, type);
-    circuit::SyncSim sim(rc.netlist);
-    for (circuit::NetId in : rc.sourceInputs)
-        sim.setInput(in, true);
-    NodeId sink = dag.sinks().front();
-    auto arrival = sim.runUntil(rc.nodeNets[sink], true, 64);
-    auto counts = rc.netlist.typeCounts();
+    // Gate-level replay: the engine compiles the netlist, races it,
+    // asserts agreement, and reports the inventory on the estimate.
+    api::EngineConfig hardware;
+    hardware.backend = api::BackendKind::GateLevel;
+    api::RaceEngine gateEngine(hardware);
+    api::RaceResult hard = gateEngine.solve(problem);
+
     util::TextTable hw({"gate-level sink arrival", "gates", "DFFs"});
-    hw.row(arrival ? std::to_string(*arrival) : std::string("never"),
-           rc.netlist.gateCount(),
-           counts[size_t(circuit::GateType::Dff)]);
+    hw.row(hard.completed ? std::to_string(hard.score)
+                          : std::string("never"),
+           hard.estimate ? hard.estimate->gateCount : 0,
+           hard.estimate ? hard.estimate->dffCount : 0);
     hw.print(std::cout);
 }
 
@@ -68,10 +72,10 @@ main()
         std::cout << ' ' << e.weight;
     std::cout << ")\n";
 
-    runType(dag, {0, 1}, RaceType::Or,
-            "Fig. 3c: OR-type race (shortest path; paper: sink fires "
-            "at cycle 2)");
-    runType(dag, {0, 1}, RaceType::And,
-            "Fig. 3b: AND-type race (longest path)");
+    runObjective(dag, {0, 1}, graph::Objective::Shortest,
+                 "Fig. 3c: OR-type race (shortest path; paper: sink "
+                 "fires at cycle 2)");
+    runObjective(dag, {0, 1}, graph::Objective::Longest,
+                 "Fig. 3b: AND-type race (longest path)");
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "rl/api/api.h"
 #include "rl/bio/align_dp.h"
 #include "rl/core/generalized.h"
 #include "rl/core/race_grid.h"
@@ -110,5 +111,48 @@ BM_GateLevelGeneralizedBuild(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GateLevelGeneralizedBuild);
+
+void
+BM_ApiEngineSolveCached(benchmark::State &state)
+{
+    // Facade overhead on the hot path: same-shape solves after the
+    // first all hit the plan cache, so this measures solve() against
+    // BM_EventDrivenRace's bare-kernel numbers.
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(6, n);
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    api::EngineConfig config;
+    config.withEstimates = false;
+    api::RaceEngine engine(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine.solve(api::RaceProblem::pairwiseAlignment(m, a, b))
+                .score);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_ApiEngineSolveCached)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_ApiEnginePlanMiss(benchmark::State &state)
+{
+    // Cold-plan cost: caching disabled, every solve replans
+    // (similarity conversion included -- BLOSUM62 input).
+    util::Rng rng(7);
+    Sequence a = Sequence::random(rng, Alphabet::protein(), 16);
+    Sequence b = Sequence::random(rng, Alphabet::protein(), 16);
+    ScoreMatrix blosum = ScoreMatrix::blosum62();
+    api::EngineConfig config;
+    config.planCacheCapacity = 0;
+    config.withEstimates = false;
+    api::RaceEngine engine(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine
+                .solve(api::RaceProblem::generalizedAlignment(blosum, a,
+                                                              b))
+                .score);
+}
+BENCHMARK(BM_ApiEnginePlanMiss);
 
 } // namespace

@@ -6,17 +6,18 @@
  *
  * The paper's case study charges every indel equally; this example
  * races the Gotoh three-state lattice instead, where opening a gap
- * costs more than extending one.  It compares alignments under
- * several gap regimes, showing long coherent gaps winning as the
- * opening premium grows -- with every number read off the race
- * clock and cross-checked against the reference DP.
+ * costs more than extending one.  Each regime is one RaceProblem
+ * solved through the unified api::RaceEngine, showing long coherent
+ * gaps winning as the opening premium grows -- with every number read
+ * off the race clock and cross-checked against the reference DP.
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "rl/core/affine_race.h"
+#include "rl/api/api.h"
+#include "rl/bio/affine.h"
 #include "rl/util/table.h"
 
 using namespace racelogic;
@@ -47,6 +48,8 @@ main(int argc, char **argv)
         for (bio::Symbol t = 0; t < 4; ++t)
             costs.setPair(s, t, s == t ? 1 : 3);
 
+    api::RaceEngine engine;
+
     util::printBanner(std::cout,
                       "Affine-gap races: " + text_a + " vs " + text_b);
     util::TextTable table({"open", "extend", "raced cost", "Gotoh DP",
@@ -58,7 +61,8 @@ main(int argc, char **argv)
         regimes = {{1, 1}, {2, 1}, {4, 1}, {8, 1}, {8, 2}};
     }
     for (const auto &gaps : regimes) {
-        auto raced = core::raceAffine(a, b, costs, gaps);
+        auto raced = engine.solve(
+            api::RaceProblem::affineAlignment(costs, gaps, a, b));
         table.row(gaps.open, gaps.extend, raced.score,
                   bio::affineGlobalScore(a, b, costs, gaps),
                   raced.nodes, raced.latencyCycles);

@@ -5,16 +5,18 @@
  *
  *   $ ./dag_shortest_path [nodes] [edge_prob] [seed]
  *
- * Builds the paper's Fig. 3 example plus a random weighted DAG, maps
- * each to OR-type (shortest path) and AND-type (longest path) races,
- * runs them event-driven AND as compiled gate-level netlists, and
- * checks both against the dynamic-programming oracle.
+ * Builds the paper's Fig. 3 example plus a random weighted DAG and
+ * solves each as a dagPath RaceProblem through the unified
+ * api::RaceEngine -- once on the behavioral backend (event-driven
+ * race) and once on the gate-level backend, which compiles the DAG to
+ * an OR/AND + DFF netlist and cross-checks the sink arrival on real
+ * gates.  Both are checked against the dynamic-programming oracle.
  */
 
 #include <cstdlib>
 #include <iostream>
 
-#include "rl/circuit/sim_sync.h"
+#include "rl/api/api.h"
 #include "rl/core/race_network.h"
 #include "rl/graph/generate.h"
 #include "rl/graph/paths.h"
@@ -23,7 +25,6 @@
 #include "rl/util/table.h"
 
 using namespace racelogic;
-using core::RaceType;
 using graph::Dag;
 using graph::NodeId;
 
@@ -33,11 +34,18 @@ void
 solveBothWays(const Dag &dag, const std::vector<NodeId> &sources,
               NodeId sink, const std::string &title)
 {
+    api::EngineConfig behavioral;
+    api::EngineConfig gateLevel;
+    gateLevel.backend = api::BackendKind::GateLevel;
+    api::RaceEngine softEngine(behavioral);
+    api::RaceEngine hardEngine(gateLevel);
+
     util::printBanner(std::cout, title);
     util::TextTable table({"objective", "DP", "event race",
-                           "gate-level race", "gates"});
-    for (RaceType type : {RaceType::Or, RaceType::And}) {
-        bool is_or = type == RaceType::Or;
+                           "gate-level race", "raced nodes"});
+    for (graph::Objective objective :
+         {graph::Objective::Shortest, graph::Objective::Longest}) {
+        bool is_or = objective == graph::Objective::Shortest;
         if (!is_or && !core::andRaceMatchesDp(dag, sources)) {
             table.row("longest (AND)", "-", "-",
                       "skipped: unreachable predecessor stalls the "
@@ -45,25 +53,20 @@ solveBothWays(const Dag &dag, const std::vector<NodeId> &sources,
                       "-");
             continue;
         }
-        auto dp = graph::solveDag(dag, sources,
-                                  is_or ? graph::Objective::Shortest
-                                        : graph::Objective::Longest);
-        auto event = core::raceDag(dag, sources, type);
-        auto rc = core::compileRaceCircuit(dag, sources, type);
-        circuit::SyncSim sim(rc.netlist);
-        for (circuit::NetId in : rc.sourceInputs)
-            sim.setInput(in, true);
-        auto arrival = sim.runUntil(
-            rc.nodeNets[sink], true,
-            uint64_t(dp.distance[sink]) + 4);
+        auto dp = graph::solveDag(dag, sources, objective);
+        api::RaceProblem problem =
+            api::RaceProblem::dagPath(dag, sources, sink, objective);
+        api::RaceResult soft = softEngine.solve(problem);
+        // The gate-level solve internally compiles the netlist and
+        // asserts agreement with the event-driven model.
+        api::RaceResult hard = hardEngine.solve(problem);
         table.row(is_or ? "shortest (OR)" : "longest (AND)",
                   dp.distance[sink],
-                  event.at(sink).fired()
-                      ? std::to_string(event.at(sink).time())
-                      : std::string("never"),
-                  arrival ? std::to_string(*arrival)
-                          : std::string("never"),
-                  rc.netlist.gateCount());
+                  soft.completed ? std::to_string(soft.score)
+                                 : std::string("never"),
+                  hard.completed ? std::to_string(hard.score)
+                                 : std::string("never"),
+                  soft.nodes);
     }
     table.print(std::cout);
 }

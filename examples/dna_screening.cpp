@@ -6,19 +6,20 @@
  *
  * Generates a database in which only a fraction of entries genuinely
  * descend from the query (the rest match by chance at best), then
- * screens it with a threshold race: comparisons whose score exceeds
- * the threshold abort at the threshold cycle.  Reports accepted
- * entries, fabric-busy time, the speedup over racing to completion,
- * and the equivalent systolic-array time, which cannot abort.
+ * screens it through api::RaceEngine::screen(): comparisons whose
+ * score exceeds the threshold abort at the threshold cycle.  The
+ * batch additionally dispatches onto the core::batch fabric pool,
+ * so the report covers accepted entries, fabric-busy time, the
+ * speedup over racing to completion, pool makespan/utilization, and
+ * the equivalent systolic-array time, which cannot abort.
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "rl/api/api.h"
 #include "rl/bio/sequence.h"
-#include "rl/core/threshold.h"
 #include "rl/systolic/lipton_lopresti.h"
-#include "rl/tech/cell_library.h"
 #include "rl/util/strings.h"
 #include "rl/util/table.h"
 
@@ -47,19 +48,21 @@ main(int argc, char **argv)
     // below the complete-mismatch worst case (2N).
     bio::Score threshold =
         static_cast<bio::Score>(query_length + query_length / 3);
-    core::ThresholdScreener screener(
-        bio::ScoreMatrix::dnaShortestPathInfMismatch(), threshold);
-    auto stats = screener.screenDatabase(workload.query,
-                                         workload.database);
 
+    api::RaceEngine engine;
+    api::BatchOutcome batch = engine.screen(
+        bio::ScoreMatrix::dnaShortestPathInfMismatch(), threshold,
+        workload.query, workload.database);
+
+    uint64_t busy_with_threshold = batch.busyCycles();
     size_t true_related = 0, accepted_related = 0;
-    for (size_t i = 0; i < workload.database.size(); ++i) {
+    for (size_t i = 0; i < batch.results.size(); ++i) {
         true_related += workload.related[i];
-        if (workload.related[i] && stats.accepted[i])
+        if (workload.related[i] && batch.results[i].accepted)
             ++accepted_related;
     }
 
-    const tech::CellLibrary &lib = tech::CellLibrary::amis();
+    const tech::CellLibrary &lib = *engine.config().library;
     uint64_t sys_cycles =
         systolic::LiptonLoprestiArray::latencyCycles(query_length,
                                                      query_length) *
@@ -70,32 +73,42 @@ main(int argc, char **argv)
     table.row("query length", query_length);
     table.row("database entries", database_size);
     table.row("threshold (cycles)", threshold);
-    table.row("entries accepted", stats.acceptedCount);
+    table.row("entries accepted", batch.acceptedCount());
     table.row("generator-related entries", true_related);
     table.row("related entries accepted", accepted_related);
-    table.row("fabric-busy cycles (threshold)",
-              stats.cyclesWithThreshold);
-    table.row("fabric-busy cycles (full race)", stats.cyclesFullRace);
+    table.row("fabric-busy cycles (threshold)", busy_with_threshold);
+    table.row("fabric-busy cycles (full race)", batch.fullRaceCycles());
     table.row("early-termination speedup",
-              util::format("%.2fx", stats.speedup()));
+              util::format("%.2fx", batch.speedup()));
     table.row("race wall time @333MHz",
-              util::siFormat(double(stats.cyclesWithThreshold) *
+              util::siFormat(double(busy_with_threshold) *
                                  lib.racePeriodNs * 1e-9,
                              "s"));
     table.row("systolic wall time @125MHz (no abort)",
               util::siFormat(double(sys_cycles) *
                                  lib.systolicPeriodNs * 1e-9,
                              "s"));
+    if (batch.schedule) {
+        table.row("pool fabrics",
+                  engine.config().fabricCount);
+        table.row("pool makespan (cycles)",
+                  batch.schedule->makespanCycles);
+        table.row("pool utilization",
+                  util::format("%.1f%%",
+                               batch.schedule->utilization * 100.0));
+        table.row("pool throughput",
+                  util::format("%.0f comparisons/s",
+                               batch.schedule->comparisonsPerSecond(
+                                   lib)));
+    }
     table.print(std::cout);
 
     std::cout << "\nFirst accepted entries:\n";
     int shown = 0;
-    for (size_t i = 0; i < workload.database.size() && shown < 5; ++i) {
-        if (!stats.accepted[i])
+    for (size_t i = 0; i < batch.results.size() && shown < 5; ++i) {
+        if (!batch.results[i].accepted)
             continue;
-        auto outcome =
-            screener.screen(workload.query, workload.database[i]);
-        std::cout << "  #" << i << " score " << outcome.score
+        std::cout << "  #" << i << " score " << batch.results[i].score
                   << (workload.related[i] ? "  (genuine relative)\n"
                                           : "  (chance similarity)\n");
         ++shown;

@@ -5,18 +5,19 @@
  *   $ ./dtw_signals [length] [noise]
  *
  * Generates a quantized reference sine and three candidates (a
- * phase-shifted copy, a noisy copy, and an unrelated waveform),
- * races the DTW lattice of each pair, and compares the raced
- * distances with the reference DP and with rigid sample-by-sample
- * distance.  Warping-tolerant matching in O(n) race cycles is the
- * kind of "limited but useful computation" the paper's Section 7
- * argues temporal logic is for.
+ * phase-shifted copy, a noisy copy, and an unrelated waveform), and
+ * solves the DTW lattice of each pair as a RaceProblem through the
+ * unified api::RaceEngine, comparing the raced distances with the
+ * reference DP and with rigid sample-by-sample distance.
+ * Warping-tolerant matching in O(n) race cycles is the kind of
+ * "limited but useful computation" the paper's Section 7 argues
+ * temporal logic is for.
  */
 
 #include <cstdlib>
 #include <iostream>
 
-#include "rl/apps/dtw.h"
+#include "rl/api/api.h"
 #include "rl/util/strings.h"
 #include "rl/util/table.h"
 
@@ -63,6 +64,8 @@ main(int argc, char **argv)
          apps::quantizedSine(rng, length, 5.0, 40.0)},
     };
 
+    api::RaceEngine engine;
+
     util::printBanner(std::cout,
                       util::format("DTW races against a %zu-sample "
                                    "quantized sine",
@@ -71,8 +74,9 @@ main(int argc, char **argv)
                            "rigid distance", "race cycles",
                            "race events"});
     for (const Candidate &c : candidates) {
-        auto raced = apps::raceDtw(reference, c.signal);
-        table.row(c.name, raced.distance,
+        auto raced = engine.solve(
+            api::RaceProblem::dtw(reference, c.signal));
+        table.row(c.name, raced.score,
                   apps::dtwDistance(reference, c.signal),
                   rigidDistance(reference, c.signal),
                   raced.latencyCycles, raced.events);

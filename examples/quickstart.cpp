@@ -4,8 +4,8 @@
  *
  *   $ ./quickstart [stringP] [stringQ]
  *
- * Builds the OR-type race for the paper's Fig. 2b cost matrix
- * (mismatch realized as a missing edge), races the edit graph, and
+ * Describes the alignment as an api::RaceProblem, solves it through
+ * the unified api::RaceEngine (the library's one front door), and
  * prints the score, the hardware latency, and the propagation table
  * of Fig. 4c.  A DP cross-check shows the race is exact.
  */
@@ -13,8 +13,8 @@
 #include <iostream>
 #include <string>
 
+#include "rl/api/api.h"
 #include "rl/bio/align_dp.h"
-#include "rl/core/race_aligner.h"
 
 using namespace racelogic;
 
@@ -37,10 +37,11 @@ main(int argc, char **argv)
     bio::Sequence p(dna, text_p);
     bio::Sequence q(dna, text_q);
 
-    // The public entry point: give it a score matrix, race strings.
-    core::RaceAligner aligner(
-        bio::ScoreMatrix::dnaShortestPathInfMismatch());
-    core::AlignOutcome outcome = aligner.align(q, p);
+    // The public entry point: describe the problem, solve it.
+    api::RaceEngine engine;
+    api::RaceResult outcome = engine.solve(
+        api::RaceProblem::pairwiseAlignment(
+            bio::ScoreMatrix::dnaShortestPathInfMismatch(), q, p));
 
     std::cout << "Race Logic global alignment\n"
               << "  P = " << text_p << "\n  Q = " << text_q << "\n\n"
@@ -48,7 +49,12 @@ main(int argc, char **argv)
               << "\nhardware latency: " << outcome.latencyCycles
               << " clock cycles (score == arrival time!)\n\n"
               << "propagation table (Fig. 4c view):\n"
-              << outcome.detail.arrivalTable();
+              << outcome.arrivalTable();
+    if (outcome.estimate)
+        std::cout << "\npriced by the AMIS 0.5um model: "
+                  << outcome.estimate->wallTimeNs << " ns, "
+                  << outcome.estimate->energyJ * 1e12 << " pJ, "
+                  << outcome.estimate->areaUm2 << " um2 of fabric\n";
 
     // Cross-check against the reference DP and show the alignment.
     bio::Alignment dp = bio::globalAlign(

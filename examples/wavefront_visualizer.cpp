@@ -4,18 +4,19 @@
  *
  *   $ ./wavefront_visualizer [stringP] [stringQ]
  *
- * Prints one frame per clock cycle: '#' cells have latched, 'o'
- * cells are firing this cycle, '.' cells are still dark.  Watching a
- * best-case pair shows the diagonal bullet of Fig. 6b; a worst-case
- * pair shows the anti-diagonal front of Fig. 6a.  The firing set per
- * cycle is exactly what data-dependent clock gating keeps awake.
+ * Solves the alignment through the unified api::RaceEngine and prints
+ * one frame per clock cycle: '#' cells have latched, 'o' cells are
+ * firing this cycle, '.' cells are still dark.  Watching a best-case
+ * pair shows the diagonal bullet of Fig. 6b; a worst-case pair shows
+ * the anti-diagonal front of Fig. 6a.  The firing set per cycle is
+ * exactly what data-dependent clock gating keeps awake.
  */
 
 #include <iostream>
 #include <string>
 
+#include "rl/api/api.h"
 #include "rl/core/clock_gating.h"
-#include "rl/core/race_grid.h"
 
 using namespace racelogic;
 
@@ -36,9 +37,10 @@ main(int argc, char **argv)
 
     bio::Sequence p(dna, text_p);
     bio::Sequence q(dna, text_q);
-    core::RaceGridAligner racer(
-        bio::ScoreMatrix::dnaShortestPathInfMismatch());
-    core::RaceGridResult result = racer.align(q, p);
+    api::RaceEngine engine;
+    api::RaceResult result = engine.solve(
+        api::RaceProblem::pairwiseAlignment(
+            bio::ScoreMatrix::dnaShortestPathInfMismatch(), q, p));
 
     std::cout << "racing " << text_q << " (rows) against " << text_p
               << " (cols); score = " << result.score << "\n\n";
@@ -50,7 +52,8 @@ main(int argc, char **argv)
 
     // What would the H-tree gate off?  Show region activity at the
     // Eq. 7-ish granularity m = 2.
-    core::GatingAnalysis gating = core::analyzeClockGating(result, 2);
+    core::GatingAnalysis gating =
+        core::analyzeClockGating(result.gridDetail(), 2);
     std::cout << "clock gating at m = 2: " << gating.regions
               << " regions, clock activity ratio "
               << gating.clockActivityRatio() << '\n'

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Umbrella header for the racelogic::api front door.
+ *
+ *   #include "rl/api/api.h"
+ *
+ *   racelogic::api::RaceEngine engine;
+ *   auto r = engine.solve(racelogic::api::RaceProblem::dtw(x, y));
+ *
+ * See rl/api/problem.h for the workload descriptions, rl/api/config.h
+ * for backend/technology selection, rl/api/engine.h for the engine and
+ * its plan cache, and rl/api/result.h for the unified result shape.
+ */
+
+#ifndef RACELOGIC_API_API_H
+#define RACELOGIC_API_API_H
+
+#include "rl/api/config.h"
+#include "rl/api/engine.h"
+#include "rl/api/problem.h"
+#include "rl/api/result.h"
+
+#endif // RACELOGIC_API_API_H

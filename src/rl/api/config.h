@@ -1,0 +1,91 @@
+/**
+ * @file
+ * EngineConfig: how the engine realizes and prices a race.
+ *
+ * One configuration object selects the execution backend (behavioral
+ * event simulation, synthesized gate-level fabric, or the systolic
+ * baseline), the Section 6 early-termination threshold, the Section 5
+ * delay-element encoding, the technology model used for energy/area
+ * estimates, and the batch fabric pool.
+ */
+
+#ifndef RACELOGIC_API_CONFIG_H
+#define RACELOGIC_API_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/core/generalized.h"
+#include "rl/tech/cell_library.h"
+
+namespace racelogic::api {
+
+/** Execution strategy for RaceEngine. */
+enum class BackendKind {
+    /** Event-driven temporal simulation (fast, exact, default). */
+    Behavioral,
+
+    /**
+     * Additionally synthesize the netlist for the problem's shape and
+     * run the race on real gates, cross-checking the behavioral
+     * result.  Slower, but exercises the synthesizable artifact; the
+     * per-shape fabric is cached and reused across solves.
+     */
+    GateLevel,
+
+    /**
+     * The Lipton-Lopresti linear systolic array -- the paper's
+     * baseline.  Only pairwise alignment / threshold screening over
+     * the Fig. 2b cost-matrix family is representable (and screening
+     * cannot abort early: the array always runs to completion).
+     */
+    Systolic,
+};
+
+/** Human-readable backend name. */
+const char *backendKindName(BackendKind backend);
+
+/** Engine-wide configuration; value type with sane defaults. */
+struct EngineConfig {
+    BackendKind backend = BackendKind::Behavioral;
+
+    /**
+     * Engine-wide early-termination threshold (Section 6), applied to
+     * every alignment-family solve: races costing more than this are
+     * reported with accepted = false and their fabric-busy time
+     * clamped to the threshold.  kScoreInfinity (default) disables
+     * it.  ThresholdScreen problems carry their own threshold, which
+     * takes precedence.
+     */
+    bio::Score threshold = bio::kScoreInfinity;
+
+    /** Delay-element encoding for synthesized generalized cells. */
+    core::DelayEncoding encoding = core::DelayEncoding::Binary;
+
+    /** Technology model pricing results; never null. */
+    const tech::CellLibrary *library = &tech::CellLibrary::amis();
+
+    /** Attach energy/area estimates to results (costs a little). */
+    bool withEstimates = true;
+
+    /** @name Batch fabric pool (solveBatch screening dispatch) @{ */
+
+    /** Parallel fabrics instantiated by the batch dispatcher. */
+    size_t fabricCount = 4;
+
+    /** Cycles to reset a fabric between comparisons. */
+    uint64_t resetCycles = 1;
+
+    /** @} */
+
+    /**
+     * Plans retained in the shape-keyed cache before the least
+     * recently used one is evicted.  0 disables caching entirely.
+     */
+    size_t planCacheCapacity = 64;
+};
+
+} // namespace racelogic::api
+
+#endif // RACELOGIC_API_CONFIG_H

@@ -1,0 +1,584 @@
+#include "rl/api/engine.h"
+
+#include <algorithm>
+
+#include "rl/circuit/sim_sync.h"
+#include "rl/core/generalized.h"
+#include "rl/core/race_grid.h"
+#include "rl/core/race_network.h"
+#include "rl/systolic/lipton_lopresti.h"
+#include "rl/tech/area_model.h"
+#include "rl/tech/energy_model.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::api {
+
+/**
+ * A planned fabric for one grid shape: the converted matrix, the
+ * behavioral racer, and (backend-dependent) the synthesized gate-level
+ * fabric or systolic array.  Strings are runtime inputs, so one plan
+ * serves every same-shape query.
+ */
+struct RaceEngine::Plan {
+    size_t rows = 0;
+    size_t cols = 0;
+
+    /** The matrix the problem supplied (cache-hit exact check). */
+    std::optional<bio::ScoreMatrix> input;
+
+    /** Section 5 conversion metadata (similarity inputs only). */
+    std::optional<bio::ShortestPathForm> conversion;
+
+    /** Behavioral OR-type racer over the race-ready costs. */
+    std::optional<core::RaceGridAligner> behavioral;
+
+    /** Synthesized fabric (GateLevel backend). */
+    std::unique_ptr<core::GeneralizedGridCircuit> fabric;
+
+    /** Lipton-Lopresti array (Systolic backend). */
+    std::unique_ptr<systolic::LiptonLoprestiArray> array;
+
+    /** Per-cell gate inventory (estimates; measured once per plan). */
+    std::array<size_t, circuit::kGateTypeCount> cellInventory{};
+    bool hasInventory = false;
+
+    const bio::ScoreMatrix &
+    costs() const
+    {
+        return behavioral->matrix();
+    }
+};
+
+namespace {
+
+/** Wall time of `cycles` race clocks under `lib` (ns). */
+double
+raceWallNs(const tech::CellLibrary &lib, sim::Tick cycles)
+{
+    return static_cast<double>(cycles) * lib.racePeriodNs;
+}
+
+/** True iff the two matrices describe identical edit weights. */
+bool
+sameMatrix(const bio::ScoreMatrix &lhs, const bio::ScoreMatrix &rhs)
+{
+    if (lhs.kind() != rhs.kind() ||
+        lhs.alphabet().size() != rhs.alphabet().size())
+        return false;
+    const size_t n = lhs.alphabet().size();
+    for (size_t i = 0; i < n; ++i) {
+        auto s = static_cast<bio::Symbol>(i);
+        if (lhs.gap(s) != rhs.gap(s))
+            return false;
+        for (size_t j = 0; j < n; ++j)
+            if (lhs.pair(s, static_cast<bio::Symbol>(j)) !=
+                rhs.pair(s, static_cast<bio::Symbol>(j)))
+                return false;
+    }
+    return true;
+}
+
+/** Apply the threshold verdict to a completed-or-not OR-race result. */
+void
+applyThresholdVerdict(bio::Score threshold, RaceResult &result)
+{
+    if (!result.completed) {
+        result.accepted = false;
+        result.cyclesUsed = result.latencyCycles;
+        return;
+    }
+    const bool over = result.racedCost > threshold;
+    result.accepted = !over;
+    result.cyclesUsed = over ? static_cast<sim::Tick>(threshold)
+                             : result.latencyCycles;
+}
+
+} // namespace
+
+size_t
+BatchOutcome::acceptedCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const RaceResult &r) { return r.accepted; }));
+}
+
+uint64_t
+BatchOutcome::busyCycles() const
+{
+    uint64_t total = 0;
+    for (const RaceResult &r : results)
+        total += r.cyclesUsed;
+    return total;
+}
+
+uint64_t
+BatchOutcome::fullRaceCycles() const
+{
+    uint64_t total = 0;
+    for (const RaceResult &r : results)
+        total += r.latencyCycles;
+    return total;
+}
+
+double
+BatchOutcome::speedup() const
+{
+    uint64_t busy = busyCycles();
+    return busy == 0 ? 1.0
+                     : static_cast<double>(fullRaceCycles()) /
+                           static_cast<double>(busy);
+}
+
+RaceEngine::RaceEngine(EngineConfig config) : cfg(config)
+{
+    rl_assert(cfg.library != nullptr,
+              "EngineConfig.library must point at a CellLibrary");
+}
+
+RaceEngine::~RaceEngine() = default;
+
+void
+RaceEngine::clearPlanCache()
+{
+    lru.clear();
+    index.clear();
+}
+
+std::shared_ptr<RaceEngine::Plan>
+RaceEngine::buildPlan(const RaceProblem &problem)
+{
+    auto plan = std::make_shared<Plan>();
+    plan->rows = problem.a->size();
+    plan->cols = problem.b->size();
+    plan->input = *problem.matrix;
+
+    const bio::ScoreMatrix &input = *plan->input;
+    if (input.isCost()) {
+        plan->behavioral.emplace(input);
+    } else {
+        plan->conversion =
+            bio::toShortestPathForm(input, problem.lambda);
+        plan->behavioral.emplace(plan->conversion->costs);
+    }
+
+    if (cfg.backend == BackendKind::GateLevel)
+        plan->fabric = std::make_unique<core::GeneralizedGridCircuit>(
+            plan->costs(), plan->rows, plan->cols, cfg.encoding);
+    if (cfg.backend == BackendKind::Systolic)
+        plan->array = std::make_unique<systolic::LiptonLoprestiArray>(
+            plan->costs());
+    if (cfg.withEstimates && cfg.backend != BackendKind::Systolic) {
+        plan->cellInventory = core::GeneralizedGridCircuit::cellInventory(
+            plan->costs(), cfg.encoding);
+        plan->hasInventory = true;
+    }
+    ++statistics.plansBuilt;
+    return plan;
+}
+
+std::shared_ptr<RaceEngine::Plan>
+RaceEngine::planFor(const RaceProblem &problem)
+{
+    if (cfg.planCacheCapacity == 0)
+        return buildPlan(problem);
+
+    std::string key = problem.shapeKey();
+    auto found = index.find(key);
+    if (found != index.end()) {
+        // The key carries a 64-bit matrix fingerprint; confirm the
+        // match exactly so a hash collision can never hand back the
+        // wrong fabric.  A collision falls through to an uncached
+        // fresh plan (the slot keeps its original owner).
+        if (sameMatrix(*problem.matrix,
+                       *found->second->second->input)) {
+            lru.splice(lru.begin(), lru, found->second);
+            ++statistics.planCacheHits;
+            return lru.front().second;
+        }
+        return buildPlan(problem);
+    }
+
+    auto plan = buildPlan(problem);
+    lru.emplace_front(key, plan);
+    index[key] = lru.begin();
+    while (lru.size() > cfg.planCacheCapacity) {
+        index.erase(lru.back().first);
+        lru.pop_back();
+    }
+    return plan;
+}
+
+RaceResult
+RaceEngine::solve(const RaceProblem &problem)
+{
+    ++statistics.solves;
+    switch (problem.kind) {
+    case ProblemKind::PairwiseAlignment:
+    case ProblemKind::GeneralizedAlignment:
+    case ProblemKind::ThresholdScreen:
+        return solveGridFamily(problem);
+    case ProblemKind::Dtw:
+        return solveDtw(problem);
+    case ProblemKind::DagPath:
+        return solveDagPath(problem);
+    case ProblemKind::AffineAlignment:
+        return solveAffine(problem);
+    }
+    rl_assert(false, "unknown problem kind");
+    return RaceResult{};
+}
+
+RaceResult
+RaceEngine::solveGridFamily(const RaceProblem &problem)
+{
+    const bio::Sequence &a = *problem.a;
+    const bio::Sequence &b = *problem.b;
+    const bio::Score threshold =
+        problem.kind == ProblemKind::ThresholdScreen ? problem.threshold
+                                                     : cfg.threshold;
+    const bool screening = problem.kind == ProblemKind::ThresholdScreen;
+
+    rl_assert(cfg.backend != BackendKind::Systolic ||
+                  problem.kind != ProblemKind::GeneralizedAlignment,
+              "the systolic baseline cannot run generalized matrices "
+              "(mod-4 score encoding needs the Fig. 2b cost family)");
+
+    std::shared_ptr<Plan> plan = planFor(problem);
+    const tech::CellLibrary &lib = *cfg.library;
+
+    RaceResult result;
+    result.kind = problem.kind;
+    result.backend = cfg.backend;
+    result.nodes = (plan->rows + 1) * (plan->cols + 1);
+
+    if (cfg.backend == BackendKind::Systolic) {
+        systolic::SystolicResult raced = plan->array->align(a, b);
+        result.racedCost = raced.score;
+        result.latencyCycles = raced.cycles;
+        result.nodes = raced.peCount;
+        // The array cannot abort: it is busy for the full run even
+        // when the verdict is negative (the Section 6 contrast).
+        result.cyclesUsed = raced.cycles;
+        result.accepted = raced.score <= threshold;
+        result.score = plan->conversion
+                           ? plan->conversion->recoverScore(
+                                 result.racedCost, a.size(), b.size())
+                           : result.racedCost;
+        if (cfg.withEstimates) {
+            HardwareEstimate est;
+            est.wallTimeNs = static_cast<double>(raced.cycles) *
+                             lib.systolicPeriodNs;
+            est.areaUm2 = tech::systolicArea(lib, a.alphabet(), a.size(),
+                                             b.size())
+                              .totalUm2;
+            est.energyJ =
+                tech::systolicEnergyFromResult(lib, raced, a.alphabet())
+                    .totalJ();
+            result.estimate = est;
+        }
+        return result;
+    }
+
+    // Behavioral race (also the reference the gate level is checked
+    // against).
+    core::RaceGridResult raced = plan->behavioral->align(a, b);
+    result.racedCost = raced.score;
+    result.latencyCycles = raced.latencyCycles;
+    result.events = raced.events;
+    result.cellsFired = raced.cellsFired;
+    result.arrival = std::move(raced.arrival);
+
+    double gateLevelEnergyJ = -1.0;
+    double gateLevelAreaUm2 = -1.0;
+    size_t gateLevelGates = 0;
+    size_t gateLevelDffs = 0;
+    if (cfg.backend == BackendKind::GateLevel) {
+        // Run the same race on the synthesized fabric.  Any finite
+        // threshold becomes the cycle budget -- the hardware
+        // realization of Section 6's abort -- so the priced switching
+        // activity covers exactly the cycles the fabric is busy.
+        // Floor at 1: the fabric treats budget 0 as "unlimited",
+        // while threshold 0 must reject after a single cycle (all
+        // weights are >= 1).
+        const bool bounded = threshold < bio::kScoreInfinity;
+        uint64_t budget =
+            bounded ? std::max<uint64_t>(
+                          static_cast<uint64_t>(threshold), 1)
+                    : 0;
+        plan->fabric->sim().clearActivity();
+        core::CircuitRunResult run = plan->fabric->align(a, b, budget);
+        if (run.completed) {
+            rl_assert(run.score == result.racedCost,
+                      "gate-level race disagrees with behavioral "
+                      "model: ",
+                      run.score, " vs ", result.racedCost);
+        } else {
+            rl_assert(bounded && result.racedCost > threshold,
+                      "gate-level race did not complete within budget");
+        }
+        if (cfg.withEstimates) {
+            gateLevelEnergyJ = tech::energyFromActivityJ(
+                lib, plan->fabric->sim().activity());
+            auto counts = plan->fabric->netlist().typeCounts();
+            gateLevelAreaUm2 = lib.areaOfInventory(counts);
+            gateLevelGates = plan->fabric->netlist().gateCount();
+            gateLevelDffs =
+                counts[static_cast<size_t>(circuit::GateType::Dff)];
+        }
+    }
+
+    applyThresholdVerdict(threshold, result);
+    if (screening && !result.accepted) {
+        // Match the Section 6 screening contract: an aborted race
+        // reveals only that the score exceeds the threshold.
+        result.completed = false;
+        result.score = bio::kScoreInfinity;
+    } else {
+        result.score = plan->conversion
+                           ? plan->conversion->recoverScore(
+                                 result.racedCost, a.size(), b.size())
+                           : result.racedCost;
+    }
+
+    if (cfg.withEstimates) {
+        HardwareEstimate est;
+        est.wallTimeNs = raceWallNs(lib, result.cyclesUsed);
+        if (gateLevelAreaUm2 >= 0.0) {
+            // Priced from the actual synthesized netlist + simulated
+            // switching activity (the ModelSim -> PrimeTime stand-in).
+            est.areaUm2 = gateLevelAreaUm2;
+            est.energyJ = gateLevelEnergyJ;
+            est.gateCount = gateLevelGates;
+            est.dffCount = gateLevelDffs;
+        } else if (plan->hasInventory) {
+            // Eq. 3 with the actual race duration: clock-pin charging
+            // of every fabric DFF per cycle, plus the per-comparison
+            // data term.
+            const double cells =
+                static_cast<double>(plan->rows * plan->cols);
+            const double dffPerCell = static_cast<double>(
+                plan->cellInventory[static_cast<size_t>(
+                    circuit::GateType::Dff)]);
+            est.areaUm2 =
+                tech::generalizedGridArea(lib, plan->costs(), plan->rows,
+                                          plan->cols,
+                                          plan->cellInventory)
+                    .totalUm2;
+            est.energyJ =
+                lib.switchEnergyJ(lib.dffClockCapF) * cells * dffPerCell *
+                    static_cast<double>(result.cyclesUsed) +
+                cells * lib.raceCellTogglesPerComparison *
+                    lib.switchEnergyJ(lib.netCapF);
+        }
+        result.estimate = est;
+    }
+    return result;
+}
+
+namespace {
+
+/**
+ * Race a DAG problem behaviorally and, on the gate-level backend,
+ * compile it to a netlist, replay the race on real gates, and
+ * cross-check the sink arrival.  Shared by Dtw / DagPath / Affine.
+ */
+void
+raceDagProblem(const graph::Dag &dag,
+               const std::vector<graph::NodeId> &sources,
+               graph::NodeId sink, core::RaceType type,
+               const EngineConfig &cfg, RaceResult &result)
+{
+    core::RaceOutcome outcome = core::raceDag(dag, sources, type);
+    core::TemporalValue arrival = outcome.at(sink);
+    result.events = outcome.events;
+    result.nodes = dag.nodeCount();
+    result.completed = arrival.fired();
+    if (arrival.fired()) {
+        result.racedCost = static_cast<bio::Score>(arrival.time());
+        result.latencyCycles = arrival.time();
+    } else {
+        result.racedCost = bio::kScoreInfinity;
+        result.latencyCycles = outcome.horizon;
+    }
+    result.nodeArrival = std::move(outcome.firing);
+    result.cellsFired = static_cast<size_t>(std::count_if(
+        result.nodeArrival.begin(), result.nodeArrival.end(),
+        [](const core::TemporalValue &v) { return v.fired(); }));
+
+    const tech::CellLibrary &lib = *cfg.library;
+    if (cfg.withEstimates) {
+        HardwareEstimate est;
+        est.wallTimeNs = raceWallNs(lib, result.latencyCycles);
+        result.estimate = est;
+    }
+
+    if (cfg.backend == BackendKind::GateLevel && arrival.fired()) {
+        core::RaceCircuit compiled =
+            core::compileRaceCircuit(dag, sources, type);
+        circuit::SyncSim sim(compiled.netlist);
+        for (circuit::NetId input : compiled.sourceInputs)
+            sim.setInput(input, true);
+        auto gateArrival =
+            sim.runUntil(compiled.nodeNets[sink], true,
+                         static_cast<uint64_t>(result.racedCost) + 4);
+        rl_assert(gateArrival.has_value() &&
+                      static_cast<bio::Score>(*gateArrival) ==
+                          result.racedCost,
+                  "gate-level race disagrees with the event-driven "
+                  "model at the sink");
+        if (cfg.withEstimates && result.estimate) {
+            auto counts = compiled.netlist.typeCounts();
+            result.estimate->areaUm2 = lib.areaOfInventory(counts);
+            result.estimate->energyJ =
+                tech::energyFromActivityJ(lib, sim.activity());
+            result.estimate->gateCount = compiled.netlist.gateCount();
+            result.estimate->dffCount =
+                counts[static_cast<size_t>(circuit::GateType::Dff)];
+        }
+    }
+}
+
+} // namespace
+
+RaceResult
+RaceEngine::solveDtw(const RaceProblem &problem)
+{
+    rl_assert(cfg.backend != BackendKind::Systolic,
+              "the systolic baseline only aligns strings; race DTW on "
+              "the behavioral or gate-level backend");
+
+    apps::DtwGraph lattice = apps::makeDtwGraph(problem.x, problem.y);
+
+    RaceResult result;
+    result.kind = ProblemKind::Dtw;
+    result.backend = cfg.backend;
+    raceDagProblem(lattice.dag, {lattice.source}, lattice.sink,
+                   core::RaceType::Or, cfg, result);
+    rl_assert(result.completed, "DTW race never finished");
+    result.score = result.racedCost;
+    applyThresholdVerdict(cfg.threshold, result);
+    return result;
+}
+
+RaceResult
+RaceEngine::solveDagPath(const RaceProblem &problem)
+{
+    rl_assert(cfg.backend != BackendKind::Systolic,
+              "the systolic baseline only aligns strings; race DAG "
+              "paths on the behavioral or gate-level backend");
+
+    const bool shortest =
+        problem.objective == graph::Objective::Shortest;
+
+    RaceResult result;
+    result.kind = ProblemKind::DagPath;
+    result.backend = cfg.backend;
+    raceDagProblem(*problem.dag, problem.sources, problem.sink,
+                   shortest ? core::RaceType::Or : core::RaceType::And,
+                   cfg, result);
+    result.score = result.completed ? result.racedCost
+                                    : bio::kScoreInfinity;
+    if (shortest) {
+        // Early termination is an OR-race property only: a MAX race's
+        // answer is not known until the end.
+        applyThresholdVerdict(cfg.threshold, result);
+    } else {
+        result.cyclesUsed = result.latencyCycles;
+    }
+    return result;
+}
+
+RaceResult
+RaceEngine::solveAffine(const RaceProblem &problem)
+{
+    rl_assert(cfg.backend != BackendKind::Systolic,
+              "the systolic baseline has no affine-gap mode; race "
+              "affine alignments on the behavioral or gate-level "
+              "backend");
+
+    bio::AffineEditGraph lattice = bio::makeAffineEditGraph(
+        *problem.a, *problem.b, *problem.matrix, problem.gaps);
+
+    RaceResult result;
+    result.kind = ProblemKind::AffineAlignment;
+    result.backend = cfg.backend;
+    raceDagProblem(lattice.dag, {lattice.source}, lattice.sink,
+                   core::RaceType::Or, cfg, result);
+    rl_assert(result.completed,
+              "affine race never finished; finite gaps should always "
+              "connect the corners");
+    result.score = result.racedCost;
+    applyThresholdVerdict(cfg.threshold, result);
+    return result;
+}
+
+namespace {
+
+/**
+ * A batch is "screening-shaped" when every problem races one shared
+ * cost matrix and query string: exactly the workload the core::batch
+ * fabric pool schedules.
+ */
+bool
+screeningShaped(const std::vector<RaceProblem> &problems)
+{
+    if (problems.empty())
+        return false;
+    const RaceProblem &first = problems.front();
+    if (!first.matrix || !first.matrix->isCost() || !first.a)
+        return false;
+    for (const RaceProblem &p : problems) {
+        if (p.kind != ProblemKind::PairwiseAlignment &&
+            p.kind != ProblemKind::ThresholdScreen)
+            return false;
+        if (!(*p.a == *first.a) || !sameMatrix(*p.matrix, *first.matrix))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+BatchOutcome
+RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
+{
+    ++statistics.batches;
+    BatchOutcome outcome;
+    outcome.results.reserve(problems.size());
+    for (const RaceProblem &problem : problems)
+        outcome.results.push_back(solve(problem));
+
+    if (screeningShaped(problems)) {
+        // Model the deployment: dispatch the already-raced workload
+        // onto the core::batch pool scheduler.  Feeding the
+        // per-result busy cycles (each clamped by its own threshold)
+        // avoids racing everything a second time and keeps the
+        // schedule verdicts identical to the results by construction.
+        core::BatchConfig pool;
+        pool.fabricCount = cfg.fabricCount;
+        pool.resetCycles = cfg.resetCycles;
+        std::vector<core::ScreenedComparison> runs;
+        runs.reserve(outcome.results.size());
+        for (const RaceResult &r : outcome.results)
+            runs.push_back({r.accepted,
+                            static_cast<uint64_t>(r.cyclesUsed)});
+        outcome.schedule = core::scheduleBatch(pool, runs);
+    }
+    return outcome;
+}
+
+BatchOutcome
+RaceEngine::screen(const bio::ScoreMatrix &costs, bio::Score threshold,
+                   const bio::Sequence &query,
+                   const std::vector<bio::Sequence> &database)
+{
+    std::vector<RaceProblem> problems;
+    problems.reserve(database.size());
+    for (const bio::Sequence &candidate : database)
+        problems.push_back(RaceProblem::thresholdScreen(
+            costs, threshold, query, candidate));
+    return solveBatch(problems);
+}
+
+} // namespace racelogic::api

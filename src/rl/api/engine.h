@@ -1,0 +1,147 @@
+/**
+ * @file
+ * RaceEngine: the library's one front door.
+ *
+ *   Problem -> Plan -> Engine -> Result
+ *
+ * Describe any supported dynamic program as a RaceProblem, pick a
+ * backend and technology in EngineConfig, and solve():
+ *
+ *   api::RaceEngine engine;
+ *   auto result = engine.solve(api::RaceProblem::pairwiseAlignment(
+ *       bio::ScoreMatrix::dnaShortestPathInfMismatch(), q, p));
+ *   // result.score, result.latencyCycles, result.arrivalTable(), ...
+ *
+ * Planning is the expensive part of a race -- converting a similarity
+ * matrix (Section 5) and, on the gate-level backend, synthesizing a
+ * fabric netlist for the problem's grid shape.  The engine keeps a
+ * shape-keyed LRU cache of plans: repeated same-shape queries (the
+ * database-screening workload of Section 6) skip synthesis entirely,
+ * exactly as deployed hardware would reuse its fabric with new
+ * strings on the primary inputs.
+ *
+ * solveBatch() additionally dispatches screening-shaped batches onto
+ * the core::batch fabric pool, reporting makespan and utilization of
+ * a multi-fabric deployment.
+ */
+
+#ifndef RACELOGIC_API_ENGINE_H
+#define RACELOGIC_API_ENGINE_H
+
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rl/api/config.h"
+#include "rl/api/problem.h"
+#include "rl/api/result.h"
+#include "rl/core/batch.h"
+
+namespace racelogic::api {
+
+/** Counters exposed for tests, benches, and capacity planning. */
+struct EngineStats {
+    uint64_t solves = 0;        ///< problems solved
+    uint64_t plansBuilt = 0;    ///< plans synthesized (cache misses)
+    uint64_t planCacheHits = 0; ///< solves that reused a cached plan
+    uint64_t batches = 0;       ///< solveBatch calls
+};
+
+/** Outcome of one solveBatch call. */
+struct BatchOutcome {
+    /** Per-problem results, in input order. */
+    std::vector<RaceResult> results;
+
+    /**
+     * Fabric-pool schedule (makespan, utilization, wall time) from
+     * the core::batch dispatcher, fed with the per-result busy
+     * cycles.  Present when the batch was screening-shaped: every
+     * problem a pairwise alignment or threshold screen over one
+     * shared cost matrix and query.
+     */
+    std::optional<core::BatchReport> schedule;
+
+    /** Problems whose result passed the threshold (or all, if none). */
+    size_t acceptedCount() const;
+
+    /** Total fabric-busy cycles (threshold-clamped, Section 6). */
+    uint64_t busyCycles() const;
+
+    /** Total cycles had every race run to completion. */
+    uint64_t fullRaceCycles() const;
+
+    /** Early-termination gain: fullRaceCycles / busyCycles. */
+    double speedup() const;
+};
+
+/**
+ * The unified engine over every race-logic workload.
+ *
+ * One engine instance owns its plan cache and statistics; it is not
+ * thread-safe (shard engines per thread, they share nothing).
+ */
+class RaceEngine
+{
+  public:
+    explicit RaceEngine(EngineConfig config = EngineConfig{});
+    ~RaceEngine();
+
+    RaceEngine(const RaceEngine &) = delete;
+    RaceEngine &operator=(const RaceEngine &) = delete;
+
+    /** Solve one problem on the configured backend. */
+    RaceResult solve(const RaceProblem &problem);
+
+    /**
+     * Solve a batch of problems, reusing cached plans across them.
+     * Screening-shaped batches are additionally dispatched onto the
+     * core::batch fabric pool (fabricCount, resetCycles, threshold
+     * from the config) to model a multi-fabric deployment.
+     */
+    BatchOutcome solveBatch(const std::vector<RaceProblem> &problems);
+
+    /**
+     * Convenience: screen `database` against `query` over race-ready
+     * `costs` with the Section 6 early-termination `threshold`.
+     */
+    BatchOutcome screen(const bio::ScoreMatrix &costs,
+                        bio::Score threshold, const bio::Sequence &query,
+                        const std::vector<bio::Sequence> &database);
+
+    const EngineConfig &config() const { return cfg; }
+    const EngineStats &stats() const { return statistics; }
+
+    /** Plans currently held in the cache. */
+    size_t planCacheSize() const { return lru.size(); }
+
+    /** Drop every cached plan (statistics are preserved). */
+    void clearPlanCache();
+
+  private:
+    struct Plan;
+
+    /** Fetch or build the plan for a grid-family problem. */
+    std::shared_ptr<Plan> planFor(const RaceProblem &problem);
+    std::shared_ptr<Plan> buildPlan(const RaceProblem &problem);
+
+    RaceResult solveGridFamily(const RaceProblem &problem);
+    RaceResult solveDtw(const RaceProblem &problem);
+    RaceResult solveDagPath(const RaceProblem &problem);
+    RaceResult solveAffine(const RaceProblem &problem);
+
+    EngineConfig cfg;
+    EngineStats statistics;
+
+    /** LRU plan cache: most recently used at the front. */
+    using LruEntry = std::pair<std::string, std::shared_ptr<Plan>>;
+    std::list<LruEntry> lru;
+    std::unordered_map<std::string, std::list<LruEntry>::iterator> index;
+};
+
+} // namespace racelogic::api
+
+#endif // RACELOGIC_API_ENGINE_H

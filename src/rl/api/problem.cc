@@ -1,0 +1,229 @@
+#include "rl/api/problem.h"
+
+#include <sstream>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::api {
+
+const char *
+problemKindName(ProblemKind kind)
+{
+    switch (kind) {
+    case ProblemKind::PairwiseAlignment: return "pairwise-alignment";
+    case ProblemKind::AffineAlignment: return "affine-alignment";
+    case ProblemKind::Dtw: return "dtw";
+    case ProblemKind::DagPath: return "dag-path";
+    case ProblemKind::GeneralizedAlignment: return "generalized-alignment";
+    case ProblemKind::ThresholdScreen: return "threshold-screen";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Incremental FNV-1a over 64-bit words. */
+struct Fnv {
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(uint64_t v)
+    {
+        h ^= v;
+        h *= 1099511628211ull;
+    }
+};
+
+/** FNV-1a over the full matrix contents: the hardware identity of a
+ *  score matrix (two fabrics are interchangeable iff this matches). */
+uint64_t
+matrixFingerprint(const bio::ScoreMatrix &matrix)
+{
+    Fnv f;
+    f.mix(static_cast<uint64_t>(matrix.kind()));
+    size_t n = matrix.alphabet().size();
+    f.mix(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            f.mix(static_cast<uint64_t>(
+                matrix.pair(static_cast<bio::Symbol>(i),
+                            static_cast<bio::Symbol>(j))));
+        f.mix(static_cast<uint64_t>(
+            matrix.gap(static_cast<bio::Symbol>(i))));
+    }
+    return f.h;
+}
+
+/** Content hash of a sequence (symbols are baked into affine plans). */
+uint64_t
+sequenceFingerprint(const bio::Sequence &sequence)
+{
+    Fnv f;
+    f.mix(sequence.size());
+    for (bio::Symbol s : sequence.symbols())
+        f.mix(s);
+    return f.h;
+}
+
+/** Content hash of a signal. */
+uint64_t
+signalFingerprint(const std::vector<apps::Sample> &signal)
+{
+    Fnv f;
+    f.mix(signal.size());
+    for (apps::Sample s : signal)
+        f.mix(static_cast<uint64_t>(s));
+    return f.h;
+}
+
+/** Content hash of a DAG: its full edge list (weights included). */
+uint64_t
+dagFingerprint(const graph::Dag &dag,
+               const std::vector<graph::NodeId> &sources)
+{
+    Fnv f;
+    f.mix(dag.nodeCount());
+    for (const graph::Edge &e : dag.edges()) {
+        f.mix(e.from);
+        f.mix(e.to);
+        f.mix(static_cast<uint64_t>(e.weight));
+    }
+    for (graph::NodeId s : sources)
+        f.mix(s);
+    return f.h;
+}
+
+} // namespace
+
+RaceProblem
+RaceProblem::pairwiseAlignment(bio::ScoreMatrix matrix, bio::Sequence a,
+                               bio::Sequence b)
+{
+    RaceProblem p;
+    p.kind = ProblemKind::PairwiseAlignment;
+    p.matrix = std::move(matrix);
+    p.a = std::move(a);
+    p.b = std::move(b);
+    return p;
+}
+
+RaceProblem
+RaceProblem::affineAlignment(bio::ScoreMatrix costs,
+                             bio::AffineGapCosts gaps, bio::Sequence a,
+                             bio::Sequence b)
+{
+    rl_assert(costs.isCost(),
+              "affine alignment needs a Cost-kind substitution matrix");
+    RaceProblem p;
+    p.kind = ProblemKind::AffineAlignment;
+    p.matrix = std::move(costs);
+    p.gaps = gaps;
+    p.a = std::move(a);
+    p.b = std::move(b);
+    return p;
+}
+
+RaceProblem
+RaceProblem::dtw(std::vector<apps::Sample> x, std::vector<apps::Sample> y)
+{
+    rl_assert(!x.empty() && !y.empty(), "DTW of an empty signal");
+    RaceProblem p;
+    p.kind = ProblemKind::Dtw;
+    p.x = std::move(x);
+    p.y = std::move(y);
+    return p;
+}
+
+RaceProblem
+RaceProblem::dagPath(graph::Dag dag, std::vector<graph::NodeId> sources,
+                     graph::NodeId sink, graph::Objective objective)
+{
+    rl_assert(!sources.empty(), "DAG path needs at least one source");
+    rl_assert(sink < dag.nodeCount(), "DAG path sink out of range");
+    RaceProblem p;
+    p.kind = ProblemKind::DagPath;
+    p.dag = std::move(dag);
+    p.sources = std::move(sources);
+    p.sink = sink;
+    p.objective = objective;
+    return p;
+}
+
+RaceProblem
+RaceProblem::generalizedAlignment(bio::ScoreMatrix similarity,
+                                  bio::Sequence a, bio::Sequence b,
+                                  bio::Score lambda)
+{
+    rl_assert(!similarity.isCost(),
+              "generalized alignment converts a Similarity matrix; "
+              "race a Cost matrix with pairwiseAlignment()");
+    rl_assert(lambda >= 1, "lambda must be a positive integer scale");
+    RaceProblem p;
+    p.kind = ProblemKind::GeneralizedAlignment;
+    p.matrix = std::move(similarity);
+    p.lambda = lambda;
+    p.a = std::move(a);
+    p.b = std::move(b);
+    return p;
+}
+
+RaceProblem
+RaceProblem::thresholdScreen(bio::ScoreMatrix costs, bio::Score threshold,
+                             bio::Sequence query, bio::Sequence candidate)
+{
+    rl_assert(costs.isCost(),
+              "threshold screening races a Cost-kind matrix");
+    rl_assert(threshold >= 0 && threshold < bio::kScoreInfinity,
+              "screening needs a finite, non-negative threshold");
+    RaceProblem p;
+    p.kind = ProblemKind::ThresholdScreen;
+    p.matrix = std::move(costs);
+    p.threshold = threshold;
+    p.a = std::move(query);
+    p.b = std::move(candidate);
+    return p;
+}
+
+std::string
+RaceProblem::shapeKey() const
+{
+    std::ostringstream key;
+    key << problemKindName(kind);
+    switch (kind) {
+    case ProblemKind::PairwiseAlignment:
+    case ProblemKind::GeneralizedAlignment:
+    case ProblemKind::ThresholdScreen:
+        // The fabric is determined by the matrix and the grid size;
+        // the strings are primary inputs and the threshold is a cycle
+        // budget, so neither is part of the hardware shape.
+        key << '/' << a->size() << 'x' << b->size() << '/'
+            << std::hex << matrixFingerprint(*matrix) << std::dec << '/'
+            << lambda;
+        break;
+    case ProblemKind::AffineAlignment:
+        // The 3-layer lattice bakes the pair weights of the actual
+        // symbols into its edges, so the key covers the symbols too
+        // and plans are per-instance.
+        key << '/' << a->size() << 'x' << b->size() << '/'
+            << std::hex << matrixFingerprint(*matrix) << ':'
+            << sequenceFingerprint(*a) << ':' << sequenceFingerprint(*b)
+            << std::dec << '/' << gaps.open << ':' << gaps.extend;
+        break;
+    case ProblemKind::Dtw:
+        // Sample values weight the lattice edges: per-instance key.
+        key << '/' << x.size() << 'x' << y.size() << '/' << std::hex
+            << signalFingerprint(x) << ':' << signalFingerprint(y)
+            << std::dec;
+        break;
+    case ProblemKind::DagPath:
+        // Edge weights become the delay chains: per-instance key.
+        key << '/' << dag->nodeCount() << 'n' << dag->edgeCount() << 'e'
+            << '/' << std::hex << dagFingerprint(*dag, sources)
+            << std::dec << '/' << sink << '/'
+            << (objective == graph::Objective::Shortest ? "min" : "max");
+        break;
+    }
+    return key.str();
+}
+
+} // namespace racelogic::api

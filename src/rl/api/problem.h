@@ -1,0 +1,141 @@
+/**
+ * @file
+ * RaceProblem: one description for every workload the library races.
+ *
+ * The paper's thesis is that MIN (OR), MAX (AND), ADD-CONSTANT (DFF
+ * chain) and INHIBIT over arrival times form a single substrate that
+ * many dynamic programs compile onto.  The API layer makes that
+ * concrete: every supported workload -- pairwise alignment, affine-gap
+ * alignment, dynamic time warping, DAG shortest/longest path,
+ * generalized score-matrix DP, and threshold screening -- is expressed
+ * as one RaceProblem value and handed to api::RaceEngine.  Problem
+ * construction performs no work; planning and execution happen inside
+ * the engine, where same-shape problems share a synthesized fabric.
+ */
+
+#ifndef RACELOGIC_API_PROBLEM_H
+#define RACELOGIC_API_PROBLEM_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rl/apps/dtw.h"
+#include "rl/bio/affine.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/graph/dag.h"
+#include "rl/graph/paths.h"
+
+namespace racelogic::api {
+
+/** The dynamic programs the engine knows how to race. */
+enum class ProblemKind {
+    PairwiseAlignment,     ///< global alignment over any ScoreMatrix
+    AffineAlignment,       ///< Gotoh 3-layer lattice (open/extend gaps)
+    Dtw,                   ///< dynamic time warping of two signals
+    DagPath,               ///< shortest/longest path on an arbitrary DAG
+    GeneralizedAlignment,  ///< Section 5 similarity-matrix DP (lambda)
+    ThresholdScreen,       ///< Section 6 early-termination screening
+};
+
+/** Human-readable kind name ("pairwise-alignment", ...). */
+const char *problemKindName(ProblemKind kind);
+
+/**
+ * A declarative description of one race-logic workload.
+ *
+ * Build instances through the static factories only; which fields are
+ * populated depends on the kind.  A RaceProblem is a value -- it owns
+ * copies of its inputs and can outlive what it was built from.
+ */
+struct RaceProblem {
+    ProblemKind kind = ProblemKind::PairwiseAlignment;
+
+    /** @name Alignment-family fields
+     *  PairwiseAlignment / AffineAlignment / GeneralizedAlignment /
+     *  ThresholdScreen.
+     * @{ */
+    std::optional<bio::ScoreMatrix> matrix; ///< similarity or cost
+    std::optional<bio::Sequence> a;         ///< first string (query)
+    std::optional<bio::Sequence> b;         ///< second string (candidate)
+    bio::AffineGapCosts gaps;               ///< AffineAlignment only
+    bio::Score lambda = 1;                  ///< GeneralizedAlignment only
+    bio::Score threshold = bio::kScoreInfinity; ///< ThresholdScreen only
+    /** @} */
+
+    /** @name Dtw fields @{ */
+    std::vector<apps::Sample> x;
+    std::vector<apps::Sample> y;
+    /** @} */
+
+    /** @name DagPath fields @{ */
+    std::optional<graph::Dag> dag;
+    std::vector<graph::NodeId> sources;
+    graph::NodeId sink = graph::kNoNode;
+    graph::Objective objective = graph::Objective::Shortest;
+    /** @} */
+
+    /**
+     * Global alignment of (a, b) over `matrix`.  Cost matrices race
+     * directly; similarity matrices (BLOSUM62, ...) are converted via
+     * Section 5 and the score mapped back automatically.
+     */
+    static RaceProblem pairwiseAlignment(bio::ScoreMatrix matrix,
+                                         bio::Sequence a, bio::Sequence b);
+
+    /**
+     * Affine-gap (Gotoh) alignment of (a, b): `costs` must be a
+     * cost-kind substitution matrix (finite pair weights >= 1), gap
+     * opening/extension from `gaps` (open >= extend >= 1).
+     */
+    static RaceProblem affineAlignment(bio::ScoreMatrix costs,
+                                       bio::AffineGapCosts gaps,
+                                       bio::Sequence a, bio::Sequence b);
+
+    /** Dynamic time warping of two non-empty quantized signals. */
+    static RaceProblem dtw(std::vector<apps::Sample> x,
+                           std::vector<apps::Sample> y);
+
+    /**
+     * Shortest/longest path from `sources` (all at distance 0) to
+     * `sink` on a weighted DAG (all weights >= 0).
+     */
+    static RaceProblem dagPath(graph::Dag dag,
+                               std::vector<graph::NodeId> sources,
+                               graph::NodeId sink,
+                               graph::Objective objective);
+
+    /**
+     * Section 5 generalized DP: `similarity` is a Similarity-kind
+     * matrix; `lambda` stretches the dynamic range before conversion.
+     * The result reports the score in the original similarity units.
+     */
+    static RaceProblem generalizedAlignment(bio::ScoreMatrix similarity,
+                                            bio::Sequence a,
+                                            bio::Sequence b,
+                                            bio::Score lambda = 1);
+
+    /**
+     * Section 6 screening: race `candidate` against `query` over
+     * race-ready `costs`, aborting once `threshold` cycles elapse.
+     * The verdict is exact (the race cost is monotone in time).
+     */
+    static RaceProblem thresholdScreen(bio::ScoreMatrix costs,
+                                       bio::Score threshold,
+                                       bio::Sequence query,
+                                       bio::Sequence candidate);
+
+    /**
+     * The fabric-shape cache key of this problem: problems with equal
+     * keys can share one planned fabric (strings/signals are runtime
+     * inputs, not part of the hardware).  Kinds whose hardware bakes
+     * in the instance data (Dtw, DagPath, AffineAlignment) get a
+     * per-instance key and are never shared.
+     */
+    std::string shapeKey() const;
+};
+
+} // namespace racelogic::api
+
+#endif // RACELOGIC_API_PROBLEM_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rl/api/engine.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::apps {
@@ -70,15 +71,15 @@ makeDtwGraph(const std::vector<Sample> &x, const std::vector<Sample> &y)
 DtwRaceResult
 raceDtw(const std::vector<Sample> &x, const std::vector<Sample> &y)
 {
-    DtwGraph g = makeDtwGraph(x, y);
-    core::RaceOutcome outcome =
-        core::raceDag(g.dag, {g.source}, core::RaceType::Or);
-    core::TemporalValue sink = outcome.at(g.sink);
-    rl_assert(sink.fired(), "DTW race never finished");
+    api::EngineConfig config;
+    config.withEstimates = false;
+    api::RaceEngine engine(config);
+    api::RaceResult raced = engine.solve(api::RaceProblem::dtw(x, y));
+
     DtwRaceResult result;
-    result.distance = static_cast<int64_t>(sink.time());
-    result.latencyCycles = sink.time();
-    result.events = outcome.events;
+    result.distance = static_cast<int64_t>(raced.score);
+    result.latencyCycles = raced.latencyCycles;
+    result.events = raced.events;
     return result;
 }
 

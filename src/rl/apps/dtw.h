@@ -59,7 +59,13 @@ struct DtwRaceResult {
     uint64_t events = 0;
 };
 
-/** Race the DTW of (x, y) and read the distance off the clock. */
+/**
+ * Race the DTW of (x, y) and read the distance off the clock.
+ *
+ * @deprecated Shim over the unified facade; new code should use
+ * api::RaceEngine::solve(api::RaceProblem::dtw(x, y)) (rl/api/api.h),
+ * which also offers the gate-level backend and technology pricing.
+ */
 DtwRaceResult raceDtw(const std::vector<Sample> &x,
                       const std::vector<Sample> &y);
 

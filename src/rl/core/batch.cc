@@ -16,33 +16,28 @@ BatchScreeningEngine::BatchScreeningEngine(bio::ScoreMatrix costs,
 }
 
 BatchReport
-BatchScreeningEngine::run(const bio::Sequence &query,
-                          const std::vector<bio::Sequence> &database) const
+scheduleBatch(const BatchConfig &config,
+              const std::vector<ScreenedComparison> &runs)
 {
+    rl_assert(config.fabricCount >= 1, "pool needs at least one fabric");
+
     BatchReport report;
-    report.comparisons = database.size();
-    report.accepted.reserve(database.size());
+    report.comparisons = runs.size();
+    report.accepted.reserve(runs.size());
 
     // Greedy list scheduling: each comparison goes to the fabric
     // that frees up first (min-heap of fabric-free times).
     std::priority_queue<uint64_t, std::vector<uint64_t>,
                         std::greater<>>
         free_at;
-    for (size_t f = 0; f < cfg.fabricCount; ++f)
+    for (size_t f = 0; f < config.fabricCount; ++f)
         free_at.push(0);
 
-    for (const bio::Sequence &candidate : database) {
-        RaceGridResult raced = racer.align(query, candidate);
-        bool similar = raced.score <= cfg.threshold;
-        report.accepted.push_back(similar);
-        report.acceptedCount += similar;
+    for (const ScreenedComparison &run : runs) {
+        report.accepted.push_back(run.accepted);
+        report.acceptedCount += run.accepted;
 
-        uint64_t cycles =
-            similar ? static_cast<uint64_t>(raced.score)
-                    : std::min<uint64_t>(
-                          static_cast<uint64_t>(raced.score),
-                          static_cast<uint64_t>(cfg.threshold));
-        cycles += cfg.resetCycles;
+        uint64_t cycles = run.cyclesUsed + config.resetCycles;
         report.busyCycles += cycles;
 
         uint64_t start = free_at.top();
@@ -57,9 +52,29 @@ BatchScreeningEngine::run(const bio::Sequence &query,
     if (report.makespanCycles > 0)
         report.utilization =
             static_cast<double>(report.busyCycles) /
-            (static_cast<double>(cfg.fabricCount) *
+            (static_cast<double>(config.fabricCount) *
              static_cast<double>(report.makespanCycles));
     return report;
+}
+
+BatchReport
+BatchScreeningEngine::run(const bio::Sequence &query,
+                          const std::vector<bio::Sequence> &database) const
+{
+    std::vector<ScreenedComparison> runs;
+    runs.reserve(database.size());
+    for (const bio::Sequence &candidate : database) {
+        RaceGridResult raced = racer.align(query, candidate);
+        ScreenedComparison run;
+        run.accepted = raced.score <= cfg.threshold;
+        run.cyclesUsed =
+            run.accepted ? static_cast<uint64_t>(raced.score)
+                         : std::min<uint64_t>(
+                               static_cast<uint64_t>(raced.score),
+                               static_cast<uint64_t>(cfg.threshold));
+        runs.push_back(run);
+    }
+    return scheduleBatch(cfg, runs);
 }
 
 } // namespace racelogic::core

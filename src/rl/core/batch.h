@@ -67,6 +67,24 @@ struct BatchReport {
     }
 };
 
+/** One already-raced comparison, ready for pool scheduling. */
+struct ScreenedComparison {
+    bool accepted = false;
+
+    /** Cycles the comparison occupies a fabric (threshold-clamped). */
+    uint64_t cyclesUsed = 0;
+};
+
+/**
+ * Greedy list scheduling of precomputed comparisons onto the fabric
+ * pool (each goes to the fabric that frees up first).  This is the
+ * dispatcher BatchScreeningEngine uses after racing; callers that
+ * have already raced their comparisons (api::RaceEngine::solveBatch)
+ * schedule here directly without racing twice.
+ */
+BatchReport scheduleBatch(const BatchConfig &config,
+                          const std::vector<ScreenedComparison> &runs);
+
 /** A pool of behavioral race fabrics with a greedy dispatcher. */
 class BatchScreeningEngine
 {

@@ -1,59 +1,64 @@
 #include "rl/core/race_aligner.h"
 
-#include "rl/core/generalized.h"
+#include "rl/api/engine.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::core {
 
 namespace {
 
-bio::ScoreMatrix
-raceReady(const bio::ScoreMatrix &matrix,
-          std::optional<bio::ShortestPathForm> &converted)
+api::EngineConfig
+shimConfig(Backend backend)
 {
-    if (matrix.isCost())
-        return matrix;
-    converted = bio::toShortestPathForm(matrix);
-    return converted->costs;
+    api::EngineConfig config;
+    config.backend = backend == Backend::GateLevel
+                         ? api::BackendKind::GateLevel
+                         : api::BackendKind::Behavioral;
+    // The legacy interface reports scores and latencies only; skip
+    // the facade's technology pricing.
+    config.withEstimates = false;
+    return config;
 }
 
 } // namespace
 
 RaceAligner::RaceAligner(const bio::ScoreMatrix &matrix, Backend backend)
-    : converted(), racer(raceReady(matrix, converted)), mode(backend)
-{}
+    : original(matrix), converted(), mode(backend)
+{
+    // The engine converts again inside its plan; this copy exists
+    // only to serve the legacy racedMatrix()/conversion() accessors.
+    if (!matrix.isCost())
+        converted = bio::toShortestPathForm(matrix);
+}
 
 AlignOutcome
 RaceAligner::align(const bio::Sequence &a, const bio::Sequence &b) const
 {
+    // A fresh engine per call keeps this legacy const method
+    // stateless (concurrent align() on a shared aligner stays safe,
+    // as before the shim); planning per call matches the old cost --
+    // the legacy GateLevel path also synthesized per align().  Reuse
+    // wants api::RaceEngine directly, where plans are cached.
+    api::RaceEngine engine(shimConfig(mode));
+    api::RaceResult raced = engine.solve(
+        api::RaceProblem::pairwiseAlignment(original, a, b));
+
     AlignOutcome outcome;
-    outcome.detail = racer.align(a, b);
-    outcome.racedCost = outcome.detail.score;
-    outcome.latencyCycles = outcome.detail.latencyCycles;
-
-    if (mode == Backend::GateLevel) {
-        // Build the synthesizable fabric for this size and cross-check
-        // the behavioral result against real gates.
-        GeneralizedGridCircuit fabric(racer.matrix(), a.size(), b.size());
-        CircuitRunResult run = fabric.align(a, b);
-        rl_assert(run.completed,
-                  "gate-level race did not complete within budget");
-        rl_assert(run.score == outcome.racedCost,
-                  "gate-level race disagrees with behavioral model: ",
-                  run.score, " vs ", outcome.racedCost);
-    }
-
-    outcome.score = converted
-                        ? converted->recoverScore(outcome.racedCost,
-                                                  a.size(), b.size())
-                        : outcome.racedCost;
+    outcome.score = raced.score;
+    outcome.racedCost = raced.racedCost;
+    outcome.latencyCycles = raced.latencyCycles;
+    outcome.detail.score = raced.racedCost;
+    outcome.detail.latencyCycles = raced.latencyCycles;
+    outcome.detail.arrival = std::move(raced.arrival);
+    outcome.detail.cellsFired = raced.cellsFired;
+    outcome.detail.events = raced.events;
     return outcome;
 }
 
 const bio::ScoreMatrix &
 RaceAligner::racedMatrix() const
 {
-    return racer.matrix();
+    return converted ? converted->costs : original;
 }
 
 } // namespace racelogic::core

@@ -1,20 +1,21 @@
 /**
  * @file
- * RaceAligner: the library's front door.
+ * RaceAligner: the library's legacy front door.
  *
- * Wraps the whole pipeline -- Section 5 matrix conversion, edit-graph
- * racing, and score recovery -- behind one call, accepting either
- * score semantics:
+ * @deprecated New code should go through the unified facade,
+ * rl/api/api.h:
  *
- *   RaceAligner aligner(bio::ScoreMatrix::blosum62());
- *   auto r = aligner.align(seq_p, seq_q);
- *   // r.score is in BLOSUM62 similarity units; r.latencyCycles is
- *   // what the hardware would take.
+ *   api::RaceEngine engine;
+ *   auto r = engine.solve(api::RaceProblem::pairwiseAlignment(
+ *       matrix, a, b));
  *
- * Backend::GateLevel additionally runs the race on a real netlist
- * (built per string-length pair) and cross-checks it against the
- * behavioral result -- slower, but it exercises the synthesizable
- * artifact end to end.
+ * This class is kept as a thin shim over api::RaceEngine so existing
+ * callers keep working with identical semantics: Section 5 matrix
+ * conversion, edit-graph racing, and score recovery behind one call,
+ * accepting either score semantics.  Backend::GateLevel additionally
+ * runs the race on a real netlist (cached per string-length pair by
+ * the engine's plan cache) and cross-checks it against the behavioral
+ * result.
  */
 
 #ifndef RACELOGIC_CORE_RACE_ALIGNER_H
@@ -56,6 +57,8 @@ struct AlignOutcome {
  * Cost matrices must already be race-ready (finite weights >= 1,
  * forbidden pairs allowed); similarity matrices are converted
  * automatically and scores are mapped back.
+ *
+ * @deprecated Shim over api::RaceEngine; see rl/api/api.h.
  */
 class RaceAligner
 {
@@ -79,8 +82,8 @@ class RaceAligner
     Backend backend() const { return mode; }
 
   private:
+    bio::ScoreMatrix original;
     std::optional<bio::ShortestPathForm> converted;
-    RaceGridAligner racer;
     Backend mode;
 };
 

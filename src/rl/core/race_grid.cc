@@ -10,7 +10,7 @@
 namespace racelogic::core {
 
 size_t
-RaceGridResult::wavefrontSize(sim::Tick cycle) const
+wavefrontSizeOf(const util::Grid<sim::Tick> &arrival, sim::Tick cycle)
 {
     size_t count = 0;
     for (sim::Tick t : arrival.flat())
@@ -19,8 +19,14 @@ RaceGridResult::wavefrontSize(sim::Tick cycle) const
     return count;
 }
 
+size_t
+RaceGridResult::wavefrontSize(sim::Tick cycle) const
+{
+    return wavefrontSizeOf(arrival, cycle);
+}
+
 std::string
-RaceGridResult::arrivalTable() const
+renderArrivalTable(const util::Grid<sim::Tick> &arrival)
 {
     // Column width fits the largest finite arrival.
     sim::Tick largest = 0;
@@ -49,7 +55,14 @@ RaceGridResult::arrivalTable() const
 }
 
 std::string
-RaceGridResult::wavefrontPicture(sim::Tick cycle) const
+RaceGridResult::arrivalTable() const
+{
+    return renderArrivalTable(arrival);
+}
+
+std::string
+renderWavefrontPicture(const util::Grid<sim::Tick> &arrival,
+                       sim::Tick cycle)
 {
     std::ostringstream os;
     for (size_t r = 0; r < arrival.rows(); ++r) {
@@ -65,6 +78,12 @@ RaceGridResult::wavefrontPicture(sim::Tick cycle) const
         os << '\n';
     }
     return os.str();
+}
+
+std::string
+RaceGridResult::wavefrontPicture(sim::Tick cycle) const
+{
+    return renderWavefrontPicture(arrival, cycle);
 }
 
 RaceGridAligner::RaceGridAligner(bio::ScoreMatrix matrix)

@@ -26,6 +26,24 @@
 
 namespace racelogic::core {
 
+/** @name Arrival-grid renderers
+ *  Shared by RaceGridResult and the api facade (which holds the same
+ *  grid without the surrounding struct).
+ * @{ */
+
+/** Cells whose arrival time equals `cycle`. */
+size_t wavefrontSizeOf(const util::Grid<sim::Tick> &arrival,
+                       sim::Tick cycle);
+
+/** Fig. 4c rendering of an arrival grid. */
+std::string renderArrivalTable(const util::Grid<sim::Tick> &arrival);
+
+/** Fig. 6 wavefront rendering at `cycle`. */
+std::string renderWavefrontPicture(const util::Grid<sim::Tick> &arrival,
+                                   sim::Tick cycle);
+
+/** @} */
+
 /** Result of one race-grid alignment. */
 struct RaceGridResult {
     /** Alignment score = arrival cycle of the sink node. */

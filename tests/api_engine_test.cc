@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the unified racelogic::api facade: every problem kind
+ * solved through one RaceEngine matches the legacy entry points and
+ * the DP oracles, and the Behavioral / GateLevel backends agree
+ * through the one API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/api/api.h"
+#include "rl/bio/affine.h"
+#include "rl/bio/align_dp.h"
+#include "rl/core/affine_race.h"
+#include "rl/core/generalized.h"
+#include "rl/core/race_aligner.h"
+#include "rl/core/threshold.h"
+#include "rl/graph/generate.h"
+#include "rl/graph/paths.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using api::BackendKind;
+using api::EngineConfig;
+using api::ProblemKind;
+using api::RaceEngine;
+using api::RaceProblem;
+using api::RaceResult;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+Sequence
+dna(const std::string &text)
+{
+    return Sequence(Alphabet::dna(), text);
+}
+
+Sequence
+protein(const std::string &text)
+{
+    return Sequence(Alphabet::protein(), text);
+}
+
+EngineConfig
+configFor(BackendKind backend)
+{
+    EngineConfig config;
+    config.backend = backend;
+    return config;
+}
+
+// ------------------------------------------------ legacy equivalence
+
+TEST(ApiEngine, PairwiseMatchesLegacyRaceAlignerOnCosts)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    core::RaceAligner legacy(costs);
+    RaceEngine engine;
+
+    util::Rng rng(11);
+    for (int round = 0; round < 6; ++round) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), 9);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), 12);
+        core::AlignOutcome want = legacy.align(a, b);
+        RaceResult got = engine.solve(
+            RaceProblem::pairwiseAlignment(costs, a, b));
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.racedCost, want.racedCost);
+        EXPECT_EQ(got.latencyCycles, want.latencyCycles);
+        EXPECT_EQ(got.cellsFired, want.detail.cellsFired);
+        EXPECT_EQ(got.arrival.flat(), want.detail.arrival.flat());
+    }
+}
+
+TEST(ApiEngine, PairwiseSimilarityAutoConvertsLikeLegacy)
+{
+    ScoreMatrix blosum = ScoreMatrix::blosum62();
+    core::RaceAligner legacy(blosum);
+    RaceEngine engine;
+
+    Sequence a = protein("HEAGAWGHEE");
+    Sequence b = protein("PAWHEAE");
+    core::AlignOutcome want = legacy.align(a, b);
+    RaceResult got =
+        engine.solve(RaceProblem::pairwiseAlignment(blosum, a, b));
+    EXPECT_EQ(got.score, want.score);
+    EXPECT_EQ(got.racedCost, want.racedCost);
+
+    // And the DP oracle agrees in the original similarity semantics.
+    bio::Alignment dp = bio::globalAlign(a, b, blosum);
+    EXPECT_EQ(got.score, dp.score);
+}
+
+TEST(ApiEngine, DtwMatchesReferenceDp)
+{
+    util::Rng rng(5);
+    auto x = apps::quantizedSine(rng, 24, 2.0, 20.0, 0.0, 2.0);
+    auto y = apps::quantizedSine(rng, 30, 2.0, 20.0, 0.4, 2.0);
+
+    RaceEngine engine;
+    RaceResult got = engine.solve(RaceProblem::dtw(x, y));
+    EXPECT_EQ(got.score, apps::dtwDistance(x, y));
+    EXPECT_EQ(got.latencyCycles,
+              static_cast<sim::Tick>(got.score));
+    EXPECT_FALSE(got.nodeArrival.empty());
+}
+
+TEST(ApiEngine, DagPathMatchesLegacySolveDag)
+{
+    util::Rng rng(7);
+    graph::Dag dag = graph::randomDag(rng, 40, 0.15, {1, 6});
+    auto [source, sink] = graph::addSuperEndpoints(dag, 1);
+
+    RaceEngine engine;
+    for (graph::Objective objective :
+         {graph::Objective::Shortest, graph::Objective::Longest}) {
+        auto dp = graph::solveDag(dag, {source}, objective);
+        RaceResult got = engine.solve(
+            RaceProblem::dagPath(dag, {source}, sink, objective));
+        ASSERT_TRUE(got.completed);
+        EXPECT_EQ(got.score, dp.distance[sink]);
+    }
+}
+
+TEST(ApiEngine, AffineMatchesLegacyRaceAffineAndGotohDp)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    bio::AffineGapCosts gaps{3, 1};
+    Sequence a = dna("ACTGAGA");
+    Sequence b = dna("AGA");
+
+    core::AffineRaceResult legacy = core::raceAffine(a, b, costs, gaps);
+    RaceEngine engine;
+    RaceResult got = engine.solve(
+        RaceProblem::affineAlignment(costs, gaps, a, b));
+    EXPECT_EQ(got.score, legacy.score);
+    EXPECT_EQ(got.latencyCycles, legacy.latencyCycles);
+    EXPECT_EQ(got.nodes, legacy.nodes);
+    EXPECT_EQ(got.score, bio::affineGlobalScore(a, b, costs, gaps));
+}
+
+TEST(ApiEngine, GeneralizedMatchesLegacyGeneralizedAligner)
+{
+    ScoreMatrix pam = ScoreMatrix::pam250();
+    core::GeneralizedAligner legacy(pam, 2);
+    RaceEngine engine;
+
+    Sequence a = protein("MKVLA");
+    Sequence b = protein("MKPLA");
+    auto want = legacy.align(a, b);
+    RaceResult got = engine.solve(
+        RaceProblem::generalizedAlignment(pam, a, b, 2));
+    EXPECT_EQ(got.score, want.similarityScore);
+    EXPECT_EQ(got.racedCost, want.racedCost);
+    EXPECT_EQ(got.latencyCycles, want.latencyCycles);
+}
+
+TEST(ApiEngine, ThresholdScreenMatchesLegacyScreener)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    util::Rng rng(2014);
+    auto workload = bio::makeScreeningWorkload(
+        rng, Alphabet::dna(), 24, 40, 0.25,
+        bio::MutationModel{0.05, 0.02, 0.02});
+    bio::Score threshold = 32;
+
+    core::ThresholdScreener screener(costs, threshold);
+    RaceEngine engine;
+    for (const Sequence &candidate : workload.database) {
+        core::ScreenOutcome want =
+            screener.screen(workload.query, candidate);
+        RaceResult got = engine.solve(RaceProblem::thresholdScreen(
+            costs, threshold, workload.query, candidate));
+        EXPECT_EQ(got.accepted, want.similar);
+        EXPECT_EQ(got.score, want.score);
+        EXPECT_EQ(got.cyclesUsed, want.cyclesUsed);
+        EXPECT_EQ(got.completed, want.similar);
+    }
+}
+
+// --------------------------------------- backend agreement (6 kinds)
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnPairwise)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+
+    util::Rng rng(3);
+    for (int round = 0; round < 3; ++round) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), 5);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), 6);
+        RaceProblem p = RaceProblem::pairwiseAlignment(costs, a, b);
+        RaceResult soft = behavioral.solve(p);
+        RaceResult hard = gates.solve(p);
+        EXPECT_EQ(soft.score, hard.score);
+        EXPECT_EQ(soft.latencyCycles, hard.latencyCycles);
+    }
+}
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnGeneralized)
+{
+    ScoreMatrix blosum = ScoreMatrix::blosum62();
+    Sequence a = protein("HEAG");
+    Sequence b = protein("PAW");
+    RaceProblem p = RaceProblem::generalizedAlignment(blosum, a, b);
+
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+    RaceResult soft = behavioral.solve(p);
+    RaceResult hard = gates.solve(p);
+    EXPECT_EQ(soft.score, hard.score);
+    EXPECT_EQ(soft.racedCost, hard.racedCost);
+}
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnThresholdScreen)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    Sequence query = dna("ACTGAGA");
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+
+    // One candidate under the threshold, one far over it.
+    for (const auto &candidate : {dna("ACTGAGA"), dna("TTTTTTT")}) {
+        RaceProblem p = RaceProblem::thresholdScreen(costs, 9, query,
+                                                     candidate);
+        RaceResult soft = behavioral.solve(p);
+        RaceResult hard = gates.solve(p);
+        EXPECT_EQ(soft.accepted, hard.accepted);
+        EXPECT_EQ(soft.score, hard.score);
+        EXPECT_EQ(soft.cyclesUsed, hard.cyclesUsed);
+    }
+}
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnDtw)
+{
+    std::vector<apps::Sample> x{3, 5, 8, 6, 2};
+    std::vector<apps::Sample> y{3, 6, 7, 2};
+    RaceProblem p = RaceProblem::dtw(x, y);
+
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+    RaceResult soft = behavioral.solve(p);
+    RaceResult hard = gates.solve(p);
+    EXPECT_EQ(soft.score, hard.score);
+}
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnDagPath)
+{
+    graph::Dag fig3 = graph::makeFig3ExampleDag();
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+
+    for (graph::Objective objective :
+         {graph::Objective::Shortest, graph::Objective::Longest}) {
+        RaceProblem p =
+            RaceProblem::dagPath(fig3, {0, 1}, 4, objective);
+        RaceResult soft = behavioral.solve(p);
+        RaceResult hard = gates.solve(p);
+        EXPECT_EQ(soft.score, hard.score);
+    }
+    // Paper Fig. 3: shortest 2, longest 5.
+    RaceResult shortest = behavioral.solve(RaceProblem::dagPath(
+        fig3, {0, 1}, 4, graph::Objective::Shortest));
+    EXPECT_EQ(shortest.score, 2);
+}
+
+TEST(ApiEngine, BehavioralAndGateLevelAgreeOnAffine)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    bio::AffineGapCosts gaps{2, 1};
+    RaceProblem p = RaceProblem::affineAlignment(
+        costs, gaps, dna("ACTG"), dna("AG"));
+
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine gates(configFor(BackendKind::GateLevel));
+    RaceResult soft = behavioral.solve(p);
+    RaceResult hard = gates.solve(p);
+    EXPECT_EQ(soft.score, hard.score);
+}
+
+// ------------------------------------------------- systolic backend
+
+TEST(ApiEngine, SystolicBackendMatchesBehavioralScore)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine systolic(configFor(BackendKind::Systolic));
+
+    util::Rng rng(21);
+    for (int round = 0; round < 4; ++round) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), 8);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), 8);
+        RaceProblem p = RaceProblem::pairwiseAlignment(costs, a, b);
+        EXPECT_EQ(systolic.solve(p).score, behavioral.solve(p).score);
+    }
+}
+
+TEST(ApiEngine, SystolicScreeningCannotAbort)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    Sequence query = dna("ACTGAGA");
+    Sequence distant = dna("TTTTTTT");
+    RaceProblem p =
+        RaceProblem::thresholdScreen(costs, 9, query, distant);
+
+    RaceEngine behavioral(configFor(BackendKind::Behavioral));
+    RaceEngine systolic(configFor(BackendKind::Systolic));
+    RaceResult soft = behavioral.solve(p);
+    RaceResult hard = systolic.solve(p);
+    EXPECT_FALSE(soft.accepted);
+    EXPECT_FALSE(hard.accepted);
+    // The race aborts at the threshold; the array runs to completion.
+    EXPECT_EQ(soft.cyclesUsed, 9u);
+    EXPECT_GT(hard.cyclesUsed, soft.cyclesUsed);
+}
+
+// ----------------------------------------------- batch + estimates
+
+TEST(ApiEngine, SolveBatchDispatchesOntoFabricPool)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    util::Rng rng(99);
+    auto workload = bio::makeScreeningWorkload(
+        rng, Alphabet::dna(), 16, 24, 0.25,
+        bio::MutationModel{0.05, 0.02, 0.02});
+    bio::Score threshold = 22;
+
+    RaceEngine engine;
+    api::BatchOutcome batch = engine.screen(
+        costs, threshold, workload.query, workload.database);
+    ASSERT_EQ(batch.results.size(), workload.database.size());
+    ASSERT_TRUE(batch.schedule.has_value());
+    EXPECT_EQ(batch.schedule->comparisons, workload.database.size());
+    EXPECT_EQ(batch.schedule->acceptedCount, batch.acceptedCount());
+    EXPECT_GT(batch.schedule->utilization, 0.0);
+
+    // Verdicts from the pool dispatcher and the engine agree.
+    for (size_t i = 0; i < batch.results.size(); ++i)
+        EXPECT_EQ(batch.results[i].accepted, batch.schedule->accepted[i]);
+}
+
+TEST(ApiEngine, MixedThresholdBatchScheduleMatchesResults)
+{
+    // Each screen carries its own threshold; the pool schedule is
+    // built from the per-result busy cycles, so verdicts and cycle
+    // accounting stay consistent across a mixed-threshold batch.
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    Sequence query = dna("ACTGAGA");
+    Sequence distant = dna("TTTTTTT"); // cost 13 (one T-T match)
+    RaceEngine engine;
+    std::vector<RaceProblem> problems;
+    problems.push_back(
+        RaceProblem::thresholdScreen(costs, 9, query, distant));
+    problems.push_back(
+        RaceProblem::thresholdScreen(costs, 20, query, distant));
+    api::BatchOutcome batch = engine.solveBatch(problems);
+    ASSERT_TRUE(batch.schedule.has_value());
+    EXPECT_FALSE(batch.results[0].accepted);
+    EXPECT_TRUE(batch.results[1].accepted);
+    EXPECT_EQ(batch.schedule->accepted[0], batch.results[0].accepted);
+    EXPECT_EQ(batch.schedule->accepted[1], batch.results[1].accepted);
+    // Busy cycles: 9 (aborted at its own threshold) + 13 (completed).
+    EXPECT_EQ(batch.busyCycles(), 22u);
+}
+
+TEST(ApiEngine, ZeroThresholdScreenRejectsOnBothBackends)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceProblem p = RaceProblem::thresholdScreen(
+        costs, 0, dna("ACTG"), dna("ACTG"));
+    for (BackendKind backend :
+         {BackendKind::Behavioral, BackendKind::GateLevel}) {
+        RaceEngine engine(configFor(backend));
+        RaceResult r = engine.solve(p);
+        EXPECT_FALSE(r.accepted);
+        EXPECT_FALSE(r.completed);
+        EXPECT_EQ(r.cyclesUsed, 0u);
+        EXPECT_EQ(r.score, bio::kScoreInfinity);
+    }
+}
+
+TEST(ApiEngine, MixedBatchHasNoSchedule)
+{
+    RaceEngine engine;
+    std::vector<RaceProblem> problems;
+    problems.push_back(RaceProblem::dtw({1, 2, 3}, {1, 2, 4}));
+    problems.push_back(RaceProblem::pairwiseAlignment(
+        ScoreMatrix::dnaShortestPath(), dna("ACT"), dna("AGT")));
+    api::BatchOutcome batch = engine.solveBatch(problems);
+    EXPECT_EQ(batch.results.size(), 2u);
+    EXPECT_FALSE(batch.schedule.has_value());
+}
+
+TEST(ApiEngine, EstimatesAreAttachedAndPlausible)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceEngine engine;
+    RaceResult r = engine.solve(RaceProblem::pairwiseAlignment(
+        costs, dna("ACTGAGA"), dna("GATTCGA")));
+    ASSERT_TRUE(r.estimate.has_value());
+    EXPECT_GT(r.estimate->wallTimeNs, 0.0);
+    EXPECT_GT(r.estimate->areaUm2, 0.0);
+    EXPECT_GT(r.estimate->energyJ, 0.0);
+    EXPECT_FALSE(r.describe().empty());
+    EXPECT_FALSE(r.arrivalTable().empty());
+}
+
+TEST(ApiEngine, EngineThresholdAppliesToPlainAlignment)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    EngineConfig config;
+    config.threshold = 5;
+    RaceEngine engine(config);
+    RaceResult r = engine.solve(RaceProblem::pairwiseAlignment(
+        costs, dna("ACTGAGA"), dna("GATTCGA"))); // cost 10 > 5
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.cyclesUsed, 5u);
+    EXPECT_EQ(r.score, 10); // score still exact outside screening
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the RaceEngine shape-keyed plan cache: repeated same-shape
+ * queries reuse one planned fabric (observable through the plansBuilt
+ * stat), different shapes get distinct plans, the LRU capacity evicts,
+ * and caching never changes results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rl/api/api.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using api::BackendKind;
+using api::EngineConfig;
+using api::RaceEngine;
+using api::RaceProblem;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+Sequence
+dna(const std::string &text)
+{
+    return Sequence(Alphabet::dna(), text);
+}
+
+TEST(ApiPlanCache, SameShapeQueriesHitTheCache)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceEngine engine;
+
+    util::Rng rng(4);
+    for (int round = 0; round < 10; ++round) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), 8);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), 8);
+        engine.solve(RaceProblem::pairwiseAlignment(costs, a, b));
+    }
+    EXPECT_EQ(engine.stats().solves, 10u);
+    EXPECT_EQ(engine.stats().plansBuilt, 1u);
+    EXPECT_EQ(engine.stats().planCacheHits, 9u);
+    EXPECT_EQ(engine.planCacheSize(), 1u);
+}
+
+TEST(ApiPlanCache, DifferentShapesDoNotCollide)
+{
+    ScoreMatrix uniform2 =
+        ScoreMatrix::uniform(Alphabet::dna(), bio::ScoreKind::Cost, 2);
+    ScoreMatrix fig2b = ScoreMatrix::dnaShortestPath();
+    RaceEngine engine;
+
+    // Different grid sizes -> different plans.
+    engine.solve(RaceProblem::pairwiseAlignment(fig2b, dna("ACTG"),
+                                                dna("ACTG")));
+    engine.solve(RaceProblem::pairwiseAlignment(fig2b, dna("ACTGA"),
+                                                dna("ACTG")));
+    EXPECT_EQ(engine.stats().plansBuilt, 2u);
+
+    // Same size, different matrix contents -> a third plan, and each
+    // matrix's own semantics are preserved (no cross-contamination).
+    auto uniformResult = engine.solve(RaceProblem::pairwiseAlignment(
+        uniform2, dna("ACTG"), dna("TTTT")));
+    auto fig2bResult = engine.solve(RaceProblem::pairwiseAlignment(
+        fig2b, dna("ACTG"), dna("TTTT")));
+    EXPECT_EQ(engine.stats().plansBuilt, 3u);
+    // All-diagonal costs 4 * 2 = 8 under the uniform matrix; Fig. 2b
+    // prefers one T-T match plus six unit indels = 7.  Both must
+    // survive caching side by side.
+    EXPECT_EQ(uniformResult.score, 8);
+    EXPECT_EQ(fig2bResult.score, 7);
+}
+
+TEST(ApiPlanCache, LruCapacityEvicts)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    EngineConfig config;
+    config.planCacheCapacity = 1;
+    RaceEngine engine(config);
+
+    RaceProblem small =
+        RaceProblem::pairwiseAlignment(costs, dna("ACT"), dna("ACT"));
+    RaceProblem large = RaceProblem::pairwiseAlignment(
+        costs, dna("ACTGACT"), dna("ACTGACT"));
+
+    engine.solve(small); // build small
+    engine.solve(large); // build large, evict small
+    engine.solve(small); // rebuild small
+    EXPECT_EQ(engine.stats().plansBuilt, 3u);
+    EXPECT_EQ(engine.stats().planCacheHits, 0u);
+    EXPECT_EQ(engine.planCacheSize(), 1u);
+}
+
+TEST(ApiPlanCache, ZeroCapacityDisablesCaching)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    EngineConfig config;
+    config.planCacheCapacity = 0;
+    RaceEngine engine(config);
+
+    RaceProblem p =
+        RaceProblem::pairwiseAlignment(costs, dna("ACT"), dna("ACT"));
+    engine.solve(p);
+    engine.solve(p);
+    EXPECT_EQ(engine.stats().plansBuilt, 2u);
+    EXPECT_EQ(engine.stats().planCacheHits, 0u);
+    EXPECT_EQ(engine.planCacheSize(), 0u);
+}
+
+TEST(ApiPlanCache, GateLevelFabricIsReusedAcrossSolves)
+{
+    // Synthesis is the expensive step on the gate-level backend; the
+    // cache must make repeat same-shape queries skip it while new
+    // strings still load onto the fabric's primary inputs correctly.
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    EngineConfig config;
+    config.backend = BackendKind::GateLevel;
+    RaceEngine engine(config);
+
+    util::Rng rng(17);
+    for (int round = 0; round < 4; ++round) {
+        Sequence a = Sequence::random(rng, Alphabet::dna(), 5);
+        Sequence b = Sequence::random(rng, Alphabet::dna(), 5);
+        auto r = engine.solve(
+            RaceProblem::pairwiseAlignment(costs, a, b));
+        EXPECT_TRUE(r.completed);
+    }
+    EXPECT_EQ(engine.stats().plansBuilt, 1u);
+    EXPECT_EQ(engine.stats().planCacheHits, 3u);
+}
+
+TEST(ApiPlanCache, ThresholdIsNotPartOfTheShape)
+{
+    // The threshold is a cycle budget, not hardware: screens with
+    // different thresholds share one fabric plan.
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceEngine engine;
+    engine.solve(RaceProblem::thresholdScreen(costs, 6, dna("ACTG"),
+                                              dna("AGTG")));
+    engine.solve(RaceProblem::thresholdScreen(costs, 12, dna("ACTG"),
+                                              dna("AGTG")));
+    EXPECT_EQ(engine.stats().plansBuilt, 1u);
+    EXPECT_EQ(engine.stats().planCacheHits, 1u);
+}
+
+TEST(ApiPlanCache, ClearPlanCacheDropsPlansKeepsStats)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPathInfMismatch();
+    RaceEngine engine;
+    engine.solve(RaceProblem::pairwiseAlignment(costs, dna("ACT"),
+                                                dna("ACT")));
+    EXPECT_EQ(engine.planCacheSize(), 1u);
+    engine.clearPlanCache();
+    EXPECT_EQ(engine.planCacheSize(), 0u);
+    EXPECT_EQ(engine.stats().plansBuilt, 1u);
+    engine.solve(RaceProblem::pairwiseAlignment(costs, dna("ACT"),
+                                                dna("ACT")));
+    EXPECT_EQ(engine.stats().plansBuilt, 2u);
+}
+
+} // namespace
