@@ -32,7 +32,14 @@ main()
     uint64_t sys_cycles_per_comparison =
         systolic::LiptonLoprestiArray::latencyCycles(n, n);
 
-    api::RaceEngine engine;
+    // Measurement mode: earlyTerminate off so rejected races also
+    // report their counterfactual full-race latency -- that's the
+    // "race full cycles" / speedup contrast below.  A production
+    // screen keeps the default (the simulation itself stops at the
+    // threshold cycle, exactly like the hardware abort counter).
+    api::EngineConfig measure;
+    measure.earlyTerminate = false;
+    api::RaceEngine engine(measure);
 
     util::printBanner(
         std::cout,

@@ -10,9 +10,11 @@
 
 #include "rl/api/api.h"
 #include "rl/bio/align_dp.h"
+#include "rl/bio/edit_graph.h"
 #include "rl/core/generalized.h"
 #include "rl/core/race_grid.h"
 #include "rl/core/race_grid_circuit.h"
+#include "rl/core/wavefront.h"
 #include "rl/systolic/lipton_lopresti.h"
 #include "rl/util/random.h"
 
@@ -47,6 +49,10 @@ BENCHMARK(BM_ReferenceDp)->Arg(16)->Arg(64)->Arg(256);
 void
 BM_EventDrivenRace(benchmark::State &state)
 {
+    // The behavioral race-grid hot path (name kept across PRs for the
+    // perf trajectory).  Since the wavefront-kernel PR this routes
+    // through core::raceEditGrid -- compare BM_HeapEventQueueRace,
+    // the pre-kernel pipeline, for the before/after.
     size_t n = size_t(state.range(0));
     auto [a, b] = randomPair(2, n);
     core::RaceGridAligner racer(
@@ -57,6 +63,70 @@ BM_EventDrivenRace(benchmark::State &state)
                             int64_t(n) * int64_t(n));
 }
 BENCHMARK(BM_EventDrivenRace)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_HeapEventQueueRace(benchmark::State &state)
+{
+    // The pre-kernel pipeline: materialize the edit graph, race it on
+    // the heap-scheduled event queue (one std::function per edge
+    // arrival).  Kept as the baseline the wavefront kernel is
+    // measured against.
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(2, n);
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    for (auto _ : state) {
+        bio::EditGraph eg = bio::makeEditGraph(a, b, m);
+        benchmark::DoNotOptimize(
+            core::raceDagEventDriven(eg.dag, {eg.source},
+                                     core::RaceType::Or)
+                .at(eg.sink)
+                .rawTime());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_HeapEventQueueRace)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_WavefrontKernelDag(benchmark::State &state)
+{
+    // The general CSR bucket kernel on a prebuilt DAG (the DTW /
+    // DAG-path substrate), isolating kernel cost from graph
+    // construction.
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(2, n);
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    bio::EditGraph eg = bio::makeEditGraph(a, b, m);
+    core::WavefrontRaceKernel kernel(eg.dag);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernel.race({eg.source}, core::RaceType::Or)
+                .at(eg.sink)
+                .rawTime());
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_WavefrontKernelDag)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_ScreeningRaceWithHorizon(benchmark::State &state)
+{
+    // Section 6 in the simulator itself: an unrelated pair races only
+    // to the threshold cycle, not to grid drain.
+    size_t n = size_t(state.range(0));
+    util::Rng rng(8);
+    Sequence a = Sequence::random(rng, Alphabet::dna(), n);
+    Sequence b = Sequence::random(rng, Alphabet::dna(), n);
+    core::RaceGridAligner racer(
+        ScoreMatrix::dnaShortestPathInfMismatch());
+    const sim::Tick threshold = n / 2;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            racer.align(a, b, threshold).completed);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_ScreeningRaceWithHorizon)->Arg(64)->Arg(256);
 
 void
 BM_GateLevelRaceGrid(benchmark::State &state)
@@ -132,6 +202,41 @@ BM_ApiEngineSolveCached(benchmark::State &state)
                             int64_t(n) * int64_t(n));
 }
 BENCHMARK(BM_ApiEngineSolveCached)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_SolveBatchThreads(benchmark::State &state)
+{
+    // Thread-pool scaling of the batch screening front door: one
+    // fixed workload, worker count swept.  Near-linear up to the
+    // physical cores is the target; UseRealTime because the work
+    // spreads across the pool.
+    const size_t threads = size_t(state.range(0));
+    const size_t entries = 64;
+    util::Rng rng(9);
+    auto wl = bio::makeScreeningWorkload(
+        rng, Alphabet::dna(), 64, entries, 0.2,
+        bio::MutationModel::uniform(0.08));
+    ScoreMatrix m = ScoreMatrix::dnaShortestPathInfMismatch();
+    std::vector<api::RaceProblem> problems;
+    for (const Sequence &candidate : wl.database)
+        problems.push_back(api::RaceProblem::thresholdScreen(
+            m, 80, wl.query, candidate));
+
+    api::EngineConfig config;
+    config.workerThreads = threads;
+    config.withEstimates = false;
+    api::RaceEngine engine(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine.solveBatch(problems).busyCycles());
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(entries));
+}
+BENCHMARK(BM_SolveBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 void
 BM_ApiEnginePlanMiss(benchmark::State &state)

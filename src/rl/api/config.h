@@ -69,6 +69,23 @@ struct EngineConfig {
     /** Attach energy/area estimates to results (costs a little). */
     bool withEstimates = true;
 
+    /**
+     * Race ThresholdScreen solves with the threshold as the kernel's
+     * early-termination horizon (Section 6): the behavioral
+     * simulation stops at the threshold cycle exactly where the
+     * hardware abort counter would, instead of draining the grid and
+     * clamping afterwards.  Verdicts, scores, and busy cycles are
+     * identical either way (arrival times are monotone), but the
+     * simulation detail of a screen is truncated at the horizon:
+     * rejected results report latencyCycles == threshold (the full
+     * race never ran), and even accepted results' arrival grid /
+     * cellsFired / events omit cells that would only have fired past
+     * the threshold.  Disable for measurement runs that want fully
+     * drained grids or the full-race latency of rejected candidates
+     * (BatchOutcome::fullRaceCycles / speedup).
+     */
+    bool earlyTerminate = true;
+
     /** @name Batch fabric pool (solveBatch screening dispatch) @{ */
 
     /** Parallel fabrics instantiated by the batch dispatcher. */
@@ -78,6 +95,17 @@ struct EngineConfig {
     uint64_t resetCycles = 1;
 
     /** @} */
+
+    /**
+     * Simulation worker threads for solveBatch()/screen() on the
+     * Behavioral backend: grid-family batches are raced in parallel
+     * on a util::ThreadPool, with results in input order and
+     * bit-identical to a serial run (each comparison is independent
+     * and the kernel is deterministic).  0 = one per hardware
+     * thread; 1 = serial.  Other backends and problem kinds always
+     * solve serially.
+     */
+    size_t workerThreads = 0;
 
     /**
      * Plans retained in the shape-keyed cache before the least

@@ -230,6 +230,84 @@ RaceEngine::solve(const RaceProblem &problem)
 }
 
 RaceResult
+RaceEngine::raceGridBehavioral(const RaceProblem &problem,
+                               const Plan &plan) const
+{
+    const bio::Sequence &a = *problem.a;
+    const bio::Sequence &b = *problem.b;
+    const bool screening = problem.kind == ProblemKind::ThresholdScreen;
+    const bio::Score threshold =
+        screening ? problem.threshold : cfg.threshold;
+    const tech::CellLibrary &lib = *cfg.library;
+
+    RaceResult result;
+    result.kind = problem.kind;
+    result.backend = cfg.backend;
+    result.nodes = (plan.rows + 1) * (plan.cols + 1);
+
+    // Screens race with the threshold as the kernel horizon (the
+    // Section 6 abort counter) unless the config asks for full-race
+    // measurement.  Engine-wide thresholds on non-screen kinds keep
+    // racing to completion: their contract reports the exact score
+    // even when rejected.
+    const bool bounded = screening && cfg.earlyTerminate &&
+                         threshold != bio::kScoreInfinity;
+    core::RaceGridResult raced =
+        bounded ? plan.behavioral->align(
+                      a, b, static_cast<sim::Tick>(threshold))
+                : plan.behavioral->align(a, b);
+    result.completed = raced.completed;
+    result.racedCost = raced.score;
+    result.latencyCycles = raced.latencyCycles;
+    result.events = raced.events;
+    result.cellsFired = raced.cellsFired;
+    result.arrival = std::move(raced.arrival);
+
+    applyThresholdVerdict(threshold, result);
+    if (screening && !result.accepted) {
+        // Match the Section 6 screening contract: an aborted race
+        // reveals only that the score exceeds the threshold.
+        result.completed = false;
+        result.score = bio::kScoreInfinity;
+    } else {
+        result.score = plan.conversion
+                           ? plan.conversion->recoverScore(
+                                 result.racedCost, a.size(), b.size())
+                           : result.racedCost;
+    }
+
+    if (cfg.withEstimates) {
+        HardwareEstimate est;
+        est.wallTimeNs = raceWallNs(lib, result.cyclesUsed);
+        // On GateLevel the caller overwrites area/energy with figures
+        // from the synthesized netlist; skip the analytic model then.
+        if (plan.hasInventory &&
+            cfg.backend != BackendKind::GateLevel) {
+            // Eq. 3 with the actual race duration: clock-pin charging
+            // of every fabric DFF per cycle, plus the per-comparison
+            // data term.
+            const double cells =
+                static_cast<double>(plan.rows * plan.cols);
+            const double dffPerCell = static_cast<double>(
+                plan.cellInventory[static_cast<size_t>(
+                    circuit::GateType::Dff)]);
+            est.areaUm2 =
+                tech::generalizedGridArea(lib, plan.costs(), plan.rows,
+                                          plan.cols,
+                                          plan.cellInventory)
+                    .totalUm2;
+            est.energyJ =
+                lib.switchEnergyJ(lib.dffClockCapF) * cells * dffPerCell *
+                    static_cast<double>(result.cyclesUsed) +
+                cells * lib.raceCellTogglesPerComparison *
+                    lib.switchEnergyJ(lib.netCapF);
+        }
+        result.estimate = est;
+    }
+    return result;
+}
+
+RaceResult
 RaceEngine::solveGridFamily(const RaceProblem &problem)
 {
     const bio::Sequence &a = *problem.a;
@@ -237,7 +315,6 @@ RaceEngine::solveGridFamily(const RaceProblem &problem)
     const bio::Score threshold =
         problem.kind == ProblemKind::ThresholdScreen ? problem.threshold
                                                      : cfg.threshold;
-    const bool screening = problem.kind == ProblemKind::ThresholdScreen;
 
     rl_assert(cfg.backend != BackendKind::Systolic ||
                   problem.kind != ProblemKind::GeneralizedAlignment,
@@ -247,12 +324,10 @@ RaceEngine::solveGridFamily(const RaceProblem &problem)
     std::shared_ptr<Plan> plan = planFor(problem);
     const tech::CellLibrary &lib = *cfg.library;
 
-    RaceResult result;
-    result.kind = problem.kind;
-    result.backend = cfg.backend;
-    result.nodes = (plan->rows + 1) * (plan->cols + 1);
-
     if (cfg.backend == BackendKind::Systolic) {
+        RaceResult result;
+        result.kind = problem.kind;
+        result.backend = cfg.backend;
         systolic::SystolicResult raced = plan->array->align(a, b);
         result.racedCost = raced.score;
         result.latencyCycles = raced.cycles;
@@ -282,17 +357,8 @@ RaceEngine::solveGridFamily(const RaceProblem &problem)
 
     // Behavioral race (also the reference the gate level is checked
     // against).
-    core::RaceGridResult raced = plan->behavioral->align(a, b);
-    result.racedCost = raced.score;
-    result.latencyCycles = raced.latencyCycles;
-    result.events = raced.events;
-    result.cellsFired = raced.cellsFired;
-    result.arrival = std::move(raced.arrival);
+    RaceResult result = raceGridBehavioral(problem, *plan);
 
-    double gateLevelEnergyJ = -1.0;
-    double gateLevelAreaUm2 = -1.0;
-    size_t gateLevelGates = 0;
-    size_t gateLevelDffs = 0;
     if (cfg.backend == BackendKind::GateLevel) {
         // Run the same race on the synthesized fabric.  Any finite
         // threshold becomes the cycle budget -- the hardware
@@ -308,70 +374,34 @@ RaceEngine::solveGridFamily(const RaceProblem &problem)
                     : 0;
         plan->fabric->sim().clearActivity();
         core::CircuitRunResult run = plan->fabric->align(a, b, budget);
-        if (run.completed) {
+        if (run.completed && result.completed) {
             rl_assert(run.score == result.racedCost,
                       "gate-level race disagrees with behavioral "
                       "model: ",
                       run.score, " vs ", result.racedCost);
+        } else if (run.completed) {
+            // The behavioral race aborted at its horizon, so the
+            // fabric's sink can only have fired past the threshold
+            // (possible only at threshold 0, whose budget floor is 1).
+            rl_assert(run.score > threshold,
+                      "gate-level race completed under a threshold "
+                      "the behavioral model aborted at");
         } else {
-            rl_assert(bounded && result.racedCost > threshold,
+            rl_assert(bounded && !result.accepted,
                       "gate-level race did not complete within budget");
         }
-        if (cfg.withEstimates) {
-            gateLevelEnergyJ = tech::energyFromActivityJ(
-                lib, plan->fabric->sim().activity());
-            auto counts = plan->fabric->netlist().typeCounts();
-            gateLevelAreaUm2 = lib.areaOfInventory(counts);
-            gateLevelGates = plan->fabric->netlist().gateCount();
-            gateLevelDffs =
-                counts[static_cast<size_t>(circuit::GateType::Dff)];
-        }
-    }
-
-    applyThresholdVerdict(threshold, result);
-    if (screening && !result.accepted) {
-        // Match the Section 6 screening contract: an aborted race
-        // reveals only that the score exceeds the threshold.
-        result.completed = false;
-        result.score = bio::kScoreInfinity;
-    } else {
-        result.score = plan->conversion
-                           ? plan->conversion->recoverScore(
-                                 result.racedCost, a.size(), b.size())
-                           : result.racedCost;
-    }
-
-    if (cfg.withEstimates) {
-        HardwareEstimate est;
-        est.wallTimeNs = raceWallNs(lib, result.cyclesUsed);
-        if (gateLevelAreaUm2 >= 0.0) {
+        if (cfg.withEstimates && result.estimate) {
             // Priced from the actual synthesized netlist + simulated
             // switching activity (the ModelSim -> PrimeTime stand-in).
-            est.areaUm2 = gateLevelAreaUm2;
-            est.energyJ = gateLevelEnergyJ;
-            est.gateCount = gateLevelGates;
-            est.dffCount = gateLevelDffs;
-        } else if (plan->hasInventory) {
-            // Eq. 3 with the actual race duration: clock-pin charging
-            // of every fabric DFF per cycle, plus the per-comparison
-            // data term.
-            const double cells =
-                static_cast<double>(plan->rows * plan->cols);
-            const double dffPerCell = static_cast<double>(
-                plan->cellInventory[static_cast<size_t>(
-                    circuit::GateType::Dff)]);
-            est.areaUm2 =
-                tech::generalizedGridArea(lib, plan->costs(), plan->rows,
-                                          plan->cols,
-                                          plan->cellInventory)
-                    .totalUm2;
-            est.energyJ =
-                lib.switchEnergyJ(lib.dffClockCapF) * cells * dffPerCell *
-                    static_cast<double>(result.cyclesUsed) +
-                cells * lib.raceCellTogglesPerComparison *
-                    lib.switchEnergyJ(lib.netCapF);
+            auto counts = plan->fabric->netlist().typeCounts();
+            result.estimate->areaUm2 = lib.areaOfInventory(counts);
+            result.estimate->energyJ = tech::energyFromActivityJ(
+                lib, plan->fabric->sim().activity());
+            result.estimate->gateCount =
+                plan->fabric->netlist().gateCount();
+            result.estimate->dffCount =
+                counts[static_cast<size_t>(circuit::GateType::Dff)];
         }
-        result.estimate = est;
     }
     return result;
 }
@@ -538,16 +568,68 @@ screeningShaped(const std::vector<RaceProblem> &problems)
     return true;
 }
 
+/** Kinds the parallel batch path can race (plan + const align). */
+bool
+gridFamilyKind(ProblemKind kind)
+{
+    return kind == ProblemKind::PairwiseAlignment ||
+           kind == ProblemKind::GeneralizedAlignment ||
+           kind == ProblemKind::ThresholdScreen;
+}
+
 } // namespace
+
+size_t
+RaceEngine::batchWorkerCount() const
+{
+    return cfg.workerThreads == 0 ? util::ThreadPool::defaultThreadCount()
+                                  : cfg.workerThreads;
+}
+
+util::ThreadPool &
+RaceEngine::threadPool()
+{
+    if (!pool)
+        pool = std::make_unique<util::ThreadPool>(batchWorkerCount());
+    return *pool;
+}
 
 BatchOutcome
 RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
 {
     ++statistics.batches;
     BatchOutcome outcome;
-    outcome.results.reserve(problems.size());
-    for (const RaceProblem &problem : problems)
-        outcome.results.push_back(solve(problem));
+
+    const bool parallel =
+        batchWorkerCount() > 1 && problems.size() > 1 &&
+        cfg.backend == BackendKind::Behavioral &&
+        std::all_of(problems.begin(), problems.end(),
+                    [](const RaceProblem &p) {
+                        return gridFamilyKind(p.kind);
+                    });
+    if (parallel) {
+        // Acquire every plan serially first -- the plan cache and
+        // statistics are main-thread state -- then race on the pool.
+        // raceGridBehavioral() is const and each body writes only its
+        // own slot, so the results are bit-identical to a serial run
+        // regardless of the thread schedule.
+        std::vector<std::shared_ptr<Plan>> plans;
+        plans.reserve(problems.size());
+        for (const RaceProblem &problem : problems)
+            plans.push_back(planFor(problem));
+        statistics.solves += problems.size();
+        ++statistics.parallelBatches;
+        outcome.results.resize(problems.size());
+        threadPool().parallelFor(
+            problems.size(), [&](size_t i) {
+                outcome.results[i] =
+                    raceGridBehavioral(problems[i], *plans[i]);
+            });
+    } else {
+        outcome.results.reserve(problems.size());
+        for (const RaceProblem &problem : problems)
+            outcome.results.push_back(solve(problem));
+    }
 
     if (screeningShaped(problems)) {
         // Model the deployment: dispatch the already-raced workload

@@ -40,6 +40,7 @@
 #include "rl/api/problem.h"
 #include "rl/api/result.h"
 #include "rl/core/batch.h"
+#include "rl/util/thread_pool.h"
 
 namespace racelogic::api {
 
@@ -49,6 +50,7 @@ struct EngineStats {
     uint64_t plansBuilt = 0;    ///< plans synthesized (cache misses)
     uint64_t planCacheHits = 0; ///< solves that reused a cached plan
     uint64_t batches = 0;       ///< solveBatch calls
+    uint64_t parallelBatches = 0; ///< batches raced on the thread pool
 };
 
 /** Outcome of one solveBatch call. */
@@ -71,7 +73,14 @@ struct BatchOutcome {
     /** Total fabric-busy cycles (threshold-clamped, Section 6). */
     uint64_t busyCycles() const;
 
-    /** Total cycles had every race run to completion. */
+    /**
+     * Total cycles had every race run to completion.  Requires
+     * EngineConfig::earlyTerminate = false (measurement mode): with
+     * early termination on, an aborted race stops at its threshold
+     * cycle and the remainder of its full-race latency is unknown --
+     * which is the whole point of Section 6 -- so this degenerates to
+     * busyCycles().
+     */
     uint64_t fullRaceCycles() const;
 
     /** Early-termination gain: fullRaceCycles / busyCycles. */
@@ -98,9 +107,14 @@ class RaceEngine
 
     /**
      * Solve a batch of problems, reusing cached plans across them.
-     * Screening-shaped batches are additionally dispatched onto the
-     * core::batch fabric pool (fabricCount, resetCycles, threshold
-     * from the config) to model a multi-fabric deployment.
+     *
+     * On the Behavioral backend, grid-family batches (pairwise /
+     * generalized alignment, threshold screens) are raced in parallel
+     * on the engine's util::ThreadPool (EngineConfig::workerThreads);
+     * results come back in input order, bit-identical to a serial
+     * run.  Screening-shaped batches are additionally dispatched onto
+     * the core::batch fabric pool (fabricCount, resetCycles,
+     * threshold from the config) to model a multi-fabric deployment.
      */
     BatchOutcome solveBatch(const std::vector<RaceProblem> &problems);
 
@@ -133,8 +147,24 @@ class RaceEngine
     RaceResult solveDagPath(const RaceProblem &problem);
     RaceResult solveAffine(const RaceProblem &problem);
 
+    /**
+     * The Behavioral race of one grid-family problem on an acquired
+     * plan.  const and allocation-local: this is the body the thread
+     * pool runs concurrently, and also the first stage of the serial
+     * GateLevel solve.
+     */
+    RaceResult raceGridBehavioral(const RaceProblem &problem,
+                                  const Plan &plan) const;
+
+    /** Worker threads solveBatch may use (resolves the 0 default). */
+    size_t batchWorkerCount() const;
+
+    /** The lazily created batch pool (never on the serial path). */
+    util::ThreadPool &threadPool();
+
     EngineConfig cfg;
     EngineStats statistics;
+    std::unique_ptr<util::ThreadPool> pool;
 
     /** LRU plan cache: most recently used at the front. */
     using LruEntry = std::pair<std::string, std::shared_ptr<Plan>>;

@@ -2,8 +2,7 @@
 
 #include <sstream>
 
-#include "rl/bio/edit_graph.h"
-#include "rl/core/race_network.h"
+#include "rl/core/wavefront.h"
 #include "rl/util/logging.h"
 #include "rl/util/strings.h"
 
@@ -100,29 +99,18 @@ RaceGridResult
 RaceGridAligner::align(const bio::Sequence &a,
                        const bio::Sequence &b) const
 {
-    bio::EditGraph eg = bio::makeEditGraph(a, b, costMatrix);
-    RaceOutcome outcome = raceDag(eg.dag, {eg.source}, RaceType::Or);
-
-    RaceGridResult result;
-    result.arrival =
-        util::Grid<sim::Tick>(eg.rows + 1, eg.cols + 1,
-                              sim::kTickInfinity);
-    for (size_t i = 0; i <= eg.rows; ++i) {
-        for (size_t j = 0; j <= eg.cols; ++j) {
-            TemporalValue v = outcome.at(eg.node(i, j));
-            if (v.fired()) {
-                result.arrival.at(i, j) = v.time();
-                ++result.cellsFired;
-            }
-        }
-    }
-    TemporalValue sink = outcome.at(eg.sink);
-    rl_assert(sink.fired(),
+    RaceGridResult result =
+        raceEditGrid(a, b, costMatrix, sim::kTickInfinity);
+    rl_assert(result.completed,
               "sink never fired; gap weights should guarantee a path");
-    result.score = static_cast<bio::Score>(sink.time());
-    result.latencyCycles = sink.time();
-    result.events = outcome.events;
     return result;
+}
+
+RaceGridResult
+RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
+                       sim::Tick horizon) const
+{
+    return raceEditGrid(a, b, costMatrix, horizon);
 }
 
 } // namespace racelogic::core

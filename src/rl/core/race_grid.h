@@ -3,8 +3,10 @@
  * The N x M unit-cell Race Logic sequence aligner (paper Fig. 4).
  *
  * Behavioral model: the edit graph of the two strings is raced
- * (OR-type) with an event-driven temporal simulation; each grid
- * node's firing cycle is recorded.  The firing-time table *is* the
+ * (OR-type) on the bucketed wavefront kernel (rl/core/wavefront.h),
+ * which sweeps the grid one clock cycle at a time without ever
+ * materializing the graph; each grid node's firing cycle is
+ * recorded.  The firing-time table *is* the
  * paper's Fig. 4c ("the number inside each cell represents ... [the]
  * clock cycle at which signal '1' reached the output of an OR gate
  * of a particular unit cell"), and thresholding it by cycle yields
@@ -48,6 +50,13 @@ std::string renderWavefrontPicture(const util::Grid<sim::Tick> &arrival,
 struct RaceGridResult {
     /** Alignment score = arrival cycle of the sink node. */
     bio::Score score = 0;
+
+    /**
+     * True iff the sink fired.  Only a horizon-bounded race can leave
+     * it false (Section 6 abort); score is then kScoreInfinity and
+     * latencyCycles the horizon cycle.
+     */
+    bool completed = true;
 
     /** Race duration in clock cycles (equals score for OR type). */
     sim::Tick latencyCycles = 0;
@@ -96,6 +105,17 @@ class RaceGridAligner
     /** Race the two sequences; fatal() on alphabet mismatch. */
     RaceGridResult align(const bio::Sequence &a,
                          const bio::Sequence &b) const;
+
+    /**
+     * Race with a Section 6 early-termination horizon: the race stops
+     * at cycle `horizon` instead of draining the grid.  If the sink
+     * has not fired by then, result.completed is false, score is
+     * kScoreInfinity, and latencyCycles is the horizon -- the exact
+     * behavior of the hardware abort counter.  align() is const and
+     * allocation-local, so one aligner can race from many threads.
+     */
+    RaceGridResult align(const bio::Sequence &a, const bio::Sequence &b,
+                         sim::Tick horizon) const;
 
     const bio::ScoreMatrix &matrix() const { return costMatrix; }
 

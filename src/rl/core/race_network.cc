@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rl/circuit/builders.h"
+#include "rl/core/wavefront.h"
 #include "rl/graph/topo.h"
 #include "rl/util/logging.h"
 
@@ -21,15 +22,12 @@ checkRaceable(const graph::Dag &dag)
                      "delays (convert the matrix first, Section 5)");
 }
 
-} // namespace
-
+/** The heap-scheduled race body; callers have validated the graph. */
 RaceOutcome
-raceDag(const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
-        RaceType type)
+raceEventDrivenImpl(const graph::Dag &dag,
+                    const std::vector<graph::NodeId> &sources,
+                    RaceType type, sim::Tick horizon)
 {
-    checkRaceable(dag);
-    rl_assert(!sources.empty(), "race needs at least one source");
-
     const size_t n = dag.nodeCount();
     RaceOutcome outcome;
     outcome.firing.assign(n, TemporalValue::never());
@@ -42,6 +40,8 @@ raceDag(const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
         waiting[id] = dag.inEdges(id).size();
 
     sim::EventQueue queue;
+    // At most one pending arrival per edge can be in flight.
+    queue.reserve(dag.edgeCount());
 
     // fire() marks a node and schedules the arrivals it causes.
     std::function<void(graph::NodeId)> fire = [&](graph::NodeId node) {
@@ -74,8 +74,33 @@ raceDag(const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
             fire(s);
     }
 
-    outcome.events = queue.run();
+    outcome.events = horizon == sim::kTickInfinity
+                         ? queue.run()
+                         : queue.runUntil(horizon);
     return outcome;
+}
+
+} // namespace
+
+RaceOutcome
+raceDag(const graph::Dag &dag, const std::vector<graph::NodeId> &sources,
+        RaceType type, sim::Tick horizon)
+{
+    checkRaceable(dag);
+    rl_assert(!sources.empty(), "race needs at least one source");
+    if (WavefrontRaceKernel::suitableFor(dag))
+        return WavefrontRaceKernel(dag).race(sources, type, horizon);
+    return raceEventDrivenImpl(dag, sources, type, horizon);
+}
+
+RaceOutcome
+raceDagEventDriven(const graph::Dag &dag,
+                   const std::vector<graph::NodeId> &sources,
+                   RaceType type, sim::Tick horizon)
+{
+    checkRaceable(dag);
+    rl_assert(!sources.empty(), "race needs at least one source");
+    return raceEventDrivenImpl(dag, sources, type, horizon);
 }
 
 bool

@@ -9,10 +9,15 @@
  *
  * Two execution backends are provided:
  *
- *  - raceDag(): an event-driven temporal simulation on the DAG
- *    itself.  Arrival events propagate in time order exactly as
- *    edges would in hardware; per-node firing times come out as a
- *    by-product (the "wavefront").
+ *  - raceDag(): a temporal simulation on the DAG itself.  Arrival
+ *    events propagate in time order exactly as edges would in
+ *    hardware; per-node firing times come out as a by-product (the
+ *    "wavefront").  Graphs with bounded delays (all of them, in
+ *    practice) run on the bucketed wavefront kernel
+ *    (rl/core/wavefront.h -- Dial's algorithm, O(E + T), no heap and
+ *    no per-event allocation); raceDagEventDriven() is the original
+ *    heap-scheduled reference kernel, kept for equivalence testing
+ *    and as the fallback for out-of-range delays.
  *
  *  - compileRaceCircuit(): an actual gate-level netlist (OR/AND
  *    gates + DFF delay chains) runnable on circuit::SyncSim.  This
@@ -57,8 +62,13 @@ struct RaceOutcome {
 };
 
 /**
- * Event-driven race over `dag` injecting a rising edge at every node
- * in `sources` at tick 0.
+ * Race over `dag` injecting a rising edge at every node in `sources`
+ * at tick 0.
+ *
+ * Dispatches to the bucketed wavefront kernel (rl/core/wavefront.h)
+ * when the graph's delays fit its calendar, falling back to the
+ * heap-scheduled event kernel otherwise; both produce identical
+ * outcomes.
  *
  * Requirements checked: the graph is acyclic and every edge weight
  * is >= 0 (Race Logic cannot realize negative delays; Section 5).
@@ -67,10 +77,28 @@ struct RaceOutcome {
  * stays at never(); callers comparing against a longest-path DP
  * should ensure all predecessors are reachable (see
  * andRaceMatchesDp()).
+ *
+ * @param horizon  Section 6 early termination: arrivals later than
+ *                 this tick are never simulated, so nodes whose
+ *                 signal would arrive past the horizon stay at
+ *                 never().  Default races to full drain.
  */
 RaceOutcome raceDag(const graph::Dag &dag,
                     const std::vector<graph::NodeId> &sources,
-                    RaceType type);
+                    RaceType type,
+                    sim::Tick horizon = sim::kTickInfinity);
+
+/**
+ * The original heap-scheduled reference kernel: one sim::EventQueue
+ * callback per edge arrival.  Same semantics (and same outcome,
+ * event counts included) as raceDag(); kept as the equivalence
+ * reference for the wavefront kernel and as raceDag()'s fallback for
+ * graphs whose delays exceed kMaxWavefrontWeight.
+ */
+RaceOutcome raceDagEventDriven(const graph::Dag &dag,
+                               const std::vector<graph::NodeId> &sources,
+                               RaceType type,
+                               sim::Tick horizon = sim::kTickInfinity);
 
 /**
  * True iff an AND-type race over this graph/source set computes the

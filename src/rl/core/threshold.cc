@@ -17,13 +17,15 @@ ScreenOutcome
 ThresholdScreener::screen(const bio::Sequence &query,
                           const bio::Sequence &candidate) const
 {
-    // Behavioral model of the abort counter: the race would fire the
-    // sink at cycle == score; if that exceeds the threshold the
-    // engine stops at the threshold cycle with the verdict already
-    // decided (monotonicity of arrival times).
-    RaceGridResult raced = racer.align(query, candidate);
+    // The abort counter for real: the race runs with the threshold as
+    // its horizon, so a hopeless comparison stops at the threshold
+    // cycle instead of draining the grid.  Monotonicity of arrival
+    // times makes the verdict exact: "sink not fired by T" is
+    // equivalent to "score > T".
+    RaceGridResult raced =
+        racer.align(query, candidate, static_cast<sim::Tick>(maxCost));
     ScreenOutcome outcome;
-    if (raced.score <= maxCost) {
+    if (raced.completed) {
         outcome.similar = true;
         outcome.score = raced.score;
         outcome.cyclesUsed = static_cast<sim::Tick>(raced.score);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bucketed wavefront race kernel (Dial's algorithm on the DAG).
+ *
+ * The paper's OR-type race *is* a shortest-path wavefront sweeping the
+ * edit graph one clock cycle at a time; the generic discrete-event
+ * simulator (sim::EventQueue) models that with a binary heap of
+ * std::function closures -- one heap allocation plus O(log E) ordering
+ * work per edge arrival.  But Race Logic delays are small bounded
+ * integers (cost-matrix weights), so a calendar of W+1 circular
+ * buckets (Dial's algorithm, W = the largest edge weight) schedules
+ * the same arrivals in O(1) each: an arrival at tick t+w goes into
+ * bucket (t+w) mod (W+1), and the simulation simply drains bucket t,
+ * t+1, t+2, ... -- exactly the clock the hardware would tick.  Total
+ * cost O(E + T) with flat arrays, no per-event allocation, and no
+ * comparator.
+ *
+ * Two kernels are provided:
+ *
+ *  - WavefrontRaceKernel: races any graph::Dag via its packed CSR
+ *    view.  Supports Or (first-arrival, min) and And (last-arrival
+ *    via in-degree countdown, max) races, and an early-termination
+ *    horizon: arrivals past the horizon are never scheduled, which is
+ *    the Section 6 abort counter -- a threshold screen stops racing
+ *    at `threshold` cycles instead of draining the whole grid.
+ *
+ *  - raceEditGrid(): the same bucket sweep specialized to the
+ *    (|a|+1) x (|b|+1) edit graph of two sequences, with the three
+ *    out-edges of each cell (delete / insert / align) generated on
+ *    the fly from the cost matrix.  No graph is materialized at all,
+ *    which is what makes the behavioral race-grid aligner fast enough
+ *    for database screening sweeps.
+ *
+ * Both kernels fire events in the same order as the event-driven
+ * reference (rl/core/race_network.h raceDagEventDriven), so outcomes
+ * -- firing times *and* event counts -- are bit-identical; the
+ * equivalence suite in tests/core_wavefront_test.cc checks them
+ * against each other and against the DP oracle.  sim::EventQueue
+ * remains the substrate of the gate-level synchronous simulator,
+ * which genuinely needs timestamped callbacks.
+ */
+
+#ifndef RACELOGIC_CORE_WAVEFRONT_H
+#define RACELOGIC_CORE_WAVEFRONT_H
+
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/race_grid.h"
+#include "rl/core/race_network.h"
+#include "rl/graph/dag.h"
+
+namespace racelogic::core {
+
+/**
+ * Largest edge weight the bucket calendar will size itself for.  The
+ * ring needs maxWeight+1 buckets, so a pathological graph with one
+ * enormous delay would explode memory; raceDag() falls back to the
+ * heap-based event kernel above this bound.  Every workload in the
+ * paper (cost matrices, DTW sample distances) sits far below it.
+ */
+constexpr graph::Weight kMaxWavefrontWeight = 1 << 16;
+
+/**
+ * Calendar-queue race kernel over a DAG's packed CSR view.
+ *
+ * Construction snapshots the adjacency (O(V + E)); race() is const
+ * and allocates only its own per-race state, so one kernel can race
+ * many source sets -- including concurrently from several threads.
+ *
+ * The caller is responsible for validity (acyclic, weights in
+ * [0, kMaxWavefrontWeight]); raceDag() performs those checks before
+ * constructing a kernel.
+ */
+class WavefrontRaceKernel
+{
+  public:
+    explicit WavefrontRaceKernel(const graph::Dag &dag);
+
+    /** True iff the bucket calendar can represent this graph. */
+    static bool suitableFor(const graph::Dag &dag);
+
+    /**
+     * Race from `sources` (all injected at tick 0).
+     *
+     * @param horizon  Arrivals later than this tick are never
+     *                 scheduled (Section 6 early termination); the
+     *                 default races to full drain.
+     */
+    RaceOutcome race(const std::vector<graph::NodeId> &sources,
+                     RaceType type,
+                     sim::Tick horizon = sim::kTickInfinity) const;
+
+    size_t nodeCount() const { return inDegree.size(); }
+    size_t edgeCount() const { return csr.edgeCount(); }
+
+  private:
+    graph::CsrOutEdges csr;
+    std::vector<uint32_t> inDegree;
+    graph::Weight maxWeight = 0;
+};
+
+/**
+ * Bucket-wavefront OR-type race of the edit graph of (a, b) under a
+ * race-ready cost matrix, without materializing the graph.
+ *
+ * Semantically identical to racing makeEditGraph(a, b, costs) with
+ * raceDag(..., RaceType::Or, horizon): same arrival grid (filled for
+ * every cell firing at or before `horizon`), same event count, same
+ * sink score.  `completed` is false iff the sink had not fired by the
+ * horizon, in which case score is bio::kScoreInfinity and
+ * latencyCycles is the horizon (the cycle the abort counter tripped).
+ *
+ * fatal() on alphabet mismatch; requires a Cost-kind matrix with all
+ * finite weights >= 1 (checked by RaceGridAligner's constructor).
+ */
+RaceGridResult raceEditGrid(const bio::Sequence &a,
+                            const bio::Sequence &b,
+                            const bio::ScoreMatrix &costs,
+                            sim::Tick horizon = sim::kTickInfinity);
+
+} // namespace racelogic::core
+
+#endif // RACELOGIC_CORE_WAVEFRONT_H

@@ -1,5 +1,7 @@
 #include "rl/sim/event_queue.h"
 
+#include <algorithm>
+
 #include "rl/util/logging.h"
 
 namespace racelogic::sim {
@@ -9,7 +11,18 @@ EventQueue::schedule(Tick when, Callback callback, int priority)
 {
     rl_assert(when >= currentTick,
               "scheduling into the past: ", when, " < ", currentTick);
-    heap.push(Entry{when, priority, nextSequence++, std::move(callback)});
+    heap.push_back(Entry{when, priority, nextSequence++,
+                         std::move(callback)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry entry = std::move(heap.back());
+    heap.pop_back();
+    return entry;
 }
 
 bool
@@ -18,8 +31,7 @@ EventQueue::step()
     if (heap.empty())
         return false;
     // Move out of the queue before firing: the callback may schedule.
-    Entry entry = heap.top();
-    heap.pop();
+    Entry entry = popTop();
     currentTick = entry.when;
     ++firedCount;
     entry.callback();
@@ -39,7 +51,7 @@ size_t
 EventQueue::runUntil(Tick horizon)
 {
     size_t n = 0;
-    while (!heap.empty() && heap.top().when <= horizon) {
+    while (!heap.empty() && top().when <= horizon) {
         step();
         ++n;
     }
@@ -51,7 +63,7 @@ EventQueue::runUntil(Tick horizon)
 void
 EventQueue::reset()
 {
-    heap = {};
+    heap.clear();
     currentTick = 0;
     firedCount = 0;
 }

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace racelogic::sim {
@@ -52,6 +51,14 @@ class EventQueue
 
     /** Number of events not yet fired. */
     size_t pending() const { return heap.size(); }
+
+    /**
+     * Pre-size the underlying storage for `capacity` pending events.
+     * Callers that know the event population up front (a race
+     * schedules at most one arrival per edge) avoid every heap
+     * reallocation on the hot path.
+     */
+    void reserve(size_t capacity) { heap.reserve(capacity); }
 
     /**
      * Schedule a callback.
@@ -107,7 +114,18 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /** Earliest entry, valid only while the heap is non-empty. */
+    const Entry &top() const { return heap.front(); }
+
+    /** Remove and return the earliest entry by move (no copy). */
+    Entry popTop();
+
+    // An explicit binary heap (std::push_heap/std::pop_heap over a
+    // vector) instead of std::priority_queue: it can be reserve()d,
+    // and entries move out on pop instead of being copied off a
+    // const top() -- each Entry carries a std::function whose copy
+    // would heap-allocate.
+    std::vector<Entry> heap;
     Tick currentTick = 0;
     uint64_t nextSequence = 0;
     uint64_t firedCount = 0;

@@ -262,7 +262,8 @@ TEST(ApiEngine, BehavioralAndGateLevelAgreeOnDagPath)
         RaceResult hard = gates.solve(p);
         EXPECT_EQ(soft.score, hard.score);
     }
-    // Paper Fig. 3: shortest 2, longest 5.
+    // Fig. 3 reconstruction: shortest 2 (longest is 4; both the DP
+    // and the AND race agree -- see makeFig3ExampleDag()).
     RaceResult shortest = behavioral.solve(RaceProblem::dagPath(
         fig3, {0, 1}, 4, graph::Objective::Shortest));
     EXPECT_EQ(shortest.score, 2);
