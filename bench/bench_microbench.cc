@@ -144,6 +144,61 @@ BM_GateLevelRaceGrid(benchmark::State &state)
 BENCHMARK(BM_GateLevelRaceGrid)->Arg(8)->Arg(16)->Arg(32);
 
 void
+BM_SyncSimGrid(benchmark::State &state)
+{
+    // The interpretive reference: full O(gates x cycles) settle
+    // loops.  The before-number of the compiled-kernel contrast.
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(3, n);
+    core::RaceGridCircuit fabric(Alphabet::dna(), n, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fabric.alignReference(a, b).score);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_SyncSimGrid)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_CompiledSimGrid(benchmark::State &state)
+{
+    // The levelized event-driven kernel on the same fabric: only the
+    // wavefront's dirty frontier is re-evaluated each cycle.
+    size_t n = size_t(state.range(0));
+    auto [a, b] = randomPair(3, n);
+    core::RaceGridCircuit fabric(Alphabet::dna(), n, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fabric.align(a, b).score);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_CompiledSimGrid)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_CompiledSim64Lane(benchmark::State &state)
+{
+    // 64 independent comparisons per simulation word: the gate-level
+    // database-screening configuration.  items processed counts all
+    // 64 comparisons, so items/sec is directly comparable to
+    // BM_CompiledSimGrid's per-comparison rate.
+    size_t n = size_t(state.range(0));
+    util::Rng rng(10);
+    core::RaceGridCircuit fabric(Alphabet::dna(), n, n);
+    std::vector<Sequence> as, bs;
+    std::vector<core::LanePair> lanes;
+    for (unsigned l = 0; l < 64; ++l) {
+        as.push_back(Sequence::random(rng, Alphabet::dna(), n));
+        bs.push_back(Sequence::random(rng, Alphabet::dna(), n));
+    }
+    for (unsigned l = 0; l < 64; ++l)
+        lanes.push_back({&as[l], &bs[l]});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fabric.alignLanes(lanes).cyclesRun);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64 *
+                            int64_t(n) * int64_t(n));
+}
+BENCHMARK(BM_CompiledSim64Lane)->Arg(16)->Arg(32)->Arg(64);
+
+void
 BM_SystolicArray(benchmark::State &state)
 {
     size_t n = size_t(state.range(0));

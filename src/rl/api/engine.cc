@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "rl/circuit/compiled_sim.h"
 #include "rl/circuit/sim_sync.h"
 #include "rl/core/generalized.h"
 #include "rl/core/race_grid.h"
 #include "rl/core/race_network.h"
+#include "rl/core/wavefront.h"
 #include "rl/systolic/lipton_lopresti.h"
 #include "rl/tech/area_model.h"
 #include "rl/tech/energy_model.h"
@@ -252,10 +254,17 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
     // even when rejected.
     const bool bounded = screening && cfg.earlyTerminate &&
                          threshold != bio::kScoreInfinity;
-    core::RaceGridResult raced =
-        bounded ? plan.behavioral->align(
-                      a, b, static_cast<sim::Tick>(threshold))
-                : plan.behavioral->align(a, b);
+    // One kernel scratch per thread: the batch screening loop (and
+    // every serial solve) reuses the bucket-calendar arena instead of
+    // allocating it per comparison.
+    static thread_local core::RaceGridScratch scratch;
+    core::RaceGridResult raced = plan.behavioral->align(
+        a, b,
+        bounded ? static_cast<sim::Tick>(threshold)
+                : sim::kTickInfinity,
+        scratch);
+    rl_assert(bounded || raced.completed,
+              "sink never fired; gap weights should guarantee a path");
     result.completed = raced.completed;
     result.racedCost = raced.score;
     result.latencyCycles = raced.latencyCycles;
@@ -446,7 +455,7 @@ raceDagProblem(const graph::Dag &dag,
     if (cfg.backend == BackendKind::GateLevel && arrival.fired()) {
         core::RaceCircuit compiled =
             core::compileRaceCircuit(dag, sources, type);
-        circuit::SyncSim sim(compiled.netlist);
+        circuit::CompiledSim sim(compiled.netlist);
         for (circuit::NetId input : compiled.sourceInputs)
             sim.setInput(input, true);
         auto gateArrival =
@@ -579,6 +588,116 @@ gridFamilyKind(ProblemKind kind)
 
 } // namespace
 
+void
+RaceEngine::raceBatchGateLevel(
+    const std::vector<RaceProblem> &problems,
+    const std::vector<std::shared_ptr<Plan>> &plans,
+    std::vector<RaceResult> &results)
+{
+    // Group problem indices by plan (one synthesized fabric per grid
+    // shape) and fill each fabric's 64 bit-parallel lanes.
+    struct Chunk {
+        const Plan *plan;
+        std::vector<size_t> indices;
+    };
+    std::vector<Chunk> chunks;
+    std::unordered_map<const Plan *, size_t> open;
+    for (size_t i = 0; i < problems.size(); ++i) {
+        const Plan *plan = plans[i].get();
+        auto found = open.find(plan);
+        if (found != open.end() &&
+            chunks[found->second].indices.size() < 64) {
+            chunks[found->second].indices.push_back(i);
+        } else {
+            open[plan] = chunks.size();
+            chunks.push_back({plan, {i}});
+        }
+    }
+
+    const tech::CellLibrary &lib = *cfg.library;
+    auto raceChunk = [&](size_t c) {
+        const Chunk &chunk = chunks[c];
+        const Plan &plan = *chunk.plan;
+
+        // The shared lock-step budget: the largest per-lane threshold
+        // (each lane's own Section 6 verdict is checked below), or
+        // the fabric's full-race default if any lane is unbounded.
+        std::vector<core::LanePair> lanes;
+        lanes.reserve(chunk.indices.size());
+        uint64_t budget = 0;
+        bool unbounded = false;
+        for (size_t idx : chunk.indices) {
+            const RaceProblem &p = problems[idx];
+            lanes.push_back({&*p.a, &*p.b});
+            const bio::Score threshold =
+                p.kind == ProblemKind::ThresholdScreen ? p.threshold
+                                                       : cfg.threshold;
+            if (threshold == bio::kScoreInfinity)
+                unbounded = true;
+            else
+                budget = std::max<uint64_t>(
+                    budget,
+                    std::max<uint64_t>(
+                        static_cast<uint64_t>(threshold), 1));
+        }
+        // alignLanes is const and simulates on a private CompiledSim
+        // over the plan's shared compile, so chunks race on the pool
+        // without touching the fabric's serial-path simulator.
+        core::LaneBatchResult raced =
+            plan.fabric->alignLanes(lanes, unbounded ? 0 : budget);
+
+        const double chunkEnergyJ =
+            tech::energyFromActivityJ(lib, raced.activity);
+        const auto counts = plan.fabric->netlist().typeCounts();
+        for (size_t k = 0; k < chunk.indices.size(); ++k) {
+            const size_t idx = chunk.indices[k];
+            const RaceProblem &p = problems[idx];
+            const bio::Score threshold =
+                p.kind == ProblemKind::ThresholdScreen ? p.threshold
+                                                       : cfg.threshold;
+            RaceResult &soft = results[idx];
+            const core::CircuitRunResult &run = raced.lanes[k];
+            if (run.completed && soft.completed) {
+                rl_assert(run.score == soft.racedCost,
+                          "gate-level lane race disagrees with "
+                          "behavioral model: ",
+                          run.score, " vs ", soft.racedCost);
+            } else if (run.completed) {
+                // The behavioral race aborted at its own horizon; the
+                // lock-step word kept clocking to the chunk budget,
+                // so the lane's sink may fire -- but only past its
+                // own threshold.
+                rl_assert(run.score > threshold,
+                          "gate-level lane completed under a "
+                          "threshold the behavioral model aborted at");
+            } else {
+                rl_assert(threshold != bio::kScoreInfinity &&
+                              !soft.accepted,
+                          "gate-level lane race did not complete "
+                          "within budget");
+            }
+            if (soft.estimate) {
+                // Priced from the measured chunk activity: the
+                // lock-step word's Eq. 3 energy, averaged per lane
+                // (lanes share one fabric compile and clock).
+                soft.estimate->areaUm2 = lib.areaOfInventory(counts);
+                soft.estimate->energyJ =
+                    chunkEnergyJ / static_cast<double>(lanes.size());
+                soft.estimate->gateCount =
+                    plan.fabric->netlist().gateCount();
+                soft.estimate->dffCount = counts[static_cast<size_t>(
+                    circuit::GateType::Dff)];
+            }
+        }
+    };
+
+    if (batchWorkerCount() > 1 && chunks.size() > 1)
+        threadPool().parallelFor(chunks.size(), raceChunk);
+    else
+        for (size_t c = 0; c < chunks.size(); ++c)
+            raceChunk(c);
+}
+
 size_t
 RaceEngine::batchWorkerCount() const
 {
@@ -600,14 +719,21 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
     ++statistics.batches;
     BatchOutcome outcome;
 
-    const bool parallel =
-        batchWorkerCount() > 1 && problems.size() > 1 &&
-        cfg.backend == BackendKind::Behavioral &&
+    const bool gridFamily =
+        !problems.empty() &&
         std::all_of(problems.begin(), problems.end(),
                     [](const RaceProblem &p) {
                         return gridFamilyKind(p.kind);
                     });
-    if (parallel) {
+    // GateLevel batches are replayed on the fabric in 64-wide
+    // bit-parallel chunks -- worthwhile even on one thread.
+    const bool lanePacked = gridFamily && problems.size() > 1 &&
+                            cfg.backend == BackendKind::GateLevel;
+    const bool parallel =
+        batchWorkerCount() > 1 && problems.size() > 1 && gridFamily &&
+        (cfg.backend == BackendKind::Behavioral || lanePacked);
+
+    if (parallel || lanePacked) {
         // Acquire every plan serially first -- the plan cache and
         // statistics are main-thread state -- then race on the pool.
         // raceGridBehavioral() is const and each body writes only its
@@ -618,13 +744,21 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
         for (const RaceProblem &problem : problems)
             plans.push_back(planFor(problem));
         statistics.solves += problems.size();
-        ++statistics.parallelBatches;
         outcome.results.resize(problems.size());
-        threadPool().parallelFor(
-            problems.size(), [&](size_t i) {
+        if (parallel) {
+            ++statistics.parallelBatches;
+            threadPool().parallelFor(
+                problems.size(), [&](size_t i) {
+                    outcome.results[i] =
+                        raceGridBehavioral(problems[i], *plans[i]);
+                });
+        } else {
+            for (size_t i = 0; i < problems.size(); ++i)
                 outcome.results[i] =
                     raceGridBehavioral(problems[i], *plans[i]);
-            });
+        }
+        if (lanePacked)
+            raceBatchGateLevel(problems, plans, outcome.results);
     } else {
         outcome.results.reserve(problems.size());
         for (const RaceProblem &problem : problems)

@@ -115,6 +115,16 @@ class RaceEngine
      * run.  Screening-shaped batches are additionally dispatched onto
      * the core::batch fabric pool (fabricCount, resetCycles,
      * threshold from the config) to model a multi-fabric deployment.
+     *
+     * On the GateLevel backend, grid-family batches are raced
+     * behaviorally the same way and then replayed on the synthesized
+     * fabric in 64-wide bit-parallel chunks: each cached fabric's
+     * compiled netlist hosts up to 64 comparisons per simulation
+     * word (lanes grouped per shape, chunks spread across the thread
+     * pool), every lane cross-checked against its behavioral result.
+     * Estimates on this path price the measured chunk activity:
+     * energyJ is the lock-step word's Eq. 3 energy averaged per lane
+     * (see docs/api.md).
      */
     BatchOutcome solveBatch(const std::vector<RaceProblem> &problems);
 
@@ -155,6 +165,16 @@ class RaceEngine
      */
     RaceResult raceGridBehavioral(const RaceProblem &problem,
                                   const Plan &plan) const;
+
+    /**
+     * Replay an already-raced grid-family batch on the synthesized
+     * fabrics, 64 lanes per chunk, cross-checking and (optionally)
+     * pricing each result from the measured chunk activity.
+     */
+    void raceBatchGateLevel(
+        const std::vector<RaceProblem> &problems,
+        const std::vector<std::shared_ptr<Plan>> &plans,
+        std::vector<RaceResult> &results);
 
     /** Worker threads solveBatch may use (resolves the 0 default). */
     size_t batchWorkerCount() const;

@@ -10,6 +10,9 @@ SyncSim::SyncSim(const Netlist &netlist_in) : netlist(netlist_in)
     const size_t n = netlist.gateCount();
     values.assign(n, 0);
     state.assign(n, 0);
+    // perNet is pre-sized here (and kept sized by clearActivity) so
+    // the counting hot paths below may index it unchecked; the
+    // rl_dassert bounds document and enforce that in debug builds.
     stats.perNet.assign(n, 0);
     for (NetId id = 0; id < n; ++id) {
         const Gate &g = netlist.gate(id);
@@ -37,6 +40,8 @@ SyncSim::setInput(NetId input, bool value_in)
             // Input pin transitions count as net activity.
             ++stats.netToggles;
             ++stats.togglesByType[static_cast<size_t>(GateType::Input)];
+            rl_dassert(input < stats.perNet.size(),
+                       "perNet not pre-sized for net ", input);
             ++stats.perNet[input];
         }
         values[input] = value_in;
@@ -127,6 +132,8 @@ SyncSim::settle()
             if (counting) {
                 ++stats.netToggles;
                 ++stats.togglesByType[static_cast<size_t>(g.type)];
+                rl_dassert(id < stats.perNet.size(),
+                           "perNet not pre-sized for net ", id);
                 ++stats.perNet[id];
             }
             values[id] = out;
@@ -138,6 +145,8 @@ SyncSim::settle()
             if (counting) {
                 ++stats.netToggles;
                 ++stats.togglesByType[static_cast<size_t>(GateType::Dff)];
+                rl_dassert(id < stats.perNet.size(),
+                           "perNet not pre-sized for net ", id);
                 ++stats.perNet[id];
             }
             values[id] = state[id];

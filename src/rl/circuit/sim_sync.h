@@ -28,7 +28,13 @@
 
 namespace racelogic::circuit {
 
-/** Switching-activity aggregates accumulated by SyncSim. */
+/**
+ * Switching-activity aggregates accumulated by the gate-level
+ * simulators (SyncSim here; CompiledSim in rl/circuit/compiled_sim.h
+ * fills the same struct, lane-summed).  perNet is pre-sized to the
+ * netlist's gate count at simulator construction and kept sized by
+ * clearActivity(), so the hot counting loops never grow it.
+ */
 struct Activity {
     /** Clock edges simulated. */
     uint64_t cycles = 0;

@@ -77,4 +77,19 @@ analyzeClockGating(const RaceGridResult &result, size_t region_side,
     return analysis;
 }
 
+MeasuredGatedClocks
+splitGatedClockActivity(const circuit::Activity &activity, size_t rows,
+                        size_t cols)
+{
+    MeasuredGatedClocks split;
+    split.boundaryDffCycles =
+        static_cast<uint64_t>(rows + cols) * activity.cycles;
+    rl_assert(activity.clockedDffCycles >= split.boundaryDffCycles,
+              "measured clock activity smaller than the un-gated "
+              "boundary frame alone; wrong fabric dimensions?");
+    split.cellDffCycles =
+        activity.clockedDffCycles - split.boundaryDffCycles;
+    return split;
+}
+
 } // namespace racelogic::core

@@ -15,6 +15,7 @@
 #ifndef RACELOGIC_CORE_CLOCK_GATING_H
 #define RACELOGIC_CORE_CLOCK_GATING_H
 
+#include "rl/circuit/sim_sync.h"
 #include "rl/core/race_grid.h"
 #include "rl/util/grid.h"
 
@@ -83,6 +84,26 @@ struct GatingAnalysis {
 GatingAnalysis analyzeClockGating(const RaceGridResult &result,
                                   size_t region_side,
                                   size_t dffs_per_cell = 3);
+
+/** Measured clock activity of a gated fabric, split by structure. */
+struct MeasuredGatedClocks {
+    /** Boundary-frame DFF-cycles (the un-gated O(N) delay chains). */
+    uint64_t boundaryDffCycles = 0;
+
+    /** Cell-array DFF-cycles -- the gated C_clk term Eq. 6 models. */
+    uint64_t cellDffCycles = 0;
+};
+
+/**
+ * Split the clockedDffCycles a gate-level simulation measured on a
+ * GatedRaceGridCircuit into the un-gated boundary frame (rows + cols
+ * DFFs, clocked every cycle by construction) and the gated cell
+ * array.  Works on both simulator kernels: `activity.cycles` is
+ * lane-summed by the compiled simulator, so the boundary term scales
+ * with the packed lane count automatically.
+ */
+MeasuredGatedClocks splitGatedClockActivity(
+    const circuit::Activity &activity, size_t rows, size_t cols);
 
 } // namespace racelogic::core
 

@@ -95,40 +95,61 @@ GatedRaceGridCircuit::GatedRaceGridCircuit(const bio::Alphabet &alpha,
     gatingGates = net.gateCount() - gates_before;
 
     net.validate();
-    simulator = std::make_unique<circuit::SyncSim>(net);
+    compiled = std::make_unique<circuit::CompiledNetlist>(net);
+    simulator = std::make_unique<circuit::CompiledSim>(*compiled);
+}
+
+detail::GridFabricView
+GatedRaceGridCircuit::view() const
+{
+    detail::GridFabricView v;
+    v.compiled = compiled.get();
+    v.go = go;
+    v.sink = nodeNets.at(numRows, numCols);
+    v.rowSymbols = &rowSymbols;
+    v.colSymbols = &colSymbols;
+    v.symbolBits = std::max(1u, alphabet.bitsPerSymbol());
+    v.alphabet = &alphabet;
+    v.rows = numRows;
+    v.cols = numCols;
+    return v;
 }
 
 CircuitRunResult
 GatedRaceGridCircuit::align(const bio::Sequence &a,
                             const bio::Sequence &b, uint64_t max_cycles)
 {
-    rl_assert(a.alphabet() == alphabet && b.alphabet() == alphabet,
-              "sequence alphabet does not match the fabric");
-    rl_assert(a.size() == numRows && b.size() == numCols,
-              "this fabric aligns exactly ", numRows, " x ", numCols,
-              " symbols (got ", a.size(), " x ", b.size(), ")");
     if (max_cycles == 0)
         max_cycles = numRows + numCols + 2;
+    return detail::raceFabricPair(*simulator, view(), a, b, max_cycles);
+}
 
-    simulator->reset();
-    const unsigned bits = std::max(1u, alphabet.bitsPerSymbol());
-    for (size_t i = 0; i < numRows; ++i)
-        for (unsigned bit = 0; bit < bits; ++bit)
-            simulator->setInput(rowSymbols[i][bit], (a[i] >> bit) & 1);
-    for (size_t j = 0; j < numCols; ++j)
-        for (unsigned bit = 0; bit < bits; ++bit)
-            simulator->setInput(colSymbols[j][bit], (b[j] >> bit) & 1);
-    simulator->setInput(go, true);
+LaneBatchResult
+GatedRaceGridCircuit::alignLanes(const std::vector<LanePair> &lanes,
+                                 uint64_t max_cycles) const
+{
+    if (max_cycles == 0)
+        max_cycles = numRows + numCols + 2;
+    return detail::raceFabricLanes(view(), lanes, max_cycles);
+}
 
-    CircuitRunResult result;
-    auto fired = simulator->runUntil(nodeNets.at(numRows, numCols),
-                                     true, max_cycles);
-    result.cyclesRun = simulator->cycle();
-    if (fired) {
-        result.completed = true;
-        result.score = static_cast<bio::Score>(*fired);
-    }
-    return result;
+CircuitRunResult
+GatedRaceGridCircuit::alignReference(const bio::Sequence &a,
+                                     const bio::Sequence &b,
+                                     uint64_t max_cycles)
+{
+    if (max_cycles == 0)
+        max_cycles = numRows + numCols + 2;
+    return detail::raceFabricPair(referenceSim(), view(), a, b,
+                                  max_cycles);
+}
+
+circuit::SyncSim &
+GatedRaceGridCircuit::referenceSim()
+{
+    if (!refSim)
+        refSim = std::make_unique<circuit::SyncSim>(net);
+    return *refSim;
 }
 
 } // namespace racelogic::core

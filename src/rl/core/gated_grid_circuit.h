@@ -52,6 +52,15 @@ class GatedRaceGridCircuit
                            const bio::Sequence &b,
                            uint64_t max_cycles = 0);
 
+    /** Race up to 64 pairs lock-step on the bit-parallel lanes. */
+    LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
+                               uint64_t max_cycles = 0) const;
+
+    /** Replay a race on the interpretive SyncSim reference path. */
+    CircuitRunResult alignReference(const bio::Sequence &a,
+                                    const bio::Sequence &b,
+                                    uint64_t max_cycles = 0);
+
     size_t regionSide() const { return regionSideLen; }
     size_t regions() const { return regionRows * regionCols; }
 
@@ -59,9 +68,16 @@ class GatedRaceGridCircuit
     size_t gatingGateCount() const { return gatingGates; }
 
     const circuit::Netlist &netlist() const { return net; }
-    circuit::SyncSim &sim() { return *simulator; }
+
+    /** The active (compiled) simulator behind align(). */
+    circuit::CompiledSim &sim() { return *simulator; }
+
+    /** The lazily created SyncSim behind alignReference(). */
+    circuit::SyncSim &referenceSim();
 
   private:
+    detail::GridFabricView view() const;
+
     size_t numRows;
     size_t numCols;
     size_t regionSideLen;
@@ -74,7 +90,9 @@ class GatedRaceGridCircuit
     util::Grid<circuit::NetId> nodeNets;
     std::vector<circuit::Bus> rowSymbols;
     std::vector<circuit::Bus> colSymbols;
-    std::unique_ptr<circuit::SyncSim> simulator;
+    std::unique_ptr<circuit::CompiledNetlist> compiled;
+    std::unique_ptr<circuit::CompiledSim> simulator;
+    std::unique_ptr<circuit::SyncSim> refSim;
 };
 
 } // namespace racelogic::core

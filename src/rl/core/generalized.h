@@ -106,8 +106,9 @@ class GeneralizedAligner
 
 /**
  * Gate-level grid of generalized cells over an arbitrary race-ready
- * cost matrix.  Intended for validation and activity capture at
- * small sizes; the behavioral model covers large sweeps.
+ * cost matrix, simulated on the compiled levelized kernel (lane-pack
+ * batches with alignLanes; SyncSim stays the reference path via
+ * alignReference).
  */
 class GeneralizedGridCircuit
 {
@@ -120,8 +121,28 @@ class GeneralizedGridCircuit
     CircuitRunResult align(const bio::Sequence &a, const bio::Sequence &b,
                            uint64_t max_cycles = 0);
 
+    /**
+     * Race up to 64 pairs at once, one per bit-parallel lane, on a
+     * private simulator over the shared compile.  const and
+     * allocation-local: the engine's batch screening calls this from
+     * many pool threads against one cached fabric plan.
+     */
+    LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
+                               uint64_t max_cycles = 0) const;
+
+    /** Replay a race on the interpretive SyncSim reference path. */
+    CircuitRunResult alignReference(const bio::Sequence &a,
+                                    const bio::Sequence &b,
+                                    uint64_t max_cycles = 0);
+
     const circuit::Netlist &netlist() const { return net; }
-    circuit::SyncSim &sim() { return *simulator; }
+
+    /** The active (compiled) simulator behind align(). */
+    circuit::CompiledSim &sim() { return *simulator; }
+
+    /** The lazily created SyncSim behind alignReference(). */
+    circuit::SyncSim &referenceSim();
+
     const GeneralizedCellSpec &spec() const { return cellSpec; }
 
     /**
@@ -137,6 +158,9 @@ class GeneralizedGridCircuit
                              const std::vector<bio::Score> &weights,
                              DelayEncoding encoding);
 
+    detail::GridFabricView view() const;
+    uint64_t defaultBudget() const;
+
     bio::ScoreMatrix costs;
     GeneralizedCellSpec cellSpec;
     DelayEncoding encoding;
@@ -147,7 +171,9 @@ class GeneralizedGridCircuit
     util::Grid<circuit::NetId> nodeNets;
     std::vector<circuit::Bus> rowSymbols;
     std::vector<circuit::Bus> colSymbols;
-    std::unique_ptr<circuit::SyncSim> simulator;
+    std::unique_ptr<circuit::CompiledNetlist> compiled;
+    std::unique_ptr<circuit::CompiledSim> simulator;
+    std::unique_ptr<circuit::SyncSim> refSim;
 };
 
 } // namespace racelogic::core

@@ -113,4 +113,12 @@ RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
     return raceEditGrid(a, b, costMatrix, horizon);
 }
 
+RaceGridResult
+RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
+                       sim::Tick horizon,
+                       RaceGridScratch &scratch) const
+{
+    return raceEditGrid(a, b, costMatrix, horizon, scratch);
+}
+
 } // namespace racelogic::core

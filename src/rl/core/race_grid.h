@@ -28,6 +28,8 @@
 
 namespace racelogic::core {
 
+struct RaceGridScratch; // rl/core/wavefront.h
+
 /** @name Arrival-grid renderers
  *  Shared by RaceGridResult and the api facade (which holds the same
  *  grid without the surrounding struct).
@@ -116,6 +118,15 @@ class RaceGridAligner
      */
     RaceGridResult align(const bio::Sequence &a, const bio::Sequence &b,
                          sim::Tick horizon) const;
+
+    /**
+     * Scratch-reuse overload for tight screening loops: the kernel's
+     * bucket calendar lives in the caller's RaceGridScratch (one per
+     * thread), so repeated aligns stop allocating calendar storage.
+     */
+    RaceGridResult align(const bio::Sequence &a, const bio::Sequence &b,
+                         sim::Tick horizon,
+                         RaceGridScratch &scratch) const;
 
     const bio::ScoreMatrix &matrix() const { return costMatrix; }
 

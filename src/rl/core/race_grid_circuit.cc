@@ -5,6 +5,66 @@
 
 namespace racelogic::core {
 
+namespace detail {
+
+void
+checkFabricPair(const GridFabricView &view, const bio::Sequence &a,
+                const bio::Sequence &b)
+{
+    rl_assert(a.alphabet() == *view.alphabet &&
+                  b.alphabet() == *view.alphabet,
+              "sequence alphabet does not match the fabric");
+    rl_assert(a.size() == view.rows && b.size() == view.cols,
+              "this fabric aligns exactly ", view.rows, " x ",
+              view.cols, " symbols (got ", a.size(), " x ", b.size(),
+              ")");
+}
+
+LaneBatchResult
+raceFabricLanes(const GridFabricView &view,
+                const std::vector<LanePair> &lanes, uint64_t max_cycles)
+{
+    rl_assert(!lanes.empty() && lanes.size() <= 64,
+              "lane-packed races take 1..64 pairs (got ", lanes.size(),
+              ")");
+    circuit::CompiledSim sim(*view.compiled,
+                             static_cast<unsigned>(lanes.size()));
+    for (unsigned lane = 0; lane < lanes.size(); ++lane) {
+        const bio::Sequence &a = *lanes[lane].a;
+        const bio::Sequence &b = *lanes[lane].b;
+        checkFabricPair(view, a, b);
+        for (size_t i = 0; i < view.rows; ++i)
+            for (unsigned bit = 0; bit < view.symbolBits; ++bit)
+                sim.setInputLane((*view.rowSymbols)[i][bit], lane,
+                                 (a[i] >> bit) & 1);
+        for (size_t j = 0; j < view.cols; ++j)
+            for (unsigned bit = 0; bit < view.symbolBits; ++bit)
+                sim.setInputLane((*view.colSymbols)[j][bit], lane,
+                                 (b[j] >> bit) & 1);
+    }
+    sim.setInput(view.go, true);
+
+    std::array<uint64_t, 64> arrival;
+    sim.raceLanes(view.sink, max_cycles, arrival);
+
+    LaneBatchResult out;
+    out.cyclesRun = sim.cycle();
+    out.activity = sim.activity();
+    out.lanes.reserve(lanes.size());
+    for (unsigned lane = 0; lane < lanes.size(); ++lane) {
+        CircuitRunResult r;
+        r.cyclesRun = out.cyclesRun;
+        if (arrival[lane] != circuit::kLaneNever) {
+            r.completed = true;
+            r.score = static_cast<bio::Score>(arrival[lane]);
+        }
+        out.lanes.push_back(r);
+    }
+    return out;
+}
+
+} // namespace detail
+
 RaceGridCircuit::RaceGridCircuit(const bio::Alphabet &alphabet_in,
                                  size_t rows, size_t cols)
     : numRows(rows), numCols(cols), alphabet(alphabet_in),
@@ -49,40 +109,61 @@ RaceGridCircuit::RaceGridCircuit(const bio::Alphabet &alphabet_in,
     }
 
     net.validate();
-    simulator = std::make_unique<circuit::SyncSim>(net);
+    compiled = std::make_unique<circuit::CompiledNetlist>(net);
+    simulator = std::make_unique<circuit::CompiledSim>(*compiled);
+}
+
+detail::GridFabricView
+RaceGridCircuit::view() const
+{
+    detail::GridFabricView v;
+    v.compiled = compiled.get();
+    v.go = go;
+    v.sink = nodeNets.at(numRows, numCols);
+    v.rowSymbols = &rowSymbols;
+    v.colSymbols = &colSymbols;
+    v.symbolBits = std::max(1u, alphabet.bitsPerSymbol());
+    v.alphabet = &alphabet;
+    v.rows = numRows;
+    v.cols = numCols;
+    return v;
 }
 
 CircuitRunResult
 RaceGridCircuit::align(const bio::Sequence &a, const bio::Sequence &b,
                        uint64_t max_cycles)
 {
-    rl_assert(a.alphabet() == alphabet && b.alphabet() == alphabet,
-              "sequence alphabet does not match the fabric");
-    rl_assert(a.size() == numRows && b.size() == numCols,
-              "this fabric aligns exactly ", numRows, " x ", numCols,
-              " symbols (got ", a.size(), " x ", b.size(), ")");
     if (max_cycles == 0)
         max_cycles = numRows + numCols + 2;
+    return detail::raceFabricPair(*simulator, view(), a, b, max_cycles);
+}
 
-    simulator->reset();
-    const unsigned bits = std::max(1u, alphabet.bitsPerSymbol());
-    for (size_t i = 0; i < numRows; ++i)
-        for (unsigned bit = 0; bit < bits; ++bit)
-            simulator->setInput(rowSymbols[i][bit], (a[i] >> bit) & 1);
-    for (size_t j = 0; j < numCols; ++j)
-        for (unsigned bit = 0; bit < bits; ++bit)
-            simulator->setInput(colSymbols[j][bit], (b[j] >> bit) & 1);
-    simulator->setInput(go, true);
+LaneBatchResult
+RaceGridCircuit::alignLanes(const std::vector<LanePair> &lanes,
+                            uint64_t max_cycles) const
+{
+    if (max_cycles == 0)
+        max_cycles = numRows + numCols + 2;
+    return detail::raceFabricLanes(view(), lanes, max_cycles);
+}
 
-    CircuitRunResult result;
-    auto fired = simulator->runUntil(nodeNets.at(numRows, numCols), true,
-                                     max_cycles);
-    result.cyclesRun = simulator->cycle();
-    if (fired) {
-        result.completed = true;
-        result.score = static_cast<bio::Score>(*fired);
-    }
-    return result;
+CircuitRunResult
+RaceGridCircuit::alignReference(const bio::Sequence &a,
+                                const bio::Sequence &b,
+                                uint64_t max_cycles)
+{
+    if (max_cycles == 0)
+        max_cycles = numRows + numCols + 2;
+    return detail::raceFabricPair(referenceSim(), view(), a, b,
+                                  max_cycles);
+}
+
+circuit::SyncSim &
+RaceGridCircuit::referenceSim()
+{
+    if (!refSim)
+        refSim = std::make_unique<circuit::SyncSim>(net);
+    return *refSim;
 }
 
 util::Grid<sim::Tick>

@@ -13,16 +13,26 @@
  * The same hardware is reused across comparisons: the strings are
  * primary inputs ("weights of some (or all) edges are controlled by
  * external conditions"), and the fabric is reset between runs.
+ *
+ * Simulation runs on the compiled levelized kernel
+ * (rl/circuit/compiled_sim.h): align() races one pair on the
+ * event-driven frontier, and alignLanes() packs up to 64 independent
+ * pairs into the bit-parallel lanes of one simulation -- the
+ * database-screening configuration.  alignReference() replays a race
+ * on the interpretive SyncSim, which stays the tested reference and
+ * the debug/inspection path.
  */
 
 #ifndef RACELOGIC_CORE_RACE_GRID_CIRCUIT_H
 #define RACELOGIC_CORE_RACE_GRID_CIRCUIT_H
 
 #include <memory>
+#include <vector>
 
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
 #include "rl/circuit/builders.h"
+#include "rl/circuit/compiled_sim.h"
 #include "rl/circuit/netlist.h"
 #include "rl/circuit/sim_sync.h"
 #include "rl/sim/event_queue.h"
@@ -43,6 +53,95 @@ struct CircuitRunResult {
     bool completed = false;
 };
 
+/** One lane of a packed gate-level race (borrowed sequences). */
+struct LanePair {
+    const bio::Sequence *a = nullptr;
+    const bio::Sequence *b = nullptr;
+};
+
+/** Outcome of a lane-packed gate-level race. */
+struct LaneBatchResult {
+    /** Per-lane outcomes, in input order. */
+    std::vector<CircuitRunResult> lanes;
+
+    /** Lock-step cycles ticked (max over lanes, budget-clamped). */
+    uint64_t cyclesRun = 0;
+
+    /**
+     * Lane-summed switching activity of the packed word: the Eq. 3
+     * inputs for the whole batch (equal to the sum of the lanes run
+     * individually in lock-step for the same cyclesRun).
+     */
+    circuit::Activity activity;
+};
+
+namespace detail {
+
+/**
+ * The slice of a grid fabric the shared race drivers need: every
+ * rows x cols fabric in this library (plain, gated, generalized)
+ * exposes the same go / symbol-bus / sink-net interface.
+ */
+struct GridFabricView {
+    const circuit::CompiledNetlist *compiled = nullptr;
+    circuit::NetId go = circuit::kNoNet;
+    circuit::NetId sink = circuit::kNoNet;
+    const std::vector<circuit::Bus> *rowSymbols = nullptr;
+    const std::vector<circuit::Bus> *colSymbols = nullptr;
+    unsigned symbolBits = 1;
+    const bio::Alphabet *alphabet = nullptr;
+    size_t rows = 0;
+    size_t cols = 0;
+};
+
+/** fatal() unless (a, b) fit the fabric. */
+void checkFabricPair(const GridFabricView &view, const bio::Sequence &a,
+                     const bio::Sequence &b);
+
+/**
+ * Reset `sim`, broadcast the pair's symbols onto the input buses,
+ * raise go, and race to the sink: the one-pair driver shared by the
+ * compiled (align) and reference (alignReference) paths.
+ */
+template <typename Sim>
+CircuitRunResult
+raceFabricPair(Sim &sim, const GridFabricView &view,
+               const bio::Sequence &a, const bio::Sequence &b,
+               uint64_t max_cycles)
+{
+    checkFabricPair(view, a, b);
+    sim.reset();
+    for (size_t i = 0; i < view.rows; ++i)
+        for (unsigned bit = 0; bit < view.symbolBits; ++bit)
+            sim.setInput((*view.rowSymbols)[i][bit],
+                         (a[i] >> bit) & 1);
+    for (size_t j = 0; j < view.cols; ++j)
+        for (unsigned bit = 0; bit < view.symbolBits; ++bit)
+            sim.setInput((*view.colSymbols)[j][bit],
+                         (b[j] >> bit) & 1);
+    sim.setInput(view.go, true);
+
+    CircuitRunResult result;
+    auto fired = sim.runUntil(view.sink, true, max_cycles);
+    result.cyclesRun = sim.cycle();
+    if (fired) {
+        result.completed = true;
+        result.score = static_cast<bio::Score>(*fired);
+    }
+    return result;
+}
+
+/**
+ * Race up to 64 pairs lock-step on a fresh bit-parallel simulator
+ * over the fabric's shared compile (thread-safe: the compile is
+ * immutable, the per-call sim state is local).
+ */
+LaneBatchResult raceFabricLanes(const GridFabricView &view,
+                                const std::vector<LanePair> &lanes,
+                                uint64_t max_cycles);
+
+} // namespace detail
+
 /**
  * A fixed-size gate-level race grid; align any string pair of
  * exactly (rows, cols) symbols over the construction alphabet.
@@ -61,8 +160,9 @@ class RaceGridCircuit
                     size_t cols);
 
     /**
-     * Race one string pair.  Resets the fabric, loads the symbols,
-     * injects the start signal, and steps until the sink fires.
+     * Race one string pair on the compiled kernel.  Resets the
+     * fabric, loads the symbols, injects the start signal, and steps
+     * until the sink fires.
      *
      * @param max_cycles  Optional cycle budget (default: worst case
      *                    rows + cols, plus margin).  A lower budget
@@ -71,6 +171,22 @@ class RaceGridCircuit
     CircuitRunResult align(const bio::Sequence &a, const bio::Sequence &b,
                            uint64_t max_cycles = 0);
 
+    /**
+     * Race up to 64 pairs at once, one per bit-parallel lane, on a
+     * private simulator.  const and allocation-local, so batch
+     * screening may call it from many threads concurrently.
+     */
+    LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
+                               uint64_t max_cycles = 0) const;
+
+    /**
+     * Replay a race on the interpretive SyncSim (the reference /
+     * debug path; activity lands in referenceSim().activity()).
+     */
+    CircuitRunResult alignReference(const bio::Sequence &a,
+                                    const bio::Sequence &b,
+                                    uint64_t max_cycles = 0);
+
     /** Firing cycle of every grid node from the last align() call. */
     util::Grid<racelogic::sim::Tick> arrivalMap();
 
@@ -78,7 +194,18 @@ class RaceGridCircuit
     size_t cols() const { return numCols; }
 
     const circuit::Netlist &netlist() const { return net; }
-    circuit::SyncSim &sim() { return *simulator; }
+
+    /** The shared one-time compile align()/alignLanes() run on. */
+    const circuit::CompiledNetlist &compiledNetlist() const
+    {
+        return *compiled;
+    }
+
+    /** The active (compiled) simulator behind align(). */
+    circuit::CompiledSim &sim() { return *simulator; }
+
+    /** The lazily created SyncSim behind alignReference(). */
+    circuit::SyncSim &referenceSim();
 
     /**
      * Gate inventory of a single unit cell (3 DFFs, OR3, diagonal
@@ -89,6 +216,8 @@ class RaceGridCircuit
     unitCellInventory(unsigned symbol_bits);
 
   private:
+    detail::GridFabricView view() const;
+
     size_t numRows;
     size_t numCols;
     bio::Alphabet alphabet;
@@ -97,7 +226,9 @@ class RaceGridCircuit
     util::Grid<circuit::NetId> nodeNets;     ///< (rows+1) x (cols+1)
     std::vector<circuit::Bus> rowSymbols;    ///< per row i: symbol bus
     std::vector<circuit::Bus> colSymbols;    ///< per col j: symbol bus
-    std::unique_ptr<circuit::SyncSim> simulator;
+    std::unique_ptr<circuit::CompiledNetlist> compiled;
+    std::unique_ptr<circuit::CompiledSim> simulator;
+    std::unique_ptr<circuit::SyncSim> refSim; ///< lazy debug path
 };
 
 } // namespace racelogic::core

@@ -105,16 +105,34 @@ RaceGridResult
 raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
              const bio::ScoreMatrix &costs, sim::Tick horizon)
 {
+    RaceGridScratch scratch;
+    return raceEditGrid(a, b, costs, horizon, scratch);
+}
+
+RaceGridResult
+raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
+             const bio::ScoreMatrix &costs, sim::Tick horizon,
+             RaceGridScratch &scratch)
+{
     rl_assert(a.alphabet() == costs.alphabet() &&
               b.alphabet() == costs.alphabet(),
               "sequences and matrix use different alphabets");
+    // The chain-detaching drain below relies on every weight being
+    // >= 1 (a fire at tick t never schedules back into bucket t);
+    // zero-weight graphs must race on the general DAG kernel.
+    rl_assert(costs.minFinite() >= 1,
+              "raceEditGrid requires all finite weights >= 1 (got ",
+              costs.minFinite(), ")");
 
     const size_t rows = a.size();
     const size_t cols = b.size();
     const size_t width = cols + 1;
 
     // Per-symbol gap weights, hoisted out of the sweep.
-    std::vector<bio::Score> gapA(rows), gapB(cols);
+    std::vector<bio::Score> &gapA = scratch.gapA;
+    std::vector<bio::Score> &gapB = scratch.gapB;
+    gapA.resize(rows);
+    gapB.resize(cols);
     for (size_t i = 0; i < rows; ++i)
         gapA[i] = costs.gap(a[i]);
     for (size_t j = 0; j < cols; ++j)
@@ -124,8 +142,16 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
     result.arrival = util::Grid<sim::Tick>(rows + 1, cols + 1,
                                            sim::kTickInfinity);
 
+    // The calendar: ring of maxWeight+1 chain heads over one flat
+    // node arena.  Weights are >= 1, so a drain of tick t never
+    // pushes back into bucket t, and nothing scheduled can alias a
+    // slot still holding older entries (Dial's invariant).
+    constexpr uint32_t kNil = RaceGridScratch::kNil;
     const size_t ring = static_cast<size_t>(costs.maxFinite()) + 1;
-    std::vector<std::vector<uint32_t>> buckets(ring);
+    std::vector<uint32_t> &heads = scratch.heads;
+    std::vector<RaceGridScratch::Node> &arena = scratch.arena;
+    heads.assign(ring, kNil);
+    arena.clear();
     size_t pending = 0;
 
     // fire() generates the cell's out-edges straight from the cost
@@ -139,7 +165,9 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
             sim::Tick at = t + static_cast<sim::Tick>(w);
             if (at > horizon)
                 return; // Section 6: the abort counter trips first.
-            buckets[at % ring].push_back(static_cast<uint32_t>(to));
+            uint32_t &head = heads[at % ring];
+            arena.push_back({static_cast<uint32_t>(to), head});
+            head = static_cast<uint32_t>(arena.size() - 1);
             ++pending;
         };
         if (i < rows) // vertical: delete a[i]
@@ -156,18 +184,22 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
     fire(0, 0); // root injected at tick 0 (always <= horizon)
 
     for (sim::Tick t = 0; pending > 0; ++t) {
-        std::vector<uint32_t> &bucket = buckets[t % ring];
-        for (size_t i = 0; i < bucket.size(); ++i) {
-            uint32_t cell = bucket[i];
+        // Detach the chain first: fire() appends to *other* buckets
+        // only (weights >= 1), but may grow the arena, so each node
+        // is copied out before its out-edges are generated.
+        uint32_t node = heads[t % ring];
+        heads[t % ring] = kNil;
+        while (node != kNil) {
+            const RaceGridScratch::Node entry = arena[node];
+            node = entry.next;
             --pending;
             ++result.events;
-            const size_t r = cell / width;
-            const size_t c = cell % width;
+            const size_t r = entry.cell / width;
+            const size_t c = entry.cell % width;
             if (result.arrival.at(r, c) != sim::kTickInfinity)
                 continue; // OR cell already high
-            fire(cell, t);
+            fire(entry.cell, t);
         }
-        bucket.clear();
     }
 
     const sim::Tick sink = result.arrival.at(rows, cols);

@@ -102,6 +102,32 @@ class WavefrontRaceKernel
 };
 
 /**
+ * Reusable scratch state for raceEditGrid: the bucket calendar as a
+ * single flat arena.
+ *
+ * Instead of a vector-of-vectors calendar (one heap allocation per
+ * ring slot, re-allocated every call), the pending arrivals live in
+ * one backing vector of {cell, next} nodes and the ring holds only
+ * head offsets into it -- push is an O(1) append plus a head swap,
+ * and a drain walks the chain.  A scratch passed across calls keeps
+ * the arena's capacity, so steady-state screening (the per-thread
+ * batch loop) allocates nothing per comparison.
+ */
+struct RaceGridScratch {
+    /** One pending arrival, chained per bucket. */
+    struct Node {
+        uint32_t cell;
+        uint32_t next; ///< arena offset of the next node, or kNil
+    };
+
+    static constexpr uint32_t kNil = ~uint32_t(0);
+
+    std::vector<uint32_t> heads; ///< per ring slot: chain head offset
+    std::vector<Node> arena;     ///< the one backing vector
+    std::vector<bio::Score> gapA, gapB; ///< hoisted gap weights
+};
+
+/**
  * Bucket-wavefront OR-type race of the edit graph of (a, b) under a
  * race-ready cost matrix, without materializing the graph.
  *
@@ -119,6 +145,16 @@ RaceGridResult raceEditGrid(const bio::Sequence &a,
                             const bio::Sequence &b,
                             const bio::ScoreMatrix &costs,
                             sim::Tick horizon = sim::kTickInfinity);
+
+/**
+ * Scratch-reuse overload: identical outcome, but the bucket calendar
+ * lives in (and keeps the capacity of) the caller's scratch.
+ */
+RaceGridResult raceEditGrid(const bio::Sequence &a,
+                            const bio::Sequence &b,
+                            const bio::ScoreMatrix &costs,
+                            sim::Tick horizon,
+                            RaceGridScratch &scratch);
 
 } // namespace racelogic::core
 

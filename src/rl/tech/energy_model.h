@@ -88,7 +88,15 @@ double optimalGatingGranularity(const CellLibrary &lib, size_t n);
 size_t numericOptimalGranularity(const CellLibrary &lib, size_t n,
                                  RaceCase which = RaceCase::Worst);
 
-/** Price simulated gate-level activity (race fabric). */
+/**
+ * Price simulated gate-level activity (race fabric).
+ *
+ * Accepts activity from either simulator kernel.  The compiled
+ * bit-parallel kernel (rl/circuit/compiled_sim.h) reports
+ * lane-summed aggregates, so the result is then the Eq. 3 energy of
+ * the whole packed batch; divide by the lane count for the
+ * per-comparison average.
+ */
 double energyFromActivityJ(const CellLibrary &lib,
                            const circuit::Activity &activity);
 

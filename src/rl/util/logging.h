@@ -84,4 +84,17 @@ concat(Args &&...args)
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only twin of rl_assert for per-element checks on hot paths
+ * (e.g. net-id bounds in the simulation kernels): compiled out under
+ * NDEBUG, where the check would cost measurable throughput.
+ */
+#ifdef NDEBUG
+#define rl_dassert(cond, ...)                                               \
+    do {                                                                    \
+    } while (0)
+#else
+#define rl_dassert(cond, ...) rl_assert(cond, __VA_ARGS__)
+#endif
+
 #endif // RACELOGIC_UTIL_LOGGING_H

@@ -182,4 +182,55 @@ TEST(ParallelBatch, EarlyTerminationTogglesAccountingNotVerdicts)
     EXPECT_GE(full.speedup(), 1.0);
 }
 
+TEST(ParallelBatch, GateLevelLanePackedBatchMatchesBehavioral)
+{
+    // The GateLevel batch path replays every comparison on the
+    // synthesized fabric's 64 bit-parallel lanes, cross-checking
+    // against the behavioral race internally (a clean run IS the
+    // agreement check); verdicts and scores must match the
+    // Behavioral engine exactly, and estimates carry the measured
+    // fabric inventory.
+    std::vector<RaceProblem> problems = screeningBatch(15, 24, 22);
+
+    api::EngineConfig gates = withThreads(2);
+    gates.backend = api::BackendKind::GateLevel;
+    RaceEngine gateEngine(gates);
+    RaceEngine softEngine(withThreads(2));
+
+    BatchOutcome hard = gateEngine.solveBatch(problems);
+    BatchOutcome soft = softEngine.solveBatch(problems);
+    ASSERT_EQ(hard.results.size(), soft.results.size());
+    for (size_t i = 0; i < soft.results.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(hard.results[i].accepted, soft.results[i].accepted);
+        EXPECT_EQ(hard.results[i].score, soft.results[i].score);
+        EXPECT_EQ(hard.results[i].cyclesUsed,
+                  soft.results[i].cyclesUsed);
+        ASSERT_TRUE(hard.results[i].estimate.has_value());
+        EXPECT_GT(hard.results[i].estimate->gateCount, 0u);
+        EXPECT_GT(hard.results[i].estimate->energyJ, 0.0);
+    }
+    EXPECT_EQ(hard.busyCycles(), soft.busyCycles());
+    ASSERT_TRUE(hard.schedule.has_value());
+    EXPECT_EQ(hard.schedule->acceptedCount, hard.acceptedCount());
+}
+
+TEST(ParallelBatch, GateLevelLanePackedSerialWorkerStillPacks)
+{
+    // Lane packing is orthogonal to the thread pool: even a 1-worker
+    // engine races the batch 64 lanes at a time.
+    std::vector<RaceProblem> problems = screeningBatch(16, 12, 20);
+    api::EngineConfig gates = withThreads(1);
+    gates.backend = api::BackendKind::GateLevel;
+    RaceEngine engine(gates);
+    BatchOutcome batch = engine.solveBatch(problems);
+    ASSERT_EQ(batch.results.size(), problems.size());
+    EXPECT_EQ(engine.stats().parallelBatches, 0u);
+    EXPECT_EQ(engine.stats().solves, problems.size());
+    // Same-shape screens collapse onto cached fabrics: far fewer
+    // plans than comparisons (shapes vary only by indel mutations).
+    EXPECT_LT(engine.stats().plansBuilt, problems.size());
+    EXPECT_GT(engine.stats().planCacheHits, 0u);
+}
+
 } // namespace

@@ -221,11 +221,11 @@ TEST(GatedFabric, MatchesBehavioralGatingAnalysisClosely)
     gated.sim().clearActivity();
     auto run = gated.align(a, b);
     ASSERT_TRUE(run.completed);
-    // Subtract the un-gated boundary DFFs (2n of them, clocked every
-    // cycle of the run).
-    uint64_t boundary = 2ull * n * gated.sim().activity().cycles;
+    // Strip the un-gated boundary frame; only the cell array is the
+    // gated C_clk term the behavioral analysis models.
     uint64_t gate_level =
-        gated.sim().activity().clockedDffCycles - boundary;
+        core::splitGatedClockActivity(gated.sim().activity(), n, n)
+            .cellDffCycles;
 
     core::RaceGridAligner model(
         ScoreMatrix::dnaShortestPathInfMismatch());

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff a fresh google-benchmark JSON run against the committed baseline.
+
+Usage:
+    tools/bench_compare.py fresh.json [--baseline BENCH_baseline.json]
+                           [--tolerance 0.25] [--metric cpu_time]
+                           [--benches name1,name2,...]
+
+Fails (exit 1) when any named headline benchmark regresses by more
+than the tolerance relative to the baseline, i.e. when
+
+    fresh_metric > baseline_metric * (1 + tolerance)
+
+Headline benches are the single-threaded kernel benchmarks whose
+cpu_time is comparatively stable across machines; thread-scaling rows
+(BM_SolveBatchThreads) are deliberately excluded because they measure
+the host's core count as much as the code.  Benches present in the
+fresh run but absent from the baseline are reported as "new" and do
+not fail the comparison (commit a refreshed baseline in the same PR
+that adds a bench).  CI passes a larger tolerance than the default
+25% to absorb runner-vs-baseline machine differences.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# The perf trajectory: one representative entry per kernel family.
+HEADLINE_BENCHES = [
+    "BM_EventDrivenRace/256",       # behavioral race-grid hot path
+    "BM_WavefrontKernelDag/256",    # general CSR bucket kernel
+    "BM_ScreeningRaceWithHorizon/256",  # Section 6 early termination
+    "BM_CompiledSimGrid/64",        # compiled gate-level kernel
+    "BM_CompiledSim64Lane/64",      # bit-parallel gate-level batch
+    "BM_ApiEngineSolveCached/256",  # facade overhead on the hot path
+]
+
+
+def load_benchmarks(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench for bench in data.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("fresh", help="fresh --benchmark_format=json run")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent /
+                    "BENCH_baseline.json"),
+        help="committed baseline JSON (default: repo root)")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression (default 0.25 = +25%%)")
+    parser.add_argument(
+        "--metric", default="cpu_time",
+        help="benchmark field to compare (default cpu_time)")
+    parser.add_argument(
+        "--benches", default=None,
+        help="comma-separated bench names overriding the headline set")
+    args = parser.parse_args()
+
+    names = (args.benches.split(",") if args.benches
+             else HEADLINE_BENCHES)
+    fresh = load_benchmarks(args.fresh)
+    baseline = load_benchmarks(args.baseline)
+
+    width = max(len(name) for name in names)
+    regressions = []
+    missing = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name in names:
+        base = baseline.get(name)
+        got = fresh.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'-':>12}  "
+                  f"{got[args.metric] if got else '-':>12}  {'-':>7}  "
+                  "new (not in baseline)")
+            continue
+        if got is None:
+            print(f"{name:<{width}}  {base[args.metric]:>12.0f}  "
+                  f"{'-':>12}  {'-':>7}  MISSING from fresh run")
+            missing.append(name)
+            continue
+        ratio = got[args.metric] / base[args.metric]
+        regressed = ratio > 1.0 + args.tolerance
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name:<{width}}  {base[args.metric]:>12.0f}  "
+              f"{got[args.metric]:>12.0f}  {ratio:>7.2f}  {verdict}")
+        if regressed:
+            regressions.append((name, ratio))
+
+    if missing:
+        print(f"\n{len(missing)} headline bench(es) missing from the "
+              "fresh run", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} headline regression(s) beyond "
+              f"+{args.tolerance:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nAll headline benches within +{args.tolerance:.0%} of "
+          "baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
