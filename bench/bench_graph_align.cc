@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark suite for the rl/pangraph workload: product-DAG
+ * construction, the raced alignment (the GraphAlign hot path), the
+ * graph-NW oracle it is checked against, traceback, and engine
+ * read-mapping batches on one cached graph plan.
+ *
+ * The graph scales with the read: a random variation graph whose
+ * backbone grows with range(0), read sampled from a walk with
+ * Section 6-style mutation noise.  BM_GraphAlignRace/64 is a
+ * headline bench (tools/bench_compare.py) -- refresh
+ * BENCH_baseline.json in the PR that changes it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rl/api/api.h"
+#include "rl/pangraph/generate.h"
+#include "rl/pangraph/graph_align_dp.h"
+#include "rl/pangraph/graph_aligner.h"
+#include "rl/util/random.h"
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+
+namespace {
+
+struct Workload {
+    std::shared_ptr<const pangraph::VariationGraph> graph;
+    Sequence read;
+
+    explicit Workload(size_t backbone, uint64_t seed = 17)
+        : read(Alphabet::dna())
+    {
+        util::Rng rng(seed);
+        pangraph::VariationGraphParams params;
+        params.backboneSegments = backbone;
+        params.maxLabel = 8;
+        params.snpDensity = 0.4;
+        params.insertDensity = 0.2;
+        params.deleteDensity = 0.2;
+        graph = std::make_shared<pangraph::VariationGraph>(
+            pangraph::randomVariationGraph(rng, Alphabet::dna(),
+                                           params));
+        read = pangraph::sampleRead(rng, *graph,
+                                    bio::MutationModel::uniform(0.2));
+    }
+};
+
+void
+BM_GraphAlignBuild(benchmark::State &state)
+{
+    // Product-DAG construction alone: the per-read planning cost the
+    // race pays on top of the cached graph compile.
+    Workload w(size_t(state.range(0)));
+    pangraph::GraphAligner aligner(w.graph,
+                                   ScoreMatrix::dnaShortestPath());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pangraph::buildAlignmentGraph(
+            aligner.compiled(), w.read, aligner.costs()));
+}
+BENCHMARK(BM_GraphAlignBuild)->Arg(16)->Arg(64);
+
+void
+BM_GraphAlignRace(benchmark::State &state)
+{
+    // The GraphAlign hot path: product build + bucketed wavefront
+    // race, one read against a cached plan (headline bench).
+    Workload w(size_t(state.range(0)));
+    pangraph::GraphAligner aligner(w.graph,
+                                   ScoreMatrix::dnaShortestPath());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aligner.align(w.read));
+    state.SetItemsProcessed(
+        int64_t(state.iterations()) * int64_t(w.read.size()) *
+        int64_t(w.graph->totalLabelLength()));
+}
+BENCHMARK(BM_GraphAlignRace)->Arg(16)->Arg(64);
+
+void
+BM_GraphAlignOracle(benchmark::State &state)
+{
+    // The software graph-NW baseline over the same workload.
+    Workload w(size_t(state.range(0)));
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pangraph::graphAlignDp(*w.graph, w.read, costs));
+}
+BENCHMARK(BM_GraphAlignOracle)->Arg(16)->Arg(64);
+
+void
+BM_GraphAlignTraceback(benchmark::State &state)
+{
+    // Race + (walk, CIGAR) reconstruction from the arrival times.
+    Workload w(size_t(state.range(0)));
+    pangraph::GraphAligner aligner(w.graph,
+                                   ScoreMatrix::dnaShortestPath());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aligner.map(w.read));
+}
+BENCHMARK(BM_GraphAlignTraceback)->Arg(16)->Arg(64);
+
+void
+BM_GraphMapReadsBatch(benchmark::State &state)
+{
+    // Engine read-mapping: 64 reads against one cached plan, with a
+    // screening threshold; range = worker threads (flat on 1-CPU
+    // hosts -- see docs/performance.md).
+    Workload w(24);
+    util::Rng rng(5);
+    std::vector<Sequence> reads;
+    for (int i = 0; i < 64; ++i)
+        reads.push_back(pangraph::sampleRead(
+            rng, *w.graph, bio::MutationModel::uniform(0.25)));
+    const bio::Score threshold =
+        static_cast<bio::Score>(w.graph->spelledLengthRange().second +
+                                8);
+    api::EngineConfig cfg;
+    cfg.workerThreads = size_t(state.range(0));
+    cfg.withEstimates = false;
+    api::RaceEngine engine(cfg);
+    for (auto _ : state) {
+        auto outcome = engine.mapReads(w.graph,
+                                       ScoreMatrix::dnaShortestPath(),
+                                       threshold, reads);
+        benchmark::DoNotOptimize(outcome.results.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(reads.size()));
+}
+BENCHMARK(BM_GraphMapReadsBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+} // namespace

@@ -8,6 +8,8 @@
 #include "rl/core/race_grid.h"
 #include "rl/core/race_network.h"
 #include "rl/core/wavefront.h"
+#include "rl/pangraph/alignment_graph.h"
+#include "rl/pangraph/graph_aligner.h"
 #include "rl/systolic/lipton_lopresti.h"
 #include "rl/tech/area_model.h"
 #include "rl/tech/energy_model.h"
@@ -39,6 +41,14 @@ struct RaceEngine::Plan {
 
     /** Lipton-Lopresti array (Systolic backend). */
     std::unique_ptr<systolic::LiptonLoprestiArray> array;
+
+    /**
+     * Planned pangenome (GraphAlign only): the compiled
+     * character-level graph plus the converted matrix.  Reads are
+     * runtime inputs, so one aligner serves every read -- and its
+     * align() is const, so parallel batches share it safely.
+     */
+    std::shared_ptr<pangraph::GraphAligner> graphAligner;
 
     /** Per-cell gate inventory (estimates; measured once per plan). */
     std::array<size_t, circuit::kGateTypeCount> cellInventory{};
@@ -150,6 +160,15 @@ RaceEngine::clearPlanCache()
 std::shared_ptr<RaceEngine::Plan>
 RaceEngine::buildPlan(const RaceProblem &problem)
 {
+    if (problem.kind == ProblemKind::GraphAlign) {
+        auto plan = std::make_shared<Plan>();
+        plan->input = *problem.matrix;
+        plan->graphAligner = std::make_shared<pangraph::GraphAligner>(
+            problem.vgraph, *problem.matrix, problem.lambda);
+        ++statistics.plansBuilt;
+        return plan;
+    }
+
     auto plan = std::make_shared<Plan>();
     plan->rows = problem.a->size();
     plan->cols = problem.b->size();
@@ -180,7 +199,7 @@ RaceEngine::buildPlan(const RaceProblem &problem)
 }
 
 std::shared_ptr<RaceEngine::Plan>
-RaceEngine::planFor(const RaceProblem &problem)
+RaceEngine::planFor(const RaceProblem &problem, bool recordHit)
 {
     if (cfg.planCacheCapacity == 0)
         return buildPlan(problem);
@@ -188,14 +207,24 @@ RaceEngine::planFor(const RaceProblem &problem)
     std::string key = problem.shapeKey();
     auto found = index.find(key);
     if (found != index.end()) {
-        // The key carries a 64-bit matrix fingerprint; confirm the
+        // The key carries 64-bit content fingerprints; confirm the
         // match exactly so a hash collision can never hand back the
         // wrong fabric.  A collision falls through to an uncached
-        // fresh plan (the slot keeps its original owner).
-        if (sameMatrix(*problem.matrix,
-                       *found->second->second->input)) {
+        // fresh plan (the slot keeps its original owner).  GraphAlign
+        // keys additionally embed the graph topology, re-verified
+        // structurally here.
+        const Plan &cached = *found->second->second;
+        const bool graphKind = problem.kind == ProblemKind::GraphAlign;
+        bool match = graphKind == (cached.graphAligner != nullptr) &&
+                     sameMatrix(*problem.matrix, *cached.input);
+        if (match && graphKind)
+            match = problem.vgraph == cached.graphAligner->graphPtr() ||
+                    pangraph::sameTopology(*problem.vgraph,
+                                           cached.graphAligner->graph());
+        if (match) {
             lru.splice(lru.begin(), lru, found->second);
-            ++statistics.planCacheHits;
+            if (recordHit)
+                ++statistics.planCacheHits;
             return lru.front().second;
         }
         return buildPlan(problem);
@@ -226,6 +255,8 @@ RaceEngine::solve(const RaceProblem &problem)
         return solveDagPath(problem);
     case ProblemKind::AffineAlignment:
         return solveAffine(problem);
+    case ProblemKind::GraphAlign:
+        return solveGraphAlign(problem);
     }
     rl_assert(false, "unknown problem kind");
     return RaceResult{};
@@ -552,12 +583,134 @@ RaceEngine::solveAffine(const RaceProblem &problem)
     return result;
 }
 
+RaceResult
+RaceEngine::raceGraphBehavioral(
+    const RaceProblem &problem, const Plan &plan,
+    const pangraph::AlignmentGraph *product) const
+{
+    const pangraph::GraphAligner &aligner = *plan.graphAligner;
+    // A problem-level threshold marks a read-mapping screen; the
+    // engine-wide threshold only gates acceptance after a full race.
+    const bool screening = problem.threshold != bio::kScoreInfinity;
+    const bio::Score threshold =
+        screening ? problem.threshold : cfg.threshold;
+    const bool bounded = screening && cfg.earlyTerminate;
+    const sim::Tick horizon = bounded
+                                  ? static_cast<sim::Tick>(threshold)
+                                  : sim::kTickInfinity;
+
+    pangraph::GraphRaceResult raced =
+        product ? aligner.align(*product, horizon)
+                : aligner.align(*problem.a, horizon);
+
+    RaceResult result;
+    result.kind = ProblemKind::GraphAlign;
+    result.backend = cfg.backend;
+    result.nodes = raced.nodes;
+    result.completed = raced.completed;
+    result.racedCost = raced.racedCost;
+    result.latencyCycles = raced.latencyCycles;
+    result.events = raced.events;
+    result.cellsFired = raced.cellsFired;
+    result.nodeArrival = std::move(raced.arrival);
+
+    applyThresholdVerdict(threshold, result);
+    if (screening && !result.accepted) {
+        // The Section 6 screening contract: an aborted race reveals
+        // only that the distance exceeds the threshold.  Rejected
+        // reads also carry no mapping detail -- graphMapping() needs
+        // a completed race, and retaining the product arrival vector
+        // would make screening batches scale as reads x product
+        // size.
+        result.completed = false;
+        result.score = bio::kScoreInfinity;
+        result.nodeArrival.clear();
+        result.nodeArrival.shrink_to_fit();
+    } else {
+        result.score = raced.score;
+    }
+
+    if (cfg.withEstimates) {
+        HardwareEstimate est;
+        est.wallTimeNs = raceWallNs(*cfg.library, result.cyclesUsed);
+        result.estimate = est;
+    }
+    return result;
+}
+
+RaceResult
+RaceEngine::solveGraphAlign(const RaceProblem &problem)
+{
+    rl_assert(cfg.backend != BackendKind::Systolic,
+              "the systolic baseline only aligns linear strings; race "
+              "graph alignments on the behavioral or gate-level "
+              "backend");
+
+    std::shared_ptr<Plan> plan = planFor(problem);
+
+    if (cfg.backend != BackendKind::GateLevel)
+        return raceGraphBehavioral(problem, *plan);
+
+    // Build the product DAG once -- materialization dominates the
+    // per-read cost -- and share it between the behavioral race and
+    // fabric synthesis: the product raced IS the product synthesized
+    // (Fig. 3b, one OR gate per state, DFF chains per edit weight),
+    // replayed on the compiled levelized simulator and cross-checked
+    // at the sink.
+    const pangraph::GraphAligner &aligner = *plan->graphAligner;
+    pangraph::AlignmentGraph product = pangraph::buildAlignmentGraph(
+        aligner.compiled(), *problem.a, aligner.costs());
+    RaceResult result = raceGraphBehavioral(problem, *plan, &product);
+    core::RaceCircuit compiled = core::compileRaceCircuit(
+        product.dag, {product.source}, core::RaceType::Or);
+    circuit::CompiledSim sim(compiled.netlist);
+    for (circuit::NetId input : compiled.sourceInputs)
+        sim.setInput(input, true);
+    const bool screening = problem.threshold != bio::kScoreInfinity;
+    const uint64_t budget =
+        result.completed
+            ? static_cast<uint64_t>(result.racedCost) + 4
+            : std::max<uint64_t>(
+                  static_cast<uint64_t>(problem.threshold), 1);
+    auto gateArrival =
+        sim.runUntil(compiled.nodeNets[product.sink], true, budget);
+    if (result.completed) {
+        rl_assert(gateArrival.has_value() &&
+                      static_cast<bio::Score>(*gateArrival) ==
+                          result.racedCost,
+                  "gate-level graph race disagrees with the "
+                  "wavefront kernel at the sink");
+    } else {
+        // The behavioral race aborted at its horizon; the budget
+        // floor of 1 (threshold 0) can still let the sink fire --
+        // but only past the threshold.
+        rl_assert(screening &&
+                      (!gateArrival.has_value() ||
+                       static_cast<bio::Score>(*gateArrival) >
+                           problem.threshold),
+                  "gate-level graph race completed under a "
+                  "threshold the behavioral race aborted at");
+    }
+    if (cfg.withEstimates && result.estimate) {
+        const tech::CellLibrary &lib = *cfg.library;
+        auto counts = compiled.netlist.typeCounts();
+        result.estimate->areaUm2 = lib.areaOfInventory(counts);
+        result.estimate->energyJ =
+            tech::energyFromActivityJ(lib, sim.activity());
+        result.estimate->gateCount = compiled.netlist.gateCount();
+        result.estimate->dffCount =
+            counts[static_cast<size_t>(circuit::GateType::Dff)];
+    }
+    return result;
+}
+
 namespace {
 
 /**
  * A batch is "screening-shaped" when every problem races one shared
- * cost matrix and query string: exactly the workload the core::batch
- * fabric pool schedules.
+ * fabric against varying runtime inputs: one cost matrix and query
+ * over a candidate database, or one pangenome plan over a read set.
+ * Exactly the workloads the core::batch fabric pool schedules.
  */
 bool
 screeningShaped(const std::vector<RaceProblem> &problems)
@@ -565,6 +718,16 @@ screeningShaped(const std::vector<RaceProblem> &problems)
     if (problems.empty())
         return false;
     const RaceProblem &first = problems.front();
+    if (first.kind == ProblemKind::GraphAlign) {
+        for (const RaceProblem &p : problems) {
+            if (p.kind != ProblemKind::GraphAlign)
+                return false;
+            if (p.vgraph != first.vgraph ||
+                !sameMatrix(*p.matrix, *first.matrix))
+                return false;
+        }
+        return true;
+    }
     if (!first.matrix || !first.matrix->isCost() || !first.a)
         return false;
     for (const RaceProblem &p : problems) {
@@ -584,6 +747,13 @@ gridFamilyKind(ProblemKind kind)
     return kind == ProblemKind::PairwiseAlignment ||
            kind == ProblemKind::GeneralizedAlignment ||
            kind == ProblemKind::ThresholdScreen;
+}
+
+/** Kinds whose plan supports the acquire-then-race batch pattern. */
+bool
+planFamilyKind(ProblemKind kind)
+{
+    return gridFamilyKind(kind) || kind == ProblemKind::GraphAlign;
 }
 
 } // namespace
@@ -725,19 +895,30 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
                     [](const RaceProblem &p) {
                         return gridFamilyKind(p.kind);
                     });
+    // Grid and graph batches share the acquire-then-race pattern;
+    // each problem's plan is cached main-thread state, the race body
+    // is const.
+    const bool planFamily =
+        !problems.empty() &&
+        std::all_of(problems.begin(), problems.end(),
+                    [](const RaceProblem &p) {
+                        return planFamilyKind(p.kind);
+                    });
     // GateLevel batches are replayed on the fabric in 64-wide
-    // bit-parallel chunks -- worthwhile even on one thread.
+    // bit-parallel chunks -- worthwhile even on one thread.  (Graph
+    // product fabrics are per-read, so they stay on the serial
+    // gate-level path below.)
     const bool lanePacked = gridFamily && problems.size() > 1 &&
                             cfg.backend == BackendKind::GateLevel;
     const bool parallel =
-        batchWorkerCount() > 1 && problems.size() > 1 && gridFamily &&
+        batchWorkerCount() > 1 && problems.size() > 1 && planFamily &&
         (cfg.backend == BackendKind::Behavioral || lanePacked);
 
     if (parallel || lanePacked) {
         // Acquire every plan serially first -- the plan cache and
         // statistics are main-thread state -- then race on the pool.
-        // raceGridBehavioral() is const and each body writes only its
-        // own slot, so the results are bit-identical to a serial run
+        // The race bodies are const and each writes only its own
+        // slot, so the results are bit-identical to a serial run
         // regardless of the thread schedule.
         std::vector<std::shared_ptr<Plan>> plans;
         plans.reserve(problems.size());
@@ -745,17 +926,18 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
             plans.push_back(planFor(problem));
         statistics.solves += problems.size();
         outcome.results.resize(problems.size());
+        auto raceOne = [&](size_t i) {
+            outcome.results[i] =
+                problems[i].kind == ProblemKind::GraphAlign
+                    ? raceGraphBehavioral(problems[i], *plans[i])
+                    : raceGridBehavioral(problems[i], *plans[i]);
+        };
         if (parallel) {
             ++statistics.parallelBatches;
-            threadPool().parallelFor(
-                problems.size(), [&](size_t i) {
-                    outcome.results[i] =
-                        raceGridBehavioral(problems[i], *plans[i]);
-                });
+            threadPool().parallelFor(problems.size(), raceOne);
         } else {
             for (size_t i = 0; i < problems.size(); ++i)
-                outcome.results[i] =
-                    raceGridBehavioral(problems[i], *plans[i]);
+                raceOne(i);
         }
         if (lanePacked)
             raceBatchGateLevel(problems, plans, outcome.results);
@@ -794,6 +976,38 @@ RaceEngine::screen(const bio::ScoreMatrix &costs, bio::Score threshold,
     for (const bio::Sequence &candidate : database)
         problems.push_back(RaceProblem::thresholdScreen(
             costs, threshold, query, candidate));
+    return solveBatch(problems);
+}
+
+pangraph::GraphMapping
+RaceEngine::graphMapping(const RaceProblem &problem,
+                         const RaceResult &result)
+{
+    rl_assert(problem.kind == ProblemKind::GraphAlign,
+              "graphMapping() reconstructs GraphAlign solves only");
+    rl_assert(result.completed && !result.nodeArrival.empty(),
+              "graphMapping() needs a completed race with arrival "
+              "detail (accepted reads only)");
+    // An auxiliary lookup, not a solve: cache hits are not counted,
+    // and if the plan was evicted (or caching is off) it is rebuilt
+    // transparently -- plansBuilt then reports that honestly.
+    std::shared_ptr<Plan> plan = planFor(problem, /*recordHit=*/false);
+    const pangraph::GraphAligner &aligner = *plan->graphAligner;
+    return pangraph::mappingFromArrival(aligner.compiled(), *problem.a,
+                                        aligner.costs(),
+                                        result.nodeArrival);
+}
+
+BatchOutcome
+RaceEngine::mapReads(std::shared_ptr<const pangraph::VariationGraph> graph,
+                     const bio::ScoreMatrix &costs, bio::Score threshold,
+                     const std::vector<bio::Sequence> &reads)
+{
+    std::vector<RaceProblem> problems;
+    problems.reserve(reads.size());
+    for (const bio::Sequence &read : reads)
+        problems.push_back(
+            RaceProblem::graphAlign(costs, read, graph, threshold));
     return solveBatch(problems);
 }
 

@@ -40,6 +40,7 @@
 #include "rl/api/problem.h"
 #include "rl/api/result.h"
 #include "rl/core/batch.h"
+#include "rl/pangraph/mapping.h"
 #include "rl/util/thread_pool.h"
 
 namespace racelogic::api {
@@ -109,12 +110,14 @@ class RaceEngine
      * Solve a batch of problems, reusing cached plans across them.
      *
      * On the Behavioral backend, grid-family batches (pairwise /
-     * generalized alignment, threshold screens) are raced in parallel
-     * on the engine's util::ThreadPool (EngineConfig::workerThreads);
-     * results come back in input order, bit-identical to a serial
-     * run.  Screening-shaped batches are additionally dispatched onto
-     * the core::batch fabric pool (fabricCount, resetCycles,
-     * threshold from the config) to model a multi-fabric deployment.
+     * generalized alignment, threshold screens) and graph-align
+     * batches (reads against cached pangenome plans) are raced in
+     * parallel on the engine's util::ThreadPool
+     * (EngineConfig::workerThreads); results come back in input
+     * order, bit-identical to a serial run.  Screening-shaped
+     * batches are additionally dispatched onto the core::batch
+     * fabric pool (fabricCount, resetCycles, threshold from the
+     * config) to model a multi-fabric deployment.
      *
      * On the GateLevel backend, grid-family batches are raced
      * behaviorally the same way and then replayed on the synthesized
@@ -136,6 +139,30 @@ class RaceEngine
                         bio::Score threshold, const bio::Sequence &query,
                         const std::vector<bio::Sequence> &database);
 
+    /**
+     * Convenience: map `reads` against one pangenome over race-ready
+     * `costs`.  A finite `threshold` aborts each race at that cycle
+     * (Section 6 read-mapping screen); all reads share one cached
+     * graph plan and, on the Behavioral backend, race in parallel on
+     * the thread pool with results bit-identical to a serial run.
+     */
+    BatchOutcome mapReads(
+        std::shared_ptr<const pangraph::VariationGraph> graph,
+        const bio::ScoreMatrix &costs, bio::Score threshold,
+        const std::vector<bio::Sequence> &reads);
+
+    /**
+     * Reconstruct the (walk, CIGAR) mapping of a completed
+     * GraphAlign solve from the arrival times already raced -- no
+     * re-race; the traceback walks the cached plan's compiled view
+     * (rebuilt transparently if the plan was evicted or caching is
+     * disabled).  Plan-cache statistics are not perturbed.
+     * `problem` must be the GraphAlign problem that produced
+     * `result` (accepted, so its sink fired).
+     */
+    pangraph::GraphMapping graphMapping(const RaceProblem &problem,
+                                        const RaceResult &result);
+
     const EngineConfig &config() const { return cfg; }
     const EngineStats &stats() const { return statistics; }
 
@@ -148,14 +175,21 @@ class RaceEngine
   private:
     struct Plan;
 
-    /** Fetch or build the plan for a grid-family problem. */
-    std::shared_ptr<Plan> planFor(const RaceProblem &problem);
+    /**
+     * Fetch or build the plan for a grid-family or graph problem.
+     * `recordHit` = false skips the planCacheHits counter: auxiliary
+     * lookups (graphMapping traceback) must not inflate the solve
+     * statistics.
+     */
+    std::shared_ptr<Plan> planFor(const RaceProblem &problem,
+                                  bool recordHit = true);
     std::shared_ptr<Plan> buildPlan(const RaceProblem &problem);
 
     RaceResult solveGridFamily(const RaceProblem &problem);
     RaceResult solveDtw(const RaceProblem &problem);
     RaceResult solveDagPath(const RaceProblem &problem);
     RaceResult solveAffine(const RaceProblem &problem);
+    RaceResult solveGraphAlign(const RaceProblem &problem);
 
     /**
      * The Behavioral race of one grid-family problem on an acquired
@@ -165,6 +199,18 @@ class RaceEngine
      */
     RaceResult raceGridBehavioral(const RaceProblem &problem,
                                   const Plan &plan) const;
+
+    /**
+     * The Behavioral race of one GraphAlign problem on an acquired
+     * plan (the cached pangraph::GraphAligner); const and
+     * allocation-local for the same parallel-batch reason.
+     * `product` shares an already-built product DAG (the GateLevel
+     * path builds it once for both the race and synthesis); null
+     * builds per call.
+     */
+    RaceResult raceGraphBehavioral(
+        const RaceProblem &problem, const Plan &plan,
+        const pangraph::AlignmentGraph *product = nullptr) const;
 
     /**
      * Replay an already-raced grid-family batch on the synthesized

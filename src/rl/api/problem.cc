@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "rl/util/fnv.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::api {
@@ -16,23 +17,14 @@ problemKindName(ProblemKind kind)
     case ProblemKind::DagPath: return "dag-path";
     case ProblemKind::GeneralizedAlignment: return "generalized-alignment";
     case ProblemKind::ThresholdScreen: return "threshold-screen";
+    case ProblemKind::GraphAlign: return "graph-align";
     }
     return "unknown";
 }
 
 namespace {
 
-/** Incremental FNV-1a over 64-bit words. */
-struct Fnv {
-    uint64_t h = 1469598103934665603ull;
-
-    void
-    mix(uint64_t v)
-    {
-        h ^= v;
-        h *= 1099511628211ull;
-    }
-};
+using util::Fnv;
 
 /** FNV-1a over the full matrix contents: the hardware identity of a
  *  score matrix (two fabrics are interchangeable iff this matches). */
@@ -184,6 +176,27 @@ RaceProblem::thresholdScreen(bio::ScoreMatrix costs, bio::Score threshold,
     return p;
 }
 
+RaceProblem
+RaceProblem::graphAlign(bio::ScoreMatrix matrix, bio::Sequence read,
+                        std::shared_ptr<const pangraph::VariationGraph> graph,
+                        bio::Score threshold, bio::Score lambda)
+{
+    rl_assert(graph != nullptr, "graph alignment needs a graph");
+    rl_assert(threshold == bio::kScoreInfinity ||
+                  (threshold >= 0 && matrix.isCost()),
+              "graph-align thresholds are race-cycle budgets over "
+              "Cost-kind matrices");
+    rl_assert(lambda >= 1, "lambda must be a positive integer scale");
+    RaceProblem p;
+    p.kind = ProblemKind::GraphAlign;
+    p.matrix = std::move(matrix);
+    p.a = std::move(read);
+    p.vgraph = std::move(graph);
+    p.threshold = threshold;
+    p.lambda = lambda;
+    return p;
+}
+
 std::string
 RaceProblem::shapeKey() const
 {
@@ -221,6 +234,16 @@ RaceProblem::shapeKey() const
             << '/' << std::hex << dagFingerprint(*dag, sources)
             << std::dec << '/' << sink << '/'
             << (objective == graph::Objective::Shortest ? "min" : "max");
+        break;
+    case ProblemKind::GraphAlign:
+        // The plan compiles the pangenome's character-level view and
+        // the converted matrix; the read is a runtime input and the
+        // threshold a cycle budget, so neither is part of the key --
+        // one loaded graph serves every read.
+        key << '/' << vgraph->segmentCount() << 's'
+            << vgraph->linkCount() << 'l' << '/' << std::hex
+            << vgraph->fingerprint() << ':' << matrixFingerprint(*matrix)
+            << std::dec << '/' << lambda;
         break;
     }
     return key.str();

@@ -7,7 +7,8 @@
  * many dynamic programs compile onto.  The API layer makes that
  * concrete: every supported workload -- pairwise alignment, affine-gap
  * alignment, dynamic time warping, DAG shortest/longest path,
- * generalized score-matrix DP, and threshold screening -- is expressed
+ * generalized score-matrix DP, threshold screening, and
+ * sequence-to-graph (pangenome) alignment -- is expressed
  * as one RaceProblem value and handed to api::RaceEngine.  Problem
  * construction performs no work; planning and execution happen inside
  * the engine, where same-shape problems share a synthesized fabric.
@@ -16,6 +17,7 @@
 #ifndef RACELOGIC_API_PROBLEM_H
 #define RACELOGIC_API_PROBLEM_H
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "rl/bio/sequence.h"
 #include "rl/graph/dag.h"
 #include "rl/graph/paths.h"
+#include "rl/pangraph/variation_graph.h"
 
 namespace racelogic::api {
 
@@ -37,6 +40,7 @@ enum class ProblemKind {
     DagPath,               ///< shortest/longest path on an arbitrary DAG
     GeneralizedAlignment,  ///< Section 5 similarity-matrix DP (lambda)
     ThresholdScreen,       ///< Section 6 early-termination screening
+    GraphAlign,            ///< read vs. pangenome variation graph
 };
 
 /** Human-readable kind name ("pairwise-alignment", ...). */
@@ -75,6 +79,13 @@ struct RaceProblem {
     graph::NodeId sink = graph::kNoNode;
     graph::Objective objective = graph::Objective::Shortest;
     /** @} */
+
+    /**
+     * GraphAlign only: the pangenome, shared so one loaded graph
+     * serves many read problems without copying (and so the plan
+     * cache can key on its topology, not the read).
+     */
+    std::shared_ptr<const pangraph::VariationGraph> vgraph;
 
     /**
      * Global alignment of (a, b) over `matrix`.  Cost matrices race
@@ -125,6 +136,22 @@ struct RaceProblem {
                                        bio::Score threshold,
                                        bio::Sequence query,
                                        bio::Sequence candidate);
+
+    /**
+     * Sequence-to-graph alignment: race `read` against a validated
+     * acyclic variation graph.  Cost matrices race directly;
+     * Similarity matrices are converted via Section 5 (`lambda`
+     * scale) and require a rank-balanced graph.  A finite
+     * `threshold` turns the solve into a Section 6 read-mapping
+     * screen: the race aborts once `threshold` cycles elapse and the
+     * read is rejected.  The engine caches one plan per (graph
+     * topology, matrix) -- reads are runtime inputs.
+     */
+    static RaceProblem graphAlign(
+        bio::ScoreMatrix matrix, bio::Sequence read,
+        std::shared_ptr<const pangraph::VariationGraph> graph,
+        bio::Score threshold = bio::kScoreInfinity,
+        bio::Score lambda = 1);
 
     /**
      * The fabric-shape cache key of this problem: problems with equal

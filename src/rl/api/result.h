@@ -92,8 +92,13 @@ struct RaceResult {
     util::Grid<sim::Tick> arrival;
 
     /**
-     * DAG-problem detail (Dtw / DagPath / AffineAlignment): firing
-     * time of every node.  Empty for grid kinds.
+     * DAG-problem detail (Dtw / DagPath / AffineAlignment /
+     * GraphAlign): firing time of every node.  For GraphAlign this
+     * is the product DAG in AlignmentGraph::node() layout --
+     * RaceEngine::graphMapping() reconstructs the (walk, CIGAR)
+     * mapping from it without re-racing; rejected screening reads
+     * drop it (no mapping exists, and screening batches must not
+     * scale as reads x product size).  Empty for grid kinds.
      */
     std::vector<core::TemporalValue> nodeArrival;
 

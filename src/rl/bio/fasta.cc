@@ -21,6 +21,11 @@ readFasta(std::istream &in, const Alphabet &alphabet)
 
     auto flush = [&] {
         if (in_record) {
+            if (symbols.empty())
+                rl_fatal("FASTA record '", description,
+                         "' has no sequence data; empty records are "
+                         "almost always a truncated or corrupted "
+                         "file");
             records.push_back(FastaRecord{
                 description, Sequence(alphabet, symbols)});
             symbols.clear();
@@ -42,16 +47,10 @@ readFasta(std::istream &in, const Alphabet &alphabet)
         if (!in_record)
             rl_fatal("FASTA line ", line_no,
                      ": sequence data before any '>' header");
-        for (char ch : trimmed) {
-            if (std::isspace(static_cast<unsigned char>(ch)))
-                continue;
-            char upper = static_cast<char>(
-                std::toupper(static_cast<unsigned char>(ch)));
-            if (!alphabet.contains(upper))
-                rl_fatal("FASTA line ", line_no, ": letter '", ch,
-                         "' not in alphabet ", alphabet.letters());
-            symbols.push_back(alphabet.encode(upper));
-        }
+        std::vector<Symbol> chunk = Sequence::encodeFolded(
+            alphabet, trimmed,
+            "FASTA line " + std::to_string(line_no));
+        symbols.insert(symbols.end(), chunk.begin(), chunk.end());
     }
     flush();
     return records;
@@ -72,12 +71,14 @@ writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
 {
     rl_assert(width >= 1, "line width must be >= 1");
     for (const FastaRecord &record : records) {
+        if (record.sequence.empty())
+            rl_fatal("refusing to write empty FASTA record '",
+                     record.description,
+                     "'; the reader rejects such files");
         out << '>' << record.description << '\n';
         std::string text = record.sequence.str();
         for (size_t pos = 0; pos < text.size(); pos += width)
             out << text.substr(pos, width) << '\n';
-        if (text.empty())
-            out << '\n';
     }
 }
 

@@ -28,8 +28,11 @@ struct FastaRecord {
 /**
  * Parse FASTA records from a stream over the given alphabet.
  *
- * fatal() on letters outside the alphabet or on malformed input
- * (sequence data before any '>' header).
+ * Tolerant of real-world inputs: CRLF line endings, lowercase bases
+ * (folded to upper), blank lines, and whitespace inside sequence
+ * lines.  fatal() on letters outside the alphabet and on malformed
+ * input: sequence data before any '>' header, or a record with no
+ * sequence data at all (almost always a truncated file).
  */
 std::vector<FastaRecord> readFasta(std::istream &in,
                                    const Alphabet &alphabet);
@@ -38,7 +41,11 @@ std::vector<FastaRecord> readFasta(std::istream &in,
 std::vector<FastaRecord> readFastaFile(const std::string &path,
                                        const Alphabet &alphabet);
 
-/** Write records, wrapping sequence lines at `width` letters. */
+/**
+ * Write records, wrapping sequence lines at `width` letters.
+ * fatal() on an empty-sequence record: the reader rejects such
+ * files, so the writer refuses to produce them.
+ */
 void writeFasta(std::ostream &out,
                 const std::vector<FastaRecord> &records,
                 size_t width = 60);

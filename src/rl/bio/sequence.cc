@@ -1,5 +1,7 @@
 #include "rl/bio/sequence.h"
 
+#include <cctype>
+
 #include "rl/util/logging.h"
 
 namespace racelogic::bio {
@@ -25,6 +27,25 @@ Sequence::random(util::Rng &rng, const Alphabet &alphabet, size_t length)
     for (size_t i = 0; i < length; ++i)
         symbols[i] = static_cast<Symbol>(rng.index(alphabet.size()));
     return Sequence(alphabet, std::move(symbols));
+}
+
+std::vector<Symbol>
+Sequence::encodeFolded(const Alphabet &alphabet, const std::string &text,
+                       const std::string &where)
+{
+    std::vector<Symbol> symbols;
+    symbols.reserve(text.size());
+    for (char ch : text) {
+        if (std::isspace(static_cast<unsigned char>(ch)))
+            continue;
+        char upper = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(ch)));
+        if (!alphabet.contains(upper))
+            rl_fatal(where, ": letter '", ch, "' not in alphabet ",
+                     alphabet.letters());
+        symbols.push_back(alphabet.encode(upper));
+    }
+    return symbols;
 }
 
 Symbol

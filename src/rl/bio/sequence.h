@@ -39,6 +39,17 @@ class Sequence
     static Sequence random(util::Rng &rng, const Alphabet &alphabet,
                            size_t length);
 
+    /**
+     * Encode a text chunk from a real-world file: ASCII whitespace
+     * skipped, lowercase folded to upper, fatal() (prefixed with
+     * `where`, e.g. "FASTA line 12") on letters outside the
+     * alphabet.  The one folding rule shared by every sequence
+     * parser (FASTA, GFA), so format front ends cannot drift apart.
+     */
+    static std::vector<Symbol> encodeFolded(const Alphabet &alphabet,
+                                            const std::string &text,
+                                            const std::string &where);
+
     size_t size() const { return symbols_.size(); }
     bool empty() const { return symbols_.empty(); }
 

@@ -1,0 +1,140 @@
+#include "rl/pangraph/alignment_graph.h"
+
+#include "rl/util/logging.h"
+
+namespace racelogic::pangraph {
+
+CompiledGraph
+compileGraph(const VariationGraph &graph)
+{
+    graph.validate();
+
+    CompiledGraph out;
+    const size_t segs = graph.segmentCount();
+    out.charCount = graph.totalLabelLength();
+    const size_t positions = out.positionCount();
+
+    out.symbol.assign(positions, 0);
+    out.segmentOf.assign(positions, kNoSegment);
+    out.terminal.assign(positions, false);
+    out.firstChar.resize(segs);
+    out.lastChar.resize(segs);
+
+    // Characters numbered consecutively by segment id, then offset.
+    CharPos next = 1;
+    for (SegmentId id = 0; id < segs; ++id) {
+        const bio::Sequence &label = graph.segment(id).label;
+        out.firstChar[id] = next;
+        for (size_t k = 0; k < label.size(); ++k, ++next) {
+            out.symbol[next] = label[k];
+            out.segmentOf[next] = id;
+        }
+        out.lastChar[id] = next - 1;
+        if (graph.outLinks(id).empty())
+            out.terminal[out.lastChar[id]] = true;
+    }
+    rl_assert(next == positions, "character numbering drifted");
+
+    // Successor counts, then a prefix-sum fill (CSR construction).
+    std::vector<uint32_t> degree(positions, 0);
+    auto eachSuccessor = [&](auto &&emit) {
+        for (SegmentId id : graph.sources())
+            emit(CharPos(0), out.firstChar[id]);
+        for (SegmentId id = 0; id < segs; ++id) {
+            for (CharPos c = out.firstChar[id]; c < out.lastChar[id];
+                 ++c)
+                emit(c, c + 1);
+            for (SegmentId to : graph.outLinks(id))
+                emit(out.lastChar[id], out.firstChar[to]);
+        }
+    };
+    eachSuccessor([&](CharPos from, CharPos) { ++degree[from]; });
+    out.succOffsets.assign(positions + 1, 0);
+    for (size_t p = 0; p < positions; ++p)
+        out.succOffsets[p + 1] = out.succOffsets[p] + degree[p];
+    out.succ.resize(out.succOffsets.back());
+    std::vector<uint32_t> cursor(out.succOffsets.begin(),
+                                 out.succOffsets.end() - 1);
+    eachSuccessor([&](CharPos from, CharPos to) {
+        out.succ[cursor[from]++] = to;
+    });
+
+    // Predecessor CSR, mirrored from the successor list.
+    std::vector<uint32_t> inDegree(positions, 0);
+    for (CharPos to : out.succ)
+        ++inDegree[to];
+    out.predOffsets.assign(positions + 1, 0);
+    for (size_t p = 0; p < positions; ++p)
+        out.predOffsets[p + 1] = out.predOffsets[p] + inDegree[p];
+    out.pred.resize(out.predOffsets.back());
+    cursor.assign(out.predOffsets.begin(), out.predOffsets.end() - 1);
+    for (size_t p = 0; p < positions; ++p)
+        for (uint32_t e = out.succOffsets[p]; e < out.succOffsets[p + 1];
+             ++e)
+            out.pred[cursor[out.succ[e]]++] =
+                static_cast<CharPos>(p);
+
+    return out;
+}
+
+AlignmentGraph
+buildAlignmentGraph(const CompiledGraph &compiled,
+                    const bio::Sequence &read,
+                    const bio::ScoreMatrix &costs)
+{
+    rl_assert(costs.isCost(), "graph alignment races a Cost-kind matrix");
+    rl_assert(read.alphabet() == costs.alphabet(),
+              "read and matrix use different alphabets");
+
+    const size_t m = read.size();
+    const size_t positions = compiled.positionCount();
+
+    // The same fail-at-plan-time courtesy GraphAligner extends to
+    // weights: reject products that overflow the 32-bit node-id
+    // space instead of silently wrapping ids deep in the kernel.
+    const size_t states = (m + 1) * positions + 1;
+    if (states >= static_cast<size_t>(graph::kNoNode))
+        rl_fatal("product DAG of a ", m, " bp read x ", positions,
+                 " graph positions has ", states,
+                 " states, exceeding the 32-bit node-id space; split "
+                 "the pangenome or map shorter reads");
+
+    AlignmentGraph out;
+    out.readLength = m;
+    out.positionCount = positions;
+    out.dag.addNodes(states);
+    out.source = out.node(0, 0);
+    out.sink = static_cast<graph::NodeId>((m + 1) * positions);
+
+    // Per-read-symbol gap weights, hoisted out of the product sweep.
+    std::vector<bio::Score> gapRead(m);
+    for (size_t j = 0; j < m; ++j)
+        gapRead[j] = costs.gap(read[j]);
+
+    for (size_t j = 0; j <= m; ++j) {
+        for (CharPos p = 0; p < positions; ++p) {
+            const graph::NodeId here = out.node(j, p);
+            if (j < m) // consume read[j] against a gap (insertion)
+                out.dag.addEdge(here, out.node(j + 1, p), gapRead[j]);
+            for (uint32_t e = compiled.succOffsets[p];
+                 e < compiled.succOffsets[p + 1]; ++e) {
+                const CharPos q = compiled.succ[e];
+                const bio::Symbol sym = compiled.symbol[q];
+                // Consume graph char q against a gap (deletion).
+                out.dag.addEdge(here, out.node(j, q), costs.gap(sym));
+                if (j < m) {
+                    bio::Score w = costs.pair(read[j], sym);
+                    if (w != bio::kScoreInfinity)
+                        out.dag.addEdge(here, out.node(j + 1, q), w);
+                }
+            }
+            // A terminal character with the read fully consumed ends
+            // the alignment: a zero-weight wire into the sink OR gate.
+            if (j == m && p > 0 && compiled.terminal[p])
+                out.dag.addEdge(here, out.sink, 0);
+        }
+    }
+    return out;
+}
+
+} // namespace racelogic::pangraph

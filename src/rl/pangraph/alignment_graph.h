@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The (read x graph) product edit DAG.
+ *
+ * Sequence-to-graph alignment is the paper's recurrence with one
+ * axis generalized: instead of the j-th character of a second string,
+ * a DP state consumes the next character along *some walk* of the
+ * variation graph.  Expanding every segment label into its character
+ * positions yields a character-level DAG; the product of (read
+ * prefix 0..m) x (character positions) is an edit DAG whose
+ * shortest source-to-sink path is exactly the graph alignment
+ * distance -- so it races on the same OR-gate/delay-chain fabric as
+ * the pairwise edit graph (Section 3), and the bucketed wavefront
+ * kernel (rl/core/wavefront.h) sweeps it through graph::Dag's CSR
+ * view.
+ *
+ * Two layers are split deliberately:
+ *
+ *  - CompiledGraph is the read-independent half: character symbols,
+ *    the successor/predecessor CSR over positions, and terminal
+ *    flags.  One compile serves every read, which is what the api
+ *    plan cache stores per pangenome.
+ *  - buildAlignmentGraph() stamps a read onto the compiled graph,
+ *    producing the product graph::Dag plus its node layout.
+ */
+
+#ifndef RACELOGIC_PANGRAPH_ALIGNMENT_GRAPH_H
+#define RACELOGIC_PANGRAPH_ALIGNMENT_GRAPH_H
+
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/graph/dag.h"
+#include "rl/pangraph/variation_graph.h"
+
+namespace racelogic::pangraph {
+
+/** The read-independent character-level view of a variation graph. */
+struct CompiledGraph {
+    /** Symbol at each character position (index 0 unused). */
+    std::vector<bio::Symbol> symbol;
+
+    /** Owning segment of each character position (index 0 unused). */
+    std::vector<SegmentId> segmentOf;
+
+    /** First character position of each segment. */
+    std::vector<CharPos> firstChar;
+
+    /** Last character position of each segment. */
+    std::vector<CharPos> lastChar;
+
+    /**
+     * Successor CSR over positions 0..K: succ(0) is the first
+     * character of every source segment; succ(c) is the next
+     * character in the same segment, or the first character of every
+     * successor segment when c ends its label.
+     */
+    std::vector<uint32_t> succOffsets;
+    std::vector<CharPos> succ;
+
+    /** Predecessor CSR over positions 0..K (traceback walks this). */
+    std::vector<uint32_t> predOffsets;
+    std::vector<CharPos> pred;
+
+    /** True iff the position ends a sink segment (alignment may end). */
+    std::vector<bool> terminal;
+
+    /** Character count K (positions are 0..K). */
+    size_t charCount = 0;
+
+    size_t positionCount() const { return charCount + 1; }
+};
+
+/** Expand a validated variation graph into its character-level view. */
+CompiledGraph compileGraph(const VariationGraph &graph);
+
+/**
+ * The product edit DAG of one read against a compiled graph, ready
+ * to race.
+ *
+ * Node layout (the traceback in rl/pangraph/mapping.h relies on it):
+ * state (j, p) -- j read characters consumed, graph character p the
+ * last consumed (p = 0: none yet) -- is node j * positionCount + p;
+ * one extra super-sink node follows, fed by zero-weight edges from
+ * every terminal state (m, p), so the race's sink arrival is the
+ * minimum over all walk endings exactly as an OR gate would take it.
+ */
+struct AlignmentGraph {
+    graph::Dag dag;
+    graph::NodeId source = 0;
+    graph::NodeId sink = 0;
+    size_t readLength = 0;
+    size_t positionCount = 0;
+
+    graph::NodeId
+    node(size_t j, CharPos p) const
+    {
+        return static_cast<graph::NodeId>(j * positionCount + p);
+    }
+};
+
+/**
+ * Stamp `read` onto the compiled graph under a race-ready cost
+ * matrix (Cost kind, all finite weights >= 1; forbidden pairs become
+ * missing substitution edges).
+ *
+ * Edges of state (j, p), for each graph successor q of p:
+ *  - consume graph char q against a gap:   (j, p) -> (j, q),   gap(q)
+ *  - substitute/match read[j] with q:      (j, p) -> (j+1, q), pair
+ *  - consume read[j] against a gap:        (j, p) -> (j+1, p), gap
+ */
+AlignmentGraph buildAlignmentGraph(const CompiledGraph &compiled,
+                                   const bio::Sequence &read,
+                                   const bio::ScoreMatrix &costs);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_ALIGNMENT_GRAPH_H

@@ -1,0 +1,103 @@
+#include "rl/pangraph/generate.h"
+
+#include <string>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::pangraph {
+
+namespace {
+
+bio::Sequence
+randomLabel(util::Rng &rng, const bio::Alphabet &alphabet, size_t lo,
+            size_t hi)
+{
+    return bio::Sequence::random(
+        rng, alphabet,
+        static_cast<size_t>(rng.uniformInt(static_cast<int64_t>(lo),
+                                           static_cast<int64_t>(hi))));
+}
+
+} // namespace
+
+VariationGraph
+randomVariationGraph(util::Rng &rng, const bio::Alphabet &alphabet,
+                     const VariationGraphParams &params)
+{
+    rl_assert(params.backboneSegments >= 1,
+              "need at least one backbone segment");
+    rl_assert(params.minLabel >= 1 && params.minLabel <= params.maxLabel,
+              "label length range must satisfy 1 <= min <= max");
+
+    VariationGraph graph(alphabet);
+    size_t named = 0;
+    auto name = [&] { return "s" + std::to_string(++named); };
+
+    std::vector<SegmentId> backbone;
+    backbone.reserve(params.backboneSegments);
+    for (size_t i = 0; i < params.backboneSegments; ++i)
+        backbone.push_back(graph.addSegment(
+            name(), randomLabel(rng, alphabet, params.minLabel,
+                                params.maxLabel)));
+
+    for (size_t i = 0; i + 1 < backbone.size(); ++i) {
+        const SegmentId from = backbone[i];
+        const SegmentId to = backbone[i + 1];
+        if (rng.bernoulli(params.snpDensity)) {
+            // SNP bubble: two distinct single-base branches.
+            bio::Symbol ref = static_cast<bio::Symbol>(
+                rng.index(alphabet.size()));
+            bio::Symbol alt = static_cast<bio::Symbol>(
+                (ref + 1 + rng.index(alphabet.size() - 1)) %
+                alphabet.size());
+            SegmentId a = graph.addSegment(
+                name(),
+                bio::Sequence(alphabet, std::vector<bio::Symbol>{ref}));
+            SegmentId b = graph.addSegment(
+                name(),
+                bio::Sequence(alphabet, std::vector<bio::Symbol>{alt}));
+            graph.addLink(from, a);
+            graph.addLink(from, b);
+            graph.addLink(a, to);
+            graph.addLink(b, to);
+        } else if (rng.bernoulli(params.insertDensity)) {
+            // Insertion branch: the extra segment is optional.
+            SegmentId ins = graph.addSegment(
+                name(), randomLabel(rng, alphabet, params.minLabel,
+                                    params.maxLabel));
+            graph.addLink(from, ins);
+            graph.addLink(ins, to);
+            graph.addLink(from, to);
+        } else {
+            graph.addLink(from, to);
+        }
+        // Deletion edge: skip the next backbone segment entirely.
+        if (i + 2 < backbone.size() &&
+            rng.bernoulli(params.deleteDensity))
+            graph.addLink(from, backbone[i + 2]);
+    }
+    return graph;
+}
+
+bio::Sequence
+sampleRead(util::Rng &rng, const VariationGraph &graph,
+           const bio::MutationModel &noise)
+{
+    graph.validate();
+    std::vector<SegmentId> sources = graph.sources();
+    SegmentId at = sources[rng.index(sources.size())];
+    std::vector<bio::Symbol> spelled;
+    while (true) {
+        for (bio::Symbol s : graph.segment(at).label.symbols())
+            spelled.push_back(s);
+        const std::vector<SegmentId> &out = graph.outLinks(at);
+        if (out.empty())
+            break;
+        at = out[rng.index(out.size())];
+    }
+    return bio::mutate(
+        rng, bio::Sequence(graph.alphabet(), std::move(spelled)),
+        noise);
+}
+
+} // namespace racelogic::pangraph

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Random variation-graph workloads.
+ *
+ * Property tests check the raced graph alignment against the
+ * graph-NW oracle on many shapes; this generator produces the shapes
+ * real pangenomes exhibit: a linear backbone of 1..64 nt segments
+ * decorated with SNP bubbles (two single-base branches), insertion
+ * branches (an optional extra segment), and deletion edges (a link
+ * skipping a backbone segment).  tools/make_gfa.py is the standalone
+ * CLI twin of this generator for producing .gfa files.
+ */
+
+#ifndef RACELOGIC_PANGRAPH_GENERATE_H
+#define RACELOGIC_PANGRAPH_GENERATE_H
+
+#include <memory>
+
+#include "rl/pangraph/variation_graph.h"
+#include "rl/util/random.h"
+
+namespace racelogic::pangraph {
+
+/** Knobs for randomVariationGraph(). */
+struct VariationGraphParams {
+    size_t backboneSegments = 8;  ///< segments on the linear spine
+    size_t minLabel = 1;          ///< shortest segment label (>= 1)
+    size_t maxLabel = 8;          ///< longest segment label (<= 64 say)
+    double snpDensity = 0.3;      ///< P(SNP bubble after a segment)
+    double insertDensity = 0.15;  ///< P(insertion branch after one)
+    double deleteDensity = 0.15;  ///< P(deletion edge skipping one)
+
+    /** SNP-bubbles-only graphs stay rank-balanced (similarity-safe). */
+    static VariationGraphParams
+    balanced(size_t segments = 8)
+    {
+        VariationGraphParams p;
+        p.backboneSegments = segments;
+        p.insertDensity = 0.0;
+        p.deleteDensity = 0.0;
+        return p;
+    }
+};
+
+/** Generate a random acyclic variation graph over `alphabet`. */
+VariationGraph randomVariationGraph(util::Rng &rng,
+                                    const bio::Alphabet &alphabet,
+                                    const VariationGraphParams &params);
+
+/**
+ * Sample a read from the graph: spell a uniformly random
+ * source-to-sink walk, then apply the mutation model (the Section 6
+ * screening regimes, lifted to graphs).
+ */
+bio::Sequence sampleRead(util::Rng &rng, const VariationGraph &graph,
+                         const bio::MutationModel &noise);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_GENERATE_H

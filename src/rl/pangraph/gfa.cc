@@ -1,0 +1,128 @@
+#include "rl/pangraph/gfa.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "rl/util/logging.h"
+#include "rl/util/strings.h"
+
+namespace racelogic::pangraph {
+
+namespace {
+
+/** Encode a GFA sequence field, folding case, over `alphabet`. */
+bio::Sequence
+encodeLabel(const std::string &text, const bio::Alphabet &alphabet,
+            size_t line_no)
+{
+    return bio::Sequence(
+        alphabet,
+        bio::Sequence::encodeFolded(
+            alphabet, text, "GFA line " + std::to_string(line_no)));
+}
+
+/** Resolve a link endpoint name, with a clear diagnostic. */
+SegmentId
+resolveSegment(const VariationGraph &graph, const std::string &name,
+               size_t line_no)
+{
+    SegmentId id = graph.findSegment(name);
+    if (id == kNoSegment)
+        rl_fatal("GFA line ", line_no, ": link references undeclared "
+                 "segment '", name, "'");
+    return id;
+}
+
+} // namespace
+
+VariationGraph
+readGfa(std::istream &in, const bio::Alphabet &alphabet)
+{
+    VariationGraph graph(alphabet);
+
+    // Links may reference segments declared later, so they are
+    // buffered and resolved after the whole stream is read.
+    struct PendingLink {
+        std::string from, to;
+        size_t line_no;
+    };
+    std::vector<PendingLink> pending;
+
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string trimmed = util::trim(line); // tolerates CRLF
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        std::vector<std::string> fields = util::split(trimmed, '\t');
+        const std::string &type = fields[0];
+        if (type == "H" || type == "P" || type == "W" || type == "C")
+            continue; // headers, paths, and containments: metadata
+        if (type == "S") {
+            if (fields.size() < 3)
+                rl_fatal("GFA line ", line_no,
+                         ": S record needs a name and a sequence");
+            if (fields[2] == "*")
+                rl_fatal("GFA line ", line_no, ": segment '", fields[1],
+                         "' has no sequence ('*'); the race needs the "
+                         "bases");
+            graph.addSegment(fields[1],
+                             encodeLabel(fields[2], alphabet, line_no));
+            continue;
+        }
+        if (type == "L") {
+            if (fields.size() < 5)
+                rl_fatal("GFA line ", line_no,
+                         ": L record needs from/orient/to/orient");
+            if (fields[2] != "+" || fields[4] != "+")
+                rl_fatal("GFA line ", line_no, ": reverse-strand link (",
+                         fields[2], "/", fields[4], "); the DAG race "
+                         "substrate supports forward-strand (+/+) "
+                         "links only");
+            if (fields.size() >= 6 && fields[5] != "0M" &&
+                fields[5] != "*")
+                rl_fatal("GFA line ", line_no, ": overlap '", fields[5],
+                         "' unsupported; only blunt-ended links (0M "
+                         "or *) are");
+            pending.push_back({fields[1], fields[3], line_no});
+            continue;
+        }
+        rl_fatal("GFA line ", line_no, ": unsupported record type '",
+                 type, "'");
+    }
+
+    for (const PendingLink &link : pending)
+        graph.addLink(resolveSegment(graph, link.from, link.line_no),
+                      resolveSegment(graph, link.to, link.line_no));
+
+    graph.validate(); // the cyclic-GFA rejection path
+    return graph;
+}
+
+VariationGraph
+readGfaFile(const std::string &path, const bio::Alphabet &alphabet)
+{
+    std::ifstream in(path);
+    if (!in)
+        rl_fatal("cannot open GFA file: ", path);
+    return readGfa(in, alphabet);
+}
+
+void
+writeGfa(std::ostream &out, const VariationGraph &graph)
+{
+    out << "H\tVN:Z:1.0\n";
+    for (SegmentId id = 0; id < graph.segmentCount(); ++id) {
+        const Segment &s = graph.segment(id);
+        out << "S\t" << s.name << '\t' << s.label.str() << '\n';
+    }
+    for (SegmentId id = 0; id < graph.segmentCount(); ++id)
+        for (SegmentId to : graph.outLinks(id))
+            out << "L\t" << graph.segment(id).name << "\t+\t"
+                << graph.segment(to).name << "\t+\t0M\n";
+}
+
+} // namespace racelogic::pangraph

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * GFA v1 input/output for variation graphs.
+ *
+ * Pangenomes in the wild travel as Graphical Fragment Assembly files;
+ * this module reads the blunt-ended, forward-strand, acyclic subset
+ * the race substrate can realize (see docs/pangraph.md):
+ *
+ *  - `H` header lines and `#` comments are ignored;
+ *  - `S <name> <seq>` declares a labeled segment (a sequence-less
+ *    `*` placeholder is rejected -- the race needs the bases);
+ *  - `L <from> + <to> + <overlap>` declares a link; both orientations
+ *    must be `+` (reverse-strand walks have no DAG realization) and
+ *    the overlap must be `0M` or `*` (blunt ends only);
+ *  - `P`/`W` path lines and containments are skipped.
+ *
+ * Sequence letters are case-folded to upper; CRLF endings and blank
+ * lines are tolerated.  After parsing, the graph is validate()d, so
+ * cyclic GFAs are rejected with a diagnostic rather than racing
+ * forever.
+ */
+
+#ifndef RACELOGIC_PANGRAPH_GFA_H
+#define RACELOGIC_PANGRAPH_GFA_H
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/pangraph/variation_graph.h"
+
+namespace racelogic::pangraph {
+
+/**
+ * Parse a GFA v1 stream over the given alphabet.
+ *
+ * fatal() on malformed records, letters outside the alphabet,
+ * reverse-strand links, non-blunt overlaps, links to undeclared
+ * segments, and cyclic graphs.
+ */
+VariationGraph readGfa(std::istream &in, const bio::Alphabet &alphabet);
+
+/** Parse a GFA file by path (fatal if unreadable). */
+VariationGraph readGfaFile(const std::string &path,
+                           const bio::Alphabet &alphabet);
+
+/** Write the graph back out as blunt-ended forward-strand GFA v1. */
+void writeGfa(std::ostream &out, const VariationGraph &graph);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_GFA_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Graph-Needleman-Wunsch: the software oracle for graph alignment.
+ *
+ * An independent dynamic program over (variation graph x read),
+ * evaluated segment-by-segment in topological order -- the classic
+ * sequence-to-DAG recurrence (Navarro's generalization of edit
+ * distance to graphs).  It never touches the product DAG or the race
+ * kernels, so it is the correctness oracle the raced alignment is
+ * checked against, exactly as rl/bio/align_dp.h anchors the pairwise
+ * fabric.
+ *
+ * State D[p][j]: minimum cost of aligning the first j read characters
+ * against some walk from a source whose last consumed character is
+ * graph position p (p = 0: no graph character consumed yet).  The
+ * graph alignment distance is min over sink-segment-ending positions
+ * p of D[p][m] -- the same value the race reads off its super-sink
+ * OR gate.
+ */
+
+#ifndef RACELOGIC_PANGRAPH_GRAPH_ALIGN_DP_H
+#define RACELOGIC_PANGRAPH_GRAPH_ALIGN_DP_H
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/pangraph/variation_graph.h"
+#include "rl/util/grid.h"
+
+namespace racelogic::pangraph {
+
+/** Full oracle DP over (positions 0..K) x (read prefixes 0..m). */
+struct GraphDpResult {
+    /** Optimal graph alignment cost. */
+    bio::Score distance = 0;
+
+    /**
+     * (K+1) x (m+1) score table; row p is graph character position p
+     * in the compileGraph() numbering (row 0 = virtual start),
+     * kScoreInfinity where a state is unreachable.  Cell (p, j)
+     * equals the race's arrival cycle at product node (j, p), which
+     * the equivalence tests assert cell by cell.
+     */
+    util::Grid<bio::Score> table;
+};
+
+/**
+ * Run the oracle DP of `read` against `graph` under a race-ready
+ * cost matrix (Cost kind; forbidden pairs respected).
+ */
+GraphDpResult graphAlignDp(const VariationGraph &graph,
+                           const bio::Sequence &read,
+                           const bio::ScoreMatrix &costs);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_GRAPH_ALIGN_DP_H

@@ -1,0 +1,129 @@
+#include "rl/pangraph/graph_aligner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rl/core/wavefront.h"
+#include "rl/util/logging.h"
+
+namespace racelogic::pangraph {
+
+GraphAligner::GraphAligner(std::shared_ptr<const VariationGraph> graph,
+                           bio::ScoreMatrix matrix, bio::Score lambda)
+    : source(std::move(graph)), input(std::move(matrix))
+{
+    rl_assert(source != nullptr, "GraphAligner needs a graph");
+    source->validate();
+    rl_assert(source->alphabet() == input.alphabet(),
+              "graph and matrix use different alphabets");
+
+    if (!input.isCost()) {
+        auto range = source->spelledLengthRange();
+        if (range.first != range.second)
+            rl_fatal("similarity matrices need a rank-balanced graph "
+                     "(every source-to-sink walk the same length; got ",
+                     range.first, "..", range.second,
+                     "): the Section 5 conversion is affine in the "
+                     "walk length.  Race a Cost-kind matrix instead");
+        spelledLength = range.first;
+        converted = bio::toShortestPathForm(input, lambda);
+    } else {
+        rl_assert(lambda == 1,
+                  "lambda scales similarity conversion only");
+        rl_assert(input.minFinite() >= 1,
+                  "graph alignment requires all finite cost weights "
+                  ">= 1 (got ", input.minFinite(), ")");
+    }
+
+    // Plan-time validation of the race-ready weights, so bad
+    // matrices fail here with a diagnostic instead of deep inside
+    // the wavefront kernel.  Gap weights must be finite (every
+    // character must be insertable/deletable or no walk connects the
+    // corners) and no weight may exceed the kernel's bucket-calendar
+    // cap.
+    const bio::ScoreMatrix &race = costs();
+    for (size_t s = 0; s < race.alphabet().size(); ++s)
+        if (race.gap(static_cast<bio::Symbol>(s)) ==
+            bio::kScoreInfinity)
+            rl_fatal("gap weight for '",
+                     race.alphabet().letter(
+                         static_cast<bio::Symbol>(s)),
+                     "' is infinite; graph alignment needs finite "
+                     "indel weights");
+    if (race.maxFinite() > core::kMaxWavefrontWeight)
+        rl_fatal("largest race weight ", race.maxFinite(),
+                 " exceeds the wavefront kernel's calendar cap ",
+                 core::kMaxWavefrontWeight,
+                 "; rescale the matrix (or lower lambda)");
+
+    compiledGraph = compileGraph(*source);
+}
+
+const bio::ScoreMatrix &
+GraphAligner::costs() const
+{
+    return converted ? converted->costs : input;
+}
+
+bio::Score
+GraphAligner::recoverScore(bio::Score racedCost, size_t readLength) const
+{
+    if (!converted)
+        return racedCost;
+    return converted->recoverScore(racedCost, spelledLength, readLength);
+}
+
+GraphRaceResult
+GraphAligner::align(const bio::Sequence &read, sim::Tick horizon) const
+{
+    rl_assert(read.alphabet() == source->alphabet(),
+              "read and graph use different alphabets");
+    return align(buildAlignmentGraph(compiledGraph, read, costs()),
+                 horizon);
+}
+
+GraphRaceResult
+GraphAligner::align(const AlignmentGraph &product, sim::Tick horizon) const
+{
+    // The product DAG is acyclic by construction and its weights are
+    // cost-matrix entries, so the bucketed wavefront kernel applies
+    // directly (no raceDag() revalidation sweep per read).
+    core::WavefrontRaceKernel kernel(product.dag);
+    core::RaceOutcome outcome =
+        kernel.race({product.source}, core::RaceType::Or, horizon);
+
+    GraphRaceResult result;
+    result.nodes = product.dag.nodeCount();
+    result.events = outcome.events;
+    const core::TemporalValue sinkArrival = outcome.at(product.sink);
+    result.completed = sinkArrival.fired();
+    if (result.completed) {
+        result.racedCost = static_cast<bio::Score>(sinkArrival.time());
+        result.latencyCycles = sinkArrival.time();
+        result.score =
+            recoverScore(result.racedCost, product.readLength);
+    } else {
+        rl_assert(horizon != sim::kTickInfinity,
+                  "sink never fired; gap weights should guarantee a "
+                  "walk");
+        result.racedCost = bio::kScoreInfinity;
+        result.score = bio::kScoreInfinity;
+        result.latencyCycles = horizon;
+    }
+    result.cellsFired = static_cast<size_t>(std::count_if(
+        outcome.firing.begin(), outcome.firing.end(),
+        [](const core::TemporalValue &v) { return v.fired(); }));
+    result.arrival = std::move(outcome.firing);
+    return result;
+}
+
+GraphMapping
+GraphAligner::map(const bio::Sequence &read) const
+{
+    GraphRaceResult raced = align(read);
+    rl_assert(raced.completed, "mapping an aborted race");
+    return mappingFromArrival(compiledGraph, read, costs(),
+                              raced.arrival);
+}
+
+} // namespace racelogic::pangraph

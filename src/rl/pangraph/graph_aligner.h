@@ -1,0 +1,145 @@
+/**
+ * @file
+ * GraphAligner: one loaded pangenome, many raced reads.
+ *
+ * The aligner is the planned-fabric object for the GraphAlign
+ * workload: construction validates the graph, converts a similarity
+ * matrix to race-ready costs (Section 5) when needed, and compiles
+ * the character-level view once.  align() then stamps a read onto
+ * the compiled graph and races the product DAG on the bucketed
+ * wavefront kernel (rl/core/wavefront.h) through graph::Dag's CSR
+ * view -- const and allocation-local, so one aligner serves many
+ * reads concurrently (the api engine races read batches on its
+ * thread pool against a single cached aligner).
+ *
+ * Section 5 caveat: the similarity-to-cost conversion is affine in
+ * the *walk length*, so it preserves the optimum across walks only
+ * when every source-to-sink walk spells the same number of
+ * characters (a rank-balanced graph, e.g. SNP-only bubbles).
+ * Construction enforces that; graphs with indel branches must race a
+ * Cost-kind matrix directly (see docs/pangraph.md).
+ */
+
+#ifndef RACELOGIC_PANGRAPH_GRAPH_ALIGNER_H
+#define RACELOGIC_PANGRAPH_GRAPH_ALIGNER_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rl/bio/score_convert.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/temporal.h"
+#include "rl/pangraph/alignment_graph.h"
+#include "rl/pangraph/mapping.h"
+#include "rl/pangraph/variation_graph.h"
+#include "rl/sim/event_queue.h"
+
+namespace racelogic::pangraph {
+
+/** Outcome of racing one read against the graph. */
+struct GraphRaceResult {
+    /** Alignment score in the caller's matrix units (similarity
+     *  recovered via Section 5 on converted plans); kScoreInfinity
+     *  when the race aborted at its horizon. */
+    bio::Score score = 0;
+
+    /** The raw race outcome: sink arrival cycle (converted cost). */
+    bio::Score racedCost = 0;
+
+    /** True iff the sink fired (false only under a horizon). */
+    bool completed = true;
+
+    /** Race duration in cycles (the horizon cycle when aborted). */
+    sim::Tick latencyCycles = 0;
+
+    /** Events processed by the wavefront kernel. */
+    uint64_t events = 0;
+
+    /** Product-DAG nodes, and how many fired. */
+    size_t nodes = 0;
+    size_t cellsFired = 0;
+
+    /** Per-node firing times, AlignmentGraph::node() layout. */
+    std::vector<core::TemporalValue> arrival;
+};
+
+class GraphAligner
+{
+  public:
+    /**
+     * Plan a pangenome for racing.
+     *
+     * @param graph   Validated on entry; held by shared_ptr so one
+     *                loaded graph serves many aligners and problems.
+     * @param matrix  Cost matrices race directly; Similarity
+     *                matrices are converted (fatal if the graph is
+     *                not rank-balanced).
+     * @param lambda  Section 5 scale for similarity conversion.
+     */
+    GraphAligner(std::shared_ptr<const VariationGraph> graph,
+                 bio::ScoreMatrix matrix, bio::Score lambda = 1);
+
+    /**
+     * Race `read` against the graph; const and thread-safe.
+     *
+     * @param horizon  Section 6 early termination in race cycles:
+     *                 if the sink has not fired by `horizon`, the
+     *                 result comes back completed = false with score
+     *                 kScoreInfinity.
+     */
+    GraphRaceResult align(const bio::Sequence &read,
+                          sim::Tick horizon = sim::kTickInfinity) const;
+
+    /**
+     * Race an already-built product DAG (from buildAlignmentGraph
+     * over this aligner's compiled graph and costs).  The GateLevel
+     * engine path builds the product once and shares it between the
+     * behavioral race and fabric synthesis -- materialization is the
+     * dominant per-read cost, so it must not be paid twice.
+     */
+    GraphRaceResult align(const AlignmentGraph &product,
+                          sim::Tick horizon = sim::kTickInfinity) const;
+
+    /**
+     * Race and trace back: the optimal (walk, CIGAR) mapping
+     * recovered from the arrival times (rl/pangraph/mapping.h).
+     */
+    GraphMapping map(const bio::Sequence &read) const;
+
+    const VariationGraph &graph() const { return *source; }
+    std::shared_ptr<const VariationGraph> graphPtr() const
+    {
+        return source;
+    }
+
+    /** The race-ready cost matrix (converted when input was
+     *  similarity). */
+    const bio::ScoreMatrix &costs() const;
+
+    /** The matrix the caller supplied. */
+    const bio::ScoreMatrix &inputMatrix() const { return input; }
+
+    /** Section 5 conversion metadata (similarity inputs only). */
+    const std::optional<bio::ShortestPathForm> &conversion() const
+    {
+        return converted;
+    }
+
+    const CompiledGraph &compiled() const { return compiledGraph; }
+
+    /** Map a raced cost back to the caller's units. */
+    bio::Score recoverScore(bio::Score racedCost, size_t readLength) const;
+
+  private:
+    std::shared_ptr<const VariationGraph> source;
+    bio::ScoreMatrix input;
+    std::optional<bio::ShortestPathForm> converted;
+    CompiledGraph compiledGraph;
+    size_t spelledLength = 0; ///< walk length (rank-balanced plans)
+};
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_GRAPH_ALIGNER_H

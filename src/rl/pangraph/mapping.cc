@@ -1,0 +1,229 @@
+#include "rl/pangraph/mapping.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::pangraph {
+
+namespace {
+
+/** Run-length encode an op sequence into a CIGAR string. */
+std::string
+encodeCigar(const std::vector<char> &ops)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < ops.size()) {
+        size_t run = 1;
+        while (i + run < ops.size() && ops[i + run] == ops[i])
+            ++run;
+        out += std::to_string(run);
+        out += ops[i];
+        i += run;
+    }
+    return out;
+}
+
+} // namespace
+
+GraphMapping
+mappingFromArrival(const CompiledGraph &compiled,
+                   const bio::Sequence &read,
+                   const bio::ScoreMatrix &costs,
+                   const std::vector<core::TemporalValue> &arrival)
+{
+    const size_t m = read.size();
+    const size_t positions = compiled.positionCount();
+    rl_assert(arrival.size() == (m + 1) * positions + 1,
+              "arrival map does not match the read and graph (",
+              arrival.size(), " nodes for ", m, " x ", positions, ")");
+
+    auto at = [&](size_t j, CharPos p) -> const core::TemporalValue & {
+        return arrival[j * positions + p];
+    };
+
+    const core::TemporalValue &sinkArrival = arrival.back();
+    rl_assert(sinkArrival.fired(),
+              "traceback from a race whose sink never fired");
+    const sim::Tick distance = sinkArrival.time();
+
+    // The alignment ends at a terminal state whose arrival is tight
+    // through the zero-weight sink wire; lowest position on a tie.
+    CharPos p = 0;
+    for (CharPos c = 1; c < positions; ++c) {
+        if (compiled.terminal[c] && at(m, c).fired() &&
+            at(m, c).time() == distance) {
+            p = c;
+            break;
+        }
+    }
+    rl_assert(p != 0, "no terminal state is tight with the sink");
+
+    GraphMapping out;
+    out.distance = static_cast<bio::Score>(distance);
+
+    size_t j = m;
+    std::vector<char> ops;            // built back-to-front
+    std::vector<SegmentId> consumed;  // owning segment per graph char
+    while (j > 0 || p > 0) {
+        const sim::Tick here = at(j, p).time();
+        bool stepped = false;
+        // Prefer substitution/match, then graph-char deletion, then
+        // read insertion; predecessor lists are ascending by
+        // construction, so the walk is deterministic.
+        if (p > 0 && j > 0) {
+            const bio::Score w = costs.pair(read[j - 1],
+                                            compiled.symbol[p]);
+            if (w != bio::kScoreInfinity) {
+                for (uint32_t e = compiled.predOffsets[p];
+                     e < compiled.predOffsets[p + 1]; ++e) {
+                    const CharPos q = compiled.pred[e];
+                    if (at(j - 1, q).fired() &&
+                        at(j - 1, q).time() +
+                                static_cast<sim::Tick>(w) ==
+                            here) {
+                        ops.push_back(read[j - 1] == compiled.symbol[p]
+                                          ? '='
+                                          : 'X');
+                        consumed.push_back(compiled.segmentOf[p]);
+                        --j;
+                        p = q;
+                        stepped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!stepped && p > 0) {
+            const bio::Score w = costs.gap(compiled.symbol[p]);
+            for (uint32_t e = compiled.predOffsets[p];
+                 e < compiled.predOffsets[p + 1]; ++e) {
+                const CharPos q = compiled.pred[e];
+                if (at(j, q).fired() &&
+                    at(j, q).time() + static_cast<sim::Tick>(w) ==
+                        here) {
+                    ops.push_back('D');
+                    consumed.push_back(compiled.segmentOf[p]);
+                    p = q;
+                    stepped = true;
+                    break;
+                }
+            }
+        }
+        if (!stepped && j > 0 && at(j - 1, p).fired() &&
+            at(j - 1, p).time() +
+                    static_cast<sim::Tick>(costs.gap(read[j - 1])) ==
+                here) {
+            ops.push_back('I');
+            --j;
+            stepped = true;
+        }
+        rl_assert(stepped, "no tight predecessor at read offset ", j,
+                  ", graph position ", p,
+                  ": arrival map inconsistent with the matrix");
+    }
+
+    std::reverse(ops.begin(), ops.end());
+    std::reverse(consumed.begin(), consumed.end());
+    for (SegmentId id : consumed)
+        if (out.path.empty() || out.path.back() != id)
+            out.path.push_back(id);
+    out.cigar = encodeCigar(ops);
+    for (char op : ops) {
+        if (op != 'D')
+            ++out.readConsumed;
+        if (op != 'I')
+            ++out.graphConsumed;
+    }
+    rl_assert(out.readConsumed == m,
+              "traceback consumed ", out.readConsumed, " of ", m,
+              " read characters");
+    return out;
+}
+
+bio::Score
+rescoreMapping(const VariationGraph &graph, const bio::Sequence &read,
+               const bio::ScoreMatrix &costs, const GraphMapping &mapping)
+{
+    if (mapping.path.empty())
+        rl_fatal("mapping has an empty walk");
+    if (!graph.inLinks(mapping.path.front()).empty())
+        rl_fatal("mapping walk does not start at a source segment");
+    if (!graph.outLinks(mapping.path.back()).empty())
+        rl_fatal("mapping walk does not end at a sink segment");
+
+    // Spell the walk, validating every hop.
+    std::vector<bio::Symbol> walk;
+    for (size_t i = 0; i < mapping.path.size(); ++i) {
+        const SegmentId id = mapping.path[i];
+        if (i > 0) {
+            const auto &links = graph.outLinks(mapping.path[i - 1]);
+            if (std::find(links.begin(), links.end(), id) ==
+                links.end())
+                rl_fatal("mapping walk hop ",
+                         graph.segment(mapping.path[i - 1]).name,
+                         " -> ", graph.segment(id).name,
+                         " is not a link in the graph");
+        }
+        for (bio::Symbol s : graph.segment(id).label.symbols())
+            walk.push_back(s);
+    }
+
+    // Replay the CIGAR.
+    bio::Score cost = 0;
+    size_t i = 0, g = 0, pos = 0;
+    const std::string &cigar = mapping.cigar;
+    while (pos < cigar.size()) {
+        size_t runEnd = pos;
+        while (runEnd < cigar.size() &&
+               std::isdigit(static_cast<unsigned char>(cigar[runEnd])))
+            ++runEnd;
+        if (runEnd == pos || runEnd == cigar.size())
+            rl_fatal("malformed CIGAR '", cigar, "'");
+        const size_t run = std::stoul(cigar.substr(pos, runEnd - pos));
+        const char op = cigar[runEnd];
+        pos = runEnd + 1;
+        for (size_t k = 0; k < run; ++k) {
+            switch (op) {
+            case '=':
+            case 'X': {
+                if (i >= read.size() || g >= walk.size())
+                    rl_fatal("CIGAR overruns the read or the walk");
+                const bool equal = read[i] == walk[g];
+                if (equal != (op == '='))
+                    rl_fatal("CIGAR op '", op, "' contradicts symbols "
+                             "at read offset ", i);
+                const bio::Score w = costs.pair(read[i], walk[g]);
+                if (w == bio::kScoreInfinity)
+                    rl_fatal("CIGAR substitutes a forbidden pair at "
+                             "read offset ", i);
+                cost += w;
+                ++i;
+                ++g;
+                break;
+            }
+            case 'I':
+                if (i >= read.size())
+                    rl_fatal("CIGAR overruns the read");
+                cost += costs.gap(read[i]);
+                ++i;
+                break;
+            case 'D':
+                if (g >= walk.size())
+                    rl_fatal("CIGAR overruns the walk");
+                cost += costs.gap(walk[g]);
+                ++g;
+                break;
+            default:
+                rl_fatal("unknown CIGAR op '", op, "'");
+            }
+        }
+    }
+    if (i != read.size() || g != walk.size())
+        rl_fatal("CIGAR consumed ", i, "/", read.size(), " read and ",
+                 g, "/", walk.size(), " walk characters");
+    return cost;
+}
+
+} // namespace racelogic::pangraph

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Read-to-graph mappings: traceback from race arrival times to a
+ * (walk, CIGAR) pair.
+ *
+ * The per-node firing times of a completed product-DAG race form a
+ * valid DP table (rl/core/traceback.h makes the same observation for
+ * the pairwise grid), so walking tight edges backwards -- predecessor
+ * arrival + edge weight == own arrival -- recovers an optimal
+ * alignment without re-running any DP.  The result is reported in
+ * the conventional mapping vocabulary: the walk as a list of segment
+ * ids and the per-base operations as a CIGAR string over {=, X, I,
+ * D} (match, substitution, read insertion, graph-character
+ * deletion).
+ */
+
+#ifndef RACELOGIC_PANGRAPH_MAPPING_H
+#define RACELOGIC_PANGRAPH_MAPPING_H
+
+#include <string>
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/temporal.h"
+#include "rl/pangraph/alignment_graph.h"
+
+namespace racelogic::pangraph {
+
+/** One read mapped onto one walk of the variation graph. */
+struct GraphMapping {
+    /** The walk, as segment ids in source-to-sink order. */
+    std::vector<SegmentId> path;
+
+    /**
+     * Run-length CIGAR over {=, X, I, D}: '=' match, 'X'
+     * substitution, 'I' read character against a gap, 'D' graph
+     * character against a gap.
+     */
+    std::string cigar;
+
+    /** Alignment cost in the raced (cost-matrix) units. */
+    bio::Score distance = 0;
+
+    /** Total = + X + I (must equal the read length). */
+    size_t readConsumed = 0;
+
+    /** Total = + X + D (the walk's spelled length). */
+    size_t graphConsumed = 0;
+};
+
+/**
+ * Recover an optimal mapping from a completed product-DAG race.
+ *
+ * @param compiled  The character-level graph the product was built on.
+ * @param read      The read that was raced.
+ * @param costs     The race-ready cost matrix.
+ * @param arrival   Per-node firing times of the product DAG, laid out
+ *                  as AlignmentGraph::node() (what GraphAligner's
+ *                  align() returns in GraphRaceResult::arrival).
+ *
+ * Tie-breaking prefers substitution/match, then graph-character
+ * deletion, then read insertion, and among graph predecessors the
+ * lowest character position -- deterministic, so tests can compare
+ * mappings structurally.
+ */
+GraphMapping mappingFromArrival(
+    const CompiledGraph &compiled, const bio::Sequence &read,
+    const bio::ScoreMatrix &costs,
+    const std::vector<core::TemporalValue> &arrival);
+
+/**
+ * Re-score a mapping from scratch: spell the walk (validating that
+ * consecutive path segments are actually linked in `graph`), replay
+ * the CIGAR against read and walk, and return the recomputed cost.
+ * fatal() on any inconsistency ('=' over unequal symbols, lengths
+ * that do not add up, a forbidden substitution, a broken walk).
+ * Tests assert the result equals GraphMapping::distance.
+ */
+bio::Score rescoreMapping(const VariationGraph &graph,
+                          const bio::Sequence &read,
+                          const bio::ScoreMatrix &costs,
+                          const GraphMapping &mapping);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_MAPPING_H

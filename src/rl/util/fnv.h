@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Incremental FNV-1a hashing over 64-bit words.
+ *
+ * The one fingerprint primitive shared by everything that keys caches
+ * on content identity (api plan shape keys, variation-graph topology
+ * fingerprints).  Keeping a single implementation matters: two
+ * divergent mixes would silently decouple fingerprints that tests
+ * and the plan cache expect to agree.
+ */
+
+#ifndef RACELOGIC_UTIL_FNV_H
+#define RACELOGIC_UTIL_FNV_H
+
+#include <cstdint>
+
+namespace racelogic::util {
+
+/** Incremental FNV-1a over 64-bit words. */
+struct Fnv {
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(uint64_t v)
+    {
+        h ^= v;
+        h *= 1099511628211ull;
+    }
+};
+
+} // namespace racelogic::util
+
+#endif // RACELOGIC_UTIL_FNV_H

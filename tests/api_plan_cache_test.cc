@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "rl/api/api.h"
+#include "rl/bio/align_dp.h"
+#include "rl/pangraph/generate.h"
 #include "rl/util/random.h"
 
 namespace {
@@ -143,6 +145,86 @@ TEST(ApiPlanCache, ThresholdIsNotPartOfTheShape)
                                               dna("AGTG")));
     EXPECT_EQ(engine.stats().plansBuilt, 1u);
     EXPECT_EQ(engine.stats().planCacheHits, 1u);
+}
+
+TEST(ApiPlanCache, GraphAlignPlansKeyOnTopologyNotReads)
+{
+    // One loaded pangenome serves many reads: distinct reads (and
+    // distinct read lengths, and distinct thresholds) all hit the
+    // same plan, because the key is the graph topology + matrix.
+    util::Rng rng(6);
+    auto graph = std::make_shared<pangraph::VariationGraph>(
+        pangraph::randomVariationGraph(
+            rng, Alphabet::dna(), pangraph::VariationGraphParams{}));
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    RaceEngine engine;
+    for (int round = 0; round < 10; ++round) {
+        Sequence read = Sequence::random(
+            rng, Alphabet::dna(),
+            static_cast<size_t>(rng.uniformInt(4, 20)));
+        bio::Score threshold =
+            round % 2 == 0 ? bio::kScoreInfinity
+                           : static_cast<bio::Score>(10 + round);
+        engine.solve(api::RaceProblem::graphAlign(costs, read, graph,
+                                                  threshold));
+    }
+    EXPECT_EQ(engine.stats().plansBuilt, 1u);
+    EXPECT_EQ(engine.stats().planCacheHits, 9u);
+    EXPECT_EQ(engine.planCacheSize(), 1u);
+}
+
+TEST(ApiPlanCache, GraphAlignNeverCollidesWithGridShapes)
+{
+    // Grid-family and GraphAlign plans share one LRU; interleaving
+    // them over the same matrix must build exactly one plan each and
+    // keep both correct.
+    util::Rng rng(13);
+    auto graph = std::make_shared<pangraph::VariationGraph>(
+        pangraph::randomVariationGraph(
+            rng, Alphabet::dna(), pangraph::VariationGraphParams{}));
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    RaceEngine engine;
+
+    Sequence read = Sequence::random(rng, Alphabet::dna(), 8);
+    Sequence other = Sequence::random(rng, Alphabet::dna(), 8);
+    for (int round = 0; round < 3; ++round) {
+        auto gridResult = engine.solve(
+            api::RaceProblem::pairwiseAlignment(costs, read, other));
+        auto graphResult = engine.solve(
+            api::RaceProblem::graphAlign(costs, read, graph));
+        EXPECT_EQ(gridResult.score,
+                  bio::globalScore(read, other, costs));
+        EXPECT_TRUE(graphResult.completed);
+    }
+    EXPECT_EQ(engine.stats().plansBuilt, 2u);
+    EXPECT_EQ(engine.stats().planCacheHits, 4u);
+    EXPECT_EQ(engine.planCacheSize(), 2u);
+}
+
+TEST(ApiPlanCache, DistinctGraphTopologiesGetDistinctPlans)
+{
+    // Same matrix, same segment/link counts, different labels: the
+    // fingerprint in the key (re-verified structurally on every hit)
+    // must keep the plans apart.
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    auto one = std::make_shared<pangraph::VariationGraph>(
+        Alphabet::dna());
+    one->addSegment("a", dna("ACTG"));
+    auto two = std::make_shared<pangraph::VariationGraph>(
+        Alphabet::dna());
+    two->addSegment("a", dna("TTTT"));
+
+    RaceEngine engine;
+    Sequence read = dna("ACTG");
+    auto first =
+        engine.solve(api::RaceProblem::graphAlign(costs, read, one));
+    auto second =
+        engine.solve(api::RaceProblem::graphAlign(costs, read, two));
+    EXPECT_EQ(engine.stats().plansBuilt, 2u);
+    // One-segment graphs are pairwise alignments: ACTG vs ACTG all
+    // matches (4 x 1); vs TTTT one T-T match + mismatches/indels.
+    EXPECT_EQ(first.score, 4);
+    EXPECT_EQ(second.score, bio::globalScore(read, dna("TTTT"), costs));
 }
 
 TEST(ApiPlanCache, ClearPlanCacheDropsPlansKeepsStats)

@@ -52,13 +52,40 @@ TEST(Fasta, EmptyStreamYieldsNoRecords)
     EXPECT_TRUE(bio::readFasta(in, Alphabet::dna()).empty());
 }
 
-TEST(Fasta, EmptySequenceRecordAllowed)
+TEST(FastaDeath, RejectsEmptyRecord)
 {
+    // An empty record is almost always a truncated or corrupted
+    // file; reject it with the offending description in the message.
     std::istringstream in(">empty\n>full\nAC\n");
+    EXPECT_EXIT(bio::readFasta(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "empty.*no sequence");
+}
+
+TEST(FastaDeath, RejectsEmptyTrailingRecord)
+{
+    std::istringstream in(">full\nAC\n>trailing\n");
+    EXPECT_EXIT(bio::readFasta(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "trailing");
+}
+
+TEST(Fasta, ParsesCrlfLineEndings)
+{
+    // Windows-edited FASTA: CRLF everywhere, including the header.
+    std::istringstream in(">query one\r\nACGT\r\nacgt\r\n\r\n>q2\r\nGG\r\n");
     auto records = bio::readFasta(in, Alphabet::dna());
     ASSERT_EQ(records.size(), 2u);
-    EXPECT_TRUE(records[0].sequence.empty());
-    EXPECT_EQ(records[1].sequence.str(), "AC");
+    EXPECT_EQ(records[0].description, "query one");
+    EXPECT_EQ(records[0].sequence.str(), "ACGTACGT");
+    EXPECT_EQ(records[1].sequence.str(), "GG");
+}
+
+TEST(Fasta, ToleratesBlankLinesAroundRecords)
+{
+    std::istringstream in("\n\n>x\n\nAC\n\nGT\n\n\n>y\ntt\n\n");
+    auto records = bio::readFasta(in, Alphabet::dna());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].sequence.str(), "ACGT");
+    EXPECT_EQ(records[1].sequence.str(), "TT");
 }
 
 TEST(FastaDeath, RejectsDataBeforeHeader)
@@ -89,6 +116,17 @@ TEST(Fasta, RoundTripThroughWriter)
     EXPECT_EQ(parsed[0].description, "alpha");
     EXPECT_EQ(parsed[0].sequence, records[0].sequence);
     EXPECT_EQ(parsed[1].sequence, records[1].sequence);
+}
+
+TEST(FastaDeath, WriterRefusesEmptyRecord)
+{
+    // The reader rejects empty records, so the writer must refuse to
+    // produce files the library itself calls corrupted.
+    std::vector<FastaRecord> records{
+        {"empty", Sequence(Alphabet::dna())}};
+    std::ostringstream out;
+    EXPECT_EXIT(bio::writeFasta(out, records),
+                ::testing::ExitedWithCode(1), "empty FASTA record");
 }
 
 TEST(Fasta, WriterWrapsLines)

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the rl/pangraph subsystem: GFA parsing and its rejection
+ * paths, the product-DAG race against the graph-NW oracle (exact,
+ * cell-by-cell, and on randomized variation graphs), traceback to
+ * (walk, CIGAR) mappings that re-score to the raced distance, the
+ * Section 5 similarity conversion on rank-balanced graphs, and the
+ * Section 6 early-termination horizon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rl/bio/align_dp.h"
+#include "rl/core/wavefront.h"
+#include "rl/pangraph/generate.h"
+#include "rl/pangraph/gfa.h"
+#include "rl/pangraph/graph_align_dp.h"
+#include "rl/pangraph/graph_aligner.h"
+#include "rl/util/random.h"
+
+namespace {
+
+using namespace racelogic;
+using bio::Alphabet;
+using bio::ScoreMatrix;
+using bio::Sequence;
+using pangraph::GraphAligner;
+using pangraph::GraphMapping;
+using pangraph::SegmentId;
+using pangraph::VariationGraph;
+
+Sequence
+dna(const std::string &text)
+{
+    return Sequence(Alphabet::dna(), text);
+}
+
+/** The bundled sample: a SNP bubble plus an insertion bubble. */
+const char *kSampleGfa =
+    "H\tVN:Z:1.0\n"
+    "S\ts1\tACTGA\n"
+    "S\ts2\tG\n"
+    "S\ts3\tT\n"
+    "S\ts4\tAC\n"
+    "S\ts5\tGT\n"
+    "S\ts6\tTAGA\n"
+    "L\ts1\t+\ts2\t+\t0M\n"
+    "L\ts1\t+\ts3\t+\t0M\n"
+    "L\ts2\t+\ts4\t+\t0M\n"
+    "L\ts3\t+\ts4\t+\t0M\n"
+    "L\ts4\t+\ts5\t+\t0M\n"
+    "L\ts4\t+\ts6\t+\t0M\n"
+    "L\ts5\t+\ts6\t+\t0M\n";
+
+std::shared_ptr<const VariationGraph>
+sampleGraph()
+{
+    std::istringstream in(kSampleGfa);
+    return std::make_shared<VariationGraph>(
+        pangraph::readGfa(in, Alphabet::dna()));
+}
+
+/** Spell every source-to-sink walk (small graphs only). */
+void
+spellWalks(const VariationGraph &graph, SegmentId at, std::string prefix,
+           std::vector<std::string> &out)
+{
+    prefix += graph.segment(at).label.str();
+    if (graph.outLinks(at).empty()) {
+        out.push_back(prefix);
+        return;
+    }
+    for (SegmentId next : graph.outLinks(at))
+        spellWalks(graph, next, prefix, out);
+}
+
+std::vector<std::string>
+allWalks(const VariationGraph &graph)
+{
+    std::vector<std::string> walks;
+    for (SegmentId s : graph.sources())
+        spellWalks(graph, s, "", walks);
+    return walks;
+}
+
+TEST(Gfa, ParsesSampleGraph)
+{
+    auto graph = sampleGraph();
+    EXPECT_EQ(graph->segmentCount(), 6u);
+    EXPECT_EQ(graph->linkCount(), 7u);
+    EXPECT_EQ(graph->totalLabelLength(), 15u);
+    EXPECT_EQ(graph->sources(), std::vector<SegmentId>{0});
+    EXPECT_EQ(graph->sinks(), std::vector<SegmentId>{5});
+    EXPECT_EQ(graph->segment(graph->findSegment("s6")).label.str(),
+              "TAGA");
+
+    // Deterministic Kahn order; sources first, every link forward.
+    auto order = graph->topologicalOrder();
+    ASSERT_EQ(order.size(), 6u);
+    std::vector<size_t> rank(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        rank[order[i]] = i;
+    for (SegmentId id = 0; id < graph->segmentCount(); ++id)
+        for (SegmentId to : graph->outLinks(id))
+            EXPECT_LT(rank[id], rank[to]);
+
+    // Shortest walk skips s5 (5+1+2+4), longest takes it (+2).
+    auto range = graph->spelledLengthRange();
+    EXPECT_EQ(range.first, 12u);
+    EXPECT_EQ(range.second, 14u);
+}
+
+TEST(Gfa, ToleratesCrlfLowercaseAndComments)
+{
+    std::istringstream in(
+        "# produced by a windows tool\r\n"
+        "H\tVN:Z:1.0\r\n"
+        "S\ta\tacgt\r\n"
+        "S\tb\tTT\r\n"
+        "\r\n"
+        "L\ta\t+\tb\t+\t*\r\n");
+    VariationGraph graph = pangraph::readGfa(in, Alphabet::dna());
+    EXPECT_EQ(graph.segmentCount(), 2u);
+    EXPECT_EQ(graph.segment(0).label.str(), "ACGT");
+    EXPECT_EQ(graph.outLinks(0), std::vector<SegmentId>{1});
+}
+
+TEST(GfaDeath, RejectsReverseStrandLinks)
+{
+    std::istringstream in("S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t-\t0M\n");
+    EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "reverse-strand");
+}
+
+TEST(GfaDeath, RejectsCyclicGraph)
+{
+    std::istringstream in(
+        "S\ta\tAC\nS\tb\tGT\n"
+        "L\ta\t+\tb\t+\t0M\nL\tb\t+\ta\t+\t0M\n");
+    EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "cycle");
+}
+
+TEST(GfaDeath, RejectsUndeclaredSegmentAndMissingSequence)
+{
+    std::istringstream missing("S\ta\tAC\nL\ta\t+\tzz\t+\t0M\n");
+    EXPECT_EXIT(pangraph::readGfa(missing, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "undeclared");
+    std::istringstream star("S\ta\t*\n");
+    EXPECT_EXIT(pangraph::readGfa(star, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "no sequence");
+}
+
+TEST(GfaDeath, RejectsNonBluntOverlap)
+{
+    std::istringstream in("S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t+\t3M\n");
+    EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
+                ::testing::ExitedWithCode(1), "blunt");
+}
+
+TEST(Gfa, RoundTripThroughWriter)
+{
+    auto graph = sampleGraph();
+    std::ostringstream out;
+    pangraph::writeGfa(out, *graph);
+    std::istringstream in(out.str());
+    VariationGraph parsed = pangraph::readGfa(in, Alphabet::dna());
+    EXPECT_TRUE(pangraph::sameTopology(*graph, parsed));
+    EXPECT_EQ(graph->fingerprint(), parsed.fingerprint());
+}
+
+TEST(GraphAlign, SingleSegmentGraphEqualsPairwiseAlignment)
+{
+    // A one-segment graph is plain pairwise alignment; the graph
+    // oracle and the race must both match the classic DP.
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    auto graph = std::make_shared<VariationGraph>(Alphabet::dna());
+    graph->addSegment("ref", dna("ACTGAGA"));
+
+    util::Rng rng(11);
+    GraphAligner aligner(graph, costs);
+    for (int round = 0; round < 8; ++round) {
+        Sequence read =
+            Sequence::random(rng, Alphabet::dna(),
+                             static_cast<size_t>(rng.uniformInt(0, 10)));
+        bio::Score expected =
+            bio::globalScore(read, dna("ACTGAGA"), costs);
+        EXPECT_EQ(pangraph::graphAlignDp(*graph, read, costs).distance,
+                  expected);
+        EXPECT_EQ(aligner.align(read).score, expected);
+    }
+}
+
+TEST(GraphAlign, RaceEqualsOracleAndBestWalkOnSample)
+{
+    auto graph = sampleGraph();
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    GraphAligner aligner(graph, costs);
+    std::vector<std::string> walks = allWalks(*graph);
+    ASSERT_EQ(walks.size(), 4u); // 2 SNP branches x (with|without s5)
+
+    util::Rng rng(23);
+    std::vector<Sequence> reads = {
+        dna("ACTGAGACTAGA"),   // exact shortest walk
+        dna("ACTGATACGTTAGA"), // exact longest walk (via s3, s5)
+        dna("ACTGA"), dna(""), dna("TTTTTTTTTTTT"),
+    };
+    for (int i = 0; i < 6; ++i)
+        reads.push_back(Sequence::random(
+            rng, Alphabet::dna(),
+            static_cast<size_t>(rng.uniformInt(1, 16))));
+
+    for (const Sequence &read : reads) {
+        // Gold standard: the best pairwise alignment over every
+        // spelled walk.
+        bio::Score best = bio::kScoreInfinity;
+        for (const std::string &walk : walks)
+            best = std::min(best,
+                            bio::globalScore(read, dna(walk), costs));
+        pangraph::GraphDpResult oracle =
+            pangraph::graphAlignDp(*graph, read, costs);
+        EXPECT_EQ(oracle.distance, best);
+
+        pangraph::GraphRaceResult raced = aligner.align(read);
+        EXPECT_TRUE(raced.completed);
+        EXPECT_EQ(raced.score, best);
+        EXPECT_EQ(raced.latencyCycles,
+                  static_cast<sim::Tick>(best));
+
+        // The race arrival at product node (j, p) must equal the
+        // oracle DP cell (p, j) -- same shortest-path problem.
+        const size_t positions = oracle.table.rows();
+        for (size_t p = 0; p < positions; ++p) {
+            for (size_t j = 0; j <= read.size(); ++j) {
+                const auto &arrival =
+                    raced.arrival[j * positions + p];
+                const bio::Score cell = oracle.table.at(p, j);
+                if (arrival.fired())
+                    EXPECT_EQ(static_cast<bio::Score>(arrival.time()),
+                              cell);
+                else
+                    EXPECT_EQ(cell, bio::kScoreInfinity);
+            }
+        }
+    }
+}
+
+TEST(GraphAlign, ExactWalkReadMapsAllMatches)
+{
+    auto graph = sampleGraph();
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    GraphAligner aligner(graph, costs);
+
+    // Spell s1 -> s2 -> s4 -> s6 exactly: ACTGA G AC TAGA.
+    Sequence read = dna("ACTGAGACTAGA");
+    GraphMapping mapping = aligner.map(read);
+    EXPECT_EQ(mapping.cigar, "12=");
+    EXPECT_EQ(mapping.distance,
+              static_cast<bio::Score>(read.size())); // match weight 1
+    std::vector<SegmentId> expected = {
+        graph->findSegment("s1"), graph->findSegment("s2"),
+        graph->findSegment("s4"), graph->findSegment("s6")};
+    EXPECT_EQ(mapping.path, expected);
+    EXPECT_EQ(pangraph::rescoreMapping(*graph, read, costs, mapping),
+              mapping.distance);
+}
+
+TEST(GraphAlign, RandomizedRaceOracleAndTracebackAgreement)
+{
+    // Randomized GFAs with SNP bubbles, indel branches, and node
+    // labels from 1 nt up to 64 nt; reads sampled from walks with
+    // mutation noise.  The raced distance must equal the oracle and
+    // every traceback must re-score to it.
+    util::Rng rng(1234);
+    const ScoreMatrix matrices[] = {
+        ScoreMatrix::dnaShortestPath(),
+        ScoreMatrix::dnaShortestPathInfMismatch(),
+    };
+    for (int round = 0; round < 12; ++round) {
+        pangraph::VariationGraphParams params;
+        params.backboneSegments =
+            static_cast<size_t>(rng.uniformInt(2, 6));
+        params.minLabel = 1;
+        params.maxLabel = round < 10 ? 8 : 64; // two big-node rounds
+        params.snpDensity = 0.4;
+        params.insertDensity = 0.25;
+        params.deleteDensity = 0.25;
+        auto graph = std::make_shared<VariationGraph>(
+            pangraph::randomVariationGraph(rng, Alphabet::dna(),
+                                           params));
+        graph->validate();
+
+        const ScoreMatrix &costs = matrices[round % 2];
+        GraphAligner aligner(graph, costs);
+        for (int r = 0; r < 4; ++r) {
+            Sequence read = pangraph::sampleRead(
+                rng, *graph, bio::MutationModel::uniform(0.2));
+            pangraph::GraphDpResult oracle =
+                pangraph::graphAlignDp(*graph, read, costs);
+            pangraph::GraphRaceResult raced = aligner.align(read);
+            ASSERT_TRUE(raced.completed);
+            ASSERT_EQ(raced.score, oracle.distance)
+                << "round " << round << " read " << read.str();
+
+            GraphMapping mapping = aligner.map(read);
+            EXPECT_EQ(mapping.distance, raced.score);
+            EXPECT_EQ(mapping.readConsumed, read.size());
+            EXPECT_EQ(
+                pangraph::rescoreMapping(*graph, read, costs, mapping),
+                mapping.distance);
+        }
+    }
+}
+
+TEST(GraphAlign, SimilarityMatrixOnBalancedGraph)
+{
+    // SNP-only graphs are rank-balanced, so the Section 5 conversion
+    // preserves the optimum across walks and the recovered score
+    // must equal the best similarity over all spelled walks.
+    util::Rng rng(77);
+    auto graph = std::make_shared<VariationGraph>(
+        pangraph::randomVariationGraph(
+            rng, Alphabet::dna(),
+            pangraph::VariationGraphParams::balanced(5)));
+    ScoreMatrix similarity = ScoreMatrix::dnaLongestPath();
+    GraphAligner aligner(graph, similarity);
+    ASSERT_TRUE(aligner.conversion().has_value());
+
+    std::vector<std::string> walks = allWalks(*graph);
+    for (int r = 0; r < 6; ++r) {
+        Sequence read = pangraph::sampleRead(
+            rng, *graph, bio::MutationModel::uniform(0.25));
+        bio::Score best = -bio::kScoreInfinity;
+        for (const std::string &walk : walks)
+            best = std::max(
+                best, bio::globalScore(read, dna(walk), similarity));
+        EXPECT_EQ(aligner.align(read).score, best);
+    }
+}
+
+TEST(GraphAlignDeath, SimilarityNeedsRankBalance)
+{
+    // The sample graph's insertion bubble unbalances walk lengths.
+    auto graph = sampleGraph();
+    EXPECT_EXIT(GraphAligner(graph, ScoreMatrix::dnaLongestPath()),
+                ::testing::ExitedWithCode(1), "rank-balanced");
+}
+
+TEST(GraphAlign, HorizonAbortMatchesFullRaceVerdict)
+{
+    auto graph = sampleGraph();
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    GraphAligner aligner(graph, costs);
+    util::Rng rng(5);
+    for (int r = 0; r < 10; ++r) {
+        Sequence read = pangraph::sampleRead(
+            rng, *graph, bio::MutationModel::uniform(0.3));
+        pangraph::GraphRaceResult full = aligner.align(read);
+        const sim::Tick threshold =
+            static_cast<sim::Tick>(rng.uniformInt(0, 20));
+        pangraph::GraphRaceResult bounded =
+            aligner.align(read, threshold);
+        if (full.racedCost <= static_cast<bio::Score>(threshold)) {
+            EXPECT_TRUE(bounded.completed);
+            EXPECT_EQ(bounded.racedCost, full.racedCost);
+        } else {
+            EXPECT_FALSE(bounded.completed);
+            EXPECT_EQ(bounded.score, bio::kScoreInfinity);
+            EXPECT_EQ(bounded.latencyCycles, threshold);
+        }
+    }
+}
+
+TEST(GraphAlignDeath, RejectsUnraceableWeightsAtPlanTime)
+{
+    // Bad matrices must fail in the GraphAligner constructor with a
+    // diagnostic, not deep inside the wavefront kernel.
+    auto graph = sampleGraph();
+    ScoreMatrix infGap = ScoreMatrix::dnaShortestPath();
+    infGap.setGap(Alphabet::dna().encode('A'), bio::kScoreInfinity);
+    EXPECT_EXIT(GraphAligner(graph, infGap),
+                ::testing::ExitedWithCode(1), "finite indel");
+
+    ScoreMatrix huge = ScoreMatrix::uniform(
+        Alphabet::dna(), bio::ScoreKind::Cost,
+        core::kMaxWavefrontWeight + 1);
+    EXPECT_EXIT(GraphAligner(graph, huge),
+                ::testing::ExitedWithCode(1), "calendar cap");
+}
+
+TEST(GraphAlignDeath, VariationGraphRejectsBadSegments)
+{
+    VariationGraph graph{Alphabet::dna()};
+    graph.addSegment("a", dna("AC"));
+    EXPECT_EXIT(graph.addSegment("a", dna("GT")),
+                ::testing::ExitedWithCode(1), "duplicate");
+    EXPECT_EXIT(graph.addSegment("b", dna("")),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace

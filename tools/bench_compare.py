@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
-"""Diff a fresh google-benchmark JSON run against the committed baseline.
+"""Diff fresh google-benchmark JSON runs against the committed baseline.
 
 Usage:
-    tools/bench_compare.py fresh.json [--baseline BENCH_baseline.json]
+    tools/bench_compare.py fresh.json [more.json ...]
+                           [--baseline BENCH_baseline.json]
                            [--tolerance 0.25] [--metric cpu_time]
                            [--benches name1,name2,...]
+
+Multiple fresh files are merged (later files win on name clashes), so
+CI can feed bench_microbench.json and bench_graph_align.json into one
+comparison.
 
 Fails (exit 1) when any named headline benchmark regresses by more
 than the tolerance relative to the baseline, i.e. when
@@ -34,6 +39,7 @@ HEADLINE_BENCHES = [
     "BM_CompiledSimGrid/64",        # compiled gate-level kernel
     "BM_CompiledSim64Lane/64",      # bit-parallel gate-level batch
     "BM_ApiEngineSolveCached/256",  # facade overhead on the hot path
+    "BM_GraphAlignRace/64",         # pangraph product-DAG race
 ]
 
 
@@ -47,7 +53,9 @@ def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("fresh", help="fresh --benchmark_format=json run")
+    parser.add_argument("fresh", nargs="+",
+                        help="fresh --benchmark_format=json run(s); "
+                             "merged in order")
     parser.add_argument(
         "--baseline",
         default=str(Path(__file__).resolve().parent.parent /
@@ -66,7 +74,9 @@ def main():
 
     names = (args.benches.split(",") if args.benches
              else HEADLINE_BENCHES)
-    fresh = load_benchmarks(args.fresh)
+    fresh = {}
+    for path in args.fresh:
+        fresh.update(load_benchmarks(path))
     baseline = load_benchmarks(args.baseline)
 
     width = max(len(name) for name in names)

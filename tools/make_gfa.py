@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Generate random variation graphs as GFA v1 for the pangraph workload.
+
+Usage:
+    tools/make_gfa.py [--nodes 8] [--min-len 1] [--max-len 8]
+                      [--snp 0.3] [--insert 0.15] [--delete 0.15]
+                      [--alphabet ACGT] [--seed 0] [--cyclic]
+                      [-o out.gfa]
+
+Emits a linear backbone of --nodes segments decorated with SNP
+bubbles (two single-base branches), insertion branches (an optional
+extra segment), and deletion edges (a link skipping one backbone
+segment) at the given densities -- the same shapes
+rl/pangraph/generate.h produces in-process for the C++ tests and
+bench_graph_align.  Labels are uniform random over --alphabet with
+lengths in [--min-len, --max-len] (clamped to the 1..64 nt range the
+tests exercise).
+
+--cyclic adds one back link, producing a file the parser must REJECT
+(rl/pangraph/gfa.h's cyclic-GFA rejection path) -- useful for
+exercising error handling from the command line:
+
+    tools/make_gfa.py --cyclic | ./build/graph_align /dev/stdin reads.fa
+"""
+
+import argparse
+import random
+import sys
+
+
+def build_graph(args, rng):
+    """Return (segments, links): name -> label, and (from, to) pairs."""
+    def label():
+        n = rng.randint(args.min_len, args.max_len)
+        return "".join(rng.choice(args.alphabet) for _ in range(n))
+
+    segments = []  # (name, label) in declaration order
+    links = []
+    counter = 0
+
+    def add(lbl):
+        nonlocal counter
+        counter += 1
+        name = f"s{counter}"
+        segments.append((name, lbl))
+        return name
+
+    backbone = [add(label()) for _ in range(args.nodes)]
+    for i in range(len(backbone) - 1):
+        src, dst = backbone[i], backbone[i + 1]
+        roll = rng.random()
+        if roll < args.snp:
+            ref = rng.choice(args.alphabet)
+            alt = rng.choice([c for c in args.alphabet if c != ref])
+            a, b = add(ref), add(alt)
+            links += [(src, a), (src, b), (a, dst), (b, dst)]
+        elif roll < args.snp + args.insert:
+            ins = add(label())
+            links += [(src, ins), (ins, dst), (src, dst)]
+        else:
+            links.append((src, dst))
+        if i + 2 < len(backbone) and rng.random() < args.delete:
+            links.append((src, backbone[i + 2]))
+
+    if args.cyclic:
+        # A back link, or a self-link for a single node -- either way
+        # the parser must reject the result.
+        links.append((backbone[-1], backbone[0]))
+    return segments, links
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="backbone segments (default 8)")
+    parser.add_argument("--min-len", type=int, default=1,
+                        help="shortest segment label (default 1)")
+    parser.add_argument("--max-len", type=int, default=8,
+                        help="longest segment label (default 8)")
+    parser.add_argument("--snp", type=float, default=0.3,
+                        help="SNP bubble density (default 0.3)")
+    parser.add_argument("--insert", type=float, default=0.15,
+                        help="insertion branch density (default 0.15)")
+    parser.add_argument("--delete", type=float, default=0.15,
+                        help="deletion edge density (default 0.15)")
+    parser.add_argument("--alphabet", default="ACGT",
+                        help="label alphabet (default ACGT)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    parser.add_argument("--cyclic", action="store_true",
+                        help="add a back link: the parser must reject "
+                             "the result (tests the DAG-only path)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default stdout)")
+    args = parser.parse_args()
+
+    if args.nodes < 1:
+        parser.error("--nodes must be >= 1")
+    if not (1 <= args.min_len <= args.max_len <= 64):
+        parser.error("label lengths must satisfy 1 <= min <= max <= 64")
+    if not args.alphabet:
+        parser.error("--alphabet must be non-empty")
+    if args.snp > 0 and len(set(args.alphabet)) < 2:
+        parser.error("SNP bubbles need >= 2 distinct alphabet letters "
+                     "(use --snp 0 with a unary alphabet)")
+
+    rng = random.Random(args.seed)
+    segments, links = build_graph(args, rng)
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        out.write("H\tVN:Z:1.0\n")
+        for name, lbl in segments:
+            out.write(f"S\t{name}\t{lbl}\n")
+        for src, dst in links:
+            out.write(f"L\t{src}\t+\t{dst}\t+\t0M\n")
+    finally:
+        if args.output:
+            out.close()
+    print(f"{len(segments)} segments, {len(links)} links"
+          + (" (cyclic!)" if args.cyclic else ""), file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
