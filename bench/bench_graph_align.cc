@@ -1,15 +1,17 @@
 /**
  * @file
  * google-benchmark suite for the rl/pangraph workload: product-DAG
- * construction, the raced alignment (the GraphAlign hot path), the
- * graph-NW oracle it is checked against, traceback, and engine
- * read-mapping batches on one cached graph plan.
+ * construction, the fused raced alignment (the GraphAlign hot path),
+ * the materialized-DAG reference it is checked against, the graph-NW
+ * oracle, traceback, and engine read-mapping batches on one cached
+ * graph plan.
  *
  * The graph scales with the read: a random variation graph whose
  * backbone grows with range(0), read sampled from a walk with
- * Section 6-style mutation noise.  BM_GraphAlignRace/64 is a
- * headline bench (tools/bench_compare.py) -- refresh
- * BENCH_baseline.json in the PR that changes it.
+ * Section 6-style mutation noise.  BM_GraphAlignRace/64,
+ * BM_GraphAlignFused/64, and BM_GraphMapReadsBatch/1 are headline
+ * benches (tools/bench_compare.py) -- refresh BENCH_baseline.json in
+ * the PR that changes them.
  */
 
 #include <benchmark/benchmark.h>
@@ -66,8 +68,10 @@ BENCHMARK(BM_GraphAlignBuild)->Arg(16)->Arg(64);
 void
 BM_GraphAlignRace(benchmark::State &state)
 {
-    // The GraphAlign hot path: product build + bucketed wavefront
-    // race, one read against a cached plan (headline bench).
+    // The GraphAlign hot path: one read against a cached plan via
+    // the default align() -- the fused kernel since PR 5, on the
+    // wrapper's per-thread scratch, plus score recovery (headline
+    // bench; BM_GraphAlignFused isolates the raw kernel sweep).
     Workload w(size_t(state.range(0)));
     pangraph::GraphAligner aligner(w.graph,
                                    ScoreMatrix::dnaShortestPath());
@@ -78,6 +82,41 @@ BM_GraphAlignRace(benchmark::State &state)
         int64_t(w.graph->totalLabelLength()));
 }
 BENCHMARK(BM_GraphAlignRace)->Arg(16)->Arg(64);
+
+void
+BM_GraphAlignFused(benchmark::State &state)
+{
+    // Steady-state fused sweep: calendar arena and weight rows
+    // reused across reads, the per-thread shape of the engine's
+    // read-mapping batch body (headline bench).
+    Workload w(size_t(state.range(0)));
+    pangraph::GraphAligner aligner(w.graph,
+                                   ScoreMatrix::dnaShortestPath());
+    pangraph::GraphAlignScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pangraph::raceAlignmentGrid(
+            aligner.compiled(), w.read, aligner.costs(),
+            sim::kTickInfinity, scratch));
+    state.SetItemsProcessed(
+        int64_t(state.iterations()) * int64_t(w.read.size()) *
+        int64_t(w.graph->totalLabelLength()));
+}
+BENCHMARK(BM_GraphAlignFused)->Arg(16)->Arg(64);
+
+void
+BM_GraphAlignReference(benchmark::State &state)
+{
+    // The materialized path the fused kernel replaced: build the
+    // product graph::Dag, then race it on the general CSR kernel.
+    // Kept as the before number (and the gate-level synthesis path).
+    Workload w(size_t(state.range(0)));
+    pangraph::GraphAligner aligner(w.graph,
+                                   ScoreMatrix::dnaShortestPath());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aligner.align(pangraph::buildAlignmentGraph(
+            aligner.compiled(), w.read, aligner.costs())));
+}
+BENCHMARK(BM_GraphAlignReference)->Arg(16)->Arg(64);
 
 void
 BM_GraphAlignOracle(benchmark::State &state)
@@ -94,12 +133,18 @@ BENCHMARK(BM_GraphAlignOracle)->Arg(16)->Arg(64);
 void
 BM_GraphAlignTraceback(benchmark::State &state)
 {
-    // Race + (walk, CIGAR) reconstruction from the arrival times.
+    // (walk, CIGAR) reconstruction alone: race once outside the
+    // loop, then walk tight edges of the arrival vector per
+    // iteration.  (It used to re-run build+race per iteration, which
+    // made the row meaningless as a traceback number.)
     Workload w(size_t(state.range(0)));
     pangraph::GraphAligner aligner(w.graph,
                                    ScoreMatrix::dnaShortestPath());
+    pangraph::GraphRaceResult raced = aligner.align(w.read);
     for (auto _ : state)
-        benchmark::DoNotOptimize(aligner.map(w.read));
+        benchmark::DoNotOptimize(pangraph::mappingFromArrival(
+            aligner.compiled(), w.read, aligner.costs(),
+            raced.arrival));
 }
 BENCHMARK(BM_GraphAlignTraceback)->Arg(16)->Arg(64);
 

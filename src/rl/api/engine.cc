@@ -599,6 +599,12 @@ RaceEngine::raceGraphBehavioral(
                                   ? static_cast<sim::Tick>(threshold)
                                   : sim::kTickInfinity;
 
+    // The Behavioral path races the fused kernel -- align(read) keeps
+    // one scratch per thread, so the read-mapping batch loop (and
+    // every serial solve) allocates no kernel storage per read and
+    // never materializes a product DAG.  Only the GateLevel caller
+    // passes a product in (it is also the synthesis input, so it
+    // must not be built twice).
     pangraph::GraphRaceResult raced =
         product ? aligner.align(*product, horizon)
                 : aligner.align(*problem.a, horizon);

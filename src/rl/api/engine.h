@@ -206,7 +206,8 @@ class RaceEngine
      * allocation-local for the same parallel-batch reason.
      * `product` shares an already-built product DAG (the GateLevel
      * path builds it once for both the race and synthesis); null
-     * builds per call.
+     * races the fused kernel -- no product DAG is materialized on
+     * the Behavioral path.
      */
     RaceResult raceGraphBehavioral(
         const RaceProblem &problem, const Plan &plan,

@@ -26,24 +26,14 @@ namespace {
 
 using util::Fnv;
 
-/** FNV-1a over the full matrix contents: the hardware identity of a
- *  score matrix (two fabrics are interchangeable iff this matches). */
+/** The hardware identity of a score matrix (two fabrics are
+ *  interchangeable iff this matches) -- the shared
+ *  bio::ScoreMatrix::fingerprint(), kept under its old local name so
+ *  the key builders below read unchanged. */
 uint64_t
 matrixFingerprint(const bio::ScoreMatrix &matrix)
 {
-    Fnv f;
-    f.mix(static_cast<uint64_t>(matrix.kind()));
-    size_t n = matrix.alphabet().size();
-    f.mix(n);
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < n; ++j)
-            f.mix(static_cast<uint64_t>(
-                matrix.pair(static_cast<bio::Symbol>(i),
-                            static_cast<bio::Symbol>(j))));
-        f.mix(static_cast<uint64_t>(
-            matrix.gap(static_cast<bio::Symbol>(i))));
-    }
-    return f.h;
+    return matrix.fingerprint();
 }
 
 /** Content hash of a sequence (symbols are baked into affine plans). */

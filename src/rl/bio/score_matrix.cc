@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "rl/util/fnv.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::bio {
@@ -247,6 +248,22 @@ ScoreMatrix::dynamicRange() const
               "cost matrix must have all weights >= 1 for Race Logic; "
               "run toShortestPathForm() first");
     return maxFinite();
+}
+
+uint64_t
+ScoreMatrix::fingerprint() const
+{
+    util::Fnv f;
+    f.mix(static_cast<uint64_t>(kind_));
+    const size_t n = alphabet_.size();
+    f.mix(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            f.mix(static_cast<uint64_t>(
+                pair(static_cast<Symbol>(i), static_cast<Symbol>(j))));
+        f.mix(static_cast<uint64_t>(gap(static_cast<Symbol>(i))));
+    }
+    return f.h;
 }
 
 std::string

@@ -119,6 +119,15 @@ class ScoreMatrix
      */
     Score dynamicRange() const;
 
+    /**
+     * FNV-1a over kind, alphabet size, and every pair/gap weight:
+     * the hardware identity of a score matrix (two fabrics are
+     * interchangeable iff this matches).  Used by the api plan-cache
+     * shape keys and by CompiledGraph to pin the matrix its hoisted
+     * weights were bound to.
+     */
+    uint64_t fingerprint() const;
+
     /** Pretty-print in the Fig. 2 layout (letters + gap row/col). */
     std::string toString() const;
 

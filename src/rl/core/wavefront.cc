@@ -138,6 +138,16 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
     for (size_t j = 0; j < cols; ++j)
         gapB[j] = costs.gap(b[j]);
 
+    // The calendar cells and arena offsets are 32-bit; bound the
+    // grid so neither can wrap (each cell fires at most once and
+    // pushes at most three arrivals).  Checked before the arrival
+    // grid is allocated, so the diagnostic fires instead of an OOM.
+    if ((rows + 1) * (cols + 1) >=
+        static_cast<size_t>(BucketCalendar::kNil) / 3)
+        rl_fatal("edit grid of ", rows, " x ", cols,
+                 " exceeds the calendar's 32-bit arena; split the "
+                 "comparison");
+
     RaceGridResult result;
     result.arrival = util::Grid<sim::Tick>(rows + 1, cols + 1,
                                            sim::kTickInfinity);
@@ -146,29 +156,25 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
     // node arena.  Weights are >= 1, so a drain of tick t never
     // pushes back into bucket t, and nothing scheduled can alias a
     // slot still holding older entries (Dial's invariant).
-    constexpr uint32_t kNil = RaceGridScratch::kNil;
     const size_t ring = static_cast<size_t>(costs.maxFinite()) + 1;
-    std::vector<uint32_t> &heads = scratch.heads;
-    std::vector<RaceGridScratch::Node> &arena = scratch.arena;
-    heads.assign(ring, kNil);
-    arena.clear();
-    size_t pending = 0;
+    BucketCalendar &calendar = scratch.calendar;
+    calendar.reset(ring);
 
     // fire() generates the cell's out-edges straight from the cost
-    // matrix -- the edit graph is never materialized.
-    auto fire = [&](size_t cell, sim::Tick t) {
+    // matrix -- the edit graph is never materialized.  `slot` is
+    // t % ring, tracked by the calendar's drain; pushAhead addresses
+    // the ring as slot + w with one conditional wrap (w <= maxFinite
+    // < ring), so the sweep divides nothing per scheduled arrival.
+    auto fire = [&](size_t cell, sim::Tick t, size_t slot) {
         const size_t i = cell / width;
         const size_t j = cell % width;
         result.arrival.at(i, j) = t;
         ++result.cellsFired;
         auto push = [&](size_t to, bio::Score w) {
-            sim::Tick at = t + static_cast<sim::Tick>(w);
-            if (at > horizon)
+            if (t + static_cast<sim::Tick>(w) > horizon)
                 return; // Section 6: the abort counter trips first.
-            uint32_t &head = heads[at % ring];
-            arena.push_back({static_cast<uint32_t>(to), head});
-            head = static_cast<uint32_t>(arena.size() - 1);
-            ++pending;
+            calendar.pushAhead(static_cast<uint32_t>(to), slot,
+                               static_cast<size_t>(w), ring);
         };
         if (i < rows) // vertical: delete a[i]
             push(cell + width, gapA[i]);
@@ -181,26 +187,15 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
         }
     };
 
-    fire(0, 0); // root injected at tick 0 (always <= horizon)
+    fire(0, 0, 0); // root injected at tick 0 (always <= horizon)
 
-    for (sim::Tick t = 0; pending > 0; ++t) {
-        // Detach the chain first: fire() appends to *other* buckets
-        // only (weights >= 1), but may grow the arena, so each node
-        // is copied out before its out-edges are generated.
-        uint32_t node = heads[t % ring];
-        heads[t % ring] = kNil;
-        while (node != kNil) {
-            const RaceGridScratch::Node entry = arena[node];
-            node = entry.next;
-            --pending;
-            ++result.events;
-            const size_t r = entry.cell / width;
-            const size_t c = entry.cell % width;
-            if (result.arrival.at(r, c) != sim::kTickInfinity)
-                continue; // OR cell already high
-            fire(entry.cell, t);
-        }
-    }
+    calendar.drain(ring, [&](uint32_t cell, sim::Tick t, size_t slot) {
+        ++result.events;
+        const size_t r = cell / width;
+        const size_t c = cell % width;
+        if (result.arrival.at(r, c) == sim::kTickInfinity)
+            fire(cell, t, slot); // else: OR cell already high
+    });
 
     const sim::Tick sink = result.arrival.at(rows, cols);
     if (sink != sim::kTickInfinity) {

@@ -102,18 +102,25 @@ class WavefrontRaceKernel
 };
 
 /**
- * Reusable scratch state for raceEditGrid: the bucket calendar as a
- * single flat arena.
+ * The Dial's-algorithm bucket calendar as a single flat arena, shared
+ * by the fused sweep kernels (raceEditGrid here and
+ * pangraph::raceAlignmentGrid).
  *
  * Instead of a vector-of-vectors calendar (one heap allocation per
  * ring slot, re-allocated every call), the pending arrivals live in
  * one backing vector of {cell, next} nodes and the ring holds only
  * head offsets into it -- push is an O(1) append plus a head swap,
- * and a drain walks the chain.  A scratch passed across calls keeps
- * the arena's capacity, so steady-state screening (the per-thread
- * batch loop) allocates nothing per comparison.
+ * and a drain walks a detached chain.  A calendar kept across calls
+ * retains the arena's capacity, so steady-state screening and read
+ * mapping (the per-thread batch loops) allocate no calendar storage
+ * per comparison.
+ *
+ * The chain-detach drain relies on Dial's w >= 1 invariant: a fire at
+ * tick t must never schedule back into bucket t (zero-weight edges
+ * need kernel-level special-casing, as the super-sink wires of the
+ * graph-align kernel do).
  */
-struct RaceGridScratch {
+struct BucketCalendar {
     /** One pending arrival, chained per bucket. */
     struct Node {
         uint32_t cell;
@@ -124,6 +131,84 @@ struct RaceGridScratch {
 
     std::vector<uint32_t> heads; ///< per ring slot: chain head offset
     std::vector<Node> arena;     ///< the one backing vector
+    size_t pending = 0;          ///< scheduled-but-undrained arrivals
+
+    /** Empty the ring to `ring` buckets, keeping arena capacity. */
+    void
+    reset(size_t ring)
+    {
+        heads.assign(ring, kNil);
+        arena.clear();
+        pending = 0;
+    }
+
+    /** O(1) append of `cell` to the bucket at ring slot `slot`. */
+    void
+    push(uint32_t cell, size_t slot)
+    {
+        uint32_t &head = heads[slot];
+        arena.push_back({cell, head});
+        head = static_cast<uint32_t>(arena.size() - 1);
+        ++pending;
+    }
+
+    /**
+     * Append `cell` to the bucket `w` ticks ahead of the slot being
+     * drained, with one conditional wrap instead of a division
+     * (requires w < ring, i.e. ring sized to maxWeight + 1).
+     */
+    void
+    pushAhead(uint32_t cell, size_t slot, size_t w, size_t ring)
+    {
+        size_t at = slot + w;
+        if (at >= ring)
+            at -= ring;
+        push(cell, at);
+    }
+
+    /** Detach and return slot's chain head (kNil when empty). */
+    uint32_t
+    detach(size_t slot)
+    {
+        uint32_t head = heads[slot];
+        heads[slot] = kNil;
+        return head;
+    }
+
+    /**
+     * Drain bucket after bucket from tick 0 until the calendar is
+     * empty, invoking visit(cell, t, slot) for every scheduled
+     * arrival.  Each chain is detached before its nodes are visited:
+     * visit may push -- into *other* buckets only (the w >= 1
+     * invariant) -- and may grow the arena, so nodes are copied out
+     * first.  The current slot (t % ring) is tracked incrementally
+     * and handed to visit so pushes divide nothing.
+     */
+    template <typename Visit>
+    void
+    drain(size_t ring, Visit &&visit)
+    {
+        size_t slot = 0;
+        for (sim::Tick t = 0; pending > 0; ++t) {
+            uint32_t node = detach(slot);
+            while (node != kNil) {
+                const Node entry = arena[node];
+                node = entry.next;
+                --pending;
+                visit(entry.cell, t, slot);
+            }
+            if (++slot == ring)
+                slot = 0;
+        }
+    }
+};
+
+/**
+ * Reusable scratch state for raceEditGrid: the bucket calendar plus
+ * the hoisted per-symbol gap weights.
+ */
+struct RaceGridScratch {
+    BucketCalendar calendar;
     std::vector<bio::Score> gapA, gapB; ///< hoisted gap weights
 };
 

@@ -1,13 +1,57 @@
 #include "rl/pangraph/alignment_graph.h"
 
+#include <atomic>
+
+#include "rl/core/wavefront.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::pangraph {
 
+namespace {
+
+/** Products materialized so far (test instrumentation, relaxed). */
+std::atomic<uint64_t> materializedProducts{0};
+
+} // namespace
+
+uint64_t
+alignmentGraphBuildCount()
+{
+    return materializedProducts.load(std::memory_order_relaxed);
+}
+
 CompiledGraph
-compileGraph(const VariationGraph &graph)
+compileGraph(const VariationGraph &graph, const bio::ScoreMatrix &race)
 {
     graph.validate();
+    rl_assert(graph.alphabet() == race.alphabet(),
+              "graph and race matrix use different alphabets");
+    rl_assert(race.isCost(),
+              "compileGraph binds the race-ready Cost-kind matrix");
+    // Plan-time weight validation the fused kernel relies on (its
+    // per-read check is the cheap fingerprint equality): the
+    // chain-detaching calendar drain needs every finite weight >= 1,
+    // gap weights must be finite (every character insertable or no
+    // walk connects the corners -- and an infinite gap would size
+    // the kernel's ring from kScoreInfinity), and no weight may
+    // exceed the bucket-calendar cap.  GraphAligner repeats these
+    // with plan-level diagnostics; direct compileGraph callers get
+    // them here.
+    rl_assert(race.minFinite() >= 1,
+              "graph alignment requires all finite weights >= 1 (got ",
+              race.minFinite(), ")");
+    for (size_t s = 0; s < race.alphabet().size(); ++s)
+        if (race.gap(static_cast<bio::Symbol>(s)) == bio::kScoreInfinity)
+            rl_fatal("gap weight for '",
+                     race.alphabet().letter(static_cast<bio::Symbol>(s)),
+                     "' is infinite; graph alignment needs finite "
+                     "indel weights");
+    if (race.maxFinite() > core::kMaxWavefrontWeight)
+        rl_fatal("largest race weight ", race.maxFinite(),
+                 " exceeds the wavefront kernel's calendar cap ",
+                 core::kMaxWavefrontWeight,
+                 "; rescale the matrix (or lower lambda on "
+                 "similarity plans)");
 
     CompiledGraph out;
     const size_t segs = graph.segmentCount();
@@ -16,7 +60,7 @@ compileGraph(const VariationGraph &graph)
 
     out.symbol.assign(positions, 0);
     out.segmentOf.assign(positions, kNoSegment);
-    out.terminal.assign(positions, false);
+    out.terminal.assign(positions, 0);
     out.firstChar.resize(segs);
     out.lastChar.resize(segs);
 
@@ -31,9 +75,17 @@ compileGraph(const VariationGraph &graph)
         }
         out.lastChar[id] = next - 1;
         if (graph.outLinks(id).empty())
-            out.terminal[out.lastChar[id]] = true;
+            out.terminal[out.lastChar[id]] = 1;
     }
     rl_assert(next == positions, "character numbering drifted");
+
+    // Per-position gap weights, hoisted so the deletion-edge family
+    // of both product builders reads a flat array; the fingerprint
+    // pins the matrix they came from.
+    out.gapWeight.assign(positions, 0);
+    for (size_t p = 1; p < positions; ++p)
+        out.gapWeight[p] = race.gap(out.symbol[p]);
+    out.matrixFingerprint = race.fingerprint();
 
     // Successor counts, then a prefix-sum fill (CSR construction).
     std::vector<uint32_t> degree(positions, 0);
@@ -85,6 +137,10 @@ buildAlignmentGraph(const CompiledGraph &compiled,
     rl_assert(costs.isCost(), "graph alignment races a Cost-kind matrix");
     rl_assert(read.alphabet() == costs.alphabet(),
               "read and matrix use different alphabets");
+    rl_assert(costs.fingerprint() == compiled.matrixFingerprint,
+              "matrix does not match the one the graph was compiled "
+              "with; the hoisted gap weights would mix tables");
+    materializedProducts.fetch_add(1, std::memory_order_relaxed);
 
     const size_t m = read.size();
     const size_t positions = compiled.positionCount();
@@ -120,8 +176,10 @@ buildAlignmentGraph(const CompiledGraph &compiled,
                  e < compiled.succOffsets[p + 1]; ++e) {
                 const CharPos q = compiled.succ[e];
                 const bio::Symbol sym = compiled.symbol[q];
-                // Consume graph char q against a gap (deletion).
-                out.dag.addEdge(here, out.node(j, q), costs.gap(sym));
+                // Consume graph char q against a gap (deletion);
+                // weight hoisted into the compiled view.
+                out.dag.addEdge(here, out.node(j, q),
+                                compiled.gapWeight[q]);
                 if (j < m) {
                     bio::Score w = costs.pair(read[j], sym);
                     if (w != bio::kScoreInfinity)

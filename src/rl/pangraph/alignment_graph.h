@@ -17,11 +17,14 @@
  * Two layers are split deliberately:
  *
  *  - CompiledGraph is the read-independent half: character symbols,
- *    the successor/predecessor CSR over positions, and terminal
- *    flags.  One compile serves every read, which is what the api
- *    plan cache stores per pangenome.
+ *    the successor/predecessor CSR over positions, terminal flags,
+ *    and the per-position gap weights of the race-ready cost matrix,
+ *    all as flat arrays.  One compile serves every read, which is
+ *    what the api plan cache stores per pangenome.
  *  - buildAlignmentGraph() stamps a read onto the compiled graph,
- *    producing the product graph::Dag plus its node layout.
+ *    producing the product graph::Dag plus its node layout.  The
+ *    fused kernel (rl/pangraph/graph_align_kernel.h) races the same
+ *    product straight from the compiled arrays instead.
  */
 
 #ifndef RACELOGIC_PANGRAPH_ALIGNMENT_GRAPH_H
@@ -63,8 +66,30 @@ struct CompiledGraph {
     std::vector<uint32_t> predOffsets;
     std::vector<CharPos> pred;
 
-    /** True iff the position ends a sink segment (alignment may end). */
-    std::vector<bool> terminal;
+    /**
+     * 1 iff the position ends a sink segment (alignment may end).
+     * Deliberately uint8_t, not vector<bool>: the fused kernel reads
+     * this flag per fired (m, p) state, and a packed bit-walk in that
+     * loop costs more than the byte it saves.
+     */
+    std::vector<uint8_t> terminal;
+
+    /**
+     * Gap (indel) weight of each position's symbol under the race
+     * cost matrix the graph was compiled with (index 0 unused).
+     * Hoisted here so the deletion-edge family reads one flat array
+     * instead of re-deriving symbol -> matrix lookups per edge.
+     */
+    std::vector<bio::Score> gapWeight;
+
+    /**
+     * bio::ScoreMatrix::fingerprint() of the matrix the hoisted
+     * weights were bound to.  Both product builders assert the
+     * matrix they are handed matches: mixing a compiled view with a
+     * different matrix would blend weight tables -- and could hand
+     * the fused kernel a weight beyond its calendar ring.
+     */
+    uint64_t matrixFingerprint = 0;
 
     /** Character count K (positions are 0..K). */
     size_t charCount = 0;
@@ -72,8 +97,14 @@ struct CompiledGraph {
     size_t positionCount() const { return charCount + 1; }
 };
 
-/** Expand a validated variation graph into its character-level view. */
-CompiledGraph compileGraph(const VariationGraph &graph);
+/**
+ * Expand a validated variation graph into its character-level view
+ * under `race`, the race-ready cost matrix the products will be
+ * swept with (it supplies the hoisted per-position gap weights, so a
+ * compiled view is bound to one matrix exactly as the api plan is).
+ */
+CompiledGraph compileGraph(const VariationGraph &graph,
+                           const bio::ScoreMatrix &race);
 
 /**
  * The product edit DAG of one read against a compiled graph, ready
@@ -113,6 +144,14 @@ struct AlignmentGraph {
 AlignmentGraph buildAlignmentGraph(const CompiledGraph &compiled,
                                    const bio::Sequence &read,
                                    const bio::ScoreMatrix &costs);
+
+/**
+ * Product DAGs materialized since process start (monotone, relaxed).
+ * Test instrumentation: the Behavioral read-mapping path races fused
+ * and must not build one per read; the equivalence suites assert the
+ * counter stays flat across batches.
+ */
+uint64_t alignmentGraphBuildCount();
 
 } // namespace racelogic::pangraph
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fused sequence-to-graph wavefront kernel: race a read against the
+ * pangenome without materializing the (read x graph) product DAG.
+ *
+ * The paper's whole point is that the edit recurrence races as a
+ * wavefront whose cost is the work actually done -- yet the
+ * materialized path spends more time *building* the product
+ * graph::Dag per read than racing it.  This kernel is the graph
+ * analogue of core::raceEditGrid(): a Dial's-algorithm bucket sweep
+ * over product states (j, p) -- j read characters consumed, graph
+ * character p consumed last -- that generates each state's three
+ * edge families on the fly from CompiledGraph's successor CSR and
+ * the cost matrix:
+ *
+ *  - graph gap (deletion):      (j, p) -> (j, q)    gapWeight[q]
+ *  - substitute / match:        (j, p) -> (j+1, q)  pair(read[j], sym(q))
+ *  - read gap (insertion):      (j, p) -> (j+1, p)  gap(read[j])
+ *
+ * for each compiled successor q of p.  Terminal states (m, p) feed
+ * the super-sink OR through zero-weight wires; the kernel folds those
+ * into the sink arrival directly (a zero-weight push would violate
+ * the calendar's chain-detach w >= 1 invariant), counting one event
+ * per wire exactly as the DAG kernel drains them.
+ *
+ * The outcome is bit-identical -- arrival vector (AlignmentGraph::
+ * node() layout, super-sink included), event count, sink score, and
+ * Section 6 horizon aborts -- to building the product with
+ * buildAlignmentGraph() and racing it on core::WavefrontRaceKernel;
+ * tests/pangraph_test.cc asserts the equivalence on randomized
+ * graphs.  The materialized path stays as the tested reference and as
+ * the gate-level synthesis input.
+ *
+ * Work is O(states) flat arrays plus the reusable GraphAlignScratch
+ * arena (the twin of core::RaceGridScratch), so steady-state read
+ * mapping -- one scratch per thread in the api batch body --
+ * allocates nothing per comparison beyond the arrival vector it
+ * returns.
+ */
+
+#ifndef RACELOGIC_PANGRAPH_GRAPH_ALIGN_KERNEL_H
+#define RACELOGIC_PANGRAPH_GRAPH_ALIGN_KERNEL_H
+
+#include <vector>
+
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+#include "rl/core/temporal.h"
+#include "rl/core/wavefront.h"
+#include "rl/pangraph/alignment_graph.h"
+
+namespace racelogic::pangraph {
+
+/** Outcome of racing one read against the graph. */
+struct GraphRaceResult {
+    /** Alignment score in the caller's matrix units (similarity
+     *  recovered via Section 5 on converted plans; the raw raced
+     *  cost until GraphAligner applies the recovery);
+     *  kScoreInfinity when the race aborted at its horizon. */
+    bio::Score score = 0;
+
+    /** The raw race outcome: sink arrival cycle (converted cost). */
+    bio::Score racedCost = 0;
+
+    /** True iff the sink fired (false only under a horizon). */
+    bool completed = true;
+
+    /** Race duration in cycles (the horizon cycle when aborted). */
+    sim::Tick latencyCycles = 0;
+
+    /** Events processed by the wavefront kernel. */
+    uint64_t events = 0;
+
+    /** Product-DAG nodes, and how many fired. */
+    size_t nodes = 0;
+    size_t cellsFired = 0;
+
+    /** Per-node firing times, AlignmentGraph::node() layout. */
+    std::vector<core::TemporalValue> arrival;
+};
+
+/**
+ * Reusable scratch state for raceAlignmentGrid: the shared bucket
+ * calendar plus the per-read weight rows hoisted out of the sweep.
+ */
+struct GraphAlignScratch {
+    core::BucketCalendar calendar;
+
+    /** Insertion-edge weight per read offset: gap(read[j]). */
+    std::vector<bio::Score> gapRead;
+
+    /**
+     * Substitution-edge weights as one flat row per read offset,
+     * indexed by graph symbol: pairRow[j * |alphabet| + sym] =
+     * pair(read[j], sym).  kScoreInfinity marks a forbidden pair
+     * (missing edge).
+     */
+    std::vector<bio::Score> pairRow;
+};
+
+/**
+ * Bucket-wavefront OR-type race of `read` against a compiled graph
+ * under the race-ready cost matrix it was compiled with, without
+ * materializing the product DAG.
+ *
+ * Semantically identical to racing buildAlignmentGraph(compiled,
+ * read, costs) on core::WavefrontRaceKernel with the same horizon:
+ * same arrival vector, same event count, same sink score.  Section 6
+ * horizon aborts behave identically too (completed = false, score
+ * kScoreInfinity, latencyCycles = horizon).
+ *
+ * `costs` must be the matrix `compiled` was bound to (GraphAligner
+ * guarantees this); requires Cost kind with all finite weights >= 1
+ * (checked at plan time).  GraphRaceResult::score is left at the
+ * raced cost -- the aligner applies the Section 5 recovery.
+ */
+GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
+                                  const bio::Sequence &read,
+                                  const bio::ScoreMatrix &costs,
+                                  sim::Tick horizon = sim::kTickInfinity);
+
+/**
+ * Scratch-reuse overload: identical outcome, but the calendar and
+ * hoisted weight rows live in (and keep the capacity of) the
+ * caller's scratch.
+ */
+GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
+                                  const bio::Sequence &read,
+                                  const bio::ScoreMatrix &costs,
+                                  sim::Tick horizon,
+                                  GraphAlignScratch &scratch);
+
+} // namespace racelogic::pangraph
+
+#endif // RACELOGIC_PANGRAPH_GRAPH_ALIGN_KERNEL_H

@@ -30,33 +30,16 @@ GraphAligner::GraphAligner(std::shared_ptr<const VariationGraph> graph,
     } else {
         rl_assert(lambda == 1,
                   "lambda scales similarity conversion only");
-        rl_assert(input.minFinite() >= 1,
-                  "graph alignment requires all finite cost weights "
-                  ">= 1 (got ", input.minFinite(), ")");
     }
 
-    // Plan-time validation of the race-ready weights, so bad
-    // matrices fail here with a diagnostic instead of deep inside
-    // the wavefront kernel.  Gap weights must be finite (every
-    // character must be insertable/deletable or no walk connects the
-    // corners) and no weight may exceed the kernel's bucket-calendar
-    // cap.
-    const bio::ScoreMatrix &race = costs();
-    for (size_t s = 0; s < race.alphabet().size(); ++s)
-        if (race.gap(static_cast<bio::Symbol>(s)) ==
-            bio::kScoreInfinity)
-            rl_fatal("gap weight for '",
-                     race.alphabet().letter(
-                         static_cast<bio::Symbol>(s)),
-                     "' is infinite; graph alignment needs finite "
-                     "indel weights");
-    if (race.maxFinite() > core::kMaxWavefrontWeight)
-        rl_fatal("largest race weight ", race.maxFinite(),
-                 " exceeds the wavefront kernel's calendar cap ",
-                 core::kMaxWavefrontWeight,
-                 "; rescale the matrix (or lower lambda)");
-
-    compiledGraph = compileGraph(*source);
+    // Plan-time validation of the race-ready weights -- finite gaps,
+    // everything >= 1 and under the kernel's bucket-calendar cap --
+    // lives in compileGraph(), the one place every racing path
+    // passes through, so bad matrices fail here with a diagnostic
+    // instead of deep inside the wavefront kernel.  (For similarity
+    // inputs that overflow the cap, lowering lambda shrinks the
+    // converted weights.)
+    compiledGraph = compileGraph(*source, costs());
 }
 
 const bio::ScoreMatrix &
@@ -76,10 +59,24 @@ GraphAligner::recoverScore(bio::Score racedCost, size_t readLength) const
 GraphRaceResult
 GraphAligner::align(const bio::Sequence &read, sim::Tick horizon) const
 {
+    // One kernel scratch per thread: align() stays const and
+    // thread-safe (the scratch is live only within this call), and
+    // repeated aligns stop re-allocating the calendar arena.
+    static thread_local GraphAlignScratch scratch;
+    return align(read, horizon, scratch);
+}
+
+GraphRaceResult
+GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
+                    GraphAlignScratch &scratch) const
+{
     rl_assert(read.alphabet() == source->alphabet(),
               "read and graph use different alphabets");
-    return align(buildAlignmentGraph(compiledGraph, read, costs()),
-                 horizon);
+    GraphRaceResult result =
+        raceAlignmentGrid(compiledGraph, read, costs(), horizon, scratch);
+    if (result.completed)
+        result.score = recoverScore(result.racedCost, read.size());
+    return result;
 }
 
 GraphRaceResult

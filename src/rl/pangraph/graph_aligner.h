@@ -5,12 +5,15 @@
  * The aligner is the planned-fabric object for the GraphAlign
  * workload: construction validates the graph, converts a similarity
  * matrix to race-ready costs (Section 5) when needed, and compiles
- * the character-level view once.  align() then stamps a read onto
- * the compiled graph and races the product DAG on the bucketed
- * wavefront kernel (rl/core/wavefront.h) through graph::Dag's CSR
- * view -- const and allocation-local, so one aligner serves many
- * reads concurrently (the api engine races read batches on its
- * thread pool against a single cached aligner).
+ * the character-level view once.  align() then races the read
+ * against the compiled CSRs on the fused wavefront kernel
+ * (rl/pangraph/graph_align_kernel.h) -- no product DAG is ever
+ * materialized on this path -- const and allocation-local, so one
+ * aligner serves many reads concurrently (the api engine races read
+ * batches on its thread pool against a single cached aligner, one
+ * scratch per thread).  The align(AlignmentGraph) overload races a
+ * materialized product on core::WavefrontRaceKernel instead; it is
+ * the bit-identical reference and the gate-level synthesis input.
  *
  * Section 5 caveat: the similarity-to-cost conversion is affine in
  * the *walk length*, so it preserves the optimum across walks only
@@ -32,38 +35,12 @@
 #include "rl/bio/sequence.h"
 #include "rl/core/temporal.h"
 #include "rl/pangraph/alignment_graph.h"
+#include "rl/pangraph/graph_align_kernel.h"
 #include "rl/pangraph/mapping.h"
 #include "rl/pangraph/variation_graph.h"
 #include "rl/sim/event_queue.h"
 
 namespace racelogic::pangraph {
-
-/** Outcome of racing one read against the graph. */
-struct GraphRaceResult {
-    /** Alignment score in the caller's matrix units (similarity
-     *  recovered via Section 5 on converted plans); kScoreInfinity
-     *  when the race aborted at its horizon. */
-    bio::Score score = 0;
-
-    /** The raw race outcome: sink arrival cycle (converted cost). */
-    bio::Score racedCost = 0;
-
-    /** True iff the sink fired (false only under a horizon). */
-    bool completed = true;
-
-    /** Race duration in cycles (the horizon cycle when aborted). */
-    sim::Tick latencyCycles = 0;
-
-    /** Events processed by the wavefront kernel. */
-    uint64_t events = 0;
-
-    /** Product-DAG nodes, and how many fired. */
-    size_t nodes = 0;
-    size_t cellsFired = 0;
-
-    /** Per-node firing times, AlignmentGraph::node() layout. */
-    std::vector<core::TemporalValue> arrival;
-};
 
 class GraphAligner
 {
@@ -82,7 +59,8 @@ class GraphAligner
                  bio::ScoreMatrix matrix, bio::Score lambda = 1);
 
     /**
-     * Race `read` against the graph; const and thread-safe.
+     * Race `read` against the graph on the fused kernel (no product
+     * DAG); const and thread-safe.
      *
      * @param horizon  Section 6 early termination in race cycles:
      *                 if the sink has not fired by `horizon`, the
@@ -93,11 +71,20 @@ class GraphAligner
                           sim::Tick horizon = sim::kTickInfinity) const;
 
     /**
+     * Scratch-reuse overload for tight read-mapping loops: the fused
+     * kernel's calendar and hoisted weight rows live in the caller's
+     * scratch (one per thread), so repeated aligns stop allocating
+     * kernel storage.
+     */
+    GraphRaceResult align(const bio::Sequence &read, sim::Tick horizon,
+                          GraphAlignScratch &scratch) const;
+
+    /**
      * Race an already-built product DAG (from buildAlignmentGraph
-     * over this aligner's compiled graph and costs).  The GateLevel
-     * engine path builds the product once and shares it between the
-     * behavioral race and fabric synthesis -- materialization is the
-     * dominant per-read cost, so it must not be paid twice.
+     * over this aligner's compiled graph and costs) on the general
+     * CSR kernel.  This is the fused kernel's bit-identical
+     * reference, and the GateLevel engine path builds the product
+     * once and shares it between this race and fabric synthesis.
      */
     GraphRaceResult align(const AlignmentGraph &product,
                           sim::Tick horizon = sim::kTickInfinity) const;

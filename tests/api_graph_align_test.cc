@@ -14,6 +14,7 @@
 #include "rl/api/api.h"
 #include "rl/pangraph/generate.h"
 #include "rl/pangraph/graph_align_dp.h"
+#include "rl/pangraph/graph_aligner.h"
 #include "rl/pangraph/mapping.h"
 #include "rl/util/random.h"
 
@@ -232,6 +233,56 @@ TEST(ApiGraphAlign, GateLevelCrossCheckAgreesOnSmallGraph)
         RaceProblem::graphAlign(costs, far, graph, /*threshold=*/2));
     EXPECT_FALSE(aborted.accepted);
     EXPECT_FALSE(aborted.completed);
+}
+
+TEST(ApiGraphAlign, MapReadsRacesFusedWithoutProductDagsBitIdentically)
+{
+    // The Behavioral read-mapping path must never materialize a
+    // (read x graph) product DAG -- it races the fused kernel -- and
+    // its batch results must be bit-identical to racing each read's
+    // materialized product on the reference kernel by hand.
+    auto graph = demoGraph(6, 4);
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+    const std::vector<Sequence> reads = sampleReads(*graph, 64, 13);
+    const bio::Score threshold = 15;
+
+    EngineConfig cfg;
+    cfg.workerThreads = 2;
+    RaceEngine engine(cfg);
+    const uint64_t builds = pangraph::alignmentGraphBuildCount();
+    auto outcome = engine.mapReads(graph, costs, threshold, reads);
+    EXPECT_EQ(pangraph::alignmentGraphBuildCount(), builds)
+        << "Behavioral mapReads materialized a product DAG";
+
+    // Reference: materialize + race each product under the same
+    // Section 6 horizon the engine uses (earlyTerminate defaults on).
+    pangraph::GraphAligner aligner(graph, costs);
+    ASSERT_EQ(outcome.results.size(), reads.size());
+    for (size_t i = 0; i < reads.size(); ++i) {
+        pangraph::GraphRaceResult reference = aligner.align(
+            pangraph::buildAlignmentGraph(aligner.compiled(), reads[i],
+                                          aligner.costs()),
+            static_cast<sim::Tick>(threshold));
+        const api::RaceResult &got = outcome.results[i];
+        EXPECT_EQ(got.completed, reference.completed);
+        EXPECT_EQ(got.events, reference.events);
+        EXPECT_EQ(got.cellsFired, reference.cellsFired);
+        if (reference.completed) {
+            EXPECT_EQ(got.racedCost, reference.racedCost);
+            EXPECT_EQ(got.score, reference.score);
+            ASSERT_EQ(got.nodeArrival.size(),
+                      reference.arrival.size());
+            for (size_t n = 0; n < got.nodeArrival.size(); ++n)
+                EXPECT_EQ(got.nodeArrival[n].rawTime(),
+                          reference.arrival[n].rawTime());
+        } else {
+            // Rejected screens reveal only the verdict and drop
+            // their arrival detail.
+            EXPECT_FALSE(got.accepted);
+            EXPECT_EQ(got.score, bio::kScoreInfinity);
+            EXPECT_TRUE(got.nodeArrival.empty());
+        }
+    }
 }
 
 TEST(ApiGraphAlign, SystolicBackendRefusesGraphs)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <sstream>
 
 #include "rl/bio/align_dp.h"
@@ -398,6 +399,201 @@ TEST(GraphAlignDeath, VariationGraphRejectsBadSegments)
                 ::testing::ExitedWithCode(1), "duplicate");
     EXPECT_EXIT(graph.addSegment("b", dna("")),
                 ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(GraphAlignDeath, CompileGraphValidatesWeightsForDirectCallers)
+{
+    // compileGraph() is public; its own plan-time validation must
+    // catch matrices GraphAligner would reject, so a direct caller
+    // gets a diagnostic instead of the fused kernel sizing its ring
+    // from kScoreInfinity.
+    auto graph = sampleGraph();
+    ScoreMatrix infGap = ScoreMatrix::dnaShortestPath();
+    infGap.setGap(Alphabet::dna().encode('A'), bio::kScoreInfinity);
+    EXPECT_EXIT(pangraph::compileGraph(*graph, infGap),
+                ::testing::ExitedWithCode(1), "finite indel");
+    ScoreMatrix huge = ScoreMatrix::uniform(
+        Alphabet::dna(), bio::ScoreKind::Cost,
+        core::kMaxWavefrontWeight + 1);
+    EXPECT_EXIT(pangraph::compileGraph(*graph, huge),
+                ::testing::ExitedWithCode(1), "calendar cap");
+}
+
+TEST(GraphAlignDeath, RejectsMatrixMismatchedWithCompiledView)
+{
+    // The compiled view hoists gap weights from one matrix; handing
+    // either product builder a different matrix must die (a foreign
+    // matrix could even size the fused kernel's calendar ring below
+    // a hoisted weight).
+    auto graph = sampleGraph();
+    GraphAligner aligner(graph, ScoreMatrix::dnaShortestPath());
+    ScoreMatrix other = ScoreMatrix::uniform(
+        Alphabet::dna(), bio::ScoreKind::Cost, 3);
+    EXPECT_EXIT(pangraph::raceAlignmentGrid(aligner.compiled(),
+                                            dna("AC"), other),
+                ::testing::KilledBySignal(SIGABRT), "compiled");
+    EXPECT_EXIT(pangraph::buildAlignmentGraph(aligner.compiled(),
+                                              dna("AC"), other),
+                ::testing::KilledBySignal(SIGABRT), "compiled");
+}
+
+/**
+ * Race `read` on the materialized product DAG (the reference path)
+ * and on the fused kernel, and assert the outcomes are bit-identical:
+ * every result field including the event count, and the arrival
+ * vector element by element (super-sink included).
+ */
+void
+expectFusedMatchesMaterialized(const GraphAligner &aligner,
+                               const Sequence &read, sim::Tick horizon)
+{
+    pangraph::GraphRaceResult reference = aligner.align(
+        pangraph::buildAlignmentGraph(aligner.compiled(), read,
+                                      aligner.costs()),
+        horizon);
+    pangraph::GraphRaceResult fused = aligner.align(read, horizon);
+
+    EXPECT_EQ(fused.completed, reference.completed);
+    EXPECT_EQ(fused.racedCost, reference.racedCost);
+    EXPECT_EQ(fused.score, reference.score);
+    EXPECT_EQ(fused.latencyCycles, reference.latencyCycles);
+    EXPECT_EQ(fused.events, reference.events);
+    EXPECT_EQ(fused.nodes, reference.nodes);
+    EXPECT_EQ(fused.cellsFired, reference.cellsFired);
+    ASSERT_EQ(fused.arrival.size(), reference.arrival.size());
+    for (size_t n = 0; n < fused.arrival.size(); ++n)
+        ASSERT_EQ(fused.arrival[n].rawTime(),
+                  reference.arrival[n].rawTime())
+            << "arrival diverges at product node " << n << " (read "
+            << read.str() << ", horizon " << horizon << ")";
+}
+
+TEST(GraphAlignFused, BitIdenticalToMaterializedDagOnRandomGraphs)
+{
+    // The fused kernel generates product edges on the fly; racing the
+    // materialized DAG on the general CSR kernel is the reference.
+    // Randomized graphs (SNP bubbles, indel branches, 1..64 nt
+    // labels), both factory cost matrices, reads with mutation noise,
+    // full races and random Section 6 horizons.
+    util::Rng rng(4242);
+    const ScoreMatrix matrices[] = {
+        ScoreMatrix::dnaShortestPath(),
+        ScoreMatrix::dnaShortestPathInfMismatch(),
+    };
+    for (int round = 0; round < 10; ++round) {
+        pangraph::VariationGraphParams params;
+        params.backboneSegments =
+            static_cast<size_t>(rng.uniformInt(2, 6));
+        params.minLabel = 1;
+        params.maxLabel = round < 8 ? 8 : 64; // two big-node rounds
+        params.snpDensity = 0.4;
+        params.insertDensity = 0.25;
+        params.deleteDensity = 0.25;
+        auto graph = std::make_shared<VariationGraph>(
+            pangraph::randomVariationGraph(rng, Alphabet::dna(),
+                                           params));
+        GraphAligner aligner(graph, matrices[round % 2]);
+        for (int r = 0; r < 3; ++r) {
+            Sequence read = pangraph::sampleRead(
+                rng, *graph, bio::MutationModel::uniform(0.25));
+            expectFusedMatchesMaterialized(aligner, read,
+                                           sim::kTickInfinity);
+            expectFusedMatchesMaterialized(
+                aligner, read,
+                static_cast<sim::Tick>(rng.uniformInt(0, 30)));
+        }
+    }
+}
+
+TEST(GraphAlignFused, SimilarityPlanRecoversThroughFusedPath)
+{
+    // Converted (Section 5) plans race the fused kernel too; the
+    // recovered similarity must match the materialized reference.
+    util::Rng rng(99);
+    auto graph = std::make_shared<VariationGraph>(
+        pangraph::randomVariationGraph(
+            rng, Alphabet::dna(),
+            pangraph::VariationGraphParams::balanced(4)));
+    GraphAligner aligner(graph, ScoreMatrix::dnaLongestPath());
+    for (int r = 0; r < 4; ++r) {
+        Sequence read = pangraph::sampleRead(
+            rng, *graph, bio::MutationModel::uniform(0.2));
+        expectFusedMatchesMaterialized(aligner, read,
+                                       sim::kTickInfinity);
+    }
+}
+
+TEST(GraphAlignFused, EdgeCasesMatchReference)
+{
+    ScoreMatrix costs = ScoreMatrix::dnaShortestPath();
+
+    // Empty read on the bundled bubble graph: pure deletion sweep.
+    GraphAligner bubbles(sampleGraph(), costs);
+    expectFusedMatchesMaterialized(bubbles, dna(""),
+                                   sim::kTickInfinity);
+    expectFusedMatchesMaterialized(bubbles, dna(""), 3);
+
+    // Graph of one segment (single source = sink, one terminal).
+    auto single = std::make_shared<VariationGraph>(Alphabet::dna());
+    single->addSegment("only", dna("ACGTAC"));
+    GraphAligner aligner(single, costs);
+    for (const char *text : {"", "A", "ACGTAC", "TTTT"}) {
+        expectFusedMatchesMaterialized(aligner, dna(text),
+                                       sim::kTickInfinity);
+        expectFusedMatchesMaterialized(aligner, dna(text), 0);
+        expectFusedMatchesMaterialized(aligner, dna(text), 2);
+    }
+
+    // Horizon exactly at the raced distance must still complete.
+    pangraph::GraphRaceResult full = aligner.align(dna("ACGAC"));
+    ASSERT_TRUE(full.completed);
+    expectFusedMatchesMaterialized(
+        aligner, dna("ACGAC"),
+        static_cast<sim::Tick>(full.racedCost));
+    if (full.racedCost > 0)
+        expectFusedMatchesMaterialized(
+            aligner, dna("ACGAC"),
+            static_cast<sim::Tick>(full.racedCost) - 1);
+}
+
+TEST(GraphAlignFused, ScratchReuseIsBitIdenticalAndBuildsNoProduct)
+{
+    // The steady-state read-mapping shape: one scratch across many
+    // reads.  Outcomes must equal fresh-scratch runs, and the fused
+    // path must not materialize any product DAG.
+    auto graph = sampleGraph();
+    GraphAligner aligner(graph, ScoreMatrix::dnaShortestPath());
+    util::Rng rng(7);
+    std::vector<Sequence> reads;
+    for (int r = 0; r < 12; ++r)
+        reads.push_back(pangraph::sampleRead(
+            rng, *graph, bio::MutationModel::uniform(0.3)));
+
+    const uint64_t builds = pangraph::alignmentGraphBuildCount();
+    pangraph::GraphAlignScratch scratch;
+    for (const Sequence &read : reads) {
+        pangraph::GraphRaceResult reused =
+            aligner.align(read, sim::kTickInfinity, scratch);
+        pangraph::GraphRaceResult fresh = aligner.align(read);
+        EXPECT_EQ(reused.racedCost, fresh.racedCost);
+        EXPECT_EQ(reused.events, fresh.events);
+        EXPECT_EQ(reused.cellsFired, fresh.cellsFired);
+        ASSERT_EQ(reused.arrival.size(), fresh.arrival.size());
+        for (size_t n = 0; n < reused.arrival.size(); ++n)
+            EXPECT_EQ(reused.arrival[n].rawTime(),
+                      fresh.arrival[n].rawTime());
+    }
+    EXPECT_EQ(pangraph::alignmentGraphBuildCount(), builds);
+
+    // Tracebacks from fused arrivals re-score exactly (map() races
+    // fused and walks tight edges on the same vector).
+    for (const Sequence &read : reads) {
+        GraphMapping mapping = aligner.map(read);
+        EXPECT_EQ(
+            pangraph::rescoreMapping(*graph, read, aligner.costs(),
+                                     mapping),
+            mapping.distance);
+    }
 }
 
 } // namespace

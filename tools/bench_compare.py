@@ -39,7 +39,11 @@ HEADLINE_BENCHES = [
     "BM_CompiledSimGrid/64",        # compiled gate-level kernel
     "BM_CompiledSim64Lane/64",      # bit-parallel gate-level batch
     "BM_ApiEngineSolveCached/256",  # facade overhead on the hot path
-    "BM_GraphAlignRace/64",         # pangraph product-DAG race
+    "BM_GraphAlignRace/64",         # graph-align hot path (fused)
+    "BM_GraphAlignFused/64",        # steady-state fused sweep, scratch reuse
+    # Engine read-mapping batch, one worker (single-threaded like the
+    # rest of the headline set; real_time because pool workers race).
+    "BM_GraphMapReadsBatch/1/real_time",
 ]
 
 
