@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Saturation benchmark for the racelogic::serve daemon: a real
+ * AlignServer on a Unix socket, a real pipelined client, end-to-end
+ * through decode, admission, shard dispatch, the race, and the
+ * response path.  On the 1-CPU dev host the absolute req/s is mostly
+ * a context-switch measurement; the regression-gated story is that
+ * the serve overhead stays bounded relative to the raw solve
+ * (BM_ApiEngineSolveCached) and the counters stay clean -- the
+ * shard-hit rate is exported as a benchmark counter and must pin to
+ * ~1.0 once the plan is warm.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include <unistd.h>
+
+#include "rl/serve/client.h"
+#include "rl/serve/server.h"
+#include "rl/util/random.h"
+
+using namespace racelogic;
+
+namespace {
+
+std::string
+randomDna(uint64_t seed, size_t n)
+{
+    util::Rng rng(seed);
+    static const char letters[] = "ACGT";
+    std::string s;
+    s.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        s.push_back(letters[rng.index(4)]);
+    return s;
+}
+
+std::string
+benchSocketPath()
+{
+    return "/tmp/rl-bench-serve-" + std::to_string(getpid()) + ".sock";
+}
+
+/**
+ * End-to-end serve throughput at a saturating pipeline depth: every
+ * iteration keeps `window` same-shape pairwise requests outstanding,
+ * so the daemon runs decode/admit/solve/reply back to back with a
+ * never-empty queue and a warm shard-local plan.
+ */
+void
+BM_ServeSaturation(benchmark::State &state)
+{
+    const size_t n = size_t(state.range(0));
+    const size_t window = 16;
+
+    serve::ServerConfig cfg;
+    cfg.unixPath = benchSocketPath();
+    cfg.workers = 2;
+    cfg.queueDepth = 2 * window;
+    cfg.engine.withEstimates = false;
+    serve::AlignServer server(std::move(cfg));
+    if (!server.start()) {
+        state.SkipWithError("failed to bind bench socket");
+        return;
+    }
+    serve::ServeClient client =
+        serve::ServeClient::overUnix(benchSocketPath());
+
+    const bio::ScoreMatrix costs = bio::ScoreMatrix::dnaShortestPath();
+    const std::string a = randomDna(1, n), b = randomDna(2, n);
+
+    // Warm the shard's plan cache so the timed loop measures the
+    // steady state, not the one-off synthesis.
+    uint32_t id = 1;
+    client.submitPairwise(id++, costs, a, b);
+    serve::Response response;
+    client.receive(response);
+
+    int64_t served = 0;
+    for (auto _ : state) {
+        for (size_t w = 0; w < window; ++w)
+            client.submitPairwise(id++, costs, a, b);
+        for (size_t w = 0; w < window; ++w) {
+            if (!client.receive(response)) {
+                state.SkipWithError("daemon disconnected");
+                return;
+            }
+            served += response.status == serve::Status::Ok;
+        }
+    }
+    state.SetItemsProcessed(served);
+
+    // The queueing-metrics story (docs/performance.md): a warm
+    // same-shape workload must be all shard hits, no build locks.
+    uint64_t hits = 0, locks = 0, solves = 0;
+    for (const serve::ShardStatsWire &s : server.shardStats()) {
+        hits += s.shardHits;
+        locks += s.buildLocks;
+        solves += s.solves;
+    }
+    state.counters["shard_hit_rate"] =
+        solves ? double(hits) / double(solves) : 0.0;
+    state.counters["build_locks"] = double(locks);
+    state.counters["queue_high_water"] =
+        double(server.queueStats().highWater);
+
+    server.stop();
+}
+BENCHMARK(BM_ServeSaturation)->Arg(64)->UseRealTime();
+
+/**
+ * Protocol floor: a Ping round trip is pure wire + socket overhead
+ * (no queue, no engine), the lower bound any serve request pays.
+ */
+void
+BM_ServePingRoundTrip(benchmark::State &state)
+{
+    serve::ServerConfig cfg;
+    cfg.unixPath = benchSocketPath();
+    cfg.workers = 1;
+    serve::AlignServer server(std::move(cfg));
+    if (!server.start()) {
+        state.SkipWithError("failed to bind bench socket");
+        return;
+    }
+    serve::ServeClient client =
+        serve::ServeClient::overUnix(benchSocketPath());
+
+    uint32_t id = 1;
+    serve::Response response;
+    for (auto _ : state) {
+        client.submitPing(id++);
+        if (!client.receive(response)) {
+            state.SkipWithError("daemon disconnected");
+            return;
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+    server.stop();
+}
+BENCHMARK(BM_ServePingRoundTrip)->UseRealTime();
+
+/**
+ * Admission-control micro: tryPush/drain/markDone cycles on the bare
+ * bounded queue, no sockets -- what the daemon's ledger itself costs.
+ */
+void
+BM_ServeQueueCycle(benchmark::State &state)
+{
+    serve::RequestQueue queue(64);
+    for (auto _ : state) {
+        for (int i = 0; i < 32; ++i)
+            benchmark::DoNotOptimize(
+                queue.tryPush(serve::QueuedJob{0, [] {}}));
+        auto batch = queue.drain(32);
+        queue.markDone(batch.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 32);
+}
+BENCHMARK(BM_ServeQueueCycle);
+
+} // namespace

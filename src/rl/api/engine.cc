@@ -165,7 +165,10 @@ RaceEngine::buildPlan(const RaceProblem &problem)
         plan->input = *problem.matrix;
         plan->graphAligner = std::make_shared<pangraph::GraphAligner>(
             problem.vgraph, *problem.matrix, problem.lambda);
-        ++statistics.plansBuilt;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex);
+            ++statistics.plansBuilt;
+        }
         return plan;
     }
 
@@ -194,7 +197,10 @@ RaceEngine::buildPlan(const RaceProblem &problem)
             plan->costs(), cfg.encoding);
         plan->hasInventory = true;
     }
-    ++statistics.plansBuilt;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++statistics.plansBuilt;
+    }
     return plan;
 }
 
@@ -223,8 +229,10 @@ RaceEngine::planFor(const RaceProblem &problem, bool recordHit)
                                            cached.graphAligner->graph());
         if (match) {
             lru.splice(lru.begin(), lru, found->second);
-            if (recordHit)
+            if (recordHit) {
+                std::lock_guard<std::mutex> lock(statsMutex);
                 ++statistics.planCacheHits;
+            }
             return lru.front().second;
         }
         return buildPlan(problem);
@@ -240,10 +248,20 @@ RaceEngine::planFor(const RaceProblem &problem, bool recordHit)
     return plan;
 }
 
+EngineStats
+RaceEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return statistics;
+}
+
 RaceResult
 RaceEngine::solve(const RaceProblem &problem)
 {
-    ++statistics.solves;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++statistics.solves;
+    }
     switch (problem.kind) {
     case ProblemKind::PairwiseAlignment:
     case ProblemKind::GeneralizedAlignment:
@@ -889,10 +907,32 @@ RaceEngine::threadPool()
     return *pool;
 }
 
+bool
+RaceEngine::hasPlanFor(const RaceProblem &problem) const
+{
+    if (cfg.planCacheCapacity == 0)
+        return false;
+    return index.find(problem.shapeKey()) != index.end();
+}
+
+void
+RaceEngine::prepare(const RaceProblem &problem)
+{
+    rl_assert(planFamilyKind(problem.kind),
+              "prepare() plans grid-family and GraphAlign problems; ",
+              problemKindName(problem.kind),
+              " bakes its instance into the lattice and has no "
+              "reusable plan");
+    planFor(problem, /*recordHit=*/false);
+}
+
 BatchOutcome
 RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
 {
-    ++statistics.batches;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++statistics.batches;
+    }
     BatchOutcome outcome;
 
     const bool gridFamily =
@@ -930,7 +970,10 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
         plans.reserve(problems.size());
         for (const RaceProblem &problem : problems)
             plans.push_back(planFor(problem));
-        statistics.solves += problems.size();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex);
+            statistics.solves += problems.size();
+        }
         outcome.results.resize(problems.size());
         auto raceOne = [&](size_t i) {
             outcome.results[i] =
@@ -939,7 +982,10 @@ RaceEngine::solveBatch(const std::vector<RaceProblem> &problems)
                     : raceGridBehavioral(problems[i], *plans[i]);
         };
         if (parallel) {
-            ++statistics.parallelBatches;
+            {
+                std::lock_guard<std::mutex> lock(statsMutex);
+                ++statistics.parallelBatches;
+            }
             threadPool().parallelFor(problems.size(), raceOne);
         } else {
             for (size_t i = 0; i < problems.size(); ++i)

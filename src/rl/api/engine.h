@@ -30,6 +30,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -45,7 +46,15 @@
 
 namespace racelogic::api {
 
-/** Counters exposed for tests, benches, and capacity planning. */
+/**
+ * Counters exposed for tests, benches, and capacity planning.
+ *
+ * RaceEngine::stats() returns a copy taken under the same mutex the
+ * solve paths increment under, so a metrics reader on another thread
+ * (the serve daemon's Stats endpoint) always sees a coherent
+ * snapshot -- never a torn view where solves has advanced but
+ * planCacheHits has not.
+ */
 struct EngineStats {
     uint64_t solves = 0;        ///< problems solved
     uint64_t plansBuilt = 0;    ///< plans synthesized (cache misses)
@@ -164,7 +173,30 @@ class RaceEngine
                                         const RaceResult &result);
 
     const EngineConfig &config() const { return cfg; }
-    const EngineStats &stats() const { return statistics; }
+
+    /**
+     * Coherent snapshot of the counters: copied under the solve-path
+     * mutex, so it is safe to call from a thread that does not own
+     * the engine (every other member is owner-thread-only).
+     */
+    EngineStats stats() const;
+
+    /**
+     * True iff a plan for this problem's shape key is currently
+     * cached.  Never mutates the cache or the statistics -- the
+     * serve layer uses it to decide whether a solve will hit
+     * shard-locally or must fall back to the shared build lock.
+     */
+    bool hasPlanFor(const RaceProblem &problem) const;
+
+    /**
+     * Build (or touch) the cached plan for a plan-family problem
+     * (grid family or GraphAlign) without solving it.  A miss counts
+     * plansBuilt; a hit counts nothing.  The serve layer calls this
+     * under its shared build lock so concurrent shards never
+     * synthesize expensive plans at the same time.
+     */
+    void prepare(const RaceProblem &problem);
 
     /** Plans currently held in the cache. */
     size_t planCacheSize() const { return lru.size(); }
@@ -230,7 +262,11 @@ class RaceEngine
     util::ThreadPool &threadPool();
 
     EngineConfig cfg;
+
+    /** Counters + their snapshot mutex (see stats()). */
     EngineStats statistics;
+    mutable std::mutex statsMutex;
+
     std::unique_ptr<util::ThreadPool> pool;
 
     /** LRU plan cache: most recently used at the front. */

@@ -1,0 +1,109 @@
+#include "rl/serve/client.h"
+
+namespace racelogic::serve {
+
+ServeClient
+ServeClient::overUnix(const std::string &path)
+{
+    ServeClient client;
+    client.fd = connectUnix(path);
+    return client;
+}
+
+ServeClient
+ServeClient::overTcp(uint16_t port)
+{
+    ServeClient client;
+    client.fd = connectTcp(port);
+    return client;
+}
+
+bool
+ServeClient::submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
+                            const std::string &a, const std::string &b)
+{
+    return submitRaw(encodePairwise(id, costs, a, b));
+}
+
+bool
+ServeClient::submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
+                          bio::Score open, bio::Score extend,
+                          const std::string &a, const std::string &b)
+{
+    return submitRaw(encodeAffine(id, costs, open, extend, a, b));
+}
+
+bool
+ServeClient::submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
+                          bio::Score threshold, const std::string &a,
+                          const std::string &b)
+{
+    return submitRaw(encodeScreen(id, costs, threshold, a, b));
+}
+
+bool
+ServeClient::submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
+                       const std::vector<apps::Sample> &y)
+{
+    return submitRaw(encodeDtw(id, x, y));
+}
+
+bool
+ServeClient::submitGraphAlign(uint32_t id, const std::string &read,
+                              bio::Score threshold)
+{
+    return submitRaw(encodeGraphAlign(id, read, threshold));
+}
+
+bool
+ServeClient::submitMapReads(uint32_t id, const std::string &fasta,
+                            bio::Score threshold)
+{
+    return submitRaw(encodeMapReads(id, fasta, threshold));
+}
+
+bool
+ServeClient::submitStats(uint32_t id)
+{
+    return submitRaw(encodeStatsRequest(id));
+}
+
+bool
+ServeClient::submitPing(uint32_t id)
+{
+    return submitRaw(encodePing(id));
+}
+
+bool
+ServeClient::submitRaw(const std::vector<uint8_t> &payload)
+{
+    return sendBytes(frame(payload));
+}
+
+bool
+ServeClient::sendBytes(const std::vector<uint8_t> &bytes)
+{
+    if (!fd.valid())
+        return false;
+    return writeAll(fd.get(), bytes.data(), bytes.size());
+}
+
+bool
+ServeClient::receive(Response &out, uint32_t maxFrameBytes)
+{
+    if (!fd.valid())
+        return false;
+    uint8_t header[4];
+    if (!readExact(fd.get(), header, sizeof(header)))
+        return false;
+    uint32_t length = 0;
+    if (parseFrameHeader(header, sizeof(header), maxFrameBytes,
+                         length) != WireError::None)
+        return false;
+    std::vector<uint8_t> payload(length);
+    if (length > 0 && !readExact(fd.get(), payload.data(), length))
+        return false;
+    return decodeResponse(payload, out) == WireError::None;
+}
+
+} // namespace racelogic::serve

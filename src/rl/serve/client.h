@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ServeClient: a small synchronous client for the serve protocol.
+ *
+ * Wraps one connection to a racelogic::serve daemon: submit*() sends
+ * an encoded request frame, receive() blocks for the next response
+ * frame.  Requests and responses are correlated by the caller-chosen
+ * request id, so a client may pipeline: submit many requests back to
+ * back, then collect the responses (the daemon replies in completion
+ * order, not submission order).
+ *
+ * Used by tools/raceload.cc (the load generator), the end-to-end
+ * tests, and examples/serve_roundtrip.cpp.
+ */
+
+#ifndef RACELOGIC_SERVE_CLIENT_H
+#define RACELOGIC_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rl/serve/socket.h"
+#include "rl/serve/wire.h"
+
+namespace racelogic::serve {
+
+/** One synchronous (optionally pipelined) protocol conversation. */
+class ServeClient
+{
+  public:
+    /** Connect over a Unix-domain socket; ok() reports success. */
+    static ServeClient overUnix(const std::string &path);
+
+    /** Connect over loopback TCP; ok() reports success. */
+    static ServeClient overTcp(uint16_t port);
+
+    /** True while the connection is usable. */
+    bool ok() const { return fd.valid(); }
+
+    /** @name Typed submitters (encode + frame + send) @{ */
+    bool submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
+                        const std::string &a, const std::string &b);
+    bool submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
+                      bio::Score open, bio::Score extend,
+                      const std::string &a, const std::string &b);
+    bool submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
+                      bio::Score threshold, const std::string &a,
+                      const std::string &b);
+    bool submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
+                   const std::vector<apps::Sample> &y);
+    bool submitGraphAlign(uint32_t id, const std::string &read,
+                          bio::Score threshold);
+    bool submitMapReads(uint32_t id, const std::string &fasta,
+                        bio::Score threshold);
+    bool submitStats(uint32_t id);
+    bool submitPing(uint32_t id);
+    /** @} */
+
+    /** Send a pre-encoded payload (tests use this to send garbage). */
+    bool submitRaw(const std::vector<uint8_t> &payload);
+
+    /** Send arbitrary bytes verbatim -- no framing added (tests). */
+    bool sendBytes(const std::vector<uint8_t> &bytes);
+
+    /**
+     * Block for the next response frame.  False on disconnect or an
+     * undecodable/oversized response.
+     */
+    bool receive(Response &out,
+                 uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+    /** Close the connection (receive()/submit*() fail afterwards). */
+    void close() { fd.reset(); }
+
+  private:
+    ScopedFd fd;
+};
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_CLIENT_H

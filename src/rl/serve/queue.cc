@@ -1,0 +1,122 @@
+#include "rl/serve/queue.h"
+
+#include <algorithm>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::serve {
+
+QueueStatsWire
+QueueStats::wire() const
+{
+    QueueStatsWire w;
+    w.enqueued = enqueued;
+    w.completed = completed;
+    w.rejectedQueueFull = rejectedQueueFull;
+    w.rejectedOversized = rejectedOversized;
+    w.rejectedBadRequest = rejectedBadRequest;
+    w.rejectedShutdown = rejectedShutdown;
+    w.inflight = inflight;
+    w.queued = queued;
+    w.highWater = highWater;
+    return w;
+}
+
+RequestQueue::RequestQueue(size_t depth) : capacity(depth)
+{
+    rl_assert(depth > 0, "a zero-depth queue admits nothing");
+}
+
+RequestQueue::Admit
+RequestQueue::tryPush(QueuedJob job)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (shuttingDown) {
+        ++counters.rejectedShutdown;
+        return Admit::ShuttingDown;
+    }
+    const uint64_t outstanding = counters.queued + counters.inflight;
+    if (outstanding >= capacity) {
+        ++counters.rejectedQueueFull;
+        return Admit::QueueFull;
+    }
+    jobs.push_back(std::move(job));
+    ++counters.enqueued;
+    ++counters.queued;
+    counters.highWater = std::max(counters.highWater, outstanding + 1);
+    readable.notify_one();
+    return Admit::Accepted;
+}
+
+void
+RequestQueue::noteRejected(Status status)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    switch (status) {
+    case Status::Oversized: ++counters.rejectedOversized; break;
+    case Status::BadRequest: ++counters.rejectedBadRequest; break;
+    case Status::QueueFull: ++counters.rejectedQueueFull; break;
+    case Status::ShuttingDown: ++counters.rejectedShutdown; break;
+    case Status::Ok:
+        rl_panic("noteRejected(Ok) makes no sense");
+    }
+}
+
+std::vector<QueuedJob>
+RequestQueue::drain(size_t max)
+{
+    rl_assert(max > 0, "drain batch must hold at least one job");
+    std::unique_lock<std::mutex> lock(mutex);
+    readable.wait(lock, [&] { return !jobs.empty() || shuttingDown; });
+
+    std::vector<QueuedJob> batch;
+    const size_t take = std::min(max, jobs.size());
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(jobs.front()));
+        jobs.pop_front();
+    }
+    counters.queued -= take;
+    counters.inflight += take;
+    return batch;
+}
+
+void
+RequestQueue::markDone(size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    rl_assert(counters.inflight >= n,
+              "markDone() retires more jobs than are inflight");
+    counters.inflight -= n;
+    counters.completed += n;
+    if (counters.queued == 0 && counters.inflight == 0)
+        drained.notify_all();
+}
+
+void
+RequestQueue::beginShutdown()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    shuttingDown = true;
+    readable.notify_all();
+    if (counters.queued == 0 && counters.inflight == 0)
+        drained.notify_all();
+}
+
+void
+RequestQueue::waitDrained()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    drained.wait(lock, [&] {
+        return counters.queued == 0 && counters.inflight == 0;
+    });
+}
+
+QueueStats
+RequestQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+} // namespace racelogic::serve

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The daemon's bounded request queue with admission control.
+ *
+ * Connection threads push decoded requests; the dispatcher drains
+ * them in FIFO order onto the worker pool.  Admission is bounded on
+ * *outstanding* work -- queued plus inflight -- so a saturated
+ * daemon rejects new requests with a typed QueueFull verdict instead
+ * of buffering without limit (the client can back off or resubmit
+ * elsewhere).  All counters are kept under one mutex and snapshot as
+ * a unit, so the metrics endpoint never reads a torn view: enqueued
+ * always equals completed + rejected + queued + inflight.
+ *
+ * On a 1-CPU host the queue *is* the scaling story: saturation shows
+ * up as high-water marks and QueueFull rejections, not wall clock --
+ * see docs/performance.md.
+ */
+
+#ifndef RACELOGIC_SERVE_QUEUE_H
+#define RACELOGIC_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "rl/serve/wire.h"
+
+namespace racelogic::serve {
+
+/** One admitted request, bound to its shard and ready to run. */
+struct QueuedJob {
+    /** Engine shard that must execute this job (plan locality). */
+    size_t shard = 0;
+
+    /** Solve + respond closure; runs on a worker-pool thread. */
+    std::function<void()> run;
+};
+
+/** Coherent snapshot of the queue's admission counters. */
+struct QueueStats {
+    uint64_t enqueued = 0;           ///< admitted requests
+    uint64_t completed = 0;          ///< admitted requests fully served
+    uint64_t rejectedQueueFull = 0;  ///< bounced: queue at depth
+    uint64_t rejectedOversized = 0;  ///< bounced: frame/problem too big
+    uint64_t rejectedBadRequest = 0; ///< bounced: undecodable/invalid
+    uint64_t rejectedShutdown = 0;   ///< bounced: daemon draining
+    uint64_t queued = 0;             ///< admitted, not yet drained
+    uint64_t inflight = 0;           ///< drained, not yet completed
+    uint64_t highWater = 0;          ///< max outstanding ever observed
+
+    uint64_t
+    rejected() const
+    {
+        return rejectedQueueFull + rejectedOversized +
+               rejectedBadRequest + rejectedShutdown;
+    }
+
+    /** The wire-protocol view of this snapshot. */
+    QueueStatsWire wire() const;
+};
+
+/**
+ * Bounded MPSC-ish job queue (any number of producers, one
+ * dispatcher draining).  Depth bounds queued + inflight: a request
+ * is outstanding until markDone(), so admission reflects work the
+ * daemon has actually committed to, not just buffer occupancy.
+ */
+class RequestQueue
+{
+  public:
+    /** Admission verdict for one push. */
+    enum class Admit {
+        Accepted,
+        QueueFull,
+        ShuttingDown,
+    };
+
+    explicit RequestQueue(size_t depth);
+
+    /** Admit or bounce one job; never blocks. */
+    Admit tryPush(QueuedJob job);
+
+    /**
+     * Count a request that was bounced before it ever became a job
+     * (Oversized at the frame layer, BadRequest at decode) so the
+     * admission ledger covers every arriving frame.
+     */
+    void noteRejected(Status status);
+
+    /**
+     * Block until at least one job is queued (or shutdown), then
+     * move out up to `max` jobs in FIFO order.  The moved jobs are
+     * accounted inflight until markDone().  Returns an empty vector
+     * only when shutting down with nothing left.
+     */
+    std::vector<QueuedJob> drain(size_t max);
+
+    /** Retire `n` drained jobs (dispatcher, after the pool returns). */
+    void markDone(size_t n);
+
+    /** Reject new pushes from now on; drain() keeps emptying. */
+    void beginShutdown();
+
+    /** Block until queued == 0 and inflight == 0. */
+    void waitDrained();
+
+    /** Coherent counter snapshot (single mutex acquisition). */
+    QueueStats stats() const;
+
+    size_t depth() const { return capacity; }
+
+  private:
+    const size_t capacity;
+
+    mutable std::mutex mutex;
+    std::condition_variable readable; ///< jobs available / shutdown
+    std::condition_variable drained;  ///< everything retired
+    std::deque<QueuedJob> jobs;
+    QueueStats counters;
+    bool shuttingDown = false;
+};
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_QUEUE_H

@@ -1,0 +1,431 @@
+#include "rl/serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::serve {
+
+namespace {
+
+/** Grid cells a pair of lengths would race ((n+1) x (m+1)). */
+uint64_t
+gridCells(size_t n, size_t m)
+{
+    return (static_cast<uint64_t>(n) + 1) * (static_cast<uint64_t>(m) + 1);
+}
+
+Response
+errorResponse(uint32_t id, RequestTag tag, Status status,
+              std::string message)
+{
+    Response r;
+    r.id = id;
+    r.tag = tag;
+    r.status = status;
+    r.message = std::move(message);
+    return r;
+}
+
+SolveReply
+toSolveReply(const api::RaceResult &result)
+{
+    SolveReply s;
+    s.score = result.score;
+    s.racedCost = result.racedCost;
+    s.latencyCycles = result.latencyCycles;
+    s.cyclesUsed = result.cyclesUsed;
+    s.events = result.events;
+    s.nodes = result.nodes;
+    s.cellsFired = result.cellsFired;
+    s.completed = result.completed;
+    s.accepted = result.accepted;
+    return s;
+}
+
+} // namespace
+
+AlignServer::AlignServer(ServerConfig config)
+    : cfg(std::move(config)),
+      shards(cfg.workers == 0 ? 1 : cfg.workers, cfg.engine),
+      queue(cfg.queueDepth),
+      pool(cfg.workers == 0 ? 1 : cfg.workers)
+{
+    if (cfg.graph)
+        rl_assert(cfg.graphMatrix.has_value(),
+                  "a preloaded pangenome needs its score matrix");
+}
+
+AlignServer::~AlignServer()
+{
+    if (started && !stopped)
+        stop();
+}
+
+bool
+AlignServer::start()
+{
+    rl_assert(!started, "AlignServer::start() called twice");
+    started = true;
+
+    if (!cfg.unixPath.empty()) {
+        unixListener = listenUnix(cfg.unixPath);
+        if (!unixListener.valid())
+            return false;
+    }
+    if (cfg.tcpPort >= 0) {
+        tcpListener =
+            listenTcp(static_cast<uint16_t>(cfg.tcpPort), boundPort);
+        if (!tcpListener.valid())
+            return false;
+    }
+    if (!unixListener.valid() && !tcpListener.valid())
+        return false;
+
+    dispatcher = std::thread([this] { dispatchLoop(); });
+    if (unixListener.valid())
+        acceptThreads.emplace_back(
+            [this, fd = unixListener.get()] { acceptLoop(fd); });
+    if (tcpListener.valid())
+        acceptThreads.emplace_back(
+            [this, fd = tcpListener.get()] { acceptLoop(fd); });
+    return true;
+}
+
+void
+AlignServer::stop()
+{
+    if (!started || stopped)
+        return;
+    stopped = true;
+
+    // 1. Stop taking new connections and new frames.  Shutting the
+    //    read side of every live connection unblocks its reader
+    //    without cutting off responses still flowing the other way.
+    stopping.store(true, std::memory_order_release);
+    if (unixListener.valid())
+        ::shutdown(unixListener.get(), SHUT_RDWR);
+    if (tcpListener.valid())
+        ::shutdown(tcpListener.get(), SHUT_RDWR);
+    for (std::thread &t : acceptThreads)
+        t.join();
+    acceptThreads.clear();
+
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex);
+        for (auto &conn : connections)
+            if (conn->fd.valid())
+                ::shutdown(conn->fd.get(), SHUT_RD);
+    }
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex);
+        for (std::thread &t : connectionThreads)
+            t.join();
+        connectionThreads.clear();
+    }
+
+    // 2. Drain: every admitted job runs and flushes its response.
+    queue.beginShutdown();
+    if (dispatcher.joinable())
+        dispatcher.join();
+    queue.waitDrained();
+
+    // 3. Only now is it safe to retire the pool and the sockets.
+    pool.shutdownAndJoin();
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex);
+        connections.clear();
+    }
+    unixListener.reset();
+    tcpListener.reset();
+    if (!cfg.unixPath.empty())
+        ::unlink(cfg.unixPath.c_str());
+}
+
+void
+AlignServer::acceptLoop(int listenFd)
+{
+    while (!stopping.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (stopping.load(std::memory_order_acquire))
+            return;
+        if (rc <= 0)
+            continue;
+        int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd.reset(client);
+        std::lock_guard<std::mutex> lock(connectionsMutex);
+        connections.push_back(conn);
+        connectionThreads.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    const bio::Alphabet graphAlphabet =
+        cfg.graph ? cfg.graph->alphabet() : bio::Alphabet("ACGT");
+
+    for (;;) {
+        uint8_t header[4];
+        if (!readExact(conn->fd.get(), header, sizeof(header)))
+            return; // clean EOF or mid-frame disconnect: just leave
+
+        uint32_t length = 0;
+        WireError headerError = parseFrameHeader(
+            header, sizeof(header), cfg.maxFrameBytes, length);
+        if (headerError != WireError::None) {
+            // A hostile length prefix poisons the framing itself --
+            // reply once (id unknowable) and hang up; without the
+            // shutdown the peer would block forever on a connection
+            // the daemon has silently stopped reading.
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(0, RequestTag::Ping,
+                                       Status::Oversized,
+                                       "frame exceeds maxFrameBytes"));
+            ::shutdown(conn->fd.get(), SHUT_RDWR);
+            return;
+        }
+
+        std::vector<uint8_t> payload(length);
+        if (length > 0 &&
+            !readExact(conn->fd.get(), payload.data(), length))
+            return; // mid-frame disconnect
+
+        Request request;
+        WireError decodeError =
+            decodeRequest(payload, graphAlphabet, request);
+        if (decodeError != WireError::None) {
+            // Frame boundaries are intact, so the conversation can
+            // continue -- the *request* is bad, not the stream.
+            Status status = decodeError == WireError::Oversized
+                                ? Status::Oversized
+                                : Status::BadRequest;
+            queue.noteRejected(status);
+            reply(*conn, errorResponse(request.id, request.tag, status,
+                                       wireErrorName(decodeError)));
+            continue;
+        }
+        handleRequest(conn, std::move(request));
+    }
+}
+
+void
+AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
+                           Request request)
+{
+    const uint32_t id = request.id;
+    const RequestTag tag = request.tag;
+
+    // Stats and Ping bypass the queue: the metrics endpoint must
+    // answer precisely when the daemon is saturated.
+    if (tag == RequestTag::Ping) {
+        Response r;
+        r.id = id;
+        r.tag = tag;
+        reply(*conn, r);
+        return;
+    }
+    if (tag == RequestTag::Stats) {
+        Response r;
+        r.id = id;
+        r.tag = tag;
+        r.queueStats = queue.stats().wire();
+        r.shardStats = shards.statsSnapshot();
+        reply(*conn, r);
+        return;
+    }
+
+    // Build the race problem(s); every wire-level validation already
+    // passed, so the remaining admission checks are size ceilings.
+    std::vector<api::RaceProblem> problems;
+    switch (tag) {
+    case RequestTag::Pairwise:
+        if (gridCells(request.a->size(), request.b->size()) >
+            cfg.maxGridCells) {
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(id, tag, Status::Oversized,
+                                       "grid exceeds maxGridCells"));
+            return;
+        }
+        problems.push_back(api::RaceProblem::pairwiseAlignment(
+            *request.matrix, *request.a, *request.b));
+        break;
+    case RequestTag::Affine:
+        if (gridCells(request.a->size(), request.b->size()) >
+            cfg.maxGridCells) {
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(id, tag, Status::Oversized,
+                                       "grid exceeds maxGridCells"));
+            return;
+        }
+        problems.push_back(api::RaceProblem::affineAlignment(
+            *request.matrix,
+            bio::AffineGapCosts{request.open, request.extend},
+            *request.a, *request.b));
+        break;
+    case RequestTag::Screen:
+        if (gridCells(request.a->size(), request.b->size()) >
+            cfg.maxGridCells) {
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(id, tag, Status::Oversized,
+                                       "grid exceeds maxGridCells"));
+            return;
+        }
+        problems.push_back(api::RaceProblem::thresholdScreen(
+            *request.matrix, request.threshold, *request.a,
+            *request.b));
+        break;
+    case RequestTag::Dtw:
+        if (gridCells(request.x.size(), request.y.size()) >
+            cfg.maxGridCells) {
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(id, tag, Status::Oversized,
+                                       "warp grid exceeds maxGridCells"));
+            return;
+        }
+        problems.push_back(api::RaceProblem::dtw(std::move(request.x),
+                                                 std::move(request.y)));
+        break;
+    case RequestTag::GraphAlign:
+        if (!cfg.graph) {
+            queue.noteRejected(Status::BadRequest);
+            reply(*conn, errorResponse(id, tag, Status::BadRequest,
+                                       "no pangenome loaded"));
+            return;
+        }
+        problems.push_back(api::RaceProblem::graphAlign(
+            *cfg.graphMatrix, *request.read, cfg.graph,
+            request.threshold));
+        break;
+    case RequestTag::MapReads: {
+        if (!cfg.graph) {
+            queue.noteRejected(Status::BadRequest);
+            reply(*conn, errorResponse(id, tag, Status::BadRequest,
+                                       "no pangenome loaded"));
+            return;
+        }
+        if (request.reads.empty()) {
+            queue.noteRejected(Status::BadRequest);
+            reply(*conn, errorResponse(id, tag, Status::BadRequest,
+                                       "batch carries no reads"));
+            return;
+        }
+        if (request.reads.size() > cfg.maxBatchReads) {
+            queue.noteRejected(Status::Oversized);
+            reply(*conn, errorResponse(id, tag, Status::Oversized,
+                                       "batch exceeds maxBatchReads"));
+            return;
+        }
+        for (bio::Sequence &read : request.reads)
+            problems.push_back(api::RaceProblem::graphAlign(
+                *cfg.graphMatrix, std::move(read), cfg.graph,
+                request.threshold));
+        break;
+    }
+    case RequestTag::Stats:
+    case RequestTag::Ping:
+        rl_panic("inline tags handled above");
+    }
+
+    // All of a batch's problems share one shape (same graph, same
+    // matrix), so the whole batch runs on one shard as one job.
+    const size_t shard = shards.shardFor(problems.front());
+    QueuedJob job;
+    job.shard = shard;
+    job.run = [this, conn, id, tag, shard,
+               problems = std::move(problems)]() mutable {
+        Response r;
+        r.id = id;
+        r.tag = tag;
+        if (tag == RequestTag::MapReads) {
+            r.reads.reserve(problems.size());
+            for (const api::RaceProblem &problem : problems) {
+                api::RaceResult result = shards.solveOn(shard, problem);
+                ReadReply rr;
+                rr.score = result.score;
+                rr.cyclesUsed = result.cyclesUsed;
+                rr.accepted = result.accepted;
+                r.reads.push_back(rr);
+            }
+        } else {
+            r.solve = toSolveReply(shards.solveOn(shard, problems.front()));
+        }
+        reply(*conn, r);
+    };
+
+    switch (queue.tryPush(std::move(job))) {
+    case RequestQueue::Admit::Accepted:
+        break; // the job itself replies once it has raced
+    case RequestQueue::Admit::QueueFull:
+        reply(*conn, errorResponse(id, tag, Status::QueueFull,
+                                   "admission queue at depth"));
+        break;
+    case RequestQueue::Admit::ShuttingDown:
+        reply(*conn, errorResponse(id, tag, Status::ShuttingDown,
+                                   "daemon draining"));
+        break;
+    }
+}
+
+void
+AlignServer::dispatchLoop()
+{
+    for (;;) {
+        std::vector<QueuedJob> batch = queue.drain(
+            cfg.drainBatchMax == 0 ? 1 : cfg.drainBatchMax);
+        if (batch.empty())
+            return; // shutdown with nothing left
+
+        // Group by shard: jobs for different shards run concurrently
+        // on the pool, jobs for the same shard run serially within
+        // their group (the engines are owner-thread-only).
+        std::vector<std::vector<QueuedJob *>> groups;
+        std::vector<size_t> groupShard;
+        for (QueuedJob &job : batch) {
+            size_t g = 0;
+            for (; g < groupShard.size(); ++g)
+                if (groupShard[g] == job.shard)
+                    break;
+            if (g == groupShard.size()) {
+                groupShard.push_back(job.shard);
+                groups.emplace_back();
+            }
+            groups[g].push_back(&job);
+        }
+
+        try {
+            pool.parallelFor(groups.size(), [&](size_t g) {
+                for (QueuedJob *job : groups[g])
+                    job->run();
+            });
+        } catch (const std::exception &e) {
+            // A throwing job must not take the dispatcher down with
+            // it; the affected request simply never gets a reply.
+            rl_warn("serve: job raised '", e.what(),
+                    "'; dispatcher continues");
+        }
+        queue.markDone(batch.size());
+    }
+}
+
+void
+AlignServer::reply(Connection &conn, const Response &response)
+{
+    std::vector<uint8_t> framed = frame(encodeResponse(response));
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    // A vanished peer is its own problem; the daemon just moves on.
+    (void)writeAll(conn.fd.get(), framed.data(), framed.size());
+}
+
+} // namespace racelogic::serve

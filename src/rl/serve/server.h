@@ -1,0 +1,158 @@
+/**
+ * @file
+ * AlignServer: the racelogic::serve daemon core.
+ *
+ * A long-lived alignment service around api::RaceEngine: connection
+ * threads decode length-prefixed frames (rl/serve/wire.h), admission
+ * control bounces anything oversized, undecodable, or beyond the
+ * bounded queue's depth with a typed status, and a dispatcher drains
+ * admitted jobs onto a util::ThreadPool, grouped by engine shard so
+ * every plan-cache hit stays shard-local (rl/serve/shard.h).
+ *
+ * Stats and Ping requests are answered inline on the connection
+ * thread -- the metrics endpoint must work *because* the daemon is
+ * saturated, not when the queue gets around to it.
+ *
+ * Shutdown is a drain, not an abort: stop() parts with the listeners,
+ * lets every admitted request finish, flushes its response, and only
+ * then joins the pool.  tools/raceserved.cc wires this to SIGTERM.
+ */
+
+#ifndef RACELOGIC_SERVE_SERVER_H
+#define RACELOGIC_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl/api/api.h"
+#include "rl/pangraph/variation_graph.h"
+#include "rl/serve/queue.h"
+#include "rl/serve/shard.h"
+#include "rl/serve/socket.h"
+#include "rl/serve/wire.h"
+#include "rl/util/thread_pool.h"
+
+namespace racelogic::serve {
+
+/** Everything an AlignServer needs to start. */
+struct ServerConfig {
+    /** Unix-domain socket path; empty disables the Unix listener. */
+    std::string unixPath;
+
+    /**
+     * Loopback TCP port; 0 asks the kernel for an ephemeral port
+     * (query it with AlignServer::port()).  Negative disables the
+     * TCP listener.
+     */
+    int tcpPort = -1;
+
+    /** Worker threads == engine shards. */
+    size_t workers = 4;
+
+    /** Admission bound on outstanding (queued + inflight) requests. */
+    size_t queueDepth = 64;
+
+    /** Max jobs the dispatcher moves onto the pool per drain. */
+    size_t drainBatchMax = 16;
+
+    /** Frame payload ceiling (wire-level admission). */
+    uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /** Grid-cell ceiling per solve ((|a|+1)*(|b|+1); Dtw likewise). */
+    uint64_t maxGridCells = 1ull << 22;
+
+    /** Reads admitted per MapReads batch. */
+    size_t maxBatchReads = 256;
+
+    /**
+     * Preloaded pangenome for GraphAlign/MapReads (null rejects those
+     * tags with BadRequest) and the matrix reads race against it.
+     */
+    std::shared_ptr<const pangraph::VariationGraph> graph;
+    std::optional<bio::ScoreMatrix> graphMatrix;
+
+    /** Engine configuration cloned into every shard. */
+    api::EngineConfig engine;
+};
+
+/**
+ * The serving daemon.  start() spawns the accept/dispatch machinery
+ * and returns; stop() drains and joins everything.  One start/stop
+ * cycle per instance.
+ */
+class AlignServer
+{
+  public:
+    explicit AlignServer(ServerConfig config);
+    ~AlignServer();
+
+    AlignServer(const AlignServer &) = delete;
+    AlignServer &operator=(const AlignServer &) = delete;
+
+    /** Bind listeners and spawn threads; false if no listener bound. */
+    bool start();
+
+    /** Drain admitted work, flush responses, join all threads. */
+    void stop();
+
+    /** The bound TCP port (0 when the TCP listener is disabled). */
+    uint16_t port() const { return boundPort; }
+
+    /** Coherent admission counters (safe from any thread). */
+    QueueStats queueStats() const { return queue.stats(); }
+
+    /** Coherent per-shard counters (safe from any thread). */
+    std::vector<ShardStatsWire> shardStats() const
+    {
+        return shards.statsSnapshot();
+    }
+
+  private:
+    /** One accepted connection: fd plus a reply-serializing mutex
+     *  shared between its reader thread and the worker pool. */
+    struct Connection {
+        ScopedFd fd;
+        std::mutex writeMutex;
+    };
+
+    void acceptLoop(int listenFd);
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void dispatchLoop();
+
+    /** Serialize + frame + write one response under the write lock. */
+    void reply(Connection &conn, const Response &response);
+
+    /** Handle one decoded request (admit, inline-answer, or bounce). */
+    void handleRequest(const std::shared_ptr<Connection> &conn,
+                       Request request);
+
+    const ServerConfig cfg;
+
+    EngineShards shards;
+    RequestQueue queue;
+    util::ThreadPool pool;
+
+    ScopedFd unixListener;
+    ScopedFd tcpListener;
+    uint16_t boundPort = 0;
+
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> acceptThreads;
+    std::thread dispatcher;
+
+    std::mutex connectionsMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+    std::vector<std::thread> connectionThreads;
+
+    bool started = false;
+    bool stopped = false;
+};
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_SERVER_H

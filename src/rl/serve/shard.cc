@@ -1,0 +1,100 @@
+#include "rl/serve/shard.h"
+
+#include <functional>
+#include <string>
+
+#include "rl/util/logging.h"
+
+namespace racelogic::serve {
+
+namespace {
+
+/** Kinds with a reusable cached plan (grid family + GraphAlign). */
+bool
+planFamilyKind(api::ProblemKind kind)
+{
+    return kind == api::ProblemKind::PairwiseAlignment ||
+           kind == api::ProblemKind::GeneralizedAlignment ||
+           kind == api::ProblemKind::ThresholdScreen ||
+           kind == api::ProblemKind::GraphAlign;
+}
+
+} // namespace
+
+EngineShards::EngineShards(size_t shardCount,
+                           const api::EngineConfig &config)
+{
+    rl_assert(shardCount > 0, "at least one engine shard is required");
+    api::EngineConfig shardConfig = config;
+    // Each shard solves serially on its dispatcher-assigned pool
+    // thread; parallelism comes from sharding, and a nested per-shard
+    // pool would oversubscribe the host.
+    shardConfig.workerThreads = 1;
+    shards.reserve(shardCount);
+    for (size_t i = 0; i < shardCount; ++i)
+        shards.push_back(std::make_unique<Shard>(shardConfig));
+}
+
+size_t
+EngineShards::shardFor(const api::RaceProblem &problem) const
+{
+    // Route by plan key: same fabric shape -> same shard, so a warm
+    // shape is always a shard-local hit.  Per-instance kinds spread
+    // by their content hash, which is as good as round-robin.
+    return std::hash<std::string>{}(problem.shapeKey()) % shards.size();
+}
+
+api::RaceResult
+EngineShards::solveOn(size_t shard, const api::RaceProblem &problem)
+{
+    rl_assert(shard < shards.size(), "shard index out of range");
+    Shard &s = *shards[shard];
+
+    if (planFamilyKind(problem.kind)) {
+        if (s.engine.hasPlanFor(problem)) {
+            // The hot path: shard-local plan hit.  No shared state
+            // is touched between here and the race.
+            std::lock_guard<std::mutex> lock(s.countersMutex);
+            ++s.counters.shardHits;
+        } else {
+            // Miss: synthesize under the daemon-wide build lock so
+            // concurrent shards never run expensive plan builds at
+            // the same time.  The lock covers planning only -- the
+            // race below runs unlocked.
+            std::lock_guard<std::mutex> build(buildMutex);
+            {
+                std::lock_guard<std::mutex> lock(s.countersMutex);
+                ++s.counters.buildLocks;
+            }
+            s.engine.prepare(problem);
+        }
+    }
+    // Per-instance kinds (DTW / affine / DAG path) bake the problem
+    // into their lattice inside solve(); they have no shared cache to
+    // protect, so they take neither counter nor lock.
+    return s.engine.solve(problem);
+}
+
+std::vector<ShardStatsWire>
+EngineShards::statsSnapshot() const
+{
+    std::vector<ShardStatsWire> out;
+    out.reserve(shards.size());
+    for (const auto &shardPtr : shards) {
+        const Shard &s = *shardPtr;
+        ShardStatsWire w;
+        const api::EngineStats engine = s.engine.stats();
+        w.solves = engine.solves;
+        w.plansBuilt = engine.plansBuilt;
+        w.planCacheHits = engine.planCacheHits;
+        {
+            std::lock_guard<std::mutex> lock(s.countersMutex);
+            w.shardHits = s.counters.shardHits;
+            w.buildLocks = s.counters.buildLocks;
+        }
+        out.push_back(w);
+    }
+    return out;
+}
+
+} // namespace racelogic::serve

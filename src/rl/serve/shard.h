@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sharded plan caches: one RaceEngine per worker shard.
+ *
+ * The api::RaceEngine's plan cache is deliberately single-threaded --
+ * fast, no locks, owner-thread-only.  A serving daemon wants many
+ * workers without putting a global lock on plan acquisition, so the
+ * serve layer shards: W independent engines, each with its own
+ * shape-keyed LRU, and requests routed by hashing the *plan key*
+ * (shapeKey), so every request for the same fabric shape lands on
+ * the same shard and its plan-cache hit is entirely shard-local --
+ * no shared state touched at all on the hot path.
+ *
+ * Only a plan-cache *miss* (a shape this shard has never planned, or
+ * a per-instance kind like DTW/affine that has no reusable plan)
+ * falls back to the daemon-wide build lock, which serializes
+ * expensive plan synthesis across shards.  Per-shard counters
+ * (shardHits / buildLocks) make the claim checkable from the metrics
+ * endpoint: after warmup, a steady same-shape workload must advance
+ * shardHits only.
+ */
+
+#ifndef RACELOGIC_SERVE_SHARD_H
+#define RACELOGIC_SERVE_SHARD_H
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rl/api/api.h"
+#include "rl/serve/wire.h"
+
+namespace racelogic::serve {
+
+/** Serve-level counters for one shard (engine stats ride separately). */
+struct ShardCounters {
+    uint64_t shardHits = 0;  ///< solves that found the plan shard-local
+    uint64_t buildLocks = 0; ///< solves that took the shared build lock
+};
+
+/**
+ * W sharded engines behind one facade.
+ *
+ * Thread contract: solveOn(shard, ...) may be called concurrently
+ * for *different* shards but never concurrently for the same shard
+ * (the dispatcher groups a drained batch by shard and runs each
+ * group serially).  statsSnapshot() is safe from any thread.
+ */
+class EngineShards
+{
+  public:
+    EngineShards(size_t shardCount, const api::EngineConfig &config);
+
+    size_t shardCount() const { return shards.size(); }
+
+    /** The shard a problem routes to: hash(shapeKey) mod W. */
+    size_t shardFor(const api::RaceProblem &problem) const;
+
+    /**
+     * Solve on one shard with hit/miss accounting: a shard-local
+     * plan hit races immediately (no shared state); anything else
+     * builds under the daemon-wide build lock first.
+     */
+    api::RaceResult solveOn(size_t shard,
+                            const api::RaceProblem &problem);
+
+    /** Coherent per-shard counter snapshot (wire layout). */
+    std::vector<ShardStatsWire> statsSnapshot() const;
+
+  private:
+    struct Shard {
+        explicit Shard(const api::EngineConfig &config)
+            : engine(config)
+        {
+        }
+
+        api::RaceEngine engine;
+        ShardCounters counters;
+        mutable std::mutex countersMutex;
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    /** Serializes plan synthesis across shards (misses only). */
+    std::mutex buildMutex;
+};
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_SHARD_H

@@ -1,0 +1,158 @@
+#include "rl/serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace racelogic::serve {
+
+void
+ScopedFd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+ScopedFd
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return ScopedFd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return ScopedFd();
+    // A stale socket file from a crashed daemon would make bind()
+    // fail with EADDRINUSE even though nobody is listening.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return ScopedFd();
+    if (::listen(fd.get(), SOMAXCONN) != 0)
+        return ScopedFd();
+    return fd;
+}
+
+ScopedFd
+listenTcp(uint16_t port, uint16_t &boundPort)
+{
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return ScopedFd();
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return ScopedFd();
+    if (::listen(fd.get(), SOMAXCONN) != 0)
+        return ScopedFd();
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return ScopedFd();
+    boundPort = ntohs(bound.sin_port);
+    return fd;
+}
+
+ScopedFd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return ScopedFd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return ScopedFd();
+    int rc;
+    do {
+        rc = ::connect(fd.get(),
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return ScopedFd();
+    return fd;
+}
+
+ScopedFd
+connectTcp(uint16_t port)
+{
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return ScopedFd();
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+        rc = ::connect(fd.get(),
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return ScopedFd();
+    return fd;
+}
+
+bool
+readExact(int fd, void *buffer, size_t n)
+{
+    uint8_t *out = static_cast<uint8_t *>(buffer);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t rc = ::recv(fd, out + got, n - got, 0);
+        if (rc > 0) {
+            got += static_cast<size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or hard error: the conversation is over
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void *buffer, size_t n)
+{
+    const uint8_t *in = static_cast<const uint8_t *>(buffer);
+    size_t sent = 0;
+    while (sent < n) {
+        ssize_t rc = ::send(fd, in + sent, n - sent, MSG_NOSIGNAL);
+        if (rc > 0) {
+            sent += static_cast<size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace racelogic::serve

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the serve daemon and its clients.
+ *
+ * Everything here is deliberately boring: RAII fd ownership, listen/
+ * connect over Unix-domain or TCP-loopback sockets, and exact-length
+ * read/write loops that retry EINTR and report peer disconnects as a
+ * clean false instead of a signal or an exception.  The wire protocol
+ * (rl/serve/wire.h) sits entirely above this layer.
+ */
+
+#ifndef RACELOGIC_SERVE_SOCKET_H
+#define RACELOGIC_SERVE_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace racelogic::serve {
+
+/** Owns one file descriptor; closes it on destruction. */
+class ScopedFd
+{
+  public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+
+    ScopedFd(ScopedFd &&other) noexcept : fd_(other.release()) {}
+    ScopedFd &
+    operator=(ScopedFd &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close the current fd (if any) and adopt a new one. */
+    void reset(int fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on a Unix-domain socket at `path`, unlinking any
+ * stale socket file first.  Returns an invalid fd on failure (errno
+ * preserved for the caller's error report).
+ */
+ScopedFd listenUnix(const std::string &path);
+
+/**
+ * Bind + listen on loopback TCP.  `port` 0 asks the kernel for an
+ * ephemeral port; `boundPort` reports the actual port either way.
+ */
+ScopedFd listenTcp(uint16_t port, uint16_t &boundPort);
+
+/** Connect to a Unix-domain socket; invalid fd on failure. */
+ScopedFd connectUnix(const std::string &path);
+
+/** Connect to loopback TCP; invalid fd on failure. */
+ScopedFd connectTcp(uint16_t port);
+
+/**
+ * Read exactly `n` bytes, retrying EINTR and short reads.  Returns
+ * false on EOF or error -- for a framed protocol both simply mean
+ * "this conversation is over".
+ */
+bool readExact(int fd, void *buffer, size_t n);
+
+/**
+ * Write all `n` bytes, retrying EINTR and short writes, with SIGPIPE
+ * suppressed (MSG_NOSIGNAL) so a vanished peer is a false return, not
+ * a process-killing signal.
+ */
+bool writeAll(int fd, const void *buffer, size_t n);
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_SOCKET_H

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The racelogic::serve wire protocol: length-prefixed binary frames.
+ *
+ * A frame is a 4-byte little-endian payload length followed by the
+ * payload.  Request payloads open with a 4-byte request id and a
+ * 1-byte kind tag; response payloads echo the id and carry a 1-byte
+ * status.  Everything is explicit fixed-width little-endian -- no
+ * struct punning -- so the format is host-independent and a hostile
+ * peer can at worst earn itself a typed error.
+ *
+ * Decoding is *total*: any byte string maps to either a validated,
+ * race-ready request or a WireError (Truncated / Oversized /
+ * UnknownKind / BadRequest).  The daemon never calls fatal()/panic()
+ * on wire input; every validation the engine's factories would
+ * enforce with a process-killing assert is pre-checked here and
+ * reported as BadRequest instead (see docs/serve.md for the limits).
+ *
+ * The protocol deliberately carries only race-ready Cost-kind
+ * matrices: Section 5 similarity conversion is a client-side
+ * planning concern, and restricting the daemon to shortest-path form
+ * keeps every admission check local to the frame.
+ */
+
+#ifndef RACELOGIC_SERVE_WIRE_H
+#define RACELOGIC_SERVE_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rl/apps/dtw.h"
+#include "rl/bio/score_matrix.h"
+#include "rl/bio/sequence.h"
+
+namespace racelogic::serve {
+
+/** @name Frame limits (admission control at the byte layer) @{ */
+
+/** Default ceiling on one frame's payload bytes. */
+constexpr uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+/** Largest edit weight the protocol admits (Dial calendar bound). */
+constexpr int64_t kMaxWireWeight = 4096;
+
+/** Largest sequence length the protocol admits. */
+constexpr uint32_t kMaxWireSequence = 1u << 16;
+
+/** Largest DTW signal length the protocol admits. */
+constexpr uint32_t kMaxWireSamples = 4096;
+
+/** Largest DTW sample magnitude the protocol admits. */
+constexpr int64_t kMaxWireSample = 4096;
+
+/** Largest alphabet the protocol admits (protein is 20). */
+constexpr uint32_t kMaxWireAlphabet = 64;
+
+/** @} */
+
+/** Typed outcome of decoding one payload. */
+enum class WireError : uint8_t {
+    None = 0,    ///< decoded and validated
+    Truncated,   ///< payload ended before a declared field
+    Oversized,   ///< frame or problem exceeds the admission limits
+    UnknownKind, ///< request tag this daemon does not speak
+    BadRequest,  ///< well-formed bytes describing an invalid problem
+};
+
+/** Human-readable WireError name. */
+const char *wireErrorName(WireError error);
+
+/** Response status byte (the admission-control verdicts). */
+enum class Status : uint8_t {
+    Ok = 0,
+    QueueFull = 1,    ///< bounded queue rejected the request
+    Oversized = 2,    ///< frame/problem over the admission limits
+    BadRequest = 3,   ///< undecodable or invalid problem
+    ShuttingDown = 4, ///< daemon is draining; resubmit elsewhere
+};
+
+/** Human-readable Status name. */
+const char *statusName(Status status);
+
+/** Request kind tags on the wire. */
+enum class RequestTag : uint8_t {
+    Pairwise = 1,   ///< global alignment, inline cost matrix
+    Affine = 2,     ///< Gotoh affine-gap alignment, inline matrix
+    Dtw = 3,        ///< dynamic time warping of two signals
+    Screen = 4,     ///< Section 6 threshold screen, inline matrix
+    GraphAlign = 5, ///< one read vs. the preloaded pangenome
+    MapReads = 6,   ///< FASTA batch vs. the preloaded pangenome
+    Stats = 7,      ///< admission/shard counter snapshot
+    Ping = 8,       ///< liveness probe
+};
+
+/** Human-readable tag name. */
+const char *requestTagName(RequestTag tag);
+
+/**
+ * One decoded, validated request.  Which fields are populated depends
+ * on `tag`; sequences are already alphabet-checked and encoded, so
+ * the server can hand them to the engine factories without tripping a
+ * fatal().
+ */
+struct Request {
+    RequestTag tag = RequestTag::Ping;
+    uint32_t id = 0;
+
+    /** Pairwise / Affine / Screen: the inline cost matrix. */
+    std::optional<bio::ScoreMatrix> matrix;
+
+    /** Pairwise / Affine / Screen sequences (a = query). */
+    std::optional<bio::Sequence> a, b;
+
+    /** Screen / GraphAlign / MapReads threshold (kScoreInfinity = none). */
+    bio::Score threshold = bio::kScoreInfinity;
+
+    /** Affine gap costs. */
+    bio::Score open = 2, extend = 1;
+
+    /** Dtw signals. */
+    std::vector<apps::Sample> x, y;
+
+    /** GraphAlign read / MapReads parsed records. */
+    std::optional<bio::Sequence> read;
+    std::vector<bio::Sequence> reads;
+};
+
+/** Per-shard counters carried by a Stats response. */
+struct ShardStatsWire {
+    uint64_t solves = 0;        ///< engine solves on this shard
+    uint64_t plansBuilt = 0;    ///< engine plan-cache misses
+    uint64_t planCacheHits = 0; ///< engine plan-cache hits
+    uint64_t shardHits = 0;     ///< serve-level shard-local plan hits
+    uint64_t buildLocks = 0;    ///< shared build-lock acquisitions
+};
+
+/** Admission/queue counters carried by a Stats response. */
+struct QueueStatsWire {
+    uint64_t enqueued = 0;
+    uint64_t completed = 0;
+    uint64_t rejectedQueueFull = 0;
+    uint64_t rejectedOversized = 0;
+    uint64_t rejectedBadRequest = 0;
+    uint64_t rejectedShutdown = 0;
+    uint64_t inflight = 0;
+    uint64_t queued = 0;
+    uint64_t highWater = 0;
+};
+
+/** The raced result of one problem, as it travels back. */
+struct SolveReply {
+    int64_t score = 0;
+    int64_t racedCost = 0;
+    uint64_t latencyCycles = 0;
+    uint64_t cyclesUsed = 0;
+    uint64_t events = 0;
+    uint64_t nodes = 0;
+    uint64_t cellsFired = 0;
+    bool completed = false;
+    bool accepted = false;
+};
+
+/** One read's verdict inside a MapReads batch response. */
+struct ReadReply {
+    int64_t score = 0;
+    uint64_t cyclesUsed = 0;
+    bool accepted = false;
+};
+
+/** One decoded response frame. */
+struct Response {
+    uint32_t id = 0;
+    Status status = Status::Ok;
+    RequestTag tag = RequestTag::Ping;
+    std::string message; ///< error detail (non-Ok only)
+
+    std::optional<SolveReply> solve;   ///< solve kinds
+    std::vector<ReadReply> reads;      ///< MapReads
+    std::optional<QueueStatsWire> queueStats; ///< Stats
+    std::vector<ShardStatsWire> shardStats;   ///< Stats
+};
+
+/** @name Request encoding (client side) @{ */
+
+std::vector<uint8_t> encodePairwise(uint32_t id,
+                                    const bio::ScoreMatrix &costs,
+                                    const std::string &a,
+                                    const std::string &b);
+std::vector<uint8_t> encodeScreen(uint32_t id,
+                                  const bio::ScoreMatrix &costs,
+                                  bio::Score threshold,
+                                  const std::string &a,
+                                  const std::string &b);
+std::vector<uint8_t> encodeAffine(uint32_t id,
+                                  const bio::ScoreMatrix &costs,
+                                  bio::Score open, bio::Score extend,
+                                  const std::string &a,
+                                  const std::string &b);
+std::vector<uint8_t> encodeDtw(uint32_t id,
+                               const std::vector<apps::Sample> &x,
+                               const std::vector<apps::Sample> &y);
+std::vector<uint8_t> encodeGraphAlign(uint32_t id, const std::string &read,
+                                      bio::Score threshold);
+std::vector<uint8_t> encodeMapReads(uint32_t id, const std::string &fasta,
+                                    bio::Score threshold);
+std::vector<uint8_t> encodeStatsRequest(uint32_t id);
+std::vector<uint8_t> encodePing(uint32_t id);
+
+/** @} */
+
+/**
+ * Decode and validate one request payload.  `graphAlphabet` checks
+ * GraphAlign/MapReads letters (the preloaded pangenome's alphabet).
+ * On any error the returned Request carries whatever id could be
+ * read (0 if none) so the server can still address its reply.
+ */
+WireError decodeRequest(const std::vector<uint8_t> &payload,
+                        const bio::Alphabet &graphAlphabet,
+                        Request &out);
+
+/** Encode a response payload. */
+std::vector<uint8_t> encodeResponse(const Response &response);
+
+/** Decode a response payload (client side). */
+WireError decodeResponse(const std::vector<uint8_t> &payload,
+                         Response &out);
+
+/** Wrap a payload in its 4-byte little-endian length prefix. */
+std::vector<uint8_t> frame(const std::vector<uint8_t> &payload);
+
+/**
+ * Parse a 4-byte length prefix against `maxFrameBytes`.  Returns
+ * WireError::Oversized for hostile lengths; Truncated if fewer than
+ * 4 bytes are supplied.
+ */
+WireError parseFrameHeader(const uint8_t *bytes, size_t available,
+                           uint32_t maxFrameBytes, uint32_t &length);
+
+} // namespace racelogic::serve
+
+#endif // RACELOGIC_SERVE_WIRE_H

@@ -1,5 +1,7 @@
 #include "rl/util/thread_pool.h"
 
+#include "rl/util/logging.h"
+
 namespace racelogic::util {
 
 size_t
@@ -21,13 +23,26 @@ ThreadPool::ThreadPool(size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    // Explicit shutdownAndJoin() already emptied `workers`; joining
+    // here again would be a no-op loop over nothing.
+    if (!workers.empty())
+        shutdownAndJoin();
+}
+
+void
+ThreadPool::shutdownAndJoin()
+{
     {
         std::lock_guard<std::mutex> lock(mutex);
+        rl_assert(!shutdown,
+                  "ThreadPool already shut down; a second explicit "
+                  "shutdownAndJoin() is a caller lifecycle bug");
         shutdown = true;
     }
     wakeWorkers.notify_all();
     for (std::thread &worker : workers)
         worker.join();
+    workers.clear();
 }
 
 void
@@ -50,15 +65,26 @@ ThreadPool::workerLoop()
 
         lock.unlock();
         size_t done = 0;
+        std::exception_ptr firstHere;
         for (;;) {
             size_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 break;
-            (*fn)(i);
+            try {
+                (*fn)(i);
+            } catch (...) {
+                // Record and keep claiming: the batch's completion
+                // accounting must reach `count` even on failure, and
+                // sibling indices may legitimately succeed.
+                if (!firstHere)
+                    firstHere = std::current_exception();
+            }
             ++done;
         }
         lock.lock();
 
+        if (firstHere && !batchException)
+            batchException = firstHere;
         completed += done;
         if (completed == count)
             batchDone.notify_one();
@@ -78,6 +104,8 @@ ThreadPool::parallelFor(size_t n,
     }
 
     std::unique_lock<std::mutex> lock(mutex);
+    rl_assert(!shutdown,
+              "parallelFor() on a ThreadPool that was shut down");
     // Publish the batch only once every worker is back in wait():
     // a straggler from the previous batch could otherwise claim the
     // reset index counter against its stale body pointer.
@@ -85,12 +113,19 @@ ThreadPool::parallelFor(size_t n,
     body = &loopBody;
     count = n;
     completed = 0;
+    batchException = nullptr;
     nextIndex.store(0, std::memory_order_relaxed);
     ++generation;
     wakeWorkers.notify_all();
 
     batchDone.wait(lock, [&] { return completed == count; });
     body = nullptr;
+    if (batchException) {
+        std::exception_ptr rethrow = batchException;
+        batchException = nullptr;
+        lock.unlock();
+        std::rethrow_exception(rethrow);
+    }
 }
 
 } // namespace racelogic::util

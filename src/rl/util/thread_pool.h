@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -57,10 +58,24 @@ class ThreadPool
     /**
      * Run body(0) .. body(count-1), distributing indices over the
      * workers; returns when every index has completed.  Bodies must
-     * not throw and must not call back into the pool.
+     * not call back into the pool.  If any body throws, every index
+     * still completes (later bodies keep running) and the *first*
+     * exception is rethrown here on the calling thread -- a throwing
+     * body terminates the batch's caller, never the process.
      */
     void parallelFor(size_t count,
                      const std::function<void(size_t)> &body);
+
+    /**
+     * Stop the workers and join them; after this the pool is dead
+     * and parallelFor() must not be called again.  Idempotent with
+     * the destructor (which only joins if this was never called) but
+     * deliberately NOT with itself: a second explicit shutdown is a
+     * lifecycle bug in the caller and panics.  The serve daemon
+     * calls this on SIGTERM to guarantee every drained request
+     * finished before the process exits.
+     */
+    void shutdownAndJoin();
 
     /** hardware_concurrency with a floor of 1. */
     static size_t defaultThreadCount();
@@ -89,6 +104,10 @@ class ThreadPool
     size_t parked = 0;
     uint64_t generation = 0;
     bool shutdown = false;
+
+    /** First exception thrown by a body this batch (rethrown by
+     *  parallelFor); later exceptions in the same batch are dropped. */
+    std::exception_ptr batchException;
 };
 
 } // namespace racelogic::util

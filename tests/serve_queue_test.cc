@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Admission-control tests for the serve daemon's bounded queue: the
+ * depth bounds *outstanding* work (queued + inflight), rejections are
+ * typed and counted, and the ledger stays coherent -- enqueued ==
+ * completed + queued + inflight at every snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rl/serve/queue.h"
+
+namespace {
+
+using namespace racelogic::serve;
+
+QueuedJob
+noopJob(size_t shard = 0)
+{
+    return QueuedJob{shard, [] {}};
+}
+
+TEST(ServeQueue, AdmitsUpToDepthThenRejectsTyped)
+{
+    RequestQueue queue(3);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::QueueFull);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::QueueFull);
+
+    const QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.enqueued, 3u);
+    EXPECT_EQ(stats.queued, 3u);
+    EXPECT_EQ(stats.rejectedQueueFull, 2u);
+    EXPECT_EQ(stats.highWater, 3u);
+}
+
+TEST(ServeQueue, DepthBoundsOutstandingNotJustBuffered)
+{
+    // Draining moves jobs to inflight; the bound must still hold, or
+    // QueueFull would depend on dispatcher timing.
+    RequestQueue queue(2);
+    ASSERT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+
+    const auto batch = queue.drain(8);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(queue.stats().queued, 0u);
+    EXPECT_EQ(queue.stats().inflight, 2u);
+
+    // Buffer is empty, but both jobs are still outstanding.
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::QueueFull);
+
+    queue.markDone(1);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+}
+
+TEST(ServeQueue, DrainPreservesFifoOrderAndCapsBatch)
+{
+    RequestQueue queue(8);
+    for (size_t i = 0; i < 5; ++i)
+        ASSERT_EQ(queue.tryPush(noopJob(i)),
+                  RequestQueue::Admit::Accepted);
+
+    auto first = queue.drain(3);
+    ASSERT_EQ(first.size(), 3u);
+    EXPECT_EQ(first[0].shard, 0u);
+    EXPECT_EQ(first[2].shard, 2u);
+
+    auto rest = queue.drain(8);
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0].shard, 3u);
+    EXPECT_EQ(rest[1].shard, 4u);
+}
+
+TEST(ServeQueue, LedgerStaysCoherent)
+{
+    RequestQueue queue(4);
+    queue.noteRejected(Status::Oversized);
+    queue.noteRejected(Status::BadRequest);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(queue.tryPush(noopJob()),
+                  RequestQueue::Admit::Accepted);
+    (void)queue.tryPush(noopJob()); // QueueFull
+    auto batch = queue.drain(2);
+    queue.markDone(batch.size());
+
+    const QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.enqueued,
+              stats.completed + stats.queued + stats.inflight);
+    EXPECT_EQ(stats.rejected(), 3u);
+    EXPECT_EQ(stats.rejectedOversized, 1u);
+    EXPECT_EQ(stats.rejectedBadRequest, 1u);
+    EXPECT_EQ(stats.rejectedQueueFull, 1u);
+}
+
+TEST(ServeQueue, HighWaterTracksThePeakNotThePresent)
+{
+    RequestQueue queue(8);
+    for (int i = 0; i < 6; ++i)
+        ASSERT_EQ(queue.tryPush(noopJob()),
+                  RequestQueue::Admit::Accepted);
+    queue.markDone(queue.drain(6).size());
+    EXPECT_EQ(queue.stats().queued, 0u);
+    EXPECT_EQ(queue.stats().inflight, 0u);
+    EXPECT_EQ(queue.stats().highWater, 6u);
+}
+
+TEST(ServeQueue, ShutdownRejectsNewWorkButDrainsOld)
+{
+    RequestQueue queue(4);
+    ASSERT_EQ(queue.tryPush(noopJob(7)), RequestQueue::Admit::Accepted);
+    queue.beginShutdown();
+
+    EXPECT_EQ(queue.tryPush(noopJob()),
+              RequestQueue::Admit::ShuttingDown);
+    EXPECT_EQ(queue.stats().rejectedShutdown, 1u);
+
+    auto batch = queue.drain(4);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].shard, 7u);
+    queue.markDone(1);
+
+    // Nothing left: drain must return empty instead of blocking.
+    EXPECT_TRUE(queue.drain(4).empty());
+    queue.waitDrained(); // and waitDrained must not hang
+}
+
+TEST(ServeQueue, DrainBlocksUntilAJobArrives)
+{
+    RequestQueue queue(4);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        (void)queue.tryPush(noopJob(3));
+    });
+    auto batch = queue.drain(1); // blocks until the producer pushes
+    producer.join();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].shard, 3u);
+    queue.markDone(1);
+}
+
+TEST(ServeQueue, WaitDrainedBlocksUntilInflightRetires)
+{
+    RequestQueue queue(4);
+    ASSERT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+    auto batch = queue.drain(1);
+    queue.beginShutdown();
+
+    std::thread finisher([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        queue.markDone(batch.size());
+    });
+    queue.waitDrained(); // must block until markDone, then return
+    finisher.join();
+    EXPECT_EQ(queue.stats().completed, 1u);
+}
+
+} // namespace

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * End-to-end tests for the serve daemon: a real AlignServer on a real
+ * socket, a real client, and three load-bearing claims --
+ *
+ *  1. a served solve is bit-identical to a direct api::RaceEngine
+ *     solve of the same problem;
+ *  2. admission control bounds outstanding work and rejects the
+ *     excess with typed QueueFull statuses, visibly in the counters;
+ *  3. warm same-shape traffic advances shard-local hit counters only
+ *     -- the shared build lock is untouched after the first miss.
+ *
+ * Plus the protocol abuse the daemon must shrug off: oversized
+ * length prefixes, unknown tags, and mid-frame disconnects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "rl/api/api.h"
+#include "rl/pangraph/gfa.h"
+#include "rl/serve/client.h"
+#include "rl/serve/server.h"
+
+namespace {
+
+using namespace racelogic;
+using namespace racelogic::serve;
+
+bio::ScoreMatrix
+fig2b()
+{
+    return bio::ScoreMatrix::dnaShortestPath();
+}
+
+/** A tiny two-bubble pangenome, parsed like a real GFA file. */
+std::shared_ptr<const pangraph::VariationGraph>
+bubbleGraph()
+{
+    const std::string gfa = "H\tVN:Z:1.0\n"
+                            "S\ts1\tACG\n"
+                            "S\ts2\tT\n"
+                            "S\ts3\tC\n"
+                            "S\ts4\tGGA\n"
+                            "L\ts1\t+\ts2\t+\t0M\n"
+                            "L\ts1\t+\ts3\t+\t0M\n"
+                            "L\ts2\t+\ts4\t+\t0M\n"
+                            "L\ts3\t+\ts4\t+\t0M\n";
+    std::istringstream in(gfa);
+    return std::make_shared<pangraph::VariationGraph>(
+        pangraph::readGfa(in, bio::Alphabet("ACGT")));
+}
+
+ServerConfig
+tcpConfig()
+{
+    ServerConfig cfg;
+    cfg.tcpPort = 0; // ephemeral
+    cfg.workers = 2;
+    cfg.queueDepth = 16;
+    cfg.graph = bubbleGraph();
+    cfg.graphMatrix = fig2b();
+    return cfg;
+}
+
+/** Deterministic pseudo-DNA so tests need no RNG plumbing. */
+std::string
+dnaString(size_t length, uint32_t seed)
+{
+    static const char letters[] = "ACGT";
+    std::string s;
+    s.reserve(length);
+    uint32_t state = seed * 2654435761u + 1;
+    for (size_t i = 0; i < length; ++i) {
+        state = state * 1664525u + 1013904223u;
+        s.push_back(letters[(state >> 24) & 3]);
+    }
+    return s;
+}
+
+// ----------------------------------------------------------- fidelity
+
+TEST(ServeServer, ServedSolveIsBitIdenticalToDirectEngine)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(client.ok());
+
+    const std::string a = dnaString(40, 1), b = dnaString(40, 2);
+    ASSERT_TRUE(client.submitPairwise(31, fig2b(), a, b));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    ASSERT_EQ(response.status, Status::Ok);
+    ASSERT_TRUE(response.solve.has_value());
+
+    api::EngineConfig direct;
+    direct.workerThreads = 1;
+    api::RaceEngine engine(direct);
+    const api::RaceResult expected =
+        engine.solve(api::RaceProblem::pairwiseAlignment(
+            fig2b(), bio::Sequence(bio::Alphabet("ACGT"), a),
+            bio::Sequence(bio::Alphabet("ACGT"), b)));
+
+    EXPECT_EQ(response.solve->score, expected.score);
+    EXPECT_EQ(response.solve->racedCost, expected.racedCost);
+    EXPECT_EQ(response.solve->latencyCycles,
+              static_cast<uint64_t>(expected.latencyCycles));
+    EXPECT_EQ(response.solve->cyclesUsed,
+              static_cast<uint64_t>(expected.cyclesUsed));
+    EXPECT_EQ(response.solve->events, expected.events);
+    EXPECT_EQ(response.solve->nodes, expected.nodes);
+    EXPECT_EQ(response.solve->cellsFired, expected.cellsFired);
+    EXPECT_EQ(response.solve->completed, expected.completed);
+    EXPECT_EQ(response.solve->accepted, expected.accepted);
+
+    server.stop();
+}
+
+TEST(ServeServer, GraphAlignMatchesDirectEngineOverUnixSocket)
+{
+    const std::string path =
+        testing::TempDir() + "rl-serve-" + std::to_string(getpid()) +
+        ".sock";
+    ServerConfig cfg = tcpConfig();
+    cfg.tcpPort = -1;
+    cfg.unixPath = path;
+    auto graph = cfg.graph;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overUnix(path);
+    ASSERT_TRUE(client.ok());
+
+    ASSERT_TRUE(client.submitGraphAlign(5, "ACGTGA", bio::kScoreInfinity));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    ASSERT_EQ(response.status, Status::Ok);
+
+    api::EngineConfig direct;
+    direct.workerThreads = 1;
+    api::RaceEngine engine(direct);
+    const api::RaceResult expected =
+        engine.solve(api::RaceProblem::graphAlign(
+            fig2b(),
+            bio::Sequence(bio::Alphabet("ACGT"), std::string("ACGTGA")),
+            graph));
+    EXPECT_EQ(response.solve->score, expected.score);
+    EXPECT_EQ(response.solve->racedCost, expected.racedCost);
+    EXPECT_EQ(response.solve->latencyCycles,
+              static_cast<uint64_t>(expected.latencyCycles));
+
+    server.stop();
+    EXPECT_NE(::access(path.c_str(), F_OK), 0)
+        << "stop() must unlink the socket file";
+}
+
+TEST(ServeServer, MapReadsScreensABatch)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // One read on the graph's spine, one distant.  Fig. 2b charges
+    // matches cost 1, so a perfect 7-char mapping costs 7; threshold
+    // 10 admits the near read and aborts the far one.
+    const std::string fasta = ">ok\nACGTGA\n>far\nTTTTTTTTTTTT\n";
+    ASSERT_TRUE(client.submitMapReads(9, fasta, 10));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    ASSERT_EQ(response.status, Status::Ok);
+    ASSERT_EQ(response.reads.size(), 2u);
+    EXPECT_TRUE(response.reads[0].accepted);
+    EXPECT_FALSE(response.reads[1].accepted);
+
+    server.stop();
+}
+
+// ---------------------------------------------------- admission control
+
+TEST(ServeServer, SaturationRejectsWithTypedQueueFull)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 2;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // Pipeline far more work than depth 2 admits before reading any
+    // response; each solve is a 201x201 grid, so the single worker
+    // cannot drain between the back-to-back frames.
+    const size_t total = 24;
+    const std::string a = dnaString(200, 3), b = dnaString(200, 4);
+    for (size_t i = 0; i < total; ++i)
+        ASSERT_TRUE(client.submitPairwise(
+            static_cast<uint32_t>(100 + i), fig2b(), a, b));
+
+    size_t ok = 0, queueFull = 0, other = 0;
+    for (size_t i = 0; i < total; ++i) {
+        Response response;
+        ASSERT_TRUE(client.receive(response));
+        if (response.status == Status::Ok)
+            ++ok;
+        else if (response.status == Status::QueueFull)
+            ++queueFull;
+        else
+            ++other;
+    }
+    EXPECT_EQ(ok + queueFull, total);
+    EXPECT_EQ(other, 0u);
+    EXPECT_GE(ok, 2u) << "admitted work must still complete";
+    EXPECT_GE(queueFull, 1u) << "saturation must be visible";
+
+    // stop() drains, so completed has caught up with the replies.
+    server.stop();
+    const QueueStats stats = server.queueStats();
+    EXPECT_EQ(stats.enqueued, ok);
+    EXPECT_EQ(stats.completed, ok);
+    EXPECT_EQ(stats.rejectedQueueFull, queueFull);
+    EXPECT_LE(stats.highWater, 2u);
+}
+
+TEST(ServeServer, StatsAnswerInlineWhileQueueIsBusy)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 4;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient loader = ServeClient::overTcp(server.port());
+    ServeClient prober = ServeClient::overTcp(server.port());
+
+    const std::string a = dnaString(200, 5), b = dnaString(200, 6);
+    for (uint32_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(loader.submitPairwise(i, fig2b(), a, b));
+
+    // The probe rides a different connection and must not wait for
+    // the queue: Stats bypasses admission entirely.
+    ASSERT_TRUE(prober.submitStats(77));
+    Response stats;
+    ASSERT_TRUE(prober.receive(stats));
+    EXPECT_EQ(stats.status, Status::Ok);
+    ASSERT_TRUE(stats.queueStats.has_value());
+    ASSERT_EQ(stats.shardStats.size(), 1u);
+
+    for (int i = 0; i < 4; ++i) {
+        Response r;
+        ASSERT_TRUE(loader.receive(r));
+    }
+    server.stop();
+}
+
+// ------------------------------------------------- sharded plan caches
+
+TEST(ServeServer, WarmShapeTrafficNeverTakesTheBuildLock)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // Same shape every time (one matrix, one length pair): after the
+    // first request plans it, every later one is a shard-local hit.
+    const size_t total = 12;
+    for (size_t i = 0; i < total; ++i) {
+        ASSERT_TRUE(client.submitPairwise(
+            static_cast<uint32_t>(i), fig2b(), dnaString(32, 10 + i),
+            dnaString(32, 50 + i)));
+        Response response; // serialize: no same-shape races on warmup
+        ASSERT_TRUE(client.receive(response));
+        ASSERT_EQ(response.status, Status::Ok);
+    }
+
+    uint64_t hits = 0, locks = 0, solves = 0;
+    size_t activeShards = 0;
+    for (const ShardStatsWire &shard : server.shardStats()) {
+        hits += shard.shardHits;
+        locks += shard.buildLocks;
+        solves += shard.solves;
+        activeShards += shard.solves > 0;
+    }
+    EXPECT_EQ(solves, total);
+    EXPECT_EQ(locks, 1u) << "only the cold miss may take the build lock";
+    EXPECT_EQ(hits, total - 1);
+    EXPECT_EQ(activeShards, 1u)
+        << "one shape must route to exactly one shard";
+
+    server.stop();
+}
+
+// ------------------------------------------------------- protocol abuse
+
+TEST(ServeServer, OversizedLengthPrefixGetsTypedReplyThenClose)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    ASSERT_TRUE(client.sendBytes({0xFF, 0xFF, 0xFF, 0xFF}));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::Oversized);
+    EXPECT_EQ(response.id, 0u); // id unknowable from a hostile prefix
+
+    // The framing is poisoned, so the daemon hangs up...
+    EXPECT_FALSE(client.receive(response));
+    EXPECT_EQ(server.queueStats().rejectedOversized, 1u);
+
+    // ...but keeps serving fresh connections.
+    ServeClient fresh = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(fresh.submitPing(1));
+    ASSERT_TRUE(fresh.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+
+    server.stop();
+}
+
+TEST(ServeServer, UnknownTagIsBadRequestAndConversationContinues)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    ASSERT_TRUE(client.submitRaw({9, 0, 0, 0, 250}));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::BadRequest);
+    EXPECT_EQ(response.id, 9u);
+    EXPECT_EQ(response.message, "unknown-kind");
+
+    // Frame boundaries are intact: the same connection still works.
+    ASSERT_TRUE(client.submitPing(10));
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+    EXPECT_EQ(server.queueStats().rejectedBadRequest, 1u);
+
+    server.stop();
+}
+
+TEST(ServeServer, MidFrameDisconnectLeavesTheDaemonServing)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+
+    {
+        // Promise 100 bytes, send 3, vanish.
+        ServeClient rude = ServeClient::overTcp(server.port());
+        ASSERT_TRUE(rude.sendBytes({100, 0, 0, 0, 1, 2, 3}));
+        rude.close();
+    }
+
+    ServeClient polite = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(polite.submitPing(4));
+    Response response;
+    ASSERT_TRUE(polite.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+
+    server.stop();
+}
+
+TEST(ServeServer, InvalidProblemIsBadRequestNotACrash)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // A zero-weight matrix would trip the engine's race-ready assert;
+    // the wire layer must bounce it long before the engine sees it.
+    ASSERT_TRUE(client.submitPairwise(
+        6, bio::ScoreMatrix::unitEdit(bio::Alphabet("ACGT")), "ACGT",
+        "ACGT"));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::BadRequest);
+
+    ASSERT_TRUE(client.submitPing(7));
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+
+    server.stop();
+}
+
+// --------------------------------------------------------- lifecycle
+
+TEST(ServeServer, StopDrainsAdmittedWorkBeforeReturning)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 8;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    const std::string a = dnaString(150, 7), b = dnaString(150, 8);
+    for (uint32_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(client.submitPairwise(i, fig2b(), a, b));
+
+    server.stop(); // must block until all six responses are flushed
+
+    const QueueStats stats = server.queueStats();
+    EXPECT_EQ(stats.queued, 0u);
+    EXPECT_EQ(stats.inflight, 0u);
+    EXPECT_EQ(stats.enqueued, stats.completed);
+
+    // Every admitted request's response is already in our socket
+    // buffer, even though the daemon is down.  Requests caught by the
+    // shutdown may have typed ShuttingDown replies interleaved.
+    uint64_t okReplies = 0;
+    Response response;
+    while (client.receive(response))
+        okReplies += response.status == Status::Ok;
+    EXPECT_EQ(okReplies, stats.completed);
+}
+
+} // namespace

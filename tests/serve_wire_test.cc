@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Wire-protocol tests: round trips for every request/response kind,
+ * and -- the part the daemon's life depends on -- the failure paths.
+ * Decoding must be total: every mangled byte string below maps to a
+ * typed WireError, never a crash, an assert, or an out-of-bounds
+ * read (the sanitize CI job runs these under ASan/UBSan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/serve/wire.h"
+
+namespace {
+
+using namespace racelogic;
+using namespace racelogic::serve;
+
+const bio::Alphabet &
+dna()
+{
+    static const bio::Alphabet a("ACGT");
+    return a;
+}
+
+bio::ScoreMatrix
+fig2b()
+{
+    return bio::ScoreMatrix::dnaShortestPath();
+}
+
+WireError
+decode(const std::vector<uint8_t> &payload, Request &out)
+{
+    return decodeRequest(payload, dna(), out);
+}
+
+// ----------------------------------------------------- request round trips
+
+TEST(ServeWire, PairwiseRoundTrip)
+{
+    auto payload = encodePairwise(7, fig2b(), "GATTACA", "GCATGCT");
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.tag, RequestTag::Pairwise);
+    ASSERT_TRUE(req.matrix.has_value());
+    EXPECT_EQ(req.matrix->alphabet().letters(), "ACGT");
+    EXPECT_EQ(req.matrix->fingerprint(), fig2b().fingerprint());
+    ASSERT_TRUE(req.a.has_value());
+    EXPECT_EQ(req.a->str(), "GATTACA");
+    EXPECT_EQ(req.b->str(), "GCATGCT");
+}
+
+TEST(ServeWire, ScreenCarriesThreshold)
+{
+    auto payload = encodeScreen(9, fig2b(), 5, "ACGT", "ACGA");
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Screen);
+    EXPECT_EQ(req.threshold, 5);
+}
+
+TEST(ServeWire, AffineCarriesGapCosts)
+{
+    auto payload = encodeAffine(3, fig2b(), 4, 2, "ACGT", "AGT");
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Affine);
+    EXPECT_EQ(req.open, 4);
+    EXPECT_EQ(req.extend, 2);
+}
+
+TEST(ServeWire, DtwRoundTrip)
+{
+    std::vector<apps::Sample> x{0, 3, 7, 2}, y{1, 3, 6};
+    auto payload = encodeDtw(11, x, y);
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Dtw);
+    EXPECT_EQ(req.x, x);
+    EXPECT_EQ(req.y, y);
+}
+
+TEST(ServeWire, GraphAlignUsesGraphAlphabet)
+{
+    auto payload = encodeGraphAlign(2, "ACCA", bio::kScoreInfinity);
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::GraphAlign);
+    EXPECT_EQ(req.threshold, bio::kScoreInfinity);
+    EXPECT_EQ(req.read->str(), "ACCA");
+}
+
+TEST(ServeWire, MapReadsParsesFasta)
+{
+    const std::string fasta = "; a comment\n"
+                              ">read1 description\n"
+                              "ACGT\nacgt\n"
+                              "\r\n"
+                              ">read2\n"
+                              "TT AA\n";
+    auto payload = encodeMapReads(4, fasta, 10);
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    ASSERT_EQ(req.reads.size(), 2u);
+    EXPECT_EQ(req.reads[0].str(), "ACGTACGT");
+    EXPECT_EQ(req.reads[1].str(), "TTAA");
+}
+
+TEST(ServeWire, StatsAndPingAreBare)
+{
+    Request req;
+    ASSERT_EQ(decode(encodeStatsRequest(1), req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Stats);
+    ASSERT_EQ(decode(encodePing(2), req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Ping);
+}
+
+// ---------------------------------------------------- response round trips
+
+TEST(ServeWire, SolveResponseRoundTrip)
+{
+    Response out;
+    out.id = 12;
+    out.tag = RequestTag::Pairwise;
+    SolveReply s;
+    s.score = -3;
+    s.racedCost = 9;
+    s.latencyCycles = 14;
+    s.cyclesUsed = 14;
+    s.events = 120;
+    s.nodes = 64;
+    s.cellsFired = 60;
+    s.completed = true;
+    s.accepted = true;
+    out.solve = s;
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    EXPECT_EQ(in.id, 12u);
+    EXPECT_EQ(in.status, Status::Ok);
+    ASSERT_TRUE(in.solve.has_value());
+    EXPECT_EQ(in.solve->score, -3);
+    EXPECT_EQ(in.solve->racedCost, 9);
+    EXPECT_EQ(in.solve->latencyCycles, 14u);
+    EXPECT_EQ(in.solve->events, 120u);
+    EXPECT_TRUE(in.solve->completed);
+}
+
+TEST(ServeWire, ErrorResponseCarriesMessageOnly)
+{
+    Response out;
+    out.id = 5;
+    out.tag = RequestTag::Dtw;
+    out.status = Status::QueueFull;
+    out.message = "admission queue at depth";
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    EXPECT_EQ(in.status, Status::QueueFull);
+    EXPECT_EQ(in.message, "admission queue at depth");
+    EXPECT_FALSE(in.solve.has_value());
+}
+
+TEST(ServeWire, StatsResponseRoundTrip)
+{
+    Response out;
+    out.id = 1;
+    out.tag = RequestTag::Stats;
+    QueueStatsWire q;
+    q.enqueued = 10;
+    q.completed = 8;
+    q.rejectedQueueFull = 2;
+    q.highWater = 4;
+    out.queueStats = q;
+    ShardStatsWire s;
+    s.solves = 8;
+    s.shardHits = 6;
+    s.buildLocks = 2;
+    out.shardStats = {s, s};
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    ASSERT_TRUE(in.queueStats.has_value());
+    EXPECT_EQ(in.queueStats->enqueued, 10u);
+    EXPECT_EQ(in.queueStats->rejectedQueueFull, 2u);
+    ASSERT_EQ(in.shardStats.size(), 2u);
+    EXPECT_EQ(in.shardStats[1].shardHits, 6u);
+}
+
+// --------------------------------------------------------- failure paths
+
+TEST(ServeWire, EmptyPayloadIsTruncated)
+{
+    Request req;
+    EXPECT_EQ(decode({}, req), WireError::Truncated);
+}
+
+TEST(ServeWire, EveryPrefixTruncationIsTyped)
+{
+    // Chop a valid frame at every length: each prefix must decode to
+    // a typed error (never crash), and most to Truncated.
+    auto payload = encodeScreen(21, fig2b(), 6, "GATTACA", "GCATGCT");
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+        std::vector<uint8_t> prefix(payload.begin(),
+                                    payload.begin() + cut);
+        Request req;
+        EXPECT_NE(decode(prefix, req), WireError::None)
+            << "prefix of " << cut << " bytes decoded successfully";
+    }
+}
+
+TEST(ServeWire, UnknownTagIsTyped)
+{
+    std::vector<uint8_t> payload = {1, 0, 0, 0, 99};
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::UnknownKind);
+    EXPECT_EQ(req.id, 1u); // id still recovered for the error reply
+}
+
+TEST(ServeWire, TrailingGarbageIsBadRequest)
+{
+    auto payload = encodePing(3);
+    payload.push_back(0xFF);
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::BadRequest);
+}
+
+TEST(ServeWire, ForeignLettersAreBadRequest)
+{
+    auto payload = encodePairwise(1, fig2b(), "ACGT", "ACGX");
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::BadRequest);
+}
+
+TEST(ServeWire, ZeroWeightMatrixIsBadRequest)
+{
+    // match = 0 breaks the grid kernel's minFinite() >= 1 contract;
+    // the wire layer must reject it before the engine can assert.
+    auto payload =
+        encodePairwise(1, bio::ScoreMatrix::unitEdit(dna()), "AC", "GT");
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::BadRequest);
+}
+
+TEST(ServeWire, InfinitePairIsRejectedForAffineOnly)
+{
+    bio::ScoreMatrix inf = bio::ScoreMatrix::dnaShortestPathInfMismatch();
+    Request req;
+    EXPECT_EQ(decode(encodePairwise(1, inf, "AC", "GT"), req),
+              WireError::None);
+    EXPECT_EQ(decode(encodeAffine(1, inf, 4, 2, "AC", "GT"), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, BadAffineGapOrderIsBadRequest)
+{
+    // open must be >= extend >= 1.
+    Request req;
+    EXPECT_EQ(decode(encodeAffine(1, fig2b(), 1, 3, "AC", "GT"), req),
+              WireError::BadRequest);
+    EXPECT_EQ(decode(encodeAffine(1, fig2b(), 2, 0, "AC", "GT"), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, NegativeScreenThresholdIsBadRequest)
+{
+    Request req;
+    EXPECT_EQ(decode(encodeScreen(1, fig2b(), -4, "AC", "GT"), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, EmptyDtwSignalIsBadRequest)
+{
+    Request req;
+    EXPECT_EQ(decode(encodeDtw(1, {}, {1, 2}), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, OutOfRangeDtwSampleIsBadRequest)
+{
+    Request req;
+    EXPECT_EQ(decode(encodeDtw(1, {kMaxWireSample + 1}, {1}), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, LyingStringLengthIsTruncated)
+{
+    // A sequence length prefix that promises more bytes than exist.
+    auto payload = encodeGraphAlign(8, "ACGT", 5);
+    // The read's length prefix sits 4 (id) + 1 (tag) + 8 (threshold)
+    // bytes in; bump it far beyond the payload.
+    payload[4 + 1 + 8] = 0xFF;
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::Truncated);
+}
+
+TEST(ServeWire, FastaWithoutHeaderIsBadRequest)
+{
+    Request req;
+    EXPECT_EQ(decode(encodeMapReads(1, "ACGT\n", 5), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, FastaHeaderWithoutDataIsBadRequest)
+{
+    Request req;
+    EXPECT_EQ(decode(encodeMapReads(1, ">empty\n", 5), req),
+              WireError::BadRequest);
+    EXPECT_EQ(decode(encodeMapReads(1, "", 5), req),
+              WireError::BadRequest);
+}
+
+TEST(ServeWire, ResponseTruncationsAreTyped)
+{
+    Response out;
+    out.id = 2;
+    out.tag = RequestTag::Stats;
+    out.queueStats = QueueStatsWire{};
+    out.shardStats = {ShardStatsWire{}};
+    auto payload = encodeResponse(out);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+        std::vector<uint8_t> prefix(payload.begin(),
+                                    payload.begin() + cut);
+        Response in;
+        EXPECT_NE(decodeResponse(prefix, in), WireError::None);
+    }
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(ServeWire, FrameHeaderRoundTrip)
+{
+    auto framed = frame(encodePing(1));
+    uint32_t length = 0;
+    ASSERT_EQ(parseFrameHeader(framed.data(), framed.size(),
+                               kDefaultMaxFrameBytes, length),
+              WireError::None);
+    EXPECT_EQ(length, framed.size() - 4);
+}
+
+TEST(ServeWire, HostileLengthPrefixIsOversized)
+{
+    const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    uint32_t length = 0;
+    EXPECT_EQ(parseFrameHeader(huge, 4, kDefaultMaxFrameBytes, length),
+              WireError::Oversized);
+}
+
+TEST(ServeWire, ShortHeaderIsTruncated)
+{
+    const uint8_t two[2] = {1, 0};
+    uint32_t length = 0;
+    EXPECT_EQ(parseFrameHeader(two, 2, kDefaultMaxFrameBytes, length),
+              WireError::Truncated);
+}
+
+} // namespace

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "rl/util/bitops.h"
 #include "rl/util/grid.h"
@@ -15,6 +18,7 @@
 #include "rl/util/random.h"
 #include "rl/util/strings.h"
 #include "rl/util/table.h"
+#include "rl/util/thread_pool.h"
 
 namespace {
 
@@ -300,6 +304,88 @@ TEST(LoggingDeath, FatalExits)
 {
     EXPECT_EXIT({ rl_fatal("bad config"); },
                 ::testing::ExitedWithCode(1), "bad config");
+}
+
+// --------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> touched(257);
+    pool.parallelFor(touched.size(),
+                     [&](size_t i) { touched[i].fetch_add(1); });
+    for (const auto &t : touched)
+        EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, BodyExceptionReachesCaller)
+{
+    util::ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](size_t i) {
+                             if (i == 17)
+                                 throw std::runtime_error("index 17");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, SiblingIndicesStillRunWhenOneThrows)
+{
+    util::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(100, [&](size_t i) {
+            ran.fetch_add(1);
+            if (i == 0)
+                throw std::runtime_error("first");
+        });
+        FAIL() << "expected the body's exception to propagate";
+    } catch (const std::runtime_error &) {
+    }
+    // A throwing body must not strand the rest of the batch.
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, UsableAfterABatchThrew)
+{
+    util::ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     8, [](size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ExplicitShutdownThenDestructorIsClean)
+{
+    util::ThreadPool pool(2);
+    pool.parallelFor(4, [](size_t) {});
+    pool.shutdownAndJoin();
+    // Destructor runs next -- it must notice the pool is already down.
+}
+
+TEST(ThreadPoolDeath, DoubleExplicitShutdownPanics)
+{
+    EXPECT_DEATH(
+        {
+            util::ThreadPool pool(2);
+            pool.shutdownAndJoin();
+            pool.shutdownAndJoin();
+        },
+        "already shut down");
+}
+
+TEST(ThreadPoolDeath, ParallelForAfterShutdownPanics)
+{
+    EXPECT_DEATH(
+        {
+            util::ThreadPool pool(2);
+            pool.shutdownAndJoin();
+            pool.parallelFor(1, [](size_t) {});
+        },
+        "shut down");
 }
 
 } // namespace

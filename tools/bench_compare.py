@@ -19,11 +19,12 @@ than the tolerance relative to the baseline, i.e. when
 Headline benches are the single-threaded kernel benchmarks whose
 cpu_time is comparatively stable across machines; thread-scaling rows
 (BM_SolveBatchThreads) are deliberately excluded because they measure
-the host's core count as much as the code.  Benches present in the
-fresh run but absent from the baseline are reported as "new" and do
-not fail the comparison (commit a refreshed baseline in the same PR
-that adds a bench).  CI passes a larger tolerance than the default
-25% to absorb runner-vs-baseline machine differences.
+the host's core count as much as the code.  Every headline bench must
+exist in BOTH the baseline and the fresh run: a headline row missing
+from the baseline fails the comparison just like a regression, so a
+PR that adds a bench to the headline set must commit a refreshed
+baseline in the same change.  CI passes a larger tolerance than the
+default 25% to absorb runner-vs-baseline machine differences.
 """
 
 import argparse
@@ -44,6 +45,10 @@ HEADLINE_BENCHES = [
     # Engine read-mapping batch, one worker (single-threaded like the
     # rest of the headline set; real_time because pool workers race).
     "BM_GraphMapReadsBatch/1/real_time",
+    # End-to-end serve daemon under a saturating pipelined client:
+    # wire decode + admission + shard dispatch + solve + reply.
+    # real_time because the work crosses daemon threads.
+    "BM_ServeSaturation/64/real_time",
 ]
 
 
@@ -86,6 +91,7 @@ def main():
     width = max(len(name) for name in names)
     regressions = []
     missing = []
+    unbaselined = []
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  "
           f"{'ratio':>7}  verdict")
     for name in names:
@@ -94,7 +100,8 @@ def main():
         if base is None:
             print(f"{name:<{width}}  {'-':>12}  "
                   f"{got[args.metric] if got else '-':>12}  {'-':>7}  "
-                  "new (not in baseline)")
+                  "MISSING from baseline")
+            unbaselined.append(name)
             continue
         if got is None:
             print(f"{name:<{width}}  {base[args.metric]:>12.0f}  "
@@ -109,6 +116,11 @@ def main():
         if regressed:
             regressions.append((name, ratio))
 
+    if unbaselined:
+        print(f"\n{len(unbaselined)} headline bench(es) missing from "
+              "the baseline -- regenerate BENCH_baseline.json in the "
+              "PR that adds a headline bench", file=sys.stderr)
+        return 1
     if missing:
         print(f"\n{len(missing)} headline bench(es) missing from the "
               "fresh run", file=sys.stderr)

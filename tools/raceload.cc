@@ -1,0 +1,265 @@
+/**
+ * raceload: load generator / saturation probe for raceserved.
+ *
+ * Opens one pipelined connection, keeps up to --window requests
+ * outstanding, and reports client-side latency percentiles,
+ * throughput, and the admission-control verdict mix.  On a 1-CPU
+ * host the interesting output is the daemon-side counters fetched at
+ * the end (queue high-water, shard hits vs. build locks) -- see
+ * docs/performance.md.
+ *
+ *   raceload --unix /tmp/rl.sock --requests 200 --window 8
+ *   raceload --tcp 7411 --mode mixed --expect-no-rejections
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/serve/client.h"
+
+using namespace racelogic;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--unix PATH | --tcp PORT) [options]\n"
+        "\n"
+        "  --requests N            requests to send (default 200)\n"
+        "  --window N              max outstanding requests (default 8)\n"
+        "  --len N                 sequence length (default 64)\n"
+        "  --mode M                pairwise | screen | dtw | graph | mixed\n"
+        "                          (default pairwise; graph needs a\n"
+        "                          daemon started with --gfa)\n"
+        "  --threshold T           screen/graph threshold (default 2*len)\n"
+        "  --seed N                RNG seed (default 42)\n"
+        "  --expect-no-rejections  exit 1 unless every request was Ok\n",
+        argv0);
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string unixPath;
+    int tcpPort = -1;
+    size_t requests = 200;
+    size_t window = 8;
+    size_t len = 64;
+    std::string mode = "pairwise";
+    long long threshold = -1;
+    unsigned seed = 42;
+    bool expectNoRejections = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            unixPath = value();
+        } else if (arg == "--tcp") {
+            tcpPort = std::atoi(value());
+        } else if (arg == "--requests") {
+            requests = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--window") {
+            window = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--len") {
+            len = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--mode") {
+            mode = value();
+        } else if (arg == "--threshold") {
+            threshold = std::atoll(value());
+        } else if (arg == "--seed") {
+            seed = static_cast<unsigned>(std::atol(value()));
+        } else if (arg == "--expect-no-rejections") {
+            expectNoRejections = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if ((unixPath.empty() && tcpPort < 0) || requests == 0 ||
+        window == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (threshold < 0)
+        threshold = static_cast<long long>(2 * len);
+
+    serve::ServeClient client =
+        unixPath.empty()
+            ? serve::ServeClient::overTcp(static_cast<uint16_t>(tcpPort))
+            : serve::ServeClient::overUnix(unixPath);
+    if (!client.ok()) {
+        std::perror("raceload: connect failed");
+        return 1;
+    }
+
+    const bio::Alphabet dna("ACGT");
+    // Fig. 2b: match 1, mismatch 2, indel 1 -- race-ready weights.
+    const bio::ScoreMatrix costs = bio::ScoreMatrix::dnaShortestPath();
+    std::mt19937 rng(seed);
+    auto randSeq = [&](size_t n) {
+        static const char letters[] = "ACGT";
+        std::string s;
+        s.reserve(n);
+        std::uniform_int_distribution<int> pick(0, 3);
+        for (size_t i = 0; i < n; ++i)
+            s.push_back(letters[pick(rng)]);
+        return s;
+    };
+    auto randSignal = [&](size_t n) {
+        std::vector<apps::Sample> s(n);
+        std::uniform_int_distribution<int> pick(0, 31);
+        for (apps::Sample &v : s)
+            v = pick(rng);
+        return s;
+    };
+
+    auto submit = [&](uint32_t id) {
+        std::string pickMode = mode;
+        if (mode == "mixed") {
+            static const char *kinds[] = {"pairwise", "screen", "dtw"};
+            pickMode = kinds[id % 3];
+        }
+        if (pickMode == "pairwise")
+            return client.submitPairwise(id, costs, randSeq(len),
+                                         randSeq(len));
+        if (pickMode == "screen")
+            return client.submitScreen(id, costs, threshold, randSeq(len),
+                                       randSeq(len));
+        if (pickMode == "dtw")
+            return client.submitDtw(id, randSignal(len), randSignal(len));
+        if (pickMode == "graph")
+            return client.submitGraphAlign(id, randSeq(len), threshold);
+        std::fprintf(stderr, "raceload: unknown mode '%s'\n",
+                     mode.c_str());
+        std::exit(2);
+    };
+
+    std::unordered_map<uint32_t, Clock::time_point> pending;
+    std::vector<double> latenciesUs;
+    latenciesUs.reserve(requests);
+    uint64_t okCount = 0, rejectedByStatus[5] = {0, 0, 0, 0, 0};
+
+    const Clock::time_point begin = Clock::now();
+    uint32_t nextId = 1;
+    size_t sent = 0, received = 0;
+    while (received < requests) {
+        while (sent < requests && pending.size() < window) {
+            const uint32_t id = nextId++;
+            if (!submit(id)) {
+                std::fprintf(stderr, "raceload: send failed\n");
+                return 1;
+            }
+            pending.emplace(id, Clock::now());
+            ++sent;
+        }
+        serve::Response response;
+        if (!client.receive(response)) {
+            std::fprintf(stderr, "raceload: daemon disconnected\n");
+            return 1;
+        }
+        auto it = pending.find(response.id);
+        if (it == pending.end()) {
+            std::fprintf(stderr, "raceload: unsolicited response id %u\n",
+                         response.id);
+            return 1;
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      it->second)
+                .count();
+        pending.erase(it);
+        latenciesUs.push_back(us);
+        ++received;
+        if (response.status == serve::Status::Ok)
+            ++okCount;
+        else
+            ++rejectedByStatus[static_cast<uint8_t>(response.status)];
+    }
+    const double elapsedSec =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+
+    std::sort(latenciesUs.begin(), latenciesUs.end());
+    const uint64_t rejected = requests - okCount;
+    std::printf("raceload: %zu requests in %.3f s (%.1f req/s)\n",
+                requests, elapsedSec,
+                static_cast<double>(requests) / elapsedSec);
+    std::printf("raceload: latency p50=%.1f us  p99=%.1f us  max=%.1f us\n",
+                percentile(latenciesUs, 50), percentile(latenciesUs, 99),
+                latenciesUs.back());
+    std::printf("raceload: ok=%llu rejected=%llu (%.2f%%)"
+                " [queue-full=%llu oversized=%llu bad=%llu shutdown=%llu]\n",
+                static_cast<unsigned long long>(okCount),
+                static_cast<unsigned long long>(rejected),
+                100.0 * static_cast<double>(rejected) /
+                    static_cast<double>(requests),
+                static_cast<unsigned long long>(rejectedByStatus[1]),
+                static_cast<unsigned long long>(rejectedByStatus[2]),
+                static_cast<unsigned long long>(rejectedByStatus[3]),
+                static_cast<unsigned long long>(rejectedByStatus[4]));
+
+    // The daemon-side ledger: admission counters and the shard
+    // hit/build-lock split (the 1-CPU scaling evidence).
+    if (client.submitStats(0)) {
+        serve::Response stats;
+        if (client.receive(stats) && stats.queueStats) {
+            const serve::QueueStatsWire &q = *stats.queueStats;
+            std::printf("raceload: daemon enqueued=%llu completed=%llu "
+                        "rejected=%llu high-water=%llu\n",
+                        static_cast<unsigned long long>(q.enqueued),
+                        static_cast<unsigned long long>(q.completed),
+                        static_cast<unsigned long long>(
+                            q.rejectedQueueFull + q.rejectedOversized +
+                            q.rejectedBadRequest + q.rejectedShutdown),
+                        static_cast<unsigned long long>(q.highWater));
+            size_t shard = 0;
+            for (const serve::ShardStatsWire &s : stats.shardStats)
+                std::printf("raceload: shard %zu solves=%llu "
+                            "shard-hits=%llu build-locks=%llu\n",
+                            shard++,
+                            static_cast<unsigned long long>(s.solves),
+                            static_cast<unsigned long long>(s.shardHits),
+                            static_cast<unsigned long long>(s.buildLocks));
+        }
+    }
+
+    if (expectNoRejections && rejected != 0) {
+        std::fprintf(stderr,
+                     "raceload: FAIL -- %llu rejections, none expected\n",
+                     static_cast<unsigned long long>(rejected));
+        return 1;
+    }
+    return 0;
+}
