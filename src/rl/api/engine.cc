@@ -311,10 +311,11 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
         a, b,
         bounded ? static_cast<sim::Tick>(threshold)
                 : sim::kTickInfinity,
-        scratch);
-    rl_assert(bounded || raced.completed,
+        scratch, problem.cancel);
+    rl_assert(bounded || raced.cancelled || raced.completed,
               "sink never fired; gap weights should guarantee a path");
     result.completed = raced.completed;
+    result.cancelled = raced.cancelled;
     result.racedCost = raced.score;
     result.latencyCycles = raced.latencyCycles;
     result.events = raced.events;
@@ -322,7 +323,11 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
     result.arrival = std::move(raced.arrival);
 
     applyThresholdVerdict(threshold, result);
-    if (screening && !result.accepted) {
+    if (result.cancelled) {
+        // A cancelled race reveals nothing about the score at all.
+        result.accepted = false;
+        result.score = bio::kScoreInfinity;
+    } else if (screening && !result.accepted) {
         // Match the Section 6 screening contract: an aborted race
         // reveals only that the score exceeds the threshold.
         result.completed = false;
@@ -625,13 +630,14 @@ RaceEngine::raceGraphBehavioral(
     // must not be built twice).
     pangraph::GraphRaceResult raced =
         product ? aligner.align(*product, horizon)
-                : aligner.align(*problem.a, horizon);
+                : aligner.align(*problem.a, horizon, problem.cancel);
 
     RaceResult result;
     result.kind = ProblemKind::GraphAlign;
     result.backend = cfg.backend;
     result.nodes = raced.nodes;
     result.completed = raced.completed;
+    result.cancelled = raced.cancelled;
     result.racedCost = raced.racedCost;
     result.latencyCycles = raced.latencyCycles;
     result.events = raced.events;
@@ -639,7 +645,14 @@ RaceEngine::raceGraphBehavioral(
     result.nodeArrival = std::move(raced.arrival);
 
     applyThresholdVerdict(threshold, result);
-    if (screening && !result.accepted) {
+    if (result.cancelled) {
+        // A cancelled race reveals nothing -- not even the screening
+        // verdict -- and carries no mapping detail.
+        result.accepted = false;
+        result.score = bio::kScoreInfinity;
+        result.nodeArrival.clear();
+        result.nodeArrival.shrink_to_fit();
+    } else if (screening && !result.accepted) {
         // The Section 6 screening contract: an aborted race reveals
         // only that the distance exceeds the threshold.  Rejected
         // reads also carry no mapping detail -- graphMapping() needs

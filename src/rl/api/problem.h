@@ -26,6 +26,7 @@
 #include "rl/bio/affine.h"
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
+#include "rl/core/cancel.h"
 #include "rl/graph/dag.h"
 #include "rl/graph/paths.h"
 #include "rl/pangraph/variation_graph.h"
@@ -86,6 +87,20 @@ struct RaceProblem {
      * cache can key on its topology, not the read).
      */
     std::shared_ptr<const pangraph::VariationGraph> vgraph;
+
+    /**
+     * Optional cooperative-cancellation token, polled by the
+     * Behavioral bucket-sweep kernels (grid family and GraphAlign)
+     * once per simulated clock cycle.  Non-owning: the caller keeps
+     * the token alive across the solve.  A cancelled race returns a
+     * typed abort -- completed = false, cancelled = true, score
+     * kScoreInfinity -- instead of a wasted full solve.  Kinds that
+     * race on other substrates (DagPath, Dtw, Affine lattices) and
+     * the GateLevel cross-check path ignore it.  Not part of
+     * shapeKey(): cancellation is a run-time property, not a fabric
+     * shape.
+     */
+    const core::CancelToken *cancel = nullptr;
 
     /**
      * Global alignment of (a, b) over `matrix`.  Cost matrices race

@@ -73,6 +73,14 @@ struct RaceResult {
     bool completed = true;
 
     /**
+     * True iff a RaceProblem::cancel token stopped the race before
+     * the sink fired (deadline expiry, caller gave up).  A cancelled
+     * result is a typed abort: completed = false, accepted = false,
+     * score kScoreInfinity, latencyCycles the last cycle swept.
+     */
+    bool cancelled = false;
+
+    /**
      * Threshold verdict: true unless an early-termination threshold
      * was in force and the race exceeded it.
      */

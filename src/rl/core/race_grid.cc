@@ -115,10 +115,10 @@ RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
 
 RaceGridResult
 RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
-                       sim::Tick horizon,
-                       RaceGridScratch &scratch) const
+                       sim::Tick horizon, RaceGridScratch &scratch,
+                       const CancelToken *cancel) const
 {
-    return raceEditGrid(a, b, costMatrix, horizon, scratch);
+    return raceEditGrid(a, b, costMatrix, horizon, scratch, cancel);
 }
 
 } // namespace racelogic::core

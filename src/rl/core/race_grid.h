@@ -28,6 +28,7 @@
 
 namespace racelogic::core {
 
+class CancelToken;      // rl/core/cancel.h
 struct RaceGridScratch; // rl/core/wavefront.h
 
 /** @name Arrival-grid renderers
@@ -54,11 +55,14 @@ struct RaceGridResult {
     bio::Score score = 0;
 
     /**
-     * True iff the sink fired.  Only a horizon-bounded race can leave
-     * it false (Section 6 abort); score is then kScoreInfinity and
-     * latencyCycles the horizon cycle.
+     * True iff the sink fired.  A horizon-bounded race (Section 6
+     * abort) or a cancelled one can leave it false; score is then
+     * kScoreInfinity and latencyCycles the cycle the sweep stopped.
      */
     bool completed = true;
+
+    /** True iff a CancelToken stopped the sweep before the sink. */
+    bool cancelled = false;
 
     /** Race duration in clock cycles (equals score for OR type). */
     sim::Tick latencyCycles = 0;
@@ -123,10 +127,12 @@ class RaceGridAligner
      * Scratch-reuse overload for tight screening loops: the kernel's
      * bucket calendar lives in the caller's RaceGridScratch (one per
      * thread), so repeated aligns stop allocating calendar storage.
+     * `cancel` (nullptr = never) aborts the sweep cooperatively at
+     * clock-cycle granularity (see raceEditGrid).
      */
     RaceGridResult align(const bio::Sequence &a, const bio::Sequence &b,
-                         sim::Tick horizon,
-                         RaceGridScratch &scratch) const;
+                         sim::Tick horizon, RaceGridScratch &scratch,
+                         const CancelToken *cancel = nullptr) const;
 
     const bio::ScoreMatrix &matrix() const { return costMatrix; }
 

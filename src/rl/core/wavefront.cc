@@ -112,7 +112,7 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
 RaceGridResult
 raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
              const bio::ScoreMatrix &costs, sim::Tick horizon,
-             RaceGridScratch &scratch)
+             RaceGridScratch &scratch, const CancelToken *cancel)
 {
     rl_assert(a.alphabet() == costs.alphabet() &&
               b.alphabet() == costs.alphabet(),
@@ -189,15 +189,29 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
 
     fire(0, 0, 0); // root injected at tick 0 (always <= horizon)
 
-    calendar.drain(ring, [&](uint32_t cell, sim::Tick t, size_t slot) {
-        ++result.events;
-        const size_t r = cell / width;
-        const size_t c = cell % width;
-        if (result.arrival.at(r, c) == sim::kTickInfinity)
-            fire(cell, t, slot); // else: OR cell already high
-    });
+    sim::Tick lastSwept = 0;
+    const bool drained = calendar.drain(
+        ring,
+        [&](uint32_t cell, sim::Tick t, size_t slot) {
+            ++result.events;
+            lastSwept = t;
+            const size_t r = cell / width;
+            const size_t c = cell % width;
+            if (result.arrival.at(r, c) == sim::kTickInfinity)
+                fire(cell, t, slot); // else: OR cell already high
+        },
+        cancel);
 
     const sim::Tick sink = result.arrival.at(rows, cols);
+    if (!drained && sink == sim::kTickInfinity) {
+        // Cancelled before the sink fired: the same typed-abort shape
+        // as a horizon trip, stamped with the last cycle swept.
+        result.completed = false;
+        result.cancelled = true;
+        result.score = bio::kScoreInfinity;
+        result.latencyCycles = lastSwept;
+        return result;
+    }
     if (sink != sim::kTickInfinity) {
         result.completed = true;
         result.score = static_cast<bio::Score>(sink);

@@ -47,6 +47,7 @@
 
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
+#include "rl/core/cancel.h"
 #include "rl/core/race_grid.h"
 #include "rl/core/race_network.h"
 #include "rl/graph/dag.h"
@@ -183,13 +184,22 @@ struct BucketCalendar {
      * invariant) -- and may grow the arena, so nodes are copied out
      * first.  The current slot (t % ring) is tracked incrementally
      * and handed to visit so pushes divide nothing.
+     *
+     * `cancel` (nullptr = never) is polled once per bucket -- the
+     * simulated clock edge, the same granularity as the Section 6
+     * abort counter -- so cooperative cancellation costs nothing per
+     * event.  Returns false iff the sweep stopped early on a
+     * cancelled token; arrivals still pending are simply abandoned
+     * (the next reset() clears them).
      */
     template <typename Visit>
-    void
-    drain(size_t ring, Visit &&visit)
+    bool
+    drain(size_t ring, Visit &&visit, const CancelToken *cancel = nullptr)
     {
         size_t slot = 0;
         for (sim::Tick t = 0; pending > 0; ++t) {
+            if (cancel && cancel->cancelled())
+                return false;
             uint32_t node = detach(slot);
             while (node != kNil) {
                 const Node entry = arena[node];
@@ -200,6 +210,7 @@ struct BucketCalendar {
             if (++slot == ring)
                 slot = 0;
         }
+        return true;
     }
 };
 
@@ -234,12 +245,19 @@ RaceGridResult raceEditGrid(const bio::Sequence &a,
 /**
  * Scratch-reuse overload: identical outcome, but the bucket calendar
  * lives in (and keeps the capacity of) the caller's scratch.
+ *
+ * `cancel` (nullptr = never) is polled once per simulated clock
+ * cycle; a cancelled race comes back completed = false with
+ * cancelled = true, score kScoreInfinity, and latencyCycles the last
+ * cycle swept -- the same typed-abort shape as a horizon trip, so
+ * callers built around Section 6 aborts handle it unchanged.
  */
 RaceGridResult raceEditGrid(const bio::Sequence &a,
                             const bio::Sequence &b,
                             const bio::ScoreMatrix &costs,
                             sim::Tick horizon,
-                            RaceGridScratch &scratch);
+                            RaceGridScratch &scratch,
+                            const CancelToken *cancel = nullptr);
 
 } // namespace racelogic::core
 

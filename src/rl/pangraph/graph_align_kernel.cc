@@ -16,7 +16,8 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
 GraphRaceResult
 raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
                   const bio::ScoreMatrix &costs, sim::Tick horizon,
-                  GraphAlignScratch &scratch)
+                  GraphAlignScratch &scratch,
+                  const core::CancelToken *cancel)
 {
     rl_assert(costs.isCost(), "graph alignment races a Cost-kind matrix");
     rl_assert(read.alphabet() == costs.alphabet(),
@@ -134,11 +135,16 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
 
     fire(0, 0, 0); // source (0, 0) injected at tick 0 (<= horizon)
 
-    calendar.drain(ring, [&](uint32_t cell, sim::Tick t, size_t slot) {
-        ++result.events;
-        if (!result.arrival[cell].fired())
-            fire(cell, t, slot); // else: OR state already high
-    });
+    sim::Tick lastSwept = 0;
+    const bool drained = calendar.drain(
+        ring,
+        [&](uint32_t cell, sim::Tick t, size_t slot) {
+            ++result.events;
+            lastSwept = t;
+            if (!result.arrival[cell].fired())
+                fire(cell, t, slot); // else: OR state already high
+        },
+        cancel);
 
     const core::TemporalValue sinkArrival = result.arrival[sink];
     result.completed = sinkArrival.fired();
@@ -146,6 +152,13 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
         result.racedCost = static_cast<bio::Score>(sinkArrival.time());
         result.score = result.racedCost;
         result.latencyCycles = sinkArrival.time();
+    } else if (!drained) {
+        // Cancelled before the sink fired: the same typed-abort shape
+        // as a horizon trip, stamped with the last cycle swept.
+        result.cancelled = true;
+        result.racedCost = bio::kScoreInfinity;
+        result.score = bio::kScoreInfinity;
+        result.latencyCycles = lastSwept;
     } else {
         rl_assert(horizon != sim::kTickInfinity,
                   "sink never fired; gap weights should guarantee a "

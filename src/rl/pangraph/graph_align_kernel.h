@@ -62,8 +62,11 @@ struct GraphRaceResult {
     /** The raw race outcome: sink arrival cycle (converted cost). */
     bio::Score racedCost = 0;
 
-    /** True iff the sink fired (false only under a horizon). */
+    /** True iff the sink fired (false under a horizon or cancel). */
     bool completed = true;
+
+    /** True iff a CancelToken stopped the sweep before the sink. */
+    bool cancelled = false;
 
     /** Race duration in cycles (the horizon cycle when aborted). */
     sim::Tick latencyCycles = 0;
@@ -123,12 +126,18 @@ GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
  * Scratch-reuse overload: identical outcome, but the calendar and
  * hoisted weight rows live in (and keep the capacity of) the
  * caller's scratch.
+ *
+ * `cancel` (nullptr = never) is polled once per simulated clock
+ * cycle; a cancelled race comes back completed = false with
+ * cancelled = true, score kScoreInfinity, and latencyCycles the last
+ * cycle swept -- the same typed-abort shape as a horizon trip.
  */
 GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
                                   const bio::Sequence &read,
                                   const bio::ScoreMatrix &costs,
                                   sim::Tick horizon,
-                                  GraphAlignScratch &scratch);
+                                  GraphAlignScratch &scratch,
+                                  const core::CancelToken *cancel = nullptr);
 
 } // namespace racelogic::pangraph
 

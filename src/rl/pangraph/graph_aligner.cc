@@ -57,23 +57,26 @@ GraphAligner::recoverScore(bio::Score racedCost, size_t readLength) const
 }
 
 GraphRaceResult
-GraphAligner::align(const bio::Sequence &read, sim::Tick horizon) const
+GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
+                    const core::CancelToken *cancel) const
 {
     // One kernel scratch per thread: align() stays const and
     // thread-safe (the scratch is live only within this call), and
     // repeated aligns stop re-allocating the calendar arena.
     static thread_local GraphAlignScratch scratch;
-    return align(read, horizon, scratch);
+    return align(read, horizon, scratch, cancel);
 }
 
 GraphRaceResult
 GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
-                    GraphAlignScratch &scratch) const
+                    GraphAlignScratch &scratch,
+                    const core::CancelToken *cancel) const
 {
     rl_assert(read.alphabet() == source->alphabet(),
               "read and graph use different alphabets");
-    GraphRaceResult result =
-        raceAlignmentGrid(compiledGraph, read, costs(), horizon, scratch);
+    GraphRaceResult result = raceAlignmentGrid(compiledGraph, read,
+                                               costs(), horizon, scratch,
+                                               cancel);
     if (result.completed)
         result.score = recoverScore(result.racedCost, read.size());
     return result;

@@ -68,16 +68,20 @@ class GraphAligner
      *                 kScoreInfinity.
      */
     GraphRaceResult align(const bio::Sequence &read,
-                          sim::Tick horizon = sim::kTickInfinity) const;
+                          sim::Tick horizon = sim::kTickInfinity,
+                          const core::CancelToken *cancel = nullptr) const;
 
     /**
      * Scratch-reuse overload for tight read-mapping loops: the fused
      * kernel's calendar and hoisted weight rows live in the caller's
      * scratch (one per thread), so repeated aligns stop allocating
-     * kernel storage.
+     * kernel storage.  `cancel` (nullptr = never) aborts the sweep
+     * cooperatively at clock-cycle granularity (see
+     * raceAlignmentGrid).
      */
     GraphRaceResult align(const bio::Sequence &read, sim::Tick horizon,
-                          GraphAlignScratch &scratch) const;
+                          GraphAlignScratch &scratch,
+                          const core::CancelToken *cancel = nullptr) const;
 
     /**
      * Race an already-built product DAG (from buildAlignmentGraph

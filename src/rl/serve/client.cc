@@ -1,65 +1,92 @@
 #include "rl/serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 namespace racelogic::serve {
 
 ServeClient
-ServeClient::overUnix(const std::string &path)
+ServeClient::overUnix(const std::string &path, int64_t connectTimeoutMs)
 {
     ServeClient client;
-    client.fd = connectUnix(path);
+    client.viaUnix = true;
+    client.unixPath = path;
+    client.fd = connectUnix(path, connectTimeoutMs);
     return client;
 }
 
 ServeClient
-ServeClient::overTcp(uint16_t port)
+ServeClient::overTcp(uint16_t port, int64_t connectTimeoutMs)
 {
     ServeClient client;
-    client.fd = connectTcp(port);
+    client.viaUnix = false;
+    client.tcpPort = port;
+    client.fd = connectTcp(port, connectTimeoutMs);
     return client;
 }
 
 bool
-ServeClient::submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
-                            const std::string &a, const std::string &b)
+ServeClient::reconnect(int64_t connectTimeoutMs)
 {
-    return submitRaw(encodePairwise(id, costs, a, b));
+    fd.reset();
+    if (viaUnix) {
+        if (unixPath.empty())
+            return false;
+        fd = connectUnix(unixPath, connectTimeoutMs);
+    } else {
+        fd = connectTcp(tcpPort, connectTimeoutMs);
+    }
+    return fd.valid();
+}
+
+bool
+ServeClient::submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
+                            const std::string &a, const std::string &b,
+                            uint32_t deadlineMs)
+{
+    return submitRaw(encodePairwise(id, costs, a, b, deadlineMs));
 }
 
 bool
 ServeClient::submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
                           bio::Score open, bio::Score extend,
-                          const std::string &a, const std::string &b)
+                          const std::string &a, const std::string &b,
+                          uint32_t deadlineMs)
 {
-    return submitRaw(encodeAffine(id, costs, open, extend, a, b));
+    return submitRaw(encodeAffine(id, costs, open, extend, a, b,
+                                  deadlineMs));
 }
 
 bool
 ServeClient::submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
                           bio::Score threshold, const std::string &a,
-                          const std::string &b)
+                          const std::string &b, uint32_t deadlineMs)
 {
-    return submitRaw(encodeScreen(id, costs, threshold, a, b));
+    return submitRaw(encodeScreen(id, costs, threshold, a, b, deadlineMs));
 }
 
 bool
 ServeClient::submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
-                       const std::vector<apps::Sample> &y)
+                       const std::vector<apps::Sample> &y,
+                       uint32_t deadlineMs)
 {
-    return submitRaw(encodeDtw(id, x, y));
+    return submitRaw(encodeDtw(id, x, y, deadlineMs));
 }
 
 bool
 ServeClient::submitGraphAlign(uint32_t id, const std::string &read,
-                              bio::Score threshold)
+                              bio::Score threshold, uint32_t deadlineMs)
 {
-    return submitRaw(encodeGraphAlign(id, read, threshold));
+    return submitRaw(encodeGraphAlign(id, read, threshold, deadlineMs));
 }
 
 bool
 ServeClient::submitMapReads(uint32_t id, const std::string &fasta,
-                            bio::Score threshold)
+                            bio::Score threshold, uint32_t deadlineMs)
 {
-    return submitRaw(encodeMapReads(id, fasta, threshold));
+    return submitRaw(encodeMapReads(id, fasta, threshold, deadlineMs));
 }
 
 bool
@@ -91,19 +118,79 @@ ServeClient::sendBytes(const std::vector<uint8_t> &bytes)
 bool
 ServeClient::receive(Response &out, uint32_t maxFrameBytes)
 {
+    return receive(out, kNoDeadline, maxFrameBytes) == IoStatus::Ok;
+}
+
+IoStatus
+ServeClient::receive(Response &out, IoDeadline deadline,
+                     uint32_t maxFrameBytes)
+{
     if (!fd.valid())
-        return false;
+        return IoStatus::Error;
     uint8_t header[4];
-    if (!readExact(fd.get(), header, sizeof(header)))
-        return false;
+    IoStatus status =
+        readExact(fd.get(), header, sizeof(header), deadline);
+    if (status != IoStatus::Ok)
+        return status;
     uint32_t length = 0;
     if (parseFrameHeader(header, sizeof(header), maxFrameBytes,
                          length) != WireError::None)
-        return false;
+        return IoStatus::Error;
     std::vector<uint8_t> payload(length);
-    if (length > 0 && !readExact(fd.get(), payload.data(), length))
-        return false;
-    return decodeResponse(payload, out) == WireError::None;
+    if (length > 0) {
+        status = readExact(fd.get(), payload.data(), length, deadline);
+        if (status != IoStatus::Ok)
+            return status;
+    }
+    return decodeResponse(payload, out) == WireError::None
+               ? IoStatus::Ok
+               : IoStatus::Error;
+}
+
+bool
+ServeClient::call(const std::vector<uint8_t> &payload, Response &out,
+                  const RetryPolicy &policy)
+{
+    const std::vector<uint8_t> framed = frame(payload);
+    std::mt19937_64 rng(policy.jitterSeed);
+    int64_t backoff = std::max<int64_t>(policy.backoffBaseMs, 1);
+    bool sawQueueFull = false;
+
+    for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            std::uniform_int_distribution<int64_t> jitter(0, backoff);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff + jitter(rng)));
+            backoff = std::min(backoff * 2, policy.backoffMaxMs);
+        }
+
+        if (!fd.valid() && !reconnect(policy.timeoutMs))
+            continue; // daemon not reachable yet; back off and retry
+
+        const IoDeadline deadline = deadlineAfterMs(policy.timeoutMs);
+        if (writeAll(fd.get(), framed.data(), framed.size(), deadline) !=
+            IoStatus::Ok) {
+            fd.reset();
+            continue;
+        }
+        const IoStatus status = receive(out, deadline);
+        if (status != IoStatus::Ok) {
+            // Timeout or disconnect mid-frame: the stream's framing
+            // is ambiguous, so the connection cannot be reused.
+            fd.reset();
+            continue;
+        }
+        if (out.status == Status::QueueFull) {
+            // The one transient verdict: the daemon is alive but
+            // saturated.  The connection is fine; just back off.
+            sawQueueFull = true;
+            continue;
+        }
+        return true;
+    }
+    // Exhausted.  If the last decoded response was QueueFull, `out`
+    // still holds it -- let the caller see the verdict.
+    return sawQueueFull;
 }
 
 } // namespace racelogic::serve

@@ -9,6 +9,14 @@
  * back, then collect the responses (the daemon replies in completion
  * order, not submission order).
  *
+ * Connections are deadline-aware end to end: overUnix/overTcp bound
+ * the connect itself (a dead address fails with ETIMEDOUT instead of
+ * blocking forever), receive() can carry a deadline that
+ * distinguishes a slow daemon from a dead one, and call() wraps one
+ * whole request/response exchange in per-attempt timeouts with
+ * exponential backoff + seeded jitter, reconnecting whenever a
+ * timeout leaves the stream's framing ambiguous.
+ *
  * Used by tools/raceload.cc (the load generator), the end-to-end
  * tests, and examples/serve_roundtrip.cpp.
  */
@@ -25,34 +33,72 @@
 
 namespace racelogic::serve {
 
+/**
+ * Retry/backoff knobs for ServeClient::call().  Timeouts are
+ * per-attempt; backoff between attempts doubles from backoffBaseMs
+ * up to backoffMaxMs, plus a uniformly drawn jitter of up to the
+ * current backoff (seeded, so a test's retry schedule replays
+ * exactly).
+ */
+struct RetryPolicy {
+    int maxAttempts = 3;
+    int64_t timeoutMs = 1000;   ///< per-attempt send+receive budget
+    int64_t backoffBaseMs = 10;
+    int64_t backoffMaxMs = 500;
+    uint64_t jitterSeed = 1;
+};
+
 /** One synchronous (optionally pipelined) protocol conversation. */
 class ServeClient
 {
   public:
-    /** Connect over a Unix-domain socket; ok() reports success. */
-    static ServeClient overUnix(const std::string &path);
+    /**
+     * Connect over a Unix-domain socket; ok() reports success.
+     * `connectTimeoutMs` bounds the connect itself (negative: wait
+     * forever).
+     */
+    static ServeClient overUnix(const std::string &path,
+                                int64_t connectTimeoutMs = -1);
 
-    /** Connect over loopback TCP; ok() reports success. */
-    static ServeClient overTcp(uint16_t port);
+    /** Connect over loopback TCP; same deadline semantics. */
+    static ServeClient overTcp(uint16_t port,
+                               int64_t connectTimeoutMs = -1);
 
     /** True while the connection is usable. */
     bool ok() const { return fd.valid(); }
 
-    /** @name Typed submitters (encode + frame + send) @{ */
+    /**
+     * Drop the current connection (if any) and re-establish one to
+     * the endpoint this client was created for.  The one recovery
+     * move after a timeout: a deadline that fired mid-frame leaves
+     * the stream unparseable, so the connection must be replaced,
+     * not reused.
+     */
+    bool reconnect(int64_t connectTimeoutMs = -1);
+
+    /** @name Typed submitters (encode + frame + send)
+     * `deadlineMs` rides the request header: the daemon sheds the
+     * request if it is still queued when the deadline expires and
+     * cancels the race cooperatively if it trips mid-solve (0 =
+     * none).
+     * @{ */
     bool submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
-                        const std::string &a, const std::string &b);
+                        const std::string &a, const std::string &b,
+                        uint32_t deadlineMs = 0);
     bool submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
                       bio::Score open, bio::Score extend,
-                      const std::string &a, const std::string &b);
+                      const std::string &a, const std::string &b,
+                      uint32_t deadlineMs = 0);
     bool submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
                       bio::Score threshold, const std::string &a,
-                      const std::string &b);
+                      const std::string &b, uint32_t deadlineMs = 0);
     bool submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
-                   const std::vector<apps::Sample> &y);
+                   const std::vector<apps::Sample> &y,
+                   uint32_t deadlineMs = 0);
     bool submitGraphAlign(uint32_t id, const std::string &read,
-                          bio::Score threshold);
+                          bio::Score threshold, uint32_t deadlineMs = 0);
     bool submitMapReads(uint32_t id, const std::string &fasta,
-                        bio::Score threshold);
+                        bio::Score threshold, uint32_t deadlineMs = 0);
     bool submitStats(uint32_t id);
     bool submitPing(uint32_t id);
     /** @} */
@@ -70,11 +116,45 @@ class ServeClient
     bool receive(Response &out,
                  uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
 
+    /**
+     * Deadline-bounded receive.  Timeout means the daemon did not
+     * answer in time -- the connection may hold a half-read frame, so
+     * the caller must reconnect() before reusing it.  Error covers
+     * undecodable responses as well as socket failures.
+     */
+    IoStatus receive(Response &out, IoDeadline deadline,
+                     uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+    /**
+     * One whole request/response exchange with retries: send
+     * `payload`, wait for the response, and on a transient failure
+     * (connect refused, send/receive timeout, disconnect, or a
+     * QueueFull verdict) back off and try again up to
+     * policy.maxAttempts.  Timeouts reconnect before retrying;
+     * QueueFull retries on the same connection.
+     *
+     * Returns true when a response was decoded -- including a final
+     * QueueFull after exhausting retries (the caller sees the
+     * verdict in `out.status`).  False means no attempt produced a
+     * response.
+     *
+     * Only for unpipelined use: call() assumes the next frame on the
+     * wire answers this request.
+     */
+    bool call(const std::vector<uint8_t> &payload, Response &out,
+              const RetryPolicy &policy);
+
     /** Close the connection (receive()/submit*() fail afterwards). */
     void close() { fd.reset(); }
 
   private:
     ScopedFd fd;
+
+    /** @name Endpoint, remembered for reconnect() @{ */
+    bool viaUnix = false;
+    std::string unixPath;
+    uint16_t tcpPort = 0;
+    /** @} */
 };
 
 } // namespace racelogic::serve

@@ -16,6 +16,7 @@ QueueStats::wire() const
     w.rejectedOversized = rejectedOversized;
     w.rejectedBadRequest = rejectedBadRequest;
     w.rejectedShutdown = rejectedShutdown;
+    w.shedDeadline = shedDeadline;
     w.inflight = inflight;
     w.queued = queued;
     w.highWater = highWater;
@@ -57,27 +58,46 @@ RequestQueue::noteRejected(Status status)
     case Status::BadRequest: ++counters.rejectedBadRequest; break;
     case Status::QueueFull: ++counters.rejectedQueueFull; break;
     case Status::ShuttingDown: ++counters.rejectedShutdown; break;
+    case Status::DeadlineExceeded:
+        // Shedding is accounted at drain time (shedDeadline), and a
+        // deadline that expires mid-race still completes its job.
+        rl_panic("DeadlineExceeded is not an admission verdict");
     case Status::Ok:
         rl_panic("noteRejected(Ok) makes no sense");
     }
 }
 
 std::vector<QueuedJob>
-RequestQueue::drain(size_t max)
+RequestQueue::drain(size_t max, std::vector<QueuedJob> *shed)
 {
     rl_assert(max > 0, "drain batch must hold at least one job");
     std::unique_lock<std::mutex> lock(mutex);
     readable.wait(lock, [&] { return !jobs.empty() || shuttingDown; });
 
+    // Shed-at-drain, not shed-at-push: expiry is checked exactly once
+    // per job, by the one dispatcher thread, so a shed job can never
+    // race its own execution.
+    const auto now = std::chrono::steady_clock::now();
+
     std::vector<QueuedJob> batch;
-    const size_t take = std::min(max, jobs.size());
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
+    batch.reserve(std::min(max, jobs.size()));
+    while (!jobs.empty() && batch.size() < max) {
+        if (shed != nullptr && jobs.front().deadline <= now) {
+            shed->push_back(std::move(jobs.front()));
+            jobs.pop_front();
+            --counters.queued;
+            ++counters.shedDeadline;
+            continue;
+        }
         batch.push_back(std::move(jobs.front()));
         jobs.pop_front();
+        --counters.queued;
+        ++counters.inflight;
     }
-    counters.queued -= take;
-    counters.inflight += take;
+    // Shedding the whole backlog can finish the drain: wake
+    // waitDrained() just as markDone() would have.
+    if (counters.queued == 0 && counters.inflight == 0)
+        drained.notify_all();
     return batch;
 }
 

@@ -9,7 +9,8 @@
  * of buffering without limit (the client can back off or resubmit
  * elsewhere).  All counters are kept under one mutex and snapshot as
  * a unit, so the metrics endpoint never reads a torn view: enqueued
- * always equals completed + rejected + queued + inflight.
+ * always equals completed + queued + inflight + shedDeadline (and
+ * every bounced frame lands in exactly one rejected* counter).
  *
  * On a 1-CPU host the queue *is* the scaling story: saturation shows
  * up as high-water marks and QueueFull rejections, not wall clock --
@@ -19,6 +20,7 @@
 #ifndef RACELOGIC_SERVE_QUEUE_H
 #define RACELOGIC_SERVE_QUEUE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -38,6 +40,21 @@ struct QueuedJob {
 
     /** Solve + respond closure; runs on a worker-pool thread. */
     std::function<void()> run;
+
+    /**
+     * Absolute expiry instant (max() = none).  A job whose deadline
+     * has passed when the dispatcher drains it is shed -- onShed runs
+     * instead of run -- so a backed-up queue never wastes a worker on
+     * an answer nobody is waiting for.
+     */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+
+    /**
+     * Shed notification (sends the DeadlineExceeded reply); runs off
+     * the queue lock.  May be empty.
+     */
+    std::function<void()> onShed;
 };
 
 /** Coherent snapshot of the queue's admission counters. */
@@ -48,6 +65,7 @@ struct QueueStats {
     uint64_t rejectedOversized = 0;  ///< bounced: frame/problem too big
     uint64_t rejectedBadRequest = 0; ///< bounced: undecodable/invalid
     uint64_t rejectedShutdown = 0;   ///< bounced: daemon draining
+    uint64_t shedDeadline = 0;       ///< admitted, expired while queued
     uint64_t queued = 0;             ///< admitted, not yet drained
     uint64_t inflight = 0;           ///< drained, not yet completed
     uint64_t highWater = 0;          ///< max outstanding ever observed
@@ -96,8 +114,15 @@ class RequestQueue
      * move out up to `max` jobs in FIFO order.  The moved jobs are
      * accounted inflight until markDone().  Returns an empty vector
      * only when shutting down with nothing left.
+     *
+     * When `shed` is non-null, jobs whose deadline has already passed
+     * are moved into it instead of the batch (counted shedDeadline,
+     * never inflight); the dispatcher runs their onShed closures off
+     * the queue lock.  Shed jobs do not count against `max`.  With
+     * `shed` null (the default) expired jobs drain normally.
      */
-    std::vector<QueuedJob> drain(size_t max);
+    std::vector<QueuedJob> drain(size_t max,
+                                 std::vector<QueuedJob> *shed = nullptr);
 
     /** Retire `n` drained jobs (dispatcher, after the pool returns). */
     void markDone(size_t n);

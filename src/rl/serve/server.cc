@@ -4,8 +4,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
 #include <utility>
 
+#include "rl/core/cancel.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::serve {
@@ -159,8 +164,23 @@ AlignServer::acceptLoop(int listenFd)
         if (rc <= 0)
             continue;
         int client = ::accept(listenFd, nullptr, nullptr);
-        if (client < 0)
+        if (client < 0) {
+            // Descriptor exhaustion is a load condition, not a fatal
+            // error: back off briefly (letting in-flight connections
+            // retire their fds) and keep serving.  Anything else is a
+            // transient accept hiccup; just poll again.
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                rl_warn("serve: accept failed (", std::strerror(errno),
+                        "); backing off");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
             continue;
+        }
+        if (cfg.sndbufBytes > 0)
+            ::setsockopt(client, SOL_SOCKET, SO_SNDBUF,
+                         &cfg.sndbufBytes, sizeof(cfg.sndbufBytes));
         auto conn = std::make_shared<Connection>();
         conn->fd.reset(client);
         std::lock_guard<std::mutex> lock(connectionsMutex);
@@ -176,10 +196,22 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
     const bio::Alphabet graphAlphabet =
         cfg.graph ? cfg.graph->alphabet() : bio::Alphabet("ACGT");
 
+    const int64_t idleMs = cfg.idleTimeoutMs > 0 ? cfg.idleTimeoutMs : -1;
+    const int64_t ioMs = cfg.ioTimeoutMs > 0 ? cfg.ioTimeoutMs : -1;
+
     for (;;) {
         uint8_t header[4];
-        if (!readExact(conn->fd.get(), header, sizeof(header)))
-            return; // clean EOF or mid-frame disconnect: just leave
+        const IoStatus headerRead = readExact(
+            conn->fd.get(), header, sizeof(header),
+            deadlineAfterMs(idleMs));
+        if (headerRead != IoStatus::Ok) {
+            // Clean EOF, disconnect, or an idle peer: hang up.  On
+            // timeout the shutdown tells the peer explicitly instead
+            // of leaving it half-open.
+            if (headerRead == IoStatus::Timeout)
+                ::shutdown(conn->fd.get(), SHUT_RDWR);
+            return;
+        }
 
         uint32_t length = 0;
         WireError headerError = parseFrameHeader(
@@ -197,10 +229,21 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
             return;
         }
 
+        // The header committed the peer to `length` more bytes; a
+        // peer that stalls mid-frame (slow-loris) is cut off after
+        // ioTimeoutMs instead of pinning this reader forever.
         std::vector<uint8_t> payload(length);
-        if (length > 0 &&
-            !readExact(conn->fd.get(), payload.data(), length))
-            return; // mid-frame disconnect
+        if (length > 0) {
+            const IoStatus bodyRead =
+                readExact(conn->fd.get(), payload.data(), length,
+                          deadlineAfterMs(ioMs));
+            if (bodyRead != IoStatus::Ok) {
+                if (bodyRead == IoStatus::Timeout)
+                    ::shutdown(conn->fd.get(), SHUT_RDWR);
+                return;
+            }
+        }
+        const auto arrival = std::chrono::steady_clock::now();
 
         Request request;
         WireError decodeError =
@@ -216,13 +259,14 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
                                        wireErrorName(decodeError)));
             continue;
         }
-        handleRequest(conn, std::move(request));
+        handleRequest(conn, std::move(request), arrival);
     }
 }
 
 void
 AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
-                           Request request)
+                           Request request,
+                           std::chrono::steady_clock::time_point arrival)
 {
     const uint32_t id = request.id;
     const RequestTag tag = request.tag;
@@ -338,20 +382,51 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         rl_panic("inline tags handled above");
     }
 
+    // The request's relative deadline, anchored at frame arrival
+    // (client and daemon clocks need not agree).
+    auto deadline = std::chrono::steady_clock::time_point::max();
+    if (request.deadlineMs > 0)
+        deadline = arrival + std::chrono::milliseconds(request.deadlineMs);
+
     // All of a batch's problems share one shape (same graph, same
     // matrix), so the whole batch runs on one shard as one job.
     const size_t shard = shards.shardFor(problems.front());
     QueuedJob job;
     job.shard = shard;
-    job.run = [this, conn, id, tag, shard,
+    job.deadline = deadline;
+    job.onShed = [this, conn, id, tag] {
+        reply(*conn, errorResponse(id, tag, Status::DeadlineExceeded,
+                                   "deadline expired while queued"));
+    };
+    job.run = [this, conn, id, tag, shard, deadline,
                problems = std::move(problems)]() mutable {
+        // A live deadline becomes a cooperative cancel token: the
+        // bucket-sweep kernels poll it once per simulated cycle and
+        // abort with a typed result instead of finishing a race
+        // nobody is waiting for.  No deadline, no token -- the solve
+        // path stays bit-identical to a direct engine call.
+        const bool hasDeadline =
+            deadline != std::chrono::steady_clock::time_point::max();
+        core::CancelToken token(deadline);
+        const core::CancelToken *cancel = hasDeadline ? &token : nullptr;
+
         Response r;
         r.id = id;
         r.tag = tag;
         if (tag == RequestTag::MapReads) {
             r.reads.reserve(problems.size());
-            for (const api::RaceProblem &problem : problems) {
+            for (api::RaceProblem &problem : problems) {
+                problem.cancel = cancel;
                 api::RaceResult result = shards.solveOn(shard, problem);
+                if (result.cancelled) {
+                    // The deadline covers the whole batch; once it
+                    // trips there is no point racing the rest.
+                    reply(*conn,
+                          errorResponse(id, tag,
+                                        Status::DeadlineExceeded,
+                                        "deadline expired mid-batch"));
+                    return;
+                }
                 ReadReply rr;
                 rr.score = result.score;
                 rr.cyclesUsed = result.cyclesUsed;
@@ -359,7 +434,16 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
                 r.reads.push_back(rr);
             }
         } else {
-            r.solve = toSolveReply(shards.solveOn(shard, problems.front()));
+            problems.front().cancel = cancel;
+            api::RaceResult result =
+                shards.solveOn(shard, problems.front());
+            if (result.cancelled) {
+                reply(*conn,
+                      errorResponse(id, tag, Status::DeadlineExceeded,
+                                    "deadline expired mid-race"));
+                return;
+            }
+            r.solve = toSolveReply(result);
         }
         reply(*conn, r);
     };
@@ -382,9 +466,10 @@ void
 AlignServer::dispatchLoop()
 {
     for (;;) {
+        std::vector<QueuedJob> shed;
         std::vector<QueuedJob> batch = queue.drain(
-            cfg.drainBatchMax == 0 ? 1 : cfg.drainBatchMax);
-        if (batch.empty())
+            cfg.drainBatchMax == 0 ? 1 : cfg.drainBatchMax, &shed);
+        if (batch.empty() && shed.empty())
             return; // shutdown with nothing left
 
         // Group by shard: jobs for different shards run concurrently
@@ -404,8 +489,17 @@ AlignServer::dispatchLoop()
             groups[g].push_back(&job);
         }
 
+        // Shed replies ride the pool as one extra group: the write
+        // (bounded by ioTimeoutMs) must not stall the dispatcher.
+        const size_t shedGroup = shed.empty() ? 0 : 1;
         try {
-            pool.parallelFor(groups.size(), [&](size_t g) {
+            pool.parallelFor(groups.size() + shedGroup, [&](size_t g) {
+                if (g == groups.size()) {
+                    for (QueuedJob &job : shed)
+                        if (job.onShed)
+                            job.onShed();
+                    return;
+                }
                 for (QueuedJob *job : groups[g])
                     job->run();
             });
@@ -415,7 +509,9 @@ AlignServer::dispatchLoop()
             rl_warn("serve: job raised '", e.what(),
                     "'; dispatcher continues");
         }
-        queue.markDone(batch.size());
+        // Shed jobs were never inflight; only the raced batch retires.
+        if (!batch.empty())
+            queue.markDone(batch.size());
     }
 }
 
@@ -423,9 +519,18 @@ void
 AlignServer::reply(Connection &conn, const Response &response)
 {
     std::vector<uint8_t> framed = frame(encodeResponse(response));
+    const IoDeadline deadline =
+        deadlineAfterMs(cfg.ioTimeoutMs > 0 ? cfg.ioTimeoutMs : -1);
     std::lock_guard<std::mutex> lock(conn.writeMutex);
     // A vanished peer is its own problem; the daemon just moves on.
-    (void)writeAll(conn.fd.get(), framed.data(), framed.size());
+    // A peer that stopped *reading* is worse: once the write deadline
+    // trips the connection is severed, so a stalled receive window
+    // costs at most ioTimeoutMs of one worker's time -- it can never
+    // wedge the pool behind one slow socket.
+    const IoStatus wrote =
+        writeAll(conn.fd.get(), framed.data(), framed.size(), deadline);
+    if (wrote == IoStatus::Timeout)
+        ::shutdown(conn.fd.get(), SHUT_RDWR);
 }
 
 } // namespace racelogic::serve

@@ -22,6 +22,7 @@
 #define RACELOGIC_SERVE_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,31 @@ struct ServerConfig {
 
     /** Reads admitted per MapReads batch. */
     size_t maxBatchReads = 256;
+
+    /**
+     * Idle timeout waiting for the *next* request header on an open
+     * connection (ms; 0 = wait forever).  An idle peer is hung up on;
+     * a well-behaved client simply reconnects.
+     */
+    int64_t idleTimeoutMs = 0;
+
+    /**
+     * Mid-frame timeout (ms; 0 = wait forever): bounds reading the
+     * rest of a frame whose header already arrived (slow-loris) and
+     * writing a response to a peer that stopped reading (stalled
+     * receive window).  Tripping it severs the connection -- framing
+     * is gone either way -- so one bad peer costs at most ioTimeoutMs
+     * of one thread's time, never a pinned reader or dispatcher.
+     */
+    int64_t ioTimeoutMs = 10000;
+
+    /**
+     * Test hook: SO_SNDBUF on accepted connections (0 = kernel
+     * default).  A small buffer makes a stopped-reader peer hit the
+     * write timeout with small responses, which is what the
+     * slow-peer regression tests need.
+     */
+    int sndbufBytes = 0;
 
     /**
      * Preloaded pangenome for GraphAlign/MapReads (null rejects those
@@ -127,9 +153,14 @@ class AlignServer
     /** Serialize + frame + write one response under the write lock. */
     void reply(Connection &conn, const Response &response);
 
-    /** Handle one decoded request (admit, inline-answer, or bounce). */
+    /**
+     * Handle one decoded request (admit, inline-answer, or bounce).
+     * `arrival` is the frame's receipt instant -- the anchor the
+     * request's relative deadlineMs counts from.
+     */
     void handleRequest(const std::shared_ptr<Connection> &conn,
-                       Request request);
+                       Request request,
+                       std::chrono::steady_clock::time_point arrival);
 
     const ServerConfig cfg;
 

@@ -1,23 +1,106 @@
 #include "rl/serve/socket.h"
 
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "rl/serve/fault.h"
 
 namespace racelogic::serve {
 
 void
 ScopedFd::reset(int fd)
 {
-    if (fd_ >= 0)
+    if (fd_ >= 0) {
+        // A recycled fd number must not inherit the old connection's
+        // injected-fault byte count.
+        if (FaultInjector *injector = FaultInjector::installed())
+            injector->forgetFd(fd_);
         ::close(fd_);
+    }
     fd_ = fd;
 }
+
+IoDeadline
+deadlineAfterMs(int64_t timeoutMs)
+{
+    if (timeoutMs < 0)
+        return kNoDeadline;
+    return IoClock::now() + std::chrono::milliseconds(timeoutMs);
+}
+
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+    case IoStatus::Ok:
+        return "ok";
+    case IoStatus::Eof:
+        return "eof";
+    case IoStatus::Timeout:
+        return "timeout";
+    case IoStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * Milliseconds left until `deadline` as a poll() timeout: -1 for
+ * kNoDeadline, 0 when already expired, rounded up so poll never
+ * returns early and spins.
+ */
+int
+pollTimeout(IoDeadline deadline)
+{
+    if (deadline == kNoDeadline)
+        return -1;
+    const IoClock::time_point now = IoClock::now();
+    if (now >= deadline)
+        return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count() +
+                      1;
+    return left > INT_MAX ? INT_MAX : static_cast<int>(left);
+}
+
+/**
+ * Wait for `events` on `fd` until `deadline`.  Ok: ready (including
+ * POLLERR/POLLHUP -- the following syscall surfaces the condition);
+ * Timeout: deadline hit first; Error: poll itself failed.
+ */
+IoStatus
+waitReady(int fd, short events, IoDeadline deadline)
+{
+    for (;;) {
+        const int timeout = pollTimeout(deadline);
+        if (timeout == 0)
+            return IoStatus::Timeout;
+        pollfd entry{};
+        entry.fd = fd;
+        entry.events = events;
+        const int rc = ::poll(&entry, 1, timeout);
+        if (rc > 0)
+            return IoStatus::Ok;
+        if (rc == 0)
+            return IoStatus::Timeout;
+        if (errno != EINTR)
+            return IoStatus::Error;
+    }
+}
+
+} // namespace
 
 ScopedFd
 listenUnix(const std::string &path)
@@ -72,8 +155,58 @@ listenTcp(uint16_t port, uint16_t &boundPort)
     return fd;
 }
 
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+namespace {
+
+/**
+ * Finish a deadline-bounded connect: start it non-blocking, wait for
+ * writability, then collect the outcome from SO_ERROR (the
+ * non-blocking connect protocol -- the connect() return itself only
+ * says "in progress").  The fd stays non-blocking on success.
+ */
 ScopedFd
-connectUnix(const std::string &path)
+connectWithDeadline(ScopedFd fd, const sockaddr *addr, socklen_t addrLen,
+                    int64_t timeoutMs)
+{
+    if (!setNonBlocking(fd.get()))
+        return ScopedFd();
+    const int rc = ::connect(fd.get(), addr, addrLen);
+    if (rc == 0)
+        return fd;
+    if (errno != EINPROGRESS && errno != EINTR && errno != EAGAIN)
+        return ScopedFd();
+
+    const IoDeadline deadline = deadlineAfterMs(timeoutMs);
+    const IoStatus ready = waitReady(fd.get(), POLLOUT, deadline);
+    if (ready != IoStatus::Ok) {
+        if (ready == IoStatus::Timeout)
+            errno = ETIMEDOUT;
+        return ScopedFd();
+    }
+
+    int err = 0;
+    socklen_t errLen = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &errLen) != 0)
+        return ScopedFd();
+    if (err != 0) {
+        errno = err;
+        return ScopedFd();
+    }
+    return fd;
+}
+
+} // namespace
+
+ScopedFd
+connectUnix(const std::string &path, int64_t timeoutMs)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -86,19 +219,13 @@ connectUnix(const std::string &path)
     ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!fd.valid())
         return ScopedFd();
-    int rc;
-    do {
-        rc = ::connect(fd.get(),
-                       reinterpret_cast<const sockaddr *>(&addr),
-                       sizeof(addr));
-    } while (rc != 0 && errno == EINTR);
-    if (rc != 0)
-        return ScopedFd();
-    return fd;
+    return connectWithDeadline(std::move(fd),
+                               reinterpret_cast<const sockaddr *>(&addr),
+                               sizeof(addr), timeoutMs);
 }
 
 ScopedFd
-connectTcp(uint16_t port)
+connectTcp(uint16_t port, int64_t timeoutMs)
 {
     ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid())
@@ -108,51 +235,89 @@ connectTcp(uint16_t port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    int rc;
-    do {
-        rc = ::connect(fd.get(),
-                       reinterpret_cast<const sockaddr *>(&addr),
-                       sizeof(addr));
-    } while (rc != 0 && errno == EINTR);
-    if (rc != 0)
-        return ScopedFd();
-    return fd;
+    return connectWithDeadline(std::move(fd),
+                               reinterpret_cast<const sockaddr *>(&addr),
+                               sizeof(addr), timeoutMs);
+}
+
+IoStatus
+readExact(int fd, void *buffer, size_t n, IoDeadline deadline)
+{
+    uint8_t *out = static_cast<uint8_t *>(buffer);
+    size_t got = 0;
+    while (got < n) {
+        const IoStatus ready = waitReady(fd, POLLIN, deadline);
+        if (ready != IoStatus::Ok)
+            return ready;
+
+        size_t want = n - got;
+        if (FaultInjector *injector = FaultInjector::installed()) {
+            const FaultAction act = injector->beforeIo(fd, want, false);
+            if (act.chunkCap > 0 && act.chunkCap < want)
+                want = act.chunkCap;
+        }
+
+        // MSG_DONTWAIT: poll said readable, but never risk blocking
+        // (works uniformly for blocking and non-blocking fds).
+        const ssize_t rc = ::recv(fd, out + got, want, MSG_DONTWAIT);
+        if (rc > 0) {
+            got += static_cast<size_t>(rc);
+            if (FaultInjector *injector = FaultInjector::installed())
+                injector->afterIo(fd, static_cast<size_t>(rc));
+            continue;
+        }
+        if (rc == 0)
+            return IoStatus::Eof;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+writeAll(int fd, const void *buffer, size_t n, IoDeadline deadline)
+{
+    const uint8_t *in = static_cast<const uint8_t *>(buffer);
+    size_t sent = 0;
+    while (sent < n) {
+        const IoStatus ready = waitReady(fd, POLLOUT, deadline);
+        if (ready != IoStatus::Ok)
+            return ready;
+
+        size_t want = n - sent;
+        if (FaultInjector *injector = FaultInjector::installed()) {
+            const FaultAction act = injector->beforeIo(fd, want, true);
+            if (act.chunkCap > 0 && act.chunkCap < want)
+                want = act.chunkCap;
+        }
+
+        const ssize_t rc =
+            ::send(fd, in + sent, want, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (rc > 0) {
+            sent += static_cast<size_t>(rc);
+            if (FaultInjector *injector = FaultInjector::installed())
+                injector->afterIo(fd, static_cast<size_t>(rc));
+            continue;
+        }
+        if (rc < 0 &&
+            (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+            continue;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
 }
 
 bool
 readExact(int fd, void *buffer, size_t n)
 {
-    uint8_t *out = static_cast<uint8_t *>(buffer);
-    size_t got = 0;
-    while (got < n) {
-        ssize_t rc = ::recv(fd, out + got, n - got, 0);
-        if (rc > 0) {
-            got += static_cast<size_t>(rc);
-            continue;
-        }
-        if (rc < 0 && errno == EINTR)
-            continue;
-        return false; // EOF or hard error: the conversation is over
-    }
-    return true;
+    return readExact(fd, buffer, n, kNoDeadline) == IoStatus::Ok;
 }
 
 bool
 writeAll(int fd, const void *buffer, size_t n)
 {
-    const uint8_t *in = static_cast<const uint8_t *>(buffer);
-    size_t sent = 0;
-    while (sent < n) {
-        ssize_t rc = ::send(fd, in + sent, n - sent, MSG_NOSIGNAL);
-        if (rc > 0) {
-            sent += static_cast<size_t>(rc);
-            continue;
-        }
-        if (rc < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
+    return writeAll(fd, buffer, n, kNoDeadline) == IoStatus::Ok;
 }
 
 } // namespace racelogic::serve

@@ -7,11 +7,21 @@
  * read/write loops that retry EINTR and report peer disconnects as a
  * clean false instead of a signal or an exception.  The wire protocol
  * (rl/serve/wire.h) sits entirely above this layer.
+ *
+ * Every transfer loop is poll()-based and can carry an absolute
+ * deadline (IoDeadline): a peer that stops sending or stops reading
+ * turns into a typed IoStatus::Timeout instead of a thread pinned in
+ * recv()/send() forever.  kNoDeadline recovers the old blocking
+ * behaviour.  The loops also consult the process-global
+ * serve::FaultInjector (rl/serve/fault.h) when one is installed --
+ * tests and tools only; an uninstalled injector costs one relaxed
+ * atomic load per syscall.
  */
 
 #ifndef RACELOGIC_SERVE_SOCKET_H
 #define RACELOGIC_SERVE_SOCKET_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -58,6 +68,35 @@ class ScopedFd
     int fd_ = -1;
 };
 
+/** @name Deadlines
+ * I/O deadlines are absolute steady-clock instants, so one deadline
+ * naturally spans a multi-syscall loop (and a multi-frame exchange)
+ * without re-arming per call.
+ * @{ */
+using IoClock = std::chrono::steady_clock;
+using IoDeadline = IoClock::time_point;
+
+/** "Wait forever": the old blocking behaviour. */
+inline constexpr IoDeadline kNoDeadline = IoDeadline::max();
+
+/**
+ * The instant `timeoutMs` milliseconds from now; negative means
+ * kNoDeadline.
+ */
+IoDeadline deadlineAfterMs(int64_t timeoutMs);
+/** @} */
+
+/** Outcome of one exact-length transfer. */
+enum class IoStatus : uint8_t {
+    Ok,      ///< all n bytes moved
+    Eof,     ///< orderly peer close mid-transfer (reads only)
+    Timeout, ///< the deadline expired first
+    Error,   ///< hard socket error (ECONNRESET, EPIPE, ...)
+};
+
+/** Human-readable IoStatus name ("ok", "eof", ...). */
+const char *ioStatusName(IoStatus status);
+
 /**
  * Bind + listen on a Unix-domain socket at `path`, unlinking any
  * stale socket file first.  Returns an invalid fd on failure (errno
@@ -71,24 +110,47 @@ ScopedFd listenUnix(const std::string &path);
  */
 ScopedFd listenTcp(uint16_t port, uint16_t &boundPort);
 
-/** Connect to a Unix-domain socket; invalid fd on failure. */
-ScopedFd connectUnix(const std::string &path);
+/**
+ * Connect to a Unix-domain socket; invalid fd on failure.  The
+ * connect itself is bounded by `timeoutMs` (negative: wait forever)
+ * via a non-blocking connect + poll, so a dead or unresponsive
+ * address fails with ETIMEDOUT instead of blocking the caller
+ * indefinitely.  The returned fd is left non-blocking -- the
+ * poll-based transfer loops below handle that transparently.
+ */
+ScopedFd connectUnix(const std::string &path, int64_t timeoutMs = -1);
 
-/** Connect to loopback TCP; invalid fd on failure. */
-ScopedFd connectTcp(uint16_t port);
+/** Connect to loopback TCP; same deadline semantics as connectUnix. */
+ScopedFd connectTcp(uint16_t port, int64_t timeoutMs = -1);
+
+/** Put `fd` in non-blocking mode; false on fcntl failure. */
+bool setNonBlocking(int fd);
 
 /**
- * Read exactly `n` bytes, retrying EINTR and short reads.  Returns
- * false on EOF or error -- for a framed protocol both simply mean
- * "this conversation is over".
+ * Read exactly `n` bytes by `deadline`, retrying EINTR, EAGAIN, and
+ * short reads via poll().  Works on blocking and non-blocking fds
+ * alike.  A timeout may leave a partial frame consumed -- the
+ * connection's framing is gone; callers must close, not retry.
+ */
+IoStatus readExact(int fd, void *buffer, size_t n, IoDeadline deadline);
+
+/**
+ * Write all `n` bytes by `deadline`, retrying EINTR, EAGAIN, and
+ * short writes via poll(), with SIGPIPE suppressed (MSG_NOSIGNAL) so
+ * a vanished peer is a status return, not a process-killing signal.
+ * A timeout may leave a partial frame sent; callers must close.
+ */
+IoStatus writeAll(int fd, const void *buffer, size_t n,
+                  IoDeadline deadline);
+
+/**
+ * Read exactly `n` bytes with no deadline.  Returns false on EOF or
+ * error -- for a framed protocol both simply mean "this conversation
+ * is over".
  */
 bool readExact(int fd, void *buffer, size_t n);
 
-/**
- * Write all `n` bytes, retrying EINTR and short writes, with SIGPIPE
- * suppressed (MSG_NOSIGNAL) so a vanished peer is a false return, not
- * a process-killing signal.
- */
+/** Write all `n` bytes with no deadline; false on error. */
 bool writeAll(int fd, const void *buffer, size_t n);
 
 } // namespace racelogic::serve

@@ -319,14 +319,15 @@ readFastaBatch(const std::string &text, const bio::Alphabet &alphabet,
     return WireError::None;
 }
 
-/** Start a request payload: id + tag. */
+/** Start a request payload: id + tag + relative deadline (ms). */
 std::vector<uint8_t>
-requestHeader(uint32_t id, RequestTag tag)
+requestHeader(uint32_t id, RequestTag tag, uint32_t deadlineMs)
 {
     std::vector<uint8_t> payload;
     Writer w(payload);
     w.u32(id);
     w.u8(static_cast<uint8_t>(tag));
+    w.u32(deadlineMs);
     return payload;
 }
 
@@ -354,6 +355,7 @@ statusName(Status status)
     case Status::Oversized: return "oversized";
     case Status::BadRequest: return "bad-request";
     case Status::ShuttingDown: return "shutting-down";
+    case Status::DeadlineExceeded: return "deadline-exceeded";
     }
     return "unknown";
 }
@@ -376,9 +378,10 @@ requestTagName(RequestTag tag)
 
 std::vector<uint8_t>
 encodePairwise(uint32_t id, const bio::ScoreMatrix &costs,
-               const std::string &a, const std::string &b)
+               const std::string &a, const std::string &b,
+               uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::Pairwise);
+    auto payload = requestHeader(id, RequestTag::Pairwise, deadlineMs);
     Writer w(payload);
     writeMatrix(w, costs);
     w.str(a);
@@ -389,9 +392,9 @@ encodePairwise(uint32_t id, const bio::ScoreMatrix &costs,
 std::vector<uint8_t>
 encodeScreen(uint32_t id, const bio::ScoreMatrix &costs,
              bio::Score threshold, const std::string &a,
-             const std::string &b)
+             const std::string &b, uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::Screen);
+    auto payload = requestHeader(id, RequestTag::Screen, deadlineMs);
     Writer w(payload);
     writeMatrix(w, costs);
     w.i64(threshold);
@@ -402,9 +405,10 @@ encodeScreen(uint32_t id, const bio::ScoreMatrix &costs,
 
 std::vector<uint8_t>
 encodeAffine(uint32_t id, const bio::ScoreMatrix &costs, bio::Score open,
-             bio::Score extend, const std::string &a, const std::string &b)
+             bio::Score extend, const std::string &a, const std::string &b,
+             uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::Affine);
+    auto payload = requestHeader(id, RequestTag::Affine, deadlineMs);
     Writer w(payload);
     writeMatrix(w, costs);
     w.i64(open);
@@ -416,9 +420,9 @@ encodeAffine(uint32_t id, const bio::ScoreMatrix &costs, bio::Score open,
 
 std::vector<uint8_t>
 encodeDtw(uint32_t id, const std::vector<apps::Sample> &x,
-          const std::vector<apps::Sample> &y)
+          const std::vector<apps::Sample> &y, uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::Dtw);
+    auto payload = requestHeader(id, RequestTag::Dtw, deadlineMs);
     Writer w(payload);
     w.u32(static_cast<uint32_t>(x.size()));
     for (apps::Sample s : x)
@@ -431,9 +435,9 @@ encodeDtw(uint32_t id, const std::vector<apps::Sample> &x,
 
 std::vector<uint8_t>
 encodeGraphAlign(uint32_t id, const std::string &read,
-                 bio::Score threshold)
+                 bio::Score threshold, uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::GraphAlign);
+    auto payload = requestHeader(id, RequestTag::GraphAlign, deadlineMs);
     Writer w(payload);
     w.i64(threshold);
     w.str(read);
@@ -441,9 +445,10 @@ encodeGraphAlign(uint32_t id, const std::string &read,
 }
 
 std::vector<uint8_t>
-encodeMapReads(uint32_t id, const std::string &fasta, bio::Score threshold)
+encodeMapReads(uint32_t id, const std::string &fasta, bio::Score threshold,
+               uint32_t deadlineMs)
 {
-    auto payload = requestHeader(id, RequestTag::MapReads);
+    auto payload = requestHeader(id, RequestTag::MapReads, deadlineMs);
     Writer w(payload);
     w.i64(threshold);
     w.str(fasta);
@@ -453,13 +458,13 @@ encodeMapReads(uint32_t id, const std::string &fasta, bio::Score threshold)
 std::vector<uint8_t>
 encodeStatsRequest(uint32_t id)
 {
-    return requestHeader(id, RequestTag::Stats);
+    return requestHeader(id, RequestTag::Stats, 0);
 }
 
 std::vector<uint8_t>
 encodePing(uint32_t id)
 {
-    return requestHeader(id, RequestTag::Ping);
+    return requestHeader(id, RequestTag::Ping, 0);
 }
 
 WireError
@@ -477,6 +482,8 @@ decodeRequest(const std::vector<uint8_t> &payload,
         tag > static_cast<uint8_t>(RequestTag::Ping))
         return WireError::UnknownKind;
     out.tag = static_cast<RequestTag>(tag);
+    if (!r.u32(out.deadlineMs))
+        return WireError::Truncated;
 
     switch (out.tag) {
     case RequestTag::Pairwise:
@@ -601,6 +608,7 @@ encodeResponse(const Response &response)
         w.u64(q.rejectedOversized);
         w.u64(q.rejectedBadRequest);
         w.u64(q.rejectedShutdown);
+        w.u64(q.shedDeadline);
         w.u64(q.inflight);
         w.u64(q.queued);
         w.u64(q.highWater);
@@ -630,7 +638,7 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     uint8_t status, tag;
     if (!r.u8(status) || !r.u8(tag))
         return WireError::Truncated;
-    if (status > static_cast<uint8_t>(Status::ShuttingDown))
+    if (status > static_cast<uint8_t>(Status::DeadlineExceeded))
         return WireError::BadRequest;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
         tag > static_cast<uint8_t>(RequestTag::Ping))
@@ -682,7 +690,8 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
         if (!r.u64(q.enqueued) || !r.u64(q.completed) ||
             !r.u64(q.rejectedQueueFull) || !r.u64(q.rejectedOversized) ||
             !r.u64(q.rejectedBadRequest) || !r.u64(q.rejectedShutdown) ||
-            !r.u64(q.inflight) || !r.u64(q.queued) || !r.u64(q.highWater))
+            !r.u64(q.shedDeadline) || !r.u64(q.inflight) ||
+            !r.u64(q.queued) || !r.u64(q.highWater))
             return WireError::Truncated;
         uint32_t n;
         if (!r.u32(n))

@@ -3,9 +3,9 @@
  * The racelogic::serve wire protocol: length-prefixed binary frames.
  *
  * A frame is a 4-byte little-endian payload length followed by the
- * payload.  Request payloads open with a 4-byte request id and a
- * 1-byte kind tag; response payloads echo the id and carry a 1-byte
- * status.  Everything is explicit fixed-width little-endian -- no
+ * payload.  Request payloads open with a 4-byte request id, a 1-byte
+ * kind tag, and a 4-byte relative deadline in milliseconds (0 =
+ * none); response payloads echo the id and carry a 1-byte status.  Everything is explicit fixed-width little-endian -- no
  * struct punning -- so the format is host-independent and a hostile
  * peer can at worst earn itself a typed error.
  *
@@ -77,6 +77,7 @@ enum class Status : uint8_t {
     Oversized = 2,    ///< frame/problem over the admission limits
     BadRequest = 3,   ///< undecodable or invalid problem
     ShuttingDown = 4, ///< daemon is draining; resubmit elsewhere
+    DeadlineExceeded = 5, ///< the request's own deadline expired first
 };
 
 /** Human-readable Status name. */
@@ -106,6 +107,16 @@ const char *requestTagName(RequestTag tag);
 struct Request {
     RequestTag tag = RequestTag::Ping;
     uint32_t id = 0;
+
+    /**
+     * Caller's deadline in milliseconds, relative to frame arrival
+     * (0 = none).  Relative on the wire because client and daemon
+     * clocks need not agree; the server stamps arrival and races
+     * against its own steady clock.  A request whose deadline expires
+     * while queued is shed with Status::DeadlineExceeded; one that
+     * expires mid-race is cancelled cooperatively.
+     */
+    uint32_t deadlineMs = 0;
 
     /** Pairwise / Affine / Screen: the inline cost matrix. */
     std::optional<bio::ScoreMatrix> matrix;
@@ -144,6 +155,7 @@ struct QueueStatsWire {
     uint64_t rejectedOversized = 0;
     uint64_t rejectedBadRequest = 0;
     uint64_t rejectedShutdown = 0;
+    uint64_t shedDeadline = 0; ///< queued requests shed at drain time
     uint64_t inflight = 0;
     uint64_t queued = 0;
     uint64_t highWater = 0;
@@ -182,29 +194,38 @@ struct Response {
     std::vector<ShardStatsWire> shardStats;   ///< Stats
 };
 
-/** @name Request encoding (client side) @{ */
+/** @name Request encoding (client side)
+ * `deadlineMs` is the caller's per-request deadline in milliseconds
+ * relative to arrival (0 = none); see Request::deadlineMs.
+ * @{ */
 
 std::vector<uint8_t> encodePairwise(uint32_t id,
                                     const bio::ScoreMatrix &costs,
                                     const std::string &a,
-                                    const std::string &b);
+                                    const std::string &b,
+                                    uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeScreen(uint32_t id,
                                   const bio::ScoreMatrix &costs,
                                   bio::Score threshold,
                                   const std::string &a,
-                                  const std::string &b);
+                                  const std::string &b,
+                                  uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeAffine(uint32_t id,
                                   const bio::ScoreMatrix &costs,
                                   bio::Score open, bio::Score extend,
                                   const std::string &a,
-                                  const std::string &b);
+                                  const std::string &b,
+                                  uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeDtw(uint32_t id,
                                const std::vector<apps::Sample> &x,
-                               const std::vector<apps::Sample> &y);
+                               const std::vector<apps::Sample> &y,
+                               uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeGraphAlign(uint32_t id, const std::string &read,
-                                      bio::Score threshold);
+                                      bio::Score threshold,
+                                      uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeMapReads(uint32_t id, const std::string &fasta,
-                                    bio::Score threshold);
+                                    bio::Score threshold,
+                                    uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeStatsRequest(uint32_t id);
 std::vector<uint8_t> encodePing(uint32_t id);
 

@@ -423,4 +423,41 @@ TEST(ApiEngine, EngineThresholdAppliesToPlainAlignment)
     EXPECT_EQ(r.score, 10); // score still exact outside screening
 }
 
+TEST(ApiEngine, CancelledSolveReturnsTypedAbort)
+{
+    RaceEngine engine;
+    core::CancelToken token;
+    token.cancel();
+    RaceProblem problem = RaceProblem::pairwiseAlignment(
+        ScoreMatrix::dnaShortestPath(), dna("GATTACA"), dna("GCATGCT"));
+    problem.cancel = &token;
+    const RaceResult r = engine.solve(problem);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.completed);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(r.score, bio::kScoreInfinity);
+    EXPECT_TRUE(r.nodeArrival.empty())
+        << "a cancelled race must reveal no mapping detail";
+}
+
+TEST(ApiEngine, UncancelledTokenLeavesTheSolveBitIdentical)
+{
+    RaceEngine engine;
+    RaceProblem plain = RaceProblem::pairwiseAlignment(
+        ScoreMatrix::dnaShortestPath(), dna("GATTACA"), dna("GCATGCT"));
+    const RaceResult expected = engine.solve(plain);
+
+    core::CancelToken idle; // live but never fired
+    RaceProblem tokened = plain;
+    tokened.cancel = &idle;
+    const RaceResult r = engine.solve(tokened);
+    EXPECT_FALSE(r.cancelled);
+    EXPECT_EQ(r.score, expected.score);
+    EXPECT_EQ(r.racedCost, expected.racedCost);
+    EXPECT_EQ(r.latencyCycles, expected.latencyCycles);
+    EXPECT_EQ(r.events, expected.events);
+    EXPECT_EQ(r.cellsFired, expected.cellsFired);
+    EXPECT_EQ(r.nodeArrival, expected.nodeArrival);
+}
+
 } // namespace

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "rl/bio/align_dp.h"
+#include "rl/core/cancel.h"
 #include "rl/core/race_grid.h"
+#include "rl/core/wavefront.h"
 #include "rl/util/random.h"
 
 namespace {
@@ -234,6 +238,62 @@ TEST(RaceGrid, ArrivalsAreMonotoneAlongEdges)
                           r.arrival.at(i - 1, j - 1) + 1);
             }
         }
+    }
+}
+
+// ------------------------------------------------------- cancellation
+
+TEST(RaceGrid, PreCancelledTokenAbortsWithTypedResult)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPath());
+    core::RaceGridScratch scratch;
+    core::CancelToken token;
+    token.cancel();
+    RaceGridResult r =
+        aligner.align(dna("GATTACA"), dna("GCATGCT"),
+                      sim::kTickInfinity, scratch, &token);
+    EXPECT_FALSE(r.completed);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_EQ(r.score, bio::kScoreInfinity);
+}
+
+TEST(RaceGrid, ExpiredDeadlineTokenCancelsLikeAFlag)
+{
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPath());
+    core::RaceGridScratch scratch;
+    const core::CancelToken token(core::CancelToken::Clock::now() -
+                                  std::chrono::milliseconds(1));
+    ASSERT_TRUE(token.cancelled());
+    RaceGridResult r = aligner.align(dna("ACGT"), dna("AGT"),
+                                     sim::kTickInfinity, scratch,
+                                     &token);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.completed);
+}
+
+TEST(RaceGrid, UncancelledTokenIsBitIdenticalToPlainRace)
+{
+    // The whole point of pointer-passed tokens: a null token -- and a
+    // live one that never fires -- must not perturb the race at all.
+    RaceGridAligner aligner(ScoreMatrix::dnaShortestPath());
+    const Sequence a = dna("GATTCGAATTG"), b = dna("ACTGAGACCAT");
+    const RaceGridResult plain = aligner.align(a, b);
+
+    core::RaceGridScratch scratch;
+    const core::CancelToken idle; // never cancelled
+    for (const core::CancelToken *token :
+         {static_cast<const core::CancelToken *>(nullptr), &idle}) {
+        RaceGridResult r =
+            aligner.align(a, b, sim::kTickInfinity, scratch, token);
+        EXPECT_FALSE(r.cancelled);
+        EXPECT_EQ(r.score, plain.score);
+        EXPECT_EQ(r.latencyCycles, plain.latencyCycles);
+        EXPECT_EQ(r.events, plain.events);
+        EXPECT_EQ(r.cellsFired, plain.cellsFired);
+        ASSERT_EQ(r.arrival.rows(), plain.arrival.rows());
+        for (size_t i = 0; i < r.arrival.rows(); ++i)
+            for (size_t j = 0; j < r.arrival.cols(); ++j)
+                EXPECT_EQ(r.arrival.at(i, j), plain.arrival.at(i, j));
     }
 }
 

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "rl/bio/align_dp.h"
+#include "rl/core/cancel.h"
 #include "rl/core/wavefront.h"
 #include "rl/pangraph/generate.h"
 #include "rl/pangraph/gfa.h"
@@ -554,6 +555,37 @@ TEST(GraphAlignFused, EdgeCasesMatchReference)
         expectFusedMatchesMaterialized(
             aligner, dna("ACGAC"),
             static_cast<sim::Tick>(full.racedCost) - 1);
+}
+
+TEST(GraphAlignFused, PreCancelledTokenAbortsWithTypedResult)
+{
+    GraphAligner aligner(sampleGraph(), ScoreMatrix::dnaShortestPath());
+    core::CancelToken token;
+    token.cancel();
+    pangraph::GraphRaceResult r =
+        aligner.align(dna("ACGAC"), sim::kTickInfinity, &token);
+    EXPECT_FALSE(r.completed);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_EQ(r.score, bio::kScoreInfinity);
+}
+
+TEST(GraphAlignFused, UncancelledTokenIsBitIdenticalToPlainAlign)
+{
+    GraphAligner aligner(sampleGraph(), ScoreMatrix::dnaShortestPath());
+    const Sequence read = dna("ACGTAC");
+    const pangraph::GraphRaceResult plain = aligner.align(read);
+
+    const core::CancelToken idle; // never cancelled
+    pangraph::GraphRaceResult r =
+        aligner.align(read, sim::kTickInfinity, &idle);
+    EXPECT_FALSE(r.cancelled);
+    EXPECT_EQ(r.score, plain.score);
+    EXPECT_EQ(r.racedCost, plain.racedCost);
+    EXPECT_EQ(r.events, plain.events);
+    EXPECT_EQ(r.cellsFired, plain.cellsFired);
+    ASSERT_EQ(r.arrival.size(), plain.arrival.size());
+    for (size_t n = 0; n < r.arrival.size(); ++n)
+        EXPECT_EQ(r.arrival[n].rawTime(), plain.arrival[n].rawTime());
 }
 
 TEST(GraphAlignFused, ScratchReuseIsBitIdenticalAndBuildsNoProduct)

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Chaos suite: the full daemon under seeded fault schedules.
+ *
+ * Each schedule installs a deterministic FaultInjector (short I/O,
+ * injected delays, connections severed at drawn byte offsets) under
+ * every socket in the process -- the daemon's *and* the client's --
+ * and drives a retrying client workload through it.  The claims, per
+ * schedule:
+ *
+ *  1. no hang: the whole schedule finishes inside a hard wall-clock
+ *     bound (timeouts + retries, never a pinned thread);
+ *  2. no crash: the daemon survives to a clean stop();
+ *  3. ledger coherence: after the drain, enqueued == completed +
+ *     queued + inflight + shedDeadline, every frame accounted;
+ *  4. fidelity: every response that *does* survive the chaos is
+ *     bit-identical to a direct api::RaceEngine solve of the same
+ *     problem -- faults may lose answers, never corrupt them.
+ *
+ * The workload sets no wire deadlines: a cancelled race would
+ * legitimately differ from a direct solve, and this suite is about
+ * transport faults, not deadline semantics (serve_server_test covers
+ * those).
+ *
+ * CI's smoke step runs one schedule via --gtest_filter; this file
+ * runs twenty.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rl/api/api.h"
+#include "rl/pangraph/gfa.h"
+#include "rl/serve/client.h"
+#include "rl/serve/fault.h"
+#include "rl/serve/server.h"
+
+namespace {
+
+using namespace racelogic;
+using namespace racelogic::serve;
+
+bio::ScoreMatrix
+fig2b()
+{
+    return bio::ScoreMatrix::dnaShortestPath();
+}
+
+std::shared_ptr<const pangraph::VariationGraph>
+bubbleGraph()
+{
+    const std::string gfa = "H\tVN:Z:1.0\n"
+                            "S\ts1\tACG\n"
+                            "S\ts2\tT\n"
+                            "S\ts3\tC\n"
+                            "S\ts4\tGGA\n"
+                            "L\ts1\t+\ts2\t+\t0M\n"
+                            "L\ts1\t+\ts3\t+\t0M\n"
+                            "L\ts2\t+\ts4\t+\t0M\n"
+                            "L\ts3\t+\ts4\t+\t0M\n";
+    std::istringstream in(gfa);
+    return std::make_shared<pangraph::VariationGraph>(
+        pangraph::readGfa(in, bio::Alphabet("ACGT")));
+}
+
+std::string
+dnaString(size_t length, uint32_t seed)
+{
+    static const char letters[] = "ACGT";
+    std::string s;
+    s.reserve(length);
+    uint32_t state = seed * 2654435761u + 1;
+    for (size_t i = 0; i < length; ++i) {
+        state = state * 1664525u + 1013904223u;
+        s.push_back(letters[(state >> 24) & 3]);
+    }
+    return s;
+}
+
+/** One request of the chaos workload, with its direct-solve twin. */
+struct ChaosCase {
+    std::vector<uint8_t> payload;   ///< encoded request (no deadline)
+    api::RaceProblem problem;       ///< the same problem, direct
+};
+
+class ServeChaosTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ServeChaosTest, ScheduleRunsCleanAndFaithful)
+{
+    const uint32_t seed = GetParam();
+    const auto start = std::chrono::steady_clock::now();
+
+    auto graph = bubbleGraph();
+
+    // The fault schedule, entirely derived from the seed.
+    FaultConfig faults;
+    faults.seed = seed;
+    faults.shortIoProbability = 0.3;
+    faults.delayProbability = 0.2;
+    faults.delayMaxMicros = 500;
+    faults.dropProbability = 0.25 + 0.02 * (seed % 5);
+    faults.dropMinBytes = 32;
+    faults.dropMaxBytes = 2048;
+    FaultInjector injector(faults);
+    FaultInjector::install(&injector);
+
+    ServerConfig cfg;
+    cfg.tcpPort = 0;
+    cfg.workers = 2;
+    cfg.queueDepth = 16;
+    cfg.ioTimeoutMs = 500;
+    cfg.graph = graph;
+    cfg.graphMatrix = fig2b();
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+
+    // Twelve deterministic problems per schedule, mixed kinds.
+    std::vector<ChaosCase> cases;
+    for (uint32_t i = 0; i < 12; ++i) {
+        const uint32_t id = 100 + i;
+        const std::string a = dnaString(24 + 3 * i, seed * 97 + i);
+        const std::string b = dnaString(24 + 2 * i, seed * 131 + i);
+        switch (i % 3) {
+        case 0:
+            cases.push_back(
+                {encodePairwise(id, fig2b(), a, b),
+                 api::RaceProblem::pairwiseAlignment(
+                     fig2b(), bio::Sequence(bio::Alphabet("ACGT"), a),
+                     bio::Sequence(bio::Alphabet("ACGT"), b))});
+            break;
+        case 1:
+            cases.push_back(
+                {encodeScreen(id, fig2b(), 12, a, b),
+                 api::RaceProblem::thresholdScreen(
+                     fig2b(), 12,
+                     bio::Sequence(bio::Alphabet("ACGT"), a),
+                     bio::Sequence(bio::Alphabet("ACGT"), b))});
+            break;
+        default: {
+            const std::string read = dnaString(6, seed * 17 + i);
+            cases.push_back(
+                {encodeGraphAlign(id, read, bio::kScoreInfinity),
+                 api::RaceProblem::graphAlign(
+                     fig2b(),
+                     bio::Sequence(bio::Alphabet("ACGT"), read), graph,
+                     bio::kScoreInfinity)});
+            break;
+        }
+        }
+    }
+
+    // Drive the workload through the faulty transport: per-request
+    // timeouts, seeded backoff, reconnect on severed connections.
+    ServeClient client = ServeClient::overTcp(server.port(), 2000);
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.timeoutMs = 2000;
+    policy.backoffBaseMs = 5;
+    policy.backoffMaxMs = 50;
+    policy.jitterSeed = seed;
+
+    std::vector<Response> survived(cases.size());
+    std::vector<bool> gotOk(cases.size(), false);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        Response response;
+        if (client.call(cases[i].payload, response, policy) &&
+            response.status == Status::Ok) {
+            survived[i] = response;
+            gotOk[i] = true;
+        }
+    }
+
+    server.stop();
+    FaultInjector::install(nullptr);
+
+    // 1. No hang: schedule bounded in wall clock (generous, but a
+    //    pinned thread would blow straight through it).
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed, 60000) << "chaos schedule " << seed
+                              << " took implausibly long";
+
+    // 3. Ledger coherence after the drain: nothing outstanding,
+    //    every admitted frame accounted for exactly once.
+    const QueueStats stats = server.queueStats();
+    EXPECT_EQ(stats.queued, 0u);
+    EXPECT_EQ(stats.inflight, 0u);
+    EXPECT_EQ(stats.enqueued, stats.completed + stats.queued +
+                                  stats.inflight + stats.shedDeadline);
+    EXPECT_EQ(stats.shedDeadline, 0u)
+        << "no wire deadlines were set, so nothing may be shed";
+
+    // 4. Fidelity: surviving responses are bit-identical to direct
+    //    engine solves of the same problems.
+    api::EngineConfig directConfig;
+    directConfig.workerThreads = 1;
+    api::RaceEngine direct(directConfig);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        if (!gotOk[i])
+            continue;
+        ASSERT_TRUE(survived[i].solve.has_value())
+            << "Ok response without a solve body (case " << i << ")";
+        const api::RaceResult expected = direct.solve(cases[i].problem);
+        const SolveReply &got = *survived[i].solve;
+        EXPECT_EQ(got.score, expected.score) << "case " << i;
+        EXPECT_EQ(got.racedCost, expected.racedCost) << "case " << i;
+        EXPECT_EQ(got.latencyCycles,
+                  static_cast<uint64_t>(expected.latencyCycles))
+            << "case " << i;
+        EXPECT_EQ(got.cyclesUsed,
+                  static_cast<uint64_t>(expected.cyclesUsed))
+            << "case " << i;
+        EXPECT_EQ(got.events, expected.events) << "case " << i;
+        EXPECT_EQ(got.nodes, expected.nodes) << "case " << i;
+        EXPECT_EQ(got.cellsFired, expected.cellsFired) << "case " << i;
+        EXPECT_EQ(got.completed, expected.completed) << "case " << i;
+        EXPECT_EQ(got.accepted, expected.accepted) << "case " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ServeChaosTest,
+                         ::testing::Range(1u, 21u));
+
+} // namespace

@@ -3,7 +3,7 @@
  * Admission-control tests for the serve daemon's bounded queue: the
  * depth bounds *outstanding* work (queued + inflight), rejections are
  * typed and counted, and the ledger stays coherent -- enqueued ==
- * completed + queued + inflight at every snapshot.
+ * completed + queued + inflight + shedDeadline at every snapshot.
  */
 
 #include <gtest/gtest.h>
@@ -127,6 +127,112 @@ TEST(ServeQueue, ShutdownRejectsNewWorkButDrainsOld)
     // Nothing left: drain must return empty instead of blocking.
     EXPECT_TRUE(queue.drain(4).empty());
     queue.waitDrained(); // and waitDrained must not hang
+}
+
+TEST(ServeQueue, DrainShedsExpiredJobs)
+{
+    RequestQueue queue(8);
+    int ran = 0, shedRan = 0;
+
+    QueuedJob live = noopJob(1);
+    live.run = [&] { ++ran; };
+
+    QueuedJob expired = noopJob(2);
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+    expired.onShed = [&] { ++shedRan; };
+
+    ASSERT_EQ(queue.tryPush(std::move(expired)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(std::move(live)),
+              RequestQueue::Admit::Accepted);
+
+    std::vector<QueuedJob> shed;
+    auto batch = queue.drain(8, &shed);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].shard, 1u);
+    ASSERT_EQ(shed.size(), 1u);
+    EXPECT_EQ(shed[0].shard, 2u);
+
+    // Shed jobs are never inflight; only the raced job is.
+    QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.shedDeadline, 1u);
+    EXPECT_EQ(stats.inflight, 1u);
+    EXPECT_EQ(stats.queued, 0u);
+
+    for (auto &job : batch)
+        job.run();
+    for (auto &job : shed)
+        job.onShed();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(shedRan, 1);
+    queue.markDone(batch.size());
+
+    // Ledger: enqueued == completed + queued + inflight + shedDeadline.
+    stats = queue.stats();
+    EXPECT_EQ(stats.enqueued, stats.completed + stats.queued +
+                                  stats.inflight + stats.shedDeadline);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServeQueue, NullShedDrainsExpiredJobsNormally)
+{
+    // Callers that pass no shed vector (the pre-deadline behavior)
+    // must see expired jobs drain like any other.
+    RequestQueue queue(4);
+    QueuedJob expired = noopJob(3);
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+    ASSERT_EQ(queue.tryPush(std::move(expired)),
+              RequestQueue::Admit::Accepted);
+
+    auto batch = queue.drain(4);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].shard, 3u);
+    EXPECT_EQ(queue.stats().shedDeadline, 0u);
+    queue.markDone(1);
+}
+
+TEST(ServeQueue, SheddingReleasesAdmissionCapacity)
+{
+    // Shed jobs retire immediately: the slot they held must be free
+    // for new work without any markDone().
+    RequestQueue queue(1);
+    QueuedJob expired = noopJob();
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+    ASSERT_EQ(queue.tryPush(std::move(expired)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::QueueFull);
+
+    // The queue is non-empty, so drain() does not block; with the
+    // only job shed, the batch comes back empty.
+    std::vector<QueuedJob> shed;
+    EXPECT_TRUE(queue.drain(4, &shed).empty());
+    ASSERT_EQ(shed.size(), 1u);
+    EXPECT_EQ(queue.tryPush(noopJob()), RequestQueue::Admit::Accepted);
+}
+
+TEST(ServeQueue, WaitDrainedWakesWhenShedEmptiesTheQueue)
+{
+    // If shedding retires the last outstanding job, waitDrained()
+    // must wake without a markDone().
+    RequestQueue queue(4);
+    QueuedJob expired = noopJob();
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(5);
+    ASSERT_EQ(queue.tryPush(std::move(expired)),
+              RequestQueue::Admit::Accepted);
+    queue.beginShutdown();
+
+    std::thread dispatcher([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        std::vector<QueuedJob> shed;
+        (void)queue.drain(4, &shed);
+    });
+    queue.waitDrained();
+    dispatcher.join();
+    EXPECT_EQ(queue.stats().shedDeadline, 1u);
 }
 
 TEST(ServeQueue, DrainBlocksUntilAJobArrives)

@@ -16,10 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "rl/api/api.h"
@@ -382,6 +387,204 @@ TEST(ServeServer, InvalidProblemIsBadRequestNotACrash)
     EXPECT_EQ(response.status, Status::Ok);
 
     server.stop();
+}
+
+// ------------------------------------------------- slow peers & deadlines
+
+TEST(ServeServer, MidFrameStallerIsSeveredWhileOthersAreServed)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.ioTimeoutMs = 100;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+
+    // The staller promises 64 bytes, sends 3, and then just... waits.
+    ServeClient staller = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(staller.sendBytes({64, 0, 0, 0, 1, 2, 3}));
+
+    // While the staller holds its frame open, other connections get
+    // full service -- the stall pins no shared thread.
+    ServeClient polite = ServeClient::overTcp(server.port());
+    Response response;
+    for (uint32_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(polite.submitPairwise(i, fig2b(), dnaString(20, i),
+                                          dnaString(20, i + 9)));
+        ASSERT_TRUE(polite.receive(response));
+        EXPECT_EQ(response.status, Status::Ok);
+    }
+
+    // After ioTimeoutMs the reader gives up and severs the staller.
+    EXPECT_EQ(staller.receive(response, deadlineAfterMs(5000)),
+              IoStatus::Eof);
+
+    server.stop();
+}
+
+TEST(ServeServer, IdlePeerIsHungUpOnAfterIdleTimeout)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.idleTimeoutMs = 50;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+
+    // Connect, say nothing: the daemon reclaims the connection.
+    ServeClient idler = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(idler.ok());
+    Response response;
+    EXPECT_EQ(idler.receive(response, deadlineAfterMs(5000)),
+              IoStatus::Eof);
+
+    // An idle hangup is housekeeping, not an error: new connections
+    // are welcome.
+    ServeClient fresh = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(fresh.submitPing(1));
+    ASSERT_TRUE(fresh.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+
+    server.stop();
+}
+
+TEST(ServeServer, StoppedReaderIsSeveredByTheWriteDeadline)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 256;
+    cfg.ioTimeoutMs = 150;
+    cfg.sndbufBytes = 2048; // tiny send buffer: small responses stall
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+
+    // A peer that submits a pile of work and never reads a byte.  A
+    // raw socket with a deliberately tiny receive buffer (set before
+    // connect, so the window is negotiated small) makes the daemon's
+    // response writes stall after a few kilobytes; the write deadline
+    // then trips and the connection is severed -- costing at most one
+    // ioTimeoutMs of one worker's time.
+    ScopedFd rude(::socket(AF_INET, SOCK_STREAM, 0));
+    ASSERT_TRUE(rude.valid());
+    int rcvbuf = 1024;
+    ::setsockopt(rude.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                 sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(rude.get(),
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    const std::string a = dnaString(24, 31), b = dnaString(24, 32);
+    size_t sent = 0;
+    for (; sent < 400; ++sent) {
+        const auto framed = frame(encodePairwise(
+            static_cast<uint32_t>(sent), fig2b(), a, b));
+        if (writeAll(rude.get(), framed.data(), framed.size(),
+                     deadlineAfterMs(2000)) != IoStatus::Ok)
+            break; // severed mid-send: the daemon gave up on us
+    }
+    ASSERT_GT(sent, 0u);
+
+    // Now genuinely stop reading for a window several times the write
+    // deadline.  The replies to those requests overflow the ~3 KB of
+    // socket buffering within the first few dozen, the daemon's reply
+    // write stalls against our zero receive window, the 150 ms
+    // deadline trips, and the connection is severed.  (Draining
+    // *immediately* instead would make us a well-behaved reader and
+    // rescue the stalled write -- the whole point is that we do not.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+
+    // The sever is observable as buffered-bytes-then-FIN (or a reset):
+    // draining hits EOF/error long before the megabyte we ask for.
+    std::vector<uint8_t> sink(1u << 20);
+    EXPECT_NE(readExact(rude.get(), sink.data(), sink.size(),
+                        deadlineAfterMs(10000)),
+              IoStatus::Timeout);
+    rude.reset();
+
+    // And everyone else still gets answers afterwards.
+    ServeClient polite = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(polite.submitPing(9));
+    Response response;
+    ASSERT_TRUE(polite.receive(response));
+    EXPECT_EQ(response.status, Status::Ok);
+
+    server.stop();
+}
+
+TEST(ServeServer, QueuedRequestPastDeadlineIsShedNotRaced)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 8;
+    cfg.drainBatchMax = 1; // one job per drain: the second waits
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // The blocker holds the single worker well past the doomed
+    // request's 1 ms deadline; the doomed job is still queued when the
+    // dispatcher next drains, so it is shed without touching a shard.
+    ASSERT_TRUE(client.submitPairwise(1, fig2b(), dnaString(500, 41),
+                                      dnaString(500, 42)));
+    ASSERT_TRUE(client.submitPairwise(2, fig2b(), dnaString(500, 43),
+                                      dnaString(500, 44), 1));
+
+    size_t ok = 0, shed = 0;
+    for (int i = 0; i < 2; ++i) {
+        Response response;
+        ASSERT_TRUE(client.receive(response));
+        if (response.status == Status::Ok)
+            ++ok;
+        if (response.status == Status::DeadlineExceeded) {
+            ++shed;
+            EXPECT_EQ(response.id, 2u);
+            EXPECT_EQ(response.message, "deadline expired while queued");
+        }
+    }
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(shed, 1u);
+
+    server.stop();
+
+    // The shed request never reached the engine: one solve, and the
+    // ledger accounts the shed explicitly.
+    uint64_t solves = 0;
+    for (const ShardStatsWire &s : server.shardStats())
+        solves += s.solves;
+    EXPECT_EQ(solves, 1u);
+    const QueueStats stats = server.queueStats();
+    EXPECT_EQ(stats.shedDeadline, 1u);
+    EXPECT_EQ(stats.enqueued, stats.completed + stats.queued +
+                                  stats.inflight + stats.shedDeadline);
+}
+
+TEST(ServeServer, DeadlineTrippingMidRaceCancelsCooperatively)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // A 2001x2001 grid races for far longer than 10 ms; the queue is
+    // otherwise empty, so the job drains (and starts) well before the
+    // deadline, then the token trips mid-sweep.
+    ASSERT_TRUE(client.submitPairwise(3, fig2b(), dnaString(2000, 51),
+                                      dnaString(2000, 52), 10));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    EXPECT_EQ(response.status, Status::DeadlineExceeded);
+    EXPECT_FALSE(response.solve.has_value());
+
+    server.stop();
+
+    // Not shed: the race started and was cancelled from inside.
+    EXPECT_EQ(server.queueStats().shedDeadline, 0u);
+    uint64_t solves = 0;
+    for (const ShardStatsWire &s : server.shardStats())
+        solves += s.solves;
+    EXPECT_EQ(solves, 1u);
 }
 
 // --------------------------------------------------------- lifecycle

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the deadline-aware socket helpers and the
+ * deterministic fault injector underneath them: timeouts fire instead
+ * of blocking forever, short-I/O reassembly never corrupts a byte,
+ * severed fds surface as EOF/error, and the same seed replays the
+ * same fault schedule exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "rl/serve/fault.h"
+#include "rl/serve/socket.h"
+
+namespace {
+
+using namespace racelogic::serve;
+
+/** A connected socketpair wrapped for RAII. */
+struct Pair {
+    ScopedFd a, b;
+
+    Pair()
+    {
+        int fds[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0) {
+            a.reset(fds[0]);
+            b.reset(fds[1]);
+        }
+    }
+};
+
+std::vector<uint8_t>
+patternBytes(size_t n)
+{
+    std::vector<uint8_t> bytes(n);
+    std::iota(bytes.begin(), bytes.end(), uint8_t{0});
+    return bytes;
+}
+
+// ----------------------------------------------------------- deadlines
+
+TEST(ServeSocket, ReadTimesOutInsteadOfBlockingForever)
+{
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+
+    uint8_t buffer[8];
+    const auto before = IoClock::now();
+    const IoStatus status = readExact(pair.a.get(), buffer,
+                                      sizeof(buffer),
+                                      deadlineAfterMs(50));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            IoClock::now() - before)
+            .count();
+    EXPECT_EQ(status, IoStatus::Timeout);
+    EXPECT_GE(elapsed, 50);
+    EXPECT_LT(elapsed, 5000);
+}
+
+TEST(ServeSocket, PartialFrameStillTimesOut)
+{
+    // The dangerous case: *some* bytes arrive, then the peer stalls.
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+    const uint8_t teaser[3] = {1, 2, 3};
+    ASSERT_TRUE(writeAll(pair.b.get(), teaser, sizeof(teaser)));
+
+    uint8_t buffer[64];
+    EXPECT_EQ(readExact(pair.a.get(), buffer, sizeof(buffer),
+                        deadlineAfterMs(50)),
+              IoStatus::Timeout);
+}
+
+TEST(ServeSocket, WriteTimesOutWhenThePeerStopsReading)
+{
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+    // Shrink both directions so a few hundred KB guarantees a stall.
+    int small = 4096;
+    ::setsockopt(pair.a.get(), SOL_SOCKET, SO_SNDBUF, &small,
+                 sizeof(small));
+    ::setsockopt(pair.b.get(), SOL_SOCKET, SO_RCVBUF, &small,
+                 sizeof(small));
+
+    const std::vector<uint8_t> bytes(1u << 20, 0x5A);
+    EXPECT_EQ(writeAll(pair.a.get(), bytes.data(), bytes.size(),
+                       deadlineAfterMs(100)),
+              IoStatus::Timeout);
+}
+
+TEST(ServeSocket, ClosedPeerIsEofNotTimeout)
+{
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+    pair.b.reset();
+    uint8_t buffer[4];
+    EXPECT_EQ(readExact(pair.a.get(), buffer, sizeof(buffer),
+                        deadlineAfterMs(1000)),
+              IoStatus::Eof);
+}
+
+TEST(ServeSocket, NegativeTimeoutMeansNoDeadline)
+{
+    EXPECT_EQ(deadlineAfterMs(-1), kNoDeadline);
+    EXPECT_NE(deadlineAfterMs(0), kNoDeadline);
+}
+
+TEST(ServeSocket, ConnectToNothingFailsInsteadOfBlocking)
+{
+    // A refused port fails fast; a missing socket file fails fast.
+    // Either way the deadline-aware connect must come back invalid,
+    // never block the caller (this is the silent-infinite-block fix).
+    uint16_t port = 1; // almost surely nothing listens on port 1
+    ScopedFd fd = connectTcp(port, 250);
+    EXPECT_FALSE(fd.valid());
+
+    ScopedFd none = connectUnix("/nonexistent/rl-serve.sock", 250);
+    EXPECT_FALSE(none.valid());
+}
+
+// ------------------------------------------------------ fault injection
+
+/** Install-for-scope guard so a failing test never leaks an injector. */
+struct ScopedInjector {
+    explicit ScopedInjector(FaultInjector &injector)
+    {
+        FaultInjector::install(&injector);
+    }
+    ~ScopedInjector() { FaultInjector::install(nullptr); }
+};
+
+TEST(ServeFault, ShortIoReassemblyNeverCorruptsBytes)
+{
+    FaultConfig config;
+    config.seed = 42;
+    config.shortIoProbability = 1.0; // every syscall capped to 1..8
+    FaultInjector injector(config);
+    ScopedInjector scope(injector);
+
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+    const std::vector<uint8_t> sent = patternBytes(4096);
+
+    std::thread writer([&] {
+        (void)writeAll(pair.a.get(), sent.data(), sent.size(),
+                       deadlineAfterMs(10000));
+    });
+    std::vector<uint8_t> received(sent.size());
+    EXPECT_EQ(readExact(pair.b.get(), received.data(), received.size(),
+                        deadlineAfterMs(10000)),
+              IoStatus::Ok);
+    writer.join();
+
+    EXPECT_EQ(received, sent);
+    EXPECT_GT(injector.stats().shortIos, 0u)
+        << "a probability-1 schedule must actually inject";
+}
+
+TEST(ServeFault, DropSeversTheConnectionAtTheDrawnOffset)
+{
+    FaultConfig config;
+    config.seed = 7;
+    config.dropProbability = 1.0;
+    config.dropMinBytes = 64;
+    config.dropMaxBytes = 64; // sever exactly after 64 bytes
+    FaultInjector injector(config);
+    ScopedInjector scope(injector);
+
+    Pair pair;
+    ASSERT_TRUE(pair.a.valid());
+    const std::vector<uint8_t> bytes(256, 0xA5);
+    const IoStatus wrote = writeAll(pair.a.get(), bytes.data(),
+                                    bytes.size(), deadlineAfterMs(5000));
+    EXPECT_NE(wrote, IoStatus::Ok)
+        << "the injector must sever before all 256 bytes pass";
+    EXPECT_EQ(injector.stats().drops, 1u);
+
+    // The reader sees a clean truncation, not garbage: at most the
+    // 64 pre-sever bytes, all intact, then EOF.
+    FaultInjector::install(nullptr);
+    std::vector<uint8_t> received(256);
+    EXPECT_EQ(readExact(pair.b.get(), received.data(), received.size(),
+                        deadlineAfterMs(5000)),
+              IoStatus::Eof);
+}
+
+TEST(ServeFault, SameSeedReplaysTheSameSchedule)
+{
+    FaultConfig config;
+    config.seed = 1234;
+    config.shortIoProbability = 0.5;
+    config.dropProbability = 0.25;
+    config.dropMinBytes = 128;
+    config.dropMaxBytes = 1024;
+
+    // Run the identical transfer pattern twice under fresh injectors:
+    // every counter must land on exactly the same value.  The I/O is
+    // single-threaded (write fully into the socket buffer, then read
+    // it back) so the injector's draw sequence is a pure function of
+    // the seed, not of scheduler interleaving.
+    auto run = [&config]() {
+        FaultInjector injector(config);
+        ScopedInjector scope(injector);
+        for (int round = 0; round < 8; ++round) {
+            Pair pair;
+            EXPECT_TRUE(pair.a.valid());
+            const std::vector<uint8_t> sent = patternBytes(512);
+            const IoStatus wrote =
+                writeAll(pair.a.get(), sent.data(), sent.size(),
+                         deadlineAfterMs(5000));
+            std::vector<uint8_t> received(sent.size());
+            if (wrote == IoStatus::Ok)
+                (void)readExact(pair.b.get(), received.data(),
+                                received.size(), deadlineAfterMs(5000));
+        }
+        return injector.stats();
+    };
+
+    const FaultInjector::Stats first = run();
+    const FaultInjector::Stats second = run();
+    EXPECT_EQ(first.shortIos, second.shortIos);
+    EXPECT_EQ(first.drops, second.drops);
+    EXPECT_EQ(first.delays, second.delays);
+}
+
+TEST(ServeFault, RecycledFdStartsAFreshByteCount)
+{
+    FaultConfig config;
+    config.seed = 9;
+    config.dropProbability = 1.0;
+    config.dropMinBytes = 32;
+    config.dropMaxBytes = 32;
+    FaultInjector injector(config);
+    ScopedInjector scope(injector);
+
+    // First connection burns its 32 bytes and is severed...
+    Pair first;
+    ASSERT_TRUE(first.a.valid());
+    const std::vector<uint8_t> bytes(64, 1);
+    (void)writeAll(first.a.get(), bytes.data(), bytes.size(),
+                   deadlineAfterMs(5000));
+    EXPECT_EQ(injector.stats().drops, 1u);
+    const int recycledNumber = first.a.get();
+    first.a.reset(); // ScopedFd::reset must call forgetFd
+    first.b.reset();
+
+    // ...and a new fd (very likely the same number) gets its own
+    // fresh offset instead of inheriting an exhausted count.
+    Pair second;
+    ASSERT_TRUE(second.a.valid());
+    (void)recycledNumber; // the kernel usually hands it back here
+    const std::vector<uint8_t> small(16, 2);
+    EXPECT_EQ(writeAll(second.a.get(), small.data(), small.size(),
+                       deadlineAfterMs(5000)),
+              IoStatus::Ok)
+        << "16 bytes on a fresh fd sit below the 32-byte drop offset";
+}
+
+} // namespace

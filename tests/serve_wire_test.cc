@@ -120,6 +120,37 @@ TEST(ServeWire, StatsAndPingAreBare)
     EXPECT_EQ(req.tag, RequestTag::Ping);
 }
 
+TEST(ServeWire, DeadlineRidesTheHeader)
+{
+    auto payload = encodePairwise(7, fig2b(), "GATTACA", "GCATGCT", 1500);
+    Request req;
+    ASSERT_EQ(decode(payload, req), WireError::None);
+    EXPECT_EQ(req.deadlineMs, 1500u);
+
+    // Omitted deadline decodes as "none".
+    auto bare = encodeScreen(9, fig2b(), 5, "ACGT", "ACGA");
+    ASSERT_EQ(decode(bare, req), WireError::None);
+    EXPECT_EQ(req.deadlineMs, 0u);
+}
+
+TEST(ServeWire, DeadlineCarriedByEveryRequestKind)
+{
+    Request req;
+    ASSERT_EQ(decode(encodeAffine(1, fig2b(), 4, 2, "ACGT", "AGT", 30),
+                     req),
+              WireError::None);
+    EXPECT_EQ(req.deadlineMs, 30u);
+    ASSERT_EQ(decode(encodeDtw(2, {0, 3}, {1, 3}, 40), req),
+              WireError::None);
+    EXPECT_EQ(req.deadlineMs, 40u);
+    ASSERT_EQ(decode(encodeGraphAlign(3, "ACCA", 5, 50), req),
+              WireError::None);
+    EXPECT_EQ(req.deadlineMs, 50u);
+    ASSERT_EQ(decode(encodeMapReads(4, ">r\nACGT\n", 5, 60), req),
+              WireError::None);
+    EXPECT_EQ(req.deadlineMs, 60u);
+}
+
 // ---------------------------------------------------- response round trips
 
 TEST(ServeWire, SolveResponseRoundTrip)
@@ -173,8 +204,9 @@ TEST(ServeWire, StatsResponseRoundTrip)
     out.tag = RequestTag::Stats;
     QueueStatsWire q;
     q.enqueued = 10;
-    q.completed = 8;
+    q.completed = 7;
     q.rejectedQueueFull = 2;
+    q.shedDeadline = 1;
     q.highWater = 4;
     out.queueStats = q;
     ShardStatsWire s;
@@ -188,8 +220,26 @@ TEST(ServeWire, StatsResponseRoundTrip)
     ASSERT_TRUE(in.queueStats.has_value());
     EXPECT_EQ(in.queueStats->enqueued, 10u);
     EXPECT_EQ(in.queueStats->rejectedQueueFull, 2u);
+    EXPECT_EQ(in.queueStats->shedDeadline, 1u);
     ASSERT_EQ(in.shardStats.size(), 2u);
     EXPECT_EQ(in.shardStats[1].shardHits, 6u);
+}
+
+TEST(ServeWire, DeadlineExceededResponseRoundTrip)
+{
+    Response out;
+    out.id = 12;
+    out.tag = RequestTag::GraphAlign;
+    out.status = Status::DeadlineExceeded;
+    out.message = "deadline expired while queued";
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    EXPECT_EQ(in.status, Status::DeadlineExceeded);
+    EXPECT_EQ(in.message, "deadline expired while queued");
+    EXPECT_FALSE(in.solve.has_value());
+    EXPECT_STREQ(statusName(Status::DeadlineExceeded),
+                 "deadline-exceeded");
 }
 
 // --------------------------------------------------------- failure paths
@@ -292,9 +342,9 @@ TEST(ServeWire, LyingStringLengthIsTruncated)
 {
     // A sequence length prefix that promises more bytes than exist.
     auto payload = encodeGraphAlign(8, "ACGT", 5);
-    // The read's length prefix sits 4 (id) + 1 (tag) + 8 (threshold)
-    // bytes in; bump it far beyond the payload.
-    payload[4 + 1 + 8] = 0xFF;
+    // The read's length prefix sits 4 (id) + 1 (tag) + 4 (deadline)
+    // + 8 (threshold) bytes in; bump it far beyond the payload.
+    payload[4 + 1 + 4 + 8] = 0xFF;
     Request req;
     EXPECT_EQ(decode(payload, req), WireError::Truncated);
 }

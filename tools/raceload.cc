@@ -44,7 +44,14 @@ usage(const char *argv0)
         "                          daemon started with --gfa)\n"
         "  --threshold T           screen/graph threshold (default 2*len)\n"
         "  --seed N                RNG seed (default 42)\n"
-        "  --expect-no-rejections  exit 1 unless every request was Ok\n",
+        "  --timeout-ms MS         per-request deadline: rides the wire\n"
+        "                          (the daemon sheds/cancels expired\n"
+        "                          work) and bounds the client-side wait\n"
+        "                          (default 0 = none)\n"
+        "  --retries N             resubmits after a client-side timeout\n"
+        "                          or disconnect (default 0)\n"
+        "  --expect-no-rejections  exit 1 unless every request was Ok\n"
+        "                          (client-side timeouts count too)\n",
         argv0);
 }
 
@@ -71,6 +78,8 @@ main(int argc, char **argv)
     std::string mode = "pairwise";
     long long threshold = -1;
     unsigned seed = 42;
+    long long timeoutMs = 0;
+    int retries = 0;
     bool expectNoRejections = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -98,6 +107,10 @@ main(int argc, char **argv)
             threshold = std::atoll(value());
         } else if (arg == "--seed") {
             seed = static_cast<unsigned>(std::atol(value()));
+        } else if (arg == "--timeout-ms") {
+            timeoutMs = std::atoll(value());
+        } else if (arg == "--retries") {
+            retries = std::atoi(value());
         } else if (arg == "--expect-no-rejections") {
             expectNoRejections = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -116,10 +129,12 @@ main(int argc, char **argv)
     if (threshold < 0)
         threshold = static_cast<long long>(2 * len);
 
+    const int64_t connectMs = timeoutMs > 0 ? timeoutMs : -1;
     serve::ServeClient client =
         unixPath.empty()
-            ? serve::ServeClient::overTcp(static_cast<uint16_t>(tcpPort))
-            : serve::ServeClient::overUnix(unixPath);
+            ? serve::ServeClient::overTcp(static_cast<uint16_t>(tcpPort),
+                                          connectMs)
+            : serve::ServeClient::overUnix(unixPath, connectMs);
     if (!client.ok()) {
         std::perror("raceload: connect failed");
         return 1;
@@ -146,6 +161,8 @@ main(int argc, char **argv)
         return s;
     };
 
+    const uint32_t wireDeadlineMs =
+        timeoutMs > 0 ? static_cast<uint32_t>(timeoutMs) : 0;
     auto submit = [&](uint32_t id) {
         std::string pickMode = mode;
         if (mode == "mixed") {
@@ -154,28 +171,32 @@ main(int argc, char **argv)
         }
         if (pickMode == "pairwise")
             return client.submitPairwise(id, costs, randSeq(len),
-                                         randSeq(len));
+                                         randSeq(len), wireDeadlineMs);
         if (pickMode == "screen")
             return client.submitScreen(id, costs, threshold, randSeq(len),
-                                       randSeq(len));
+                                       randSeq(len), wireDeadlineMs);
         if (pickMode == "dtw")
-            return client.submitDtw(id, randSignal(len), randSignal(len));
+            return client.submitDtw(id, randSignal(len), randSignal(len),
+                                    wireDeadlineMs);
         if (pickMode == "graph")
-            return client.submitGraphAlign(id, randSeq(len), threshold);
+            return client.submitGraphAlign(id, randSeq(len), threshold,
+                                           wireDeadlineMs);
         std::fprintf(stderr, "raceload: unknown mode '%s'\n",
                      mode.c_str());
         std::exit(2);
     };
 
     std::unordered_map<uint32_t, Clock::time_point> pending;
+    std::unordered_map<uint32_t, int> attempts;
     std::vector<double> latenciesUs;
     latenciesUs.reserve(requests);
-    uint64_t okCount = 0, rejectedByStatus[5] = {0, 0, 0, 0, 0};
+    uint64_t okCount = 0, rejectedByStatus[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t timeouts = 0, retriesUsed = 0;
 
     const Clock::time_point begin = Clock::now();
     uint32_t nextId = 1;
-    size_t sent = 0, received = 0;
-    while (received < requests) {
+    size_t sent = 0, resolved = 0;
+    while (resolved < requests) {
         while (sent < requests && pending.size() < window) {
             const uint32_t id = nextId++;
             if (!submit(id)) {
@@ -186,9 +207,50 @@ main(int argc, char **argv)
             ++sent;
         }
         serve::Response response;
-        if (!client.receive(response)) {
-            std::fprintf(stderr, "raceload: daemon disconnected\n");
-            return 1;
+        const serve::IoStatus got = client.receive(
+            response,
+            serve::deadlineAfterMs(timeoutMs > 0 ? timeoutMs : -1));
+        if (got != serve::IoStatus::Ok) {
+            if (got != serve::IoStatus::Timeout && retries == 0) {
+                std::fprintf(stderr, "raceload: daemon disconnected\n");
+                return 1;
+            }
+            // A receive timeout (or disconnect, when retrying) puts
+            // every outstanding request in limbo, and the old
+            // connection's framing with it: resubmit what still has
+            // retries on a fresh connection, fail the rest as
+            // timeouts.
+            std::vector<uint32_t> limbo;
+            limbo.reserve(pending.size());
+            for (const auto &entry : pending)
+                limbo.push_back(entry.first);
+            std::sort(limbo.begin(), limbo.end());
+            std::vector<uint32_t> resubmit;
+            for (uint32_t id : limbo) {
+                if (attempts[id] < retries) {
+                    resubmit.push_back(id);
+                } else {
+                    pending.erase(id);
+                    ++timeouts;
+                    ++resolved;
+                }
+            }
+            if (resolved >= requests && resubmit.empty())
+                break;
+            if (!client.reconnect(timeoutMs > 0 ? timeoutMs : -1)) {
+                std::fprintf(stderr, "raceload: reconnect failed\n");
+                return 1;
+            }
+            for (uint32_t id : resubmit) {
+                ++attempts[id];
+                ++retriesUsed;
+                if (!submit(id)) {
+                    std::fprintf(stderr, "raceload: resend failed\n");
+                    return 1;
+                }
+                pending[id] = Clock::now();
+            }
+            continue;
         }
         auto it = pending.find(response.id);
         if (it == pending.end()) {
@@ -202,7 +264,7 @@ main(int argc, char **argv)
                 .count();
         pending.erase(it);
         latenciesUs.push_back(us);
-        ++received;
+        ++resolved;
         if (response.status == serve::Status::Ok)
             ++okCount;
         else
@@ -216,11 +278,14 @@ main(int argc, char **argv)
     std::printf("raceload: %zu requests in %.3f s (%.1f req/s)\n",
                 requests, elapsedSec,
                 static_cast<double>(requests) / elapsedSec);
-    std::printf("raceload: latency p50=%.1f us  p99=%.1f us  max=%.1f us\n",
-                percentile(latenciesUs, 50), percentile(latenciesUs, 99),
-                latenciesUs.back());
+    if (!latenciesUs.empty())
+        std::printf(
+            "raceload: latency p50=%.1f us  p99=%.1f us  max=%.1f us\n",
+            percentile(latenciesUs, 50), percentile(latenciesUs, 99),
+            latenciesUs.back());
     std::printf("raceload: ok=%llu rejected=%llu (%.2f%%)"
-                " [queue-full=%llu oversized=%llu bad=%llu shutdown=%llu]\n",
+                " [queue-full=%llu oversized=%llu bad=%llu shutdown=%llu"
+                " deadline=%llu timeout=%llu retries=%llu]\n",
                 static_cast<unsigned long long>(okCount),
                 static_cast<unsigned long long>(rejected),
                 100.0 * static_cast<double>(rejected) /
@@ -228,21 +293,28 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rejectedByStatus[1]),
                 static_cast<unsigned long long>(rejectedByStatus[2]),
                 static_cast<unsigned long long>(rejectedByStatus[3]),
-                static_cast<unsigned long long>(rejectedByStatus[4]));
+                static_cast<unsigned long long>(rejectedByStatus[4]),
+                static_cast<unsigned long long>(rejectedByStatus[5]),
+                static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(retriesUsed));
 
     // The daemon-side ledger: admission counters and the shard
     // hit/build-lock split (the 1-CPU scaling evidence).
+    if (!client.ok())
+        client.reconnect(timeoutMs > 0 ? timeoutMs : -1);
     if (client.submitStats(0)) {
         serve::Response stats;
         if (client.receive(stats) && stats.queueStats) {
             const serve::QueueStatsWire &q = *stats.queueStats;
             std::printf("raceload: daemon enqueued=%llu completed=%llu "
-                        "rejected=%llu high-water=%llu\n",
+                        "rejected=%llu shed-deadline=%llu "
+                        "high-water=%llu\n",
                         static_cast<unsigned long long>(q.enqueued),
                         static_cast<unsigned long long>(q.completed),
                         static_cast<unsigned long long>(
                             q.rejectedQueueFull + q.rejectedOversized +
                             q.rejectedBadRequest + q.rejectedShutdown),
+                        static_cast<unsigned long long>(q.shedDeadline),
                         static_cast<unsigned long long>(q.highWater));
             size_t shard = 0;
             for (const serve::ShardStatsWire &s : stats.shardStats)

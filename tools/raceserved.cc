@@ -41,7 +41,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--unix PATH] [--tcp PORT] [--gfa FILE]\n"
         "          [--alphabet LETTERS] [--workers N] [--depth N]\n"
-        "          [--threshold T] [--quiet]\n"
+        "          [--threshold T] [--idle-timeout-ms MS]\n"
+        "          [--io-timeout-ms MS] [--quiet]\n"
         "\n"
         "  --unix PATH       listen on a Unix-domain socket\n"
         "  --tcp PORT        listen on loopback TCP (0 = ephemeral;\n"
@@ -52,6 +53,12 @@ usage(const char *argv0)
         "  --depth N         admission bound on outstanding requests\n"
         "                    (default 64)\n"
         "  --threshold T     engine-wide Section 6 screen threshold\n"
+        "  --idle-timeout-ms MS\n"
+        "                    hang up on connections idle between\n"
+        "                    requests for MS ms (default 0 = never)\n"
+        "  --io-timeout-ms MS\n"
+        "                    sever peers that stall mid-frame or stop\n"
+        "                    reading responses (default 10000; 0 = never)\n"
         "  --quiet           suppress the final stats report\n",
         argv0);
 }
@@ -89,6 +96,10 @@ main(int argc, char **argv)
             cfg.queueDepth = static_cast<size_t>(std::atol(value()));
         } else if (arg == "--threshold") {
             cfg.engine.threshold = std::atoll(value());
+        } else if (arg == "--idle-timeout-ms") {
+            cfg.idleTimeoutMs = std::atoll(value());
+        } else if (arg == "--io-timeout-ms") {
+            cfg.ioTimeoutMs = std::atoll(value());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -146,7 +157,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "raceserved: enqueued=%llu completed=%llu "
                      "rejected=%llu (full=%llu oversized=%llu bad=%llu "
-                     "shutdown=%llu) high-water=%llu\n",
+                     "shutdown=%llu) shed-deadline=%llu high-water=%llu\n",
                      static_cast<unsigned long long>(q.enqueued),
                      static_cast<unsigned long long>(q.completed),
                      static_cast<unsigned long long>(q.rejected()),
@@ -154,6 +165,7 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(q.rejectedOversized),
                      static_cast<unsigned long long>(q.rejectedBadRequest),
                      static_cast<unsigned long long>(q.rejectedShutdown),
+                     static_cast<unsigned long long>(q.shedDeadline),
                      static_cast<unsigned long long>(q.highWater));
         size_t shard = 0;
         for (const serve::ShardStatsWire &s : server.shardStats()) {
