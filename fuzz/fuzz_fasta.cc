@@ -1,0 +1,9 @@
+/** libFuzzer target: FASTA parsing (see fuzz/harness.h). */
+
+#include "fuzz/harness.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    return racelogic::fuzz::fastaInput(data, size);
+}

@@ -1,0 +1,10 @@
+/** libFuzzer target: wire request decode + engine-level validation
+ *  anti-drift (see fuzz/harness.h). */
+
+#include "fuzz/harness.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    return racelogic::fuzz::wireInput(data, size);
+}

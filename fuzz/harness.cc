@@ -1,0 +1,181 @@
+#include "fuzz/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rl/api/api.h"
+#include "rl/bio/fasta.h"
+#include "rl/pangraph/alignment_graph.h"
+#include "rl/pangraph/gfa.h"
+#include "rl/serve/wire.h"
+
+namespace racelogic::fuzz {
+
+namespace {
+
+[[noreturn]] void
+violated(const char *property, const std::string &detail)
+{
+    std::fprintf(stderr, "fuzz harness: %s violated: %s\n", property,
+                 detail.c_str());
+    std::abort();
+}
+
+/** The preloaded pangenome a fuzzed daemon would serve: a SNP bubble
+ *  plus an insertion bubble, with the Fig. 2b race-ready matrix. */
+struct GraphContext {
+    std::shared_ptr<const pangraph::VariationGraph> graph;
+    bio::ScoreMatrix matrix;
+};
+
+const GraphContext &
+graphContext()
+{
+    static const GraphContext ctx = [] {
+        auto g = std::make_shared<pangraph::VariationGraph>(
+            bio::Alphabet::dna());
+        const bio::Alphabet &dna = bio::Alphabet::dna();
+        auto seg = [&](const char *name, const char *label) {
+            return g->addSegment(name, bio::Sequence(dna, label));
+        };
+        auto s1 = seg("s1", "ACTGA");
+        auto sA = seg("snpA", "C");
+        auto sB = seg("snpB", "G");
+        auto s2 = seg("s2", "TT");
+        auto ins = seg("ins", "AC");
+        auto s3 = seg("s3", "GATT");
+        g->addLink(s1, sA);
+        g->addLink(s1, sB);
+        g->addLink(sA, s2);
+        g->addLink(sB, s2);
+        g->addLink(s2, ins);
+        g->addLink(s2, s3);
+        g->addLink(ins, s3);
+        return GraphContext{std::move(g),
+                            bio::ScoreMatrix::dnaShortestPath()};
+    }();
+    return ctx;
+}
+
+} // namespace
+
+int
+gfaInput(const uint8_t *data, size_t size)
+{
+    std::istringstream in(
+        std::string(reinterpret_cast<const char *>(data), size));
+    auto graph = pangraph::tryReadGfa(in, bio::Alphabet::dna());
+    if (!graph.ok())
+        return 0;
+    // Parser promise: an accepted graph is valid (non-empty, acyclic,
+    // sourced and sinked) ...
+    if (racelogic::Status valid = graph.value().checkValid();
+        !valid.ok())
+        violated("tryReadGfa acceptance", valid.message());
+    // ... and compiles against a race-ready matrix of its alphabet
+    // without tripping any plan-time fatal.
+    auto compiled = pangraph::tryCompileGraph(
+        graph.value(), bio::ScoreMatrix::dnaShortestPath());
+    if (!compiled.ok())
+        violated("tryCompileGraph on an accepted GFA",
+                 compiled.status().message());
+    return 0;
+}
+
+int
+fastaInput(const uint8_t *data, size_t size)
+{
+    bio::FastaLimits limits;
+    limits.maxSequenceLength = serve::kMaxWireSequence;
+    auto records = bio::tryReadFasta(
+        std::string(reinterpret_cast<const char *>(data), size),
+        bio::Alphabet::dna(), limits);
+    if (!records.ok())
+        return 0;
+    // Parser promise: no accepted record is empty (the reader calls
+    // such files corrupted, so it must never hand one back).
+    for (const bio::FastaRecord &record : records.value())
+        if (record.sequence.empty())
+            violated("tryReadFasta acceptance",
+                     "empty record '" + record.description + "'");
+    return 0;
+}
+
+int
+wireInput(const uint8_t *data, size_t size)
+{
+    const GraphContext &ctx = graphContext();
+    std::vector<uint8_t> payload(data, data + size);
+
+    serve::Request request;
+    const serve::WireError error =
+        serve::decodeRequest(payload, ctx.graph->alphabet(), request);
+
+    // Response decode must be total for any bytes too; a daemon's
+    // reply stream is attacker-observable, a client's parser of it
+    // must not be attacker-crashable.
+    serve::Response response;
+    (void)serve::decodeResponse(payload, response);
+
+    if (error != serve::WireError::None)
+        return 0;
+
+    // Mirror AlignServer::handleRequest's problem construction, then
+    // hold decode to its promise: everything it accepts passes the
+    // library's own full validation (no fatal is reachable past this
+    // point on the serving path).
+    std::vector<api::RaceProblem> problems;
+    switch (request.tag) {
+    case serve::RequestTag::Pairwise:
+        problems.push_back(api::RaceProblem::pairwiseAlignment(
+            *request.matrix, *request.a, *request.b));
+        break;
+    case serve::RequestTag::Affine:
+        problems.push_back(api::RaceProblem::affineAlignment(
+            *request.matrix,
+            bio::AffineGapCosts{request.open, request.extend},
+            *request.a, *request.b));
+        break;
+    case serve::RequestTag::Screen:
+        problems.push_back(api::RaceProblem::thresholdScreen(
+            *request.matrix, request.threshold, *request.a,
+            *request.b));
+        break;
+    case serve::RequestTag::Dtw:
+        problems.push_back(api::RaceProblem::dtw(
+            std::move(request.x), std::move(request.y)));
+        break;
+    case serve::RequestTag::GraphAlign:
+        problems.push_back(api::RaceProblem::graphAlign(
+            ctx.matrix, *request.read, ctx.graph, request.threshold));
+        break;
+    case serve::RequestTag::MapReads:
+        for (bio::Sequence &read : request.reads)
+            problems.push_back(api::RaceProblem::graphAlign(
+                ctx.matrix, std::move(read), ctx.graph,
+                request.threshold));
+        break;
+    case serve::RequestTag::Stats:
+    case serve::RequestTag::Ping:
+        return 0;
+    }
+
+    for (const api::RaceProblem &problem : problems) {
+        if (racelogic::Status deep = api::validateProblem(problem);
+            !deep.ok())
+            violated("decode-accepted => validateProblem Ok",
+                     deep.message());
+        // The budget path must stay a typed verdict, never an abort,
+        // whatever the sizes involved.
+        api::ProblemLimits limits;
+        limits.maxGridCells = 1u << 16;
+        limits.maxProductStates = 1u << 16;
+        (void)api::checkBudgets(problem, limits);
+    }
+    return 0;
+}
+
+} // namespace racelogic::fuzz

@@ -1,0 +1,32 @@
+/**
+ * Replay driver for toolchains without libFuzzer (GCC): runs each
+ * file argument through the target's LLVMFuzzerTestOneInput once.
+ * No coverage feedback, no mutation -- corpus replay only.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+int
+main(int argc, char **argv)
+{
+    int replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            return 1;
+        }
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        ++replayed;
+    }
+    std::fprintf(stderr, "replayed %d input(s)\n", replayed);
+    return 0;
+}

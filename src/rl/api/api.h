@@ -19,5 +19,6 @@
 #include "rl/api/engine.h"
 #include "rl/api/problem.h"
 #include "rl/api/result.h"
+#include "rl/api/validate.h"
 
 #endif // RACELOGIC_API_API_H

@@ -112,6 +112,17 @@ struct EngineConfig {
      * recently used one is evicted.  0 disables caching entirely.
      */
     size_t planCacheCapacity = 64;
+
+    /**
+     * Largest (read+1) x (graph positions) + 1 product a GraphAlign
+     * problem may race; 0 (default) = unlimited.  validate() /
+     * trySolve() reject larger problems with a typed
+     * ResourceExhausted instead of attempting an allocation that
+     * scales as read x pangenome -- the serve daemon's defense
+     * against one request OOM-killing a shard.  The kernels' hard
+     * 32-bit id-space bounds are enforced even when unlimited.
+     */
+    uint64_t maxProductStates = 0;
 };
 
 } // namespace racelogic::api

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rl/api/validate.h"
+
 #include "rl/circuit/compiled_sim.h"
 #include "rl/circuit/sim_sync.h"
 #include "rl/core/generalized.h"
@@ -246,6 +248,43 @@ RaceEngine::planFor(const RaceProblem &problem, bool recordHit)
         lru.pop_back();
     }
     return plan;
+}
+
+Status
+RaceEngine::validate(const RaceProblem &problem) const
+{
+    ProblemLimits limits;
+    limits.maxProductStates = cfg.maxProductStates;
+    // checkShape() must pass before shapeKey() (hasPlanFor) is safe
+    // to call: the key builder dereferences the kind's optionals.
+    if (Status shape = checkShape(problem); !shape.ok())
+        return shape;
+    // Backend compatibility is this engine's concern, not the
+    // problem's: the Lipton-Lopresti array races Fig. 2b pairwise
+    // grids only (solve() asserts the same invariant).
+    if (cfg.backend == BackendKind::Systolic &&
+        problem.kind != ProblemKind::PairwiseAlignment &&
+        problem.kind != ProblemKind::ThresholdScreen)
+        return Status::error(ErrorCode::Unsupported,
+                             "the systolic baseline races pairwise "
+                             "grids and threshold screens only");
+    if (hasPlanFor(problem)) {
+        // The cached plan's build already vetted the expensive
+        // matrix/graph half; only the budgets and the per-request
+        // runtime inputs (sequences, thresholds) need checking.
+        if (Status s = checkBudgets(problem, limits); !s.ok())
+            return s;
+        return checkRuntimeInputs(problem);
+    }
+    return validateProblem(problem, limits);
+}
+
+Expected<RaceResult>
+RaceEngine::trySolve(const RaceProblem &problem)
+{
+    if (Status s = validate(problem); !s.ok())
+        return s;
+    return solve(problem);
 }
 
 EngineStats

@@ -42,6 +42,7 @@
 #include "rl/api/result.h"
 #include "rl/core/batch.h"
 #include "rl/pangraph/mapping.h"
+#include "rl/util/status.h"
 #include "rl/util/thread_pool.h"
 
 namespace racelogic::api {
@@ -114,6 +115,25 @@ class RaceEngine
 
     /** Solve one problem on the configured backend. */
     RaceResult solve(const RaceProblem &problem);
+
+    /**
+     * Would solve(problem) succeed?  Shape, resource budgets
+     * (EngineConfig::maxProductStates plus the kernels' hard id-space
+     * bounds), and runtime-input checks always run; the deep
+     * matrix/graph validation (api/validate.h validateProblem()) is
+     * skipped when a cached plan for the problem's shape already
+     * exists -- that plan's build vetted it.  const and read-only:
+     * neither the cache nor the statistics are touched.
+     */
+    Status validate(const RaceProblem &problem) const;
+
+    /**
+     * Fallible solve for untrusted problems: validate(), then
+     * solve().  A problem this rejects would have tripped an
+     * input-facing rl_fatal/rl_assert inside solve(); the serve
+     * layer's one entry point.
+     */
+    Expected<RaceResult> trySolve(const RaceProblem &problem);
 
     /**
      * Solve a batch of problems, reusing cached plans across them.

@@ -19,6 +19,32 @@ Alphabet::Alphabet(std::string letters, std::string name)
     }
 }
 
+Expected<Alphabet>
+Alphabet::tryMake(std::string letters, std::string name)
+{
+    if (letters.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "alphabet needs at least one letter");
+    if (letters.size() > 255)
+        return Status::error(ErrorCode::InvalidArgument, "alphabet of ",
+                             letters.size(),
+                             " letters exceeds the 255-symbol encoding");
+    std::vector<bool> seen(256, false);
+    for (char ch : letters) {
+        if (ch <= ' ' || ch > '~')
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "alphabet letters must be printable "
+                                 "non-space ASCII");
+        unsigned char u = static_cast<unsigned char>(ch);
+        if (seen[u])
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "duplicate letter '", ch,
+                                 "' in alphabet");
+        seen[u] = true;
+    }
+    return Alphabet(std::move(letters), std::move(name));
+}
+
 const Alphabet &
 Alphabet::dna()
 {

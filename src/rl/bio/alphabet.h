@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "rl/util/status.h"
+
 namespace racelogic::bio {
 
 /** Encoded symbol: dense index into an Alphabet. */
@@ -32,6 +34,16 @@ class Alphabet
   public:
     /** Construct from the ordered letters, e.g. "ACGT". */
     explicit Alphabet(std::string letters, std::string name = "");
+
+    /**
+     * Fallible construction for untrusted letters (wire requests,
+     * config files): non-empty, at most 255 letters, every letter a
+     * printable non-space ASCII character, no duplicates.  The
+     * validation the fatal constructor and serve/wire.cc both lean
+     * on, so the protocol cannot drift from the library.
+     */
+    static Expected<Alphabet> tryMake(std::string letters,
+                                      std::string name = "");
 
     /** DNA nucleobases: A, C, G, T (Nss = 4). */
     static const Alphabet &dna();

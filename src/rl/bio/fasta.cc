@@ -4,14 +4,16 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "rl/util/logging.h"
 #include "rl/util/strings.h"
 
 namespace racelogic::bio {
 
-std::vector<FastaRecord>
-readFasta(std::istream &in, const Alphabet &alphabet)
+Expected<std::vector<FastaRecord>>
+tryReadFasta(std::istream &in, const Alphabet &alphabet,
+             const FastaLimits &limits)
 {
     std::vector<FastaRecord> records;
     std::string line;
@@ -19,17 +21,27 @@ readFasta(std::istream &in, const Alphabet &alphabet)
     std::string description;
     std::vector<Symbol> symbols;
 
-    auto flush = [&] {
-        if (in_record) {
-            if (symbols.empty())
-                rl_fatal("FASTA record '", description,
-                         "' has no sequence data; empty records are "
-                         "almost always a truncated or corrupted "
-                         "file");
-            records.push_back(FastaRecord{
-                description, Sequence(alphabet, symbols)});
-            symbols.clear();
+    Status verdict; // first structural error, reported after the scan
+    auto flush = [&]() -> bool {
+        if (!in_record)
+            return true;
+        if (symbols.empty()) {
+            verdict = Status::error(
+                ErrorCode::ParseError, "FASTA record '", description,
+                "' has no sequence data; empty records are almost "
+                "always a truncated or corrupted file");
+            return false;
         }
+        if (limits.maxRecords && records.size() >= limits.maxRecords) {
+            verdict = Status::error(ErrorCode::Oversized, "FASTA input "
+                                    "exceeds the cap of ",
+                                    limits.maxRecords, " records");
+            return false;
+        }
+        records.push_back(
+            FastaRecord{description, Sequence(alphabet, symbols)});
+        symbols.clear();
+        return true;
     };
 
     size_t line_no = 0;
@@ -39,47 +51,88 @@ readFasta(std::istream &in, const Alphabet &alphabet)
         if (trimmed.empty() || trimmed[0] == ';')
             continue;
         if (trimmed[0] == '>') {
-            flush();
+            if (!flush())
+                return verdict;
             in_record = true;
             description = util::trim(trimmed.substr(1));
             continue;
         }
         if (!in_record)
-            rl_fatal("FASTA line ", line_no,
-                     ": sequence data before any '>' header");
-        std::vector<Symbol> chunk = Sequence::encodeFolded(
+            return Status::error(ErrorCode::ParseError, "FASTA line ",
+                                 line_no,
+                                 ": sequence data before any '>' header");
+        auto chunk = Sequence::tryEncodeFolded(
             alphabet, trimmed,
             "FASTA line " + std::to_string(line_no));
-        symbols.insert(symbols.end(), chunk.begin(), chunk.end());
+        if (!chunk.ok())
+            return chunk.status();
+        if (limits.maxSequenceLength &&
+            symbols.size() + chunk->size() > limits.maxSequenceLength)
+            return Status::error(ErrorCode::Oversized, "FASTA record '",
+                                 description, "' exceeds the cap of ",
+                                 limits.maxSequenceLength, " bases");
+        symbols.insert(symbols.end(), chunk->begin(), chunk->end());
     }
-    flush();
+    if (!flush())
+        return verdict;
     return records;
+}
+
+Expected<std::vector<FastaRecord>>
+tryReadFasta(const std::string &text, const Alphabet &alphabet,
+             const FastaLimits &limits)
+{
+    std::istringstream in(text);
+    return tryReadFasta(in, alphabet, limits);
+}
+
+Expected<std::vector<FastaRecord>>
+tryReadFastaFile(const std::string &path, const Alphabet &alphabet,
+                 const FastaLimits &limits)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error(ErrorCode::NotFound,
+                             "cannot open FASTA file: ", path);
+    return tryReadFasta(in, alphabet, limits);
+}
+
+std::vector<FastaRecord>
+readFasta(std::istream &in, const Alphabet &alphabet)
+{
+    return tryReadFasta(in, alphabet).valueOrFatal();
 }
 
 std::vector<FastaRecord>
 readFastaFile(const std::string &path, const Alphabet &alphabet)
 {
-    std::ifstream in(path);
-    if (!in)
-        rl_fatal("cannot open FASTA file: ", path);
-    return readFasta(in, alphabet);
+    return tryReadFastaFile(path, alphabet).valueOrFatal();
+}
+
+Status
+tryWriteFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+              size_t width)
+{
+    rl_assert(width >= 1, "line width must be >= 1");
+    for (const FastaRecord &record : records) {
+        if (record.sequence.empty())
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "refusing to write empty FASTA record '",
+                                 record.description,
+                                 "'; the reader rejects such files");
+        out << '>' << record.description << '\n';
+        std::string text = record.sequence.str();
+        for (size_t pos = 0; pos < text.size(); pos += width)
+            out << text.substr(pos, width) << '\n';
+    }
+    return Status();
 }
 
 void
 writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
            size_t width)
 {
-    rl_assert(width >= 1, "line width must be >= 1");
-    for (const FastaRecord &record : records) {
-        if (record.sequence.empty())
-            rl_fatal("refusing to write empty FASTA record '",
-                     record.description,
-                     "'; the reader rejects such files");
-        out << '>' << record.description << '\n';
-        std::string text = record.sequence.str();
-        for (size_t pos = 0; pos < text.size(); pos += width)
-            out << text.substr(pos, width) << '\n';
-    }
+    tryWriteFasta(out, records, width).orFatal();
 }
 
 } // namespace racelogic::bio

@@ -6,6 +6,12 @@
  * reads and writes the subset of the format the examples need:
  * '>' description lines followed by sequence lines, ';' comments
  * ignored, whitespace tolerated, case folded to upper.
+ *
+ * There is exactly ONE parser.  tryReadFasta() is the fallible core
+ * every consumer shares -- the CLI file readers wrap it in
+ * valueOrFatal(), and serve/wire.cc feeds it request bytes with
+ * FastaLimits set to the protocol's admission caps, so the daemon
+ * and the command line cannot drift apart on what a record is.
  */
 
 #ifndef RACELOGIC_BIO_FASTA_H
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "rl/bio/sequence.h"
+#include "rl/util/status.h"
 
 namespace racelogic::bio {
 
@@ -26,26 +33,58 @@ struct FastaRecord {
 };
 
 /**
+ * Admission caps for untrusted FASTA input.  0 means unlimited (the
+ * CLI default); a server passes its wire caps so an oversized record
+ * becomes a typed Oversized error instead of an unbounded allocation.
+ */
+struct FastaLimits {
+    size_t maxSequenceLength = 0; ///< bases per record (0 = unlimited)
+    size_t maxRecords = 0;        ///< records per input (0 = unlimited)
+};
+
+/**
  * Parse FASTA records from a stream over the given alphabet.
  *
  * Tolerant of real-world inputs: CRLF line endings, lowercase bases
  * (folded to upper), blank lines, and whitespace inside sequence
- * lines.  fatal() on letters outside the alphabet and on malformed
- * input: sequence data before any '>' header, or a record with no
- * sequence data at all (almost always a truncated file).
+ * lines.  Typed errors: ParseError on malformed structure (sequence
+ * data before any '>' header, a record with no sequence data),
+ * InvalidArgument on letters outside the alphabet, Oversized when a
+ * FastaLimits cap trips.
  */
+Expected<std::vector<FastaRecord>>
+tryReadFasta(std::istream &in, const Alphabet &alphabet,
+             const FastaLimits &limits = {});
+
+/** Convenience overload parsing an in-memory string (wire requests). */
+Expected<std::vector<FastaRecord>>
+tryReadFasta(const std::string &text, const Alphabet &alphabet,
+             const FastaLimits &limits = {});
+
+/** Parse a FASTA file by path; NotFound if unreadable. */
+Expected<std::vector<FastaRecord>>
+tryReadFastaFile(const std::string &path, const Alphabet &alphabet,
+                 const FastaLimits &limits = {});
+
+/** @name Fatal wrappers for CLI tools and examples
+ * valueOrFatal() over the try* parsers: same messages, exit(1).
+ * @{ */
 std::vector<FastaRecord> readFasta(std::istream &in,
                                    const Alphabet &alphabet);
-
-/** Parse a FASTA file by path (fatal if unreadable). */
 std::vector<FastaRecord> readFastaFile(const std::string &path,
                                        const Alphabet &alphabet);
+/** @} */
 
 /**
  * Write records, wrapping sequence lines at `width` letters.
- * fatal() on an empty-sequence record: the reader rejects such
- * files, so the writer refuses to produce them.
+ * InvalidArgument on an empty-sequence record: the reader rejects
+ * such files, so the writer refuses to produce them.
  */
+Status tryWriteFasta(std::ostream &out,
+                     const std::vector<FastaRecord> &records,
+                     size_t width = 60);
+
+/** Fatal wrapper over tryWriteFasta() for CLI tools. */
 void writeFasta(std::ostream &out,
                 const std::vector<FastaRecord> &records,
                 size_t width = 60);

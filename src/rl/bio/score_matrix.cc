@@ -250,6 +250,52 @@ ScoreMatrix::dynamicRange() const
     return maxFinite();
 }
 
+Status
+ScoreMatrix::validateRaceReady(Score maxWeight,
+                               bool allowForbiddenPairs) const
+{
+    if (!isCost())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "race-ready validation needs a Cost-kind "
+                             "matrix; convert similarity scores with "
+                             "toShortestPathForm() first");
+    const Score cap = maxWeight != 0 ? maxWeight : kScoreInfinity - 1;
+    auto checkFinite = [&](Score w, const char *what,
+                           char a, char b) -> Status {
+        if (w == kScoreInfinity)
+            return Status::error(ErrorCode::InvalidArgument, what, " (",
+                                 a, ",", b, ") is infinite; a race "
+                                 "needs a finite weight here");
+        if (w < 1 || w > cap)
+            return Status::error(ErrorCode::InvalidArgument, what, " (",
+                                 a, ",", b, ") weight ", w,
+                                 " outside the race-ready range [1, ",
+                                 cap, "]");
+        return Status();
+    };
+    for (Symbol a = 0; a < alphabet_.size(); ++a) {
+        const char la = alphabet_.letter(a);
+        if (Status s = checkFinite(gap(a), "gap", la, '-'); !s.ok())
+            return s;
+        for (Symbol b = 0; b < alphabet_.size(); ++b) {
+            const char lb = alphabet_.letter(b);
+            if (pair(a, b) == kScoreInfinity) {
+                if (allowForbiddenPairs)
+                    continue; // missing diagonal edge
+                return Status::error(ErrorCode::InvalidArgument,
+                                     "pair (", la, ",", lb,
+                                     ") is infinite, but this problem "
+                                     "kind requires finite pair "
+                                     "weights");
+            }
+            if (Status s = checkFinite(pair(a, b), "pair", la, lb);
+                !s.ok())
+                return s;
+        }
+    }
+    return Status();
+}
+
 uint64_t
 ScoreMatrix::fingerprint() const
 {

@@ -120,6 +120,18 @@ class ScoreMatrix
     Score dynamicRange() const;
 
     /**
+     * Race-readiness validation, the one rule book shared by the
+     * engine's problem validation and serve/wire.cc's request decode:
+     * the matrix must be Cost kind, every gap weight finite and >= 1,
+     * every pair weight >= 1 with kScoreInfinity (a missing diagonal
+     * edge) allowed only when `allowForbiddenPairs`, and every finite
+     * weight <= `maxWeight` when maxWeight != 0 (the calendar/wire
+     * cap).  Returns InvalidArgument describing the first violation.
+     */
+    Status validateRaceReady(Score maxWeight = 0,
+                             bool allowForbiddenPairs = true) const;
+
+    /**
      * FNV-1a over kind, alphabet size, and every pair/gap weight:
      * the hardware identity of a score matrix (two fabrics are
      * interchangeable iff this matches).  Used by the api plan-cache

@@ -33,6 +33,14 @@ std::vector<Symbol>
 Sequence::encodeFolded(const Alphabet &alphabet, const std::string &text,
                        const std::string &where)
 {
+    return tryEncodeFolded(alphabet, text, where).valueOrFatal();
+}
+
+Expected<std::vector<Symbol>>
+Sequence::tryEncodeFolded(const Alphabet &alphabet,
+                          const std::string &text,
+                          const std::string &where)
+{
     std::vector<Symbol> symbols;
     symbols.reserve(text.size());
     for (char ch : text) {
@@ -41,11 +49,27 @@ Sequence::encodeFolded(const Alphabet &alphabet, const std::string &text,
         char upper = static_cast<char>(
             std::toupper(static_cast<unsigned char>(ch)));
         if (!alphabet.contains(upper))
-            rl_fatal(where, ": letter '", ch, "' not in alphabet ",
-                     alphabet.letters());
+            return Status::error(ErrorCode::InvalidArgument, where,
+                                 ": letter '", ch, "' not in alphabet ",
+                                 alphabet.letters());
         symbols.push_back(alphabet.encode(upper));
     }
     return symbols;
+}
+
+Expected<Sequence>
+Sequence::tryEncode(const Alphabet &alphabet, const std::string &text)
+{
+    std::vector<Symbol> symbols;
+    symbols.reserve(text.size());
+    for (char ch : text) {
+        if (!alphabet.contains(ch))
+            return Status::error(ErrorCode::InvalidArgument, "letter '",
+                                 ch, "' not in alphabet ",
+                                 alphabet.letters());
+        symbols.push_back(alphabet.encode(ch));
+    }
+    return Sequence(alphabet, std::move(symbols));
 }
 
 Symbol

@@ -50,6 +50,25 @@ class Sequence
                                             const std::string &text,
                                             const std::string &where);
 
+    /**
+     * Fallible twin of encodeFolded() for untrusted input: same
+     * whitespace-skip and case-fold rules, but a letter outside the
+     * alphabet returns InvalidArgument instead of exiting.  The
+     * fatal variant is a valueOrFatal() wrapper over this one.
+     */
+    static Expected<std::vector<Symbol>>
+    tryEncodeFolded(const Alphabet &alphabet, const std::string &text,
+                    const std::string &where);
+
+    /**
+     * Strict fallible encoding: every character must match an
+     * alphabet letter exactly -- no folding, no whitespace skipping.
+     * The rule wire requests obey (a request is not a file; stray
+     * bytes are a protocol error, not formatting).
+     */
+    static Expected<Sequence> tryEncode(const Alphabet &alphabet,
+                                        const std::string &text);
+
     size_t size() const { return symbols_.size(); }
     bool empty() const { return symbols_.empty(); }
 

@@ -20,39 +20,33 @@ alignmentGraphBuildCount()
     return materializedProducts.load(std::memory_order_relaxed);
 }
 
-CompiledGraph
-compileGraph(const VariationGraph &graph, const bio::ScoreMatrix &race)
+Status
+checkCompilable(const VariationGraph &graph, const bio::ScoreMatrix &race)
 {
-    graph.validate();
-    rl_assert(graph.alphabet() == race.alphabet(),
-              "graph and race matrix use different alphabets");
-    rl_assert(race.isCost(),
-              "compileGraph binds the race-ready Cost-kind matrix");
+    if (Status valid = graph.checkValid(); !valid.ok())
+        return valid;
+    if (!(graph.alphabet() == race.alphabet()))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "graph uses alphabet ",
+                             graph.alphabet().letters(),
+                             ", race matrix uses ",
+                             race.alphabet().letters());
     // Plan-time weight validation the fused kernel relies on (its
     // per-read check is the cheap fingerprint equality): the
     // chain-detaching calendar drain needs every finite weight >= 1,
     // gap weights must be finite (every character insertable or no
     // walk connects the corners -- and an infinite gap would size
     // the kernel's ring from kScoreInfinity), and no weight may
-    // exceed the bucket-calendar cap.  GraphAligner repeats these
-    // with plan-level diagnostics; direct compileGraph callers get
-    // them here.
-    rl_assert(race.minFinite() >= 1,
-              "graph alignment requires all finite weights >= 1 (got ",
-              race.minFinite(), ")");
-    for (size_t s = 0; s < race.alphabet().size(); ++s)
-        if (race.gap(static_cast<bio::Symbol>(s)) == bio::kScoreInfinity)
-            rl_fatal("gap weight for '",
-                     race.alphabet().letter(static_cast<bio::Symbol>(s)),
-                     "' is infinite; graph alignment needs finite "
-                     "indel weights");
-    if (race.maxFinite() > core::kMaxWavefrontWeight)
-        rl_fatal("largest race weight ", race.maxFinite(),
-                 " exceeds the wavefront kernel's calendar cap ",
-                 core::kMaxWavefrontWeight,
-                 "; rescale the matrix (or lower lambda on "
-                 "similarity plans)");
+    // exceed the bucket-calendar cap.
+    return race.validateRaceReady(core::kMaxWavefrontWeight,
+                                  /*allowForbiddenPairs=*/true);
+}
 
+namespace {
+
+CompiledGraph
+compileValidated(const VariationGraph &graph, const bio::ScoreMatrix &race)
+{
     CompiledGraph out;
     const size_t segs = graph.segmentCount();
     out.charCount = graph.totalLabelLength();
@@ -127,6 +121,23 @@ compileGraph(const VariationGraph &graph, const bio::ScoreMatrix &race)
                 static_cast<CharPos>(p);
 
     return out;
+}
+
+} // namespace
+
+CompiledGraph
+compileGraph(const VariationGraph &graph, const bio::ScoreMatrix &race)
+{
+    checkCompilable(graph, race).orFatal();
+    return compileValidated(graph, race);
+}
+
+Expected<CompiledGraph>
+tryCompileGraph(const VariationGraph &graph, const bio::ScoreMatrix &race)
+{
+    if (Status s = checkCompilable(graph, race); !s.ok())
+        return s;
+    return compileValidated(graph, race);
 }
 
 AlignmentGraph

@@ -98,13 +98,29 @@ struct CompiledGraph {
 };
 
 /**
+ * Compilability verdict for a (graph, race matrix) pair: the graph
+ * must be raceable (VariationGraph::checkValid), the alphabets must
+ * match, and the matrix must be race-ready under the wavefront
+ * kernel's calendar cap (Cost kind, finite weights in [1, cap],
+ * finite gaps).  The single rule book shared by compileGraph(),
+ * GraphAligner construction, and api::RaceEngine plan validation.
+ */
+Status checkCompilable(const VariationGraph &graph,
+                       const bio::ScoreMatrix &race);
+
+/**
  * Expand a validated variation graph into its character-level view
  * under `race`, the race-ready cost matrix the products will be
  * swept with (it supplies the hoisted per-position gap weights, so a
  * compiled view is bound to one matrix exactly as the api plan is).
+ * fatal() wrapper over tryCompileGraph() for direct callers.
  */
 CompiledGraph compileGraph(const VariationGraph &graph,
                            const bio::ScoreMatrix &race);
+
+/** Fallible compile: checkCompilable(), then the expansion. */
+Expected<CompiledGraph> tryCompileGraph(const VariationGraph &graph,
+                                        const bio::ScoreMatrix &race);
 
 /**
  * The product edit DAG of one read against a compiled graph, ready

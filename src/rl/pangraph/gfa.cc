@@ -10,35 +10,8 @@
 
 namespace racelogic::pangraph {
 
-namespace {
-
-/** Encode a GFA sequence field, folding case, over `alphabet`. */
-bio::Sequence
-encodeLabel(const std::string &text, const bio::Alphabet &alphabet,
-            size_t line_no)
-{
-    return bio::Sequence(
-        alphabet,
-        bio::Sequence::encodeFolded(
-            alphabet, text, "GFA line " + std::to_string(line_no)));
-}
-
-/** Resolve a link endpoint name, with a clear diagnostic. */
-SegmentId
-resolveSegment(const VariationGraph &graph, const std::string &name,
-               size_t line_no)
-{
-    SegmentId id = graph.findSegment(name);
-    if (id == kNoSegment)
-        rl_fatal("GFA line ", line_no, ": link references undeclared "
-                 "segment '", name, "'");
-    return id;
-}
-
-} // namespace
-
-VariationGraph
-readGfa(std::istream &in, const bio::Alphabet &alphabet)
+Expected<VariationGraph>
+tryReadGfa(std::istream &in, const bio::Alphabet &alphabet)
 {
     VariationGraph graph(alphabet);
 
@@ -63,52 +36,89 @@ readGfa(std::istream &in, const bio::Alphabet &alphabet)
             continue; // headers, paths, and containments: metadata
         if (type == "S") {
             if (fields.size() < 3)
-                rl_fatal("GFA line ", line_no,
-                         ": S record needs a name and a sequence");
+                return Status::error(ErrorCode::ParseError, "GFA line ",
+                                     line_no, ": S record needs a name "
+                                     "and a sequence");
             if (fields[2] == "*")
-                rl_fatal("GFA line ", line_no, ": segment '", fields[1],
-                         "' has no sequence ('*'); the race needs the "
-                         "bases");
-            graph.addSegment(fields[1],
-                             encodeLabel(fields[2], alphabet, line_no));
+                return Status::error(ErrorCode::Unsupported, "GFA line ",
+                                     line_no, ": segment '", fields[1],
+                                     "' has no sequence ('*'); the race "
+                                     "needs the bases");
+            auto label = bio::Sequence::tryEncodeFolded(
+                alphabet, fields[2],
+                "GFA line " + std::to_string(line_no));
+            if (!label.ok())
+                return label.status();
+            auto id = graph.tryAddSegment(
+                fields[1],
+                bio::Sequence(alphabet, std::move(label.value())));
+            if (!id.ok())
+                return id.status();
             continue;
         }
         if (type == "L") {
             if (fields.size() < 5)
-                rl_fatal("GFA line ", line_no,
-                         ": L record needs from/orient/to/orient");
+                return Status::error(ErrorCode::ParseError, "GFA line ",
+                                     line_no, ": L record needs "
+                                     "from/orient/to/orient");
             if (fields[2] != "+" || fields[4] != "+")
-                rl_fatal("GFA line ", line_no, ": reverse-strand link (",
-                         fields[2], "/", fields[4], "); the DAG race "
-                         "substrate supports forward-strand (+/+) "
-                         "links only");
+                return Status::error(ErrorCode::Unsupported, "GFA line ",
+                                     line_no, ": reverse-strand link (",
+                                     fields[2], "/", fields[4],
+                                     "); the DAG race substrate "
+                                     "supports forward-strand (+/+) "
+                                     "links only");
             if (fields.size() >= 6 && fields[5] != "0M" &&
                 fields[5] != "*")
-                rl_fatal("GFA line ", line_no, ": overlap '", fields[5],
-                         "' unsupported; only blunt-ended links (0M "
-                         "or *) are");
+                return Status::error(ErrorCode::Unsupported, "GFA line ",
+                                     line_no, ": overlap '", fields[5],
+                                     "' unsupported; only blunt-ended "
+                                     "links (0M or *) are");
             pending.push_back({fields[1], fields[3], line_no});
             continue;
         }
-        rl_fatal("GFA line ", line_no, ": unsupported record type '",
-                 type, "'");
+        return Status::error(ErrorCode::Unsupported, "GFA line ",
+                             line_no, ": unsupported record type '",
+                             type, "'");
     }
 
-    for (const PendingLink &link : pending)
-        graph.addLink(resolveSegment(graph, link.from, link.line_no),
-                      resolveSegment(graph, link.to, link.line_no));
+    for (const PendingLink &link : pending) {
+        SegmentId from = graph.findSegment(link.from);
+        SegmentId to = graph.findSegment(link.to);
+        if (from == kNoSegment || to == kNoSegment)
+            return Status::error(ErrorCode::NotFound, "GFA line ",
+                                 link.line_no, ": link references "
+                                 "undeclared segment '",
+                                 from == kNoSegment ? link.from : link.to,
+                                 "'");
+        graph.addLink(from, to);
+    }
 
-    graph.validate(); // the cyclic-GFA rejection path
+    if (Status valid = graph.checkValid(); !valid.ok())
+        return valid; // the cyclic-GFA rejection path
     return graph;
+}
+
+Expected<VariationGraph>
+tryReadGfaFile(const std::string &path, const bio::Alphabet &alphabet)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error(ErrorCode::NotFound,
+                             "cannot open GFA file: ", path);
+    return tryReadGfa(in, alphabet);
+}
+
+VariationGraph
+readGfa(std::istream &in, const bio::Alphabet &alphabet)
+{
+    return tryReadGfa(in, alphabet).valueOrFatal();
 }
 
 VariationGraph
 readGfaFile(const std::string &path, const bio::Alphabet &alphabet)
 {
-    std::ifstream in(path);
-    if (!in)
-        rl_fatal("cannot open GFA file: ", path);
-    return readGfa(in, alphabet);
+    return tryReadGfaFile(path, alphabet).valueOrFatal();
 }
 
 void

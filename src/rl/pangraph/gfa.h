@@ -15,9 +15,13 @@
  *  - `P`/`W` path lines and containments are skipped.
  *
  * Sequence letters are case-folded to upper; CRLF endings and blank
- * lines are tolerated.  After parsing, the graph is validate()d, so
- * cyclic GFAs are rejected with a diagnostic rather than racing
+ * lines are tolerated.  After parsing, the graph is checkValid()ed,
+ * so cyclic GFAs are rejected with a diagnostic rather than racing
  * forever.
+ *
+ * tryReadGfa() is the fallible core (typed ParseError / Unsupported /
+ * NotFound / InvalidArgument statuses); the fatal readers are
+ * valueOrFatal() wrappers kept for CLI tools and examples.
  */
 
 #ifndef RACELOGIC_PANGRAPH_GFA_H
@@ -27,21 +31,33 @@
 #include <string>
 
 #include "rl/pangraph/variation_graph.h"
+#include "rl/util/status.h"
 
 namespace racelogic::pangraph {
 
 /**
  * Parse a GFA v1 stream over the given alphabet.
  *
- * fatal() on malformed records, letters outside the alphabet,
- * reverse-strand links, non-blunt overlaps, links to undeclared
- * segments, and cyclic graphs.
+ * Typed errors: ParseError on malformed records, InvalidArgument on
+ * letters outside the alphabet or duplicate segments, Unsupported on
+ * reverse-strand links, non-blunt overlaps, sequence-less segments,
+ * unknown record types, and cyclic graphs; NotFound on links to
+ * undeclared segments.
  */
-VariationGraph readGfa(std::istream &in, const bio::Alphabet &alphabet);
+Expected<VariationGraph> tryReadGfa(std::istream &in,
+                                    const bio::Alphabet &alphabet);
 
-/** Parse a GFA file by path (fatal if unreadable). */
+/** Parse a GFA file by path; NotFound if unreadable. */
+Expected<VariationGraph> tryReadGfaFile(const std::string &path,
+                                        const bio::Alphabet &alphabet);
+
+/** @name Fatal wrappers for CLI tools and examples
+ * valueOrFatal() over the try* parsers: same messages, exit(1).
+ * @{ */
+VariationGraph readGfa(std::istream &in, const bio::Alphabet &alphabet);
 VariationGraph readGfaFile(const std::string &path,
                            const bio::Alphabet &alphabet);
+/** @} */
 
 /** Write the graph back out as blunt-ended forward-strand GFA v1. */
 void writeGfa(std::ostream &out, const VariationGraph &graph);

@@ -10,36 +10,67 @@ namespace racelogic::pangraph {
 
 GraphAligner::GraphAligner(std::shared_ptr<const VariationGraph> graph,
                            bio::ScoreMatrix matrix, bio::Score lambda)
-    : source(std::move(graph)), input(std::move(matrix))
-{
-    rl_assert(source != nullptr, "GraphAligner needs a graph");
-    source->validate();
-    rl_assert(source->alphabet() == input.alphabet(),
-              "graph and matrix use different alphabets");
+    : GraphAligner(
+          tryMake(std::move(graph), std::move(matrix), lambda)
+              .valueOrFatal())
+{}
 
-    if (!input.isCost()) {
-        auto range = source->spelledLengthRange();
+Expected<GraphAligner>
+GraphAligner::tryMake(std::shared_ptr<const VariationGraph> graph,
+                      bio::ScoreMatrix matrix, bio::Score lambda)
+{
+    if (graph == nullptr)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "GraphAligner needs a graph");
+    if (Status valid = graph->checkValid(); !valid.ok())
+        return valid;
+    if (!(graph->alphabet() == matrix.alphabet()))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "graph uses alphabet ",
+                             graph->alphabet().letters(),
+                             ", matrix uses ",
+                             matrix.alphabet().letters());
+
+    std::optional<bio::ShortestPathForm> conversion;
+    size_t spelled = 0;
+    if (!matrix.isCost()) {
+        if (lambda < 1)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "lambda must be a positive integer "
+                                 "scale (got ", lambda, ")");
+        auto range = graph->spelledLengthRange();
         if (range.first != range.second)
-            rl_fatal("similarity matrices need a rank-balanced graph "
-                     "(every source-to-sink walk the same length; got ",
-                     range.first, "..", range.second,
-                     "): the Section 5 conversion is affine in the "
-                     "walk length.  Race a Cost-kind matrix instead");
-        spelledLength = range.first;
-        converted = bio::toShortestPathForm(input, lambda);
-    } else {
-        rl_assert(lambda == 1,
-                  "lambda scales similarity conversion only");
+            return Status::error(
+                ErrorCode::Unsupported,
+                "similarity matrices need a rank-balanced graph "
+                "(every source-to-sink walk the same length; got ",
+                range.first, "..", range.second,
+                "): the Section 5 conversion is affine in the "
+                "walk length.  Race a Cost-kind matrix instead");
+        spelled = range.first;
+        conversion = bio::toShortestPathForm(matrix, lambda);
+    } else if (lambda != 1) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "lambda scales similarity conversion "
+                             "only");
     }
 
     // Plan-time validation of the race-ready weights -- finite gaps,
     // everything >= 1 and under the kernel's bucket-calendar cap --
-    // lives in compileGraph(), the one place every racing path
+    // lives in checkCompilable(), the one place every racing path
     // passes through, so bad matrices fail here with a diagnostic
     // instead of deep inside the wavefront kernel.  (For similarity
     // inputs that overflow the cap, lowering lambda shrinks the
     // converted weights.)
-    compiledGraph = compileGraph(*source, costs());
+    const bio::ScoreMatrix &race =
+        conversion ? conversion->costs : matrix;
+    auto compiled = tryCompileGraph(*graph, race);
+    if (!compiled.ok())
+        return compiled.status();
+
+    return GraphAligner(std::move(graph), std::move(matrix),
+                        std::move(conversion),
+                        std::move(compiled.value()), spelled);
 }
 
 const bio::ScoreMatrix &

@@ -59,6 +59,19 @@ class GraphAligner
                  bio::ScoreMatrix matrix, bio::Score lambda = 1);
 
     /**
+     * Fallible planning for untrusted (graph, matrix, lambda)
+     * combinations: every precondition the fatal constructor
+     * enforces, returned as a typed Status instead -- InvalidArgument
+     * on a missing graph, alphabet mismatch, or misused lambda;
+     * Unsupported on a non-rank-balanced graph under a similarity
+     * matrix; plus everything checkCompilable() rejects.  The fatal
+     * constructor is a valueOrFatal() wrapper over this.
+     */
+    static Expected<GraphAligner>
+    tryMake(std::shared_ptr<const VariationGraph> graph,
+            bio::ScoreMatrix matrix, bio::Score lambda = 1);
+
+    /**
      * Race `read` against the graph on the fused kernel (no product
      * DAG); const and thread-safe.
      *
@@ -124,6 +137,16 @@ class GraphAligner
     bio::Score recoverScore(bio::Score racedCost, size_t readLength) const;
 
   private:
+    /** All-fields constructor used by tryMake() after validation. */
+    GraphAligner(std::shared_ptr<const VariationGraph> graph,
+                 bio::ScoreMatrix matrix,
+                 std::optional<bio::ShortestPathForm> conversion,
+                 CompiledGraph compiled, size_t spelled)
+        : source(std::move(graph)), input(std::move(matrix)),
+          converted(std::move(conversion)),
+          compiledGraph(std::move(compiled)), spelledLength(spelled)
+    {}
+
     std::shared_ptr<const VariationGraph> source;
     bio::ScoreMatrix input;
     std::optional<bio::ShortestPathForm> converted;

@@ -21,17 +21,29 @@ VariationGraph::checkSegment(SegmentId id) const
 SegmentId
 VariationGraph::addSegment(std::string name, bio::Sequence label)
 {
+    return tryAddSegment(std::move(name), std::move(label))
+        .valueOrFatal();
+}
+
+Expected<SegmentId>
+VariationGraph::tryAddSegment(std::string name, bio::Sequence label)
+{
     if (name.empty())
-        rl_fatal("variation-graph segment needs a non-empty name");
+        return Status::error(ErrorCode::InvalidArgument,
+                             "variation-graph segment needs a "
+                             "non-empty name");
     if (byName.count(name))
-        rl_fatal("duplicate segment name '", name, "'");
+        return Status::error(ErrorCode::InvalidArgument,
+                             "duplicate segment name '", name, "'");
     if (label.empty())
-        rl_fatal("segment '", name, "' has an empty label; the race "
-                 "substrate has no epsilon nodes");
+        return Status::error(ErrorCode::InvalidArgument, "segment '",
+                             name, "' has an empty label; the race "
+                             "substrate has no epsilon nodes");
     if (!(label.alphabet() == alphabet_))
-        rl_fatal("segment '", name, "' label uses alphabet ",
-                 label.alphabet().letters(), ", graph uses ",
-                 alphabet_.letters());
+        return Status::error(ErrorCode::InvalidArgument, "segment '",
+                             name, "' label uses alphabet ",
+                             label.alphabet().letters(), ", graph uses ",
+                             alphabet_.letters());
     SegmentId id = static_cast<SegmentId>(segments_.size());
     byName.emplace(name, id);
     segments_.push_back(Segment{std::move(name), std::move(label)});
@@ -138,15 +150,26 @@ VariationGraph::isAcyclic() const
 void
 VariationGraph::validate() const
 {
+    checkValid().orFatal();
+}
+
+Status
+VariationGraph::checkValid() const
+{
     if (segments_.empty())
-        rl_fatal("variation graph has no segments");
+        return Status::error(ErrorCode::InvalidArgument,
+                             "variation graph has no segments");
     if (!isAcyclic())
-        rl_fatal("variation graph contains a cycle; Race Logic races "
-                 "DAGs only (a cycle would race forever) -- DAG-ify "
-                 "the pangenome upstream");
+        return Status::error(ErrorCode::Unsupported,
+                             "variation graph contains a cycle; Race "
+                             "Logic races DAGs only (a cycle would "
+                             "race forever) -- DAG-ify the pangenome "
+                             "upstream");
     if (sources().empty() || sinks().empty())
-        rl_fatal("variation graph needs at least one source and one "
-                 "sink segment");
+        return Status::error(ErrorCode::InvalidArgument,
+                             "variation graph needs at least one "
+                             "source and one sink segment");
+    return Status();
 }
 
 std::vector<SegmentId>

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "rl/bio/sequence.h"
+#include "rl/util/status.h"
 
 namespace racelogic::pangraph {
 
@@ -112,6 +113,13 @@ class VariationGraph
      */
     SegmentId addSegment(std::string name, bio::Sequence label);
 
+    /**
+     * Fallible twin of addSegment() for untrusted (GFA) input; the
+     * fatal variant is a valueOrFatal() wrapper over this one.
+     */
+    Expected<SegmentId> tryAddSegment(std::string name,
+                                      bio::Sequence label);
+
     /** Add a directed link; duplicate links are ignored. */
     void addLink(SegmentId from, SegmentId to);
 
@@ -146,9 +154,16 @@ class VariationGraph
     /**
      * fatal() unless the graph is raceable: at least one segment,
      * acyclic (the DAG-only restriction), with at least one source
-     * and one sink.
+     * and one sink.  orFatal() over checkValid().
      */
     void validate() const;
+
+    /**
+     * Typed raceability verdict: InvalidArgument on an empty graph or
+     * one with no source/sink, Unsupported on a cycle (the DAG-only
+     * restriction of the race substrate).
+     */
+    Status checkValid() const;
 
     /**
      * Deterministic topological order of the segments (Kahn's

@@ -15,6 +15,7 @@ QueueStats::wire() const
     w.rejectedQueueFull = rejectedQueueFull;
     w.rejectedOversized = rejectedOversized;
     w.rejectedBadRequest = rejectedBadRequest;
+    w.rejectedResource = rejectedResource;
     w.rejectedShutdown = rejectedShutdown;
     w.shedDeadline = shedDeadline;
     w.inflight = inflight;
@@ -56,6 +57,7 @@ RequestQueue::noteRejected(Status status)
     switch (status) {
     case Status::Oversized: ++counters.rejectedOversized; break;
     case Status::BadRequest: ++counters.rejectedBadRequest; break;
+    case Status::ResourceExhausted: ++counters.rejectedResource; break;
     case Status::QueueFull: ++counters.rejectedQueueFull; break;
     case Status::ShuttingDown: ++counters.rejectedShutdown; break;
     case Status::DeadlineExceeded:

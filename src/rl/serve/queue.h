@@ -64,6 +64,7 @@ struct QueueStats {
     uint64_t rejectedQueueFull = 0;  ///< bounced: queue at depth
     uint64_t rejectedOversized = 0;  ///< bounced: frame/problem too big
     uint64_t rejectedBadRequest = 0; ///< bounced: undecodable/invalid
+    uint64_t rejectedResource = 0;   ///< bounced: compute budget
     uint64_t rejectedShutdown = 0;   ///< bounced: daemon draining
     uint64_t shedDeadline = 0;       ///< admitted, expired while queued
     uint64_t queued = 0;             ///< admitted, not yet drained
@@ -74,7 +75,7 @@ struct QueueStats {
     rejected() const
     {
         return rejectedQueueFull + rejectedOversized +
-               rejectedBadRequest + rejectedShutdown;
+               rejectedBadRequest + rejectedResource + rejectedShutdown;
     }
 
     /** The wire-protocol view of this snapshot. */

@@ -17,13 +17,6 @@ namespace racelogic::serve {
 
 namespace {
 
-/** Grid cells a pair of lengths would race ((n+1) x (m+1)). */
-uint64_t
-gridCells(size_t n, size_t m)
-{
-    return (static_cast<uint64_t>(n) + 1) * (static_cast<uint64_t>(m) + 1);
-}
-
 Response
 errorResponse(uint32_t id, RequestTag tag, Status status,
               std::string message)
@@ -291,53 +284,27 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     }
 
     // Build the race problem(s); every wire-level validation already
-    // passed, so the remaining admission checks are size ceilings.
+    // passed, so the remaining admission gate is the library's own
+    // budget check below -- one call covers grid cells and graph
+    // product states for every kind, instead of a per-tag copy.
     std::vector<api::RaceProblem> problems;
     switch (tag) {
     case RequestTag::Pairwise:
-        if (gridCells(request.a->size(), request.b->size()) >
-            cfg.maxGridCells) {
-            queue.noteRejected(Status::Oversized);
-            reply(*conn, errorResponse(id, tag, Status::Oversized,
-                                       "grid exceeds maxGridCells"));
-            return;
-        }
         problems.push_back(api::RaceProblem::pairwiseAlignment(
             *request.matrix, *request.a, *request.b));
         break;
     case RequestTag::Affine:
-        if (gridCells(request.a->size(), request.b->size()) >
-            cfg.maxGridCells) {
-            queue.noteRejected(Status::Oversized);
-            reply(*conn, errorResponse(id, tag, Status::Oversized,
-                                       "grid exceeds maxGridCells"));
-            return;
-        }
         problems.push_back(api::RaceProblem::affineAlignment(
             *request.matrix,
             bio::AffineGapCosts{request.open, request.extend},
             *request.a, *request.b));
         break;
     case RequestTag::Screen:
-        if (gridCells(request.a->size(), request.b->size()) >
-            cfg.maxGridCells) {
-            queue.noteRejected(Status::Oversized);
-            reply(*conn, errorResponse(id, tag, Status::Oversized,
-                                       "grid exceeds maxGridCells"));
-            return;
-        }
         problems.push_back(api::RaceProblem::thresholdScreen(
             *request.matrix, request.threshold, *request.a,
             *request.b));
         break;
     case RequestTag::Dtw:
-        if (gridCells(request.x.size(), request.y.size()) >
-            cfg.maxGridCells) {
-            queue.noteRejected(Status::Oversized);
-            reply(*conn, errorResponse(id, tag, Status::Oversized,
-                                       "warp grid exceeds maxGridCells"));
-            return;
-        }
         problems.push_back(api::RaceProblem::dtw(std::move(request.x),
                                                  std::move(request.y)));
         break;
@@ -382,6 +349,25 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         rl_panic("inline tags handled above");
     }
 
+    // One admission gate for all queued kinds: a grid lattice over
+    // maxGridCells bounces as Oversized, a graph-align product over
+    // maxProductStates (or the kernel's 32-bit id space) as
+    // ResourceExhausted.  statusForCode() maps the library verdict
+    // mechanically; there is no per-tag judgment left here.
+    api::ProblemLimits limits;
+    limits.maxGridCells = cfg.maxGridCells;
+    limits.maxProductStates = cfg.engine.maxProductStates;
+    for (const api::RaceProblem &problem : problems) {
+        racelogic::Status budget = api::checkBudgets(problem, limits);
+        if (!budget.ok()) {
+            const Status verdict = statusForCode(budget.code());
+            queue.noteRejected(verdict);
+            reply(*conn,
+                  errorResponse(id, tag, verdict, budget.message()));
+            return;
+        }
+    }
+
     // The request's relative deadline, anchored at frame arrival
     // (client and daemon clocks need not agree).
     auto deadline = std::chrono::steady_clock::time_point::max();
@@ -413,12 +399,24 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         Response r;
         r.id = id;
         r.tag = tag;
+        // trySolveOn re-validates before any plan build, so even a
+        // problem that slipped past admission earns a typed reply
+        // here instead of tripping a library fatal on a worker.
         if (tag == RequestTag::MapReads) {
             r.reads.reserve(problems.size());
             for (api::RaceProblem &problem : problems) {
                 problem.cancel = cancel;
-                api::RaceResult result = shards.solveOn(shard, problem);
-                if (result.cancelled) {
+                Expected<api::RaceResult> result =
+                    shards.trySolveOn(shard, problem);
+                if (!result.ok()) {
+                    reply(*conn,
+                          errorResponse(id, tag,
+                                        statusForCode(
+                                            result.status().code()),
+                                        result.status().message()));
+                    return;
+                }
+                if (result.value().cancelled) {
                     // The deadline covers the whole batch; once it
                     // trips there is no point racing the rest.
                     reply(*conn,
@@ -428,22 +426,30 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
                     return;
                 }
                 ReadReply rr;
-                rr.score = result.score;
-                rr.cyclesUsed = result.cyclesUsed;
-                rr.accepted = result.accepted;
+                rr.score = result.value().score;
+                rr.cyclesUsed = result.value().cyclesUsed;
+                rr.accepted = result.value().accepted;
                 r.reads.push_back(rr);
             }
         } else {
             problems.front().cancel = cancel;
-            api::RaceResult result =
-                shards.solveOn(shard, problems.front());
-            if (result.cancelled) {
+            Expected<api::RaceResult> result =
+                shards.trySolveOn(shard, problems.front());
+            if (!result.ok()) {
+                reply(*conn,
+                      errorResponse(id, tag,
+                                    statusForCode(
+                                        result.status().code()),
+                                    result.status().message()));
+                return;
+            }
+            if (result.value().cancelled) {
                 reply(*conn,
                       errorResponse(id, tag, Status::DeadlineExceeded,
                                     "deadline expired mid-race"));
                 return;
             }
-            r.solve = toSolveReply(result);
+            r.solve = toSolveReply(result.value());
         }
         reply(*conn, r);
     };

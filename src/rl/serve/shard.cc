@@ -75,6 +75,40 @@ EngineShards::solveOn(size_t shard, const api::RaceProblem &problem)
     return s.engine.solve(problem);
 }
 
+Expected<api::RaceResult>
+EngineShards::trySolveOn(size_t shard, const api::RaceProblem &problem)
+{
+    rl_assert(shard < shards.size(), "shard index out of range");
+    Shard &s = *shards[shard];
+
+    if (planFamilyKind(problem.kind)) {
+        if (s.engine.hasPlanFor(problem)) {
+            // Hot path: the cached plan vetted the deep half, so
+            // validate() runs only budgets + runtime inputs here.
+            if (racelogic::Status v = s.engine.validate(problem); !v.ok())
+                return v;
+            std::lock_guard<std::mutex> lock(s.countersMutex);
+            ++s.counters.shardHits;
+        } else {
+            // Validate *before* prepare, under the build lock: a
+            // rejected problem must never reach plan synthesis (the
+            // expensive, fatal-on-bad-input step).
+            std::lock_guard<std::mutex> build(buildMutex);
+            if (racelogic::Status v = s.engine.validate(problem); !v.ok())
+                return v;
+            {
+                std::lock_guard<std::mutex> lock(s.countersMutex);
+                ++s.counters.buildLocks;
+            }
+            s.engine.prepare(problem);
+        }
+    } else {
+        if (racelogic::Status v = s.engine.validate(problem); !v.ok())
+            return v;
+    }
+    return s.engine.solve(problem);
+}
+
 std::vector<ShardStatsWire>
 EngineShards::statsSnapshot() const
 {

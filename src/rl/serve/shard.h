@@ -64,6 +64,16 @@ class EngineShards
     api::RaceResult solveOn(size_t shard,
                             const api::RaceProblem &problem);
 
+    /**
+     * Fallible solveOn(): the shard engine's validate() runs before
+     * any plan is built -- a rejected problem takes neither the
+     * build lock's synthesis nor the race, and the typed Status maps
+     * mechanically onto the wire (wireErrorForCode /
+     * statusForCode).  Same thread contract as solveOn().
+     */
+    Expected<api::RaceResult> trySolveOn(size_t shard,
+                                         const api::RaceProblem &problem);
+
     /** Coherent per-shard counter snapshot (wire layout). */
     std::vector<ShardStatsWire> statsSnapshot() const;
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "rl/bio/fasta.h"
+
 namespace racelogic::serve {
 
 namespace {
@@ -143,19 +145,14 @@ writeMatrix(Writer &w, const bio::ScoreMatrix &m)
         w.i64(m.gap(static_cast<bio::Symbol>(i)));
 }
 
-/** One wire weight: a race-ready finite cost, or a forbidden edit. */
-bool
-validWireWeight(int64_t w, bool infinityAllowed)
-{
-    if (w == bio::kScoreInfinity)
-        return infinityAllowed;
-    return w >= 1 && w <= kMaxWireWeight;
-}
-
 /**
  * Read and validate an inline cost matrix.  `finitePairs` additionally
  * forbids infinite pair weights (the affine lattice bakes pair costs
- * into edges, so they must exist).  Returns None / Truncated /
+ * into edges, so they must exist).  Validation is the library's own
+ * rule book -- Alphabet::tryMake() for the letters,
+ * ScoreMatrix::validateRaceReady() under the wire's weight cap --
+ * mapped mechanically onto WireError, so decode and the engine's
+ * preconditions cannot drift apart.  Returns None / Truncated /
  * BadRequest.
  */
 WireError
@@ -164,17 +161,9 @@ readMatrix(Reader &r, bool finitePairs, std::optional<bio::ScoreMatrix> &out)
     std::string letters;
     if (!r.str(letters, kMaxWireAlphabet))
         return WireError::Truncated;
-    if (letters.empty())
-        return WireError::BadRequest;
-    for (size_t i = 0; i < letters.size(); ++i) {
-        const char c = letters[i];
-        // Printable, non-space, unique: what Alphabet accepts without
-        // fatal()ing, checked here so decode stays total.
-        if (c <= ' ' || c > '~')
-            return WireError::BadRequest;
-        if (letters.find(c) != i)
-            return WireError::BadRequest;
-    }
+    auto alphabet = bio::Alphabet::tryMake(letters);
+    if (!alphabet.ok())
+        return wireErrorForCode(alphabet.status().code());
 
     const size_t n = letters.size();
     std::vector<int64_t> pairs(n * n);
@@ -186,27 +175,25 @@ readMatrix(Reader &r, bool finitePairs, std::optional<bio::ScoreMatrix> &out)
         if (!r.i64(g))
             return WireError::Truncated;
 
-    for (int64_t p : pairs)
-        if (!validWireWeight(p, /*infinityAllowed=*/!finitePairs))
-            return WireError::BadRequest;
-    for (int64_t g : gaps)
-        if (!validWireWeight(g, /*infinityAllowed=*/false))
-            return WireError::BadRequest;
-
-    bio::ScoreMatrix m(bio::Alphabet(letters), bio::ScoreKind::Cost);
+    bio::ScoreMatrix m(std::move(alphabet.value()), bio::ScoreKind::Cost);
     for (size_t i = 0; i < n; ++i) {
         for (size_t j = 0; j < n; ++j)
             m.setPair(static_cast<bio::Symbol>(i),
                       static_cast<bio::Symbol>(j), pairs[i * n + j]);
         m.setGap(static_cast<bio::Symbol>(i), gaps[i]);
     }
+    if (racelogic::Status ready = m.validateRaceReady(
+            kMaxWireWeight, /*allowForbiddenPairs=*/!finitePairs);
+        !ready.ok())
+        return wireErrorForCode(ready.code());
     out.emplace(std::move(m));
     return WireError::None;
 }
 
 /**
- * Read a sequence string and encode it over `alphabet`.  Letters are
- * matched exactly (the protocol is strict upper-case; clients fold).
+ * Read a sequence string and encode it over `alphabet` via the
+ * library's strict Sequence::tryEncode() (exact-match letters: the
+ * protocol is strict upper-case; clients fold).
  */
 WireError
 readSequence(Reader &r, const bio::Alphabet &alphabet, bool allowEmpty,
@@ -217,14 +204,10 @@ readSequence(Reader &r, const bio::Alphabet &alphabet, bool allowEmpty,
         return WireError::Truncated;
     if (text.empty() && !allowEmpty)
         return WireError::BadRequest;
-    std::vector<bio::Symbol> symbols;
-    symbols.reserve(text.size());
-    for (char c : text) {
-        if (!alphabet.contains(c))
-            return WireError::BadRequest;
-        symbols.push_back(alphabet.encode(c));
-    }
-    out.emplace(alphabet, std::move(symbols));
+    auto encoded = bio::Sequence::tryEncode(alphabet, text);
+    if (!encoded.ok())
+        return wireErrorForCode(encoded.status().code());
+    out.emplace(std::move(encoded.value()));
     return WireError::None;
 }
 
@@ -256,66 +239,28 @@ readSignal(Reader &r, std::vector<apps::Sample> &out)
 }
 
 /**
- * A lenient FASTA scanner for untrusted MapReads payloads: the
- * bio::fasta reader is fatal() on malformed input (right for CLI
- * files, lethal for a daemon), so the wire layer re-parses with typed
- * errors.  Same dialect: '>' headers, ';' comments, blank lines and
- * CRLF tolerated, letters folded to upper.
+ * Parse an untrusted MapReads FASTA payload with the ONE shared
+ * bio::fasta parser, caps set to the protocol's admission limits.
+ * Structural faults (ParseError), foreign letters (InvalidArgument)
+ * and over-cap records (Oversized) come back as the library's typed
+ * Status and map mechanically onto WireError; an empty batch is a
+ * BadRequest of the wire's own (a daemon race of zero reads is a
+ * client bug, not a file-format question).
  */
 WireError
 readFastaBatch(const std::string &text, const bio::Alphabet &alphabet,
                std::vector<bio::Sequence> &out)
 {
-    std::vector<bio::Symbol> current;
-    bool inRecord = false;
-    auto flush = [&]() -> bool {
-        if (!inRecord)
-            return true;
-        if (current.empty())
-            return false; // header with no sequence data
-        out.emplace_back(alphabet, std::move(current));
-        current = {};
-        return true;
-    };
-
-    size_t lineStart = 0;
-    while (lineStart <= text.size()) {
-        size_t lineEnd = text.find('\n', lineStart);
-        if (lineEnd == std::string::npos)
-            lineEnd = text.size();
-        std::string line = text.substr(lineStart, lineEnd - lineStart);
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        lineStart = lineEnd + 1;
-
-        if (line.empty() || line[0] == ';')
-            continue;
-        if (line[0] == '>') {
-            if (!flush())
-                return WireError::BadRequest;
-            inRecord = true;
-            continue;
-        }
-        if (!inRecord)
-            return WireError::BadRequest; // data before any header
-        for (char c : line) {
-            if (c == ' ' || c == '\t')
-                continue;
-            const char folded =
-                (c >= 'a' && c <= 'z')
-                    ? static_cast<char>(c - 'a' + 'A')
-                    : c;
-            if (!alphabet.contains(folded))
-                return WireError::BadRequest;
-            current.push_back(alphabet.encode(folded));
-            if (current.size() > kMaxWireSequence)
-                return WireError::Oversized;
-        }
-    }
-    if (!flush())
+    bio::FastaLimits limits;
+    limits.maxSequenceLength = kMaxWireSequence;
+    auto records = bio::tryReadFasta(text, alphabet, limits);
+    if (!records.ok())
+        return wireErrorForCode(records.status().code());
+    if (records.value().empty())
         return WireError::BadRequest;
-    if (out.empty())
-        return WireError::BadRequest;
+    out.reserve(records.value().size());
+    for (bio::FastaRecord &record : records.value())
+        out.push_back(std::move(record.sequence));
     return WireError::None;
 }
 
@@ -356,8 +301,41 @@ statusName(Status status)
     case Status::BadRequest: return "bad-request";
     case Status::ShuttingDown: return "shutting-down";
     case Status::DeadlineExceeded: return "deadline-exceeded";
+    case Status::ResourceExhausted: return "resource-exhausted";
     }
     return "unknown";
+}
+
+Status
+statusForCode(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok: return Status::Ok;
+    case ErrorCode::InvalidArgument: return Status::BadRequest;
+    case ErrorCode::ParseError: return Status::BadRequest;
+    case ErrorCode::Unsupported: return Status::BadRequest;
+    case ErrorCode::NotFound: return Status::BadRequest;
+    case ErrorCode::Oversized: return Status::Oversized;
+    case ErrorCode::ResourceExhausted: return Status::ResourceExhausted;
+    }
+    return Status::BadRequest;
+}
+
+WireError
+wireErrorForCode(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok: return WireError::None;
+    case ErrorCode::InvalidArgument: return WireError::BadRequest;
+    case ErrorCode::ParseError: return WireError::BadRequest;
+    case ErrorCode::Unsupported: return WireError::BadRequest;
+    case ErrorCode::NotFound: return WireError::BadRequest;
+    case ErrorCode::Oversized: return WireError::Oversized;
+    // Compute budgets are checked after decode, but the mapping is
+    // total so call sites never need a judgment call.
+    case ErrorCode::ResourceExhausted: return WireError::Oversized;
+    }
+    return WireError::BadRequest;
 }
 
 const char *
@@ -607,6 +585,7 @@ encodeResponse(const Response &response)
         w.u64(q.rejectedQueueFull);
         w.u64(q.rejectedOversized);
         w.u64(q.rejectedBadRequest);
+        w.u64(q.rejectedResource);
         w.u64(q.rejectedShutdown);
         w.u64(q.shedDeadline);
         w.u64(q.inflight);
@@ -638,7 +617,7 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     uint8_t status, tag;
     if (!r.u8(status) || !r.u8(tag))
         return WireError::Truncated;
-    if (status > static_cast<uint8_t>(Status::DeadlineExceeded))
+    if (status > static_cast<uint8_t>(Status::ResourceExhausted))
         return WireError::BadRequest;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
         tag > static_cast<uint8_t>(RequestTag::Ping))
@@ -689,9 +668,10 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
         QueueStatsWire q;
         if (!r.u64(q.enqueued) || !r.u64(q.completed) ||
             !r.u64(q.rejectedQueueFull) || !r.u64(q.rejectedOversized) ||
-            !r.u64(q.rejectedBadRequest) || !r.u64(q.rejectedShutdown) ||
-            !r.u64(q.shedDeadline) || !r.u64(q.inflight) ||
-            !r.u64(q.queued) || !r.u64(q.highWater))
+            !r.u64(q.rejectedBadRequest) || !r.u64(q.rejectedResource) ||
+            !r.u64(q.rejectedShutdown) || !r.u64(q.shedDeadline) ||
+            !r.u64(q.inflight) || !r.u64(q.queued) ||
+            !r.u64(q.highWater))
             return WireError::Truncated;
         uint32_t n;
         if (!r.u32(n))

@@ -33,6 +33,7 @@
 #include "rl/apps/dtw.h"
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
+#include "rl/util/status.h"
 
 namespace racelogic::serve {
 
@@ -78,10 +79,32 @@ enum class Status : uint8_t {
     BadRequest = 3,   ///< undecodable or invalid problem
     ShuttingDown = 4, ///< daemon is draining; resubmit elsewhere
     DeadlineExceeded = 5, ///< the request's own deadline expired first
+    ResourceExhausted = 6, ///< compute budget (product states) exceeded
 };
 
 /** Human-readable Status name. */
 const char *statusName(Status status);
+
+/**
+ * @name Library-to-wire error mapping (the one source of truth)
+ *
+ * Every library ErrorCode maps to exactly one wire Status and one
+ * WireError -- mechanically, with no per-call-site judgment, so the
+ * serve layer can return whatever rl::Status the library's own
+ * validation produced and the verdict a client sees is deterministic.
+ * Parse/admission caps (ErrorCode::Oversized) surface as Oversized;
+ * compute budgets (ErrorCode::ResourceExhausted) as
+ * ResourceExhausted; every other input fault as BadRequest.  The
+ * anti-drift suite asserts the mapping is total.
+ * @{ */
+
+/** The wire response Status one library ErrorCode maps to. */
+Status statusForCode(ErrorCode code);
+
+/** The decode-layer WireError one library ErrorCode maps to. */
+WireError wireErrorForCode(ErrorCode code);
+
+/** @} */
 
 /** Request kind tags on the wire. */
 enum class RequestTag : uint8_t {
@@ -154,6 +177,7 @@ struct QueueStatsWire {
     uint64_t rejectedQueueFull = 0;
     uint64_t rejectedOversized = 0;
     uint64_t rejectedBadRequest = 0;
+    uint64_t rejectedResource = 0; ///< compute-budget rejections
     uint64_t rejectedShutdown = 0;
     uint64_t shedDeadline = 0; ///< queued requests shed at drain time
     uint64_t inflight = 0;

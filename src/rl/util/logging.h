@@ -1,15 +1,24 @@
 /**
  * @file
- * Status and error reporting in the gem5 idiom.
+ * Unconditional error reporting in the gem5 idiom.
  *
- * Two error levels are distinguished deliberately:
+ * The error spine has three tiers; this header holds the two that
+ * stop the process, rl/util/status.h the one that does not:
  *
- *  - panic():  an internal invariant of the library itself was violated
- *              (a bug in this code).  Aborts so a debugger or core dump
- *              can capture the state.
- *  - fatal():  the caller asked for something impossible (bad
- *              configuration, invalid argument).  Exits cleanly with a
- *              nonzero status.
+ *  - panic():      an internal invariant of the library itself was
+ *                  violated (a bug in this code).  Aborts so a
+ *                  debugger or core dump can capture the state.
+ *  - fatal():      the caller asked for something impossible at the
+ *                  command line or in a config.  Exits cleanly with a
+ *                  nonzero status.  Input-facing library paths must
+ *                  NOT call this directly: they return rl::Status /
+ *                  rl::Expected<T>, and the legacy fatal entry points
+ *                  are thin valueOrFatal()/orFatal() wrappers kept
+ *                  for CLI tools and examples (docs/errors.md).
+ *  - rl::Status:   every failure an *input* can trigger -- parse
+ *                  errors, invalid matrices/graphs, resource budgets
+ *                  -- is returned, not raised, so a serving daemon
+ *                  bounces the one bad request and keeps running.
  *
  * warn() / inform() print advisory messages and never stop execution.
  */

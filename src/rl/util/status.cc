@@ -1,0 +1,35 @@
+#include "rl/util/status.h"
+
+namespace racelogic {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok:
+        return "ok";
+    case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+    case ErrorCode::ParseError:
+        return "parse-error";
+    case ErrorCode::Unsupported:
+        return "unsupported";
+    case ErrorCode::NotFound:
+        return "not-found";
+    case ErrorCode::Oversized:
+        return "oversized";
+    case ErrorCode::ResourceExhausted:
+        return "resource-exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace racelogic

@@ -297,4 +297,21 @@ TEST(ApiGraphAlign, SystolicBackendRefusesGraphs)
                 ::testing::KilledBySignal(SIGABRT), "systolic");
 }
 
+TEST(ApiGraphAlign, SystolicBackendRefusesGraphsTyped)
+{
+    // trySolve() must turn the same invariant into a recoverable
+    // Unsupported verdict before the dispatch assert can fire.
+    auto graph = demoGraph(4, 3);
+    EngineConfig cfg;
+    cfg.backend = BackendKind::Systolic;
+    RaceEngine engine(cfg);
+    auto result = engine.trySolve(RaceProblem::graphAlign(
+        ScoreMatrix::dnaShortestPath(),
+        Sequence(Alphabet::dna(), "ACGT"), graph));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(result.status().message().find("systolic"),
+              std::string::npos);
+}
+
 } // namespace

@@ -60,6 +60,24 @@ TEST(AlphabetDeath, DuplicateLetters)
                 "duplicate");
 }
 
+TEST(Alphabet, TryMakeRejectsDuplicateLettersTyped)
+{
+    auto alphabet = Alphabet::tryMake("AAB");
+    ASSERT_FALSE(alphabet.ok());
+    EXPECT_EQ(alphabet.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(alphabet.status().message().find("duplicate"),
+              std::string::npos);
+}
+
+TEST(Sequence, TryEncodeRejectsForeignLettersTyped)
+{
+    auto seq = Sequence::tryEncode(Alphabet::dna(), "ACGU");
+    ASSERT_FALSE(seq.ok());
+    EXPECT_EQ(seq.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(seq.status().message().find("not in alphabet"),
+              std::string::npos);
+}
+
 // ----------------------------------------------------------- sequence
 
 TEST(Sequence, FromString)

@@ -129,37 +129,62 @@ TEST(Gfa, ToleratesCrlfLowercaseAndComments)
     EXPECT_EQ(graph.outLinks(0), std::vector<SegmentId>{1});
 }
 
-TEST(GfaDeath, RejectsReverseStrandLinks)
+TEST(Gfa, RejectsReverseStrandLinksTyped)
 {
     std::istringstream in("S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t-\t0M\n");
-    EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
-                ::testing::ExitedWithCode(1), "reverse-strand");
+    auto graph = pangraph::tryReadGfa(in, Alphabet::dna());
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(graph.status().message().find("reverse-strand"),
+              std::string::npos);
 }
 
-TEST(GfaDeath, RejectsCyclicGraph)
+TEST(Gfa, RejectsCyclicGraphTyped)
 {
     std::istringstream in(
         "S\ta\tAC\nS\tb\tGT\n"
         "L\ta\t+\tb\t+\t0M\nL\tb\t+\ta\t+\t0M\n");
-    EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
-                ::testing::ExitedWithCode(1), "cycle");
+    auto graph = pangraph::tryReadGfa(in, Alphabet::dna());
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(graph.status().message().find("cycle"),
+              std::string::npos);
 }
 
-TEST(GfaDeath, RejectsUndeclaredSegmentAndMissingSequence)
+TEST(Gfa, RejectsUndeclaredSegmentAndMissingSequenceTyped)
 {
     std::istringstream missing("S\ta\tAC\nL\ta\t+\tzz\t+\t0M\n");
-    EXPECT_EXIT(pangraph::readGfa(missing, Alphabet::dna()),
-                ::testing::ExitedWithCode(1), "undeclared");
+    auto noSeg = pangraph::tryReadGfa(missing, Alphabet::dna());
+    ASSERT_FALSE(noSeg.ok());
+    EXPECT_EQ(noSeg.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(noSeg.status().message().find("undeclared"),
+              std::string::npos);
+
     std::istringstream star("S\ta\t*\n");
-    EXPECT_EXIT(pangraph::readGfa(star, Alphabet::dna()),
-                ::testing::ExitedWithCode(1), "no sequence");
+    auto noSeq = pangraph::tryReadGfa(star, Alphabet::dna());
+    ASSERT_FALSE(noSeq.ok());
+    EXPECT_EQ(noSeq.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(noSeq.status().message().find("no sequence"),
+              std::string::npos);
 }
 
-TEST(GfaDeath, RejectsNonBluntOverlap)
+TEST(Gfa, RejectsNonBluntOverlapTyped)
 {
     std::istringstream in("S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t+\t3M\n");
+    auto graph = pangraph::tryReadGfa(in, Alphabet::dna());
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(graph.status().message().find("blunt"),
+              std::string::npos);
+}
+
+TEST(GfaDeath, FatalWrapperExitsWithDiagnostic)
+{
+    // readGfa() stays a valueOrFatal() shim over tryReadGfa() for
+    // CLI tools; one death test pins the wrapper's contract.
+    std::istringstream in("S\ta\tAC\nS\tb\tGT\nL\ta\t+\tb\t-\t0M\n");
     EXPECT_EXIT(pangraph::readGfa(in, Alphabet::dna()),
-                ::testing::ExitedWithCode(1), "blunt");
+                ::testing::ExitedWithCode(1), "reverse-strand");
 }
 
 TEST(Gfa, RoundTripThroughWriter)
@@ -342,12 +367,16 @@ TEST(GraphAlign, SimilarityMatrixOnBalancedGraph)
     }
 }
 
-TEST(GraphAlignDeath, SimilarityNeedsRankBalance)
+TEST(GraphAlign, SimilarityNeedsRankBalanceTyped)
 {
     // The sample graph's insertion bubble unbalances walk lengths.
     auto graph = sampleGraph();
-    EXPECT_EXIT(GraphAligner(graph, ScoreMatrix::dnaLongestPath()),
-                ::testing::ExitedWithCode(1), "rank-balanced");
+    auto aligner =
+        GraphAligner::tryMake(graph, ScoreMatrix::dnaLongestPath());
+    ASSERT_FALSE(aligner.ok());
+    EXPECT_EQ(aligner.status().code(), ErrorCode::Unsupported);
+    EXPECT_NE(aligner.status().message().find("rank-balanced"),
+              std::string::npos);
 }
 
 TEST(GraphAlign, HorizonAbortMatchesFullRaceVerdict)
@@ -375,49 +404,70 @@ TEST(GraphAlign, HorizonAbortMatchesFullRaceVerdict)
     }
 }
 
-TEST(GraphAlignDeath, RejectsUnraceableWeightsAtPlanTime)
+TEST(GraphAlign, RejectsUnraceableWeightsAtPlanTimeTyped)
 {
-    // Bad matrices must fail in the GraphAligner constructor with a
-    // diagnostic, not deep inside the wavefront kernel.
+    // Bad matrices must fail in the GraphAligner factory with a
+    // typed diagnostic, not deep inside the wavefront kernel.
     auto graph = sampleGraph();
     ScoreMatrix infGap = ScoreMatrix::dnaShortestPath();
     infGap.setGap(Alphabet::dna().encode('A'), bio::kScoreInfinity);
-    EXPECT_EXIT(GraphAligner(graph, infGap),
-                ::testing::ExitedWithCode(1), "finite indel");
+    auto inf = GraphAligner::tryMake(graph, infGap);
+    ASSERT_FALSE(inf.ok());
+    EXPECT_EQ(inf.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(inf.status().message().find("infinite"),
+              std::string::npos);
 
     ScoreMatrix huge = ScoreMatrix::uniform(
         Alphabet::dna(), bio::ScoreKind::Cost,
         core::kMaxWavefrontWeight + 1);
-    EXPECT_EXIT(GraphAligner(graph, huge),
-                ::testing::ExitedWithCode(1), "calendar cap");
+    auto overCap = GraphAligner::tryMake(graph, huge);
+    ASSERT_FALSE(overCap.ok());
+    EXPECT_EQ(overCap.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(overCap.status().message().find("race-ready range"),
+              std::string::npos);
 }
 
-TEST(GraphAlignDeath, VariationGraphRejectsBadSegments)
+TEST(GraphAlign, VariationGraphRejectsBadSegmentsTyped)
 {
     VariationGraph graph{Alphabet::dna()};
     graph.addSegment("a", dna("AC"));
-    EXPECT_EXIT(graph.addSegment("a", dna("GT")),
-                ::testing::ExitedWithCode(1), "duplicate");
-    EXPECT_EXIT(graph.addSegment("b", dna("")),
-                ::testing::ExitedWithCode(1), "empty");
+    auto dup = graph.tryAddSegment("a", dna("GT"));
+    ASSERT_FALSE(dup.ok());
+    EXPECT_EQ(dup.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(dup.status().message().find("duplicate"),
+              std::string::npos);
+    auto empty = graph.tryAddSegment("b", dna(""));
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(empty.status().message().find("empty"),
+              std::string::npos);
+    // A rejected segment leaves the graph untouched.
+    EXPECT_EQ(graph.segmentCount(), 1u);
 }
 
-TEST(GraphAlignDeath, CompileGraphValidatesWeightsForDirectCallers)
+TEST(GraphAlign, CompileGraphValidatesWeightsForDirectCallersTyped)
 {
-    // compileGraph() is public; its own plan-time validation must
+    // tryCompileGraph() is public; its own plan-time validation must
     // catch matrices GraphAligner would reject, so a direct caller
-    // gets a diagnostic instead of the fused kernel sizing its ring
-    // from kScoreInfinity.
+    // gets a typed diagnostic instead of the fused kernel sizing its
+    // ring from kScoreInfinity.
     auto graph = sampleGraph();
     ScoreMatrix infGap = ScoreMatrix::dnaShortestPath();
     infGap.setGap(Alphabet::dna().encode('A'), bio::kScoreInfinity);
-    EXPECT_EXIT(pangraph::compileGraph(*graph, infGap),
-                ::testing::ExitedWithCode(1), "finite indel");
+    auto inf = pangraph::tryCompileGraph(*graph, infGap);
+    ASSERT_FALSE(inf.ok());
+    EXPECT_EQ(inf.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(inf.status().message().find("infinite"),
+              std::string::npos);
+
     ScoreMatrix huge = ScoreMatrix::uniform(
         Alphabet::dna(), bio::ScoreKind::Cost,
         core::kMaxWavefrontWeight + 1);
-    EXPECT_EXIT(pangraph::compileGraph(*graph, huge),
-                ::testing::ExitedWithCode(1), "calendar cap");
+    auto overCap = pangraph::tryCompileGraph(*graph, huge);
+    ASSERT_FALSE(overCap.ok());
+    EXPECT_EQ(overCap.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(overCap.status().message().find("race-ready range"),
+              std::string::npos);
 }
 
 TEST(GraphAlignDeath, RejectsMatrixMismatchedWithCompiledView)

@@ -43,6 +43,7 @@ namespace {
 
 using namespace racelogic;
 using namespace racelogic::serve;
+using Status = racelogic::serve::Status; // not rl::Status (library errors)
 
 bio::ScoreMatrix
 fig2b()

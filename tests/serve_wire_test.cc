@@ -18,6 +18,7 @@ namespace {
 
 using namespace racelogic;
 using namespace racelogic::serve;
+using Status = racelogic::serve::Status; // not rl::Status (library errors)
 
 const bio::Alphabet &
 dna()

@@ -1,0 +1,77 @@
+/**
+ * make_fuzz_corpus: deterministic wire-payload seed generator.
+ *
+ * Writes one file per seed into the directory given as argv[1]
+ * (default fuzz/corpus/wire).  Seeds are the *payloads* fed to
+ * serve::decodeRequest() -- no frame header -- covering every
+ * request tag plus truncations and a flipped-tag mutant, so a
+ * coverage-guided fuzzer starts from deep inside the decoder instead
+ * of rediscovering the format byte by byte.  Run once after a wire
+ * format change and commit the output.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rl/serve/wire.h"
+
+using namespace racelogic;
+
+namespace {
+
+void
+writeSeed(const std::string &dir, const std::string &name,
+          const std::vector<uint8_t> &payload)
+{
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    std::printf("%s (%zu bytes)\n", path.c_str(), payload.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "fuzz/corpus/wire";
+
+    const bio::ScoreMatrix costs = bio::ScoreMatrix::dnaShortestPath();
+
+    writeSeed(dir, "pairwise",
+              serve::encodePairwise(1, costs, "ACGT", "AGGT"));
+    writeSeed(dir, "affine",
+              serve::encodeAffine(2, costs, 2, 1, "ACGTAC", "ACTAC"));
+    writeSeed(dir, "screen",
+              serve::encodeScreen(3, costs, 4, "ACGT", "ACCT"));
+    writeSeed(dir, "dtw",
+              serve::encodeDtw(4, {0, 3, 5, 3, 0}, {0, 2, 5, 2}));
+    writeSeed(dir, "graph_align",
+              serve::encodeGraphAlign(5, "ACTGACTTGATT", 6));
+    writeSeed(dir, "map_reads",
+              serve::encodeMapReads(6, ">r1\nACTGA\n>r2\nGATT\n", 8));
+    writeSeed(dir, "stats", serve::encodeStatsRequest(7));
+    writeSeed(dir, "ping", serve::encodePing(8));
+    writeSeed(dir, "deadline",
+              serve::encodePairwise(9, costs, "ACGT", "AGGT", 250));
+
+    // Structured invalids: the decoder's typed-rejection paths.
+    auto truncated = serve::encodePairwise(10, costs, "ACGT", "AGGT");
+    truncated.resize(truncated.size() / 2);
+    writeSeed(dir, "truncated_pairwise", truncated);
+
+    auto flipped = serve::encodeDtw(11, {1, 2, 3}, {3, 2, 1});
+    flipped[4] = 0x7f; // unknown request tag
+    writeSeed(dir, "unknown_tag", flipped);
+
+    writeSeed(dir, "header_only", serve::encodePing(12));
+    writeSeed(dir, "empty", {});
+    return 0;
+}

@@ -190,7 +190,7 @@ main(int argc, char **argv)
     std::unordered_map<uint32_t, int> attempts;
     std::vector<double> latenciesUs;
     latenciesUs.reserve(requests);
-    uint64_t okCount = 0, rejectedByStatus[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t okCount = 0, rejectedByStatus[7] = {0, 0, 0, 0, 0, 0, 0};
     uint64_t timeouts = 0, retriesUsed = 0;
 
     const Clock::time_point begin = Clock::now();
@@ -285,7 +285,8 @@ main(int argc, char **argv)
             latenciesUs.back());
     std::printf("raceload: ok=%llu rejected=%llu (%.2f%%)"
                 " [queue-full=%llu oversized=%llu bad=%llu shutdown=%llu"
-                " deadline=%llu timeout=%llu retries=%llu]\n",
+                " deadline=%llu resource=%llu timeout=%llu"
+                " retries=%llu]\n",
                 static_cast<unsigned long long>(okCount),
                 static_cast<unsigned long long>(rejected),
                 100.0 * static_cast<double>(rejected) /
@@ -295,6 +296,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rejectedByStatus[3]),
                 static_cast<unsigned long long>(rejectedByStatus[4]),
                 static_cast<unsigned long long>(rejectedByStatus[5]),
+                static_cast<unsigned long long>(rejectedByStatus[6]),
                 static_cast<unsigned long long>(timeouts),
                 static_cast<unsigned long long>(retriesUsed));
 
@@ -313,7 +315,8 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(q.completed),
                         static_cast<unsigned long long>(
                             q.rejectedQueueFull + q.rejectedOversized +
-                            q.rejectedBadRequest + q.rejectedShutdown),
+                            q.rejectedBadRequest + q.rejectedResource +
+                            q.rejectedShutdown),
                         static_cast<unsigned long long>(q.shedDeadline),
                         static_cast<unsigned long long>(q.highWater));
             size_t shard = 0;

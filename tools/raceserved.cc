@@ -41,8 +41,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--unix PATH] [--tcp PORT] [--gfa FILE]\n"
         "          [--alphabet LETTERS] [--workers N] [--depth N]\n"
-        "          [--threshold T] [--idle-timeout-ms MS]\n"
-        "          [--io-timeout-ms MS] [--quiet]\n"
+        "          [--threshold T] [--max-product-states N]\n"
+        "          [--idle-timeout-ms MS] [--io-timeout-ms MS]\n"
+        "          [--quiet]\n"
         "\n"
         "  --unix PATH       listen on a Unix-domain socket\n"
         "  --tcp PORT        listen on loopback TCP (0 = ephemeral;\n"
@@ -53,6 +54,11 @@ usage(const char *argv0)
         "  --depth N         admission bound on outstanding requests\n"
         "                    (default 64)\n"
         "  --threshold T     engine-wide Section 6 screen threshold\n"
+        "  --max-product-states N\n"
+        "                    reject GraphAlign/MapReads whose read x\n"
+        "                    graph product exceeds N states with a\n"
+        "                    typed resource-exhausted reply\n"
+        "                    (default 0 = kernel id-space bound only)\n"
         "  --idle-timeout-ms MS\n"
         "                    hang up on connections idle between\n"
         "                    requests for MS ms (default 0 = never)\n"
@@ -96,6 +102,9 @@ main(int argc, char **argv)
             cfg.queueDepth = static_cast<size_t>(std::atol(value()));
         } else if (arg == "--threshold") {
             cfg.engine.threshold = std::atoll(value());
+        } else if (arg == "--max-product-states") {
+            cfg.engine.maxProductStates =
+                static_cast<uint64_t>(std::atoll(value()));
         } else if (arg == "--idle-timeout-ms") {
             cfg.idleTimeoutMs = std::atoll(value());
         } else if (arg == "--io-timeout-ms") {
@@ -157,13 +166,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "raceserved: enqueued=%llu completed=%llu "
                      "rejected=%llu (full=%llu oversized=%llu bad=%llu "
-                     "shutdown=%llu) shed-deadline=%llu high-water=%llu\n",
+                     "resource=%llu shutdown=%llu) shed-deadline=%llu "
+                     "high-water=%llu\n",
                      static_cast<unsigned long long>(q.enqueued),
                      static_cast<unsigned long long>(q.completed),
                      static_cast<unsigned long long>(q.rejected()),
                      static_cast<unsigned long long>(q.rejectedQueueFull),
                      static_cast<unsigned long long>(q.rejectedOversized),
                      static_cast<unsigned long long>(q.rejectedBadRequest),
+                     static_cast<unsigned long long>(q.rejectedResource),
                      static_cast<unsigned long long>(q.rejectedShutdown),
                      static_cast<unsigned long long>(q.shedDeadline),
                      static_cast<unsigned long long>(q.highWater));
