@@ -19,6 +19,7 @@
 
 #include "rl/serve/client.h"
 #include "rl/serve/server.h"
+#include "rl/telemetry/registry.h"
 #include "rl/util/random.h"
 
 using namespace racelogic;
@@ -50,7 +51,7 @@ benchSocketPath()
  * never-empty queue and a warm shard-local plan.
  */
 void
-BM_ServeSaturation(benchmark::State &state)
+serveSaturation(benchmark::State &state, bool telemetry)
 {
     const size_t n = size_t(state.range(0));
     const size_t window = 16;
@@ -60,6 +61,7 @@ BM_ServeSaturation(benchmark::State &state)
     cfg.workers = 2;
     cfg.queueDepth = 2 * window;
     cfg.engine.withEstimates = false;
+    cfg.telemetry = telemetry;
     serve::AlignServer server(std::move(cfg));
     if (!server.start()) {
         state.SkipWithError("failed to bind bench socket");
@@ -108,7 +110,26 @@ BM_ServeSaturation(benchmark::State &state)
 
     server.stop();
 }
+
+void
+BM_ServeSaturation(benchmark::State &state)
+{
+    serveSaturation(state, true);
+}
 BENCHMARK(BM_ServeSaturation)->Arg(64)->UseRealTime();
+
+/**
+ * The same saturation loop with telemetry disabled (no metric
+ * registration, no trace recording): the regression-gated pair.
+ * CI's bench_compare --pair check holds BM_ServeSaturation within 5%
+ * of this -- the observability tax must stay in the noise.
+ */
+void
+BM_ServeSaturationNoTelemetry(benchmark::State &state)
+{
+    serveSaturation(state, false);
+}
+BENCHMARK(BM_ServeSaturationNoTelemetry)->Arg(64)->UseRealTime();
 
 /**
  * Protocol floor: a Ping round trip is pure wire + socket overhead
@@ -160,5 +181,37 @@ BM_ServeQueueCycle(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * 32);
 }
 BENCHMARK(BM_ServeQueueCycle);
+
+/**
+ * The raw recording hot path: what one traced request pays in metric
+ * arithmetic alone -- a counter add plus the nine histogram records
+ * (eight stages + end-to-end) the serve loop performs, on a
+ * contended-lane-free registry.  Nanoseconds per iteration here is
+ * the theoretical floor of the telemetry tax measured end-to-end by
+ * the BM_ServeSaturation pair.
+ */
+void
+BM_MetricsOverhead(benchmark::State &state)
+{
+    telemetry::Registry registry;
+    telemetry::Counter *requests =
+        registry.addCounter("bench_requests_total").valueOrFatal();
+    telemetry::Histogram *stages[9];
+    for (int i = 0; i < 9; ++i)
+        stages[i] =
+            registry.addHistogram("bench_stage_" + std::to_string(i))
+                .valueOrFatal();
+
+    uint64_t fake = 1;
+    for (auto _ : state) {
+        requests->add(1, 1);
+        for (int i = 0; i < 9; ++i)
+            stages[i]->record(fake + uint64_t(i), 1);
+        fake = fake * 2862933555777941757ull + 3037000493ull;
+        fake &= 0xFFFF; // keep values in realistic microsecond range
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MetricsOverhead);
 
 } // namespace

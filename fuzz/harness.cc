@@ -160,6 +160,7 @@ wireInput(const uint8_t *data, size_t size)
         break;
     case serve::RequestTag::Stats:
     case serve::RequestTag::Ping:
+    case serve::RequestTag::Metrics:
         return 0;
     }
 

@@ -350,7 +350,7 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
         a, b,
         bounded ? static_cast<sim::Tick>(threshold)
                 : sim::kTickInfinity,
-        scratch, problem.cancel);
+        scratch, problem.cancel, problem.counters);
     rl_assert(bounded || raced.cancelled || raced.completed,
               "sink never fired; gap weights should guarantee a path");
     result.completed = raced.completed;
@@ -669,7 +669,8 @@ RaceEngine::raceGraphBehavioral(
     // must not be built twice).
     pangraph::GraphRaceResult raced =
         product ? aligner.align(*product, horizon)
-                : aligner.align(*problem.a, horizon, problem.cancel);
+                : aligner.align(*problem.a, horizon, problem.cancel,
+                                problem.counters);
 
     RaceResult result;
     result.kind = ProblemKind::GraphAlign;
@@ -889,8 +890,21 @@ RaceEngine::raceBatchGateLevel(
         // alignLanes is const and simulates on a private CompiledSim
         // over the plan's shared compile, so chunks race on the pool
         // without touching the fabric's serial-path simulator.
-        core::LaneBatchResult raced =
-            plan.fabric->alignLanes(lanes, unbounded ? 0 : budget);
+        // Profiling counters describe the one lock-step sweep the
+        // whole chunk shares (like the chunk's Activity), so each
+        // requesting problem gets the chunk-level merge.
+        core::KernelCounters chunkCounters;
+        bool wantCounters = false;
+        for (size_t idx : chunk.indices)
+            wantCounters = wantCounters ||
+                           problems[idx].counters != nullptr;
+        core::LaneBatchResult raced = plan.fabric->alignLanes(
+            lanes, unbounded ? 0 : budget,
+            wantCounters ? &chunkCounters : nullptr);
+        if (wantCounters)
+            for (size_t idx : chunk.indices)
+                if (problems[idx].counters)
+                    problems[idx].counters->merge(chunkCounters);
 
         const double chunkEnergyJ =
             tech::energyFromActivityJ(lib, raced.activity);

@@ -27,6 +27,7 @@
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
 #include "rl/core/cancel.h"
+#include "rl/core/kernel_counters.h"
 #include "rl/graph/dag.h"
 #include "rl/graph/paths.h"
 #include "rl/pangraph/variation_graph.h"
@@ -101,6 +102,16 @@ struct RaceProblem {
      * shape.
      */
     const core::CancelToken *cancel = nullptr;
+
+    /**
+     * Optional kernel profiling sink, filled by the racing kernels
+     * after each sweep (rl/core/kernel_counters.h).  Non-owning: the
+     * caller keeps it alive across the solve, and -- like `cancel` --
+     * it is a run-time property, not part of shapeKey().  A null
+     * pointer costs nothing, and a non-null one cannot change the
+     * raced result (counters are exported only after the drain).
+     */
+    core::KernelCounters *counters = nullptr;
 
     /**
      * Global alignment of (a, b) over `matrix`.  Cost matrices race

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "rl/core/kernel_counters.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::circuit {
@@ -383,8 +384,11 @@ CompiledSim::runUntil(NetId net, bool expected, uint64_t max_cycles)
 
 uint64_t
 CompiledSim::raceLanes(NetId net, uint64_t max_cycles,
-                       std::array<uint64_t, 64> &arrival)
+                       std::array<uint64_t, 64> &arrival,
+                       core::KernelCounters *counters)
 {
+    const uint64_t togglesBefore = stats.netToggles;
+    const uint64_t cycleBefore = currentCycle;
     arrival.fill(kLaneNever);
     uint64_t fired = word(net) & mask;
     for (uint64_t bits = fired; bits;) {
@@ -401,6 +405,20 @@ CompiledSim::raceLanes(NetId net, uint64_t max_cycles,
             arrival[lane] = currentCycle;
             newly &= newly - 1;
         }
+    }
+    // Profiling export, derived from the Activity aggregates the run
+    // tracks anyway: a null `counters` costs nothing and a non-null
+    // one cannot change the simulated values.
+    if (counters) {
+        counters->events += stats.netToggles - togglesBefore;
+        counters->bucketsDrained += currentCycle - cycleBefore;
+        counters->scratchHighWater =
+            std::max(counters->scratchHighWater,
+                     static_cast<uint64_t>(code->netCount()));
+        counters->lanesOccupied +=
+            static_cast<uint64_t>(std::popcount(fired));
+        if (fired != mask)
+            ++counters->horizonAborts;
     }
     return fired;
 }

@@ -56,6 +56,10 @@
 #include "rl/circuit/netlist.h"
 #include "rl/circuit/sim_sync.h"
 
+namespace racelogic::core {
+struct KernelCounters; // rl/core/kernel_counters.h
+}
+
 namespace racelogic::circuit {
 
 /**
@@ -169,10 +173,18 @@ class CompiledSim
      * lane's first-high cycle in `arrival` (kLaneNever where the
      * lane never fired).
      *
+     * `counters` (nullptr = off) accumulates this race's profiling
+     * counts -- net toggles as events, clock edges as buckets, net
+     * words as the scratch footprint, fired lanes, and one horizon
+     * abort when any lane never fired.  It is derived from the
+     * Activity aggregates after the race, so the simulated values
+     * are bit-identical either way.
+     *
      * @return Mask of lanes that fired.
      */
     uint64_t raceLanes(NetId net, uint64_t max_cycles,
-                       std::array<uint64_t, 64> &arrival);
+                       std::array<uint64_t, 64> &arrival,
+                       core::KernelCounters *counters = nullptr);
 
     /** Restore DFF init values, drive inputs low, cycle back to 0.
      *  Activity is preserved (see clearActivity), as in SyncSim. */

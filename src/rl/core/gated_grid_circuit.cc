@@ -126,11 +126,12 @@ GatedRaceGridCircuit::align(const bio::Sequence &a,
 
 LaneBatchResult
 GatedRaceGridCircuit::alignLanes(const std::vector<LanePair> &lanes,
-                                 uint64_t max_cycles) const
+                                 uint64_t max_cycles,
+                                 KernelCounters *counters) const
 {
     if (max_cycles == 0)
         max_cycles = numRows + numCols + 2;
-    return detail::raceFabricLanes(view(), lanes, max_cycles);
+    return detail::raceFabricLanes(view(), lanes, max_cycles, counters);
 }
 
 CircuitRunResult

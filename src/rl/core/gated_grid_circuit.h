@@ -54,7 +54,8 @@ class GatedRaceGridCircuit
 
     /** Race up to 64 pairs lock-step on the bit-parallel lanes. */
     LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
-                               uint64_t max_cycles = 0) const;
+                               uint64_t max_cycles = 0,
+                               KernelCounters *counters = nullptr) const;
 
     /** Replay a race on the interpretive SyncSim reference path. */
     CircuitRunResult alignReference(const bio::Sequence &a,

@@ -227,11 +227,12 @@ GeneralizedGridCircuit::align(const bio::Sequence &a,
 
 LaneBatchResult
 GeneralizedGridCircuit::alignLanes(const std::vector<LanePair> &lanes,
-                                   uint64_t max_cycles) const
+                                   uint64_t max_cycles,
+                                   KernelCounters *counters) const
 {
     if (max_cycles == 0)
         max_cycles = defaultBudget();
-    return detail::raceFabricLanes(view(), lanes, max_cycles);
+    return detail::raceFabricLanes(view(), lanes, max_cycles, counters);
 }
 
 CircuitRunResult

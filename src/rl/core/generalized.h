@@ -128,7 +128,8 @@ class GeneralizedGridCircuit
      * many pool threads against one cached fabric plan.
      */
     LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
-                               uint64_t max_cycles = 0) const;
+                               uint64_t max_cycles = 0,
+                               KernelCounters *counters = nullptr) const;
 
     /** Replay a race on the interpretive SyncSim reference path. */
     CircuitRunResult alignReference(const bio::Sequence &a,

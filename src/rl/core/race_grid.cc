@@ -116,9 +116,11 @@ RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
 RaceGridResult
 RaceGridAligner::align(const bio::Sequence &a, const bio::Sequence &b,
                        sim::Tick horizon, RaceGridScratch &scratch,
-                       const CancelToken *cancel) const
+                       const CancelToken *cancel,
+                       KernelCounters *counters) const
 {
-    return raceEditGrid(a, b, costMatrix, horizon, scratch, cancel);
+    return raceEditGrid(a, b, costMatrix, horizon, scratch, cancel,
+                        counters);
 }
 
 } // namespace racelogic::core

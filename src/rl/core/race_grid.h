@@ -30,6 +30,7 @@ namespace racelogic::core {
 
 class CancelToken;      // rl/core/cancel.h
 struct RaceGridScratch; // rl/core/wavefront.h
+struct KernelCounters;  // rl/core/kernel_counters.h
 
 /** @name Arrival-grid renderers
  *  Shared by RaceGridResult and the api facade (which holds the same
@@ -128,11 +129,14 @@ class RaceGridAligner
      * bucket calendar lives in the caller's RaceGridScratch (one per
      * thread), so repeated aligns stop allocating calendar storage.
      * `cancel` (nullptr = never) aborts the sweep cooperatively at
-     * clock-cycle granularity (see raceEditGrid).
+     * clock-cycle granularity (see raceEditGrid).  `counters`
+     * (nullptr = off) accumulates the kernel's profiling counts
+     * without changing the raced result.
      */
     RaceGridResult align(const bio::Sequence &a, const bio::Sequence &b,
                          sim::Tick horizon, RaceGridScratch &scratch,
-                         const CancelToken *cancel = nullptr) const;
+                         const CancelToken *cancel = nullptr,
+                         KernelCounters *counters = nullptr) const;
 
     const bio::ScoreMatrix &matrix() const { return costMatrix; }
 

@@ -22,7 +22,8 @@ checkFabricPair(const GridFabricView &view, const bio::Sequence &a,
 
 LaneBatchResult
 raceFabricLanes(const GridFabricView &view,
-                const std::vector<LanePair> &lanes, uint64_t max_cycles)
+                const std::vector<LanePair> &lanes, uint64_t max_cycles,
+                KernelCounters *counters)
 {
     rl_assert(!lanes.empty() && lanes.size() <= 64,
               "lane-packed races take 1..64 pairs (got ", lanes.size(),
@@ -45,7 +46,7 @@ raceFabricLanes(const GridFabricView &view,
     sim.setInput(view.go, true);
 
     std::array<uint64_t, 64> arrival;
-    sim.raceLanes(view.sink, max_cycles, arrival);
+    sim.raceLanes(view.sink, max_cycles, arrival, counters);
 
     LaneBatchResult out;
     out.cyclesRun = sim.cycle();
@@ -140,11 +141,12 @@ RaceGridCircuit::align(const bio::Sequence &a, const bio::Sequence &b,
 
 LaneBatchResult
 RaceGridCircuit::alignLanes(const std::vector<LanePair> &lanes,
-                            uint64_t max_cycles) const
+                            uint64_t max_cycles,
+                            KernelCounters *counters) const
 {
     if (max_cycles == 0)
         max_cycles = numRows + numCols + 2;
-    return detail::raceFabricLanes(view(), lanes, max_cycles);
+    return detail::raceFabricLanes(view(), lanes, max_cycles, counters);
 }
 
 CircuitRunResult

@@ -40,6 +40,8 @@
 
 namespace racelogic::core {
 
+struct KernelCounters; // rl/core/kernel_counters.h
+
 /** Outcome of one gate-level race. */
 struct CircuitRunResult {
     /** Alignment score (sink arrival cycle); kScoreInfinity if the
@@ -135,10 +137,16 @@ raceFabricPair(Sim &sim, const GridFabricView &view,
  * Race up to 64 pairs lock-step on a fresh bit-parallel simulator
  * over the fabric's shared compile (thread-safe: the compile is
  * immutable, the per-call sim state is local).
+ *
+ * `counters` (nullptr = off) accumulates the packed run's profiling
+ * counts -- one lock-step sweep shared by every lane (see
+ * CompiledSim::raceLanes); the simulated values are identical either
+ * way.
  */
 LaneBatchResult raceFabricLanes(const GridFabricView &view,
                                 const std::vector<LanePair> &lanes,
-                                uint64_t max_cycles);
+                                uint64_t max_cycles,
+                                KernelCounters *counters = nullptr);
 
 } // namespace detail
 
@@ -177,7 +185,8 @@ class RaceGridCircuit
      * screening may call it from many threads concurrently.
      */
     LaneBatchResult alignLanes(const std::vector<LanePair> &lanes,
-                               uint64_t max_cycles = 0) const;
+                               uint64_t max_cycles = 0,
+                               KernelCounters *counters = nullptr) const;
 
     /**
      * Replay a race on the interpretive SyncSim (the reference /

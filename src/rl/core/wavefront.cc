@@ -112,7 +112,8 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
 RaceGridResult
 raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
              const bio::ScoreMatrix &costs, sim::Tick horizon,
-             RaceGridScratch &scratch, const CancelToken *cancel)
+             RaceGridScratch &scratch, const CancelToken *cancel,
+             KernelCounters *counters)
 {
     rl_assert(a.alphabet() == costs.alphabet() &&
               b.alphabet() == costs.alphabet(),
@@ -202,6 +203,18 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
         },
         cancel);
 
+    // Profiling export: everything below was tracked by the sweep
+    // anyway (or is a container size), so a null `counters` costs
+    // nothing and a non-null one cannot change the result.
+    if (counters) {
+        counters->events += result.events;
+        counters->bucketsDrained += static_cast<uint64_t>(lastSwept) + 1;
+        counters->scratchHighWater =
+            std::max(counters->scratchHighWater,
+                     static_cast<uint64_t>(calendar.arena.size()));
+        counters->lanesOccupied += result.cellsFired;
+    }
+
     const sim::Tick sink = result.arrival.at(rows, cols);
     if (!drained && sink == sim::kTickInfinity) {
         // Cancelled before the sink fired: the same typed-abort shape
@@ -210,6 +223,8 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
         result.cancelled = true;
         result.score = bio::kScoreInfinity;
         result.latencyCycles = lastSwept;
+        if (counters)
+            ++counters->cancels;
         return result;
     }
     if (sink != sim::kTickInfinity) {
@@ -223,6 +238,8 @@ raceEditGrid(const bio::Sequence &a, const bio::Sequence &b,
         result.completed = false;
         result.score = bio::kScoreInfinity;
         result.latencyCycles = horizon;
+        if (counters)
+            ++counters->horizonAborts;
     }
     return result;
 }

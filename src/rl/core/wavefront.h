@@ -48,6 +48,7 @@
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
 #include "rl/core/cancel.h"
+#include "rl/core/kernel_counters.h"
 #include "rl/core/race_grid.h"
 #include "rl/core/race_network.h"
 #include "rl/graph/dag.h"
@@ -251,13 +252,19 @@ RaceGridResult raceEditGrid(const bio::Sequence &a,
  * cancelled = true, score kScoreInfinity, and latencyCycles the last
  * cycle swept -- the same typed-abort shape as a horizon trip, so
  * callers built around Section 6 aborts handle it unchanged.
+ *
+ * `counters` (nullptr = off) accumulates per-race profiling counts
+ * the sweep tracks anyway -- events drained, buckets swept, arena
+ * high-water, cells fired, cancel/horizon aborts.  It is touched only
+ * after the drain, so the raced result is bit-identical either way.
  */
 RaceGridResult raceEditGrid(const bio::Sequence &a,
                             const bio::Sequence &b,
                             const bio::ScoreMatrix &costs,
                             sim::Tick horizon,
                             RaceGridScratch &scratch,
-                            const CancelToken *cancel = nullptr);
+                            const CancelToken *cancel = nullptr,
+                            KernelCounters *counters = nullptr);
 
 } // namespace racelogic::core
 

@@ -1,5 +1,7 @@
 #include "rl/pangraph/graph_align_kernel.h"
 
+#include <algorithm>
+
 #include "rl/graph/dag.h"
 #include "rl/util/logging.h"
 
@@ -17,7 +19,8 @@ GraphRaceResult
 raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
                   const bio::ScoreMatrix &costs, sim::Tick horizon,
                   GraphAlignScratch &scratch,
-                  const core::CancelToken *cancel)
+                  const core::CancelToken *cancel,
+                  core::KernelCounters *counters)
 {
     rl_assert(costs.isCost(), "graph alignment races a Cost-kind matrix");
     rl_assert(read.alphabet() == costs.alphabet(),
@@ -146,6 +149,18 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
         },
         cancel);
 
+    // Profiling export: everything below was tracked by the sweep
+    // anyway (or is a container size), so a null `counters` costs
+    // nothing and a non-null one cannot change the result.
+    if (counters) {
+        counters->events += result.events;
+        counters->bucketsDrained += static_cast<uint64_t>(lastSwept) + 1;
+        counters->scratchHighWater =
+            std::max(counters->scratchHighWater,
+                     static_cast<uint64_t>(calendar.arena.size()));
+        counters->lanesOccupied += result.cellsFired;
+    }
+
     const core::TemporalValue sinkArrival = result.arrival[sink];
     result.completed = sinkArrival.fired();
     if (result.completed) {
@@ -159,6 +174,8 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
         result.racedCost = bio::kScoreInfinity;
         result.score = bio::kScoreInfinity;
         result.latencyCycles = lastSwept;
+        if (counters)
+            ++counters->cancels;
     } else {
         rl_assert(horizon != sim::kTickInfinity,
                   "sink never fired; gap weights should guarantee a "
@@ -166,6 +183,8 @@ raceAlignmentGrid(const CompiledGraph &compiled, const bio::Sequence &read,
         result.racedCost = bio::kScoreInfinity;
         result.score = bio::kScoreInfinity;
         result.latencyCycles = horizon;
+        if (counters)
+            ++counters->horizonAborts;
     }
     return result;
 }

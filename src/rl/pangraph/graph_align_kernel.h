@@ -131,13 +131,19 @@ GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
  * cycle; a cancelled race comes back completed = false with
  * cancelled = true, score kScoreInfinity, and latencyCycles the last
  * cycle swept -- the same typed-abort shape as a horizon trip.
+ *
+ * `counters` (nullptr = off) accumulates the kernel's profiling
+ * counts -- events drained, buckets swept, arena high-water, states
+ * fired, cancel/horizon aborts.  It is touched only after the drain,
+ * so the raced result is bit-identical either way.
  */
 GraphRaceResult raceAlignmentGrid(const CompiledGraph &compiled,
                                   const bio::Sequence &read,
                                   const bio::ScoreMatrix &costs,
                                   sim::Tick horizon,
                                   GraphAlignScratch &scratch,
-                                  const core::CancelToken *cancel = nullptr);
+                                  const core::CancelToken *cancel = nullptr,
+                                  core::KernelCounters *counters = nullptr);
 
 } // namespace racelogic::pangraph
 

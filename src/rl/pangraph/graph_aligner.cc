@@ -89,25 +89,27 @@ GraphAligner::recoverScore(bio::Score racedCost, size_t readLength) const
 
 GraphRaceResult
 GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
-                    const core::CancelToken *cancel) const
+                    const core::CancelToken *cancel,
+                    core::KernelCounters *counters) const
 {
     // One kernel scratch per thread: align() stays const and
     // thread-safe (the scratch is live only within this call), and
     // repeated aligns stop re-allocating the calendar arena.
     static thread_local GraphAlignScratch scratch;
-    return align(read, horizon, scratch, cancel);
+    return align(read, horizon, scratch, cancel, counters);
 }
 
 GraphRaceResult
 GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
                     GraphAlignScratch &scratch,
-                    const core::CancelToken *cancel) const
+                    const core::CancelToken *cancel,
+                    core::KernelCounters *counters) const
 {
     rl_assert(read.alphabet() == source->alphabet(),
               "read and graph use different alphabets");
     GraphRaceResult result = raceAlignmentGrid(compiledGraph, read,
                                                costs(), horizon, scratch,
-                                               cancel);
+                                               cancel, counters);
     if (result.completed)
         result.score = recoverScore(result.racedCost, read.size());
     return result;

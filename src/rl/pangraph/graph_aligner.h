@@ -82,7 +82,8 @@ class GraphAligner
      */
     GraphRaceResult align(const bio::Sequence &read,
                           sim::Tick horizon = sim::kTickInfinity,
-                          const core::CancelToken *cancel = nullptr) const;
+                          const core::CancelToken *cancel = nullptr,
+                          core::KernelCounters *counters = nullptr) const;
 
     /**
      * Scratch-reuse overload for tight read-mapping loops: the fused
@@ -90,11 +91,13 @@ class GraphAligner
      * scratch (one per thread), so repeated aligns stop allocating
      * kernel storage.  `cancel` (nullptr = never) aborts the sweep
      * cooperatively at clock-cycle granularity (see
-     * raceAlignmentGrid).
+     * raceAlignmentGrid).  `counters` (nullptr = off) accumulates the
+     * kernel's profiling counts without changing the raced result.
      */
     GraphRaceResult align(const bio::Sequence &read, sim::Tick horizon,
                           GraphAlignScratch &scratch,
-                          const core::CancelToken *cancel = nullptr) const;
+                          const core::CancelToken *cancel = nullptr,
+                          core::KernelCounters *counters = nullptr) const;
 
     /**
      * Race an already-built product DAG (from buildAlignmentGraph

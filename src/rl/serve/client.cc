@@ -102,6 +102,12 @@ ServeClient::submitPing(uint32_t id)
 }
 
 bool
+ServeClient::submitMetrics(uint32_t id)
+{
+    return submitRaw(encodeMetricsRequest(id));
+}
+
+bool
 ServeClient::submitRaw(const std::vector<uint8_t> &payload)
 {
     return sendBytes(frame(payload));

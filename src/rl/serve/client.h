@@ -101,6 +101,7 @@ class ServeClient
                         bio::Score threshold, uint32_t deadlineMs = 0);
     bool submitStats(uint32_t id);
     bool submitPing(uint32_t id);
+    bool submitMetrics(uint32_t id);
     /** @} */
 
     /** Send a pre-encoded payload (tests use this to send garbage). */

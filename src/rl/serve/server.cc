@@ -56,6 +56,149 @@ AlignServer::AlignServer(ServerConfig config)
     if (cfg.graph)
         rl_assert(cfg.graphMatrix.has_value(),
                   "a preloaded pangenome needs its score matrix");
+    if (cfg.telemetry)
+        registerMetrics();
+}
+
+void
+AlignServer::registerMetrics()
+{
+    // Names are compile-time literals registered exactly once, so a
+    // collision here is a programming error, not a runtime condition.
+    auto counter = [this](const char *name) {
+        return registry.addCounter(name).valueOrFatal();
+    };
+    auto histogram = [this](const char *name) {
+        return registry.addHistogram(name).valueOrFatal();
+    };
+    metrics.requests = counter("rl_serve_requests_total");
+    metrics.solvedOk = counter("rl_serve_solved_ok_total");
+    metrics.rejected = counter("rl_serve_rejected_total");
+    metrics.shed = counter("rl_serve_shed_total");
+    metrics.inlineAnswers = counter("rl_serve_inline_total");
+    metrics.slow = counter("rl_serve_slow_total");
+    metrics.kernelEvents = counter("rl_kernel_events_total");
+    metrics.kernelBuckets = counter("rl_kernel_buckets_drained_total");
+    metrics.kernelLanes = counter("rl_kernel_lanes_occupied_total");
+    metrics.kernelCancels = counter("rl_kernel_cancels_total");
+    metrics.kernelHorizonAborts =
+        counter("rl_kernel_horizon_aborts_total");
+    metrics.scratchHighWater =
+        registry.addGauge("rl_kernel_scratch_high_water").valueOrFatal();
+    metrics.stageRead = histogram("rl_serve_stage_read_us");
+    metrics.stageDecode = histogram("rl_serve_stage_decode_us");
+    metrics.stageAdmit = histogram("rl_serve_stage_admit_us");
+    metrics.stageQueueWait = histogram("rl_serve_stage_queue_wait_us");
+    metrics.stageDispatch = histogram("rl_serve_stage_dispatch_us");
+    metrics.stageSolve = histogram("rl_serve_stage_solve_us");
+    metrics.stageEncode = histogram("rl_serve_stage_encode_us");
+    metrics.stageWrite = histogram("rl_serve_stage_write_us");
+    metrics.request = histogram("rl_serve_request_us");
+}
+
+telemetry::Snapshot
+AlignServer::metricsSnapshot() const
+{
+    telemetry::Snapshot snap = registry.snapshot();
+    auto counter = [&snap](std::string name, uint64_t v) {
+        snap.counters.push_back({std::move(name), v});
+    };
+    auto gauge = [&snap](std::string name, int64_t v) {
+        snap.gauges.push_back({std::move(name), v});
+    };
+
+    // Synthetic series, derived from the exact snapshots the Stats
+    // response carries -- one source of truth, two expositions.
+    const QueueStatsWire q = queue.stats().wire();
+    counter("rl_queue_enqueued_total", q.enqueued);
+    counter("rl_queue_completed_total", q.completed);
+    counter("rl_queue_rejected_queue_full_total", q.rejectedQueueFull);
+    counter("rl_queue_rejected_oversized_total", q.rejectedOversized);
+    counter("rl_queue_rejected_bad_request_total", q.rejectedBadRequest);
+    counter("rl_queue_rejected_resource_total", q.rejectedResource);
+    counter("rl_queue_rejected_shutdown_total", q.rejectedShutdown);
+    counter("rl_queue_shed_deadline_total", q.shedDeadline);
+    gauge("rl_queue_queued", static_cast<int64_t>(q.queued));
+    gauge("rl_queue_inflight", static_cast<int64_t>(q.inflight));
+    gauge("rl_queue_high_water", static_cast<int64_t>(q.highWater));
+
+    uint64_t solves = 0, built = 0, hits = 0, shardHits = 0, locks = 0;
+    const std::vector<ShardStatsWire> perShard = shards.statsSnapshot();
+    for (size_t i = 0; i < perShard.size(); ++i) {
+        const ShardStatsWire &s = perShard[i];
+        const std::string prefix = "rl_shard" + std::to_string(i) + "_";
+        counter(prefix + "solves_total", s.solves);
+        counter(prefix + "plans_built_total", s.plansBuilt);
+        counter(prefix + "plan_cache_hits_total", s.planCacheHits);
+        counter(prefix + "shard_hits_total", s.shardHits);
+        counter(prefix + "build_locks_total", s.buildLocks);
+        solves += s.solves;
+        built += s.plansBuilt;
+        hits += s.planCacheHits;
+        shardHits += s.shardHits;
+        locks += s.buildLocks;
+    }
+    counter("rl_solves_total", solves);
+    counter("rl_plans_built_total", built);
+    counter("rl_plan_cache_hits_total", hits);
+    counter("rl_shard_hits_total", shardHits);
+    counter("rl_build_locks_total", locks);
+    return snap;
+}
+
+void
+AlignServer::recordTrace(telemetry::RequestTrace &trace, size_t lane,
+                         bool raced)
+{
+    trace.finalize();
+    if (raced && metrics.request) {
+        metrics.stageRead->record(trace.readUs(), lane);
+        metrics.stageDecode->record(trace.decodeUs(), lane);
+        metrics.stageAdmit->record(trace.admitUs(), lane);
+        metrics.stageQueueWait->record(trace.queueWaitUs(), lane);
+        metrics.stageDispatch->record(trace.dispatchUs(), lane);
+        metrics.stageSolve->record(trace.solveUs(), lane);
+        metrics.stageEncode->record(trace.encodeUs(), lane);
+        metrics.stageWrite->record(trace.writeUs(), lane);
+        metrics.request->record(trace.totalUs(), lane);
+        if (trace.status == static_cast<uint8_t>(Status::Ok))
+            metrics.solvedOk->add(1, lane);
+    }
+    if (cfg.slowMs > 0 &&
+        trace.totalUs() >= static_cast<uint64_t>(cfg.slowMs) * 1000) {
+        if (metrics.slow)
+            metrics.slow->add(1, lane);
+        rl_warn("serve: slow request id=", trace.id, " tag=",
+                requestTagName(static_cast<RequestTag>(trace.tag)),
+                " status=",
+                statusName(static_cast<Status>(trace.status)),
+                " total_us=", trace.totalUs(),
+                " read_us=", trace.readUs(),
+                " decode_us=", trace.decodeUs(),
+                " admit_us=", trace.admitUs(),
+                " queue_wait_us=", trace.queueWaitUs(),
+                " dispatch_us=", trace.dispatchUs(),
+                " solve_us=", trace.solveUs(),
+                " encode_us=", trace.encodeUs(),
+                " write_us=", trace.writeUs());
+    }
+    if (cfg.traceHook)
+        cfg.traceHook(trace);
+}
+
+void
+AlignServer::drainKernelCounters(const core::KernelCounters &kernel,
+                                 size_t lane)
+{
+    if (!metrics.kernelEvents)
+        return;
+    metrics.kernelEvents->add(kernel.events, lane);
+    metrics.kernelBuckets->add(kernel.bucketsDrained, lane);
+    metrics.kernelLanes->add(kernel.lanesOccupied, lane);
+    metrics.kernelCancels->add(kernel.cancels, lane);
+    metrics.kernelHorizonAborts->add(kernel.horizonAborts, lane);
+    metrics.scratchHighWater->max(
+        static_cast<int64_t>(kernel.scratchHighWater));
 }
 
 AlignServer::~AlignServer()
@@ -206,6 +349,12 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
             return;
         }
 
+        // The trace's clock starts once the header is in hand --
+        // idle time waiting for a peer to *send* something is the
+        // peer's latency, not this request's.
+        telemetry::RequestTrace trace;
+        trace.readStart = telemetry::RequestTrace::Clock::now();
+
         uint32_t length = 0;
         WireError headerError = parseFrameHeader(
             header, sizeof(header), cfg.maxFrameBytes, length);
@@ -215,9 +364,14 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
             // shutdown the peer would block forever on a connection
             // the daemon has silently stopped reading.
             queue.noteRejected(Status::Oversized);
+            if (metrics.rejected)
+                metrics.rejected->add();
+            trace.status = static_cast<uint8_t>(Status::Oversized);
             reply(*conn, errorResponse(0, RequestTag::Ping,
                                        Status::Oversized,
-                                       "frame exceeds maxFrameBytes"));
+                                       "frame exceeds maxFrameBytes"),
+                  &trace);
+            recordTrace(trace, 0, false);
             ::shutdown(conn->fd.get(), SHUT_RDWR);
             return;
         }
@@ -237,10 +391,16 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
             }
         }
         const auto arrival = std::chrono::steady_clock::now();
+        trace.readDone = arrival;
+        if (metrics.requests)
+            metrics.requests->add();
 
         Request request;
         WireError decodeError =
             decodeRequest(payload, graphAlphabet, request);
+        trace.decodeDone = telemetry::RequestTrace::Clock::now();
+        trace.id = request.id;
+        trace.tag = static_cast<uint8_t>(request.tag);
         if (decodeError != WireError::None) {
             // Frame boundaries are intact, so the conversation can
             // continue -- the *request* is bad, not the stream.
@@ -248,40 +408,66 @@ AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
                                 ? Status::Oversized
                                 : Status::BadRequest;
             queue.noteRejected(status);
+            if (metrics.rejected)
+                metrics.rejected->add();
+            trace.status = static_cast<uint8_t>(status);
             reply(*conn, errorResponse(request.id, request.tag, status,
-                                       wireErrorName(decodeError)));
+                                       wireErrorName(decodeError)),
+                  &trace);
+            recordTrace(trace, 0, false);
             continue;
         }
-        handleRequest(conn, std::move(request), arrival);
+        handleRequest(conn, std::move(request), arrival,
+                      std::move(trace));
     }
 }
 
 void
 AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
                            Request request,
-                           std::chrono::steady_clock::time_point arrival)
+                           std::chrono::steady_clock::time_point arrival,
+                           telemetry::RequestTrace trace)
 {
     const uint32_t id = request.id;
     const RequestTag tag = request.tag;
 
-    // Stats and Ping bypass the queue: the metrics endpoint must
-    // answer precisely when the daemon is saturated.
-    if (tag == RequestTag::Ping) {
+    // Stats, Ping, and Metrics bypass the queue: the observability
+    // endpoints must answer precisely when the daemon is saturated.
+    if (tag == RequestTag::Ping || tag == RequestTag::Stats ||
+        tag == RequestTag::Metrics) {
         Response r;
         r.id = id;
         r.tag = tag;
-        reply(*conn, r);
+        if (tag == RequestTag::Stats) {
+            r.queueStats = queue.stats().wire();
+            r.shardStats = shards.statsSnapshot();
+        } else if (tag == RequestTag::Metrics) {
+            r.metrics = metricsSnapshot();
+        }
+        trace.admitDone = telemetry::RequestTrace::Clock::now();
+        if (metrics.inlineAnswers)
+            metrics.inlineAnswers->add();
+        reply(*conn, r, &trace);
+        recordTrace(trace, 0, false);
         return;
     }
-    if (tag == RequestTag::Stats) {
-        Response r;
-        r.id = id;
-        r.tag = tag;
-        r.queueStats = queue.stats().wire();
-        r.shardStats = shards.statsSnapshot();
-        reply(*conn, r);
-        return;
-    }
+
+    // A typed bounce on the connection thread: counted, stamped, and
+    // traced exactly once, so the rejected ledger and the trace hook
+    // agree on every path out of admission.  tryPush keeps its own
+    // ledger, so its verdicts pass note=false.
+    auto bounce = [&](Status status, std::string message,
+                      bool note = true) {
+        if (note)
+            queue.noteRejected(status);
+        if (metrics.rejected)
+            metrics.rejected->add();
+        trace.status = static_cast<uint8_t>(status);
+        trace.admitDone = telemetry::RequestTrace::Clock::now();
+        reply(*conn, errorResponse(id, tag, status, std::move(message)),
+              &trace);
+        recordTrace(trace, 0, false);
+    };
 
     // Build the race problem(s); every wire-level validation already
     // passed, so the remaining admission gate is the library's own
@@ -310,9 +496,7 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         break;
     case RequestTag::GraphAlign:
         if (!cfg.graph) {
-            queue.noteRejected(Status::BadRequest);
-            reply(*conn, errorResponse(id, tag, Status::BadRequest,
-                                       "no pangenome loaded"));
+            bounce(Status::BadRequest, "no pangenome loaded");
             return;
         }
         problems.push_back(api::RaceProblem::graphAlign(
@@ -321,21 +505,15 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         break;
     case RequestTag::MapReads: {
         if (!cfg.graph) {
-            queue.noteRejected(Status::BadRequest);
-            reply(*conn, errorResponse(id, tag, Status::BadRequest,
-                                       "no pangenome loaded"));
+            bounce(Status::BadRequest, "no pangenome loaded");
             return;
         }
         if (request.reads.empty()) {
-            queue.noteRejected(Status::BadRequest);
-            reply(*conn, errorResponse(id, tag, Status::BadRequest,
-                                       "batch carries no reads"));
+            bounce(Status::BadRequest, "batch carries no reads");
             return;
         }
         if (request.reads.size() > cfg.maxBatchReads) {
-            queue.noteRejected(Status::Oversized);
-            reply(*conn, errorResponse(id, tag, Status::Oversized,
-                                       "batch exceeds maxBatchReads"));
+            bounce(Status::Oversized, "batch exceeds maxBatchReads");
             return;
         }
         for (bio::Sequence &read : request.reads)
@@ -346,6 +524,7 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     }
     case RequestTag::Stats:
     case RequestTag::Ping:
+    case RequestTag::Metrics:
         rl_panic("inline tags handled above");
     }
 
@@ -360,10 +539,7 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     for (const api::RaceProblem &problem : problems) {
         racelogic::Status budget = api::checkBudgets(problem, limits);
         if (!budget.ok()) {
-            const Status verdict = statusForCode(budget.code());
-            queue.noteRejected(verdict);
-            reply(*conn,
-                  errorResponse(id, tag, verdict, budget.message()));
+            bounce(statusForCode(budget.code()), budget.message());
             return;
         }
     }
@@ -376,16 +552,30 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
 
     // All of a batch's problems share one shape (same graph, same
     // matrix), so the whole batch runs on one shard as one job.
+    // admitDone is stamped here so queue-wait (admitDone ->
+    // dispatchStart) starts the moment the job is ready to push.
+    trace.admitDone = telemetry::RequestTrace::Clock::now();
     const size_t shard = shards.shardFor(problems.front());
     QueuedJob job;
     job.shard = shard;
     job.deadline = deadline;
-    job.onShed = [this, conn, id, tag] {
+    job.onShed = [this, conn, id, tag, trace]() mutable {
+        // Shed jobs were never inflight, so they stay out of the
+        // raced histograms -- the rl_serve_request_us count must keep
+        // matching the queue's completed ledger.
+        if (metrics.shed)
+            metrics.shed->add();
+        trace.status = static_cast<uint8_t>(Status::DeadlineExceeded);
+        trace.dispatchStart = telemetry::RequestTrace::Clock::now();
         reply(*conn, errorResponse(id, tag, Status::DeadlineExceeded,
-                                   "deadline expired while queued"));
+                                   "deadline expired while queued"),
+              &trace);
+        recordTrace(trace, 0, false);
     };
-    job.run = [this, conn, id, tag, shard, deadline,
+    job.run = [this, conn, id, tag, shard, deadline, trace,
                problems = std::move(problems)]() mutable {
+        trace.dispatchStart = telemetry::RequestTrace::Clock::now();
+
         // A live deadline becomes a cooperative cancel token: the
         // bucket-sweep kernels poll it once per simulated cycle and
         // abort with a typed result instead of finishing a race
@@ -396,34 +586,43 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         core::CancelToken token(deadline);
         const core::CancelToken *cancel = hasDeadline ? &token : nullptr;
 
+        // Kernel profiling rides the same null-is-off convention:
+        // with telemetry disabled no counter pointer is installed and
+        // the kernels never see it.
+        core::KernelCounters kernel;
+        core::KernelCounters *counters =
+            cfg.telemetry ? &kernel : nullptr;
+
         Response r;
         r.id = id;
         r.tag = tag;
+        trace.solveStart = telemetry::RequestTrace::Clock::now();
         // trySolveOn re-validates before any plan build, so even a
         // problem that slipped past admission earns a typed reply
         // here instead of tripping a library fatal on a worker.
+        // Every exit assigns `r` and falls through: the job must
+        // record exactly one raced trace, because markDone() retires
+        // it from the completed ledger no matter how it replied.
         if (tag == RequestTag::MapReads) {
             r.reads.reserve(problems.size());
             for (api::RaceProblem &problem : problems) {
                 problem.cancel = cancel;
+                problem.counters = counters;
                 Expected<api::RaceResult> result =
                     shards.trySolveOn(shard, problem);
                 if (!result.ok()) {
-                    reply(*conn,
-                          errorResponse(id, tag,
-                                        statusForCode(
-                                            result.status().code()),
-                                        result.status().message()));
-                    return;
+                    r = errorResponse(id, tag,
+                                      statusForCode(
+                                          result.status().code()),
+                                      result.status().message());
+                    break;
                 }
                 if (result.value().cancelled) {
                     // The deadline covers the whole batch; once it
                     // trips there is no point racing the rest.
-                    reply(*conn,
-                          errorResponse(id, tag,
-                                        Status::DeadlineExceeded,
-                                        "deadline expired mid-batch"));
-                    return;
+                    r = errorResponse(id, tag, Status::DeadlineExceeded,
+                                      "deadline expired mid-batch");
+                    break;
                 }
                 ReadReply rr;
                 rr.score = result.value().score;
@@ -433,37 +632,35 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
             }
         } else {
             problems.front().cancel = cancel;
+            problems.front().counters = counters;
             Expected<api::RaceResult> result =
                 shards.trySolveOn(shard, problems.front());
             if (!result.ok()) {
-                reply(*conn,
-                      errorResponse(id, tag,
-                                    statusForCode(
-                                        result.status().code()),
-                                    result.status().message()));
-                return;
+                r = errorResponse(id, tag,
+                                  statusForCode(result.status().code()),
+                                  result.status().message());
+            } else if (result.value().cancelled) {
+                r = errorResponse(id, tag, Status::DeadlineExceeded,
+                                  "deadline expired mid-race");
+            } else {
+                r.solve = toSolveReply(result.value());
             }
-            if (result.value().cancelled) {
-                reply(*conn,
-                      errorResponse(id, tag, Status::DeadlineExceeded,
-                                    "deadline expired mid-race"));
-                return;
-            }
-            r.solve = toSolveReply(result.value());
         }
-        reply(*conn, r);
+        trace.solveDone = telemetry::RequestTrace::Clock::now();
+        drainKernelCounters(kernel, shard + 1);
+        trace.status = static_cast<uint8_t>(r.status);
+        reply(*conn, r, &trace);
+        recordTrace(trace, shard + 1, true);
     };
 
     switch (queue.tryPush(std::move(job))) {
     case RequestQueue::Admit::Accepted:
         break; // the job itself replies once it has raced
     case RequestQueue::Admit::QueueFull:
-        reply(*conn, errorResponse(id, tag, Status::QueueFull,
-                                   "admission queue at depth"));
+        bounce(Status::QueueFull, "admission queue at depth", false);
         break;
     case RequestQueue::Admit::ShuttingDown:
-        reply(*conn, errorResponse(id, tag, Status::ShuttingDown,
-                                   "daemon draining"));
+        bounce(Status::ShuttingDown, "daemon draining", false);
         break;
     }
 }
@@ -522,9 +719,12 @@ AlignServer::dispatchLoop()
 }
 
 void
-AlignServer::reply(Connection &conn, const Response &response)
+AlignServer::reply(Connection &conn, const Response &response,
+                   telemetry::RequestTrace *trace)
 {
     std::vector<uint8_t> framed = frame(encodeResponse(response));
+    if (trace)
+        trace->encodeDone = telemetry::RequestTrace::Clock::now();
     const IoDeadline deadline =
         deadlineAfterMs(cfg.ioTimeoutMs > 0 ? cfg.ioTimeoutMs : -1);
     std::lock_guard<std::mutex> lock(conn.writeMutex);
@@ -537,6 +737,8 @@ AlignServer::reply(Connection &conn, const Response &response)
         writeAll(conn.fd.get(), framed.data(), framed.size(), deadline);
     if (wrote == IoStatus::Timeout)
         ::shutdown(conn.fd.get(), SHUT_RDWR);
+    if (trace)
+        trace->writeDone = telemetry::RequestTrace::Clock::now();
 }
 
 } // namespace racelogic::serve

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,11 +32,14 @@
 #include <vector>
 
 #include "rl/api/api.h"
+#include "rl/core/kernel_counters.h"
 #include "rl/pangraph/variation_graph.h"
 #include "rl/serve/queue.h"
 #include "rl/serve/shard.h"
 #include "rl/serve/socket.h"
 #include "rl/serve/wire.h"
+#include "rl/telemetry/registry.h"
+#include "rl/telemetry/trace.h"
 #include "rl/util/thread_pool.h"
 
 namespace racelogic::serve {
@@ -104,6 +108,30 @@ struct ServerConfig {
 
     /** Engine configuration cloned into every shard. */
     api::EngineConfig engine;
+
+    /**
+     * Register and record telemetry (request counters, per-stage
+     * latency histograms, kernel profiling counters).  Off skips
+     * registration entirely -- every record site is a null-pointer
+     * check -- which is what the BM_ServeSaturation telemetry-overhead
+     * comparison measures.  The Metrics request still answers (with
+     * only the synthetic queue/shard series) so scrapes never 404.
+     */
+    bool telemetry = true;
+
+    /**
+     * Slow-request log threshold in milliseconds (0 disables): any
+     * request whose end-to-end latency reaches it earns one
+     * structured warn line with its per-stage breakdown.
+     */
+    int64_t slowMs = 0;
+
+    /**
+     * Test hook: called with every finalized RequestTrace (inline
+     * answers included), after the response was written, on the
+     * thread that served the request.  Must be thread-safe.
+     */
+    std::function<void(const telemetry::RequestTrace &)> traceHook;
 };
 
 /**
@@ -138,6 +166,15 @@ class AlignServer
         return shards.statsSnapshot();
     }
 
+    /**
+     * Full telemetry snapshot: every registered series plus synthetic
+     * rl_queue_* / rl_shard<i>_* series derived from the same
+     * QueueStats and shard counters Stats reports, so the two
+     * endpoints can never disagree.  This is the Metrics request's
+     * body and the --metrics-dump exposition source.
+     */
+    telemetry::Snapshot metricsSnapshot() const;
+
   private:
     /** One accepted connection: fd plus a reply-serializing mutex
      *  shared between its reader thread and the worker pool. */
@@ -146,27 +183,79 @@ class AlignServer
         std::mutex writeMutex;
     };
 
+    /**
+     * Handles to every registered telemetry series; all null when
+     * cfg.telemetry is off, so each record site is one branch.
+     */
+    struct MetricSet {
+        telemetry::Counter *requests = nullptr; ///< every decoded frame
+        telemetry::Counter *solvedOk = nullptr; ///< raced, replied Ok
+        telemetry::Counter *rejected = nullptr; ///< typed bounces
+        telemetry::Counter *shed = nullptr;     ///< shed while queued
+        telemetry::Counter *inlineAnswers = nullptr; ///< stats/ping/metrics
+        telemetry::Counter *slow = nullptr;     ///< over cfg.slowMs
+        telemetry::Counter *kernelEvents = nullptr;
+        telemetry::Counter *kernelBuckets = nullptr;
+        telemetry::Counter *kernelLanes = nullptr;
+        telemetry::Counter *kernelCancels = nullptr;
+        telemetry::Counter *kernelHorizonAborts = nullptr;
+        telemetry::Gauge *scratchHighWater = nullptr;
+        telemetry::Histogram *stageRead = nullptr;
+        telemetry::Histogram *stageDecode = nullptr;
+        telemetry::Histogram *stageAdmit = nullptr;
+        telemetry::Histogram *stageQueueWait = nullptr;
+        telemetry::Histogram *stageDispatch = nullptr;
+        telemetry::Histogram *stageSolve = nullptr;
+        telemetry::Histogram *stageEncode = nullptr;
+        telemetry::Histogram *stageWrite = nullptr;
+        telemetry::Histogram *request = nullptr; ///< raced e2e latency
+    };
+
     void acceptLoop(int listenFd);
     void connectionLoop(std::shared_ptr<Connection> conn);
     void dispatchLoop();
 
-    /** Serialize + frame + write one response under the write lock. */
-    void reply(Connection &conn, const Response &response);
+    /**
+     * Serialize + frame + write one response under the write lock.
+     * A non-null `trace` gets its encodeDone / writeDone stamps.
+     */
+    void reply(Connection &conn, const Response &response,
+               telemetry::RequestTrace *trace = nullptr);
 
     /**
      * Handle one decoded request (admit, inline-answer, or bounce).
      * `arrival` is the frame's receipt instant -- the anchor the
-     * request's relative deadlineMs counts from.
+     * request's relative deadlineMs counts from.  `trace` carries the
+     * read/decode stamps the connection loop already took.
      */
     void handleRequest(const std::shared_ptr<Connection> &conn,
                        Request request,
-                       std::chrono::steady_clock::time_point arrival);
+                       std::chrono::steady_clock::time_point arrival,
+                       telemetry::RequestTrace trace);
+
+    /** Register every series (constructor, cfg.telemetry only). */
+    void registerMetrics();
+
+    /**
+     * Finalize `trace`, feed the stage histograms (raced requests
+     * only -- their count stays coherent with the queue's completed
+     * ledger), emit the slow-request line, and call the trace hook.
+     */
+    void recordTrace(telemetry::RequestTrace &trace, size_t lane,
+                     bool raced);
+
+    /** Fold one job's kernel counters into the rl_kernel_* series. */
+    void drainKernelCounters(const core::KernelCounters &kernel,
+                             size_t lane);
 
     const ServerConfig cfg;
 
     EngineShards shards;
     RequestQueue queue;
     util::ThreadPool pool;
+
+    telemetry::Registry registry;
+    MetricSet metrics;
 
     ScopedFd unixListener;
     ScopedFd tcpListener;

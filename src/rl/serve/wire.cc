@@ -350,6 +350,7 @@ requestTagName(RequestTag tag)
     case RequestTag::MapReads: return "map-reads";
     case RequestTag::Stats: return "stats";
     case RequestTag::Ping: return "ping";
+    case RequestTag::Metrics: return "metrics";
     }
     return "unknown";
 }
@@ -445,6 +446,12 @@ encodePing(uint32_t id)
     return requestHeader(id, RequestTag::Ping, 0);
 }
 
+std::vector<uint8_t>
+encodeMetricsRequest(uint32_t id)
+{
+    return requestHeader(id, RequestTag::Metrics, 0);
+}
+
 WireError
 decodeRequest(const std::vector<uint8_t> &payload,
               const bio::Alphabet &graphAlphabet, Request &out)
@@ -457,7 +464,7 @@ decodeRequest(const std::vector<uint8_t> &payload,
     if (!r.u8(tag))
         return WireError::Truncated;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
-        tag > static_cast<uint8_t>(RequestTag::Ping))
+        tag > static_cast<uint8_t>(RequestTag::Metrics))
         return WireError::UnknownKind;
     out.tag = static_cast<RequestTag>(tag);
     if (!r.u32(out.deadlineMs))
@@ -530,6 +537,7 @@ decodeRequest(const std::vector<uint8_t> &payload,
     }
     case RequestTag::Stats:
     case RequestTag::Ping:
+    case RequestTag::Metrics:
         break;
     }
 
@@ -603,6 +611,29 @@ encodeResponse(const Response &response)
     }
     case RequestTag::Ping:
         break;
+    case RequestTag::Metrics: {
+        const telemetry::Snapshot &m = response.metrics.value();
+        w.u32(static_cast<uint32_t>(m.counters.size()));
+        for (const telemetry::CounterSnapshot &c : m.counters) {
+            w.str(c.name);
+            w.u64(c.value);
+        }
+        w.u32(static_cast<uint32_t>(m.gauges.size()));
+        for (const telemetry::GaugeSnapshot &g : m.gauges) {
+            w.str(g.name);
+            w.i64(g.value);
+        }
+        w.u32(static_cast<uint32_t>(m.histograms.size()));
+        for (const telemetry::HistogramSnapshot &h : m.histograms) {
+            w.str(h.name);
+            w.u32(static_cast<uint32_t>(h.buckets.size()));
+            for (uint64_t b : h.buckets)
+                w.u64(b);
+            w.u64(h.sum);
+            w.u64(h.count);
+        }
+        break;
+    }
     }
     return payload;
 }
@@ -620,7 +651,7 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     if (status > static_cast<uint8_t>(Status::ResourceExhausted))
         return WireError::BadRequest;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
-        tag > static_cast<uint8_t>(RequestTag::Ping))
+        tag > static_cast<uint8_t>(RequestTag::Metrics))
         return WireError::UnknownKind;
     out.status = static_cast<Status>(status);
     out.tag = static_cast<RequestTag>(tag);
@@ -690,6 +721,50 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     }
     case RequestTag::Ping:
         break;
+    case RequestTag::Metrics: {
+        telemetry::Snapshot m;
+        uint32_t nCounters;
+        if (!r.u32(nCounters))
+            return WireError::Truncated;
+        if (nCounters > kMaxWireMetricSeries)
+            return WireError::BadRequest;
+        m.counters.resize(nCounters);
+        for (telemetry::CounterSnapshot &c : m.counters) {
+            if (!r.str(c.name, kMaxWireMetricName) || !r.u64(c.value))
+                return WireError::Truncated;
+        }
+        uint32_t nGauges;
+        if (!r.u32(nGauges))
+            return WireError::Truncated;
+        if (nGauges > kMaxWireMetricSeries)
+            return WireError::BadRequest;
+        m.gauges.resize(nGauges);
+        for (telemetry::GaugeSnapshot &g : m.gauges) {
+            if (!r.str(g.name, kMaxWireMetricName) || !r.i64(g.value))
+                return WireError::Truncated;
+        }
+        uint32_t nHists;
+        if (!r.u32(nHists))
+            return WireError::Truncated;
+        if (nHists > kMaxWireMetricHistograms)
+            return WireError::BadRequest;
+        m.histograms.resize(nHists);
+        for (telemetry::HistogramSnapshot &h : m.histograms) {
+            uint32_t nBuckets;
+            if (!r.str(h.name, kMaxWireMetricName) || !r.u32(nBuckets))
+                return WireError::Truncated;
+            if (nBuckets > kMaxWireMetricBuckets)
+                return WireError::BadRequest;
+            h.buckets.resize(nBuckets);
+            for (uint64_t &b : h.buckets)
+                if (!r.u64(b))
+                    return WireError::Truncated;
+            if (!r.u64(h.sum) || !r.u64(h.count))
+                return WireError::Truncated;
+        }
+        out.metrics = std::move(m);
+        break;
+    }
     }
 
     if (!r.done())

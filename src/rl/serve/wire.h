@@ -33,6 +33,7 @@
 #include "rl/apps/dtw.h"
 #include "rl/bio/score_matrix.h"
 #include "rl/bio/sequence.h"
+#include "rl/telemetry/registry.h"
 #include "rl/util/status.h"
 
 namespace racelogic::serve {
@@ -116,6 +117,7 @@ enum class RequestTag : uint8_t {
     MapReads = 6,   ///< FASTA batch vs. the preloaded pangenome
     Stats = 7,      ///< admission/shard counter snapshot
     Ping = 8,       ///< liveness probe
+    Metrics = 9,    ///< full telemetry snapshot (named series)
 };
 
 /** Human-readable tag name. */
@@ -216,7 +218,24 @@ struct Response {
     std::vector<ReadReply> reads;      ///< MapReads
     std::optional<QueueStatsWire> queueStats; ///< Stats
     std::vector<ShardStatsWire> shardStats;   ///< Stats
+    std::optional<telemetry::Snapshot> metrics; ///< Metrics
 };
+
+/** @name Metrics response body caps (admission control) @{ */
+
+/** Most counter or gauge series one Metrics response may carry. */
+constexpr uint32_t kMaxWireMetricSeries = 4096;
+
+/** Most histogram series one Metrics response may carry. */
+constexpr uint32_t kMaxWireMetricHistograms = 1024;
+
+/** Longest metric name the protocol admits. */
+constexpr uint32_t kMaxWireMetricName = 256;
+
+/** Most histogram buckets one wire series may carry. */
+constexpr uint32_t kMaxWireMetricBuckets = 64;
+
+/** @} */
 
 /** @name Request encoding (client side)
  * `deadlineMs` is the caller's per-request deadline in milliseconds
@@ -252,6 +271,7 @@ std::vector<uint8_t> encodeMapReads(uint32_t id, const std::string &fasta,
                                     uint32_t deadlineMs = 0);
 std::vector<uint8_t> encodeStatsRequest(uint32_t id);
 std::vector<uint8_t> encodePing(uint32_t id);
+std::vector<uint8_t> encodeMetricsRequest(uint32_t id);
 
 /** @} */
 

@@ -1,0 +1,232 @@
+#include "rl/telemetry/registry.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace racelogic::telemetry {
+
+// ------------------------------------------------------- Histogram
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (const Lane &lane : lanes)
+        for (const std::atomic<uint64_t> &bucket : lane.buckets)
+            total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+Histogram::sum() const
+{
+    uint64_t total = 0;
+    for (const Lane &lane : lanes)
+        total += lane.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+// ----------------------------------------------- HistogramSnapshot
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0 || p <= 0.0)
+        return 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    const double target = p / 100.0 * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const double reached =
+            static_cast<double>(cumulative + buckets[i]);
+        if (reached + 1e-9 >= target) {
+            const double lower =
+                static_cast<double>(histogramBucketLower(i));
+            const double upper =
+                static_cast<double>(histogramBucketUpper(i));
+            const double frac =
+                (target - static_cast<double>(cumulative)) /
+                static_cast<double>(buckets[i]);
+            return lower + frac * (upper - lower);
+        }
+        cumulative += buckets[i];
+    }
+    // Unreachable when count == sum of buckets; be defensive anyway.
+    return static_cast<double>(
+        histogramBucketUpper(buckets.empty() ? 0 : buckets.size() - 1));
+}
+
+// --------------------------------------------------------- Snapshot
+
+const CounterSnapshot *
+Snapshot::counter(std::string_view name) const
+{
+    for (const CounterSnapshot &c : counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+const GaugeSnapshot *
+Snapshot::gauge(std::string_view name) const
+{
+    for (const GaugeSnapshot &g : gauges)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+const HistogramSnapshot *
+Snapshot::histogram(std::string_view name) const
+{
+    for (const HistogramSnapshot &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+std::string
+Snapshot::renderPrometheus() const
+{
+    std::ostringstream out;
+    for (const CounterSnapshot &c : counters) {
+        out << "# TYPE " << c.name << " counter\n";
+        out << c.name << ' ' << c.value << '\n';
+    }
+    for (const GaugeSnapshot &g : gauges) {
+        out << "# TYPE " << g.name << " gauge\n";
+        out << g.name << ' ' << g.value << '\n';
+    }
+    for (const HistogramSnapshot &h : histograms) {
+        out << "# TYPE " << h.name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+            cumulative += h.buckets[i];
+            const bool last = i + 1 == h.buckets.size();
+            out << h.name << "_bucket{le=\"";
+            if (last)
+                out << "+Inf";
+            else
+                out << histogramBucketUpper(i);
+            out << "\"} " << cumulative << '\n';
+        }
+        out << h.name << "_sum " << h.sum << '\n';
+        out << h.name << "_count " << h.count << '\n';
+    }
+    return out.str();
+}
+
+// --------------------------------------------------------- Registry
+
+Status
+Registry::checkName(const std::string &name) const
+{
+    // Prometheus-compatible: [a-zA-Z_][a-zA-Z0-9_]*, non-empty.
+    if (name.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "telemetry: empty metric name");
+    auto wordChar = [](char c, bool first) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        return c == '_' || std::isalpha(u) ||
+               (!first && std::isdigit(u));
+    };
+    for (size_t i = 0; i < name.size(); ++i)
+        if (!wordChar(name[i], i == 0))
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "telemetry: metric name '", name,
+                "' is not [a-zA-Z_][a-zA-Z0-9_]*");
+    for (const auto &[existing, unused] : counters)
+        if (existing == name)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "telemetry: duplicate metric name '",
+                                 name, "'");
+    for (const auto &[existing, unused] : gauges)
+        if (existing == name)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "telemetry: duplicate metric name '",
+                                 name, "'");
+    for (const auto &[existing, unused] : histograms)
+        if (existing == name)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "telemetry: duplicate metric name '",
+                                 name, "'");
+    return {};
+}
+
+Expected<Counter *>
+Registry::addCounter(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Status bad = checkName(name); !bad.ok())
+        return bad;
+    counters.emplace_back(std::piecewise_construct,
+                          std::forward_as_tuple(std::move(name)),
+                          std::forward_as_tuple());
+    return &counters.back().second;
+}
+
+Expected<Gauge *>
+Registry::addGauge(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Status bad = checkName(name); !bad.ok())
+        return bad;
+    gauges.emplace_back(std::piecewise_construct,
+                        std::forward_as_tuple(std::move(name)),
+                        std::forward_as_tuple());
+    return &gauges.back().second;
+}
+
+Expected<Histogram *>
+Registry::addHistogram(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (Status bad = checkName(name); !bad.ok())
+        return bad;
+    histograms.emplace_back(std::piecewise_construct,
+                            std::forward_as_tuple(std::move(name)),
+                            std::forward_as_tuple());
+    return &histograms.back().second;
+}
+
+size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Snapshot snap;
+    snap.counters.reserve(counters.size());
+    for (const auto &[name, counter] : counters)
+        snap.counters.push_back({name, counter.total()});
+    snap.gauges.reserve(gauges.size());
+    for (const auto &[name, gauge] : gauges)
+        snap.gauges.push_back({name, gauge.value()});
+    snap.histograms.reserve(histograms.size());
+    for (const auto &[name, histogram] : histograms) {
+        HistogramSnapshot h;
+        h.name = name;
+        h.buckets.assign(kHistogramBuckets, 0);
+        for (const Histogram::Lane &lane : histogram.lanes) {
+            for (size_t i = 0; i < kHistogramBuckets; ++i)
+                h.buckets[i] +=
+                    lane.buckets[i].load(std::memory_order_relaxed);
+            h.sum += lane.sum.load(std::memory_order_relaxed);
+        }
+        for (uint64_t b : h.buckets)
+            h.count += b;
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+} // namespace racelogic::telemetry

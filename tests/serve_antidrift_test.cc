@@ -16,8 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rl/api/api.h"
@@ -127,6 +129,7 @@ buildProblems(Request &request,
         break;
     case RequestTag::Stats:
     case RequestTag::Ping:
+    case RequestTag::Metrics:
         break;
     }
     return problems;
@@ -260,9 +263,17 @@ TEST(ServeAntiDrift, ProductStateBudgetRejectsTypedAndDaemonServesOn)
     ASSERT_TRUE(response.solve.has_value());
 
     // ... and the ledger shows exactly one compute-budget rejection.
-    ASSERT_TRUE(client.submitStats(73));
-    ASSERT_TRUE(client.receive(response));
-    ASSERT_TRUE(response.queueStats.has_value());
+    // The completed count is retired by the dispatcher *after* the
+    // solve's reply is flushed, so poll briefly instead of racing it.
+    uint32_t statsId = 73;
+    for (int attempt = 0;; ++attempt) {
+        ASSERT_TRUE(client.submitStats(statsId++));
+        ASSERT_TRUE(client.receive(response));
+        ASSERT_TRUE(response.queueStats.has_value());
+        if (response.queueStats->completed >= 1 || attempt >= 200)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
     EXPECT_EQ(response.queueStats->rejectedResource, 1u);
     EXPECT_EQ(response.queueStats->completed, 1u);
 

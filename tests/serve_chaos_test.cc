@@ -199,6 +199,21 @@ TEST_P(ServeChaosTest, ScheduleRunsCleanAndFaithful)
     EXPECT_EQ(stats.shedDeadline, 0u)
         << "no wire deadlines were set, so nothing may be shed";
 
+    // 3b. Telemetry coherence after the drain: every retired job
+    //     recorded exactly one end-to-end latency sample, so the
+    //     histogram's count matches the queue's completed ledger, and
+    //     the synthetic queue series mirror the same snapshot.
+    const telemetry::Snapshot snap = server.metricsSnapshot();
+    const telemetry::HistogramSnapshot *e2e =
+        snap.histogram("rl_serve_request_us");
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_EQ(e2e->count, stats.completed)
+        << "raced latency samples must match the completed ledger";
+    const telemetry::CounterSnapshot *completedSeries =
+        snap.counter("rl_queue_completed_total");
+    ASSERT_NE(completedSeries, nullptr);
+    EXPECT_EQ(completedSeries->value, stats.completed);
+
     // 4. Fidelity: surviving responses are bit-identical to direct
     //    engine solves of the same problems.
     api::EngineConfig directConfig;

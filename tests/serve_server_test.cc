@@ -16,7 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -259,6 +262,253 @@ TEST(ServeServer, StatsAnswerInlineWhileQueueIsBusy)
         ASSERT_TRUE(loader.receive(r));
     }
     server.stop();
+}
+
+// --------------------------------------------------------- telemetry
+
+/** Sum of the eight stage durations of one finalized trace. */
+uint64_t
+stageSum(const telemetry::RequestTrace &t)
+{
+    return t.readUs() + t.decodeUs() + t.admitUs() + t.queueWaitUs() +
+           t.dispatchUs() + t.solveUs() + t.encodeUs() + t.writeUs();
+}
+
+TEST(ServeServer, TraceHookSeesCoherentStages)
+{
+    std::mutex mutex;
+    std::vector<telemetry::RequestTrace> traces;
+    ServerConfig cfg = tcpConfig();
+    cfg.traceHook = [&](const telemetry::RequestTrace &t) {
+        std::lock_guard<std::mutex> lock(mutex);
+        traces.push_back(t);
+    };
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(client.ok());
+
+    const std::string a = dnaString(60, 7), b = dnaString(60, 8);
+    ASSERT_TRUE(client.submitPairwise(41, fig2b(), a, b));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    ASSERT_EQ(response.status, Status::Ok);
+    ASSERT_TRUE(client.submitPing(42));
+    ASSERT_TRUE(client.receive(response));
+    server.stop();
+
+    std::lock_guard<std::mutex> lock(mutex);
+    const telemetry::RequestTrace *solve = nullptr, *ping = nullptr;
+    for (const telemetry::RequestTrace &t : traces) {
+        if (t.id == 41)
+            solve = &t;
+        if (t.id == 42)
+            ping = &t;
+    }
+    ASSERT_NE(solve, nullptr) << "raced request must be traced";
+    ASSERT_NE(ping, nullptr) << "inline answers must be traced too";
+
+    EXPECT_EQ(solve->tag, static_cast<uint8_t>(RequestTag::Pairwise));
+    EXPECT_EQ(solve->status, static_cast<uint8_t>(Status::Ok));
+    EXPECT_GT(solve->solveUs(), 0u) << "a 61x61 race takes time";
+    EXPECT_GT(solve->totalUs(), 0u);
+
+    // Stage durations are differences of consecutive stamps: each is
+    // nonnegative by construction, and their sum reproduces the
+    // end-to-end latency up to one microsecond of truncation per
+    // stage boundary.
+    for (const telemetry::RequestTrace &t : traces) {
+        const uint64_t sum = stageSum(t);
+        EXPECT_LE(sum, t.totalUs()) << "id " << t.id;
+        EXPECT_LE(t.totalUs() - sum, 8u) << "id " << t.id;
+    }
+
+    // The inline ping never raced, so its queue/solve stages are
+    // zero-length by finalize()'s carry-forward.
+    EXPECT_EQ(ping->queueWaitUs(), 0u);
+    EXPECT_EQ(ping->solveUs(), 0u);
+}
+
+TEST(ServeServer, MetricsOverWireStaysCoherentWithStats)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+    ASSERT_TRUE(client.ok());
+
+    const std::string a = dnaString(40, 9), b = dnaString(40, 10);
+    for (uint32_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(client.submitPairwise(50 + i, fig2b(), a, b));
+        Response r;
+        ASSERT_TRUE(client.receive(r));
+        ASSERT_EQ(r.status, Status::Ok);
+    }
+
+    // The end-to-end sample lands after the reply is flushed, so
+    // scrape until the histogram count has caught up with the three
+    // solves the client already saw complete.
+    Response metricsResponse;
+    const telemetry::HistogramSnapshot *e2e = nullptr;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        ASSERT_TRUE(client.submitMetrics(90));
+        ASSERT_TRUE(client.receive(metricsResponse));
+        ASSERT_EQ(metricsResponse.status, Status::Ok);
+        ASSERT_TRUE(metricsResponse.metrics.has_value());
+        e2e = metricsResponse.metrics->histogram("rl_serve_request_us");
+        ASSERT_NE(e2e, nullptr);
+        if (e2e->count >= 3)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const telemetry::Snapshot &snap = *metricsResponse.metrics;
+    EXPECT_EQ(e2e->count, 3u);
+    EXPECT_GT(e2e->sum, 0u);
+
+    // Request accounting: three solves plus at least one Metrics
+    // scrape have arrived by the time the snapshot was taken.
+    const telemetry::CounterSnapshot *requests =
+        snap.counter("rl_serve_requests_total");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->value, 4u);
+
+    // Kernel profiling flowed through the wire: the races drained
+    // events through real Dial buckets.
+    const telemetry::CounterSnapshot *events =
+        snap.counter("rl_kernel_events_total");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->value, 0u);
+
+    // Plan-cache coherence (the satellite claim): the synthetic
+    // shard series aggregate to the same ledger Stats reports --
+    // every solve was either a plan build or a cache hit.
+    ASSERT_TRUE(client.submitStats(91));
+    Response statsResponse;
+    ASSERT_TRUE(client.receive(statsResponse));
+    ASSERT_TRUE(statsResponse.queueStats.has_value());
+
+    uint64_t solves = 0, built = 0, hits = 0;
+    for (const ShardStatsWire &s : statsResponse.shardStats) {
+        solves += s.solves;
+        built += s.plansBuilt;
+        hits += s.planCacheHits;
+    }
+    EXPECT_EQ(solves, 3u);
+    // The serve path prepares a plan under the build lock before it
+    // solves, so every solve rides a cached plan (hits == solves) and
+    // the one shape cost exactly one synthesis.
+    EXPECT_EQ(hits, solves);
+    EXPECT_EQ(built, 1u);
+
+    const telemetry::CounterSnapshot *solvesSeries =
+        snap.counter("rl_solves_total");
+    const telemetry::CounterSnapshot *builtSeries =
+        snap.counter("rl_plans_built_total");
+    const telemetry::CounterSnapshot *hitsSeries =
+        snap.counter("rl_plan_cache_hits_total");
+    ASSERT_NE(solvesSeries, nullptr);
+    ASSERT_NE(builtSeries, nullptr);
+    ASSERT_NE(hitsSeries, nullptr);
+    EXPECT_EQ(solvesSeries->value, solves);
+    EXPECT_EQ(builtSeries->value, built);
+    EXPECT_EQ(hitsSeries->value, hits);
+    for (size_t i = 0; i < statsResponse.shardStats.size(); ++i) {
+        const std::string prefix = "rl_shard" + std::to_string(i) + "_";
+        const telemetry::CounterSnapshot *shardSolves =
+            snap.counter(prefix + "solves_total");
+        ASSERT_NE(shardSolves, nullptr) << prefix;
+        EXPECT_EQ(shardSolves->value,
+                  statsResponse.shardStats[i].solves)
+            << prefix;
+    }
+
+    // Queue ledger, one source of truth: the synthetic series carry
+    // the same numbers the Stats response does.
+    const telemetry::CounterSnapshot *enqueued =
+        snap.counter("rl_queue_enqueued_total");
+    ASSERT_NE(enqueued, nullptr);
+    EXPECT_EQ(enqueued->value, statsResponse.queueStats->enqueued);
+
+    server.stop();
+}
+
+TEST(ServeServer, MetricsStillAnswersWithTelemetryOff)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.telemetry = false;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    const std::string a = dnaString(30, 11), b = dnaString(30, 12);
+    ASSERT_TRUE(client.submitPairwise(60, fig2b(), a, b));
+    Response r;
+    ASSERT_TRUE(client.receive(r));
+    ASSERT_EQ(r.status, Status::Ok);
+
+    // No registered series -- but the synthetic queue/shard series
+    // still answer, so scrapes degrade instead of 404ing.
+    ASSERT_TRUE(client.submitMetrics(61));
+    ASSERT_TRUE(client.receive(r));
+    ASSERT_EQ(r.status, Status::Ok);
+    ASSERT_TRUE(r.metrics.has_value());
+    EXPECT_EQ(r.metrics->histogram("rl_serve_request_us"), nullptr);
+    EXPECT_NE(r.metrics->counter("rl_solves_total"), nullptr);
+
+    server.stop();
+}
+
+TEST(ServeServer, QueueWaitInflatesUnderSaturation)
+{
+    std::mutex mutex;
+    std::vector<telemetry::RequestTrace> traces;
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 2;
+    cfg.traceHook = [&](const telemetry::RequestTrace &t) {
+        std::lock_guard<std::mutex> lock(mutex);
+        traces.push_back(t);
+    };
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // Same harness as SaturationRejectsWithTypedQueueFull: one slow
+    // worker, tiny depth, a pipelined flood.
+    const size_t total = 24;
+    const std::string a = dnaString(200, 3), b = dnaString(200, 4);
+    for (size_t i = 0; i < total; ++i)
+        ASSERT_TRUE(client.submitPairwise(
+            static_cast<uint32_t>(300 + i), fig2b(), a, b));
+    size_t ok = 0;
+    for (size_t i = 0; i < total; ++i) {
+        Response response;
+        ASSERT_TRUE(client.receive(response));
+        if (response.status == Status::Ok)
+            ++ok;
+    }
+    ASSERT_GE(ok, 2u);
+    server.stop();
+
+    // With depth 2 and one worker, at least one admitted request sat
+    // behind another's full race.  The bound is self-calibrating:
+    // queue-wait is measured against the fastest solve this same run
+    // actually performed, not a wall-clock guess.
+    std::lock_guard<std::mutex> lock(mutex);
+    uint64_t maxWait = 0;
+    uint64_t minSolve = UINT64_MAX;
+    size_t raced = 0;
+    for (const telemetry::RequestTrace &t : traces) {
+        if (t.status != static_cast<uint8_t>(Status::Ok) ||
+            t.tag != static_cast<uint8_t>(RequestTag::Pairwise))
+            continue;
+        ++raced;
+        maxWait = std::max(maxWait, t.queueWaitUs());
+        minSolve = std::min(minSolve, t.solveUs());
+        EXPECT_LE(stageSum(t), t.totalUs());
+    }
+    EXPECT_EQ(raced, ok);
+    EXPECT_GE(maxWait, minSolve / 4)
+        << "saturation must surface as queue-wait";
 }
 
 // ------------------------------------------------- sharded plan caches

@@ -119,6 +119,9 @@ TEST(ServeWire, StatsAndPingAreBare)
     EXPECT_EQ(req.tag, RequestTag::Stats);
     ASSERT_EQ(decode(encodePing(2), req), WireError::None);
     EXPECT_EQ(req.tag, RequestTag::Ping);
+    ASSERT_EQ(decode(encodeMetricsRequest(3), req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Metrics);
+    EXPECT_EQ(req.id, 3u);
 }
 
 TEST(ServeWire, DeadlineRidesTheHeader)
@@ -224,6 +227,64 @@ TEST(ServeWire, StatsResponseRoundTrip)
     EXPECT_EQ(in.queueStats->shedDeadline, 1u);
     ASSERT_EQ(in.shardStats.size(), 2u);
     EXPECT_EQ(in.shardStats[1].shardHits, 6u);
+}
+
+TEST(ServeWire, MetricsResponseRoundTrip)
+{
+    Response out;
+    out.id = 9;
+    out.tag = RequestTag::Metrics;
+    telemetry::Snapshot snap;
+    snap.counters.push_back({"rl_serve_requests_total", 42});
+    snap.counters.push_back({"rl_queue_completed_total", 40});
+    snap.gauges.push_back({"rl_kernel_scratch_high_water", -3});
+    telemetry::HistogramSnapshot h;
+    h.name = "rl_serve_request_us";
+    h.buckets.assign(telemetry::kHistogramBuckets, 0);
+    h.buckets[0] = 5;
+    h.buckets[11] = 7;
+    h.count = 12;
+    h.sum = 14336;
+    snap.histograms.push_back(h);
+    out.metrics = std::move(snap);
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    EXPECT_EQ(in.tag, RequestTag::Metrics);
+    ASSERT_TRUE(in.metrics.has_value());
+    const telemetry::CounterSnapshot *requests =
+        in.metrics->counter("rl_serve_requests_total");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->value, 42u);
+    const telemetry::GaugeSnapshot *gauge =
+        in.metrics->gauge("rl_kernel_scratch_high_water");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->value, -3);
+    const telemetry::HistogramSnapshot *hist =
+        in.metrics->histogram("rl_serve_request_us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 12u);
+    EXPECT_EQ(hist->sum, 14336u);
+    ASSERT_EQ(hist->buckets.size(), telemetry::kHistogramBuckets);
+    EXPECT_EQ(hist->buckets[11], 7u);
+}
+
+TEST(ServeWire, MetricsResponseNameCapIsEnforced)
+{
+    Response out;
+    out.id = 10;
+    out.tag = RequestTag::Metrics;
+    telemetry::Snapshot snap;
+    snap.counters.push_back(
+        {std::string(kMaxWireMetricName + 1, 'x'), 1});
+    out.metrics = std::move(snap);
+
+    // Same convention as every capped string on the wire: a name
+    // over the admission cap reads as a typed truncation, never an
+    // out-of-bounds walk.
+    Response in;
+    EXPECT_EQ(decodeResponse(encodeResponse(out), in),
+              WireError::Truncated);
 }
 
 TEST(ServeWire, DeadlineExceededResponseRoundTrip)

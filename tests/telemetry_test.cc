@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The telemetry core, pinned:
+ *
+ *  1. Log2 bucket boundaries are exact: every power of two starts a
+ *     new bucket, the value below it closes the previous one.
+ *  2. Percentile estimates are bounded: the estimate always lies
+ *     within the bucket that holds the true value (<= 2x error).
+ *  3. Snapshots stay coherent while writer threads hammer the same
+ *     metrics (run under the TSan CI job): histogram count always
+ *     equals its bucket sum, counters are monotone across snapshots.
+ *  4. Name collisions and malformed names are rejected with a typed
+ *     rl::Status, and the failed registration changes nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rl/telemetry/registry.h"
+#include "rl/telemetry/trace.h"
+
+namespace {
+
+using namespace racelogic;
+using namespace racelogic::telemetry;
+
+// ------------------------------------------------- bucket boundaries
+
+TEST(TelemetryHistogram, BucketBoundariesAreExactPowersOfTwo)
+{
+    // 0 is its own bucket; 1 opens bucket 1; every 2^k for k >= 1
+    // opens bucket k+1 and 2^k - 1 closes bucket k.
+    EXPECT_EQ(histogramBucket(0), 0u);
+    EXPECT_EQ(histogramBucket(1), 1u);
+    for (size_t k = 1; k + 1 < kHistogramBuckets; ++k) {
+        const uint64_t pow2 = uint64_t(1) << k;
+        EXPECT_EQ(histogramBucket(pow2), k + 1) << "value " << pow2;
+        EXPECT_EQ(histogramBucket(pow2 - 1), k) << "value " << pow2 - 1;
+    }
+    // Everything at or past 2^(kBuckets-2) lands in the open bucket.
+    const uint64_t openLower = uint64_t(1) << (kHistogramBuckets - 2);
+    EXPECT_EQ(histogramBucket(openLower), kHistogramBuckets - 1);
+    EXPECT_EQ(histogramBucket(~uint64_t(0)), kHistogramBuckets - 1);
+
+    // The bounds agree with the bucket function on both edges.
+    for (size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+        EXPECT_EQ(histogramBucket(histogramBucketLower(i)), i);
+        EXPECT_EQ(histogramBucket(histogramBucketUpper(i)), i);
+    }
+}
+
+TEST(TelemetryHistogram, RecordedValuesLandInTheirBuckets)
+{
+    Registry registry;
+    Histogram *h = registry.addHistogram("h").valueOrFatal();
+    h->record(0);
+    h->record(1);
+    h->record(2);
+    h->record(3);
+    h->record(1024);
+    const Snapshot snap = registry.snapshot();
+    const HistogramSnapshot *hs = snap.histogram("h");
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->count, 5u);
+    EXPECT_EQ(hs->sum, 0u + 1 + 2 + 3 + 1024);
+    EXPECT_EQ(hs->buckets[0], 1u);  // 0
+    EXPECT_EQ(hs->buckets[1], 1u);  // 1
+    EXPECT_EQ(hs->buckets[2], 2u);  // 2, 3
+    EXPECT_EQ(hs->buckets[11], 1u); // 1024 = 2^10 -> bucket 11
+}
+
+// ----------------------------------------------- percentile bounds
+
+TEST(TelemetryHistogram, PercentileEstimateStaysInsideTheTrueBucket)
+{
+    Registry registry;
+    Histogram *h = registry.addHistogram("lat").valueOrFatal();
+    // A known distribution: 900 fast (around 100), 90 medium
+    // (around 1000), 10 slow (around 50000).
+    for (int i = 0; i < 900; ++i)
+        h->record(100);
+    for (int i = 0; i < 90; ++i)
+        h->record(1000);
+    for (int i = 0; i < 10; ++i)
+        h->record(50000);
+    const HistogramSnapshot *hs =
+        nullptr; // keep the snapshot alive for the pointer
+    const Snapshot snap = registry.snapshot();
+    hs = snap.histogram("lat");
+    ASSERT_NE(hs, nullptr);
+
+    // Every percentile's true value is exactly known here; the
+    // estimate must fall inside the log2 bucket containing it.
+    struct Case {
+        double p;
+        uint64_t truth;
+    };
+    for (const Case &c : std::initializer_list<Case>{
+             {50, 100}, {90, 100}, {95, 1000}, {99, 1000},
+             {99.5, 50000}, {99.9, 50000}}) {
+        const double estimate = hs->percentile(c.p);
+        const size_t bucket = histogramBucket(c.truth);
+        EXPECT_GE(estimate,
+                  double(histogramBucketLower(bucket)))
+            << "p" << c.p;
+        EXPECT_LE(estimate,
+                  double(histogramBucketUpper(bucket)))
+            << "p" << c.p;
+        // The log2 guarantee: off by at most 2x in either direction.
+        EXPECT_GE(estimate, double(c.truth) / 2.0) << "p" << c.p;
+        EXPECT_LE(estimate, double(c.truth) * 2.0) << "p" << c.p;
+    }
+
+    // Degenerate inputs stay finite and ordered.
+    EXPECT_EQ(HistogramSnapshot{}.percentile(50), 0.0);
+    EXPECT_LE(hs->percentile(1), hs->percentile(99.99));
+}
+
+// ------------------------------------- snapshot coherence under fire
+
+TEST(TelemetryRegistry, SnapshotsStayCoherentWhileWritersHammer)
+{
+    Registry registry;
+    Counter *requests = registry.addCounter("req").valueOrFatal();
+    Histogram *latency = registry.addHistogram("lat").valueOrFatal();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    const size_t threads = 4;
+    for (size_t t = 0; t < threads; ++t)
+        writers.emplace_back([&, t] {
+            uint64_t v = t;
+            while (!stop.load(std::memory_order_relaxed)) {
+                requests->add(1, t);
+                latency->record(v % 5000, t);
+                ++v;
+            }
+        });
+
+    uint64_t lastCount = 0, lastRequests = 0;
+    for (int round = 0; round < 200; ++round) {
+        const Snapshot snap = registry.snapshot();
+        const HistogramSnapshot *hs = snap.histogram("lat");
+        const CounterSnapshot *cs = snap.counter("req");
+        ASSERT_NE(hs, nullptr);
+        ASSERT_NE(cs, nullptr);
+        // Internal coherence: count is derived from the same bucket
+        // reads it summarizes.
+        uint64_t bucketSum = 0;
+        for (uint64_t b : hs->buckets)
+            bucketSum += b;
+        EXPECT_EQ(hs->count, bucketSum);
+        // Monotonicity across snapshots: counters never go back.
+        EXPECT_GE(hs->count, lastCount);
+        EXPECT_GE(cs->value, lastRequests);
+        lastCount = hs->count;
+        lastRequests = cs->value;
+    }
+    stop.store(true);
+    for (std::thread &w : writers)
+        w.join();
+
+    // Quiesced: the final snapshot agrees with the live metrics.
+    const Snapshot final = registry.snapshot();
+    EXPECT_EQ(final.counter("req")->value, requests->total());
+    EXPECT_EQ(final.histogram("lat")->count, latency->count());
+    EXPECT_EQ(final.histogram("lat")->sum, latency->sum());
+}
+
+// --------------------------------------------- typed name rejection
+
+TEST(TelemetryRegistry, DuplicateAndMalformedNamesAreTypedErrors)
+{
+    Registry registry;
+    ASSERT_TRUE(registry.addCounter("rl_requests_total").ok());
+
+    // Duplicate within a kind ...
+    Expected<Counter *> dupSame =
+        registry.addCounter("rl_requests_total");
+    ASSERT_FALSE(dupSame.ok());
+    EXPECT_EQ(dupSame.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(dupSame.status().message().find("duplicate"),
+              std::string::npos);
+
+    // ... and across kinds: one namespace for all metrics.
+    Expected<Histogram *> dupCross =
+        registry.addHistogram("rl_requests_total");
+    ASSERT_FALSE(dupCross.ok());
+    EXPECT_EQ(dupCross.status().code(), ErrorCode::InvalidArgument);
+
+    // Malformed names are rejected before they can reach a scrape.
+    for (const char *bad : {"", "1starts_with_digit", "has space",
+                            "has-dash", "quote\"le"}) {
+        Expected<Gauge *> verdict = registry.addGauge(bad);
+        ASSERT_FALSE(verdict.ok()) << "name '" << bad << "'";
+        EXPECT_EQ(verdict.status().code(), ErrorCode::InvalidArgument);
+    }
+
+    // Failed registrations changed nothing.
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.snapshot().counters.size(), 1u);
+}
+
+// ------------------------------------------------- prometheus text
+
+TEST(TelemetrySnapshot, PrometheusRenderCarriesEverySeries)
+{
+    Registry registry;
+    registry.addCounter("rl_requests_total").valueOrFatal()->add(7);
+    registry.addGauge("rl_scratch_high_water")
+        .valueOrFatal()
+        ->max(42);
+    Histogram *h = registry.addHistogram("rl_solve_us").valueOrFatal();
+    h->record(3);
+    h->record(900);
+
+    const std::string text = registry.snapshot().renderPrometheus();
+    EXPECT_NE(text.find("# TYPE rl_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("rl_requests_total 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE rl_scratch_high_water gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("rl_scratch_high_water 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE rl_solve_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("rl_solve_us_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("rl_solve_us_sum 903"), std::string::npos);
+    EXPECT_NE(text.find("rl_solve_us_count 2"), std::string::npos);
+}
+
+// ------------------------------------------------------ trace math
+
+TEST(TelemetryTrace, FinalizeMakesStagesNonnegativeAndExhaustive)
+{
+    using Clock = RequestTrace::Clock;
+    const Clock::time_point t0 = Clock::now();
+    auto at = [&](int64_t us) {
+        return t0 + std::chrono::microseconds(us);
+    };
+
+    RequestTrace trace;
+    trace.readStart = at(0);
+    trace.readDone = at(10);
+    trace.decodeDone = at(15);
+    trace.admitDone = at(18);
+    trace.dispatchStart = at(118); // 100us queue wait
+    trace.solveStart = at(120);
+    trace.solveDone = at(620);
+    trace.encodeDone = at(625);
+    trace.writeDone = at(640);
+    trace.finalize();
+
+    EXPECT_EQ(trace.readUs(), 10u);
+    EXPECT_EQ(trace.decodeUs(), 5u);
+    EXPECT_EQ(trace.admitUs(), 3u);
+    EXPECT_EQ(trace.queueWaitUs(), 100u);
+    EXPECT_EQ(trace.dispatchUs(), 2u);
+    EXPECT_EQ(trace.solveUs(), 500u);
+    EXPECT_EQ(trace.encodeUs(), 5u);
+    EXPECT_EQ(trace.writeUs(), 15u);
+    EXPECT_EQ(trace.totalUs(), 640u);
+    EXPECT_EQ(trace.readUs() + trace.decodeUs() + trace.admitUs() +
+                  trace.queueWaitUs() + trace.dispatchUs() +
+                  trace.solveUs() + trace.encodeUs() + trace.writeUs(),
+              trace.totalUs());
+
+    // A rejected request never reaches the queue: the unset stamps
+    // collapse to zero-length stages, not garbage durations.
+    RequestTrace bounced;
+    bounced.readStart = at(0);
+    bounced.readDone = at(4);
+    bounced.decodeDone = at(6);
+    bounced.writeDone = at(9); // admit..encode never stamped
+    bounced.finalize();
+    EXPECT_EQ(bounced.admitUs(), 0u);
+    EXPECT_EQ(bounced.queueWaitUs(), 0u);
+    EXPECT_EQ(bounced.solveUs(), 0u);
+    EXPECT_EQ(bounced.writeUs(), 3u);
+    EXPECT_EQ(bounced.totalUs(), 9u);
+}
+
+} // namespace

@@ -6,6 +6,15 @@ Usage:
                            [--baseline BENCH_baseline.json]
                            [--tolerance 0.25] [--metric cpu_time]
                            [--benches name1,name2,...]
+    tools/bench_compare.py fresh.json --pair "SUBJECT,REFERENCE"
+                           [--tolerance 0.05] [--metric cpu_time]
+
+With --pair, no baseline file is involved: both named benchmarks come
+from the SAME fresh run and SUBJECT must stay within the tolerance of
+REFERENCE (subject <= reference * (1 + tolerance)).  This gates
+same-machine A/B claims -- e.g. that the serve daemon with telemetry
+stays within 5% of the no-telemetry build -- without the cross-machine
+noise a committed baseline absorbs.
 
 Multiple fresh files are merged (later files win on name clashes), so
 CI can feed bench_microbench.json and bench_graph_align.json into one
@@ -79,13 +88,47 @@ def main():
     parser.add_argument(
         "--benches", default=None,
         help="comma-separated bench names overriding the headline set")
+    parser.add_argument(
+        "--pair", default=None, metavar="SUBJECT,REFERENCE",
+        help="compare two benchmarks within the fresh run instead of "
+             "against the baseline: SUBJECT must stay within the "
+             "tolerance of REFERENCE")
     args = parser.parse_args()
 
-    names = (args.benches.split(",") if args.benches
-             else HEADLINE_BENCHES)
     fresh = {}
     for path in args.fresh:
         fresh.update(load_benchmarks(path))
+
+    if args.pair:
+        try:
+            subject_name, reference_name = args.pair.split(",")
+        except ValueError:
+            print("--pair wants exactly 'SUBJECT,REFERENCE'",
+                  file=sys.stderr)
+            return 2
+        subject = fresh.get(subject_name)
+        reference = fresh.get(reference_name)
+        for name, row in ((subject_name, subject),
+                          (reference_name, reference)):
+            if row is None:
+                print(f"--pair bench missing from fresh run: {name}",
+                      file=sys.stderr)
+                return 1
+        ratio = subject[args.metric] / reference[args.metric]
+        ok = ratio <= 1.0 + args.tolerance
+        print(f"{subject_name}: {subject[args.metric]:.0f}  vs  "
+              f"{reference_name}: {reference[args.metric]:.0f}  "
+              f"ratio {ratio:.3f}  "
+              f"({'ok' if ok else 'REGRESSED'}, "
+              f"tolerance +{args.tolerance:.0%})")
+        if not ok:
+            print(f"\n{subject_name} exceeds {reference_name} by more "
+                  f"than +{args.tolerance:.0%}", file=sys.stderr)
+            return 1
+        return 0
+
+    names = (args.benches.split(",") if args.benches
+             else HEADLINE_BENCHES)
     baseline = load_benchmarks(args.baseline)
 
     width = max(len(name) for name in names)

@@ -8,8 +8,14 @@
  * the end (queue high-water, shard hits vs. build locks) -- see
  * docs/performance.md.
  *
+ * Connect and reconnect time is measured apart from serve latency:
+ * the per-request clock starts at (re)submit, after any reconnect
+ * completed, so transport repair cost never pollutes the serving
+ * percentiles and is reported on its own line instead.
+ *
  *   raceload --unix /tmp/rl.sock --requests 200 --window 8
  *   raceload --tcp 7411 --mode mixed --expect-no-rejections
+ *   raceload --tcp 7411 --dump-histograms --expect-metrics
  */
 
 #include <algorithm>
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "rl/serve/client.h"
+#include "rl/telemetry/registry.h"
 
 using namespace racelogic;
 using Clock = std::chrono::steady_clock;
@@ -51,7 +58,13 @@ usage(const char *argv0)
         "  --retries N             resubmits after a client-side timeout\n"
         "                          or disconnect (default 0)\n"
         "  --expect-no-rejections  exit 1 unless every request was Ok\n"
-        "                          (client-side timeouts count too)\n",
+        "                          (client-side timeouts count too)\n"
+        "  --dump-histograms       print client-side log2 histograms of\n"
+        "                          serve latency and connect/retry time\n"
+        "                          (p50/p90/p99/p999)\n"
+        "  --expect-metrics        scrape the daemon's Metrics frame at\n"
+        "                          the end; exit 1 unless it shows\n"
+        "                          served requests and latency samples\n",
         argv0);
 }
 
@@ -81,6 +94,8 @@ main(int argc, char **argv)
     long long timeoutMs = 0;
     int retries = 0;
     bool expectNoRejections = false;
+    bool dumpHistograms = false;
+    bool expectMetrics = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -113,6 +128,10 @@ main(int argc, char **argv)
             retries = std::atoi(value());
         } else if (arg == "--expect-no-rejections") {
             expectNoRejections = true;
+        } else if (arg == "--dump-histograms") {
+            dumpHistograms = true;
+        } else if (arg == "--expect-metrics") {
+            expectMetrics = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -129,16 +148,39 @@ main(int argc, char **argv)
     if (threshold < 0)
         threshold = static_cast<long long>(2 * len);
 
+    // Client-side telemetry: serve latency and connect/retry time go
+    // into *separate* histograms so transport repair cost (reconnect
+    // + resubmit) never leaks into the serving percentiles.
+    telemetry::Registry registry;
+    telemetry::Histogram *latencyHist =
+        registry.addHistogram("raceload_request_us").valueOrFatal();
+    telemetry::Histogram *connectHist =
+        registry.addHistogram("raceload_connect_us").valueOrFatal();
+
     const int64_t connectMs = timeoutMs > 0 ? timeoutMs : -1;
+    const Clock::time_point connectBegin = Clock::now();
     serve::ServeClient client =
         unixPath.empty()
             ? serve::ServeClient::overTcp(static_cast<uint16_t>(tcpPort),
                                           connectMs)
             : serve::ServeClient::overUnix(unixPath, connectMs);
+    connectHist->record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - connectBegin)
+            .count()));
     if (!client.ok()) {
         std::perror("raceload: connect failed");
         return 1;
     }
+    auto timedReconnect = [&]() {
+        const Clock::time_point t0 = Clock::now();
+        const bool ok = client.reconnect(timeoutMs > 0 ? timeoutMs : -1);
+        connectHist->record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
+        return ok;
+    };
 
     const bio::Alphabet dna("ACGT");
     // Fig. 2b: match 1, mismatch 2, indel 1 -- race-ready weights.
@@ -237,7 +279,7 @@ main(int argc, char **argv)
             }
             if (resolved >= requests && resubmit.empty())
                 break;
-            if (!client.reconnect(timeoutMs > 0 ? timeoutMs : -1)) {
+            if (!timedReconnect()) {
                 std::fprintf(stderr, "raceload: reconnect failed\n");
                 return 1;
             }
@@ -264,6 +306,7 @@ main(int argc, char **argv)
                 .count();
         pending.erase(it);
         latenciesUs.push_back(us);
+        latencyHist->record(static_cast<uint64_t>(us));
         ++resolved;
         if (response.status == serve::Status::Ok)
             ++okCount;
@@ -300,10 +343,22 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(timeouts),
                 static_cast<unsigned long long>(retriesUsed));
 
+    if (dumpHistograms) {
+        const telemetry::Snapshot snap = registry.snapshot();
+        for (const telemetry::HistogramSnapshot &h : snap.histograms) {
+            std::printf("raceload: %s count=%llu p50=%.1f p90=%.1f "
+                        "p99=%.1f p999=%.1f\n",
+                        h.name.c_str(),
+                        static_cast<unsigned long long>(h.count),
+                        h.percentile(50), h.percentile(90),
+                        h.percentile(99), h.percentile(99.9));
+        }
+    }
+
     // The daemon-side ledger: admission counters and the shard
     // hit/build-lock split (the 1-CPU scaling evidence).
     if (!client.ok())
-        client.reconnect(timeoutMs > 0 ? timeoutMs : -1);
+        timedReconnect();
     if (client.submitStats(0)) {
         serve::Response stats;
         if (client.receive(stats) && stats.queueStats) {
@@ -328,6 +383,47 @@ main(int argc, char **argv)
                             static_cast<unsigned long long>(s.shardHits),
                             static_cast<unsigned long long>(s.buildLocks));
         }
+    }
+
+    // The daemon's own telemetry, over the wire: after a load run the
+    // served-request counter and the end-to-end latency histogram
+    // must both have moved, or the observability plumbing is broken.
+    if (expectMetrics) {
+        if (!client.ok() && !timedReconnect()) {
+            std::fprintf(stderr,
+                         "raceload: FAIL -- cannot scrape metrics\n");
+            return 1;
+        }
+        serve::Response metrics;
+        if (!client.submitMetrics(0) || !client.receive(metrics) ||
+            metrics.status != serve::Status::Ok ||
+            !metrics.metrics.has_value()) {
+            std::fprintf(stderr,
+                         "raceload: FAIL -- Metrics scrape failed\n");
+            return 1;
+        }
+        const telemetry::Snapshot &snap = *metrics.metrics;
+        const telemetry::CounterSnapshot *served =
+            snap.counter("rl_serve_requests_total");
+        const telemetry::HistogramSnapshot *e2e =
+            snap.histogram("rl_serve_request_us");
+        if (!served || served->value == 0) {
+            std::fprintf(stderr, "raceload: FAIL -- daemon served us "
+                                 "but rl_serve_requests_total is %s\n",
+                         served ? "zero" : "absent");
+            return 1;
+        }
+        if (!e2e || e2e->count == 0) {
+            std::fprintf(stderr, "raceload: FAIL -- rl_serve_request_us "
+                                 "has %s samples\n",
+                         e2e ? "zero" : "no");
+            return 1;
+        }
+        std::printf("raceload: daemon metrics ok -- requests=%llu "
+                    "latency-samples=%llu p99=%.1f us\n",
+                    static_cast<unsigned long long>(served->value),
+                    static_cast<unsigned long long>(e2e->count),
+                    e2e->percentile(99));
     }
 
     if (expectNoRejections && rejected != 0) {

@@ -6,9 +6,12 @@
  * serves the length-prefixed binary protocol (src/rl/serve/wire.h).
  * SIGTERM/SIGINT triggers a clean drain: every admitted request
  * finishes and flushes its response before the process exits 0.
+ * SIGUSR1 dumps the full telemetry snapshot (Prometheus text) to
+ * stderr without disturbing service; --metrics-dump prints the same
+ * exposition once more after the final drain.
  *
  *   raceserved --unix /tmp/rl.sock --gfa examples/data/bubbles.gfa
- *   raceserved --tcp 0 --workers 4 --depth 64
+ *   raceserved --tcp 0 --workers 4 --depth 64 --metrics-dump
  */
 
 #include <csignal>
@@ -27,11 +30,18 @@ using namespace racelogic;
 namespace {
 
 volatile std::sig_atomic_t gStopRequested = 0;
+volatile std::sig_atomic_t gDumpRequested = 0;
 
 void
 onSignal(int)
 {
     gStopRequested = 1;
+}
+
+void
+onDumpSignal(int)
+{
+    gDumpRequested = 1;
 }
 
 void
@@ -43,6 +53,7 @@ usage(const char *argv0)
         "          [--alphabet LETTERS] [--workers N] [--depth N]\n"
         "          [--threshold T] [--max-product-states N]\n"
         "          [--idle-timeout-ms MS] [--io-timeout-ms MS]\n"
+        "          [--slow-ms MS] [--no-telemetry] [--metrics-dump]\n"
         "          [--quiet]\n"
         "\n"
         "  --unix PATH       listen on a Unix-domain socket\n"
@@ -65,6 +76,16 @@ usage(const char *argv0)
         "  --io-timeout-ms MS\n"
         "                    sever peers that stall mid-frame or stop\n"
         "                    reading responses (default 10000; 0 = never)\n"
+        "  --slow-ms MS      log any request whose end-to-end latency\n"
+        "                    reaches MS ms, with its stage breakdown\n"
+        "                    (default 0 = off)\n"
+        "  --no-telemetry    skip metric registration entirely (the\n"
+        "                    Metrics request still answers with the\n"
+        "                    queue/shard series)\n"
+        "  --metrics-dump    print the Prometheus-text telemetry\n"
+        "                    snapshot to stderr after the final drain;\n"
+        "                    SIGUSR1 prints one at any time while\n"
+        "                    serving\n"
         "  --quiet           suppress the final stats report\n",
         argv0);
 }
@@ -78,6 +99,7 @@ main(int argc, char **argv)
     std::string gfaPath;
     std::string alphabetLetters = "ACGT";
     bool quiet = false;
+    bool metricsDump = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -109,6 +131,12 @@ main(int argc, char **argv)
             cfg.idleTimeoutMs = std::atoll(value());
         } else if (arg == "--io-timeout-ms") {
             cfg.ioTimeoutMs = std::atoll(value());
+        } else if (arg == "--slow-ms") {
+            cfg.slowMs = std::atoll(value());
+        } else if (arg == "--no-telemetry") {
+            cfg.telemetry = false;
+        } else if (arg == "--metrics-dump") {
+            metricsDump = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -156,10 +184,26 @@ main(int argc, char **argv)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
-    while (!gStopRequested)
+    std::signal(SIGUSR1, onDumpSignal);
+    while (!gStopRequested) {
         ::pause(); // signals are the only way out
+        if (gDumpRequested) {
+            gDumpRequested = 0;
+            const std::string text =
+                server.metricsSnapshot().renderPrometheus();
+            std::fwrite(text.data(), 1, text.size(), stderr);
+            std::fflush(stderr);
+        }
+    }
 
     server.stop(); // drain: admitted requests finish and flush
+
+    if (metricsDump) {
+        const std::string text =
+            server.metricsSnapshot().renderPrometheus();
+        std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
+    }
 
     if (!quiet) {
         const serve::QueueStats q = server.queueStats();
