@@ -13,7 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -130,6 +133,106 @@ BM_ServeSaturationNoTelemetry(benchmark::State &state)
     serveSaturation(state, false);
 }
 BENCHMARK(BM_ServeSaturationNoTelemetry)->Arg(64)->UseRealTime();
+
+/**
+ * Overload with a class mix: a 2x-saturating pipeline of batch,
+ * normal, and interactive pairwise requests against a queue too small
+ * to hold them all, so admission must shed.  The headline story is
+ * the per-class split: interactive keeps serving (its shed count pins
+ * to ~0) while batch absorbs the evictions -- the counters export
+ * exactly that (per-class served p99 in microseconds plus per-class
+ * sheds, QueueFull + evictions, from the daemon's ledger).
+ */
+void
+BM_ServeMixedPriority(benchmark::State &state)
+{
+    const size_t n = size_t(state.range(0));
+    const size_t window = 32; // 2x the queue: admission must choose
+
+    serve::ServerConfig cfg;
+    cfg.unixPath = benchSocketPath();
+    cfg.workers = 2;
+    cfg.queueDepth = window / 2;
+    // Keep the dispatcher from inhaling the whole queue (eviction can
+    // only claim *queued* victims) but let each drain cover one full
+    // weight round (1+2+4) so batch keeps its starvation-free slot --
+    // the production shape, where depth >> drain batch >= the round.
+    cfg.drainBatchMax = 7;
+    cfg.engine.withEstimates = false;
+    serve::AlignServer server(std::move(cfg));
+    if (!server.start()) {
+        state.SkipWithError("failed to bind bench socket");
+        return;
+    }
+    serve::ServeClient client =
+        serve::ServeClient::overUnix(benchSocketPath());
+
+    const bio::ScoreMatrix costs = bio::ScoreMatrix::dnaShortestPath();
+    const std::string a = randomDna(1, n), b = randomDna(2, n);
+
+    uint32_t id = 1;
+    serve::Response response;
+    client.submitPairwise(id++, costs, a, b); // warm the plan
+    client.receive(response);
+
+    // Submit stamps per id so pipelined receives still yield honest
+    // per-request latencies; class is id % 3, recomputed on receive.
+    // Each iteration fires one 2x-depth burst and drains it fully:
+    // resubmitting on rejection would couple the offered rate to the
+    // (fast) rejection rate and turn 2x overload into a spiral.
+    std::vector<std::chrono::steady_clock::time_point> stamp(1 << 16);
+    std::vector<std::vector<double>> latencyUs(serve::kPriorityClasses);
+    int64_t served = 0;
+    for (auto _ : state) {
+        for (size_t w = 0; w < window; ++w) {
+            stamp[id % stamp.size()] = std::chrono::steady_clock::now();
+            client.submitPairwise(
+                id, costs, a, b, 0,
+                static_cast<serve::Priority>(id % 3));
+            ++id;
+        }
+        for (size_t w = 0; w < window; ++w) {
+            if (!client.receive(response)) {
+                state.SkipWithError("daemon disconnected");
+                return;
+            }
+            if (response.status == serve::Status::Ok) {
+                const double us =
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() -
+                        stamp[response.id % stamp.size()])
+                        .count();
+                latencyUs[response.id % 3].push_back(us);
+                ++served;
+            }
+        }
+    }
+    state.SetItemsProcessed(served);
+
+    static const char *const kClassName[serve::kPriorityClasses] = {
+        "batch", "normal", "interactive"};
+    for (size_t c = 0; c < serve::kPriorityClasses; ++c) {
+        std::vector<double> &lat = latencyUs[c];
+        double p99 = 0.0;
+        if (!lat.empty()) {
+            std::sort(lat.begin(), lat.end());
+            p99 = lat[(lat.size() * 99) / 100 -
+                      ((lat.size() * 99) % 100 == 0 && lat.size() > 1
+                           ? 1
+                           : 0)];
+        }
+        state.counters[std::string(kClassName[c]) + "_p99_us"] = p99;
+    }
+    const serve::QueueStats q = server.queueStats();
+    for (size_t c = 0; c < serve::kPriorityClasses; ++c)
+        state.counters[std::string(kClassName[c]) + "_shed"] =
+            double(q.classes[c].rejectedQueueFull +
+                   q.classes[c].shedEvicted);
+
+    server.stop();
+}
+BENCHMARK(BM_ServeMixedPriority)->Arg(64)->UseRealTime();
 
 /**
  * Protocol floor: a Ping round trip is pure wire + socket overhead

@@ -9,6 +9,7 @@
 #include "rl/core/generalized.h"
 #include "rl/core/race_grid.h"
 #include "rl/core/race_network.h"
+#include "rl/core/scratch_registry.h"
 #include "rl/core/wavefront.h"
 #include "rl/pangraph/alignment_graph.h"
 #include "rl/pangraph/graph_aligner.h"
@@ -61,7 +62,62 @@ struct RaceEngine::Plan {
     {
         return behavioral->matrix();
     }
+
+    /**
+     * Approximate resident heap bytes -- the memory budget's
+     * currency.  Counts the dominant allocations (netlist gates,
+     * compiled-graph CSRs, score tables); the budget needs honest
+     * bookkeeping that tracks reality, not byte-exact totals.
+     */
+    size_t residentBytes() const;
 };
+
+namespace {
+
+/** Approximate heap bytes of one score matrix's tables. */
+size_t
+scoreMatrixBytes(const bio::ScoreMatrix &matrix)
+{
+    const size_t n = matrix.alphabet().size();
+    return (n * n + n) * sizeof(bio::Score) + sizeof(bio::ScoreMatrix);
+}
+
+} // namespace
+
+size_t
+RaceEngine::Plan::residentBytes() const
+{
+    size_t bytes = sizeof(Plan);
+    if (input)
+        bytes += scoreMatrixBytes(*input);
+    if (conversion)
+        bytes += scoreMatrixBytes(conversion->costs);
+    if (behavioral)
+        bytes += scoreMatrixBytes(behavioral->matrix());
+    if (fabric) {
+        // Gate storage dominates a synthesized fabric; ~64 bytes per
+        // gate covers the Gate record plus its input vector.
+        bytes += fabric->netlist().gateCount() * 64;
+    }
+    if (array) {
+        // One PE row per diagonal; storage scales with the perimeter.
+        bytes += (rows + cols + 2) * 128;
+    }
+    if (graphAligner) {
+        const pangraph::CompiledGraph &cg = graphAligner->compiled();
+        bytes += cg.symbol.capacity() * sizeof(bio::Symbol) +
+                 cg.segmentOf.capacity() * sizeof(pangraph::SegmentId) +
+                 (cg.firstChar.capacity() + cg.lastChar.capacity() +
+                  cg.succ.capacity() + cg.pred.capacity()) *
+                     sizeof(pangraph::CharPos) +
+                 (cg.succOffsets.capacity() + cg.predOffsets.capacity()) *
+                     sizeof(uint32_t) +
+                 cg.terminal.capacity() +
+                 cg.gapWeight.capacity() * sizeof(bio::Score) +
+                 scoreMatrixBytes(graphAligner->costs());
+    }
+    return bytes;
+}
 
 namespace {
 
@@ -157,6 +213,48 @@ RaceEngine::clearPlanCache()
 {
     lru.clear();
     index.clear();
+    std::lock_guard<std::mutex> lock(statsMutex);
+    cacheBytes = 0;
+}
+
+size_t
+RaceEngine::planCacheBytes() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return cacheBytes;
+}
+
+size_t
+RaceEngine::evictLruPlan()
+{
+    if (lru.empty())
+        return 0;
+    const size_t freed = lru.back().second->residentBytes();
+    index.erase(lru.back().first);
+    lru.pop_back();
+    std::lock_guard<std::mutex> lock(statsMutex);
+    cacheBytes -= std::min(cacheBytes, freed);
+    return freed;
+}
+
+size_t
+RaceEngine::evictGraphPlans()
+{
+    size_t freed = 0;
+    for (auto it = lru.begin(); it != lru.end();) {
+        if (it->second->graphAligner == nullptr) {
+            ++it;
+            continue;
+        }
+        freed += it->second->residentBytes();
+        index.erase(it->first);
+        it = lru.erase(it);
+    }
+    if (freed > 0) {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        cacheBytes -= std::min(cacheBytes, freed);
+    }
+    return freed;
 }
 
 std::shared_ptr<RaceEngine::Plan>
@@ -243,10 +341,12 @@ RaceEngine::planFor(const RaceProblem &problem, bool recordHit)
     auto plan = buildPlan(problem);
     lru.emplace_front(key, plan);
     index[key] = lru.begin();
-    while (lru.size() > cfg.planCacheCapacity) {
-        index.erase(lru.back().first);
-        lru.pop_back();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        cacheBytes += plan->residentBytes();
     }
+    while (lru.size() > cfg.planCacheCapacity)
+        evictLruPlan();
     return plan;
 }
 
@@ -344,13 +444,23 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
                          threshold != bio::kScoreInfinity;
     // One kernel scratch per thread: the batch screening loop (and
     // every serial solve) reuses the bucket-calendar arena instead of
-    // allocating it per comparison.
+    // allocating it per comparison.  The registry entry publishes the
+    // arena's resident bytes so the serving layer's memory budget can
+    // see -- and, via shrinkIdle(), reclaim -- capacity pinned inside
+    // worker threads; the lease keeps shrinkers off a live solve.
     static thread_local core::RaceGridScratch scratch;
+    static thread_local core::ScratchRegistration scratchReg(
+        [s = &scratch] {
+            s->shrinkToFit();
+            return s->residentBytes();
+        });
+    core::ScratchLease lease(scratchReg.entry());
     core::RaceGridResult raced = plan.behavioral->align(
         a, b,
         bounded ? static_cast<sim::Tick>(threshold)
                 : sim::kTickInfinity,
         scratch, problem.cancel, problem.counters);
+    lease.release(scratch.residentBytes());
     rl_assert(bounded || raced.cancelled || raced.completed,
               "sink never fired; gap weights should guarantee a path");
     result.completed = raced.completed;

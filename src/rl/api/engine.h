@@ -221,6 +221,30 @@ class RaceEngine
     /** Plans currently held in the cache. */
     size_t planCacheSize() const { return lru.size(); }
 
+    /**
+     * Approximate resident heap bytes of the cached plans, maintained
+     * on every insert and evict.  Like stats(), readable from a
+     * thread that does not own the engine (same mutex) -- the serve
+     * layer's memory budget sums this across shards.
+     */
+    size_t planCacheBytes() const;
+
+    /**
+     * Evict the least-recently-used plan; returns approximate bytes
+     * freed (0 when the cache is empty).  The serve layer's brownout
+     * reclaim calls this until back under its low watermark.
+     */
+    size_t evictLruPlan();
+
+    /**
+     * Evict every graph-keyed (GraphAlign) plan; returns approximate
+     * bytes freed.  A hot graph reload makes the old graph's plans
+     * permanently unreachable (the new fingerprint never matches
+     * their keys), so the reload path drops them eagerly instead of
+     * waiting for LRU churn -- grid-family plans are untouched.
+     */
+    size_t evictGraphPlans();
+
     /** Drop every cached plan (statistics are preserved). */
     void clearPlanCache();
 
@@ -283,8 +307,11 @@ class RaceEngine
 
     EngineConfig cfg;
 
-    /** Counters + their snapshot mutex (see stats()). */
+    /** Counters + their snapshot mutex (see stats()).  cacheBytes
+     *  rides under the same mutex so planCacheBytes() is readable
+     *  cross-thread like stats(). */
     EngineStats statistics;
+    size_t cacheBytes = 0;
     mutable std::mutex statsMutex;
 
     std::unique_ptr<util::ThreadPool> pool;

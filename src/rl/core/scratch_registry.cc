@@ -1,0 +1,89 @@
+#include "rl/core/scratch_registry.h"
+
+namespace racelogic::core {
+
+ScratchRegistry &
+ScratchRegistry::instance()
+{
+    // Leaked on purpose: thread_local scratch destructors may run
+    // after static destruction would have torn this down.
+    static ScratchRegistry *registry = new ScratchRegistry();
+    return *registry;
+}
+
+ScratchEntry &
+ScratchRegistry::registerEntry(std::function<size_t()> shrink)
+{
+    ScratchEntry *entry = new ScratchEntry(); // leaked with the registry
+    entry->shrink = std::move(shrink);
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.push_back(entry);
+    return *entry;
+}
+
+size_t
+ScratchRegistry::totalResidentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t total = 0;
+    for (const ScratchEntry *entry : entries)
+        total += entry->residentBytes.load(std::memory_order_relaxed);
+    return total;
+}
+
+size_t
+ScratchRegistry::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+size_t
+ScratchRegistry::shrinkIdle(std::chrono::nanoseconds idle)
+{
+    std::vector<ScratchEntry *> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        snapshot = entries;
+    }
+    const int64_t cutoff =
+        (std::chrono::steady_clock::now() - idle).time_since_epoch().count();
+    size_t reclaimed = 0;
+    for (ScratchEntry *entry : snapshot) {
+        if (entry->lastUseNs.load(std::memory_order_relaxed) > cutoff)
+            continue;
+        // Never block a solve: a busy entry is by definition not
+        // idle, and a later pass will catch it.
+        if (!entry->busy.try_lock())
+            continue;
+        // A tombstone slot: its thread died and retracted the hook.
+        if (!entry->shrink) {
+            entry->busy.unlock();
+            continue;
+        }
+        const size_t before =
+            entry->residentBytes.load(std::memory_order_relaxed);
+        const size_t after = entry->shrink();
+        entry->residentBytes.store(after, std::memory_order_relaxed);
+        entry->busy.unlock();
+        reclaimed += before > after ? before - after : 0;
+    }
+    return reclaimed;
+}
+
+ScratchRegistration::ScratchRegistration(std::function<size_t()> shrink)
+    : slot(&ScratchRegistry::instance().registerEntry(std::move(shrink)))
+{
+}
+
+ScratchRegistration::~ScratchRegistration()
+{
+    // The shrink hook points into this thread's dying arena; retract
+    // it under the busy mutex so an in-flight shrinker finishes (or
+    // never starts) before the arena goes away.
+    std::lock_guard<std::mutex> lock(slot->busy);
+    slot->shrink = nullptr;
+    slot->residentBytes.store(0, std::memory_order_relaxed);
+}
+
+} // namespace racelogic::core

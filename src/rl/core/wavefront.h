@@ -144,6 +144,32 @@ struct BucketCalendar {
         pending = 0;
     }
 
+    /**
+     * Release retained capacity.  reset() deliberately keeps the
+     * arena's high-water allocation so steady-state batch loops
+     * allocate nothing per comparison -- but one oversized solve then
+     * pins that high-water for the thread's lifetime.  Brownout and
+     * the idle-worker timer call this to give the memory back; the
+     * next race simply regrows.
+     */
+    void
+    shrinkToFit()
+    {
+        heads.clear();
+        heads.shrink_to_fit();
+        arena.clear();
+        arena.shrink_to_fit();
+        pending = 0;
+    }
+
+    /** Heap bytes currently retained by the ring and arena. */
+    size_t
+    residentBytes() const
+    {
+        return heads.capacity() * sizeof(uint32_t) +
+               arena.capacity() * sizeof(Node);
+    }
+
     /** O(1) append of `cell` to the bucket at ring slot `slot`. */
     void
     push(uint32_t cell, size_t slot)
@@ -222,6 +248,25 @@ struct BucketCalendar {
 struct RaceGridScratch {
     BucketCalendar calendar;
     std::vector<bio::Score> gapA, gapB; ///< hoisted gap weights
+
+    /** Release all retained capacity (see BucketCalendar). */
+    void
+    shrinkToFit()
+    {
+        calendar.shrinkToFit();
+        gapA.clear();
+        gapA.shrink_to_fit();
+        gapB.clear();
+        gapB.shrink_to_fit();
+    }
+
+    /** Heap bytes currently retained across calendar and rows. */
+    size_t
+    residentBytes() const
+    {
+        return calendar.residentBytes() +
+               (gapA.capacity() + gapB.capacity()) * sizeof(bio::Score);
+    }
 };
 
 /**

@@ -99,6 +99,26 @@ struct GraphAlignScratch {
      * (missing edge).
      */
     std::vector<bio::Score> pairRow;
+
+    /** Release all retained capacity (see core::BucketCalendar). */
+    void
+    shrinkToFit()
+    {
+        calendar.shrinkToFit();
+        gapRead.clear();
+        gapRead.shrink_to_fit();
+        pairRow.clear();
+        pairRow.shrink_to_fit();
+    }
+
+    /** Heap bytes currently retained across calendar and rows. */
+    size_t
+    residentBytes() const
+    {
+        return calendar.residentBytes() +
+               (gapRead.capacity() + pairRow.capacity()) *
+                   sizeof(bio::Score);
+    }
 };
 
 /**

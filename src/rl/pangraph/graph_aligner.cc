@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "rl/core/scratch_registry.h"
 #include "rl/core/wavefront.h"
 #include "rl/util/logging.h"
 
@@ -94,9 +95,20 @@ GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
 {
     // One kernel scratch per thread: align() stays const and
     // thread-safe (the scratch is live only within this call), and
-    // repeated aligns stop re-allocating the calendar arena.
+    // repeated aligns stop re-allocating the calendar arena.  The
+    // registry entry publishes resident bytes for the serving memory
+    // budget and lets its janitor shrink an idle worker's arena; the
+    // lease keeps shrinkers off a live solve.
     static thread_local GraphAlignScratch scratch;
-    return align(read, horizon, scratch, cancel, counters);
+    static thread_local core::ScratchRegistration scratchReg(
+        [s = &scratch] {
+            s->shrinkToFit();
+            return s->residentBytes();
+        });
+    core::ScratchLease lease(scratchReg.entry());
+    GraphRaceResult result = align(read, horizon, scratch, cancel, counters);
+    lease.release(scratch.residentBytes());
+    return result;
 }
 
 GraphRaceResult

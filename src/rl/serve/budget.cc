@@ -1,0 +1,34 @@
+#include "rl/serve/budget.h"
+
+#include <algorithm>
+
+namespace racelogic::serve {
+
+MemoryBudget::MemoryBudget(size_t highBytes, size_t lowBytes)
+    : highWatermark(highBytes),
+      lowWatermark(highBytes == 0
+                       ? 0
+                       : std::min(highBytes, lowBytes == 0
+                                                 ? highBytes / 4 * 3
+                                                 : lowBytes))
+{
+}
+
+MemoryBudget::Transition
+MemoryBudget::observe(size_t usageBytes)
+{
+    if (unlimited())
+        return Transition::None;
+    const bool was = latched.load(std::memory_order_relaxed);
+    if (!was && usageBytes >= highWatermark) {
+        latched.store(true, std::memory_order_release);
+        return Transition::Entered;
+    }
+    if (was && usageBytes <= lowWatermark) {
+        latched.store(false, std::memory_order_release);
+        return Transition::Exited;
+    }
+    return Transition::None;
+}
+
+} // namespace racelogic::serve

@@ -44,49 +44,56 @@ ServeClient::reconnect(int64_t connectTimeoutMs)
 bool
 ServeClient::submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
                             const std::string &a, const std::string &b,
-                            uint32_t deadlineMs)
+                            uint32_t deadlineMs, Priority priority)
 {
-    return submitRaw(encodePairwise(id, costs, a, b, deadlineMs));
+    return submitRaw(encodePairwise(id, costs, a, b, deadlineMs,
+                                    priority));
 }
 
 bool
 ServeClient::submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
                           bio::Score open, bio::Score extend,
                           const std::string &a, const std::string &b,
-                          uint32_t deadlineMs)
+                          uint32_t deadlineMs, Priority priority)
 {
     return submitRaw(encodeAffine(id, costs, open, extend, a, b,
-                                  deadlineMs));
+                                  deadlineMs, priority));
 }
 
 bool
 ServeClient::submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
                           bio::Score threshold, const std::string &a,
-                          const std::string &b, uint32_t deadlineMs)
+                          const std::string &b, uint32_t deadlineMs,
+                          Priority priority)
 {
-    return submitRaw(encodeScreen(id, costs, threshold, a, b, deadlineMs));
+    return submitRaw(encodeScreen(id, costs, threshold, a, b, deadlineMs,
+                                  priority));
 }
 
 bool
 ServeClient::submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
                        const std::vector<apps::Sample> &y,
-                       uint32_t deadlineMs)
+                       uint32_t deadlineMs, Priority priority)
 {
-    return submitRaw(encodeDtw(id, x, y, deadlineMs));
+    return submitRaw(encodeDtw(id, x, y, deadlineMs, priority));
 }
 
 bool
 ServeClient::submitGraphAlign(uint32_t id, const std::string &read,
-                              bio::Score threshold, uint32_t deadlineMs)
+                              bio::Score threshold, uint32_t deadlineMs,
+                              Priority priority)
 {
-    return submitRaw(encodeGraphAlign(id, read, threshold, deadlineMs));
+    return submitRaw(encodeGraphAlign(id, read, threshold, deadlineMs,
+                                      priority));
 }
 
 bool
 ServeClient::submitMapReads(uint32_t id, const std::string &fasta,
-                            bio::Score threshold, uint32_t deadlineMs)
+                            bio::Score threshold, uint32_t deadlineMs,
+                            Priority priority)
 {
-    return submitRaw(encodeMapReads(id, fasta, threshold, deadlineMs));
+    return submitRaw(encodeMapReads(id, fasta, threshold, deadlineMs,
+                                    priority));
 }
 
 bool
@@ -105,6 +112,12 @@ bool
 ServeClient::submitMetrics(uint32_t id)
 {
     return submitRaw(encodeMetricsRequest(id));
+}
+
+bool
+ServeClient::submitHealth(uint32_t id)
+{
+    return submitRaw(encodeHealthRequest(id));
 }
 
 bool

@@ -80,28 +80,40 @@ class ServeClient
      * `deadlineMs` rides the request header: the daemon sheds the
      * request if it is still queued when the deadline expires and
      * cancels the race cooperatively if it trips mid-solve (0 =
-     * none).
+     * none).  `priority` picks the admission class: interactive work
+     * drains ahead of normal ahead of batch, and batch is the first
+     * to be shed under saturation or brownout.
      * @{ */
     bool submitPairwise(uint32_t id, const bio::ScoreMatrix &costs,
                         const std::string &a, const std::string &b,
-                        uint32_t deadlineMs = 0);
+                        uint32_t deadlineMs = 0,
+                        Priority priority = Priority::Normal);
     bool submitAffine(uint32_t id, const bio::ScoreMatrix &costs,
                       bio::Score open, bio::Score extend,
                       const std::string &a, const std::string &b,
-                      uint32_t deadlineMs = 0);
+                      uint32_t deadlineMs = 0,
+                      Priority priority = Priority::Normal);
     bool submitScreen(uint32_t id, const bio::ScoreMatrix &costs,
                       bio::Score threshold, const std::string &a,
-                      const std::string &b, uint32_t deadlineMs = 0);
+                      const std::string &b, uint32_t deadlineMs = 0,
+                      Priority priority = Priority::Normal);
     bool submitDtw(uint32_t id, const std::vector<apps::Sample> &x,
                    const std::vector<apps::Sample> &y,
-                   uint32_t deadlineMs = 0);
+                   uint32_t deadlineMs = 0,
+                   Priority priority = Priority::Normal);
     bool submitGraphAlign(uint32_t id, const std::string &read,
-                          bio::Score threshold, uint32_t deadlineMs = 0);
+                          bio::Score threshold, uint32_t deadlineMs = 0,
+                          Priority priority = Priority::Normal);
     bool submitMapReads(uint32_t id, const std::string &fasta,
-                        bio::Score threshold, uint32_t deadlineMs = 0);
+                        bio::Score threshold, uint32_t deadlineMs = 0,
+                        Priority priority = Priority::Normal);
     bool submitStats(uint32_t id);
     bool submitPing(uint32_t id);
     bool submitMetrics(uint32_t id);
+    /** Body-less liveness probe, answered inline even while
+     * saturated: ready/draining/brownout plus uptime and the served
+     * graph version. */
+    bool submitHealth(uint32_t id);
     /** @} */
 
     /** Send a pre-encoded payload (tests use this to send garbage). */

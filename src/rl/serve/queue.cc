@@ -6,6 +6,23 @@
 
 namespace racelogic::serve {
 
+namespace {
+
+/**
+ * Round-robin drain quota per class, indexed by Priority.  Every
+ * non-empty class gets at least one slot per round, so batch can be
+ * delayed by interactive bursts but never starved.
+ */
+constexpr size_t kDrainWeight[kPriorityClasses] = {1, 2, 4};
+
+size_t
+classIndex(Priority priority)
+{
+    return static_cast<size_t>(priority);
+}
+
+} // namespace
+
 QueueStatsWire
 QueueStats::wire() const
 {
@@ -18,47 +35,107 @@ QueueStats::wire() const
     w.rejectedResource = rejectedResource;
     w.rejectedShutdown = rejectedShutdown;
     w.shedDeadline = shedDeadline;
+    w.shedEvicted = shedEvicted;
     w.inflight = inflight;
     w.queued = queued;
     w.highWater = highWater;
+    for (size_t c = 0; c < kPriorityClasses; ++c) {
+        const ClassStats &s = classes[c];
+        ClassStatsWire &cw = w.classes[c];
+        cw.enqueued = s.enqueued;
+        cw.completed = s.completed;
+        cw.rejectedQueueFull = s.rejectedQueueFull;
+        cw.rejectedResource = s.rejectedResource;
+        cw.shedDeadline = s.shedDeadline;
+        cw.shedEvicted = s.shedEvicted;
+        cw.queued = s.queued;
+    }
     return w;
 }
 
-RequestQueue::RequestQueue(size_t depth) : capacity(depth)
+RequestQueue::RequestQueue(size_t depth, size_t brownoutDepth)
+    : capacity(depth),
+      brownoutCapacity(brownoutDepth == 0
+                           ? std::max<size_t>(1, depth / 2)
+                           : std::min(depth,
+                                      std::max<size_t>(1, brownoutDepth)))
 {
     rl_assert(depth > 0, "a zero-depth queue admits nothing");
 }
 
+size_t
+RequestQueue::effectiveDepth() const
+{
+    return brownoutActive ? brownoutCapacity : capacity;
+}
+
 RequestQueue::Admit
-RequestQueue::tryPush(QueuedJob job)
+RequestQueue::tryPush(QueuedJob job, QueuedJob *evicted)
 {
     std::lock_guard<std::mutex> lock(mutex);
     if (shuttingDown) {
         ++counters.rejectedShutdown;
         return Admit::ShuttingDown;
     }
-    const uint64_t outstanding = counters.queued + counters.inflight;
-    if (outstanding >= capacity) {
-        ++counters.rejectedQueueFull;
-        return Admit::QueueFull;
+    const size_t cls = classIndex(job.priority);
+    if (brownoutActive && job.priority == Priority::Batch) {
+        ++counters.rejectedResource;
+        ++counters.classes[cls].rejectedResource;
+        return Admit::Brownout;
     }
-    jobs.push_back(std::move(job));
+    const uint64_t outstanding = counters.queued + counters.inflight;
+    if (outstanding >= effectiveDepth()) {
+        // Shed-lowest-first: a higher class may claim the slot of the
+        // newest queued job in the lowest occupied class below it.
+        // The victim still gets a typed QueueFull reply -- the caller
+        // runs evicted->onShed off this lock.
+        bool tookSlot = false;
+        if (evicted != nullptr) {
+            for (size_t victim = 0; victim < cls; ++victim) {
+                if (jobs[victim].empty())
+                    continue;
+                *evicted = std::move(jobs[victim].back());
+                jobs[victim].pop_back();
+                --counters.queued;
+                --counters.classes[victim].queued;
+                ++counters.shedEvicted;
+                ++counters.classes[victim].shedEvicted;
+                tookSlot = true;
+                break;
+            }
+        }
+        if (!tookSlot) {
+            ++counters.rejectedQueueFull;
+            ++counters.classes[cls].rejectedQueueFull;
+            return Admit::QueueFull;
+        }
+    }
+    jobs[cls].push_back(std::move(job));
     ++counters.enqueued;
     ++counters.queued;
-    counters.highWater = std::max(counters.highWater, outstanding + 1);
+    ++counters.classes[cls].enqueued;
+    ++counters.classes[cls].queued;
+    counters.highWater =
+        std::max(counters.highWater, counters.queued + counters.inflight);
     readable.notify_one();
     return Admit::Accepted;
 }
 
 void
-RequestQueue::noteRejected(Status status)
+RequestQueue::noteRejected(Status status, Priority priority)
 {
     std::lock_guard<std::mutex> lock(mutex);
     switch (status) {
     case Status::Oversized: ++counters.rejectedOversized; break;
     case Status::BadRequest: ++counters.rejectedBadRequest; break;
-    case Status::ResourceExhausted: ++counters.rejectedResource; break;
-    case Status::QueueFull: ++counters.rejectedQueueFull; break;
+    case Status::ResourceExhausted:
+        ++counters.rejectedResource;
+        ++counters.classes[classIndex(priority)].rejectedResource;
+        break;
+    case Status::QueueFull:
+        ++counters.rejectedQueueFull;
+        ++counters.classes[classIndex(priority)].rejectedQueueFull;
+        break;
     case Status::ShuttingDown: ++counters.rejectedShutdown; break;
     case Status::DeadlineExceeded:
         // Shedding is accounted at drain time (shedDeadline), and a
@@ -74,7 +151,9 @@ RequestQueue::drain(size_t max, std::vector<QueuedJob> *shed)
 {
     rl_assert(max > 0, "drain batch must hold at least one job");
     std::unique_lock<std::mutex> lock(mutex);
-    readable.wait(lock, [&] { return !jobs.empty() || shuttingDown; });
+    readable.wait(lock, [&] {
+        return counters.queued > 0 || shuttingDown;
+    });
 
     // Shed-at-drain, not shed-at-push: expiry is checked exactly once
     // per job, by the one dispatcher thread, so a shed job can never
@@ -82,19 +161,32 @@ RequestQueue::drain(size_t max, std::vector<QueuedJob> *shed)
     const auto now = std::chrono::steady_clock::now();
 
     std::vector<QueuedJob> batch;
-    batch.reserve(std::min(max, jobs.size()));
-    while (!jobs.empty() && batch.size() < max) {
-        if (shed != nullptr && jobs.front().deadline <= now) {
-            shed->push_back(std::move(jobs.front()));
-            jobs.pop_front();
-            --counters.queued;
-            ++counters.shedDeadline;
-            continue;
+    batch.reserve(std::min<uint64_t>(max, counters.queued));
+    // Weighted round-robin, highest class first.  Deadline sheds do
+    // not consume quota or batch slots; within a class jobs leave in
+    // FIFO order.
+    while (counters.queued > 0 && batch.size() < max) {
+        for (size_t c = kPriorityClasses; c-- > 0;) {
+            size_t quota = kDrainWeight[c];
+            while (quota > 0 && !jobs[c].empty() && batch.size() < max) {
+                QueuedJob &front = jobs[c].front();
+                if (shed != nullptr && front.deadline <= now) {
+                    shed->push_back(std::move(front));
+                    jobs[c].pop_front();
+                    --counters.queued;
+                    --counters.classes[c].queued;
+                    ++counters.shedDeadline;
+                    ++counters.classes[c].shedDeadline;
+                    continue;
+                }
+                batch.push_back(std::move(front));
+                jobs[c].pop_front();
+                --counters.queued;
+                --counters.classes[c].queued;
+                ++counters.inflight;
+                --quota;
+            }
         }
-        batch.push_back(std::move(jobs.front()));
-        jobs.pop_front();
-        --counters.queued;
-        ++counters.inflight;
     }
     // Shedding the whole backlog can finish the drain: wake
     // waitDrained() just as markDone() would have.
@@ -113,6 +205,37 @@ RequestQueue::markDone(size_t n)
     counters.completed += n;
     if (counters.queued == 0 && counters.inflight == 0)
         drained.notify_all();
+}
+
+void
+RequestQueue::markDone(const std::array<uint64_t, kPriorityClasses> &byClass)
+{
+    uint64_t n = 0;
+    for (uint64_t count : byClass)
+        n += count;
+    std::lock_guard<std::mutex> lock(mutex);
+    rl_assert(counters.inflight >= n,
+              "markDone() retires more jobs than are inflight");
+    counters.inflight -= n;
+    counters.completed += n;
+    for (size_t c = 0; c < kPriorityClasses; ++c)
+        counters.classes[c].completed += byClass[c];
+    if (counters.queued == 0 && counters.inflight == 0)
+        drained.notify_all();
+}
+
+void
+RequestQueue::setBrownout(bool active)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    brownoutActive = active;
+}
+
+bool
+RequestQueue::brownout() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return brownoutActive;
 }
 
 void

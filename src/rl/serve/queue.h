@@ -1,16 +1,33 @@
 /**
  * @file
- * The daemon's bounded request queue with admission control.
+ * The daemon's bounded request queue with priority-aware admission.
  *
  * Connection threads push decoded requests; the dispatcher drains
- * them in FIFO order onto the worker pool.  Admission is bounded on
- * *outstanding* work -- queued plus inflight -- so a saturated
- * daemon rejects new requests with a typed QueueFull verdict instead
- * of buffering without limit (the client can back off or resubmit
- * elsewhere).  All counters are kept under one mutex and snapshot as
- * a unit, so the metrics endpoint never reads a torn view: enqueued
- * always equals completed + queued + inflight + shedDeadline (and
- * every bounced frame lands in exactly one rejected* counter).
+ * them onto the worker pool.  Admission is bounded on *outstanding*
+ * work -- queued plus inflight -- so a saturated daemon rejects new
+ * requests with a typed QueueFull verdict instead of buffering
+ * without limit (the client can back off or resubmit elsewhere).
+ *
+ * Every request carries a traffic class (Priority: batch / normal /
+ * interactive) and the queue keeps one ledger slice per class:
+ *
+ *  - **drain order** is a weighted round-robin (interactive 4 :
+ *    normal 2 : batch 1) -- interactive work drains first but every
+ *    non-empty class advances each round, so batch is starvation-free;
+ *  - **at the bound**, a higher-class arrival evicts the newest
+ *    queued job of the lowest class below it (shed-lowest-first); the
+ *    victim is handed back to the caller, who sends it a typed
+ *    QueueFull reply off the queue lock.  Same-or-lower-class
+ *    arrivals bounce with QueueFull as before;
+ *  - **in brownout** (memory high-watermark crossed), the effective
+ *    depth is halved and batch-class arrivals are shed outright with
+ *    a typed ResourceExhausted -- interactive latency is protected by
+ *    shedding the work that can wait.
+ *
+ * All counters are kept under one mutex and snapshot as a unit, so
+ * the metrics endpoint never reads a torn view: enqueued always
+ * equals completed + queued + inflight + shedDeadline + shedEvicted
+ * (and every bounced frame lands in exactly one rejected* counter).
  *
  * On a 1-CPU host the queue *is* the scaling story: saturation shows
  * up as high-water marks and QueueFull rejections, not wall clock --
@@ -20,6 +37,7 @@
 #ifndef RACELOGIC_SERVE_QUEUE_H
 #define RACELOGIC_SERVE_QUEUE_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -51,10 +69,26 @@ struct QueuedJob {
         std::chrono::steady_clock::time_point::max();
 
     /**
-     * Shed notification (sends the DeadlineExceeded reply); runs off
-     * the queue lock.  May be empty.
+     * Shed notification; sends the typed reply for the verdict the
+     * queue shed this job with (DeadlineExceeded at drain time,
+     * QueueFull when evicted by a higher class).  Runs off the queue
+     * lock.  May be empty.
      */
-    std::function<void()> onShed;
+    std::function<void(Status)> onShed;
+
+    /** Traffic class (selects the per-class ledger slice). */
+    Priority priority = Priority::Normal;
+};
+
+/** One traffic class's slice of the admission ledger. */
+struct ClassStats {
+    uint64_t enqueued = 0;          ///< admitted into this class
+    uint64_t completed = 0;         ///< fully served
+    uint64_t rejectedQueueFull = 0; ///< bounced at the bound
+    uint64_t rejectedResource = 0;  ///< brownout sheds at admission
+    uint64_t shedDeadline = 0;      ///< admitted, expired while queued
+    uint64_t shedEvicted = 0;       ///< admitted, evicted by a higher class
+    uint64_t queued = 0;            ///< admitted, not yet drained
 };
 
 /** Coherent snapshot of the queue's admission counters. */
@@ -64,12 +98,16 @@ struct QueueStats {
     uint64_t rejectedQueueFull = 0;  ///< bounced: queue at depth
     uint64_t rejectedOversized = 0;  ///< bounced: frame/problem too big
     uint64_t rejectedBadRequest = 0; ///< bounced: undecodable/invalid
-    uint64_t rejectedResource = 0;   ///< bounced: compute budget
+    uint64_t rejectedResource = 0;   ///< bounced: compute budget/brownout
     uint64_t rejectedShutdown = 0;   ///< bounced: daemon draining
     uint64_t shedDeadline = 0;       ///< admitted, expired while queued
+    uint64_t shedEvicted = 0;        ///< admitted, evicted at the bound
     uint64_t queued = 0;             ///< admitted, not yet drained
     uint64_t inflight = 0;           ///< drained, not yet completed
     uint64_t highWater = 0;          ///< max outstanding ever observed
+
+    /** Per-class slices, indexed by Priority. */
+    std::array<ClassStats, kPriorityClasses> classes;
 
     uint64_t
     rejected() const
@@ -96,25 +134,43 @@ class RequestQueue
         Accepted,
         QueueFull,
         ShuttingDown,
+        Brownout, ///< batch-class shed at admission (ResourceExhausted)
     };
 
-    explicit RequestQueue(size_t depth);
+    /**
+     * @param depth          Admission bound on outstanding work.
+     * @param brownoutDepth  Bound while the brownout latch is set;
+     *                       0 picks half of `depth` (min 1), and any
+     *                       explicit value is clamped to [1, depth].
+     */
+    explicit RequestQueue(size_t depth, size_t brownoutDepth = 0);
 
-    /** Admit or bounce one job; never blocks. */
-    Admit tryPush(QueuedJob job);
+    /**
+     * Admit or bounce one job; never blocks.  When the bound is hit
+     * and `evicted` is non-null, a job of a strictly higher class may
+     * still be admitted by evicting the newest queued job of the
+     * lowest occupied class below it: the victim is moved into
+     * `*evicted` and the caller must run `evicted->onShed(QueueFull)`
+     * off the queue lock.  With `evicted` null no eviction happens.
+     */
+    Admit tryPush(QueuedJob job, QueuedJob *evicted = nullptr);
 
     /**
      * Count a request that was bounced before it ever became a job
      * (Oversized at the frame layer, BadRequest at decode) so the
-     * admission ledger covers every arriving frame.
+     * admission ledger covers every arriving frame.  `priority`
+     * attributes class-scoped verdicts (QueueFull, brownout
+     * ResourceExhausted) to the request's ledger slice.
      */
-    void noteRejected(Status status);
+    void noteRejected(Status status, Priority priority = Priority::Normal);
 
     /**
      * Block until at least one job is queued (or shutdown), then
-     * move out up to `max` jobs in FIFO order.  The moved jobs are
-     * accounted inflight until markDone().  Returns an empty vector
-     * only when shutting down with nothing left.
+     * move out up to `max` jobs in weighted round-robin order
+     * (interactive 4 : normal 2 : batch 1; FIFO within a class).
+     * The moved jobs are accounted inflight until markDone().
+     * Returns an empty vector only when shutting down with nothing
+     * left.
      *
      * When `shed` is non-null, jobs whose deadline has already passed
      * are moved into it instead of the batch (counted shedDeadline,
@@ -125,8 +181,23 @@ class RequestQueue
     std::vector<QueuedJob> drain(size_t max,
                                  std::vector<QueuedJob> *shed = nullptr);
 
-    /** Retire `n` drained jobs (dispatcher, after the pool returns). */
+    /**
+     * Retire `n` drained jobs (dispatcher, after the pool returns).
+     * The overload with per-class counts also advances the class
+     * ledgers' completed columns.
+     */
     void markDone(size_t n);
+    void markDone(const std::array<uint64_t, kPriorityClasses> &byClass);
+
+    /**
+     * Flip the brownout latch.  While active, the effective admission
+     * depth drops to the brownout depth and batch-class pushes are
+     * shed with Admit::Brownout; flipping it off restores full depth.
+     */
+    void setBrownout(bool active);
+
+    /** Whether the brownout latch is currently set. */
+    bool brownout() const;
 
     /** Reject new pushes from now on; drain() keeps emptying. */
     void beginShutdown();
@@ -140,14 +211,19 @@ class RequestQueue
     size_t depth() const { return capacity; }
 
   private:
+    /** Admission bound under the current brownout state (locked). */
+    size_t effectiveDepth() const;
+
     const size_t capacity;
+    const size_t brownoutCapacity;
 
     mutable std::mutex mutex;
     std::condition_variable readable; ///< jobs available / shutdown
     std::condition_variable drained;  ///< everything retired
-    std::deque<QueuedJob> jobs;
+    std::array<std::deque<QueuedJob>, kPriorityClasses> jobs;
     QueueStats counters;
     bool shuttingDown = false;
+    bool brownoutActive = false;
 };
 
 } // namespace racelogic::serve

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "rl/core/cancel.h"
+#include "rl/core/scratch_registry.h"
+#include "rl/pangraph/graph_aligner.h"
 #include "rl/util/logging.h"
 
 namespace racelogic::serve {
@@ -50,14 +52,56 @@ toSolveReply(const api::RaceResult &result)
 AlignServer::AlignServer(ServerConfig config)
     : cfg(std::move(config)),
       shards(cfg.workers == 0 ? 1 : cfg.workers, cfg.engine),
-      queue(cfg.queueDepth),
-      pool(cfg.workers == 0 ? 1 : cfg.workers)
+      queue(cfg.queueDepth, cfg.brownoutDepth),
+      pool(cfg.workers == 0 ? 1 : cfg.workers),
+      budget(cfg.memBudgetBytes),
+      serveAlphabet(cfg.graph ? cfg.graph->alphabet()
+                              : bio::Alphabet("ACGT"))
 {
-    if (cfg.graph)
+    if (cfg.graph) {
         rl_assert(cfg.graphMatrix.has_value(),
                   "a preloaded pangenome needs its score matrix");
+        shards.setGraph(cfg.graph, std::make_shared<bio::ScoreMatrix>(
+                                       *cfg.graphMatrix));
+    }
     if (cfg.telemetry)
         registerMetrics();
+}
+
+racelogic::Status
+AlignServer::reloadGraph(
+    std::shared_ptr<const pangraph::VariationGraph> graph,
+    std::optional<bio::ScoreMatrix> matrix)
+{
+    if (!graph)
+        return racelogic::Status::error(
+            racelogic::ErrorCode::InvalidArgument,
+            "reload needs a graph; the old graph keeps serving");
+    // Connections snapshot their decode alphabet once; a reload that
+    // changed it would silently re-interpret reads mid-stream.
+    if (!(graph->alphabet() == serveAlphabet))
+        return racelogic::Status::error(
+            racelogic::ErrorCode::InvalidArgument,
+            "reloaded graph changes the serving alphabet; rejected");
+    GraphSnapshot current = shards.graphSnapshot();
+    if (!matrix.has_value() && current.matrix)
+        matrix = *current.matrix;
+    if (!matrix.has_value())
+        return racelogic::Status::error(
+            racelogic::ErrorCode::InvalidArgument,
+            "reload needs a score matrix (none currently loaded)");
+    // Compile-check on the calling thread -- the same validation a
+    // GraphAlign plan build runs -- so an uncompilable graph/matrix
+    // pair is a typed failure here, never a worker fatal later.
+    Expected<pangraph::GraphAligner> compiled =
+        pangraph::GraphAligner::tryMake(graph, *matrix);
+    if (!compiled.ok())
+        return compiled.status();
+    const uint64_t version = shards.setGraph(
+        std::move(graph), std::make_shared<bio::ScoreMatrix>(
+                              std::move(*matrix)));
+    rl_inform("serve: graph reloaded, version=", version);
+    return racelogic::Status{};
 }
 
 void
@@ -118,9 +162,37 @@ AlignServer::metricsSnapshot() const
     counter("rl_queue_rejected_resource_total", q.rejectedResource);
     counter("rl_queue_rejected_shutdown_total", q.rejectedShutdown);
     counter("rl_queue_shed_deadline_total", q.shedDeadline);
+    counter("rl_queue_shed_evicted_total", q.shedEvicted);
     gauge("rl_queue_queued", static_cast<int64_t>(q.queued));
     gauge("rl_queue_inflight", static_cast<int64_t>(q.inflight));
     gauge("rl_queue_high_water", static_cast<int64_t>(q.highWater));
+
+    static const char *const kClassName[kPriorityClasses] = {
+        "batch", "normal", "interactive"};
+    for (size_t c = 0; c < kPriorityClasses; ++c) {
+        const ClassStatsWire &cls = q.classes[c];
+        const std::string prefix =
+            std::string("rl_queue_") + kClassName[c] + "_";
+        counter(prefix + "enqueued_total", cls.enqueued);
+        counter(prefix + "completed_total", cls.completed);
+        counter(prefix + "rejected_queue_full_total",
+                cls.rejectedQueueFull);
+        counter(prefix + "rejected_resource_total", cls.rejectedResource);
+        counter(prefix + "shed_deadline_total", cls.shedDeadline);
+        counter(prefix + "shed_evicted_total", cls.shedEvicted);
+        gauge(prefix + "queued", static_cast<int64_t>(cls.queued));
+    }
+
+    // Brownout observability: the gauge mirrors exactly what Health
+    // reports, and the rl_mem_* gauges expose the same usage the
+    // janitor feeds into the budget latch.
+    gauge("rl_serve_brownout", budget.browned() ? 1 : 0);
+    gauge("rl_mem_plan_cache_bytes",
+          static_cast<int64_t>(shards.planCacheBytesTotal()));
+    gauge("rl_mem_scratch_bytes",
+          static_cast<int64_t>(
+              core::ScratchRegistry::instance().totalResidentBytes()));
+    gauge("rl_mem_budget_bytes", static_cast<int64_t>(budget.high()));
 
     uint64_t solves = 0, built = 0, hits = 0, shardHits = 0, locks = 0;
     const std::vector<ShardStatsWire> perShard = shards.statsSnapshot();
@@ -227,7 +299,9 @@ AlignServer::start()
     if (!unixListener.valid() && !tcpListener.valid())
         return false;
 
+    startTime = std::chrono::steady_clock::now();
     dispatcher = std::thread([this] { dispatchLoop(); });
+    janitor = std::thread([this] { janitorLoop(); });
     if (unixListener.valid())
         acceptThreads.emplace_back(
             [this, fd = unixListener.get()] { acceptLoop(fd); });
@@ -248,6 +322,12 @@ AlignServer::stop()
     //    read side of every live connection unblocks its reader
     //    without cutting off responses still flowing the other way.
     stopping.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(janitorMutex);
+        janitorCv.notify_all();
+    }
+    if (janitor.joinable())
+        janitor.join();
     if (unixListener.valid())
         ::shutdown(unixListener.get(), SHUT_RDWR);
     if (tcpListener.valid())
@@ -329,8 +409,10 @@ AlignServer::acceptLoop(int listenFd)
 void
 AlignServer::connectionLoop(std::shared_ptr<Connection> conn)
 {
-    const bio::Alphabet graphAlphabet =
-        cfg.graph ? cfg.graph->alphabet() : bio::Alphabet("ACGT");
+    // The decode alphabet is fixed for the daemon's lifetime --
+    // reloadGraph() rejects a graph that would change it, so an open
+    // connection never re-interprets reads mid-stream.
+    const bio::Alphabet &graphAlphabet = serveAlphabet;
 
     const int64_t idleMs = cfg.idleTimeoutMs > 0 ? cfg.idleTimeoutMs : -1;
     const int64_t ioMs = cfg.ioTimeoutMs > 0 ? cfg.ioTimeoutMs : -1;
@@ -431,10 +513,12 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     const uint32_t id = request.id;
     const RequestTag tag = request.tag;
 
-    // Stats, Ping, and Metrics bypass the queue: the observability
-    // endpoints must answer precisely when the daemon is saturated.
+    // Stats, Ping, Metrics, and Health bypass the queue: the
+    // observability endpoints must answer precisely when the daemon
+    // is saturated -- Health doubly so, since the load balancer's
+    // probe is what routes traffic *away* from a browned-out daemon.
     if (tag == RequestTag::Ping || tag == RequestTag::Stats ||
-        tag == RequestTag::Metrics) {
+        tag == RequestTag::Metrics || tag == RequestTag::Health) {
         Response r;
         r.id = id;
         r.tag = tag;
@@ -443,6 +527,20 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
             r.shardStats = shards.statsSnapshot();
         } else if (tag == RequestTag::Metrics) {
             r.metrics = metricsSnapshot();
+        } else if (tag == RequestTag::Health) {
+            HealthReply h;
+            if (stopping.load(std::memory_order_acquire))
+                h.state = HealthState::Draining;
+            else if (budget.browned())
+                h.state = HealthState::Brownout;
+            else
+                h.state = HealthState::Ready;
+            h.uptimeMs = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - startTime)
+                    .count());
+            h.graphVersion = shards.graphVersion();
+            r.health = h;
         }
         trace.admitDone = telemetry::RequestTrace::Clock::now();
         if (metrics.inlineAnswers)
@@ -459,7 +557,7 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     auto bounce = [&](Status status, std::string message,
                       bool note = true) {
         if (note)
-            queue.noteRejected(status);
+            queue.noteRejected(status, request.priority);
         if (metrics.rejected)
             metrics.rejected->add();
         trace.status = static_cast<uint8_t>(status);
@@ -473,6 +571,11 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     // passed, so the remaining admission gate is the library's own
     // budget check below -- one call covers grid cells and graph
     // product states for every kind, instead of a per-tag copy.
+    // Graph kinds copy the registry snapshot *here*, at admission:
+    // the shared_ptr pins that graph version for this request's whole
+    // lifetime, so a reload can swap the registry underneath without
+    // perturbing a single queued or in-flight solve.
+    const GraphSnapshot graphSnap = shards.graphSnapshot();
     std::vector<api::RaceProblem> problems;
     switch (tag) {
     case RequestTag::Pairwise:
@@ -495,16 +598,16 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
                                                  std::move(request.y)));
         break;
     case RequestTag::GraphAlign:
-        if (!cfg.graph) {
+        if (!graphSnap.graph) {
             bounce(Status::BadRequest, "no pangenome loaded");
             return;
         }
         problems.push_back(api::RaceProblem::graphAlign(
-            *cfg.graphMatrix, *request.read, cfg.graph,
+            *graphSnap.matrix, *request.read, graphSnap.graph,
             request.threshold));
         break;
     case RequestTag::MapReads: {
-        if (!cfg.graph) {
+        if (!graphSnap.graph) {
             bounce(Status::BadRequest, "no pangenome loaded");
             return;
         }
@@ -518,13 +621,14 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         }
         for (bio::Sequence &read : request.reads)
             problems.push_back(api::RaceProblem::graphAlign(
-                *cfg.graphMatrix, std::move(read), cfg.graph,
+                *graphSnap.matrix, std::move(read), graphSnap.graph,
                 request.threshold));
         break;
     }
     case RequestTag::Stats:
     case RequestTag::Ping:
     case RequestTag::Metrics:
+    case RequestTag::Health:
         rl_panic("inline tags handled above");
     }
 
@@ -559,17 +663,20 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
     QueuedJob job;
     job.shard = shard;
     job.deadline = deadline;
-    job.onShed = [this, conn, id, tag, trace]() mutable {
+    job.priority = request.priority;
+    job.onShed = [this, conn, id, tag, trace](Status status) mutable {
         // Shed jobs were never inflight, so they stay out of the
         // raced histograms -- the rl_serve_request_us count must keep
         // matching the queue's completed ledger.
         if (metrics.shed)
             metrics.shed->add();
-        trace.status = static_cast<uint8_t>(Status::DeadlineExceeded);
+        trace.status = static_cast<uint8_t>(status);
         trace.dispatchStart = telemetry::RequestTrace::Clock::now();
-        reply(*conn, errorResponse(id, tag, Status::DeadlineExceeded,
-                                   "deadline expired while queued"),
-              &trace);
+        const char *message =
+            status == Status::QueueFull
+                ? "evicted by a higher-priority arrival"
+                : "deadline expired while queued";
+        reply(*conn, errorResponse(id, tag, status, message), &trace);
         recordTrace(trace, 0, false);
     };
     job.run = [this, conn, id, tag, shard, deadline, trace,
@@ -653,11 +760,21 @@ AlignServer::handleRequest(const std::shared_ptr<Connection> &conn,
         recordTrace(trace, shard + 1, true);
     };
 
-    switch (queue.tryPush(std::move(job))) {
+    QueuedJob evicted;
+    switch (queue.tryPush(std::move(job), &evicted)) {
     case RequestQueue::Admit::Accepted:
+        // A higher-class arrival may have claimed a queued lower-class
+        // job's slot; the victim's typed QueueFull reply runs here,
+        // off the queue lock, on this connection thread.
+        if (evicted.onShed)
+            evicted.onShed(Status::QueueFull);
         break; // the job itself replies once it has raced
     case RequestQueue::Admit::QueueFull:
         bounce(Status::QueueFull, "admission queue at depth", false);
+        break;
+    case RequestQueue::Admit::Brownout:
+        bounce(Status::ResourceExhausted,
+               "brownout: batch-class work shed at admission", false);
         break;
     case RequestQueue::Admit::ShuttingDown:
         bounce(Status::ShuttingDown, "daemon draining", false);
@@ -700,7 +817,7 @@ AlignServer::dispatchLoop()
                 if (g == groups.size()) {
                     for (QueuedJob &job : shed)
                         if (job.onShed)
-                            job.onShed();
+                            job.onShed(Status::DeadlineExceeded);
                     return;
                 }
                 for (QueuedJob *job : groups[g])
@@ -712,9 +829,73 @@ AlignServer::dispatchLoop()
             rl_warn("serve: job raised '", e.what(),
                     "'; dispatcher continues");
         }
-        // Shed jobs were never inflight; only the raced batch retires.
-        if (!batch.empty())
-            queue.markDone(batch.size());
+        // Shed jobs were never inflight; only the raced batch retires
+        // -- per class, so the class ledgers' completed columns stay
+        // coherent with the global one.
+        if (!batch.empty()) {
+            std::array<uint64_t, kPriorityClasses> byClass{};
+            for (const QueuedJob &job : batch)
+                ++byClass[static_cast<size_t>(job.priority)];
+            queue.markDone(byClass);
+        }
+    }
+}
+
+void
+AlignServer::evaluateBudget()
+{
+    const size_t planBytes = shards.planCacheBytesTotal();
+    const size_t scratchBytes =
+        core::ScratchRegistry::instance().totalResidentBytes();
+    const size_t usage = planBytes + scratchBytes;
+
+    switch (budget.observe(usage)) {
+    case MemoryBudget::Transition::Entered:
+        rl_warn("serve: BROWNOUT entered, usage=", usage,
+                " bytes (plans=", planBytes, " scratch=", scratchBytes,
+                ") high=", budget.high(), " low=", budget.low());
+        queue.setBrownout(true);
+        break;
+    case MemoryBudget::Transition::Exited:
+        rl_inform("serve: brownout exited, usage=", usage,
+                  " bytes <= low=", budget.low());
+        queue.setBrownout(false);
+        break;
+    case MemoryBudget::Transition::None:
+        break;
+    }
+
+    if (budget.browned()) {
+        // Reclaim until back under the low watermark: scratch arenas
+        // first (cheap to regrow), then LRU plans (expensive to
+        // rebuild, so only as much as the overshoot demands).
+        core::ScratchRegistry::instance().shrinkAll();
+        const size_t afterScratch =
+            planBytes +
+            core::ScratchRegistry::instance().totalResidentBytes();
+        if (afterScratch > budget.low())
+            shards.evictPlans(afterScratch - budget.low());
+    } else if (cfg.scratchIdleMs > 0) {
+        core::ScratchRegistry::instance().shrinkIdle(
+            std::chrono::milliseconds(cfg.scratchIdleMs));
+    }
+}
+
+void
+AlignServer::janitorLoop()
+{
+    const auto tick = std::chrono::milliseconds(
+        cfg.janitorIntervalMs > 0 ? cfg.janitorIntervalMs : 50);
+    std::unique_lock<std::mutex> lock(janitorMutex);
+    while (!stopping.load(std::memory_order_acquire)) {
+        janitorCv.wait_for(lock, tick, [this] {
+            return stopping.load(std::memory_order_acquire);
+        });
+        if (stopping.load(std::memory_order_acquire))
+            return;
+        lock.unlock();
+        evaluateBudget();
+        lock.lock();
     }
 }
 

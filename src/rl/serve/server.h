@@ -23,10 +23,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "rl/api/api.h"
 #include "rl/core/kernel_counters.h"
 #include "rl/pangraph/variation_graph.h"
+#include "rl/serve/budget.h"
 #include "rl/serve/queue.h"
 #include "rl/serve/shard.h"
 #include "rl/serve/socket.h"
@@ -61,6 +64,29 @@ struct ServerConfig {
 
     /** Admission bound on outstanding (queued + inflight) requests. */
     size_t queueDepth = 64;
+
+    /** Admission bound while browned out (0 = half of queueDepth). */
+    size_t brownoutDepth = 0;
+
+    /**
+     * Daemon-wide memory budget in bytes over plan caches + kernel
+     * scratch arenas (0 = unlimited).  Crossing it latches brownout:
+     * admission depth drops to brownoutDepth, batch-class work sheds
+     * with typed ResourceExhausted, and the janitor reclaims (scratch
+     * shrink-to-fit, LRU plan eviction) until usage is back under the
+     * low watermark (3/4 of the budget).
+     */
+    size_t memBudgetBytes = 0;
+
+    /** Janitor tick: budget evaluation + idle scratch shrink (ms). */
+    int64_t janitorIntervalMs = 50;
+
+    /**
+     * A worker's thread-local scratch arenas are shrunk after this
+     * much idle time (ms; 0 disables the idle shrink -- brownout
+     * reclaim still shrinks them).
+     */
+    int64_t scratchIdleMs = 2000;
 
     /** Max jobs the dispatcher moves onto the pool per drain. */
     size_t drainBatchMax = 16;
@@ -160,6 +186,33 @@ class AlignServer
     /** Coherent admission counters (safe from any thread). */
     QueueStats queueStats() const { return queue.stats(); }
 
+    /** Current brownout latch state (safe from any thread). */
+    bool brownedOut() const { return budget.browned(); }
+
+    /** The graph registry's current version (0 = none loaded). */
+    uint64_t graphVersion() const { return shards.graphVersion(); }
+
+    /**
+     * Hot-swap the preloaded pangenome without dropping a request --
+     * the SIGHUP reload path (tools/raceserved.cc re-parses its --gfa
+     * file and calls this; tests call it directly).
+     *
+     * The new graph is validated and compiled on the *calling*
+     * thread (never the dispatcher), then swapped into the versioned
+     * registry under the build mutex.  In-flight and queued solves
+     * keep racing the snapshot they admitted with -- pinned by
+     * shared_ptr, bit-identical results -- while new admissions see
+     * the new version.  Graph-keyed plans of the old graph are
+     * evicted; grid-family plans survive.
+     *
+     * Any failure (null graph, alphabet mismatch with the serving
+     * alphabet, uncompilable graph/matrix) leaves the old graph
+     * serving and returns the typed reason.
+     */
+    racelogic::Status
+    reloadGraph(std::shared_ptr<const pangraph::VariationGraph> graph,
+                std::optional<bio::ScoreMatrix> matrix = std::nullopt);
+
     /** Coherent per-shard counters (safe from any thread). */
     std::vector<ShardStatsWire> shardStats() const
     {
@@ -216,6 +269,17 @@ class AlignServer
     void dispatchLoop();
 
     /**
+     * Periodic housekeeping off the dispatcher thread: samples plan
+     * cache + scratch arena bytes into the memory budget, drives the
+     * brownout latch (admission depth, batch shedding, reclaim), and
+     * shrinks idle workers' scratch arenas.
+     */
+    void janitorLoop();
+
+    /** One budget evaluation + reclaim pass (janitor tick body). */
+    void evaluateBudget();
+
+    /**
      * Serialize + frame + write one response under the write lock.
      * A non-null `trace` gets its encodeDone / writeDone stamps.
      */
@@ -253,6 +317,12 @@ class AlignServer
     EngineShards shards;
     RequestQueue queue;
     util::ThreadPool pool;
+    MemoryBudget budget;
+
+    /** Alphabet requests decode against; fixed across reloads. */
+    const bio::Alphabet serveAlphabet;
+
+    std::chrono::steady_clock::time_point startTime{};
 
     telemetry::Registry registry;
     MetricSet metrics;
@@ -264,6 +334,10 @@ class AlignServer
     std::atomic<bool> stopping{false};
     std::vector<std::thread> acceptThreads;
     std::thread dispatcher;
+
+    std::thread janitor;
+    std::mutex janitorMutex;
+    std::condition_variable janitorCv;
 
     std::mutex connectionsMutex;
     std::vector<std::shared_ptr<Connection>> connections;

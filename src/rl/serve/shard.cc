@@ -49,6 +49,10 @@ EngineShards::solveOn(size_t shard, const api::RaceProblem &problem)
 {
     rl_assert(shard < shards.size(), "shard index out of range");
     Shard &s = *shards[shard];
+    // Uncontended on the hot path (the dispatcher serializes
+    // same-shard jobs); keeps reload eviction and brownout reclaim
+    // off a live solve's plan cache.
+    std::lock_guard<std::mutex> engineLock(s.engineMutex);
 
     if (planFamilyKind(problem.kind)) {
         if (s.engine.hasPlanFor(problem)) {
@@ -80,6 +84,7 @@ EngineShards::trySolveOn(size_t shard, const api::RaceProblem &problem)
 {
     rl_assert(shard < shards.size(), "shard index out of range");
     Shard &s = *shards[shard];
+    std::lock_guard<std::mutex> engineLock(s.engineMutex);
 
     if (planFamilyKind(problem.kind)) {
         if (s.engine.hasPlanFor(problem)) {
@@ -107,6 +112,77 @@ EngineShards::trySolveOn(size_t shard, const api::RaceProblem &problem)
             return v;
     }
     return s.engine.solve(problem);
+}
+
+uint64_t
+EngineShards::setGraph(
+    std::shared_ptr<const pangraph::VariationGraph> graph,
+    std::shared_ptr<const bio::ScoreMatrix> matrix)
+{
+    rl_assert(graph != nullptr, "setGraph() needs a graph");
+    rl_assert(matrix != nullptr, "a pangenome needs its score matrix");
+    // Under the build mutex: the swap never interleaves with a plan
+    // build, so no shard can cache a plan for a graph that is being
+    // replaced out from under it.
+    std::lock_guard<std::mutex> build(buildMutex);
+    uint64_t version;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex);
+        registry.graph = std::move(graph);
+        registry.matrix = std::move(matrix);
+        version = ++registry.version;
+    }
+    // The old graph's plans are unreachable now (their keys embed the
+    // old fingerprint); drop them instead of waiting for LRU churn.
+    // Grid-family plans survive untouched.
+    for (auto &shardPtr : shards) {
+        std::lock_guard<std::mutex> engineLock(shardPtr->engineMutex);
+        shardPtr->engine.evictGraphPlans();
+    }
+    return version;
+}
+
+GraphSnapshot
+EngineShards::graphSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    return registry;
+}
+
+uint64_t
+EngineShards::graphVersion() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    return registry.version;
+}
+
+size_t
+EngineShards::planCacheBytesTotal() const
+{
+    size_t total = 0;
+    for (const auto &shardPtr : shards)
+        total += shardPtr->engine.planCacheBytes();
+    return total;
+}
+
+size_t
+EngineShards::evictPlans(size_t bytesToReclaim)
+{
+    size_t freed = 0;
+    bool progress = true;
+    while (freed < bytesToReclaim && progress) {
+        progress = false;
+        for (auto &shardPtr : shards) {
+            std::lock_guard<std::mutex> engineLock(shardPtr->engineMutex);
+            const size_t got = shardPtr->engine.evictLruPlan();
+            if (got > 0)
+                progress = true;
+            freed += got;
+            if (freed >= bytesToReclaim)
+                break;
+        }
+    }
+    return freed;
 }
 
 std::vector<ShardStatsWire>

@@ -23,11 +23,14 @@
 #ifndef RACELOGIC_SERVE_SHARD_H
 #define RACELOGIC_SERVE_SHARD_H
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "rl/api/api.h"
+#include "rl/pangraph/variation_graph.h"
 #include "rl/serve/wire.h"
 
 namespace racelogic::serve {
@@ -36,6 +39,22 @@ namespace racelogic::serve {
 struct ShardCounters {
     uint64_t shardHits = 0;  ///< solves that found the plan shard-local
     uint64_t buildLocks = 0; ///< solves that took the shared build lock
+};
+
+/**
+ * One coherent view of the daemon's preloaded pangenome.
+ *
+ * Requests copy a snapshot at admission; the shared_ptr pins the
+ * graph for as long as any queued or in-flight solve still references
+ * it, so a hot reload can swap the registry without ever yanking a
+ * graph out from under a race.  `version` increments on every
+ * successful swap (Health reports it, so an operator can confirm a
+ * reload actually landed).
+ */
+struct GraphSnapshot {
+    std::shared_ptr<const pangraph::VariationGraph> graph;
+    std::shared_ptr<const bio::ScoreMatrix> matrix;
+    uint64_t version = 0;
 };
 
 /**
@@ -77,6 +96,38 @@ class EngineShards
     /** Coherent per-shard counter snapshot (wire layout). */
     std::vector<ShardStatsWire> statsSnapshot() const;
 
+    /**
+     * Install (or hot-swap) the preloaded pangenome.  Runs under the
+     * build mutex -- the swap never interleaves with a plan build --
+     * and evicts every graph-keyed plan from every shard: the new
+     * fingerprint can never hit them, so they are dead weight the
+     * moment the version bumps.  In-flight solves keep racing their
+     * admission-time snapshot (the shared_ptr pins it).  Returns the
+     * new version.
+     */
+    uint64_t setGraph(std::shared_ptr<const pangraph::VariationGraph> graph,
+                      std::shared_ptr<const bio::ScoreMatrix> matrix);
+
+    /** Copy the current graph snapshot (safe from any thread). */
+    GraphSnapshot graphSnapshot() const;
+
+    /** The current graph version (0 = never installed). */
+    uint64_t graphVersion() const;
+
+    /**
+     * Approximate resident bytes across every shard's plan cache
+     * (safe from any thread; feeds the daemon memory budget).
+     */
+    size_t planCacheBytesTotal() const;
+
+    /**
+     * Evict least-recently-used plans round-robin across shards until
+     * roughly `bytesToReclaim` bytes are freed or every cache is
+     * empty.  Returns bytes actually freed.  Safe from the janitor
+     * thread: each eviction holds that shard's engine mutex.
+     */
+    size_t evictPlans(size_t bytesToReclaim);
+
   private:
     struct Shard {
         explicit Shard(const api::EngineConfig &config)
@@ -87,12 +138,24 @@ class EngineShards
         api::RaceEngine engine;
         ShardCounters counters;
         mutable std::mutex countersMutex;
+
+        /**
+         * Serializes engine access between the dispatcher's solve
+         * path and control-plane work (reload eviction, brownout
+         * reclaim).  Uncontended on the hot path -- the dispatcher
+         * already runs same-shard jobs serially.
+         */
+        std::mutex engineMutex;
     };
 
     std::vector<std::unique_ptr<Shard>> shards;
 
     /** Serializes plan synthesis across shards (misses only). */
     std::mutex buildMutex;
+
+    /** The versioned graph registry (hot reload swaps it). */
+    GraphSnapshot registry;
+    mutable std::mutex registryMutex;
 };
 
 } // namespace racelogic::serve

@@ -264,15 +264,17 @@ readFastaBatch(const std::string &text, const bio::Alphabet &alphabet,
     return WireError::None;
 }
 
-/** Start a request payload: id + tag + relative deadline (ms). */
+/** Start a request payload: id + tag + deadline (ms) + priority. */
 std::vector<uint8_t>
-requestHeader(uint32_t id, RequestTag tag, uint32_t deadlineMs)
+requestHeader(uint32_t id, RequestTag tag, uint32_t deadlineMs,
+              Priority priority = Priority::Normal)
 {
     std::vector<uint8_t> payload;
     Writer w(payload);
     w.u32(id);
     w.u8(static_cast<uint8_t>(tag));
     w.u32(deadlineMs);
+    w.u8(static_cast<uint8_t>(priority));
     return payload;
 }
 
@@ -302,6 +304,28 @@ statusName(Status status)
     case Status::ShuttingDown: return "shutting-down";
     case Status::DeadlineExceeded: return "deadline-exceeded";
     case Status::ResourceExhausted: return "resource-exhausted";
+    }
+    return "unknown";
+}
+
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+    case Priority::Batch: return "batch";
+    case Priority::Normal: return "normal";
+    case Priority::Interactive: return "interactive";
+    }
+    return "unknown";
+}
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+    case HealthState::Ready: return "ready";
+    case HealthState::Draining: return "draining";
+    case HealthState::Brownout: return "brownout";
     }
     return "unknown";
 }
@@ -351,6 +375,7 @@ requestTagName(RequestTag tag)
     case RequestTag::Stats: return "stats";
     case RequestTag::Ping: return "ping";
     case RequestTag::Metrics: return "metrics";
+    case RequestTag::Health: return "health";
     }
     return "unknown";
 }
@@ -358,9 +383,10 @@ requestTagName(RequestTag tag)
 std::vector<uint8_t>
 encodePairwise(uint32_t id, const bio::ScoreMatrix &costs,
                const std::string &a, const std::string &b,
-               uint32_t deadlineMs)
+               uint32_t deadlineMs, Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::Pairwise, deadlineMs);
+    auto payload =
+        requestHeader(id, RequestTag::Pairwise, deadlineMs, priority);
     Writer w(payload);
     writeMatrix(w, costs);
     w.str(a);
@@ -371,9 +397,10 @@ encodePairwise(uint32_t id, const bio::ScoreMatrix &costs,
 std::vector<uint8_t>
 encodeScreen(uint32_t id, const bio::ScoreMatrix &costs,
              bio::Score threshold, const std::string &a,
-             const std::string &b, uint32_t deadlineMs)
+             const std::string &b, uint32_t deadlineMs, Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::Screen, deadlineMs);
+    auto payload =
+        requestHeader(id, RequestTag::Screen, deadlineMs, priority);
     Writer w(payload);
     writeMatrix(w, costs);
     w.i64(threshold);
@@ -385,9 +412,10 @@ encodeScreen(uint32_t id, const bio::ScoreMatrix &costs,
 std::vector<uint8_t>
 encodeAffine(uint32_t id, const bio::ScoreMatrix &costs, bio::Score open,
              bio::Score extend, const std::string &a, const std::string &b,
-             uint32_t deadlineMs)
+             uint32_t deadlineMs, Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::Affine, deadlineMs);
+    auto payload =
+        requestHeader(id, RequestTag::Affine, deadlineMs, priority);
     Writer w(payload);
     writeMatrix(w, costs);
     w.i64(open);
@@ -399,9 +427,10 @@ encodeAffine(uint32_t id, const bio::ScoreMatrix &costs, bio::Score open,
 
 std::vector<uint8_t>
 encodeDtw(uint32_t id, const std::vector<apps::Sample> &x,
-          const std::vector<apps::Sample> &y, uint32_t deadlineMs)
+          const std::vector<apps::Sample> &y, uint32_t deadlineMs,
+          Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::Dtw, deadlineMs);
+    auto payload = requestHeader(id, RequestTag::Dtw, deadlineMs, priority);
     Writer w(payload);
     w.u32(static_cast<uint32_t>(x.size()));
     for (apps::Sample s : x)
@@ -414,9 +443,11 @@ encodeDtw(uint32_t id, const std::vector<apps::Sample> &x,
 
 std::vector<uint8_t>
 encodeGraphAlign(uint32_t id, const std::string &read,
-                 bio::Score threshold, uint32_t deadlineMs)
+                 bio::Score threshold, uint32_t deadlineMs,
+                 Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::GraphAlign, deadlineMs);
+    auto payload =
+        requestHeader(id, RequestTag::GraphAlign, deadlineMs, priority);
     Writer w(payload);
     w.i64(threshold);
     w.str(read);
@@ -425,9 +456,10 @@ encodeGraphAlign(uint32_t id, const std::string &read,
 
 std::vector<uint8_t>
 encodeMapReads(uint32_t id, const std::string &fasta, bio::Score threshold,
-               uint32_t deadlineMs)
+               uint32_t deadlineMs, Priority priority)
 {
-    auto payload = requestHeader(id, RequestTag::MapReads, deadlineMs);
+    auto payload =
+        requestHeader(id, RequestTag::MapReads, deadlineMs, priority);
     Writer w(payload);
     w.i64(threshold);
     w.str(fasta);
@@ -452,6 +484,12 @@ encodeMetricsRequest(uint32_t id)
     return requestHeader(id, RequestTag::Metrics, 0);
 }
 
+std::vector<uint8_t>
+encodeHealthRequest(uint32_t id)
+{
+    return requestHeader(id, RequestTag::Health, 0);
+}
+
 WireError
 decodeRequest(const std::vector<uint8_t> &payload,
               const bio::Alphabet &graphAlphabet, Request &out)
@@ -464,11 +502,17 @@ decodeRequest(const std::vector<uint8_t> &payload,
     if (!r.u8(tag))
         return WireError::Truncated;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
-        tag > static_cast<uint8_t>(RequestTag::Metrics))
+        tag > static_cast<uint8_t>(RequestTag::Health))
         return WireError::UnknownKind;
     out.tag = static_cast<RequestTag>(tag);
     if (!r.u32(out.deadlineMs))
         return WireError::Truncated;
+    uint8_t priority;
+    if (!r.u8(priority))
+        return WireError::Truncated;
+    if (priority > static_cast<uint8_t>(Priority::Interactive))
+        return WireError::BadRequest;
+    out.priority = static_cast<Priority>(priority);
 
     switch (out.tag) {
     case RequestTag::Pairwise:
@@ -538,6 +582,7 @@ decodeRequest(const std::vector<uint8_t> &payload,
     case RequestTag::Stats:
     case RequestTag::Ping:
     case RequestTag::Metrics:
+    case RequestTag::Health:
         break;
     }
 
@@ -596,9 +641,19 @@ encodeResponse(const Response &response)
         w.u64(q.rejectedResource);
         w.u64(q.rejectedShutdown);
         w.u64(q.shedDeadline);
+        w.u64(q.shedEvicted);
         w.u64(q.inflight);
         w.u64(q.queued);
         w.u64(q.highWater);
+        for (const ClassStatsWire &c : q.classes) {
+            w.u64(c.enqueued);
+            w.u64(c.completed);
+            w.u64(c.rejectedQueueFull);
+            w.u64(c.rejectedResource);
+            w.u64(c.shedDeadline);
+            w.u64(c.shedEvicted);
+            w.u64(c.queued);
+        }
         w.u32(static_cast<uint32_t>(response.shardStats.size()));
         for (const ShardStatsWire &s : response.shardStats) {
             w.u64(s.solves);
@@ -611,6 +666,13 @@ encodeResponse(const Response &response)
     }
     case RequestTag::Ping:
         break;
+    case RequestTag::Health: {
+        const HealthReply &h = response.health.value();
+        w.u8(static_cast<uint8_t>(h.state));
+        w.u64(h.uptimeMs);
+        w.u64(h.graphVersion);
+        break;
+    }
     case RequestTag::Metrics: {
         const telemetry::Snapshot &m = response.metrics.value();
         w.u32(static_cast<uint32_t>(m.counters.size()));
@@ -651,7 +713,7 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     if (status > static_cast<uint8_t>(Status::ResourceExhausted))
         return WireError::BadRequest;
     if (tag < static_cast<uint8_t>(RequestTag::Pairwise) ||
-        tag > static_cast<uint8_t>(RequestTag::Metrics))
+        tag > static_cast<uint8_t>(RequestTag::Health))
         return WireError::UnknownKind;
     out.status = static_cast<Status>(status);
     out.tag = static_cast<RequestTag>(tag);
@@ -701,9 +763,16 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
             !r.u64(q.rejectedQueueFull) || !r.u64(q.rejectedOversized) ||
             !r.u64(q.rejectedBadRequest) || !r.u64(q.rejectedResource) ||
             !r.u64(q.rejectedShutdown) || !r.u64(q.shedDeadline) ||
-            !r.u64(q.inflight) || !r.u64(q.queued) ||
-            !r.u64(q.highWater))
+            !r.u64(q.shedEvicted) || !r.u64(q.inflight) ||
+            !r.u64(q.queued) || !r.u64(q.highWater))
             return WireError::Truncated;
+        for (ClassStatsWire &c : q.classes) {
+            if (!r.u64(c.enqueued) || !r.u64(c.completed) ||
+                !r.u64(c.rejectedQueueFull) ||
+                !r.u64(c.rejectedResource) || !r.u64(c.shedDeadline) ||
+                !r.u64(c.shedEvicted) || !r.u64(c.queued))
+                return WireError::Truncated;
+        }
         uint32_t n;
         if (!r.u32(n))
             return WireError::Truncated;
@@ -721,6 +790,17 @@ decodeResponse(const std::vector<uint8_t> &payload, Response &out)
     }
     case RequestTag::Ping:
         break;
+    case RequestTag::Health: {
+        HealthReply h;
+        uint8_t state;
+        if (!r.u8(state) || !r.u64(h.uptimeMs) || !r.u64(h.graphVersion))
+            return WireError::Truncated;
+        if (state > static_cast<uint8_t>(HealthState::Brownout))
+            return WireError::BadRequest;
+        h.state = static_cast<HealthState>(state);
+        out.health = h;
+        break;
+    }
     case RequestTag::Metrics: {
         telemetry::Snapshot m;
         uint32_t nCounters;

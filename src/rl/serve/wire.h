@@ -4,8 +4,9 @@
  *
  * A frame is a 4-byte little-endian payload length followed by the
  * payload.  Request payloads open with a 4-byte request id, a 1-byte
- * kind tag, and a 4-byte relative deadline in milliseconds (0 =
- * none); response payloads echo the id and carry a 1-byte status.  Everything is explicit fixed-width little-endian -- no
+ * kind tag, a 4-byte relative deadline in milliseconds (0 = none),
+ * and a 1-byte traffic class (0=batch, 1=normal, 2=interactive);
+ * response payloads echo the id and carry a 1-byte status.  Everything is explicit fixed-width little-endian -- no
  * struct punning -- so the format is host-independent and a hostile
  * peer can at worst earn itself a typed error.
  *
@@ -87,6 +88,25 @@ enum class Status : uint8_t {
 const char *statusName(Status status);
 
 /**
+ * Traffic class carried in every request header.  Admission is
+ * priority-aware: when outstanding work hits the bound the queue
+ * sheds lowest-class-first, so interactive latency stays bounded
+ * while batch traffic absorbs the typed QueueFulls; brownout sheds
+ * batch-class work outright with ResourceExhausted.
+ */
+enum class Priority : uint8_t {
+    Batch = 0,       ///< bulk/offline work, first to shed
+    Normal = 1,      ///< the default
+    Interactive = 2, ///< latency-sensitive, last to shed
+};
+
+/** Number of traffic classes (array size for per-class ledgers). */
+constexpr size_t kPriorityClasses = 3;
+
+/** Human-readable Priority name. */
+const char *priorityName(Priority priority);
+
+/**
  * @name Library-to-wire error mapping (the one source of truth)
  *
  * Every library ErrorCode maps to exactly one wire Status and one
@@ -118,6 +138,7 @@ enum class RequestTag : uint8_t {
     Stats = 7,      ///< admission/shard counter snapshot
     Ping = 8,       ///< liveness probe
     Metrics = 9,    ///< full telemetry snapshot (named series)
+    Health = 10,    ///< ready/draining/brownout probe (load balancers)
 };
 
 /** Human-readable tag name. */
@@ -142,6 +163,13 @@ struct Request {
      * expires mid-race is cancelled cooperatively.
      */
     uint32_t deadlineMs = 0;
+
+    /**
+     * Traffic class (header byte after the deadline).  Values above
+     * Interactive are BadRequest at decode, so the server's per-class
+     * ledger indexing is always in range.
+     */
+    Priority priority = Priority::Normal;
 
     /** Pairwise / Affine / Screen: the inline cost matrix. */
     std::optional<bio::ScoreMatrix> matrix;
@@ -172,6 +200,17 @@ struct ShardStatsWire {
     uint64_t buildLocks = 0;    ///< shared build-lock acquisitions
 };
 
+/** One traffic class's slice of the admission ledger. */
+struct ClassStatsWire {
+    uint64_t enqueued = 0;
+    uint64_t completed = 0;
+    uint64_t rejectedQueueFull = 0; ///< bounced at the bound
+    uint64_t rejectedResource = 0;  ///< brownout sheds at admission
+    uint64_t shedDeadline = 0;
+    uint64_t shedEvicted = 0; ///< admitted, then evicted by a higher class
+    uint64_t queued = 0;
+};
+
 /** Admission/queue counters carried by a Stats response. */
 struct QueueStatsWire {
     uint64_t enqueued = 0;
@@ -182,9 +221,13 @@ struct QueueStatsWire {
     uint64_t rejectedResource = 0; ///< compute-budget rejections
     uint64_t rejectedShutdown = 0;
     uint64_t shedDeadline = 0; ///< queued requests shed at drain time
+    uint64_t shedEvicted = 0;  ///< queued requests evicted at the bound
     uint64_t inflight = 0;
     uint64_t queued = 0;
     uint64_t highWater = 0;
+
+    /** Per-class slices, indexed by Priority (batch/normal/interactive). */
+    ClassStatsWire classes[kPriorityClasses];
 };
 
 /** The raced result of one problem, as it travels back. */
@@ -207,6 +250,23 @@ struct ReadReply {
     bool accepted = false;
 };
 
+/** Daemon lifecycle state carried by a Health response. */
+enum class HealthState : uint8_t {
+    Ready = 0,    ///< serving normally
+    Draining = 1, ///< stop() in progress; resubmit elsewhere
+    Brownout = 2, ///< memory high-watermark crossed; batch is shedding
+};
+
+/** Human-readable HealthState name. */
+const char *healthStateName(HealthState state);
+
+/** Body of a Health response (answered inline, even while saturated). */
+struct HealthReply {
+    HealthState state = HealthState::Ready;
+    uint64_t uptimeMs = 0;     ///< since AlignServer::start()
+    uint64_t graphVersion = 0; ///< bumps on every successful reload
+};
+
 /** One decoded response frame. */
 struct Response {
     uint32_t id = 0;
@@ -219,6 +279,7 @@ struct Response {
     std::optional<QueueStatsWire> queueStats; ///< Stats
     std::vector<ShardStatsWire> shardStats;   ///< Stats
     std::optional<telemetry::Snapshot> metrics; ///< Metrics
+    std::optional<HealthReply> health; ///< Health
 };
 
 /** @name Metrics response body caps (admission control) @{ */
@@ -240,38 +301,46 @@ constexpr uint32_t kMaxWireMetricBuckets = 64;
 /** @name Request encoding (client side)
  * `deadlineMs` is the caller's per-request deadline in milliseconds
  * relative to arrival (0 = none); see Request::deadlineMs.
+ * `priority` is the traffic class (see Priority).
  * @{ */
 
 std::vector<uint8_t> encodePairwise(uint32_t id,
                                     const bio::ScoreMatrix &costs,
                                     const std::string &a,
                                     const std::string &b,
-                                    uint32_t deadlineMs = 0);
+                                    uint32_t deadlineMs = 0,
+                                    Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeScreen(uint32_t id,
                                   const bio::ScoreMatrix &costs,
                                   bio::Score threshold,
                                   const std::string &a,
                                   const std::string &b,
-                                  uint32_t deadlineMs = 0);
+                                  uint32_t deadlineMs = 0,
+                                  Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeAffine(uint32_t id,
                                   const bio::ScoreMatrix &costs,
                                   bio::Score open, bio::Score extend,
                                   const std::string &a,
                                   const std::string &b,
-                                  uint32_t deadlineMs = 0);
+                                  uint32_t deadlineMs = 0,
+                                  Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeDtw(uint32_t id,
                                const std::vector<apps::Sample> &x,
                                const std::vector<apps::Sample> &y,
-                               uint32_t deadlineMs = 0);
+                               uint32_t deadlineMs = 0,
+                               Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeGraphAlign(uint32_t id, const std::string &read,
                                       bio::Score threshold,
-                                      uint32_t deadlineMs = 0);
+                                      uint32_t deadlineMs = 0,
+                                      Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeMapReads(uint32_t id, const std::string &fasta,
                                     bio::Score threshold,
-                                    uint32_t deadlineMs = 0);
+                                    uint32_t deadlineMs = 0,
+                                    Priority priority = Priority::Normal);
 std::vector<uint8_t> encodeStatsRequest(uint32_t id);
 std::vector<uint8_t> encodePing(uint32_t id);
 std::vector<uint8_t> encodeMetricsRequest(uint32_t id);
+std::vector<uint8_t> encodeHealthRequest(uint32_t id);
 
 /** @} */
 

@@ -130,6 +130,7 @@ buildProblems(Request &request,
     case RequestTag::Stats:
     case RequestTag::Ping:
     case RequestTag::Metrics:
+    case RequestTag::Health:
         break;
     }
     return problems;

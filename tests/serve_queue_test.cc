@@ -3,7 +3,8 @@
  * Admission-control tests for the serve daemon's bounded queue: the
  * depth bounds *outstanding* work (queued + inflight), rejections are
  * typed and counted, and the ledger stays coherent -- enqueued ==
- * completed + queued + inflight + shedDeadline at every snapshot.
+ * completed + queued + inflight + shedDeadline + shedEvicted at every
+ * snapshot, globally and per priority class.
  */
 
 #include <gtest/gtest.h>
@@ -20,6 +21,40 @@ QueuedJob
 noopJob(size_t shard = 0)
 {
     return QueuedJob{shard, [] {}};
+}
+
+QueuedJob
+classedJob(Priority priority, size_t shard = 0)
+{
+    QueuedJob job = noopJob(shard);
+    job.priority = priority;
+    return job;
+}
+
+// The class ledgers partition the global one.  completed only
+// partitions when every retirement went through the per-class
+// markDone overload, so callers that used the legacy size_t overload
+// pass checkCompleted = false.
+void
+expectLedgerCoherent(const QueueStats &stats, bool checkCompleted = true)
+{
+    EXPECT_EQ(stats.enqueued, stats.completed + stats.queued +
+                                  stats.inflight + stats.shedDeadline +
+                                  stats.shedEvicted);
+    uint64_t enq = 0, done = 0, queued = 0, shedD = 0, shedE = 0;
+    for (const ClassStats &c : stats.classes) {
+        enq += c.enqueued;
+        done += c.completed;
+        queued += c.queued;
+        shedD += c.shedDeadline;
+        shedE += c.shedEvicted;
+    }
+    EXPECT_EQ(enq, stats.enqueued);
+    if (checkCompleted)
+        EXPECT_EQ(done, stats.completed);
+    EXPECT_EQ(queued, stats.queued);
+    EXPECT_EQ(shedD, stats.shedDeadline);
+    EXPECT_EQ(shedE, stats.shedEvicted);
 }
 
 TEST(ServeQueue, AdmitsUpToDepthThenRejectsTyped)
@@ -140,7 +175,7 @@ TEST(ServeQueue, DrainShedsExpiredJobs)
     QueuedJob expired = noopJob(2);
     expired.deadline = std::chrono::steady_clock::now() -
                        std::chrono::milliseconds(5);
-    expired.onShed = [&] { ++shedRan; };
+    expired.onShed = [&](Status) { ++shedRan; };
 
     ASSERT_EQ(queue.tryPush(std::move(expired)),
               RequestQueue::Admit::Accepted);
@@ -163,7 +198,7 @@ TEST(ServeQueue, DrainShedsExpiredJobs)
     for (auto &job : batch)
         job.run();
     for (auto &job : shed)
-        job.onShed();
+        job.onShed(Status::DeadlineExceeded);
     EXPECT_EQ(ran, 1);
     EXPECT_EQ(shedRan, 1);
     queue.markDone(batch.size());
@@ -247,6 +282,170 @@ TEST(ServeQueue, DrainBlocksUntilAJobArrives)
     ASSERT_EQ(batch.size(), 1u);
     EXPECT_EQ(batch[0].shard, 3u);
     queue.markDone(1);
+}
+
+TEST(ServeQueue, WeightedDrainFavorsHigherClassesWithoutStarvation)
+{
+    // 4 interactive : 2 normal : 1 batch per round -- interactive
+    // leads every round, yet batch always gets its slot.
+    RequestQueue queue(16);
+    for (size_t i = 0; i < 4; ++i) {
+        ASSERT_EQ(queue.tryPush(classedJob(Priority::Batch, 100 + i)),
+                  RequestQueue::Admit::Accepted);
+        ASSERT_EQ(queue.tryPush(classedJob(Priority::Normal, 200 + i)),
+                  RequestQueue::Admit::Accepted);
+        ASSERT_EQ(
+            queue.tryPush(classedJob(Priority::Interactive, 300 + i)),
+            RequestQueue::Admit::Accepted);
+    }
+
+    auto batch = queue.drain(7); // one full weighted round
+    ASSERT_EQ(batch.size(), 7u);
+    // Interactive quota 4, FIFO within the class...
+    EXPECT_EQ(batch[0].shard, 300u);
+    EXPECT_EQ(batch[1].shard, 301u);
+    EXPECT_EQ(batch[2].shard, 302u);
+    EXPECT_EQ(batch[3].shard, 303u);
+    // ...then normal quota 2...
+    EXPECT_EQ(batch[4].shard, 200u);
+    EXPECT_EQ(batch[5].shard, 201u);
+    // ...then batch's guaranteed slot.
+    EXPECT_EQ(batch[6].shard, 100u);
+
+    queue.markDone(batch.size());
+    auto rest = queue.drain(16);
+    ASSERT_EQ(rest.size(), 5u);
+    queue.markDone(rest.size());
+    expectLedgerCoherent(queue.stats(), /*checkCompleted=*/false);
+}
+
+TEST(ServeQueue, EvictionShedsLowestClassFirst)
+{
+    // At the bound, an interactive arrival claims the slot of the
+    // newest queued batch job; the victim comes back via the
+    // out-param so the caller can send its typed reply off-lock.
+    RequestQueue queue(2);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Batch, 1)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Batch, 2)),
+              RequestQueue::Admit::Accepted);
+
+    QueuedJob evicted;
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Interactive, 9),
+                            &evicted),
+              RequestQueue::Admit::Accepted);
+    ASSERT_TRUE(evicted.run != nullptr);
+    EXPECT_EQ(evicted.shard, 2u); // newest batch job, not the oldest
+
+    QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.shedEvicted, 1u);
+    EXPECT_EQ(stats.classes[0].shedEvicted, 1u);
+    EXPECT_EQ(stats.queued, 2u);
+    expectLedgerCoherent(stats);
+
+    // Only strictly lower classes are victims: batch cannot evict
+    // batch, so an equal-class arrival degrades to QueueFull.
+    QueuedJob none;
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Batch, 3), &none),
+              RequestQueue::Admit::QueueFull);
+    EXPECT_EQ(queue.stats().rejectedQueueFull, 1u);
+
+    // Once nothing below interactive is queued, interactive arrivals
+    // get QueueFull too -- the protected classes never eat each other.
+    QueuedJob second;
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Interactive, 10),
+                            &second),
+              RequestQueue::Admit::Accepted);
+    EXPECT_EQ(second.shard, 1u); // the remaining batch job
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Interactive, 11), &none),
+              RequestQueue::Admit::QueueFull);
+    EXPECT_EQ(queue.stats().rejectedQueueFull, 2u);
+
+    auto batch = queue.drain(4);
+    std::array<uint64_t, kPriorityClasses> byClass{};
+    for (const QueuedJob &job : batch)
+        ++byClass[static_cast<size_t>(job.priority)];
+    queue.markDone(byClass);
+    expectLedgerCoherent(queue.stats());
+}
+
+TEST(ServeQueue, EvictionWithoutOutParamDegradesToQueueFull)
+{
+    // Legacy callers that pass no out-param must never lose a job.
+    RequestQueue queue(1);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Batch)),
+              RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Interactive)),
+              RequestQueue::Admit::QueueFull);
+    EXPECT_EQ(queue.stats().shedEvicted, 0u);
+    EXPECT_EQ(queue.stats().queued, 1u);
+}
+
+TEST(ServeQueue, BrownoutShedsBatchAndHalvesDepth)
+{
+    RequestQueue queue(8); // brownout depth defaults to 4
+    queue.setBrownout(true);
+    EXPECT_TRUE(queue.brownout());
+
+    // Batch is shed at admission with a resource verdict...
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Batch)),
+              RequestQueue::Admit::Brownout);
+    QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.rejectedResource, 1u);
+    EXPECT_EQ(stats.classes[0].rejectedResource, 1u);
+
+    // ...and the admission bound halves for everyone else.
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+                  RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+              RequestQueue::Admit::QueueFull);
+
+    // Recovery restores the full depth.
+    queue.setBrownout(false);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+                  RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Batch)),
+              RequestQueue::Admit::QueueFull);
+    queue.markDone(queue.drain(8).size());
+    expectLedgerCoherent(queue.stats(), /*checkCompleted=*/false);
+}
+
+TEST(ServeQueue, ExplicitBrownoutDepthOverridesTheDefault)
+{
+    RequestQueue queue(8, 2);
+    queue.setBrownout(true);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+              RequestQueue::Admit::Accepted);
+    EXPECT_EQ(queue.tryPush(classedJob(Priority::Normal)),
+              RequestQueue::Admit::QueueFull);
+}
+
+TEST(ServeQueue, PerClassCompletionKeepsClassLedgersCoherent)
+{
+    RequestQueue queue(8);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Batch)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Interactive)),
+              RequestQueue::Admit::Accepted);
+    ASSERT_EQ(queue.tryPush(classedJob(Priority::Interactive)),
+              RequestQueue::Admit::Accepted);
+
+    auto batch = queue.drain(8);
+    ASSERT_EQ(batch.size(), 3u);
+    std::array<uint64_t, kPriorityClasses> byClass{};
+    for (const QueuedJob &job : batch)
+        ++byClass[static_cast<size_t>(job.priority)];
+    queue.markDone(byClass);
+
+    const QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.classes[0].completed, 1u);
+    EXPECT_EQ(stats.classes[2].completed, 2u);
+    EXPECT_EQ(stats.completed, 3u);
+    expectLedgerCoherent(stats);
 }
 
 TEST(ServeQueue, WaitDrainedBlocksUntilInflightRetires)

@@ -838,6 +838,212 @@ TEST(ServeServer, DeadlineTrippingMidRaceCancelsCooperatively)
     EXPECT_EQ(solves, 1u);
 }
 
+// ---------------------------------------------- health, brownout, reload
+
+/** Same alphabet as bubbleGraph(), different spine: reload-compatible
+ *  but alignment scores differ, so version swaps are observable. */
+std::shared_ptr<const pangraph::VariationGraph>
+forkGraph()
+{
+    const std::string gfa = "H\tVN:Z:1.0\n"
+                            "S\ts1\tAAC\n"
+                            "S\ts2\tGG\n"
+                            "S\ts3\tTT\n"
+                            "S\ts4\tCAA\n"
+                            "L\ts1\t+\ts2\t+\t0M\n"
+                            "L\ts1\t+\ts3\t+\t0M\n"
+                            "L\ts2\t+\ts4\t+\t0M\n"
+                            "L\ts3\t+\ts4\t+\t0M\n";
+    std::istringstream in(gfa);
+    return std::make_shared<pangraph::VariationGraph>(
+        pangraph::readGfa(in, bio::Alphabet("ACGT")));
+}
+
+api::RaceResult
+directGraphSolve(const std::shared_ptr<const pangraph::VariationGraph> &g,
+                 const std::string &read)
+{
+    api::EngineConfig direct;
+    direct.workerThreads = 1;
+    api::RaceEngine engine(direct);
+    return engine.solve(api::RaceProblem::graphAlign(
+        fig2b(), bio::Sequence(bio::Alphabet("ACGT"), read), g));
+}
+
+TEST(ServeServer, HealthAnswersInlineEvenWhileSaturated)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.queueDepth = 2;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient loader = ServeClient::overTcp(server.port());
+    ServeClient prober = ServeClient::overTcp(server.port());
+
+    // Saturate the single worker with big grids...
+    const std::string a = dnaString(200, 13), b = dnaString(200, 14);
+    const size_t total = 8;
+    for (size_t i = 0; i < total; ++i)
+        ASSERT_TRUE(loader.submitPairwise(static_cast<uint32_t>(i),
+                                          fig2b(), a, b));
+
+    // ...and Health still answers inline on another connection, with
+    // a bounded wait: it never enters the admission queue.
+    ASSERT_TRUE(prober.submitHealth(70));
+    Response health;
+    ASSERT_EQ(prober.receive(health, deadlineAfterMs(2000)),
+              IoStatus::Ok);
+    ASSERT_EQ(health.status, Status::Ok);
+    ASSERT_TRUE(health.health.has_value());
+    EXPECT_EQ(health.health->state, HealthState::Ready);
+    EXPECT_EQ(health.health->graphVersion, 1u);
+
+    for (size_t i = 0; i < total; ++i) {
+        Response r;
+        ASSERT_TRUE(loader.receive(r));
+    }
+    server.stop();
+}
+
+TEST(ServeServer, TinyMemoryBudgetEntersAndExitsBrownoutObservably)
+{
+    ServerConfig cfg = tcpConfig();
+    cfg.workers = 1;
+    cfg.memBudgetBytes = 1; // any resident plan trips the budget
+    cfg.janitorIntervalMs = 10;
+    AlignServer server(std::move(cfg));
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    EXPECT_FALSE(server.brownedOut());
+
+    // One solve leaves a resident plan; the next janitor tick crosses
+    // the 1-byte high watermark and latches the brownout.
+    ASSERT_TRUE(client.submitPairwise(1, fig2b(), dnaString(40, 15),
+                                      dnaString(40, 16)));
+    Response r;
+    ASSERT_TRUE(client.receive(r));
+    ASSERT_EQ(r.status, Status::Ok);
+    for (int i = 0; i < 500 && !server.brownedOut(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(server.brownedOut());
+
+    // Observable three ways: the Health state, the gauge, and the
+    // typed shed of batch-class work at admission.
+    ASSERT_TRUE(client.submitHealth(2));
+    ASSERT_TRUE(client.receive(r));
+    ASSERT_TRUE(r.health.has_value());
+    EXPECT_EQ(r.health->state, HealthState::Brownout);
+
+    const telemetry::Snapshot snap = server.metricsSnapshot();
+    const telemetry::GaugeSnapshot *gauge =
+        snap.gauge("rl_serve_brownout");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->value, 1);
+    EXPECT_NE(snap.gauge("rl_mem_plan_cache_bytes"), nullptr);
+    EXPECT_NE(snap.gauge("rl_mem_budget_bytes"), nullptr);
+
+    ASSERT_TRUE(client.submitPairwise(3, fig2b(), dnaString(40, 17),
+                                      dnaString(40, 18), 0,
+                                      Priority::Batch));
+    ASSERT_TRUE(client.receive(r));
+    EXPECT_EQ(r.status, Status::ResourceExhausted);
+
+    // The janitor's reclaim (scratch shrink + plan eviction) drives
+    // usage to zero, which is under the low watermark: the latch must
+    // release on its own.
+    for (int i = 0; i < 500 && server.brownedOut(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(server.brownedOut());
+
+    // Interactive work was never shed at admission, before or after.
+    ASSERT_TRUE(client.submitPairwise(4, fig2b(), dnaString(40, 19),
+                                      dnaString(40, 20), 0,
+                                      Priority::Interactive));
+    ASSERT_TRUE(client.receive(r));
+    EXPECT_EQ(r.status, Status::Ok);
+
+    server.stop();
+    const QueueStats stats = server.queueStats();
+    EXPECT_GE(stats.rejectedResource, 1u);
+    EXPECT_GE(stats.classes[0].rejectedResource, 1u);
+    EXPECT_EQ(stats.enqueued, stats.completed + stats.shedDeadline +
+                                  stats.shedEvicted);
+}
+
+TEST(ServeServer, ReloadSwapsGraphsWithVersionBumpAndFidelity)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    const std::string read = "ACGTGA";
+    ASSERT_TRUE(client.submitGraphAlign(1, read, bio::kScoreInfinity));
+    Response before;
+    ASSERT_TRUE(client.receive(before));
+    ASSERT_EQ(before.status, Status::Ok);
+    const api::RaceResult v1 = directGraphSolve(bubbleGraph(), read);
+    EXPECT_EQ(before.solve->score, v1.score);
+    EXPECT_EQ(before.solve->racedCost, v1.racedCost);
+
+    const racelogic::Status reload = server.reloadGraph(forkGraph());
+    ASSERT_TRUE(reload.ok()) << reload.toString();
+    EXPECT_EQ(server.graphVersion(), 2u);
+
+    ASSERT_TRUE(client.submitGraphAlign(2, read, bio::kScoreInfinity));
+    Response after;
+    ASSERT_TRUE(client.receive(after));
+    ASSERT_EQ(after.status, Status::Ok);
+    const api::RaceResult v2 = directGraphSolve(forkGraph(), read);
+    EXPECT_EQ(after.solve->score, v2.score);
+    EXPECT_EQ(after.solve->racedCost, v2.racedCost);
+    EXPECT_NE(after.solve->score, before.solve->score)
+        << "the fork graph is chosen so the swap is observable";
+
+    ASSERT_TRUE(client.submitHealth(3));
+    Response health;
+    ASSERT_TRUE(client.receive(health));
+    ASSERT_TRUE(health.health.has_value());
+    EXPECT_EQ(health.health->graphVersion, 2u);
+
+    server.stop();
+}
+
+TEST(ServeServer, FailedReloadKeepsTheOldGraphServing)
+{
+    AlignServer server(tcpConfig());
+    ASSERT_TRUE(server.start());
+    ServeClient client = ServeClient::overTcp(server.port());
+
+    // A null graph is rejected with a typed status...
+    EXPECT_FALSE(server.reloadGraph(nullptr).ok());
+
+    // ...and so is a graph over a different alphabet: connections
+    // decode against the serving alphabet, so swapping it mid-flight
+    // would corrupt every pipelined request.
+    const std::string gfa = "H\tVN:Z:1.0\n"
+                            "S\ts1\tAC\n"
+                            "S\ts2\tGA\n"
+                            "L\ts1\t+\ts2\t+\t0M\n";
+    std::istringstream in(gfa);
+    auto foreign = std::make_shared<pangraph::VariationGraph>(
+        pangraph::readGfa(in, bio::Alphabet("ACG")));
+    EXPECT_FALSE(server.reloadGraph(foreign).ok());
+
+    // Both failures left version and behavior untouched.
+    EXPECT_EQ(server.graphVersion(), 1u);
+    const std::string read = "ACGTGA";
+    ASSERT_TRUE(client.submitGraphAlign(9, read, bio::kScoreInfinity));
+    Response response;
+    ASSERT_TRUE(client.receive(response));
+    ASSERT_EQ(response.status, Status::Ok);
+    const api::RaceResult expected = directGraphSolve(bubbleGraph(), read);
+    EXPECT_EQ(response.solve->score, expected.score);
+    EXPECT_EQ(response.solve->racedCost, expected.racedCost);
+
+    server.stop();
+}
+
 // --------------------------------------------------------- lifecycle
 
 TEST(ServeServer, StopDrainsAdmittedWorkBeforeReturning)

@@ -155,6 +155,62 @@ TEST(ServeWire, DeadlineCarriedByEveryRequestKind)
     EXPECT_EQ(req.deadlineMs, 60u);
 }
 
+TEST(ServeWire, PriorityRidesTheHeader)
+{
+    // Every submitter takes a trailing priority; omitted means Normal.
+    Request req;
+    ASSERT_EQ(decode(encodePairwise(1, fig2b(), "AC", "GT", 0,
+                                    Priority::Interactive),
+                     req),
+              WireError::None);
+    EXPECT_EQ(req.priority, Priority::Interactive);
+    ASSERT_EQ(decode(encodeDtw(2, {0, 3}, {1, 3}, 0, Priority::Batch),
+                     req),
+              WireError::None);
+    EXPECT_EQ(req.priority, Priority::Batch);
+    ASSERT_EQ(decode(encodeGraphAlign(3, "ACCA", 5), req),
+              WireError::None);
+    EXPECT_EQ(req.priority, Priority::Normal);
+    EXPECT_STREQ(priorityName(Priority::Interactive), "interactive");
+}
+
+TEST(ServeWire, OutOfRangePriorityIsBadRequest)
+{
+    auto payload = encodePing(4);
+    // The priority byte sits 4 (id) + 1 (tag) + 4 (deadline) in.
+    payload[4 + 1 + 4] = 7;
+    Request req;
+    EXPECT_EQ(decode(payload, req), WireError::BadRequest);
+}
+
+TEST(ServeWire, HealthRequestIsBare)
+{
+    Request req;
+    ASSERT_EQ(decode(encodeHealthRequest(6), req), WireError::None);
+    EXPECT_EQ(req.tag, RequestTag::Health);
+    EXPECT_EQ(req.id, 6u);
+}
+
+TEST(ServeWire, HealthResponseRoundTrip)
+{
+    Response out;
+    out.id = 6;
+    out.tag = RequestTag::Health;
+    HealthReply h;
+    h.state = HealthState::Brownout;
+    h.uptimeMs = 123456;
+    h.graphVersion = 3;
+    out.health = h;
+
+    Response in;
+    ASSERT_EQ(decodeResponse(encodeResponse(out), in), WireError::None);
+    ASSERT_TRUE(in.health.has_value());
+    EXPECT_EQ(in.health->state, HealthState::Brownout);
+    EXPECT_EQ(in.health->uptimeMs, 123456u);
+    EXPECT_EQ(in.health->graphVersion, 3u);
+    EXPECT_STREQ(healthStateName(HealthState::Brownout), "brownout");
+}
+
 // ---------------------------------------------------- response round trips
 
 TEST(ServeWire, SolveResponseRoundTrip)
@@ -211,7 +267,12 @@ TEST(ServeWire, StatsResponseRoundTrip)
     q.completed = 7;
     q.rejectedQueueFull = 2;
     q.shedDeadline = 1;
+    q.shedEvicted = 3;
     q.highWater = 4;
+    q.classes[2].enqueued = 6;
+    q.classes[2].completed = 5;
+    q.classes[0].shedEvicted = 3;
+    q.classes[0].rejectedResource = 2;
     out.queueStats = q;
     ShardStatsWire s;
     s.solves = 8;
@@ -225,6 +286,11 @@ TEST(ServeWire, StatsResponseRoundTrip)
     EXPECT_EQ(in.queueStats->enqueued, 10u);
     EXPECT_EQ(in.queueStats->rejectedQueueFull, 2u);
     EXPECT_EQ(in.queueStats->shedDeadline, 1u);
+    EXPECT_EQ(in.queueStats->shedEvicted, 3u);
+    EXPECT_EQ(in.queueStats->classes[2].enqueued, 6u);
+    EXPECT_EQ(in.queueStats->classes[2].completed, 5u);
+    EXPECT_EQ(in.queueStats->classes[0].shedEvicted, 3u);
+    EXPECT_EQ(in.queueStats->classes[0].rejectedResource, 2u);
     ASSERT_EQ(in.shardStats.size(), 2u);
     EXPECT_EQ(in.shardStats[1].shardHits, 6u);
 }
@@ -405,8 +471,9 @@ TEST(ServeWire, LyingStringLengthIsTruncated)
     // A sequence length prefix that promises more bytes than exist.
     auto payload = encodeGraphAlign(8, "ACGT", 5);
     // The read's length prefix sits 4 (id) + 1 (tag) + 4 (deadline)
-    // + 8 (threshold) bytes in; bump it far beyond the payload.
-    payload[4 + 1 + 4 + 8] = 0xFF;
+    // + 1 (priority) + 8 (threshold) bytes in; bump it far beyond the
+    // payload.
+    payload[4 + 1 + 4 + 1 + 8] = 0xFF;
     Request req;
     EXPECT_EQ(decode(payload, req), WireError::Truncated);
 }

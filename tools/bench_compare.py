@@ -58,6 +58,10 @@ HEADLINE_BENCHES = [
     # wire decode + admission + shard dispatch + solve + reply.
     # real_time because the work crosses daemon threads.
     "BM_ServeSaturation/64/real_time",
+    # The same daemon at 2x overload with a mixed-priority client:
+    # weighted drain + shed-lowest-first admission must not slow the
+    # serving path (per-class p99 and shed counts ride as counters).
+    "BM_ServeMixedPriority/64/real_time",
 ]
 
 

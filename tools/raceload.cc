@@ -50,6 +50,10 @@ usage(const char *argv0)
         "                          (default pairwise; graph needs a\n"
         "                          daemon started with --gfa)\n"
         "  --threshold T           screen/graph threshold (default 2*len)\n"
+        "  --priority P            batch | normal | interactive | mixed\n"
+        "                          (default normal; mixed cycles the\n"
+        "                          three classes request by request and\n"
+        "                          reports per-class columns)\n"
         "  --seed N                RNG seed (default 42)\n"
         "  --timeout-ms MS         per-request deadline: rides the wire\n"
         "                          (the daemon sheds/cancels expired\n"
@@ -59,6 +63,11 @@ usage(const char *argv0)
         "                          or disconnect (default 0)\n"
         "  --expect-no-rejections  exit 1 unless every request was Ok\n"
         "                          (client-side timeouts count too)\n"
+        "  --expect-interactive-clean\n"
+        "                          exit 1 if any interactive-class\n"
+        "                          request was rejected or timed out --\n"
+        "                          the overload contract says only\n"
+        "                          lower classes shed\n"
         "  --dump-histograms       print client-side log2 histograms of\n"
         "                          serve latency and connect/retry time\n"
         "                          (p50/p90/p99/p999)\n"
@@ -89,11 +98,13 @@ main(int argc, char **argv)
     size_t window = 8;
     size_t len = 64;
     std::string mode = "pairwise";
+    std::string priorityMode = "normal";
     long long threshold = -1;
     unsigned seed = 42;
     long long timeoutMs = 0;
     int retries = 0;
     bool expectNoRejections = false;
+    bool expectInteractiveClean = false;
     bool dumpHistograms = false;
     bool expectMetrics = false;
 
@@ -120,6 +131,8 @@ main(int argc, char **argv)
             mode = value();
         } else if (arg == "--threshold") {
             threshold = std::atoll(value());
+        } else if (arg == "--priority") {
+            priorityMode = value();
         } else if (arg == "--seed") {
             seed = static_cast<unsigned>(std::atol(value()));
         } else if (arg == "--timeout-ms") {
@@ -128,6 +141,8 @@ main(int argc, char **argv)
             retries = std::atoi(value());
         } else if (arg == "--expect-no-rejections") {
             expectNoRejections = true;
+        } else if (arg == "--expect-interactive-clean") {
+            expectInteractiveClean = true;
         } else if (arg == "--dump-histograms") {
             dumpHistograms = true;
         } else if (arg == "--expect-metrics") {
@@ -147,6 +162,23 @@ main(int argc, char **argv)
     }
     if (threshold < 0)
         threshold = static_cast<long long>(2 * len);
+    if (priorityMode != "batch" && priorityMode != "normal" &&
+        priorityMode != "interactive" && priorityMode != "mixed") {
+        std::fprintf(stderr, "raceload: unknown priority '%s'\n",
+                     priorityMode.c_str());
+        return 2;
+    }
+    // Deterministic in the request id so a retried request keeps its
+    // class, and response accounting can recompute it.
+    auto priorityFor = [&](uint32_t id) {
+        if (priorityMode == "batch")
+            return serve::Priority::Batch;
+        if (priorityMode == "interactive")
+            return serve::Priority::Interactive;
+        if (priorityMode == "mixed")
+            return static_cast<serve::Priority>(id % 3);
+        return serve::Priority::Normal;
+    };
 
     // Client-side telemetry: serve latency and connect/retry time go
     // into *separate* histograms so transport repair cost (reconnect
@@ -206,6 +238,7 @@ main(int argc, char **argv)
     const uint32_t wireDeadlineMs =
         timeoutMs > 0 ? static_cast<uint32_t>(timeoutMs) : 0;
     auto submit = [&](uint32_t id) {
+        const serve::Priority prio = priorityFor(id);
         std::string pickMode = mode;
         if (mode == "mixed") {
             static const char *kinds[] = {"pairwise", "screen", "dtw"};
@@ -213,16 +246,18 @@ main(int argc, char **argv)
         }
         if (pickMode == "pairwise")
             return client.submitPairwise(id, costs, randSeq(len),
-                                         randSeq(len), wireDeadlineMs);
+                                         randSeq(len), wireDeadlineMs,
+                                         prio);
         if (pickMode == "screen")
             return client.submitScreen(id, costs, threshold, randSeq(len),
-                                       randSeq(len), wireDeadlineMs);
+                                       randSeq(len), wireDeadlineMs,
+                                       prio);
         if (pickMode == "dtw")
             return client.submitDtw(id, randSignal(len), randSignal(len),
-                                    wireDeadlineMs);
+                                    wireDeadlineMs, prio);
         if (pickMode == "graph")
             return client.submitGraphAlign(id, randSeq(len), threshold,
-                                           wireDeadlineMs);
+                                           wireDeadlineMs, prio);
         std::fprintf(stderr, "raceload: unknown mode '%s'\n",
                      mode.c_str());
         std::exit(2);
@@ -234,6 +269,11 @@ main(int argc, char **argv)
     latenciesUs.reserve(requests);
     uint64_t okCount = 0, rejectedByStatus[7] = {0, 0, 0, 0, 0, 0, 0};
     uint64_t timeouts = 0, retriesUsed = 0;
+    // Per-class ledgers, indexed by serve::Priority.
+    uint64_t okByClass[serve::kPriorityClasses] = {0, 0, 0};
+    uint64_t rejectedByClass[serve::kPriorityClasses] = {0, 0, 0};
+    uint64_t timeoutsByClass[serve::kPriorityClasses] = {0, 0, 0};
+    std::vector<double> latenciesByClass[serve::kPriorityClasses];
 
     const Clock::time_point begin = Clock::now();
     uint32_t nextId = 1;
@@ -274,6 +314,8 @@ main(int argc, char **argv)
                 } else {
                     pending.erase(id);
                     ++timeouts;
+                    ++timeoutsByClass[static_cast<size_t>(
+                        priorityFor(id))];
                     ++resolved;
                 }
             }
@@ -308,10 +350,16 @@ main(int argc, char **argv)
         latenciesUs.push_back(us);
         latencyHist->record(static_cast<uint64_t>(us));
         ++resolved;
-        if (response.status == serve::Status::Ok)
+        const size_t cls =
+            static_cast<size_t>(priorityFor(response.id));
+        latenciesByClass[cls].push_back(us);
+        if (response.status == serve::Status::Ok) {
             ++okCount;
-        else
+            ++okByClass[cls];
+        } else {
             ++rejectedByStatus[static_cast<uint8_t>(response.status)];
+            ++rejectedByClass[cls];
+        }
     }
     const double elapsedSec =
         std::chrono::duration<double>(Clock::now() - begin).count();
@@ -343,6 +391,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(timeouts),
                 static_cast<unsigned long long>(retriesUsed));
 
+    static const char *const kClassName[serve::kPriorityClasses] = {
+        "batch", "normal", "interactive"};
+    if (priorityMode == "mixed") {
+        for (size_t c = 0; c < serve::kPriorityClasses; ++c) {
+            std::vector<double> &lat = latenciesByClass[c];
+            std::sort(lat.begin(), lat.end());
+            std::printf("raceload: class %-11s ok=%llu rejected=%llu "
+                        "timeout=%llu p50=%.1f us p99=%.1f us\n",
+                        kClassName[c],
+                        static_cast<unsigned long long>(okByClass[c]),
+                        static_cast<unsigned long long>(
+                            rejectedByClass[c]),
+                        static_cast<unsigned long long>(
+                            timeoutsByClass[c]),
+                        percentile(lat, 50), percentile(lat, 99));
+        }
+    }
+
     if (dumpHistograms) {
         const telemetry::Snapshot snap = registry.snapshot();
         for (const telemetry::HistogramSnapshot &h : snap.histograms) {
@@ -365,7 +431,7 @@ main(int argc, char **argv)
             const serve::QueueStatsWire &q = *stats.queueStats;
             std::printf("raceload: daemon enqueued=%llu completed=%llu "
                         "rejected=%llu shed-deadline=%llu "
-                        "high-water=%llu\n",
+                        "shed-evicted=%llu high-water=%llu\n",
                         static_cast<unsigned long long>(q.enqueued),
                         static_cast<unsigned long long>(q.completed),
                         static_cast<unsigned long long>(
@@ -373,7 +439,23 @@ main(int argc, char **argv)
                             q.rejectedBadRequest + q.rejectedResource +
                             q.rejectedShutdown),
                         static_cast<unsigned long long>(q.shedDeadline),
+                        static_cast<unsigned long long>(q.shedEvicted),
                         static_cast<unsigned long long>(q.highWater));
+            for (size_t c = 0; c < serve::kPriorityClasses; ++c) {
+                const serve::ClassStatsWire &cw = q.classes[c];
+                std::printf(
+                    "raceload: daemon class %-11s enqueued=%llu "
+                    "completed=%llu rejected-full=%llu "
+                    "rejected-resource=%llu shed-deadline=%llu "
+                    "shed-evicted=%llu\n",
+                    kClassName[c],
+                    static_cast<unsigned long long>(cw.enqueued),
+                    static_cast<unsigned long long>(cw.completed),
+                    static_cast<unsigned long long>(cw.rejectedQueueFull),
+                    static_cast<unsigned long long>(cw.rejectedResource),
+                    static_cast<unsigned long long>(cw.shedDeadline),
+                    static_cast<unsigned long long>(cw.shedEvicted));
+            }
             size_t shard = 0;
             for (const serve::ShardStatsWire &s : stats.shardStats)
                 std::printf("raceload: shard %zu solves=%llu "
@@ -431,6 +513,20 @@ main(int argc, char **argv)
                      "raceload: FAIL -- %llu rejections, none expected\n",
                      static_cast<unsigned long long>(rejected));
         return 1;
+    }
+    if (expectInteractiveClean) {
+        const size_t cls =
+            static_cast<size_t>(serve::Priority::Interactive);
+        const uint64_t dirty =
+            rejectedByClass[cls] + timeoutsByClass[cls];
+        if (dirty != 0) {
+            std::fprintf(stderr,
+                         "raceload: FAIL -- %llu interactive requests "
+                         "rejected/timed out; overload must shed lower "
+                         "classes first\n",
+                         static_cast<unsigned long long>(dirty));
+            return 1;
+        }
     }
     return 0;
 }

@@ -8,7 +8,10 @@
  * finishes and flushes its response before the process exits 0.
  * SIGUSR1 dumps the full telemetry snapshot (Prometheus text) to
  * stderr without disturbing service; --metrics-dump prints the same
- * exposition once more after the final drain.
+ * exposition once more after the final drain.  SIGHUP re-reads the
+ * --gfa file and hot-swaps the served graph with zero downtime:
+ * in-flight solves finish against the old graph, and a reload that
+ * fails to parse or compile leaves the old graph serving.
  *
  *   raceserved --unix /tmp/rl.sock --gfa examples/data/bubbles.gfa
  *   raceserved --tcp 0 --workers 4 --depth 64 --metrics-dump
@@ -31,6 +34,7 @@ namespace {
 
 volatile std::sig_atomic_t gStopRequested = 0;
 volatile std::sig_atomic_t gDumpRequested = 0;
+volatile std::sig_atomic_t gReloadRequested = 0;
 
 void
 onSignal(int)
@@ -45,12 +49,19 @@ onDumpSignal(int)
 }
 
 void
+onReloadSignal(int)
+{
+    gReloadRequested = 1;
+}
+
+void
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
         "usage: %s [--unix PATH] [--tcp PORT] [--gfa FILE]\n"
         "          [--alphabet LETTERS] [--workers N] [--depth N]\n"
+        "          [--brownout-depth N] [--mem-budget-mb MB]\n"
         "          [--threshold T] [--max-product-states N]\n"
         "          [--idle-timeout-ms MS] [--io-timeout-ms MS]\n"
         "          [--slow-ms MS] [--no-telemetry] [--metrics-dump]\n"
@@ -64,6 +75,15 @@ usage(const char *argv0)
         "  --workers N       engine shards / worker threads (default 4)\n"
         "  --depth N         admission bound on outstanding requests\n"
         "                    (default 64)\n"
+        "  --brownout-depth N\n"
+        "                    admission bound while browned out\n"
+        "                    (default 0 = half of --depth)\n"
+        "  --mem-budget-mb MB\n"
+        "                    daemon-wide memory budget over plan caches\n"
+        "                    and kernel scratch; crossing it latches a\n"
+        "                    brownout (shed batch work, shrink scratch,\n"
+        "                    evict plans) until usage drops back under\n"
+        "                    3/4 of the budget (default 0 = unlimited)\n"
         "  --threshold T     engine-wide Section 6 screen threshold\n"
         "  --max-product-states N\n"
         "                    reject GraphAlign/MapReads whose read x\n"
@@ -86,7 +106,12 @@ usage(const char *argv0)
         "                    snapshot to stderr after the final drain;\n"
         "                    SIGUSR1 prints one at any time while\n"
         "                    serving\n"
-        "  --quiet           suppress the final stats report\n",
+        "  --quiet           suppress the final stats report\n"
+        "\n"
+        "signals: SIGTERM/SIGINT drain and exit 0; SIGUSR1 dumps the\n"
+        "telemetry snapshot to stderr; SIGHUP re-reads the --gfa file\n"
+        "and hot-swaps the served graph (in-flight solves finish on\n"
+        "the old graph; a failed reload keeps the old graph serving)\n",
         argv0);
 }
 
@@ -122,6 +147,11 @@ main(int argc, char **argv)
             cfg.workers = static_cast<size_t>(std::atol(value()));
         } else if (arg == "--depth") {
             cfg.queueDepth = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--brownout-depth") {
+            cfg.brownoutDepth = static_cast<size_t>(std::atol(value()));
+        } else if (arg == "--mem-budget-mb") {
+            cfg.memBudgetBytes =
+                static_cast<size_t>(std::atoll(value())) * 1024 * 1024;
         } else if (arg == "--threshold") {
             cfg.engine.threshold = std::atoll(value());
         } else if (arg == "--max-product-states") {
@@ -185,6 +215,7 @@ main(int argc, char **argv)
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
     std::signal(SIGUSR1, onDumpSignal);
+    std::signal(SIGHUP, onReloadSignal);
     while (!gStopRequested) {
         ::pause(); // signals are the only way out
         if (gDumpRequested) {
@@ -193,6 +224,42 @@ main(int argc, char **argv)
                 server.metricsSnapshot().renderPrometheus();
             std::fwrite(text.data(), 1, text.size(), stderr);
             std::fflush(stderr);
+        }
+        if (gReloadRequested) {
+            gReloadRequested = 0;
+            // Zero-downtime swap: parse + compile happen here, on the
+            // signal-dispatch thread, while workers keep racing on the
+            // old graph.  Any failure -- no --gfa, a broken file, an
+            // alphabet change -- is logged and the old graph keeps
+            // serving.
+            if (gfaPath.empty()) {
+                std::fprintf(stderr,
+                             "raceserved: SIGHUP ignored, no --gfa to "
+                             "reload\n");
+            } else {
+                bio::Alphabet alphabet(alphabetLetters);
+                Expected<pangraph::VariationGraph> parsed =
+                    pangraph::tryReadGfaFile(gfaPath, alphabet);
+                Status status =
+                    parsed.ok()
+                        ? server.reloadGraph(
+                              std::make_shared<pangraph::VariationGraph>(
+                                  std::move(parsed.value())))
+                        : parsed.status();
+                if (status.ok()) {
+                    std::fprintf(stderr,
+                                 "raceserved: reloaded %s (version "
+                                 "%llu)\n",
+                                 gfaPath.c_str(),
+                                 static_cast<unsigned long long>(
+                                     server.graphVersion()));
+                } else {
+                    std::fprintf(stderr,
+                                 "raceserved: reload failed, old graph "
+                                 "keeps serving: %s\n",
+                                 status.toString().c_str());
+                }
+            }
         }
     }
 
@@ -211,7 +278,7 @@ main(int argc, char **argv)
                      "raceserved: enqueued=%llu completed=%llu "
                      "rejected=%llu (full=%llu oversized=%llu bad=%llu "
                      "resource=%llu shutdown=%llu) shed-deadline=%llu "
-                     "high-water=%llu\n",
+                     "shed-evicted=%llu high-water=%llu\n",
                      static_cast<unsigned long long>(q.enqueued),
                      static_cast<unsigned long long>(q.completed),
                      static_cast<unsigned long long>(q.rejected()),
@@ -221,6 +288,7 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(q.rejectedResource),
                      static_cast<unsigned long long>(q.rejectedShutdown),
                      static_cast<unsigned long long>(q.shedDeadline),
+                     static_cast<unsigned long long>(q.shedEvicted),
                      static_cast<unsigned long long>(q.highWater));
         size_t shard = 0;
         for (const serve::ShardStatsWire &s : server.shardStats()) {
