@@ -450,8 +450,9 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
     // worker threads; the lease keeps shrinkers off a live solve.
     static thread_local core::RaceGridScratch scratch;
     static thread_local core::ScratchRegistration scratchReg(
-        [s = &scratch] {
-            s->shrinkToFit();
+        [s = &scratch](bool shrink) {
+            if (shrink)
+                s->shrinkToFit();
             return s->residentBytes();
         });
     core::ScratchLease lease(scratchReg.entry());
@@ -460,7 +461,6 @@ RaceEngine::raceGridBehavioral(const RaceProblem &problem,
         bounded ? static_cast<sim::Tick>(threshold)
                 : sim::kTickInfinity,
         scratch, problem.cancel, problem.counters);
-    lease.release(scratch.residentBytes());
     rl_assert(bounded || raced.cancelled || raced.completed,
               "sink never fired; gap weights should guarantee a path");
     result.completed = raced.completed;
@@ -1100,6 +1100,34 @@ RaceEngine::prepare(const RaceProblem &problem)
               " bakes its instance into the lattice and has no "
               "reusable plan");
     planFor(problem, /*recordHit=*/false);
+}
+
+void
+RaceEngine::adoptGraphPlan(const RaceProblem &problem,
+                           std::shared_ptr<pangraph::GraphAligner> aligner)
+{
+    rl_assert(problem.kind == ProblemKind::GraphAlign,
+              "adoptGraphPlan() seeds GraphAlign shapes only");
+    rl_assert(aligner != nullptr, "adoptGraphPlan() needs a plan");
+    rl_assert(aligner->graphPtr() == problem.vgraph,
+              "the adopted aligner must be planned for the problem's "
+              "graph");
+    if (cfg.planCacheCapacity == 0)
+        return;
+    std::string key = problem.shapeKey();
+    if (index.find(key) != index.end())
+        return;
+    auto plan = std::make_shared<Plan>();
+    plan->input = *problem.matrix;
+    plan->graphAligner = std::move(aligner);
+    lru.emplace_front(std::move(key), plan);
+    index[lru.front().first] = lru.begin();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        cacheBytes += plan->residentBytes();
+    }
+    while (lru.size() > cfg.planCacheCapacity)
+        evictLruPlan();
 }
 
 BatchOutcome

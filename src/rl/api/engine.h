@@ -45,6 +45,10 @@
 #include "rl/util/status.h"
 #include "rl/util/thread_pool.h"
 
+namespace racelogic::pangraph {
+class GraphAligner;
+} // namespace racelogic::pangraph
+
 namespace racelogic::api {
 
 /**
@@ -217,6 +221,20 @@ class RaceEngine
      * synthesize expensive plans at the same time.
      */
     void prepare(const RaceProblem &problem);
+
+    /**
+     * Seed the cache with an externally compiled GraphAlign plan for
+     * `problem`'s shape, so the first post-reload solve hits instead
+     * of re-synthesizing what the reload's validation compile already
+     * built.  `aligner` must be the planned form of (problem.vgraph,
+     * problem.matrix) -- the serve reload path's tryMake() output.
+     * A no-op when the shape is already cached (the resident plan and
+     * its LRU position win) or when plan caching is disabled.
+     * Counts neither plansBuilt (this engine synthesized nothing) nor
+     * planCacheHits; cacheBytes grows as on any insert.
+     */
+    void adoptGraphPlan(const RaceProblem &problem,
+                        std::shared_ptr<pangraph::GraphAligner> aligner);
 
     /** Plans currently held in the cache. */
     size_t planCacheSize() const { return lru.size(); }

@@ -12,10 +12,10 @@ ScratchRegistry::instance()
 }
 
 ScratchEntry &
-ScratchRegistry::registerEntry(std::function<size_t()> shrink)
+ScratchRegistry::registerEntry(std::function<size_t(bool)> probe)
 {
     ScratchEntry *entry = new ScratchEntry(); // leaked with the registry
-    entry->shrink = std::move(shrink);
+    entry->probe = std::move(probe);
     std::lock_guard<std::mutex> lock(mutex);
     entries.push_back(entry);
     return *entry;
@@ -57,13 +57,13 @@ ScratchRegistry::shrinkIdle(std::chrono::nanoseconds idle)
         if (!entry->busy.try_lock())
             continue;
         // A tombstone slot: its thread died and retracted the hook.
-        if (!entry->shrink) {
+        if (!entry->probe) {
             entry->busy.unlock();
             continue;
         }
         const size_t before =
             entry->residentBytes.load(std::memory_order_relaxed);
-        const size_t after = entry->shrink();
+        const size_t after = entry->probe(/*shrink=*/true);
         entry->residentBytes.store(after, std::memory_order_relaxed);
         entry->busy.unlock();
         reclaimed += before > after ? before - after : 0;
@@ -71,18 +71,18 @@ ScratchRegistry::shrinkIdle(std::chrono::nanoseconds idle)
     return reclaimed;
 }
 
-ScratchRegistration::ScratchRegistration(std::function<size_t()> shrink)
-    : slot(&ScratchRegistry::instance().registerEntry(std::move(shrink)))
+ScratchRegistration::ScratchRegistration(std::function<size_t(bool)> probe)
+    : slot(&ScratchRegistry::instance().registerEntry(std::move(probe)))
 {
 }
 
 ScratchRegistration::~ScratchRegistration()
 {
-    // The shrink hook points into this thread's dying arena; retract
+    // The probe hook points into this thread's dying arena; retract
     // it under the busy mutex so an in-flight shrinker finishes (or
     // never starts) before the arena goes away.
     std::lock_guard<std::mutex> lock(slot->busy);
-    slot->shrink = nullptr;
+    slot->probe = nullptr;
     slot->residentBytes.store(0, std::memory_order_relaxed);
 }
 

@@ -12,10 +12,11 @@
  * fixes both halves:
  *
  *  - every scratch site registers once per thread and *publishes* its
- *    resident byte count (a relaxed atomic, updated after each solve
- *    while the owner still holds its lease) plus a last-use
- *    timestamp, so `totalResidentBytes()` is an honest daemon-wide
- *    sum with no locks on the solve path;
+ *    resident byte count (a relaxed atomic, probed from the arena by
+ *    the lease destructor while the owner still holds its lease --
+ *    honest even when the solve threw) plus a last-use timestamp, so
+ *    `totalResidentBytes()` is an honest daemon-wide sum with no
+ *    locks on the solve path;
  *  - `shrinkIdle()` / `shrinkAll()` walk the entries and call each
  *    scratch's shrinkToFit -- but only under a per-entry try_lock, so
  *    a janitor thread can reclaim an *idle* worker's arena without
@@ -27,7 +28,7 @@
  * process exit is unsequenced with respect to other statics, so the
  * registry leaks its (tiny) entry list deliberately -- the same
  * leak-on-exit idiom the telemetry lane registry uses.  But a dying
- * worker thread MUST retract its shrink hook (the hook points into
+ * worker thread MUST retract its probe hook (the hook points into
  * its thread_local arena): ScratchRegistration's destructor does so
  * under the entry's mutex, leaving a zero-byte tombstone slot that
  * shrinkers skip.
@@ -51,27 +52,31 @@ struct ScratchEntry {
      *  try_locked by shrinkers so they never block a solve. */
     std::mutex busy;
 
-    /** Resident heap bytes, published by the owner after each solve
-     *  and after every shrink.  Relaxed: a stale read only skews a
-     *  budget snapshot by one solve. */
+    /** Resident heap bytes, published after each solve (lease
+     *  destructor) and after every shrink.  Relaxed: a stale read
+     *  only skews a budget snapshot by one solve. */
     std::atomic<size_t> residentBytes{0};
 
     /** steady_clock::time_since_epoch of the last lease release, in
      *  nanoseconds; lets shrinkIdle() spare recently-active workers. */
     std::atomic<int64_t> lastUseNs{0};
 
-    /** Releases the scratch's retained capacity and returns the new
-     *  resident byte count (the registry publishes it).  Called only
-     *  with `busy` held, so it never races the owner.  Must be bound
-     *  to the owning thread's arena instance at registration time --
+    /** Probes the arena's resident byte count, first releasing its
+     *  retained capacity when `shrink` is true.  Called only with
+     *  `busy` held, so it never races the owner.  Must be bound to
+     *  the owning thread's arena instance at registration time --
      *  shrinkers run on other threads. */
-    std::function<size_t()> shrink;
+    std::function<size_t(bool shrink)> probe;
 };
 
 /**
  * RAII lease an owning thread holds across one solve: locks the
- * entry's mutex so shrinkers keep their hands off, and on release
- * publishes the fresh resident-byte count and last-use stamp.
+ * entry's mutex so shrinkers keep their hands off, and on destruction
+ * probes the arena for its *actual* resident bytes and publishes them
+ * with a last-use stamp.  Destructor-driven on purpose: a solve that
+ * throws (the dispatcher tolerates throwing jobs) still publishes its
+ * true high-water, not zero -- those bytes must stay visible to the
+ * brownout budget.
  */
 class ScratchLease
 {
@@ -88,6 +93,10 @@ class ScratchLease
 
     ~ScratchLease()
     {
+        // `probe` cannot be retracted mid-lease (retraction takes
+        // `busy`, which we hold); the null check covers only a lease
+        // taken on an already-tombstoned slot.
+        const size_t bytes = entry.probe ? entry.probe(false) : 0;
         entry.residentBytes.store(bytes, std::memory_order_relaxed);
         entry.lastUseNs.store(
             std::chrono::steady_clock::now().time_since_epoch().count(),
@@ -95,16 +104,8 @@ class ScratchLease
         entry.busy.unlock();
     }
 
-    /** Record the arena's resident bytes to publish on release. */
-    void
-    release(size_t residentBytes)
-    {
-        bytes = residentBytes;
-    }
-
   private:
     ScratchEntry &entry;
-    size_t bytes = 0;
 };
 
 /**
@@ -118,7 +119,7 @@ class ScratchLease
 class ScratchRegistration
 {
   public:
-    explicit ScratchRegistration(std::function<size_t()> shrink);
+    explicit ScratchRegistration(std::function<size_t(bool)> probe);
 
     ScratchRegistration(const ScratchRegistration &) = delete;
     ScratchRegistration &operator=(const ScratchRegistration &) = delete;
@@ -143,10 +144,11 @@ class ScratchRegistry
 
     /**
      * Register a scratch site; the returned entry lives until process
-     * exit.  `shrink` must release the arena's capacity and return
-     * the new (near-zero) resident count; the registry publishes it.
+     * exit.  `probe(shrink)` must return the arena's resident byte
+     * count, releasing its capacity first when `shrink` is true; the
+     * registry publishes the returned count.
      */
-    ScratchEntry &registerEntry(std::function<size_t()> shrink);
+    ScratchEntry &registerEntry(std::function<size_t(bool)> probe);
 
     /** Sum of every entry's published resident bytes. */
     size_t totalResidentBytes() const;

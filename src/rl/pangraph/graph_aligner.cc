@@ -101,14 +101,13 @@ GraphAligner::align(const bio::Sequence &read, sim::Tick horizon,
     // lease keeps shrinkers off a live solve.
     static thread_local GraphAlignScratch scratch;
     static thread_local core::ScratchRegistration scratchReg(
-        [s = &scratch] {
-            s->shrinkToFit();
+        [s = &scratch](bool shrink) {
+            if (shrink)
+                s->shrinkToFit();
             return s->residentBytes();
         });
     core::ScratchLease lease(scratchReg.entry());
-    GraphRaceResult result = align(read, horizon, scratch, cancel, counters);
-    lease.release(scratch.residentBytes());
-    return result;
+    return align(read, horizon, scratch, cancel, counters);
 }
 
 GraphRaceResult

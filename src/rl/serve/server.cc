@@ -92,14 +92,19 @@ AlignServer::reloadGraph(
             "reload needs a score matrix (none currently loaded)");
     // Compile-check on the calling thread -- the same validation a
     // GraphAlign plan build runs -- so an uncompilable graph/matrix
-    // pair is a typed failure here, never a worker fatal later.
+    // pair is a typed failure here, never a worker fatal later.  The
+    // validation compile IS the plan: hand it to the shards so the
+    // first post-swap GraphAlign hits a warm cache instead of paying
+    // a second synthesis under the daemon-wide build lock.
     Expected<pangraph::GraphAligner> compiled =
         pangraph::GraphAligner::tryMake(graph, *matrix);
     if (!compiled.ok())
         return compiled.status();
     const uint64_t version = shards.setGraph(
-        std::move(graph), std::make_shared<bio::ScoreMatrix>(
-                              std::move(*matrix)));
+        std::move(graph),
+        std::make_shared<bio::ScoreMatrix>(std::move(*matrix)),
+        std::make_shared<pangraph::GraphAligner>(
+            std::move(compiled.value())));
     rl_inform("serve: graph reloaded, version=", version);
     return racelogic::Status{};
 }

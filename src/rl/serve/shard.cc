@@ -117,14 +117,24 @@ EngineShards::trySolveOn(size_t shard, const api::RaceProblem &problem)
 uint64_t
 EngineShards::setGraph(
     std::shared_ptr<const pangraph::VariationGraph> graph,
-    std::shared_ptr<const bio::ScoreMatrix> matrix)
+    std::shared_ptr<const bio::ScoreMatrix> matrix,
+    std::shared_ptr<pangraph::GraphAligner> precompiled)
 {
     rl_assert(graph != nullptr, "setGraph() needs a graph");
     rl_assert(matrix != nullptr, "a pangenome needs its score matrix");
-    // Under the build mutex: the swap never interleaves with a plan
-    // build, so no shard can cache a plan for a graph that is being
-    // replaced out from under it.
-    std::lock_guard<std::mutex> build(buildMutex);
+    // The shape every request against the new graph will carry; built
+    // before the pointers move into the registry.  Routes the warm
+    // seed to the same shard those requests will hash to.
+    std::optional<api::RaceProblem> seed;
+    size_t seedShard = 0;
+    if (precompiled) {
+        rl_assert(precompiled->graphPtr() == graph,
+                  "the precompiled aligner must plan the graph being "
+                  "installed");
+        seed = api::RaceProblem::graphAlign(
+            *matrix, bio::Sequence(graph->alphabet(), ""), graph);
+        seedShard = shardFor(*seed);
+    }
     uint64_t version;
     {
         std::lock_guard<std::mutex> lock(registryMutex);
@@ -135,9 +145,22 @@ EngineShards::setGraph(
     // The old graph's plans are unreachable now (their keys embed the
     // old fingerprint); drop them instead of waiting for LRU churn.
     // Grid-family plans survive untouched.
-    for (auto &shardPtr : shards) {
-        std::lock_guard<std::mutex> engineLock(shardPtr->engineMutex);
-        shardPtr->engine.evictGraphPlans();
+    //
+    // Deliberately NOT under buildMutex: the solve paths lock
+    // engineMutex then buildMutex on a plan miss, so holding
+    // buildMutex while acquiring engineMutex here would be the ABBA
+    // half of a deadlock against any concurrent miss.  Per-shard
+    // engineMutex alone is enough -- it excludes that shard's builds.
+    // A solve that snapshotted the old graph and builds concurrently
+    // can at worst re-insert one old-fingerprint plan after its
+    // shard's eviction ran; new requests can never hit it (their keys
+    // embed the new fingerprint) and LRU/brownout churn reclaims it.
+    for (size_t i = 0; i < shards.size(); ++i) {
+        Shard &s = *shards[i];
+        std::lock_guard<std::mutex> engineLock(s.engineMutex);
+        s.engine.evictGraphPlans();
+        if (seed && i == seedShard)
+            s.engine.adoptGraphPlan(*seed, precompiled);
     }
     return version;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "rl/api/api.h"
+#include "rl/pangraph/graph_aligner.h"
 #include "rl/pangraph/variation_graph.h"
 #include "rl/serve/wire.h"
 
@@ -97,16 +98,30 @@ class EngineShards
     std::vector<ShardStatsWire> statsSnapshot() const;
 
     /**
-     * Install (or hot-swap) the preloaded pangenome.  Runs under the
-     * build mutex -- the swap never interleaves with a plan build --
-     * and evicts every graph-keyed plan from every shard: the new
+     * Install (or hot-swap) the preloaded pangenome: swap the
+     * versioned registry, then evict every graph-keyed plan shard by
+     * shard under that shard's engine mutex only -- the new
      * fingerprint can never hit them, so they are dead weight the
      * moment the version bumps.  In-flight solves keep racing their
-     * admission-time snapshot (the shared_ptr pins it).  Returns the
-     * new version.
+     * admission-time snapshot (the shared_ptr pins it).
+     *
+     * Lock discipline: the solve paths take engineMutex then
+     * buildMutex (on a plan miss), so this method must NEVER reach
+     * for an engineMutex while holding buildMutex -- that ABBA order
+     * wedged a reload against a plan-miss solve.  It has no need to:
+     * each shard's engineMutex already excludes that shard's plan
+     * builds.
+     *
+     * `precompiled` (optional) is the new graph's already-planned
+     * aligner -- the reload path's validation compile -- adopted into
+     * the shard the new shape routes to, so the first post-swap
+     * GraphAlign hits warm instead of re-synthesizing the plan under
+     * the daemon-wide build lock.  Returns the new version.
      */
-    uint64_t setGraph(std::shared_ptr<const pangraph::VariationGraph> graph,
-                      std::shared_ptr<const bio::ScoreMatrix> matrix);
+    uint64_t
+    setGraph(std::shared_ptr<const pangraph::VariationGraph> graph,
+             std::shared_ptr<const bio::ScoreMatrix> matrix,
+             std::shared_ptr<pangraph::GraphAligner> precompiled = nullptr);
 
     /** Copy the current graph snapshot (safe from any thread). */
     GraphSnapshot graphSnapshot() const;

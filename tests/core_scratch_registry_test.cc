@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "rl/core/race_grid.h"
@@ -94,8 +95,9 @@ TEST(ScratchRegistry, LeasePublishesAndShrinkAllReclaims)
     const size_t baseline = registry.totalResidentBytes();
 
     core::RaceGridScratch scratch;
-    core::ScratchRegistration reg([&scratch] {
-        scratch.shrinkToFit();
+    core::ScratchRegistration reg([&scratch](bool shrink) {
+        if (shrink)
+            scratch.shrinkToFit();
         return scratch.residentBytes();
     });
 
@@ -104,7 +106,6 @@ TEST(ScratchRegistry, LeasePublishesAndShrinkAllReclaims)
         core::ScratchLease lease(reg.entry());
         (void)aligner.align(dna(longDna(300)), dna(longDna(300)),
                             sim::kTickInfinity, scratch);
-        lease.release(scratch.residentBytes());
     }
     const size_t grown = scratch.residentBytes();
     EXPECT_GT(grown, 0u);
@@ -116,11 +117,44 @@ TEST(ScratchRegistry, LeasePublishesAndShrinkAllReclaims)
     EXPECT_LE(registry.totalResidentBytes(), baseline);
 }
 
+TEST(ScratchRegistry, ThrowingSolveStillPublishesHonestBytes)
+{
+    core::RaceGridScratch scratch;
+    core::ScratchRegistration reg([&scratch](bool shrink) {
+        if (shrink)
+            scratch.shrinkToFit();
+        return scratch.residentBytes();
+    });
+    core::RaceGridAligner aligner(bio::ScoreMatrix::dnaShortestPath());
+
+    // The dispatcher tolerates throwing jobs, so the lease must too:
+    // when a solve throws after growing the arena, the destructor
+    // still publishes the real high-water -- hiding those bytes from
+    // the brownout budget would defeat the accounting.
+    EXPECT_THROW(
+        {
+            core::ScratchLease lease(reg.entry());
+            (void)aligner.align(dna(longDna(300)), dna(longDna(300)),
+                                sim::kTickInfinity, scratch);
+            throw std::runtime_error("job failed after the race");
+        },
+        std::runtime_error);
+    const size_t grown = scratch.residentBytes();
+    EXPECT_GT(grown, 0u);
+    EXPECT_EQ(reg.entry().residentBytes.load(), grown);
+
+    // Published means reclaimable: the janitor can still see and
+    // shrink the orphaned capacity.
+    EXPECT_GE(core::ScratchRegistry::instance().shrinkAll(), grown);
+    EXPECT_EQ(scratch.residentBytes(), 0u);
+}
+
 TEST(ScratchRegistry, ShrinkNeverTouchesABusyLease)
 {
     core::RaceGridScratch scratch;
-    core::ScratchRegistration reg([&scratch] {
-        scratch.shrinkToFit();
+    core::ScratchRegistration reg([&scratch](bool shrink) {
+        if (shrink)
+            scratch.shrinkToFit();
         return scratch.residentBytes();
     });
 
@@ -138,14 +172,14 @@ TEST(ScratchRegistry, ShrinkNeverTouchesABusyLease)
     });
     janitor.join();
     EXPECT_EQ(scratch.residentBytes(), mid);
-    lease.release(scratch.residentBytes());
 }
 
 TEST(ScratchRegistry, ShrinkIdleSparesRecentlyActiveWorkers)
 {
     core::RaceGridScratch scratch;
-    core::ScratchRegistration reg([&scratch] {
-        scratch.shrinkToFit();
+    core::ScratchRegistration reg([&scratch](bool shrink) {
+        if (shrink)
+            scratch.shrinkToFit();
         return scratch.residentBytes();
     });
     core::RaceGridAligner aligner(bio::ScoreMatrix::dnaShortestPath());
@@ -153,7 +187,6 @@ TEST(ScratchRegistry, ShrinkIdleSparesRecentlyActiveWorkers)
         core::ScratchLease lease(reg.entry());
         (void)aligner.align(dna(longDna(200)), dna(longDna(200)),
                             sim::kTickInfinity, scratch);
-        lease.release(scratch.residentBytes());
     }
     ASSERT_GT(scratch.residentBytes(), 0u);
 
@@ -175,8 +208,9 @@ TEST(ScratchRegistry, DeadThreadsLeaveSafeTombstones)
     // A worker thread registers, grows its arena, publishes, dies.
     std::thread worker([] {
         core::RaceGridScratch scratch;
-        core::ScratchRegistration reg([&scratch] {
-            scratch.shrinkToFit();
+        core::ScratchRegistration reg([&scratch](bool shrink) {
+            if (shrink)
+                scratch.shrinkToFit();
             return scratch.residentBytes();
         });
         core::RaceGridAligner aligner(
@@ -184,7 +218,6 @@ TEST(ScratchRegistry, DeadThreadsLeaveSafeTombstones)
         core::ScratchLease lease(reg.entry());
         (void)aligner.align(dna(longDna(200)), dna(longDna(200)),
                             sim::kTickInfinity, scratch);
-        lease.release(scratch.residentBytes());
     });
     worker.join();
 
